@@ -1,0 +1,79 @@
+//! Table 5 / Table 6 benchmark: basic CKKS operation latency.
+//!
+//! Two families are measured:
+//! * `software/*` — the from-scratch CKKS implementation running on the host CPU (the
+//!   reproduction's CPU baseline), at the reduced testing parameter set;
+//! * `model/*` — evaluation of the FAB cost model at the paper's full parameter sets, whose
+//!   outputs are the Table 5 / Table 6 rows (printed by the `tables` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use fab_ckks::{
+    CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator, SecretKey,
+};
+use fab_core::{FabConfig, OpCostModel};
+
+fn software_basic_ops(c: &mut Criterion) {
+    let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+    let mut rng = ChaCha20Rng::seed_from_u64(1);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let keygen = KeyGenerator::new(ctx.clone(), sk);
+    let pk = keygen.public_key(&mut rng);
+    let rlk = keygen.relinearization_key(&mut rng);
+    let gks = keygen.galois_keys(&[1], false, &mut rng).unwrap();
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone(), pk);
+    let evaluator = Evaluator::new(ctx.clone());
+
+    let scale = ctx.params().default_scale();
+    let values: Vec<f64> = (0..ctx.slot_count()).map(|i| (i as f64 * 0.01).sin()).collect();
+    let level = ctx.params().max_level;
+    let pt = encoder.encode_real(&values, scale, level).unwrap();
+    let ct_a = encryptor.encrypt(&pt, &mut rng).unwrap();
+    let ct_b = encryptor.encrypt(&pt, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("software_basic_ops");
+    group.sample_size(10);
+    group.bench_function("add", |b| {
+        b.iter(|| evaluator.add(&ct_a, &ct_b).unwrap());
+    });
+    group.bench_function("multiply_plain", |b| {
+        b.iter(|| evaluator.multiply_plain(&ct_a, &pt).unwrap());
+    });
+    group.bench_function("multiply_relin", |b| {
+        b.iter(|| evaluator.multiply(&ct_a, &ct_b, &rlk).unwrap());
+    });
+    group.bench_function("rescale", |b| {
+        let product = evaluator.multiply(&ct_a, &ct_b, &rlk).unwrap();
+        b.iter(|| evaluator.rescale(&product).unwrap());
+    });
+    group.bench_function("rotate", |b| {
+        b.iter(|| evaluator.rotate(&ct_a, 1, &gks).unwrap());
+    });
+    group.finish();
+}
+
+fn model_basic_ops(c: &mut Criterion) {
+    let table5 = OpCostModel::new(FabConfig::alveo_u280(), CkksParams::gpu_comparison());
+    let table6 = OpCostModel::new(FabConfig::alveo_u280(), CkksParams::heax_comparison());
+    let level = CkksParams::gpu_comparison().max_level;
+    let mut group = c.benchmark_group("model_basic_ops");
+    group.bench_function("table5_all_ops", |b| {
+        b.iter(|| {
+            let add = table5.add(level);
+            let mult = table5.multiply(level);
+            let rescale = table5.rescale(level);
+            let rotate = table5.rotate(level);
+            (add, mult, rescale, rotate)
+        });
+    });
+    group.bench_function("table6_throughputs", |b| {
+        b.iter(|| (table6.ntt_throughput_ops(), table6.multiply_throughput_ops()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, software_basic_ops, model_basic_ops);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Table 7 / Figure 2 benchmark: bootstrapping.
+//!
+//! * `software/*` — pieces of the real bootstrapping pipeline executed by the from-scratch
+//!   CKKS implementation at the reduced `bootstrap_testing` parameter set (the CPU baseline);
+//! * `model/*` — the accelerator-model bootstrapping cost at the paper's full parameter set,
+//!   whose value feeds the Table 7 amortized metric.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use fab_ckks::{
+    bootstrap::BootstrapParams, Bootstrapper, CkksContext, CkksParams, Encoder, Encryptor,
+    KeyGenerator, SecretKey,
+};
+use fab_core::workload::bootstrap_cost;
+use fab_core::{amortized_mult_time_us, FabConfig};
+
+fn software_bootstrap(c: &mut Criterion) {
+    let ctx = CkksContext::new_arc(CkksParams::bootstrap_testing()).unwrap();
+    let mut rng = ChaCha20Rng::seed_from_u64(2);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let keygen = KeyGenerator::new(ctx.clone(), sk);
+    let pk = keygen.public_key(&mut rng);
+    let rlk = keygen.relinearization_key(&mut rng);
+    let bootstrapper = Bootstrapper::new(
+        ctx.clone(),
+        BootstrapParams {
+            eval_mod_degree: 159,
+            k_range: 16.0,
+            fft_iter: 3,
+        },
+    )
+    .unwrap();
+    let keys = keygen
+        .galois_keys(&bootstrapper.required_rotations(), true, &mut rng)
+        .unwrap();
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone(), pk);
+    let scale = ctx.params().default_scale();
+    let values: Vec<f64> = (0..ctx.slot_count()).map(|i| 0.3 * (i as f64 * 0.1).sin()).collect();
+    let ct = encryptor
+        .encrypt(&encoder.encode_real(&values, scale, 0).unwrap(), &mut rng)
+        .unwrap();
+
+    let mut group = c.benchmark_group("software_bootstrap");
+    group.sample_size(10);
+    group.bench_function("mod_raise", |b| {
+        b.iter(|| bootstrapper.mod_raise(&ct).unwrap());
+    });
+    group.bench_function("coeff_to_slot", |b| {
+        let raised = bootstrapper.mod_raise(&ct).unwrap();
+        b.iter(|| bootstrapper.coeff_to_slot(&raised, &keys).unwrap());
+    });
+    group.bench_function("eval_mod", |b| {
+        let raised = bootstrapper.mod_raise(&ct).unwrap();
+        let (real, _imag) = bootstrapper.coeff_to_slot(&raised, &keys).unwrap();
+        b.iter(|| bootstrapper.eval_mod(&real, &rlk).unwrap());
+    });
+    // The full pipeline (tens of seconds per run in software) is exercised end to end by the
+    // `bootstrap_pipeline` example and the integration tests; benchmarking it here would
+    // dominate the whole bench suite's runtime.
+    group.finish();
+}
+
+fn model_bootstrap(c: &mut Criterion) {
+    let config = FabConfig::alveo_u280();
+    let params = CkksParams::fab_paper();
+    let mut group = c.benchmark_group("model_bootstrap");
+    group.bench_function("table7_amortized_metric", |b| {
+        b.iter(|| {
+            let boot = bootstrap_cost(&config, &params, params.fft_iter);
+            amortized_mult_time_us(
+                &config,
+                &params,
+                &boot,
+                params.levels_after_bootstrap(),
+                params.slot_count(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, software_bootstrap, model_bootstrap);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 1 / Figure 2 benchmark: design-space sweeps over `dnum` and `ﬀtIter`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fab_ckks::CkksParams;
+use fab_core::{dnum_sweep, fft_iter_sweep, FabConfig};
+
+fn sweeps(c: &mut Criterion) {
+    let config = FabConfig::alveo_u280();
+    let params = CkksParams::fab_paper();
+    let mut group = c.benchmark_group("design_space");
+    group.bench_function("figure1_dnum_sweep", |b| {
+        b.iter(|| dnum_sweep(&params, 32, params.bootstrap_depth(), &[1, 2, 3, 4, 5, 6]));
+    });
+    group.bench_function("figure2_fft_iter_sweep", |b| {
+        b.iter(|| fft_iter_sweep(&config, &params, &[1, 2, 3, 4, 5, 6]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sweeps);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation of the paper's key architectural choices (Section 4.6): the modified KeySwitch
+//! datapath versus the original one, hoisted versus independent rotations, and the software
+//! key switch that acts as the CPU reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use fab_ckks::{
+    CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator, SecretKey,
+};
+use fab_core::{FabConfig, KeySwitchDatapath, OpCostModel};
+
+fn model_datapath_ablation(c: &mut Criterion) {
+    let params = CkksParams::fab_paper();
+    let level = params.max_level;
+    let modified = OpCostModel::new(FabConfig::alveo_u280(), params.clone());
+    let mut original_config = FabConfig::alveo_u280();
+    original_config.keyswitch_datapath = KeySwitchDatapath::Original;
+    let original = OpCostModel::new(original_config, params.clone());
+    let mut no_hoist_config = FabConfig::alveo_u280();
+    no_hoist_config.hoisting = false;
+    let no_hoist = OpCostModel::new(no_hoist_config, params);
+
+    let mut group = c.benchmark_group("model_keyswitch_ablation");
+    group.bench_function("modified_datapath", |b| {
+        b.iter(|| modified.key_switch(level));
+    });
+    group.bench_function("original_datapath", |b| {
+        b.iter(|| original.key_switch(level));
+    });
+    group.bench_function("hoisted_rotation", |b| {
+        b.iter(|| modified.rotate_hoisted(level));
+    });
+    group.bench_function("unhoisted_rotation", |b| {
+        b.iter(|| no_hoist.rotate_hoisted(level));
+    });
+    group.finish();
+}
+
+fn software_keyswitch(c: &mut Criterion) {
+    let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+    let mut rng = ChaCha20Rng::seed_from_u64(11);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let keygen = KeyGenerator::new(ctx.clone(), sk);
+    let pk = keygen.public_key(&mut rng);
+    let rlk = keygen.relinearization_key(&mut rng);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone(), pk);
+    let evaluator = Evaluator::new(ctx.clone());
+    let scale = ctx.params().default_scale();
+    let pt = encoder
+        .encode_real(&[1.0, 2.0, 3.0], scale, ctx.params().max_level)
+        .unwrap();
+    let ct = encryptor.encrypt(&pt, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("software_keyswitch");
+    group.sample_size(10);
+    group.bench_function("relinearising_keyswitch", |b| {
+        b.iter(|| {
+            evaluator
+                .key_switch(ct.c1(), &rlk.key, ct.level())
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, model_datapath_ablation, software_keyswitch);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Table 8 benchmark: logistic-regression training.
+//!
+//! * `software/plaintext_iteration` — one full-size HELR iteration in the clear (11,982 × 196);
+//! * `software/encrypted_iteration` — one scaled-down encrypted iteration on the CKKS evaluator;
+//! * `model/table8` — the accelerator-model FAB-1 / FAB-2 iteration times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fab_ckks::{CkksContext, CkksParams};
+use fab_core::baselines::HELR_TASK;
+use fab_core::FabConfig;
+use fab_lr::{
+    lr_training_time_s, synthetic_mnist_like, EncryptedLogisticRegression,
+    LogisticRegressionTrainer, TrainingConfig,
+};
+
+fn plaintext_iteration(c: &mut Criterion) {
+    let data = synthetic_mnist_like(HELR_TASK.samples, HELR_TASK.features, 3);
+    let mut group = c.benchmark_group("software_lr");
+    group.sample_size(10);
+    group.bench_function("plaintext_iteration_full_size", |b| {
+        b.iter(|| {
+            let mut trainer = LogisticRegressionTrainer::new(
+                data.feature_count(),
+                TrainingConfig {
+                    iterations: 1,
+                    ..TrainingConfig::default()
+                },
+            );
+            trainer.train(&data)
+        });
+    });
+    group.finish();
+}
+
+fn encrypted_iteration(c: &mut Criterion) {
+    let params = CkksParams::builder()
+        .log_n(12)
+        .scale_bits(40)
+        .first_prime_bits(60)
+        .max_level(12)
+        .dnum(4)
+        .secret_hamming_weight(Some(64))
+        .security_bits(0)
+        .build()
+        .unwrap();
+    let ctx = CkksContext::new_arc(params).unwrap();
+    let data = synthetic_mnist_like(16, 16, 5);
+    // Key generation happens once; every measured iteration re-encrypts the weights and runs
+    // one full encrypted mini-batch iteration.
+    let mut trainer = EncryptedLogisticRegression::new(ctx, 16, 7).unwrap();
+    let mut group = c.benchmark_group("software_lr");
+    group.sample_size(10);
+    group.bench_function("encrypted_iteration_scaled_down", |b| {
+        b.iter(|| trainer.train(&data, 1, 4, 1.0).unwrap());
+    });
+    group.finish();
+}
+
+fn model_table8(c: &mut Criterion) {
+    let config = FabConfig::alveo_u280();
+    let params = CkksParams::fab_paper();
+    let mut group = c.benchmark_group("model_lr");
+    group.bench_function("table8_fab1_fab2", |b| {
+        b.iter(|| lr_training_time_s(&config, &params, &HELR_TASK, 8, 0.012));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, plaintext_iteration, encrypted_iteration, model_table8);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Arithmetic-kernel benchmarks: NTT/iNTT, modular multiplication variants (Barrett, Shoup and
+//! the paper's Algorithm 1 shift-add reduction) and the special FFT used by the encoder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+
+use fab_math::{Complex64, Modulus, NttTable, ShiftAddReducer, SpecialFft};
+
+fn ntt_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    group.sample_size(20);
+    for log_n in [12usize, 14, 16] {
+        let n = 1usize << log_n;
+        let q = fab_math::generate_ntt_prime(54, n, 0).unwrap();
+        let table = NttTable::new(n, Modulus::new(q).unwrap()).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(log_n as u64);
+        let poly: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        group.bench_with_input(BenchmarkId::new("forward", log_n), &poly, |b, p| {
+            b.iter(|| {
+                let mut data = p.clone();
+                table.forward(&mut data);
+                data
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", log_n), &poly, |b, p| {
+            b.iter(|| {
+                let mut data = p.clone();
+                table.inverse(&mut data);
+                data
+            });
+        });
+    }
+    group.finish();
+}
+
+fn modular_multiplication(c: &mut Criterion) {
+    let q = fab_math::generate_ntt_prime(54, 1 << 16, 0).unwrap();
+    let modulus = Modulus::new(q).unwrap();
+    let reducer = ShiftAddReducer::new(modulus.clone(), 6).unwrap();
+    let mut rng = ChaCha20Rng::seed_from_u64(7);
+    let pairs: Vec<(u64, u64)> = (0..4096)
+        .map(|_| (rng.gen_range(0..q), rng.gen_range(0..q)))
+        .collect();
+    let shoup_b = pairs[0].1;
+    let shoup = modulus.shoup_precompute(shoup_b);
+
+    let mut group = c.benchmark_group("modular_multiplication_4096");
+    group.bench_function("barrett", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .fold(0u64, |acc, &(x, y)| acc ^ modulus.mul(x, y))
+        });
+    });
+    group.bench_function("shoup_fixed_operand", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .fold(0u64, |acc, &(x, _)| acc ^ modulus.mul_shoup(x, shoup_b, shoup))
+        });
+    });
+    group.bench_function("shift_add_algorithm1", |b| {
+        b.iter(|| pairs.iter().fold(0u64, |acc, &(x, y)| acc ^ reducer.mul(x, y)));
+    });
+    group.finish();
+}
+
+fn special_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special_fft");
+    for log_n in [12usize, 14] {
+        let fft = SpecialFft::new(1 << log_n).unwrap();
+        let slots: Vec<Complex64> = (0..fft.slots())
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("encode_side_ifft", log_n), &slots, |b, s| {
+            b.iter(|| {
+                let mut w = s.clone();
+                fft.inverse(&mut w);
+                w
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ntt_benchmarks, modular_multiplication, special_fft);
+criterion_main!(benches);

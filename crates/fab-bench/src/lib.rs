@@ -1,0 +1,13 @@
+//! # fab-bench
+//!
+//! Benchmark harness for the FAB reproduction: the [`tables`] module regenerates every table
+//! and figure of the paper's evaluation section from the accelerator model, the software CKKS
+//! implementation and the published baseline constants; the Criterion benches under `benches/`
+//! measure the software kernels that act as the CPU baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tables;
+
+pub use tables::{render_all, render_experiment, Experiment};

@@ -1,0 +1,491 @@
+//! CKKS bootstrapping: ModRaise → CoeffToSlot → EvalMod → SlotToCoeff.
+//!
+//! This is the operation FAB accelerates (Section 2.1.3 of the paper). The pipeline here is the
+//! software-reference implementation: it raises an exhausted ciphertext back to the full
+//! modulus, homomorphically applies the inverse encoding FFT so the coefficients appear in the
+//! slots, removes the `q_0·I` multiples with a scaled-sine Chebyshev approximation, and applies
+//! the forward encoding FFT to return to coefficient form. The linear transforms are factored
+//! into `ﬀtIter` groups exactly as the paper's design-space study (Figure 2) parameterises.
+
+use std::sync::Arc;
+
+use fab_math::Complex64;
+
+use crate::linear_transform::{coeff_to_slot_stages, slot_to_coeff_stages};
+use crate::{
+    ChebyshevSeries, Ciphertext, CkksContext, CkksError, Evaluator, GaloisKeys,
+    LinearTransform, Plaintext, RelinearizationKey, Result,
+};
+use fab_rns::{Representation, RnsPolynomial};
+
+/// Configuration of the bootstrapping pipeline.
+#[derive(Debug, Clone)]
+pub struct BootstrapParams {
+    /// Degree of the Chebyshev approximation of the scaled sine in EvalMod.
+    pub eval_mod_degree: usize,
+    /// Bound `K` on the `q_0` multiples introduced by ModRaise (`|I| ≤ K`).
+    pub k_range: f64,
+    /// Number of grouped linear-transform stages per direction (`0` keeps one stage per
+    /// butterfly level; the paper's `ﬀtIter` corresponds to this group count).
+    pub fft_iter: usize,
+}
+
+impl Default for BootstrapParams {
+    fn default() -> Self {
+        Self {
+            eval_mod_degree: 159,
+            k_range: 16.0,
+            fft_iter: 3,
+        }
+    }
+}
+
+impl BootstrapParams {
+    /// Derives bootstrapping parameters from the scheme parameters (uses the scheme's
+    /// `fft_iter` and scales the sine range with the secret key sparsity).
+    pub fn for_scheme(params: &crate::CkksParams) -> Self {
+        let k_range = match params.secret_hamming_weight {
+            Some(h) => ((h as f64).sqrt() * 2.5).max(12.0),
+            None => 34.0,
+        };
+        // Degree grows roughly linearly with the sine range 2π(K+1).
+        let degree = ((2.0 * std::f64::consts::PI * (k_range + 1.0)) * 1.4).ceil() as usize + 16;
+        Self {
+            eval_mod_degree: degree.next_power_of_two().max(64) - 1,
+            k_range,
+            fft_iter: params.fft_iter,
+        }
+    }
+}
+
+/// The bootstrapping engine: precomputed linear-transform stages and the sine approximation.
+pub struct Bootstrapper {
+    ctx: Arc<CkksContext>,
+    evaluator: Evaluator,
+    params: BootstrapParams,
+    cts_stages: Vec<LinearTransform>,
+    stc_stages: Vec<LinearTransform>,
+    sine: ChebyshevSeries,
+}
+
+impl std::fmt::Debug for Bootstrapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bootstrapper")
+            .field("fft_iter", &self.params.fft_iter)
+            .field("eval_mod_degree", &self.params.eval_mod_degree)
+            .field("k_range", &self.params.k_range)
+            .field("cts_stages", &self.cts_stages.len())
+            .field("stc_stages", &self.stc_stages.len())
+            .finish()
+    }
+}
+
+impl Bootstrapper {
+    /// Builds the bootstrapper: factors the encoding FFT into stages and fits the sine series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidParameters`] if the scheme does not carry enough levels for
+    /// the configured pipeline.
+    pub fn new(ctx: Arc<CkksContext>, params: BootstrapParams) -> Result<Self> {
+        let evaluator = Evaluator::new(ctx.clone());
+        let fft = ctx.fft();
+        let mut cts_stages = coeff_to_slot_stages(fft, params.fft_iter);
+        let mut stc_stages = slot_to_coeff_stages(fft, params.fft_iter);
+        // Fold the 1/2 of the real/imaginary extraction into the last CoeffToSlot stage so the
+        // conjugation-based split needs no extra scalar multiplication.
+        if let Some(last) = cts_stages.last_mut() {
+            last.scale_by(Complex64::new(0.5, 0.0));
+        }
+        // Scale management (the same trick production bootstrappers use): fold the
+        // normalisation Δ/(q_0·(K+1)) into the CoeffToSlot matrices and the inverse factor
+        // q_0/Δ into the SlotToCoeff matrices. The working scale then stays pinned near the
+        // rescaling primes throughout EvalMod instead of growing with every multiplication,
+        // and the factors are applied with the full precision of the plaintext encoding.
+        let q0 = ctx.q_basis().modulus(0).value() as f64;
+        let delta = ctx.params().default_scale();
+        let k1 = params.k_range + 1.0;
+        let cts_factor = (delta / (q0 * k1)).powf(1.0 / cts_stages.len() as f64);
+        for stage in cts_stages.iter_mut() {
+            stage.scale_by(Complex64::new(cts_factor, 0.0));
+        }
+        let stc_factor = (q0 / delta).powf(1.0 / stc_stages.len() as f64);
+        for stage in stc_stages.iter_mut() {
+            stage.scale_by(Complex64::new(stc_factor, 0.0));
+        }
+        // EvalMod approximates g(t) = sin(2π(K+1)t)/(2π) on [-1, 1].
+        let sine = ChebyshevSeries::fit(
+            move |t| (2.0 * std::f64::consts::PI * k1 * t).sin() / (2.0 * std::f64::consts::PI),
+            params.eval_mod_degree,
+            -1.0,
+            1.0,
+        );
+        let minimum_levels = cts_stages.len() + stc_stages.len() + 8;
+        if ctx.params().max_level < minimum_levels {
+            return Err(CkksError::InvalidParameters {
+                reason: format!(
+                    "bootstrapping needs at least {minimum_levels} levels, parameters provide {}",
+                    ctx.params().max_level
+                ),
+            });
+        }
+        Ok(Self {
+            ctx,
+            evaluator,
+            params,
+            cts_stages,
+            stc_stages,
+            sine,
+        })
+    }
+
+    /// The bootstrapping configuration.
+    pub fn params(&self) -> &BootstrapParams {
+        &self.params
+    }
+
+    /// The rotation steps required by the linear-transform stages (for Galois key generation).
+    pub fn required_rotations(&self) -> Vec<usize> {
+        let mut steps: Vec<usize> = self
+            .cts_stages
+            .iter()
+            .chain(self.stc_stages.iter())
+            .flat_map(|s| s.required_rotations())
+            .collect();
+        steps.sort_unstable();
+        steps.dedup();
+        steps
+    }
+
+    /// Number of linear-transform stages per direction.
+    pub fn stage_counts(&self) -> (usize, usize) {
+        (self.cts_stages.len(), self.stc_stages.len())
+    }
+
+    /// ModRaise: reinterprets a (nearly) exhausted ciphertext modulo `q_0` as a ciphertext over
+    /// the full modulus `Q`, which then encrypts `m + q_0·I` for a small integer polynomial `I`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidInput`] if the ciphertext is not at level 0.
+    pub fn mod_raise(&self, ct: &Ciphertext) -> Result<Ciphertext> {
+        if ct.level() != 0 {
+            return Err(CkksError::InvalidInput {
+                reason: format!(
+                    "mod_raise expects a level-0 ciphertext, got level {}",
+                    ct.level()
+                ),
+            });
+        }
+        let max_level = self.ctx.params().max_level;
+        let target_basis = self.ctx.basis_at_level(max_level)?;
+        let q0 = self.ctx.q_basis().modulus(0);
+        let raise = |poly: &RnsPolynomial| -> RnsPolynomial {
+            let signed: Vec<i64> = poly.limb(0).iter().map(|&c| q0.to_signed(c)).collect();
+            RnsPolynomial::from_signed_coeffs(&signed, &target_basis, Representation::Coefficient)
+        };
+        Ok(Ciphertext::from_parts(
+            raise(ct.c0()),
+            raise(ct.c1()),
+            ct.scale(),
+            max_level,
+        ))
+    }
+
+    /// CoeffToSlot: homomorphically applies the factored inverse encoding FFT and splits the
+    /// result into its real part (the lower coefficients) and imaginary part (the upper
+    /// coefficients) using one conjugation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing-key and level errors.
+    pub fn coeff_to_slot(
+        &self,
+        ct: &Ciphertext,
+        keys: &GaloisKeys,
+    ) -> Result<(Ciphertext, Ciphertext)> {
+        let mut current = ct.clone();
+        for stage in &self.cts_stages {
+            current = stage.apply_homomorphic(&self.evaluator, &current, keys)?;
+        }
+        // current holds w/2 (the 1/2 was folded into the last stage).
+        let conjugated = self.evaluator.conjugate(&current, keys)?;
+        let real = self.evaluator.add(&current, &conjugated)?;
+        let imag_times_i = self.evaluator.sub(&current, &conjugated)?;
+        // Multiply by -i = X^{3N/2} to turn i·Im(w) into Im(w).
+        let imag = self
+            .evaluator
+            .multiply_by_monomial(&imag_times_i, 3 * self.ctx.degree() / 2)?;
+        Ok((real, imag))
+    }
+
+    /// EvalMod: removes the `q_0·I` multiples from the slot values using the scaled-sine
+    /// Chebyshev approximation.
+    ///
+    /// The CoeffToSlot matrices already folded in the factor `Δ/(q_0·(K+1))`, so the logical
+    /// slot values arrive in `[-1, 1]`; the inverse factor lives in the SlotToCoeff matrices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn eval_mod(&self, ct: &Ciphertext, rlk: &RelinearizationKey) -> Result<Ciphertext> {
+        // Evaluate (1/2π)·sin(2π(K+1)·t); the result's logical value is ≈ Δ·z/q0 = m/q0.
+        self.sine.evaluate_homomorphic(&self.evaluator, ct, rlk)
+    }
+
+    /// SlotToCoeff: recombines the real/imaginary halves and homomorphically applies the
+    /// factored forward encoding FFT, returning the refreshed ciphertext in coefficient form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing-key and level errors.
+    pub fn slot_to_coeff(
+        &self,
+        real: &Ciphertext,
+        imag: &Ciphertext,
+        keys: &GaloisKeys,
+    ) -> Result<Ciphertext> {
+        let imag_i = self
+            .evaluator
+            .multiply_by_monomial(imag, self.ctx.degree() / 2)?;
+        let (a, b) = self.evaluator.align_for_addition(real, &imag_i)?;
+        let mut current = self.evaluator.add(&a, &b)?;
+        for stage in &self.stc_stages {
+            current = stage.apply_homomorphic(&self.evaluator, &current, keys)?;
+        }
+        Ok(current)
+    }
+
+    /// Full bootstrapping: ModRaise → CoeffToSlot → EvalMod (twice, for the real and imaginary
+    /// coefficient halves) → SlotToCoeff, then a final scale alignment.
+    ///
+    /// The returned ciphertext encrypts (approximately) the same message at the same scale, but
+    /// at a much higher level, so computation can continue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from every stage.
+    pub fn bootstrap(
+        &self,
+        ct: &Ciphertext,
+        rlk: &RelinearizationKey,
+        keys: &GaloisKeys,
+    ) -> Result<Ciphertext> {
+        let message_scale = ct.scale();
+        let default_scale = self.ctx.params().default_scale();
+        if (message_scale / default_scale - 1.0).abs() > 0.01 {
+            return Err(CkksError::InvalidInput {
+                reason: format!(
+                    "bootstrapping expects the input at the default scale {default_scale:e}, got {message_scale:e}"
+                ),
+            });
+        }
+        let raised = self.mod_raise(ct)?;
+        let (real, imag) = self.coeff_to_slot(&raised, keys)?;
+        let real_reduced = self.eval_mod(&real, rlk)?;
+        let imag_reduced = self.eval_mod(&imag, rlk)?;
+        let recombined = self.slot_to_coeff(&real_reduced, &imag_reduced, keys)?;
+        self.evaluator.match_scale(&recombined, message_scale)
+    }
+
+    /// Convenience: measures the slot-wise error between two plaintext decodings (used by
+    /// tests and the precision experiments).
+    pub fn max_slot_error(&self, a: &Plaintext, b: &Plaintext) -> f64 {
+        let encoder = self.evaluator.encoder();
+        let da = encoder.decode(a);
+        let db = encoder.decode(b);
+        da.iter()
+            .zip(db.iter())
+            .map(|(x, y)| (*x - *y).norm())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        CkksParams, Decryptor, Encoder, Encryptor, KeyGenerator, SecretKey,
+    };
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    struct Fixture {
+        ctx: Arc<CkksContext>,
+        encoder: Encoder,
+        encryptor: Encryptor,
+        decryptor: Decryptor,
+        evaluator: Evaluator,
+        bootstrapper: Bootstrapper,
+        rlk: RelinearizationKey,
+        keys: GaloisKeys,
+        rng: ChaCha20Rng,
+    }
+
+    fn fixture() -> Fixture {
+        let ctx = CkksContext::new_arc(CkksParams::bootstrap_testing()).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(2024);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+        let pk = keygen.public_key(&mut rng);
+        let rlk = keygen.relinearization_key(&mut rng);
+        let bootstrapper = Bootstrapper::new(
+            ctx.clone(),
+            BootstrapParams {
+                eval_mod_degree: 159,
+                k_range: 16.0,
+                fft_iter: 3,
+            },
+        )
+        .unwrap();
+        let keys = keygen
+            .galois_keys(&bootstrapper.required_rotations(), true, &mut rng)
+            .unwrap();
+        Fixture {
+            encoder: Encoder::new(ctx.clone()),
+            encryptor: Encryptor::new(ctx.clone(), pk),
+            decryptor: Decryptor::new(ctx.clone(), sk),
+            evaluator: Evaluator::new(ctx.clone()),
+            ctx,
+            bootstrapper,
+            rlk,
+            keys,
+            rng,
+        }
+    }
+
+    #[test]
+    fn mod_raise_requires_level_zero_and_raises_to_max() {
+        let mut f = fixture();
+        let scale = f.ctx.params().default_scale();
+        let pt = f.encoder.encode_real(&[0.5, -0.25], scale, 0).unwrap();
+        let ct = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
+        let raised = f.bootstrapper.mod_raise(&ct).unwrap();
+        assert_eq!(raised.level(), f.ctx.params().max_level);
+        assert_eq!(raised.scale(), ct.scale());
+        // A ciphertext at a higher level is rejected.
+        let pt_high = f.encoder.encode_real(&[0.5], scale, 2).unwrap();
+        let ct_high = f.encryptor.encrypt(&pt_high, &mut f.rng).unwrap();
+        assert!(f.bootstrapper.mod_raise(&ct_high).is_err());
+    }
+
+    #[test]
+    fn coeff_to_slot_then_slot_to_coeff_is_identity_without_eval_mod() {
+        // Replace EvalMod by an exact multiplication with (K+1): the CoeffToSlot matrices fold
+        // in 1/(q0·(K+1)) and the SlotToCoeff matrices fold in q0, so with the extra (K+1) the
+        // round trip reproduces the raised polynomial m + q0·I exactly, and the q0·I multiples
+        // vanish modulo q0 at decode time. This isolates the linear transforms from the sine.
+        let mut f = fixture();
+        let scale = f.ctx.params().default_scale();
+        let n = f.ctx.slot_count();
+        let k1 = f.bootstrapper.params().k_range + 1.0;
+        let values: Vec<f64> = (0..n).map(|i| ((i % 37) as f64 - 18.0) / 40.0).collect();
+        let pt = f.encoder.encode_real(&values, scale, 0).unwrap();
+        let ct = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
+        let raised = f.bootstrapper.mod_raise(&ct).unwrap();
+        let (real, imag) = f.bootstrapper.coeff_to_slot(&raised, &f.keys).unwrap();
+        let real = f
+            .evaluator
+            .multiply_scalar(&real, Complex64::new(k1, 0.0))
+            .unwrap();
+        let imag = f
+            .evaluator
+            .multiply_scalar(&imag, Complex64::new(k1, 0.0))
+            .unwrap();
+        let back = f
+            .bootstrapper
+            .slot_to_coeff(&real, &imag, &f.keys)
+            .unwrap();
+        let decoded = f.encoder.decode_real(&f.decryptor.decrypt(&back).unwrap());
+        for i in 0..64 {
+            assert!(
+                (decoded[i] - values[i]).abs() < 2e-2,
+                "slot {i}: {} vs {}",
+                decoded[i],
+                values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn full_bootstrap_refreshes_levels_and_preserves_message() {
+        let mut f = fixture();
+        let scale = f.ctx.params().default_scale();
+        let n = f.ctx.slot_count();
+        let values: Vec<f64> = (0..n)
+            .map(|i| 0.4 * ((i as f64) * 0.05).sin())
+            .collect();
+        let pt = f.encoder.encode_real(&values, scale, 0).unwrap();
+        let ct = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
+        assert_eq!(ct.level(), 0);
+
+        let refreshed = f.bootstrapper.bootstrap(&ct, &f.rlk, &f.keys).unwrap();
+        assert!(
+            refreshed.level() >= 2,
+            "bootstrapping must leave usable levels, got {}",
+            refreshed.level()
+        );
+        let decoded = f
+            .encoder
+            .decode_real(&f.decryptor.decrypt(&refreshed).unwrap());
+        let max_err = decoded
+            .iter()
+            .zip(&values)
+            .map(|(d, v)| (d - v).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_err < 5e-2,
+            "bootstrapping error too large: {max_err}"
+        );
+
+        // The refreshed ciphertext supports further computation: square it and check.
+        let squared = f
+            .evaluator
+            .multiply_rescale(&refreshed, &refreshed, &f.rlk)
+            .unwrap();
+        let decoded_sq = f
+            .encoder
+            .decode_real(&f.decryptor.decrypt(&squared).unwrap());
+        for i in 0..32 {
+            assert!(
+                (decoded_sq[i] - values[i] * values[i]).abs() < 1e-1,
+                "post-bootstrap multiply failed at slot {i}: {} vs {}",
+                decoded_sq[i],
+                values[i] * values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bootstrapper_reports_stage_structure() {
+        let f = fixture();
+        let (cts, stc) = f.bootstrapper.stage_counts();
+        assert_eq!(cts, 3);
+        assert_eq!(stc, 3);
+        assert!(!f.bootstrapper.required_rotations().is_empty());
+        // Every required rotation is below the slot count.
+        assert!(f
+            .bootstrapper
+            .required_rotations()
+            .iter()
+            .all(|&r| r < f.ctx.slot_count()));
+    }
+
+    #[test]
+    fn bootstrapper_rejects_parameter_sets_without_levels() {
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        assert!(Bootstrapper::new(ctx, BootstrapParams::default()).is_err());
+    }
+
+    #[test]
+    fn for_scheme_derives_reasonable_defaults() {
+        let params = CkksParams::bootstrap_testing();
+        let bp = BootstrapParams::for_scheme(&params);
+        assert!(bp.k_range >= 12.0);
+        assert!(bp.eval_mod_degree >= 63);
+        assert_eq!(bp.fft_iter, params.fft_iter);
+        let non_sparse = CkksParams::fab_paper();
+        let bp2 = BootstrapParams::for_scheme(&non_sparse);
+        assert!(bp2.k_range > bp.k_range || non_sparse.secret_hamming_weight.is_none());
+    }
+}

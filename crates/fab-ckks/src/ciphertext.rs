@@ -1,0 +1,125 @@
+//! Plaintext and ciphertext containers.
+
+use fab_rns::RnsPolynomial;
+
+/// An encoded (but not encrypted) CKKS message: a scaled integer polynomial over `Q_level`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plaintext {
+    pub(crate) poly: RnsPolynomial,
+    /// The encoding scale `Δ` this plaintext was encoded at.
+    pub scale: f64,
+    /// The level (index of the last limb of `Q` present).
+    pub level: usize,
+}
+
+impl Plaintext {
+    /// Creates a plaintext from its parts. Intended for scheme-internal use and tests.
+    pub fn from_parts(poly: RnsPolynomial, scale: f64, level: usize) -> Self {
+        Self { poly, scale, level }
+    }
+
+    /// The underlying RNS polynomial.
+    pub fn poly(&self) -> &RnsPolynomial {
+        &self.poly
+    }
+
+    /// The encoding scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The level of the plaintext.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Number of limbs (`level + 1`).
+    pub fn limb_count(&self) -> usize {
+        self.poly.limb_count()
+    }
+}
+
+/// A CKKS ciphertext: two ring elements `(c_0, c_1)` over `Q_level` such that
+/// `c_0 + c_1·s ≈ Δ·m`.
+///
+/// Both polynomials are kept in coefficient representation between operations; the evaluator
+/// switches to evaluation (NTT) form internally where needed, mirroring the representation
+/// switches in the FAB datapath.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ciphertext {
+    pub(crate) c0: RnsPolynomial,
+    pub(crate) c1: RnsPolynomial,
+    /// The current scale `Δ` of the encrypted message.
+    pub scale: f64,
+    /// The current level (index of the last limb of `Q` present).
+    pub level: usize,
+}
+
+impl Ciphertext {
+    /// Creates a ciphertext from its parts. Intended for scheme-internal use and tests.
+    pub fn from_parts(c0: RnsPolynomial, c1: RnsPolynomial, scale: f64, level: usize) -> Self {
+        Self {
+            c0,
+            c1,
+            scale,
+            level,
+        }
+    }
+
+    /// The `c_0` component.
+    pub fn c0(&self) -> &RnsPolynomial {
+        &self.c0
+    }
+
+    /// The `c_1` component.
+    pub fn c1(&self) -> &RnsPolynomial {
+        &self.c1
+    }
+
+    /// The current scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The current level.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Number of limbs (`level + 1`).
+    pub fn limb_count(&self) -> usize {
+        self.c0.limb_count()
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.c0.degree()
+    }
+
+    /// Size of this ciphertext in bytes when packed at the limb bit-width `log q`.
+    pub fn packed_bytes(&self, limb_bits: u32) -> usize {
+        2 * self.limb_count() * self.degree() * limb_bits as usize / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fab_rns::Representation;
+
+    #[test]
+    fn accessors_report_consistent_shape() {
+        let poly = RnsPolynomial::zero(64, 3, Representation::Coefficient);
+        let pt = Plaintext::from_parts(poly.clone(), 2f64.powi(40), 2);
+        assert_eq!(pt.limb_count(), 3);
+        assert_eq!(pt.level(), 2);
+        assert_eq!(pt.scale(), 2f64.powi(40));
+
+        let ct = Ciphertext::from_parts(poly.clone(), poly, 2f64.powi(40), 2);
+        assert_eq!(ct.limb_count(), 3);
+        assert_eq!(ct.degree(), 64);
+        assert_eq!(ct.level(), 2);
+        // 2 ring elements × 3 limbs × 64 coefficients × 40 bits / 8.
+        assert_eq!(ct.packed_bytes(40), 2 * 3 * 64 * 5);
+    }
+}

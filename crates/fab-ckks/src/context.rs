@@ -1,0 +1,252 @@
+//! The CKKS context: limb moduli, NTT tables, and the encoding FFT for one parameter set.
+
+use std::sync::Arc;
+
+use fab_math::{generate_ntt_primes, Modulus, SpecialFft};
+use fab_rns::RnsBasis;
+
+use crate::{CkksError, CkksParams, Result};
+
+/// Shared precomputed state for one CKKS parameter set: the limb moduli of `Q` and `P`, their
+/// NTT tables, and the special FFT used by the encoder.
+///
+/// Contexts are created once and shared (e.g. behind an [`Arc`]) by encoders, key generators,
+/// encryptors and evaluators.
+///
+/// ```
+/// use fab_ckks::{CkksContext, CkksParams};
+///
+/// # fn main() -> Result<(), fab_ckks::CkksError> {
+/// let ctx = CkksContext::new(CkksParams::testing())?;
+/// assert_eq!(ctx.q_basis().len(), CkksParams::testing().total_q_limbs());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CkksContext {
+    params: CkksParams,
+    q_basis: RnsBasis,
+    p_basis: RnsBasis,
+    full_basis: RnsBasis,
+    fft: Arc<SpecialFft>,
+}
+
+impl CkksContext {
+    /// Builds the context: generates the limb primes, NTT tables and encoder FFT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidParameters`] if the parameters are inconsistent, or
+    /// propagates prime-generation / table-construction errors.
+    pub fn new(params: CkksParams) -> Result<Self> {
+        params.validate()?;
+        let degree = params.degree();
+        let scaling_limbs = params.total_q_limbs() - 1;
+        let special_limbs = params.special_limbs();
+
+        // Generate limb primes. The special (extension) primes use the first-prime width so
+        // that `P` always exceeds the largest key-switching digit product — the constraint the
+        // paper states in Section 2.1.5 ("P must be larger than the largest product of the
+        // limbs in a single digit of Q"). When widths coincide (as in the paper's uniform
+        // 54-bit set), every prime is drawn from a single decreasing stream so limbs stay
+        // distinct.
+        let (first_prime, scaling_primes, special_primes) =
+            if params.first_prime_bits == params.scale_bits {
+                let all = generate_ntt_primes(
+                    params.scale_bits,
+                    degree,
+                    1 + scaling_limbs + special_limbs,
+                )?;
+                (
+                    all[0],
+                    all[1..1 + scaling_limbs].to_vec(),
+                    all[1 + scaling_limbs..].to_vec(),
+                )
+            } else {
+                let wide = generate_ntt_primes(params.first_prime_bits, degree, 1 + special_limbs)?;
+                let scaling = generate_ntt_primes(params.scale_bits, degree, scaling_limbs)?;
+                (wide[0], scaling, wide[1..].to_vec())
+            };
+
+        let mut q_moduli = Vec::with_capacity(params.total_q_limbs());
+        q_moduli.push(Modulus::new(first_prime)?);
+        for p in scaling_primes {
+            q_moduli.push(Modulus::new(p)?);
+        }
+        let p_moduli = special_primes
+            .into_iter()
+            .map(Modulus::new)
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+
+        let q_basis = RnsBasis::new(degree, q_moduli)?;
+        let p_basis = RnsBasis::new(degree, p_moduli)?;
+        let full_basis = q_basis.concat(&p_basis)?;
+        let fft = Arc::new(SpecialFft::new(degree)?);
+
+        Ok(Self {
+            params,
+            q_basis,
+            p_basis,
+            full_basis,
+            fft,
+        })
+    }
+
+    /// Convenience constructor returning the context behind an [`Arc`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CkksContext::new`].
+    pub fn new_arc(params: CkksParams) -> Result<Arc<Self>> {
+        Ok(Arc::new(Self::new(params)?))
+    }
+
+    /// The parameter set this context was built for.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.params.degree()
+    }
+
+    /// Slot count `N/2`.
+    pub fn slot_count(&self) -> usize {
+        self.params.slot_count()
+    }
+
+    /// The modulus chain of `Q` (limbs `q_0 … q_L`).
+    pub fn q_basis(&self) -> &RnsBasis {
+        &self.q_basis
+    }
+
+    /// The special-prime basis `P`.
+    pub fn p_basis(&self) -> &RnsBasis {
+        &self.p_basis
+    }
+
+    /// The full raised basis `Q ∪ P` (limb order `[q_0 … q_L, p_0 … p_{α-1}]`).
+    pub fn full_basis(&self) -> &RnsBasis {
+        &self.full_basis
+    }
+
+    /// The sub-basis of `Q` for a ciphertext at `level` (limbs `q_0 … q_level`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::LevelMismatch`]-style parameter errors if the level exceeds `L`.
+    pub fn basis_at_level(&self, level: usize) -> Result<RnsBasis> {
+        if level > self.params.max_level {
+            return Err(CkksError::InvalidParameters {
+                reason: format!(
+                    "level {level} exceeds maximum level {}",
+                    self.params.max_level
+                ),
+            });
+        }
+        Ok(self.q_basis.prefix(level + 1)?)
+    }
+
+    /// The basis `Q_level ∪ P` used during key switching at `level`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::basis_at_level`].
+    pub fn raised_basis_at_level(&self, level: usize) -> Result<RnsBasis> {
+        let q = self.basis_at_level(level)?;
+        Ok(q.concat(&self.p_basis)?)
+    }
+
+    /// The special FFT used by the encoder and the bootstrapping matrices.
+    pub fn fft(&self) -> &SpecialFft {
+        &self.fft
+    }
+
+    /// The scaling prime consumed when rescaling from `level` (i.e. `q_level`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero or exceeds the maximum level.
+    pub fn rescale_prime(&self, level: usize) -> u64 {
+        assert!(level >= 1 && level <= self.params.max_level);
+        self.q_basis.modulus(level).value()
+    }
+
+    /// `log2` of the product of the `P` limbs (used for noise bookkeeping).
+    pub fn log_p(&self) -> f64 {
+        self.p_basis.product_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_limb_counts_match_params() {
+        let params = CkksParams::testing();
+        let ctx = CkksContext::new(params.clone()).unwrap();
+        assert_eq!(ctx.q_basis().len(), params.total_q_limbs());
+        assert_eq!(ctx.p_basis().len(), params.special_limbs());
+        assert_eq!(ctx.full_basis().len(), params.total_raised_limbs());
+        assert_eq!(ctx.degree(), params.degree());
+    }
+
+    #[test]
+    fn all_limbs_are_distinct() {
+        let ctx = CkksContext::new(CkksParams::testing()).unwrap();
+        let mut values = ctx.full_basis().values();
+        values.sort_unstable();
+        let before = values.len();
+        values.dedup();
+        assert_eq!(values.len(), before, "limb moduli must be pairwise distinct");
+    }
+
+    #[test]
+    fn first_prime_is_wider_than_scaling_primes() {
+        let params = CkksParams::testing();
+        let ctx = CkksContext::new(params.clone()).unwrap();
+        assert_eq!(ctx.q_basis().modulus(0).bits(), params.first_prime_bits);
+        for i in 1..ctx.q_basis().len() {
+            assert_eq!(ctx.q_basis().modulus(i).bits(), params.scale_bits);
+        }
+    }
+
+    #[test]
+    fn basis_at_level_prefixes_the_chain() {
+        let ctx = CkksContext::new(CkksParams::testing()).unwrap();
+        let b3 = ctx.basis_at_level(3).unwrap();
+        assert_eq!(b3.len(), 4);
+        assert_eq!(b3.values(), ctx.q_basis().values()[..4].to_vec());
+        assert!(ctx.basis_at_level(100).is_err());
+        let raised = ctx.raised_basis_at_level(2).unwrap();
+        assert_eq!(raised.len(), 3 + ctx.p_basis().len());
+    }
+
+    #[test]
+    fn uniform_limb_width_generation_keeps_limbs_distinct() {
+        // When first_prime_bits == scale_bits (as in the paper set) all limbs come from one
+        // stream; check with a small same-width configuration.
+        let params = CkksParams::builder()
+            .log_n(10)
+            .scale_bits(40)
+            .first_prime_bits(40)
+            .max_level(4)
+            .dnum(2)
+            .build()
+            .unwrap();
+        let ctx = CkksContext::new(params).unwrap();
+        let mut values = ctx.full_basis().values();
+        values.sort_unstable();
+        let before = values.len();
+        values.dedup();
+        assert_eq!(values.len(), before);
+    }
+
+    #[test]
+    fn rescale_prime_indexing() {
+        let ctx = CkksContext::new(CkksParams::testing()).unwrap();
+        assert_eq!(ctx.rescale_prime(3), ctx.q_basis().modulus(3).value());
+    }
+}

@@ -1,0 +1,249 @@
+//! Encryption and decryption.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::sampling;
+use crate::{Ciphertext, CkksContext, CkksError, Plaintext, PublicKey, Result, SecretKey};
+
+/// Public-key encryptor.
+///
+/// ```
+/// use fab_ckks::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, KeyGenerator, SecretKey};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), fab_ckks::CkksError> {
+/// let ctx = CkksContext::new_arc(CkksParams::testing())?;
+/// let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(1);
+/// let sk = SecretKey::generate(&ctx, &mut rng);
+/// let keygen = KeyGenerator::new(ctx.clone(), sk);
+/// let pk = keygen.public_key(&mut rng);
+/// let encoder = Encoder::new(ctx.clone());
+/// let encryptor = Encryptor::new(ctx.clone(), pk);
+/// let decryptor = Decryptor::new(ctx.clone(), keygen.secret_key().clone());
+///
+/// let pt = encoder.encode_real(&[1.5, -2.0], ctx.params().default_scale(), 2)?;
+/// let ct = encryptor.encrypt(&pt, &mut rng)?;
+/// let decoded = encoder.decode_real(&decryptor.decrypt(&ct)?);
+/// assert!((decoded[0] - 1.5).abs() < 1e-3);
+/// assert!((decoded[1] + 2.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Encryptor {
+    ctx: Arc<CkksContext>,
+    public_key: PublicKey,
+}
+
+impl Encryptor {
+    /// Creates an encryptor from a public key.
+    pub fn new(ctx: Arc<CkksContext>, public_key: PublicKey) -> Self {
+        Self { ctx, public_key }
+    }
+
+    /// Encrypts a plaintext at the plaintext's level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/level errors.
+    pub fn encrypt<R: Rng + ?Sized>(&self, pt: &Plaintext, rng: &mut R) -> Result<Ciphertext> {
+        let level = pt.level;
+        let basis = self.ctx.basis_at_level(level)?;
+        let limbs = level + 1;
+        let degree = self.ctx.degree();
+        let std = self.ctx.params().error_std;
+
+        // Ephemeral randomness.
+        let v_coeffs = sampling::sample_ternary_coeffs(rng, degree);
+        let mut v = sampling::lift_signed(&v_coeffs, &basis);
+        v.to_evaluation(&basis);
+        let e0_coeffs = sampling::sample_gaussian_coeffs(rng, degree, std);
+        let e1_coeffs = sampling::sample_gaussian_coeffs(rng, degree, std);
+        let mut e0 = sampling::lift_signed(&e0_coeffs, &basis);
+        let mut e1 = sampling::lift_signed(&e1_coeffs, &basis);
+        e0.to_evaluation(&basis);
+        e1.to_evaluation(&basis);
+
+        // Public key restricted to the ciphertext level.
+        let b = self.public_key.b().prefix(limbs)?;
+        let a = self.public_key.a().prefix(limbs)?;
+
+        let mut m = pt.poly().clone();
+        m.to_evaluation(&basis);
+
+        // c0 = v*b + e0 + m,  c1 = v*a + e1.
+        let mut c0 = v.mul(&b, &basis)?.add(&e0, &basis)?.add(&m, &basis)?;
+        let mut c1 = v.mul(&a, &basis)?.add(&e1, &basis)?;
+        c0.to_coefficient(&basis);
+        c1.to_coefficient(&basis);
+        Ok(Ciphertext::from_parts(c0, c1, pt.scale, level))
+    }
+}
+
+/// Secret-key decryptor.
+#[derive(Debug, Clone)]
+pub struct Decryptor {
+    ctx: Arc<CkksContext>,
+    secret: SecretKey,
+}
+
+impl Decryptor {
+    /// Creates a decryptor from the secret key.
+    pub fn new(ctx: Arc<CkksContext>, secret: SecretKey) -> Self {
+        Self { ctx, secret }
+    }
+
+    /// Decrypts a ciphertext into a plaintext (`m ≈ c_0 + c_1·s`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidParameters`] if the ciphertext level exceeds the context's
+    /// maximum level.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Result<Plaintext> {
+        let level = ct.level;
+        let basis = self.ctx.basis_at_level(level)?;
+        let s = self.secret.q_eval_prefix(level + 1);
+        let mut c0 = ct.c0().clone();
+        let mut c1 = ct.c1().clone();
+        c0.to_evaluation(&basis);
+        c1.to_evaluation(&basis);
+        let mut m = c0.add(&c1.mul(&s, &basis)?, &basis)?;
+        m.to_coefficient(&basis);
+        Ok(Plaintext::from_parts(m, ct.scale, level))
+    }
+
+    /// Estimates the noise budget of a ciphertext against a reference plaintext, returning the
+    /// maximum absolute coefficient error in the first limb (scaled units). Useful in tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decryption errors.
+    pub fn coefficient_error(&self, ct: &Ciphertext, reference: &Plaintext) -> Result<f64> {
+        if ct.level > reference.level {
+            return Err(CkksError::LevelMismatch {
+                left: ct.level,
+                right: reference.level,
+            });
+        }
+        let decrypted = self.decrypt(ct)?;
+        let q0 = self.ctx.q_basis().modulus(0);
+        let mut max_err = 0.0f64;
+        for (a, b) in decrypted
+            .poly()
+            .limb(0)
+            .iter()
+            .zip(reference.poly().limb(0).iter())
+        {
+            let diff = (q0.to_signed(*a) - q0.to_signed(*b)).abs() as f64;
+            max_err = max_err.max(diff);
+        }
+        Ok(max_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CkksParams, Encoder, KeyGenerator};
+    use fab_math::Complex64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    struct Fixture {
+        ctx: Arc<CkksContext>,
+        encoder: Encoder,
+        encryptor: Encryptor,
+        decryptor: Decryptor,
+        rng: ChaCha20Rng,
+    }
+
+    fn fixture() -> Fixture {
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+        let pk = keygen.public_key(&mut rng);
+        Fixture {
+            ctx: ctx.clone(),
+            encoder: Encoder::new(ctx.clone()),
+            encryptor: Encryptor::new(ctx.clone(), pk),
+            decryptor: Decryptor::new(ctx, sk),
+            rng,
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut f = fixture();
+        let scale = f.ctx.params().default_scale();
+        let values: Vec<Complex64> = (0..200)
+            .map(|i| Complex64::new((i as f64 * 0.1).sin() * 2.0, (i as f64 * 0.05).cos()))
+            .collect();
+        let pt = f.encoder.encode(&values, scale, f.ctx.params().max_level).unwrap();
+        let ct = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
+        let decoded = f.encoder.decode(&f.decryptor.decrypt(&ct).unwrap());
+        for (d, v) in decoded.iter().zip(&values) {
+            assert!((*d - *v).norm() < 1e-3, "decryption error too large");
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomised() {
+        let mut f = fixture();
+        let scale = f.ctx.params().default_scale();
+        let pt = f.encoder.encode_real(&[1.0, 2.0, 3.0], scale, 2).unwrap();
+        let ct1 = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
+        let ct2 = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
+        assert_ne!(ct1.c0(), ct2.c0(), "two encryptions must differ");
+        // Both decrypt to the same message.
+        let d1 = f.encoder.decode_real(&f.decryptor.decrypt(&ct1).unwrap());
+        let d2 = f.encoder.decode_real(&f.decryptor.decrypt(&ct2).unwrap());
+        for i in 0..3 {
+            assert!((d1[i] - d2[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn encryption_at_lower_levels() {
+        let mut f = fixture();
+        let scale = f.ctx.params().default_scale();
+        for level in [0usize, 1, 3] {
+            let pt = f.encoder.encode_real(&[0.5, -0.25], scale, level).unwrap();
+            let ct = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
+            assert_eq!(ct.level(), level);
+            assert_eq!(ct.limb_count(), level + 1);
+            let decoded = f.encoder.decode_real(&f.decryptor.decrypt(&ct).unwrap());
+            assert!((decoded[0] - 0.5).abs() < 1e-3);
+            assert!((decoded[1] + 0.25).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ciphertext_noise_is_small_in_coefficient_units() {
+        let mut f = fixture();
+        let scale = f.ctx.params().default_scale();
+        let pt = f.encoder.encode_real(&[1.0; 16], scale, 4).unwrap();
+        let ct = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
+        let err = f.decryptor.coefficient_error(&ct, &pt).unwrap();
+        // Fresh encryption noise is a few thousand coefficient units — far below the 2^40 scale.
+        assert!(err > 0.0, "noise should be nonzero");
+        assert!(err < 1e6, "fresh noise too large: {err}");
+    }
+
+    #[test]
+    fn decrypting_with_wrong_key_garbles_message() {
+        let mut f = fixture();
+        let scale = f.ctx.params().default_scale();
+        let pt = f.encoder.encode_real(&[3.0], scale, 2).unwrap();
+        let ct = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
+        let wrong_sk = SecretKey::generate(&f.ctx, &mut f.rng);
+        let wrong = Decryptor::new(f.ctx.clone(), wrong_sk);
+        let decoded = f.encoder.decode_real(&wrong.decrypt(&ct).unwrap());
+        assert!(
+            (decoded[0] - 3.0).abs() > 1.0,
+            "wrong key should not recover the message"
+        );
+    }
+}

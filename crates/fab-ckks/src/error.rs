@@ -1,0 +1,147 @@
+//! Error type for the CKKS scheme implementation.
+
+use std::fmt;
+
+/// Errors produced by the CKKS scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CkksError {
+    /// An underlying arithmetic error.
+    Math(fab_math::MathError),
+    /// An underlying RNS error.
+    Rns(fab_rns::RnsError),
+    /// Parameter validation failed.
+    InvalidParameters {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The operands are at incompatible levels.
+    LevelMismatch {
+        /// Level of the first operand.
+        left: usize,
+        /// Level of the second operand.
+        right: usize,
+    },
+    /// The operands have incompatible scales.
+    ScaleMismatch {
+        /// Scale of the first operand.
+        left: f64,
+        /// Scale of the second operand.
+        right: f64,
+    },
+    /// The ciphertext has no levels left for the requested operation.
+    LevelExhausted {
+        /// The operation that was requested.
+        operation: &'static str,
+    },
+    /// The required key (rotation, conjugation, relinearisation) was not provided.
+    MissingKey {
+        /// Description of the missing key.
+        description: String,
+    },
+    /// The requested slot count or input length is invalid.
+    InvalidInput {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CkksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkksError::Math(e) => write!(f, "arithmetic error: {e}"),
+            CkksError::Rns(e) => write!(f, "rns error: {e}"),
+            CkksError::InvalidParameters { reason } => write!(f, "invalid parameters: {reason}"),
+            CkksError::LevelMismatch { left, right } => {
+                write!(f, "level mismatch: {left} vs {right}")
+            }
+            CkksError::ScaleMismatch { left, right } => {
+                write!(f, "scale mismatch: {left:e} vs {right:e}")
+            }
+            CkksError::LevelExhausted { operation } => {
+                write!(f, "no levels remaining for {operation} (bootstrapping required)")
+            }
+            CkksError::MissingKey { description } => write!(f, "missing key: {description}"),
+            CkksError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CkksError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkksError::Math(e) => Some(e),
+            CkksError::Rns(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fab_math::MathError> for CkksError {
+    fn from(e: fab_math::MathError) -> Self {
+        CkksError::Math(e)
+    }
+}
+
+impl From<fab_rns::RnsError> for CkksError {
+    fn from(e: fab_rns::RnsError) -> Self {
+        CkksError::Rns(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let errors: Vec<CkksError> = vec![
+            fab_math::MathError::PrimeNotFound {
+                bits: 54,
+                degree: 4,
+            }
+            .into(),
+            fab_rns::RnsError::WrongRepresentation {
+                expected: "coefficient",
+            }
+            .into(),
+            CkksError::InvalidParameters {
+                reason: "dnum must divide limbs".into(),
+            },
+            CkksError::LevelMismatch { left: 3, right: 5 },
+            CkksError::ScaleMismatch {
+                left: 2.0f64.powi(40),
+                right: 2.0f64.powi(41),
+            },
+            CkksError::LevelExhausted {
+                operation: "multiply",
+            },
+            CkksError::MissingKey {
+                description: "rotation by 3".into(),
+            },
+            CkksError::InvalidInput {
+                reason: "too many slots".into(),
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains_to_underlying_errors() {
+        let e: CkksError = fab_math::MathError::InvalidDegree {
+            degree: 3,
+            reason: "odd",
+        }
+        .into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CkksError::LevelMismatch { left: 0, right: 1 };
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CkksError>();
+    }
+}

@@ -1,0 +1,897 @@
+//! Homomorphic operations: addition, multiplication, rescaling, rotation, conjugation, and the
+//! hybrid key-switching core (Decomp → ModUp → KSKIP → ModDown, Figure 5 of the paper).
+
+use std::sync::Arc;
+
+use fab_math::{galois_element_for_conjugation, galois_element_for_rotation, Complex64};
+use fab_rns::{ops, Representation, RnsBasis, RnsPolynomial};
+
+use crate::{
+    Ciphertext, CkksContext, CkksError, Encoder, GaloisKeys, Plaintext, RelinearizationKey,
+    Result, SwitchingKey,
+};
+
+/// Relative tolerance used when checking that two scales are compatible for addition.
+const SCALE_TOLERANCE: f64 = 1e-6;
+
+/// Executes homomorphic operations over ciphertexts.
+///
+/// All ciphertexts are kept in coefficient representation between operations; the evaluator
+/// performs the NTT/iNTT transitions internally, mirroring the representation switches of the
+/// FAB datapath (Section 4.5–4.6).
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    ctx: Arc<CkksContext>,
+    encoder: Encoder,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for the given context.
+    pub fn new(ctx: Arc<CkksContext>) -> Self {
+        let encoder = Encoder::new(ctx.clone());
+        Self { ctx, encoder }
+    }
+
+    /// The context this evaluator is bound to.
+    pub fn context(&self) -> &Arc<CkksContext> {
+        &self.ctx
+    }
+
+    /// The encoder used for scalar/plaintext helpers.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    // ---------------------------------------------------------------- additive operations
+
+    /// Homomorphic addition. Operands at different levels are aligned to the lower level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::ScaleMismatch`] if the scales differ by more than the tolerance.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        let (a, b) = self.align_levels(a, b)?;
+        self.check_scales(a.scale, b.scale)?;
+        let basis = self.ctx.basis_at_level(a.level)?;
+        Ok(Ciphertext::from_parts(
+            a.c0.add(&b.c0, &basis)?,
+            a.c1.add(&b.c1, &basis)?,
+            a.scale,
+            a.level,
+        ))
+    }
+
+    /// Homomorphic subtraction (`a - b`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::add`].
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        let (a, b) = self.align_levels(a, b)?;
+        self.check_scales(a.scale, b.scale)?;
+        let basis = self.ctx.basis_at_level(a.level)?;
+        Ok(Ciphertext::from_parts(
+            a.c0.sub(&b.c0, &basis)?,
+            a.c1.sub(&b.c1, &basis)?,
+            a.scale,
+            a.level,
+        ))
+    }
+
+    /// Homomorphic negation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates level errors.
+    pub fn negate(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        let basis = self.ctx.basis_at_level(a.level)?;
+        Ok(Ciphertext::from_parts(
+            a.c0.neg(&basis),
+            a.c1.neg(&basis),
+            a.scale,
+            a.level,
+        ))
+    }
+
+    /// Adds an encoded plaintext to a ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::ScaleMismatch`] / [`CkksError::LevelMismatch`] on shape problems.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext> {
+        self.check_scales(a.scale, pt.scale)?;
+        if pt.level < a.level {
+            return Err(CkksError::LevelMismatch {
+                left: a.level,
+                right: pt.level,
+            });
+        }
+        let basis = self.ctx.basis_at_level(a.level)?;
+        let pt_poly = pt.poly.prefix(a.level + 1)?;
+        Ok(Ciphertext::from_parts(
+            a.c0.add(&pt_poly, &basis)?,
+            a.c1.clone(),
+            a.scale,
+            a.level,
+        ))
+    }
+
+    /// Subtracts an encoded plaintext from a ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::add_plain`].
+    pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext> {
+        self.check_scales(a.scale, pt.scale)?;
+        if pt.level < a.level {
+            return Err(CkksError::LevelMismatch {
+                left: a.level,
+                right: pt.level,
+            });
+        }
+        let basis = self.ctx.basis_at_level(a.level)?;
+        let pt_poly = pt.poly.prefix(a.level + 1)?;
+        Ok(Ciphertext::from_parts(
+            a.c0.sub(&pt_poly, &basis)?,
+            a.c1.clone(),
+            a.scale,
+            a.level,
+        ))
+    }
+
+    /// Adds the same complex constant to every slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn add_scalar(&self, a: &Ciphertext, scalar: Complex64) -> Result<Ciphertext> {
+        let pt = self.encoder.encode_constant(scalar, a.scale, a.level)?;
+        self.add_plain(a, &pt)
+    }
+
+    // ------------------------------------------------------------ multiplicative operations
+
+    /// Plaintext multiplication (no rescale). The result scale is the product of scales.
+    ///
+    /// # Errors
+    ///
+    /// Returns level errors if the plaintext holds fewer limbs than the ciphertext.
+    pub fn multiply_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext> {
+        if pt.level < a.level {
+            return Err(CkksError::LevelMismatch {
+                left: a.level,
+                right: pt.level,
+            });
+        }
+        let basis = self.ctx.basis_at_level(a.level)?;
+        let mut p = pt.poly.prefix(a.level + 1)?;
+        p.to_evaluation(&basis);
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.to_evaluation(&basis);
+        c1.to_evaluation(&basis);
+        let mut r0 = c0.mul(&p, &basis)?;
+        let mut r1 = c1.mul(&p, &basis)?;
+        r0.to_coefficient(&basis);
+        r1.to_coefficient(&basis);
+        Ok(Ciphertext::from_parts(r0, r1, a.scale * pt.scale, a.level))
+    }
+
+    /// Multiplies every slot by a complex scalar encoded at the current level's rescaling
+    /// prime, then rescales — the scale is preserved while one level is consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::LevelExhausted`] at level 0 and propagates encoding errors.
+    pub fn multiply_scalar(&self, a: &Ciphertext, scalar: Complex64) -> Result<Ciphertext> {
+        if a.level == 0 {
+            return Err(CkksError::LevelExhausted {
+                operation: "multiply_scalar",
+            });
+        }
+        let prime = self.ctx.rescale_prime(a.level) as f64;
+        let pt = self.encoder.encode_constant(scalar, prime, a.level)?;
+        let product = self.multiply_plain(a, &pt)?;
+        self.rescale(&product)
+    }
+
+    /// Ciphertext–ciphertext multiplication with relinearisation (no rescale). The result
+    /// scale is the product of the operand scales.
+    ///
+    /// # Errors
+    ///
+    /// Propagates level and key errors.
+    pub fn multiply(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        rlk: &RelinearizationKey,
+    ) -> Result<Ciphertext> {
+        let (a, b) = self.align_levels(a, b)?;
+        let level = a.level;
+        let basis = self.ctx.basis_at_level(level)?;
+
+        let mut a0 = a.c0.clone();
+        let mut a1 = a.c1.clone();
+        let mut b0 = b.c0.clone();
+        let mut b1 = b.c1.clone();
+        a0.to_evaluation(&basis);
+        a1.to_evaluation(&basis);
+        b0.to_evaluation(&basis);
+        b1.to_evaluation(&basis);
+
+        let mut d0 = a0.mul(&b0, &basis)?;
+        let mut d1 = a0.mul(&b1, &basis)?.add(&a1.mul(&b0, &basis)?, &basis)?;
+        let mut d2 = a1.mul(&b1, &basis)?;
+        d0.to_coefficient(&basis);
+        d1.to_coefficient(&basis);
+        d2.to_coefficient(&basis);
+
+        let (k0, k1) = self.key_switch(&d2, &rlk.key, level)?;
+        let c0 = d0.add(&k0, &basis)?;
+        let c1 = d1.add(&k1, &basis)?;
+        Ok(Ciphertext::from_parts(c0, c1, a.scale * b.scale, level))
+    }
+
+    /// Ciphertext–ciphertext multiplication followed by a rescale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::LevelExhausted`] if no level remains for the rescale.
+    pub fn multiply_rescale(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        rlk: &RelinearizationKey,
+    ) -> Result<Ciphertext> {
+        let product = self.multiply(a, b, rlk)?;
+        self.rescale(&product)
+    }
+
+    /// Squares a ciphertext (with relinearisation, no rescale).
+    ///
+    /// # Errors
+    ///
+    /// Propagates multiplication errors.
+    pub fn square(&self, a: &Ciphertext, rlk: &RelinearizationKey) -> Result<Ciphertext> {
+        self.multiply(a, a, rlk)
+    }
+
+    /// Rescales by the current level's prime: the level drops by one and the scale is divided
+    /// by `q_level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::LevelExhausted`] at level 0.
+    pub fn rescale(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        if a.level == 0 {
+            return Err(CkksError::LevelExhausted {
+                operation: "rescale",
+            });
+        }
+        let basis = self.ctx.basis_at_level(a.level)?;
+        let prime = self.ctx.rescale_prime(a.level) as f64;
+        let c0 = ops::rescale(&a.c0, &basis)?;
+        let c1 = ops::rescale(&a.c1, &basis)?;
+        Ok(Ciphertext::from_parts(
+            c0,
+            c1,
+            a.scale / prime,
+            a.level - 1,
+        ))
+    }
+
+    /// Drops a ciphertext to a lower level without rescaling (the scale is unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::LevelMismatch`] if the target level is higher than the current one.
+    pub fn mod_drop_to_level(&self, a: &Ciphertext, level: usize) -> Result<Ciphertext> {
+        if level > a.level {
+            return Err(CkksError::LevelMismatch {
+                left: a.level,
+                right: level,
+            });
+        }
+        if level == a.level {
+            return Ok(a.clone());
+        }
+        Ok(Ciphertext::from_parts(
+            a.c0.prefix(level + 1)?,
+            a.c1.prefix(level + 1)?,
+            a.scale,
+            level,
+        ))
+    }
+
+    /// Brings a ciphertext to the target scale exactly by multiplying with the constant `1`
+    /// encoded at the appropriate scale and rescaling (consumes one level).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::LevelExhausted`] at level 0 or encoding errors if the required
+    /// adjustment factor is out of range.
+    pub fn match_scale(&self, a: &Ciphertext, target_scale: f64) -> Result<Ciphertext> {
+        if (a.scale / target_scale - 1.0).abs() < SCALE_TOLERANCE {
+            let mut out = a.clone();
+            out.scale = target_scale;
+            return Ok(out);
+        }
+        if a.level == 0 {
+            return Err(CkksError::LevelExhausted {
+                operation: "match_scale",
+            });
+        }
+        let prime = self.ctx.rescale_prime(a.level) as f64;
+        let enc_scale = (target_scale * prime / a.scale).round();
+        if enc_scale < 1.0 {
+            return Err(CkksError::InvalidInput {
+                reason: format!(
+                    "cannot match scale {target_scale:e} from {:e} at level {}",
+                    a.scale, a.level
+                ),
+            });
+        }
+        let pt = self.encoder.encode_constant(Complex64::one(), enc_scale, a.level)?;
+        let product = self.multiply_plain(a, &pt)?;
+        let mut rescaled = self.rescale(&product)?;
+        // The achieved scale differs from the target only by the rounding of enc_scale;
+        // declare the exact target to keep downstream additions well-typed. The relative error
+        // introduced is at most 0.5/enc_scale.
+        rescaled.scale = target_scale;
+        Ok(rescaled)
+    }
+
+    /// Brings two ciphertexts to a common level and scale so they can be added.
+    ///
+    /// # Errors
+    ///
+    /// Propagates level/scale adjustment errors.
+    pub fn align_for_addition(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+    ) -> Result<(Ciphertext, Ciphertext)> {
+        let (mut a, mut b) = self.align_levels(a, b)?;
+        if (a.scale / b.scale - 1.0).abs() >= SCALE_TOLERANCE {
+            if a.scale > b.scale {
+                a = self.match_scale(&a, b.scale)?;
+                let level = a.level.min(b.level);
+                a = self.mod_drop_to_level(&a, level)?;
+                b = self.mod_drop_to_level(&b, level)?;
+            } else {
+                b = self.match_scale(&b, a.scale)?;
+                let level = a.level.min(b.level);
+                a = self.mod_drop_to_level(&a, level)?;
+                b = self.mod_drop_to_level(&b, level)?;
+            }
+        }
+        Ok((a, b))
+    }
+
+    // ------------------------------------------------------------------ Galois operations
+
+    /// Rotates the slots left by `steps` positions (`out[i] = in[i + steps mod n]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::MissingKey`] if the Galois key for this rotation is absent.
+    pub fn rotate(&self, a: &Ciphertext, steps: usize, keys: &GaloisKeys) -> Result<Ciphertext> {
+        let slots = self.ctx.slot_count();
+        let steps = steps % slots;
+        if steps == 0 {
+            return Ok(a.clone());
+        }
+        let element = galois_element_for_rotation(self.ctx.degree(), steps);
+        let key = keys.get(element).ok_or_else(|| CkksError::MissingKey {
+            description: format!("rotation by {steps} (galois element {element})"),
+        })?;
+        self.apply_galois(a, element, key)
+    }
+
+    /// Complex-conjugates every slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::MissingKey`] if the conjugation key is absent.
+    pub fn conjugate(&self, a: &Ciphertext, keys: &GaloisKeys) -> Result<Ciphertext> {
+        let element = galois_element_for_conjugation(self.ctx.degree());
+        let key = keys.get(element).ok_or_else(|| CkksError::MissingKey {
+            description: "conjugation".into(),
+        })?;
+        self.apply_galois(a, element, key)
+    }
+
+    /// Applies the Galois automorphism `x → x^element` followed by the key switch back to the
+    /// original secret.
+    ///
+    /// # Errors
+    ///
+    /// Propagates automorphism and key-switch errors.
+    pub fn apply_galois(
+        &self,
+        a: &Ciphertext,
+        element: u64,
+        key: &SwitchingKey,
+    ) -> Result<Ciphertext> {
+        let basis = self.ctx.basis_at_level(a.level)?;
+        let c0 = a.c0.automorphism(element, &basis)?;
+        let c1 = a.c1.automorphism(element, &basis)?;
+        let (k0, k1) = self.key_switch(&c1, key, a.level)?;
+        Ok(Ciphertext::from_parts(
+            c0.add(&k0, &basis)?,
+            k1,
+            a.scale,
+            a.level,
+        ))
+    }
+
+    /// Multiplies the underlying polynomial by the monomial `X^power` (a negacyclic shift).
+    /// In slot space this multiplies every slot by `ζ^{power·5^j}`; the most useful case is
+    /// `power = N/2`, which multiplies every slot by the imaginary unit `i`. No key material or
+    /// level is consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates level errors.
+    pub fn multiply_by_monomial(&self, a: &Ciphertext, power: usize) -> Result<Ciphertext> {
+        let basis = self.ctx.basis_at_level(a.level)?;
+        let c0 = multiply_poly_by_monomial(&a.c0, power, &basis);
+        let c1 = multiply_poly_by_monomial(&a.c1, power, &basis);
+        Ok(Ciphertext::from_parts(c0, c1, a.scale, a.level))
+    }
+
+    /// Multiplies every slot by the imaginary unit `i` (monomial `X^{N/2}`), for free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates level errors.
+    pub fn multiply_by_i(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        self.multiply_by_monomial(a, self.ctx.degree() / 2)
+    }
+
+    // ------------------------------------------------------------------ key switching core
+
+    /// Hybrid key switch of a single polynomial `d` (coefficient form, level `level`):
+    /// Decomp → ModUp → KSKIP (inner product with the key) → ModDown. Returns the pair
+    /// `(k_0, k_1)` over `Q_level` in coefficient form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RNS kernel errors.
+    pub fn key_switch(
+        &self,
+        d: &RnsPolynomial,
+        key: &SwitchingKey,
+        level: usize,
+    ) -> Result<(RnsPolynomial, RnsPolynomial)> {
+        let q_basis = self.ctx.basis_at_level(level)?;
+        let p_basis = self.ctx.p_basis();
+        let raised = self.ctx.raised_basis_at_level(level)?;
+        let alpha = key.alpha();
+        let limbs = level + 1;
+        let beta = limbs.div_ceil(alpha);
+        let degree = d.degree();
+
+        let mut acc0 =
+            RnsPolynomial::zero(degree, raised.len(), Representation::Evaluation);
+        let mut acc1 =
+            RnsPolynomial::zero(degree, raised.len(), Representation::Evaluation);
+
+        for j in 0..beta {
+            let start = j * alpha;
+            let end = ((j + 1) * alpha).min(limbs);
+            // Decomp: take the digit's limbs.
+            let digit = RnsPolynomial::from_limbs(
+                d.limbs()[start..end].to_vec(),
+                Representation::Coefficient,
+            );
+            let digit_basis = q_basis.slice(start..end)?;
+            // ModUp: extend to Q_level ∪ P.
+            let mut extended = ops::mod_up(&digit, &digit_basis, &q_basis, p_basis, start)?;
+            extended.to_evaluation(&raised);
+            // KSKIP: accumulate the inner product with the key, restricted to the live limbs.
+            let (b_full, a_full) = key.component(j);
+            let b_j = restrict_key_poly(b_full, limbs, self.ctx.q_basis().len(), p_basis.len());
+            let a_j = restrict_key_poly(a_full, limbs, self.ctx.q_basis().len(), p_basis.len());
+            acc0 = acc0.add(&extended.mul(&b_j, &raised)?, &raised)?;
+            acc1 = acc1.add(&extended.mul(&a_j, &raised)?, &raised)?;
+        }
+
+        acc0.to_coefficient(&raised);
+        acc1.to_coefficient(&raised);
+        // ModDown: divide by P.
+        let k0 = ops::mod_down(&acc0, &q_basis, p_basis)?;
+        let k1 = ops::mod_down(&acc1, &q_basis, p_basis)?;
+        Ok((k0, k1))
+    }
+
+    // ------------------------------------------------------------------------- internals
+
+    fn align_levels(&self, a: &Ciphertext, b: &Ciphertext) -> Result<(Ciphertext, Ciphertext)> {
+        let level = a.level.min(b.level);
+        Ok((
+            self.mod_drop_to_level(a, level)?,
+            self.mod_drop_to_level(b, level)?,
+        ))
+    }
+
+    fn check_scales(&self, a: f64, b: f64) -> Result<()> {
+        if (a / b - 1.0).abs() >= SCALE_TOLERANCE {
+            return Err(CkksError::ScaleMismatch { left: a, right: b });
+        }
+        Ok(())
+    }
+}
+
+/// Restricts a key polynomial over `[q_0 … q_L, p_0 … p_{k-1}]` to the limbs
+/// `[q_0 … q_{limbs-1}, p_0 … p_{k-1}]` used at the current level.
+fn restrict_key_poly(
+    poly: &RnsPolynomial,
+    limbs: usize,
+    total_q_limbs: usize,
+    p_limbs: usize,
+) -> RnsPolynomial {
+    let mut selected = Vec::with_capacity(limbs + p_limbs);
+    for i in 0..limbs {
+        selected.push(poly.limb(i).to_vec());
+    }
+    for i in 0..p_limbs {
+        selected.push(poly.limb(total_q_limbs + i).to_vec());
+    }
+    RnsPolynomial::from_limbs(selected, poly.representation())
+}
+
+/// Multiplies a coefficient-form polynomial by `X^power` in the negacyclic ring.
+fn multiply_poly_by_monomial(
+    poly: &RnsPolynomial,
+    power: usize,
+    basis: &RnsBasis,
+) -> RnsPolynomial {
+    let degree = poly.degree();
+    let power = power % (2 * degree);
+    let mut limbs = Vec::with_capacity(poly.limb_count());
+    for (idx, limb) in poly.limbs().iter().enumerate() {
+        let m = basis.modulus(idx);
+        let mut out = vec![0u64; degree];
+        for (i, &c) in limb.iter().enumerate() {
+            let shifted = i + power;
+            let wraps = (shifted / degree) % 2 == 1;
+            let target = shifted % degree;
+            out[target] = if wraps { m.neg(c) } else { c };
+        }
+        limbs.push(out);
+    }
+    RnsPolynomial::from_limbs(limbs, poly.representation())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        CkksParams, Decryptor, Encoder, Encryptor, KeyGenerator, SecretKey,
+    };
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    struct Fixture {
+        ctx: Arc<CkksContext>,
+        encoder: Encoder,
+        encryptor: Encryptor,
+        decryptor: Decryptor,
+        evaluator: Evaluator,
+        rlk: RelinearizationKey,
+        gks: GaloisKeys,
+        rng: ChaCha20Rng,
+    }
+
+    fn fixture() -> Fixture {
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(99);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+        let pk = keygen.public_key(&mut rng);
+        let rlk = keygen.relinearization_key(&mut rng);
+        let gks = keygen.galois_keys(&[1, 2, 5], true, &mut rng).unwrap();
+        Fixture {
+            ctx: ctx.clone(),
+            encoder: Encoder::new(ctx.clone()),
+            encryptor: Encryptor::new(ctx.clone(), pk),
+            decryptor: Decryptor::new(ctx.clone(), sk),
+            evaluator: Evaluator::new(ctx),
+            rlk,
+            gks,
+            rng,
+        }
+    }
+
+    fn sample_values(n: usize, seed: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 + seed) * 0.37).sin() * 2.0).collect()
+    }
+
+    fn encrypt(f: &mut Fixture, values: &[f64], level: usize) -> Ciphertext {
+        let scale = f.ctx.params().default_scale();
+        let pt = f.encoder.encode_real(values, scale, level).unwrap();
+        f.encryptor.encrypt(&pt, &mut f.rng).unwrap()
+    }
+
+    fn decrypt(f: &Fixture, ct: &Ciphertext) -> Vec<f64> {
+        f.encoder.decode_real(&f.decryptor.decrypt(ct).unwrap())
+    }
+
+    #[test]
+    fn homomorphic_addition_matches_plaintext() {
+        let mut f = fixture();
+        let a = sample_values(32, 0.0);
+        let b = sample_values(32, 100.0);
+        let ct_a = encrypt(&mut f, &a, 3);
+        let ct_b = encrypt(&mut f, &b, 3);
+        let sum = f.evaluator.add(&ct_a, &ct_b).unwrap();
+        let decoded = decrypt(&f, &sum);
+        for i in 0..32 {
+            assert!((decoded[i] - (a[i] + b[i])).abs() < 1e-3);
+        }
+        let diff = f.evaluator.sub(&ct_a, &ct_b).unwrap();
+        let decoded = decrypt(&f, &diff);
+        for i in 0..32 {
+            assert!((decoded[i] - (a[i] - b[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn addition_aligns_mismatched_levels() {
+        let mut f = fixture();
+        let a = sample_values(8, 1.0);
+        let b = sample_values(8, 2.0);
+        let ct_a = encrypt(&mut f, &a, 4);
+        let ct_b = encrypt(&mut f, &b, 2);
+        let sum = f.evaluator.add(&ct_a, &ct_b).unwrap();
+        assert_eq!(sum.level(), 2);
+        let decoded = decrypt(&f, &sum);
+        for i in 0..8 {
+            assert!((decoded[i] - (a[i] + b[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scale_mismatch_is_rejected() {
+        let mut f = fixture();
+        let scale = f.ctx.params().default_scale();
+        let pt_a = f.encoder.encode_real(&[1.0], scale, 2).unwrap();
+        let pt_b = f.encoder.encode_real(&[1.0], scale * 2.0, 2).unwrap();
+        let ct_a = f.encryptor.encrypt(&pt_a, &mut f.rng).unwrap();
+        let ct_b = f.encryptor.encrypt(&pt_b, &mut f.rng).unwrap();
+        assert!(matches!(
+            f.evaluator.add(&ct_a, &ct_b),
+            Err(CkksError::ScaleMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn plaintext_addition_and_subtraction() {
+        let mut f = fixture();
+        let a = sample_values(16, 3.0);
+        let b = sample_values(16, 4.0);
+        let scale = f.ctx.params().default_scale();
+        let ct = encrypt(&mut f, &a, 3);
+        let pt = f.encoder.encode_real(&b, scale, 3).unwrap();
+        let sum = f.evaluator.add_plain(&ct, &pt).unwrap();
+        let decoded = decrypt(&f, &sum);
+        for i in 0..16 {
+            assert!((decoded[i] - (a[i] + b[i])).abs() < 1e-3);
+        }
+        let diff = f.evaluator.sub_plain(&ct, &pt).unwrap();
+        let decoded = decrypt(&f, &diff);
+        for i in 0..16 {
+            assert!((decoded[i] - (a[i] - b[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn add_scalar_shifts_every_slot() {
+        let mut f = fixture();
+        let a = sample_values(16, 5.0);
+        let ct = encrypt(&mut f, &a, 2);
+        let shifted = f
+            .evaluator
+            .add_scalar(&ct, Complex64::new(2.5, 0.0))
+            .unwrap();
+        let decoded = decrypt(&f, &shifted);
+        for i in 0..16 {
+            assert!((decoded[i] - (a[i] + 2.5)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn plaintext_multiplication_with_rescale() {
+        let mut f = fixture();
+        let a = sample_values(16, 6.0);
+        let b = sample_values(16, 7.0);
+        let scale = f.ctx.params().default_scale();
+        let ct = encrypt(&mut f, &a, 3);
+        let pt = f.encoder.encode_real(&b, scale, 3).unwrap();
+        let product = f.evaluator.multiply_plain(&ct, &pt).unwrap();
+        assert!((product.scale() - scale * scale).abs() < 1.0);
+        let rescaled = f.evaluator.rescale(&product).unwrap();
+        assert_eq!(rescaled.level(), 2);
+        let decoded = decrypt(&f, &rescaled);
+        for i in 0..16 {
+            assert!(
+                (decoded[i] - a[i] * b[i]).abs() < 1e-2,
+                "slot {i}: {} vs {}",
+                decoded[i],
+                a[i] * b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn ciphertext_multiplication_matches_plaintext_product() {
+        let mut f = fixture();
+        let a = sample_values(16, 8.0);
+        let b = sample_values(16, 9.0);
+        let ct_a = encrypt(&mut f, &a, 3);
+        let ct_b = encrypt(&mut f, &b, 3);
+        let product = f.evaluator.multiply_rescale(&ct_a, &ct_b, &f.rlk).unwrap();
+        assert_eq!(product.level(), 2);
+        let decoded = decrypt(&f, &product);
+        for i in 0..16 {
+            assert!(
+                (decoded[i] - a[i] * b[i]).abs() < 1e-2,
+                "slot {i}: {} vs {}",
+                decoded[i],
+                a[i] * b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_multiplication_consumes_levels() {
+        let mut f = fixture();
+        let a = vec![1.1f64; 8];
+        let max_level = f.ctx.params().max_level;
+        let mut ct = encrypt(&mut f, &a, max_level);
+        let mut expected = 1.1f64;
+        for _ in 0..3 {
+            ct = f.evaluator.multiply_rescale(&ct, &ct, &f.rlk).unwrap();
+            expected *= expected;
+        }
+        let decoded = decrypt(&f, &ct);
+        for d in decoded.iter().take(8) {
+            assert!((d - expected).abs() < 0.05, "{d} vs {expected}");
+        }
+        // Level must have dropped by 3.
+        assert_eq!(ct.level(), f.ctx.params().max_level - 3);
+    }
+
+    #[test]
+    fn multiply_at_level_zero_cannot_rescale() {
+        let mut f = fixture();
+        let ct = encrypt(&mut f, &[1.0], 0);
+        assert!(matches!(
+            f.evaluator.rescale(&ct),
+            Err(CkksError::LevelExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn multiply_scalar_preserves_scale() {
+        let mut f = fixture();
+        let a = sample_values(8, 11.0);
+        let ct = encrypt(&mut f, &a, 3);
+        let scaled = f
+            .evaluator
+            .multiply_scalar(&ct, Complex64::new(0.5, 0.0))
+            .unwrap();
+        assert_eq!(scaled.level(), 2);
+        assert!((scaled.scale() / ct.scale() - 1.0).abs() < 1e-6);
+        let decoded = decrypt(&f, &scaled);
+        for i in 0..8 {
+            assert!((decoded[i] - a[i] * 0.5).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rotation_moves_slots_left() {
+        let mut f = fixture();
+        let n = f.ctx.slot_count();
+        let values: Vec<f64> = (0..n).map(|i| (i % 50) as f64 * 0.1).collect();
+        let ct = encrypt(&mut f, &values, 3);
+        for steps in [1usize, 2, 5] {
+            let rotated = f.evaluator.rotate(&ct, steps, &f.gks).unwrap();
+            let decoded = decrypt(&f, &rotated);
+            for i in 0..64 {
+                let expected = values[(i + steps) % n];
+                assert!(
+                    (decoded[i] - expected).abs() < 1e-2,
+                    "steps {steps}, slot {i}: {} vs {expected}",
+                    decoded[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_without_key_fails() {
+        let mut f = fixture();
+        let ct = encrypt(&mut f, &[1.0, 2.0], 2);
+        assert!(matches!(
+            f.evaluator.rotate(&ct, 3, &f.gks),
+            Err(CkksError::MissingKey { .. })
+        ));
+    }
+
+    #[test]
+    fn conjugation_flips_imaginary_parts() {
+        let mut f = fixture();
+        let scale = f.ctx.params().default_scale();
+        let values: Vec<Complex64> = (0..16)
+            .map(|i| Complex64::new(i as f64 * 0.2, -(i as f64) * 0.1))
+            .collect();
+        let pt = f.encoder.encode(&values, scale, 3).unwrap();
+        let ct = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
+        let conj = f.evaluator.conjugate(&ct, &f.gks).unwrap();
+        let decoded = f.encoder.decode(&f.decryptor.decrypt(&conj).unwrap());
+        for i in 0..16 {
+            assert!((decoded[i] - values[i].conj()).norm() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn multiply_by_i_matches_scalar_multiplication() {
+        let mut f = fixture();
+        let scale = f.ctx.params().default_scale();
+        let values: Vec<Complex64> = (0..16)
+            .map(|i| Complex64::new(1.0 + i as f64 * 0.1, -0.5))
+            .collect();
+        let pt = f.encoder.encode(&values, scale, 2).unwrap();
+        let ct = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
+        let by_i = f.evaluator.multiply_by_i(&ct).unwrap();
+        assert_eq!(by_i.level(), ct.level());
+        let decoded = f.encoder.decode(&f.decryptor.decrypt(&by_i).unwrap());
+        for i in 0..16 {
+            let expected = values[i] * Complex64::i();
+            assert!((decoded[i] - expected).norm() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn match_scale_aligns_for_addition() {
+        let mut f = fixture();
+        let a = sample_values(8, 12.0);
+        let b = sample_values(8, 13.0);
+        let scale = f.ctx.params().default_scale();
+        let ct_a = encrypt(&mut f, &a, 4);
+        // Produce a ciphertext whose scale differs (product of two scales, then rescaled).
+        let pt_b = f.encoder.encode_real(&b, scale, 4).unwrap();
+        let ct_ab = f
+            .evaluator
+            .rescale(&f.evaluator.multiply_plain(&ct_a, &pt_b).unwrap())
+            .unwrap();
+        // ct_ab has scale ≈ Δ²/q3 which differs slightly from Δ.
+        let ct_c = encrypt(&mut f, &a, 4);
+        let (x, y) = f.evaluator.align_for_addition(&ct_ab, &ct_c).unwrap();
+        let sum = f.evaluator.add(&x, &y).unwrap();
+        let decoded = decrypt(&f, &sum);
+        for i in 0..8 {
+            let expected = a[i] * b[i] + a[i];
+            assert!(
+                (decoded[i] - expected).abs() < 1e-2,
+                "slot {i}: {} vs {expected}",
+                decoded[i]
+            );
+        }
+    }
+
+    #[test]
+    fn negate_flips_sign() {
+        let mut f = fixture();
+        let a = sample_values(8, 14.0);
+        let ct = encrypt(&mut f, &a, 2);
+        let neg = f.evaluator.negate(&ct).unwrap();
+        let decoded = decrypt(&f, &neg);
+        for i in 0..8 {
+            assert!((decoded[i] + a[i]).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Key material: secret, public, relinearisation and Galois (rotation/conjugation) keys,
+//! plus the key generator.
+//!
+//! Switching keys follow the hybrid (Han–Ki) structure used by the paper: a `2 × dnum` matrix
+//! of polynomials over the raised modulus `P·Q` (Equation 3), where digit `j` encrypts
+//! `P·s'` on the limbs of its own digit and `0` elsewhere. The paper's key-compression remark
+//! (Figure 1) corresponds to regenerating the `a_j` halves from a seed; we model the size
+//! accounting in `CkksParams::switching_key_bytes`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fab_math::{galois_element_for_conjugation, galois_element_for_rotation};
+use fab_rns::RnsPolynomial;
+use rand::Rng;
+
+use crate::sampling;
+use crate::{CkksContext, Result};
+
+/// The secret key: a ternary polynomial `s`, stored both as signed coefficients and in
+/// evaluation form over the full raised basis `Q ∪ P`.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    coeffs: Vec<i64>,
+    full_eval: RnsPolynomial,
+}
+
+impl SecretKey {
+    /// Samples a fresh secret key. Uses a sparse ternary secret if the parameters request a
+    /// fixed Hamming weight, otherwise a uniform (non-sparse) ternary secret.
+    pub fn generate<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R) -> Self {
+        let degree = ctx.degree();
+        let coeffs = match ctx.params().secret_hamming_weight {
+            Some(h) => sampling::sample_sparse_ternary_coeffs(rng, degree, h),
+            None => sampling::sample_ternary_coeffs(rng, degree),
+        };
+        Self::from_coeffs(ctx, coeffs)
+    }
+
+    /// Builds a secret key from explicit ternary coefficients (used by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient vector length differs from the ring degree.
+    pub fn from_coeffs(ctx: &CkksContext, coeffs: Vec<i64>) -> Self {
+        assert_eq!(coeffs.len(), ctx.degree());
+        let mut full = sampling::lift_signed(&coeffs, ctx.full_basis());
+        full.to_evaluation(ctx.full_basis());
+        Self {
+            coeffs,
+            full_eval: full,
+        }
+    }
+
+    /// The signed ternary coefficients of `s`.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// The Hamming weight of the secret.
+    pub fn hamming_weight(&self) -> usize {
+        self.coeffs.iter().filter(|&&c| c != 0).count()
+    }
+
+    /// `s` in evaluation form over the full raised basis.
+    pub(crate) fn full_eval(&self) -> &RnsPolynomial {
+        &self.full_eval
+    }
+
+    /// `s` in evaluation form restricted to the first `count` limbs of `Q`.
+    pub(crate) fn q_eval_prefix(&self, count: usize) -> RnsPolynomial {
+        self.full_eval
+            .prefix(count)
+            .expect("secret key holds every limb")
+    }
+}
+
+/// The public encryption key `(b, a) = (−a·s + e, a)` over the full modulus `Q`.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    /// `b = −a·s + e`, evaluation form over `Q`.
+    pub(crate) b: RnsPolynomial,
+    /// `a`, evaluation form over `Q`.
+    pub(crate) a: RnsPolynomial,
+}
+
+impl PublicKey {
+    /// The `b = −a·s + e` component (evaluation form).
+    pub fn b(&self) -> &RnsPolynomial {
+        &self.b
+    }
+
+    /// The uniform `a` component (evaluation form).
+    pub fn a(&self) -> &RnsPolynomial {
+        &self.a
+    }
+}
+
+/// A hybrid switching key: `dnum` pairs `(b_j, a_j)` of polynomials over `Q ∪ P` in evaluation
+/// form (Equation 3 of the paper).
+#[derive(Debug, Clone)]
+pub struct SwitchingKey {
+    components: Vec<(RnsPolynomial, RnsPolynomial)>,
+    alpha: usize,
+}
+
+impl SwitchingKey {
+    /// Number of digits (`dnum`).
+    pub fn digit_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Limbs per digit (`α`).
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// The `(b_j, a_j)` pair for digit `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn component(&self, j: usize) -> (&RnsPolynomial, &RnsPolynomial) {
+        let (b, a) = &self.components[j];
+        (b, a)
+    }
+
+    /// Total size of this key in bytes when packed at the limb bit-width.
+    pub fn packed_bytes(&self, limb_bits: u32) -> usize {
+        self.components
+            .iter()
+            .map(|(b, a)| {
+                (b.limb_count() + a.limb_count()) * b.degree() * limb_bits as usize / 8
+            })
+            .sum()
+    }
+}
+
+/// The relinearisation key (a switching key for `s² → s`).
+#[derive(Debug, Clone)]
+pub struct RelinearizationKey {
+    /// The underlying switching key.
+    pub key: SwitchingKey,
+}
+
+/// A collection of Galois keys: rotation keys indexed by Galois element plus the conjugation
+/// key.
+#[derive(Debug, Clone, Default)]
+pub struct GaloisKeys {
+    keys: HashMap<u64, SwitchingKey>,
+    degree: usize,
+}
+
+impl GaloisKeys {
+    /// Creates an empty collection for the given ring degree.
+    pub fn new(degree: usize) -> Self {
+        Self {
+            keys: HashMap::new(),
+            degree,
+        }
+    }
+
+    /// Number of keys held.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Inserts a key for the given Galois element.
+    pub fn insert(&mut self, element: u64, key: SwitchingKey) {
+        self.keys.insert(element, key);
+    }
+
+    /// The key for an explicit Galois element, if present.
+    pub fn get(&self, element: u64) -> Option<&SwitchingKey> {
+        self.keys.get(&element)
+    }
+
+    /// The key for a left rotation by `steps` slots, if present.
+    pub fn rotation_key(&self, steps: usize) -> Option<&SwitchingKey> {
+        self.keys
+            .get(&galois_element_for_rotation(self.degree, steps))
+    }
+
+    /// The conjugation key, if present.
+    pub fn conjugation_key(&self) -> Option<&SwitchingKey> {
+        self.keys
+            .get(&galois_element_for_conjugation(self.degree))
+    }
+
+    /// The Galois elements for which keys are held.
+    pub fn elements(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.keys.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Generates public, relinearisation and Galois keys from a secret key.
+#[derive(Debug, Clone)]
+pub struct KeyGenerator {
+    ctx: Arc<CkksContext>,
+    secret: SecretKey,
+}
+
+impl KeyGenerator {
+    /// Creates a key generator bound to an existing secret key.
+    pub fn new(ctx: Arc<CkksContext>, secret: SecretKey) -> Self {
+        Self { ctx, secret }
+    }
+
+    /// The secret key this generator uses.
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.secret
+    }
+
+    /// Generates the public encryption key.
+    pub fn public_key<R: Rng + ?Sized>(&self, rng: &mut R) -> PublicKey {
+        let q_basis = self.ctx.q_basis();
+        let s_q = self.secret.q_eval_prefix(q_basis.len());
+        let mut a = sampling::sample_uniform(rng, q_basis);
+        a.to_evaluation(q_basis);
+        let e_coeffs =
+            sampling::sample_gaussian_coeffs(rng, self.ctx.degree(), self.ctx.params().error_std);
+        let mut e = sampling::lift_signed(&e_coeffs, q_basis);
+        e.to_evaluation(q_basis);
+        // b = -a*s + e
+        let b = e
+            .sub(&a.mul(&s_q, q_basis).expect("evaluation form"), q_basis)
+            .expect("matching shapes");
+        PublicKey { b, a }
+    }
+
+    /// Generates the relinearisation key (switching `s² → s`).
+    pub fn relinearization_key<R: Rng + ?Sized>(&self, rng: &mut R) -> RelinearizationKey {
+        let full = self.ctx.full_basis();
+        let s = self.secret.full_eval();
+        let s_squared = s.mul(s, full).expect("evaluation form");
+        RelinearizationKey {
+            key: self.switching_key_for(&s_squared, rng),
+        }
+    }
+
+    /// Generates the Galois key for an explicit Galois element (`x → x^element`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid Galois element errors.
+    pub fn galois_key<R: Rng + ?Sized>(&self, element: u64, rng: &mut R) -> Result<SwitchingKey> {
+        let full = self.ctx.full_basis();
+        // σ_g(s) in evaluation form: permute the signed coefficients, lift, NTT.
+        let mut s_coeff = sampling::lift_signed(self.secret.coeffs(), full);
+        s_coeff = s_coeff.automorphism(element, full)?;
+        let mut s_g = s_coeff;
+        s_g.to_evaluation(full);
+        Ok(self.switching_key_for(&s_g, rng))
+    }
+
+    /// Generates rotation keys for the given slot rotation steps (and optionally conjugation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid Galois element errors.
+    pub fn galois_keys<R: Rng + ?Sized>(
+        &self,
+        steps: &[usize],
+        include_conjugation: bool,
+        rng: &mut R,
+    ) -> Result<GaloisKeys> {
+        let degree = self.ctx.degree();
+        let mut keys = GaloisKeys::new(degree);
+        for &s in steps {
+            let element = galois_element_for_rotation(degree, s);
+            if keys.get(element).is_none() {
+                keys.insert(element, self.galois_key(element, rng)?);
+            }
+        }
+        if include_conjugation {
+            let element = galois_element_for_conjugation(degree);
+            keys.insert(element, self.galois_key(element, rng)?);
+        }
+        Ok(keys)
+    }
+
+    /// Core switching-key construction for an arbitrary target secret `s'` (in evaluation form
+    /// over the full basis): digit `j` encrypts `P·s'` on its own limbs.
+    fn switching_key_for<R: Rng + ?Sized>(
+        &self,
+        target_eval: &RnsPolynomial,
+        rng: &mut R,
+    ) -> SwitchingKey {
+        let ctx = &self.ctx;
+        let full = ctx.full_basis();
+        let q_limbs = ctx.q_basis().len();
+        let alpha = ctx.params().alpha();
+        let dnum = q_limbs.div_ceil(alpha);
+        let s = self.secret.full_eval();
+        let degree = ctx.degree();
+
+        // P mod q_i for every Q limb.
+        let p_mod_q: Vec<u64> = ctx
+            .q_basis()
+            .moduli()
+            .iter()
+            .map(|qi| {
+                let mut acc = 1u64;
+                for p in ctx.p_basis().values() {
+                    acc = qi.mul(acc, qi.reduce(p));
+                }
+                acc
+            })
+            .collect();
+
+        let mut components = Vec::with_capacity(dnum);
+        for j in 0..dnum {
+            let digit_start = j * alpha;
+            let digit_end = ((j + 1) * alpha).min(q_limbs);
+
+            let mut a = sampling::sample_uniform(rng, full);
+            a.to_evaluation(full);
+            let e_coeffs =
+                sampling::sample_gaussian_coeffs(rng, degree, ctx.params().error_std);
+            let mut e = sampling::lift_signed(&e_coeffs, full);
+            e.to_evaluation(full);
+
+            // b_j = e_j - a_j*s, then add P·s' on the digit's own Q limbs.
+            let mut b = e
+                .sub(&a.mul(s, full).expect("evaluation form"), full)
+                .expect("matching shapes");
+            for limb_idx in digit_start..digit_end {
+                let qi = ctx.q_basis().modulus(limb_idx);
+                let p_qi = p_mod_q[limb_idx];
+                let p_shoup = qi.shoup_precompute(p_qi);
+                let target_limb = target_eval.limb(limb_idx);
+                let b_limb = b.limb_mut(limb_idx);
+                for (b_c, &t_c) in b_limb.iter_mut().zip(target_limb.iter()) {
+                    let add = qi.mul_shoup(t_c, p_qi, p_shoup);
+                    *b_c = qi.add(*b_c, add);
+                }
+            }
+            components.push((b, a));
+        }
+        SwitchingKey { components, alpha }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CkksParams;
+    use fab_rns::Representation;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn setup() -> (Arc<CkksContext>, KeyGenerator, ChaCha20Rng) {
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(42);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        (ctx.clone(), KeyGenerator::new(ctx, sk), rng)
+    }
+
+    #[test]
+    fn secret_key_respects_hamming_weight() {
+        let (ctx, kg, _) = setup();
+        let expected = ctx.params().secret_hamming_weight.unwrap();
+        assert_eq!(kg.secret_key().hamming_weight(), expected);
+        assert!(kg.secret_key().coeffs().iter().all(|&c| (-1..=1).contains(&c)));
+    }
+
+    #[test]
+    fn public_key_decrypts_to_small_error() {
+        // b + a*s = e must be small.
+        let (ctx, kg, mut rng) = setup();
+        let pk = kg.public_key(&mut rng);
+        let q = ctx.q_basis();
+        let s = kg.secret_key().q_eval_prefix(q.len());
+        let mut check = pk
+            .b()
+            .add(&pk.a().mul(&s, q).unwrap(), q)
+            .unwrap();
+        check.to_coefficient(q);
+        let q0 = q.modulus(0);
+        let max_err = check
+            .limb(0)
+            .iter()
+            .map(|&c| q0.to_signed(c).abs())
+            .max()
+            .unwrap();
+        assert!(max_err < 64, "public key error too large: {max_err}");
+    }
+
+    #[test]
+    fn switching_key_shape_matches_parameters() {
+        let (ctx, kg, mut rng) = setup();
+        let rlk = kg.relinearization_key(&mut rng);
+        let params = ctx.params();
+        assert_eq!(rlk.key.digit_count(), params.dnum);
+        assert_eq!(rlk.key.alpha(), params.alpha());
+        for j in 0..rlk.key.digit_count() {
+            let (b, a) = rlk.key.component(j);
+            assert_eq!(b.limb_count(), params.total_raised_limbs());
+            assert_eq!(a.limb_count(), params.total_raised_limbs());
+            assert_eq!(b.representation(), Representation::Evaluation);
+        }
+        let expected_bytes = params.switching_key_bytes(false);
+        let actual = rlk.key.packed_bytes(params.scale_bits);
+        // The size accounting in the parameters assumes uniform limb width; allow the first
+        // limb's extra bits to push the real size slightly above the estimate.
+        let ratio = actual as f64 / expected_bytes as f64;
+        assert!(ratio > 0.95 && ratio < 1.1, "key size ratio {ratio}");
+    }
+
+    #[test]
+    fn galois_keys_cover_requested_rotations() {
+        let (ctx, kg, mut rng) = setup();
+        let keys = kg.galois_keys(&[1, 2, 4], true, &mut rng).unwrap();
+        assert_eq!(keys.len(), 4);
+        assert!(keys.rotation_key(1).is_some());
+        assert!(keys.rotation_key(2).is_some());
+        assert!(keys.rotation_key(4).is_some());
+        assert!(keys.rotation_key(3).is_none());
+        assert!(keys.conjugation_key().is_some());
+        assert_eq!(keys.elements().len(), 4);
+        let _ = ctx;
+    }
+
+    #[test]
+    fn duplicate_rotation_steps_share_one_key() {
+        let (_, kg, mut rng) = setup();
+        let keys = kg.galois_keys(&[1, 1, 1], false, &mut rng).unwrap();
+        assert_eq!(keys.len(), 1);
+    }
+
+    #[test]
+    fn switching_key_digit_encrypts_p_times_target_on_its_limbs() {
+        // For each digit j and each of its limbs i: b_j + a_j*s - P*s' ≡ e (small) mod q_i.
+        let (ctx, kg, mut rng) = setup();
+        let rlk = kg.relinearization_key(&mut rng);
+        let full = ctx.full_basis();
+        let s = kg.secret_key().full_eval();
+        let s_sq = s.mul(s, full).unwrap();
+        let alpha = ctx.params().alpha();
+        for j in 0..rlk.key.digit_count() {
+            let (b, a) = rlk.key.component(j);
+            // check = b + a*s (eval form, full basis)
+            let mut check = b.add(&a.mul(s, full).unwrap(), full).unwrap();
+            // subtract P*s'^ on the digit limbs
+            let digit_start = j * alpha;
+            let digit_end = ((j + 1) * alpha).min(ctx.q_basis().len());
+            for i in digit_start..digit_end {
+                let qi = ctx.q_basis().modulus(i);
+                let mut p_mod = 1u64;
+                for p in ctx.p_basis().values() {
+                    p_mod = qi.mul(p_mod, qi.reduce(p));
+                }
+                let limb = check.limb_mut(i);
+                for (c, &t) in limb.iter_mut().zip(s_sq.limb(i).iter()) {
+                    *c = qi.sub(*c, qi.mul(p_mod, t));
+                }
+            }
+            check.to_coefficient(full);
+            // Every limb must now hold only the small error e_j.
+            for i in 0..full.len() {
+                let m = full.modulus(i);
+                let max = check.limb(i).iter().map(|&c| m.to_signed(c).abs()).max().unwrap();
+                assert!(max < 64, "digit {j} limb {i}: residual {max} too large");
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # fab-ckks
+//!
+//! A from-scratch RNS-CKKS implementation (encoding, encryption, the full evaluator, hybrid
+//! key switching, and bootstrapping) serving two roles in the FAB reproduction:
+//!
+//! 1. the **CPU software baseline** that the paper compares the accelerator against, and
+//! 2. the **correctness oracle** for the algorithms whose hardware cost the accelerator model
+//!    in `fab-core` estimates.
+//!
+//! The scheme follows the paper's description (Section 2): RNS limbs of `log q` bits,
+//! NTT-based polynomial arithmetic, hybrid (Han–Ki) key switching with `dnum` digits and an
+//! extension modulus `P`, and bootstrapping composed of ModRaise, CoeffToSlot, EvalMod
+//! (scaled-sine Chebyshev approximation) and SlotToCoeff.
+//!
+//! ```
+//! use fab_ckks::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator,
+//!                KeyGenerator, SecretKey};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), fab_ckks::CkksError> {
+//! let ctx = CkksContext::new_arc(CkksParams::testing())?;
+//! let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(7);
+//! let sk = SecretKey::generate(&ctx, &mut rng);
+//! let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+//! let encoder = Encoder::new(ctx.clone());
+//! let encryptor = Encryptor::new(ctx.clone(), keygen.public_key(&mut rng));
+//! let decryptor = Decryptor::new(ctx.clone(), sk);
+//! let evaluator = Evaluator::new(ctx.clone());
+//! let rlk = keygen.relinearization_key(&mut rng);
+//!
+//! let scale = ctx.params().default_scale();
+//! let x = encryptor.encrypt(&encoder.encode_real(&[1.5, 2.0], scale, 3)?, &mut rng)?;
+//! let y = encryptor.encrypt(&encoder.encode_real(&[4.0, -1.0], scale, 3)?, &mut rng)?;
+//! let product = evaluator.multiply_rescale(&x, &y, &rlk)?;
+//! let decoded = encoder.decode_real(&decryptor.decrypt(&product)?);
+//! assert!((decoded[0] - 6.0).abs() < 1e-2);
+//! assert!((decoded[1] + 2.0).abs() < 1e-2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+mod chebyshev;
+mod ciphertext;
+mod context;
+mod encoding;
+mod encryption;
+mod error;
+mod evaluator;
+mod keys;
+mod linear_transform;
+mod params;
+pub mod sampling;
+
+pub use bootstrap::{BootstrapParams, Bootstrapper};
+pub use chebyshev::ChebyshevSeries;
+pub use ciphertext::{Ciphertext, Plaintext};
+pub use context::CkksContext;
+pub use encoding::Encoder;
+pub use encryption::{Decryptor, Encryptor};
+pub use error::CkksError;
+pub use evaluator::Evaluator;
+pub use keys::{
+    GaloisKeys, KeyGenerator, PublicKey, RelinearizationKey, SecretKey, SwitchingKey,
+};
+pub use linear_transform::LinearTransform;
+pub use params::{CkksParams, CkksParamsBuilder};
+
+/// Result alias used throughout the CKKS crate.
+pub type Result<T> = std::result::Result<T, CkksError>;

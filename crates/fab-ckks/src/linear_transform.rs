@@ -1,0 +1,543 @@
+//! Homomorphic linear transforms over the slot vector, represented by their generalized
+//! diagonals, plus the factored FFT matrices used by the bootstrapping CoeffToSlot and
+//! SlotToCoeff steps.
+//!
+//! A linear map `M` on the `n` slots is applied homomorphically as
+//! `out = Σ_d diag_d(M) ⊙ rotate(ct, d)` where `diag_d(M)[i] = M[i][(i+d) mod n]` and
+//! `rotate` is the left slot rotation. The bootstrapping transforms factor the encoding FFT
+//! into `ﬀtIter` groups of butterfly stages (Section 2.2 of the paper): a larger `ﬀtIter`
+//! means more, sparser matrices (fewer rotations each) but more consumed levels — exactly the
+//! trade-off of Figure 2.
+
+use std::collections::BTreeMap;
+
+use fab_math::{Complex64, SpecialFft};
+
+use crate::{Ciphertext, CkksError, Evaluator, GaloisKeys, Result};
+
+/// A slot-space linear transform in generalized-diagonal representation.
+#[derive(Debug, Clone)]
+pub struct LinearTransform {
+    slots: usize,
+    diagonals: BTreeMap<usize, Vec<Complex64>>,
+}
+
+impl LinearTransform {
+    /// Builds the transform from a dense `n × n` matrix, keeping only nonzero diagonals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square of size `n × n` with power-of-two `n`.
+    pub fn from_matrix(matrix: &[Vec<Complex64>]) -> Self {
+        let n = matrix.len();
+        assert!(n.is_power_of_two(), "slot count must be a power of two");
+        assert!(matrix.iter().all(|row| row.len() == n));
+        let mut diagonals: BTreeMap<usize, Vec<Complex64>> = BTreeMap::new();
+        for d in 0..n {
+            let mut diag = vec![Complex64::zero(); n];
+            let mut nonzero = false;
+            for (i, value) in diag.iter_mut().enumerate() {
+                let v = matrix[i][(i + d) % n];
+                if v.norm() > 1e-300 {
+                    nonzero = true;
+                }
+                *value = v;
+            }
+            if nonzero {
+                diagonals.insert(d, diag);
+            }
+        }
+        Self { slots: n, diagonals }
+    }
+
+    /// Builds the transform directly from its nonzero generalized diagonals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any diagonal has the wrong length or an offset is out of range.
+    pub fn from_diagonals(slots: usize, diagonals: BTreeMap<usize, Vec<Complex64>>) -> Self {
+        assert!(slots.is_power_of_two());
+        for (d, diag) in &diagonals {
+            assert!(*d < slots, "diagonal offset out of range");
+            assert_eq!(diag.len(), slots, "diagonal length must equal slot count");
+        }
+        Self { slots, diagonals }
+    }
+
+    /// The identity transform.
+    pub fn identity(slots: usize) -> Self {
+        let mut diagonals = BTreeMap::new();
+        diagonals.insert(0, vec![Complex64::one(); slots]);
+        Self { slots, diagonals }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The nonzero diagonal offsets.
+    pub fn diagonal_offsets(&self) -> Vec<usize> {
+        self.diagonals.keys().copied().collect()
+    }
+
+    /// Number of nonzero diagonals.
+    pub fn diagonal_count(&self) -> usize {
+        self.diagonals.len()
+    }
+
+    /// The rotation steps (excluding 0) needed to apply this transform homomorphically.
+    pub fn required_rotations(&self) -> Vec<usize> {
+        self.diagonals.keys().copied().filter(|&d| d != 0).collect()
+    }
+
+    /// Scales every diagonal entry by a complex constant (used to fold constants like `1/n` or
+    /// `1/2` into a stage instead of spending a ciphertext multiplication on them).
+    pub fn scale_by(&mut self, factor: Complex64) {
+        for diag in self.diagonals.values_mut() {
+            for v in diag.iter_mut() {
+                *v = *v * factor;
+            }
+        }
+    }
+
+    /// Reference (plaintext) application of the transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length differs from the slot count.
+    pub fn apply_plain(&self, input: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(input.len(), self.slots);
+        let n = self.slots;
+        let mut out = vec![Complex64::zero(); n];
+        for (d, diag) in &self.diagonals {
+            for i in 0..n {
+                out[i] += diag[i] * input[(i + d) % n];
+            }
+        }
+        out
+    }
+
+    /// Composition `self ∘ other` (apply `other` first, then `self`), computed directly in the
+    /// diagonal representation: `diag_d(A·B)[i] = Σ_{d1+d2=d} diag_{d1}(A)[i] · diag_{d2}(B)[(i+d1) mod n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot counts differ.
+    pub fn compose(&self, other: &LinearTransform) -> LinearTransform {
+        assert_eq!(self.slots, other.slots);
+        let n = self.slots;
+        let mut diagonals: BTreeMap<usize, Vec<Complex64>> = BTreeMap::new();
+        for (d1, diag_a) in &self.diagonals {
+            for (d2, diag_b) in &other.diagonals {
+                let d = (d1 + d2) % n;
+                let entry = diagonals
+                    .entry(d)
+                    .or_insert_with(|| vec![Complex64::zero(); n]);
+                for i in 0..n {
+                    entry[i] += diag_a[i] * diag_b[(i + d1) % n];
+                }
+            }
+        }
+        // Drop diagonals that cancelled to zero.
+        diagonals.retain(|_, diag| diag.iter().any(|v| v.norm() > 1e-300));
+        LinearTransform {
+            slots: n,
+            diagonals,
+        }
+    }
+
+    /// Homomorphic application: `Σ_d encode(diag_d) ⊙ rotate(ct, d)`, followed by one rescale.
+    /// The diagonal plaintexts are encoded at the current rescaling prime so the ciphertext
+    /// scale is preserved; one level is consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::MissingKey`] if a required rotation key is missing and
+    /// [`CkksError::LevelExhausted`] if the ciphertext has no level to spend.
+    pub fn apply_homomorphic(
+        &self,
+        evaluator: &Evaluator,
+        ct: &Ciphertext,
+        keys: &GaloisKeys,
+    ) -> Result<Ciphertext> {
+        if ct.level() == 0 {
+            return Err(CkksError::LevelExhausted {
+                operation: "linear transform",
+            });
+        }
+        let ctx = evaluator.context();
+        if self.slots != ctx.slot_count() {
+            return Err(CkksError::InvalidInput {
+                reason: format!(
+                    "transform has {} slots but the context provides {}",
+                    self.slots,
+                    ctx.slot_count()
+                ),
+            });
+        }
+        let level = ct.level();
+        let prime = ctx.rescale_prime(level) as f64;
+        let mut acc: Option<Ciphertext> = None;
+        for (&d, diag) in &self.diagonals {
+            let rotated = if d == 0 {
+                ct.clone()
+            } else {
+                evaluator.rotate(ct, d, keys)?
+            };
+            let pt = evaluator.encoder().encode(diag, prime, level)?;
+            let term = evaluator.multiply_plain(&rotated, &pt)?;
+            acc = Some(match acc {
+                None => term,
+                Some(prev) => evaluator.add(&prev, &term)?,
+            });
+        }
+        let summed = acc.ok_or(CkksError::InvalidInput {
+            reason: "linear transform has no nonzero diagonals".into(),
+        })?;
+        evaluator.rescale(&summed)
+    }
+}
+
+/// Builds the butterfly-stage factors of the *forward* special FFT (used by SlotToCoeff),
+/// without the bit-reversal permutation, grouped into `groups` matrices (`groups = 0` keeps
+/// one matrix per butterfly stage). Omitting the bit reversal is sound inside bootstrapping
+/// because the element-wise EvalMod step commutes with any fixed slot permutation, so the
+/// permutations introduced by CoeffToSlot and SlotToCoeff cancel.
+pub fn slot_to_coeff_stages(fft: &SpecialFft, groups: usize) -> Vec<LinearTransform> {
+    let stages = forward_butterfly_stages(fft);
+    group_stages(stages, groups)
+}
+
+/// Builds the butterfly-stage factors of the *inverse* special FFT (used by CoeffToSlot),
+/// without the bit-reversal permutation and with the `1/n` normalisation folded into the last
+/// stage, grouped into `groups` matrices.
+pub fn coeff_to_slot_stages(fft: &SpecialFft, groups: usize) -> Vec<LinearTransform> {
+    let mut stages = inverse_butterfly_stages(fft);
+    if let Some(last) = stages.last_mut() {
+        last.scale_by(Complex64::new(1.0 / fft.slots() as f64, 0.0));
+    }
+    group_stages(stages, groups)
+}
+
+/// The forward butterfly stages (len = 2, 4, …, n), in application order.
+fn forward_butterfly_stages(fft: &SpecialFft) -> Vec<LinearTransform> {
+    let n = fft.slots();
+    let m = 2 * fft.degree();
+    let rot_group = fft.rotation_group();
+    let mut stages = Vec::new();
+    let mut len = 2usize;
+    while len <= n {
+        let lenh = len >> 1;
+        let lenq = len << 2;
+        let mut diag0 = vec![Complex64::zero(); n];
+        let mut diag_plus = vec![Complex64::zero(); n];
+        let mut diag_minus = vec![Complex64::zero(); n];
+        for p in 0..n {
+            let j = p % len;
+            if j < lenh {
+                // out[p] = in[p] + w_j * in[p + lenh]
+                let idx = (rot_group[j] % lenq) * (m / lenq);
+                let w = unit_root(idx, m);
+                diag0[p] = Complex64::one();
+                diag_plus[p] = w;
+            } else {
+                // out[p] = in[p - lenh] - w_{j-lenh} * in[p]
+                let idx = (rot_group[j - lenh] % lenq) * (m / lenq);
+                let w = unit_root(idx, m);
+                diag0[p] = -w;
+                diag_minus[p] = Complex64::one();
+            }
+        }
+        stages.push(make_stage(n, lenh, diag0, diag_plus, diag_minus));
+        len <<= 1;
+    }
+    stages
+}
+
+/// The inverse butterfly stages (len = n, n/2, …, 2), in application order.
+fn inverse_butterfly_stages(fft: &SpecialFft) -> Vec<LinearTransform> {
+    let n = fft.slots();
+    let m = 2 * fft.degree();
+    let rot_group = fft.rotation_group();
+    let mut stages = Vec::new();
+    let mut len = n;
+    while len >= 2 {
+        let lenh = len >> 1;
+        let lenq = len << 2;
+        let mut diag0 = vec![Complex64::zero(); n];
+        let mut diag_plus = vec![Complex64::zero(); n];
+        let mut diag_minus = vec![Complex64::zero(); n];
+        for p in 0..n {
+            let j = p % len;
+            if j < lenh {
+                // out[p] = in[p] + in[p + lenh]
+                diag0[p] = Complex64::one();
+                diag_plus[p] = Complex64::one();
+            } else {
+                // out[p] = (in[p - lenh] - in[p]) * w'_{j-lenh}
+                let idx = (lenq - (rot_group[j - lenh] % lenq)) * (m / lenq);
+                let w = unit_root(idx, m);
+                diag0[p] = -w;
+                diag_minus[p] = w;
+            }
+        }
+        stages.push(make_stage(n, lenh, diag0, diag_plus, diag_minus));
+        len >>= 1;
+    }
+    stages
+}
+
+fn unit_root(index: usize, m: usize) -> Complex64 {
+    Complex64::from_polar(1.0, 2.0 * std::f64::consts::PI * (index % m) as f64 / m as f64)
+}
+
+fn make_stage(
+    n: usize,
+    lenh: usize,
+    diag0: Vec<Complex64>,
+    diag_plus: Vec<Complex64>,
+    diag_minus: Vec<Complex64>,
+) -> LinearTransform {
+    let mut diagonals = BTreeMap::new();
+    if diag0.iter().any(|v| v.norm() > 0.0) {
+        diagonals.insert(0usize, diag0);
+    }
+    // +lenh and n-lenh may coincide when lenh == n/2; merge the two contributions.
+    let plus_offset = lenh % n;
+    let minus_offset = (n - lenh) % n;
+    if plus_offset == minus_offset {
+        let merged: Vec<Complex64> = diag_plus
+            .iter()
+            .zip(diag_minus.iter())
+            .map(|(a, b)| *a + *b)
+            .collect();
+        if merged.iter().any(|v| v.norm() > 0.0) {
+            diagonals.insert(plus_offset, merged);
+        }
+    } else {
+        if diag_plus.iter().any(|v| v.norm() > 0.0) {
+            diagonals.insert(plus_offset, diag_plus);
+        }
+        if diag_minus.iter().any(|v| v.norm() > 0.0) {
+            diagonals.insert(minus_offset, diag_minus);
+        }
+    }
+    LinearTransform::from_diagonals(n, diagonals)
+}
+
+/// Groups consecutive stages into `groups` composed matrices (0 or >= stage count keeps one
+/// matrix per stage). Within a group the stages are composed in application order.
+fn group_stages(stages: Vec<LinearTransform>, groups: usize) -> Vec<LinearTransform> {
+    let total = stages.len();
+    if groups == 0 || groups >= total {
+        return stages;
+    }
+    let per_group = total.div_ceil(groups);
+    let mut out = Vec::with_capacity(groups);
+    let mut iter = stages.into_iter();
+    loop {
+        let chunk: Vec<LinearTransform> = iter.by_ref().take(per_group).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        let mut combined = chunk[0].clone();
+        for stage in chunk.iter().skip(1) {
+            combined = stage.compose(&combined);
+        }
+        out.push(combined);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        CkksContext, CkksParams, Decryptor, Encoder, Encryptor, KeyGenerator, SecretKey,
+    };
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+    use std::sync::Arc;
+
+    fn random_slots(n: usize, seed: u64) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                let x = ((i as f64 + seed as f64) * 0.61).sin();
+                let y = ((i as f64 * 1.3 + seed as f64) * 0.27).cos();
+                Complex64::new(x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn diagonal_extraction_matches_dense_application() {
+        let n = 8;
+        let matrix: Vec<Vec<Complex64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if (i + j) % 3 == 0 {
+                            Complex64::new(i as f64 + 1.0, j as f64 - 2.0)
+                        } else {
+                            Complex64::zero()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let lt = LinearTransform::from_matrix(&matrix);
+        let input = random_slots(n, 3);
+        let by_diag = lt.apply_plain(&input);
+        for i in 0..n {
+            let mut expected = Complex64::zero();
+            for j in 0..n {
+                expected += matrix[i][j] * input[j];
+            }
+            assert!((by_diag[i] - expected).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_transform_is_identity() {
+        let lt = LinearTransform::identity(16);
+        let input = random_slots(16, 1);
+        let out = lt.apply_plain(&input);
+        for (a, b) in out.iter().zip(&input) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+        assert_eq!(lt.diagonal_count(), 1);
+        assert!(lt.required_rotations().is_empty());
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let n = 16;
+        let fft = SpecialFft::new(2 * n).unwrap();
+        let stages = forward_butterfly_stages(&fft);
+        let a = &stages[0];
+        let b = &stages[1];
+        let composed = b.compose(a);
+        let input = random_slots(n, 7);
+        let sequential = b.apply_plain(&a.apply_plain(&input));
+        let direct = composed.apply_plain(&input);
+        for i in 0..n {
+            assert!((sequential[i] - direct[i]).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn butterfly_stages_compose_to_the_special_fft_up_to_bit_reversal() {
+        // Applying all forward stages to a bit-reversed input must equal the library FFT.
+        let n = 32;
+        let fft = SpecialFft::new(2 * n).unwrap();
+        let stages = forward_butterfly_stages(&fft);
+        let input = random_slots(n, 11);
+        let mut reference = input.clone();
+        fft.forward(&mut reference);
+        let mut bit_reversed = input.clone();
+        fab_math::bit_reverse_permute(&mut bit_reversed);
+        let mut staged = bit_reversed;
+        for stage in &stages {
+            staged = stage.apply_plain(&staged);
+        }
+        for i in 0..n {
+            assert!(
+                (staged[i] - reference[i]).norm() < 1e-8,
+                "slot {i}: {} vs {}",
+                staged[i],
+                reference[i]
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_stages_invert_forward_stages_up_to_permutation_and_scaling() {
+        let n = 32;
+        let fft = SpecialFft::new(2 * n).unwrap();
+        let forward = forward_butterfly_stages(&fft);
+        let inverse = inverse_butterfly_stages(&fft);
+        let input = random_slots(n, 13);
+        // forward stages then inverse stages (with 1/n) must give back the input, because the
+        // bit-reversal permutations cancel between the two passes.
+        let mut x = input.clone();
+        for stage in &forward {
+            x = stage.apply_plain(&x);
+        }
+        for stage in &inverse {
+            x = stage.apply_plain(&x);
+        }
+        for v in x.iter_mut() {
+            *v = *v * (1.0 / n as f64);
+        }
+        for i in 0..n {
+            assert!((x[i] - input[i]).norm() < 1e-8, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn grouped_stages_match_ungrouped_product() {
+        let n = 64;
+        let fft = SpecialFft::new(2 * n).unwrap();
+        let input = random_slots(n, 17);
+        let ungrouped = slot_to_coeff_stages(&fft, 0);
+        let grouped = slot_to_coeff_stages(&fft, 2);
+        assert_eq!(ungrouped.len(), 6);
+        assert_eq!(grouped.len(), 2);
+        let mut a = input.clone();
+        for s in &ungrouped {
+            a = s.apply_plain(&a);
+        }
+        let mut b = input.clone();
+        for s in &grouped {
+            b = s.apply_plain(&b);
+        }
+        for i in 0..n {
+            assert!((a[i] - b[i]).norm() < 1e-8);
+        }
+        // Merged stages trade rotations for depth: fewer matrices, more diagonals each.
+        assert!(grouped[0].diagonal_count() > ungrouped[0].diagonal_count());
+    }
+
+    #[test]
+    fn homomorphic_application_matches_plain_application() {
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(31);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+        let pk = keygen.public_key(&mut rng);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone(), pk);
+        let decryptor = Decryptor::new(ctx.clone(), sk);
+        let evaluator = crate::Evaluator::new(ctx.clone());
+
+        // A small circulant-ish transform with three diagonals on the full slot count.
+        let n = ctx.slot_count();
+        let mut diagonals = BTreeMap::new();
+        diagonals.insert(0usize, vec![Complex64::new(0.5, 0.0); n]);
+        diagonals.insert(1usize, vec![Complex64::new(0.25, 0.1); n]);
+        diagonals.insert(3usize, vec![Complex64::new(-0.75, 0.0); n]);
+        let lt = LinearTransform::from_diagonals(n, diagonals);
+
+        let keys = keygen
+            .galois_keys(&lt.required_rotations(), false, &mut rng)
+            .unwrap();
+        let input = random_slots(n, 23);
+        let scale = ctx.params().default_scale();
+        let pt = encoder.encode(&input, scale, 3).unwrap();
+        let ct = encryptor.encrypt(&pt, &mut rng).unwrap();
+        let out_ct = lt.apply_homomorphic(&evaluator, &ct, &keys).unwrap();
+        assert_eq!(out_ct.level(), 2);
+        let decoded = encoder.decode(&decryptor.decrypt(&out_ct).unwrap());
+        let expected = lt.apply_plain(&input);
+        for i in 0..64 {
+            assert!(
+                (decoded[i] - expected[i]).norm() < 1e-2,
+                "slot {i}: {} vs {}",
+                decoded[i],
+                expected[i]
+            );
+        }
+        let _ = Arc::strong_count(&ctx);
+    }
+}

@@ -1,0 +1,149 @@
+//! Random polynomial sampling: uniform ring elements, ternary secrets, and Gaussian errors.
+
+use fab_rns::{Representation, RnsBasis, RnsPolynomial};
+use rand::Rng;
+
+/// Samples a uniform element of `R_Q` (independent uniform residues per limb, which is exactly
+/// the CRT image of a uniform element modulo the basis product).
+pub fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, basis: &RnsBasis) -> RnsPolynomial {
+    let degree = basis.degree();
+    let limbs = basis
+        .moduli()
+        .iter()
+        .map(|m| (0..degree).map(|_| rng.gen_range(0..m.value())).collect())
+        .collect();
+    RnsPolynomial::from_limbs(limbs, Representation::Coefficient)
+}
+
+/// Samples a uniform ternary polynomial with coefficients in `{-1, 0, 1}` as signed values.
+pub fn sample_ternary_coeffs<R: Rng + ?Sized>(rng: &mut R, degree: usize) -> Vec<i64> {
+    (0..degree).map(|_| rng.gen_range(-1..=1)).collect()
+}
+
+/// Samples a sparse ternary polynomial with exactly `hamming_weight` nonzero (±1) coefficients.
+///
+/// # Panics
+///
+/// Panics if `hamming_weight > degree`.
+pub fn sample_sparse_ternary_coeffs<R: Rng + ?Sized>(
+    rng: &mut R,
+    degree: usize,
+    hamming_weight: usize,
+) -> Vec<i64> {
+    assert!(hamming_weight <= degree);
+    let mut coeffs = vec![0i64; degree];
+    let mut placed = 0;
+    while placed < hamming_weight {
+        let idx = rng.gen_range(0..degree);
+        if coeffs[idx] == 0 {
+            coeffs[idx] = if rng.gen_bool(0.5) { 1 } else { -1 };
+            placed += 1;
+        }
+    }
+    coeffs
+}
+
+/// Samples a rounded-Gaussian error polynomial with the given standard deviation, as signed
+/// coefficients. Uses the Box–Muller transform; the tails are clipped at ±6σ, matching common
+/// FHE library practice.
+pub fn sample_gaussian_coeffs<R: Rng + ?Sized>(
+    rng: &mut R,
+    degree: usize,
+    std_dev: f64,
+) -> Vec<i64> {
+    let mut out = Vec::with_capacity(degree);
+    while out.len() < degree {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        for value in [radius * theta.cos(), radius * theta.sin()] {
+            if out.len() < degree {
+                let scaled = (value * std_dev).round();
+                let clipped = scaled.clamp(-6.0 * std_dev, 6.0 * std_dev);
+                out.push(clipped as i64);
+            }
+        }
+    }
+    out
+}
+
+/// Lifts signed coefficients into an RNS polynomial over the given basis.
+pub fn lift_signed(coeffs: &[i64], basis: &RnsBasis) -> RnsPolynomial {
+    RnsPolynomial::from_signed_coeffs(coeffs, basis, Representation::Coefficient)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn rng() -> ChaCha20Rng {
+        ChaCha20Rng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn uniform_sampling_stays_in_range_and_is_not_constant() {
+        let basis = RnsBasis::generate(1 << 8, 40, 3).unwrap();
+        let poly = sample_uniform(&mut rng(), &basis);
+        for (i, m) in basis.moduli().iter().enumerate() {
+            assert!(poly.limb(i).iter().all(|&c| c < m.value()));
+            let first = poly.limb(i)[0];
+            assert!(poly.limb(i).iter().any(|&c| c != first));
+        }
+    }
+
+    #[test]
+    fn ternary_sampling_has_only_ternary_values() {
+        let coeffs = sample_ternary_coeffs(&mut rng(), 4096);
+        assert!(coeffs.iter().all(|&c| (-1..=1).contains(&c)));
+        // All three values should occur in a long enough sample.
+        for target in [-1i64, 0, 1] {
+            assert!(coeffs.contains(&target));
+        }
+    }
+
+    #[test]
+    fn sparse_ternary_has_exact_weight() {
+        let coeffs = sample_sparse_ternary_coeffs(&mut rng(), 1024, 64);
+        assert_eq!(coeffs.iter().filter(|&&c| c != 0).count(), 64);
+        assert!(coeffs.iter().all(|&c| (-1..=1).contains(&c)));
+    }
+
+    #[test]
+    fn gaussian_sampling_has_reasonable_moments() {
+        let std_dev = 3.2;
+        let coeffs = sample_gaussian_coeffs(&mut rng(), 1 << 14, std_dev);
+        let n = coeffs.len() as f64;
+        let mean = coeffs.iter().map(|&c| c as f64).sum::<f64>() / n;
+        let var = coeffs.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.2, "mean {mean} too far from zero");
+        assert!(
+            (var.sqrt() - std_dev).abs() < 0.5,
+            "std {} too far from {std_dev}",
+            var.sqrt()
+        );
+        assert!(coeffs.iter().all(|&c| (c as f64).abs() <= 6.0 * std_dev + 1.0));
+    }
+
+    #[test]
+    fn lift_signed_matches_per_limb_reduction() {
+        let basis = RnsBasis::generate(64, 30, 2).unwrap();
+        let coeffs: Vec<i64> = (0..64).map(|i| i - 32).collect();
+        let poly = lift_signed(&coeffs, &basis);
+        for (i, m) in basis.moduli().iter().enumerate() {
+            for (j, &c) in coeffs.iter().enumerate() {
+                assert_eq!(poly.limb(i)[j], m.reduce_i64(c));
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let basis = RnsBasis::generate(64, 30, 2).unwrap();
+        let a = sample_uniform(&mut ChaCha20Rng::seed_from_u64(7), &basis);
+        let b = sample_uniform(&mut ChaCha20Rng::seed_from_u64(7), &basis);
+        assert_eq!(a, b);
+    }
+}

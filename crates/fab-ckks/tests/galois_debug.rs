@@ -1,0 +1,107 @@
+//! Scratch diagnostics for the Galois (rotation/conjugation) path.
+
+use fab_ckks::{
+    CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator, SecretKey,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+#[test]
+fn identity_galois_element_keyswitch_preserves_message() {
+    // Element 1 is the identity automorphism; applying it with a switching key for sigma_1(s)=s
+    // exercises the key-switch path in isolation from any slot permutation.
+    let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+    let mut rng = ChaCha20Rng::seed_from_u64(5);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+    let pk = keygen.public_key(&mut rng);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone(), pk);
+    let decryptor = Decryptor::new(ctx.clone(), sk);
+    let evaluator = Evaluator::new(ctx.clone());
+
+    let scale = ctx.params().default_scale();
+    let values: Vec<f64> = (0..16).map(|i| i as f64 * 0.25 - 2.0).collect();
+    let pt = encoder.encode_real(&values, scale, 3).unwrap();
+    let ct = encryptor.encrypt(&pt, &mut rng).unwrap();
+
+    let key = keygen.galois_key(1, &mut rng).unwrap();
+    let switched = evaluator.apply_galois(&ct, 1, &key).unwrap();
+    let decoded = encoder.decode_real(&decryptor.decrypt(&switched).unwrap());
+    for i in 0..16 {
+        assert!(
+            (decoded[i] - values[i]).abs() < 1e-2,
+            "slot {i}: {} vs {}",
+            decoded[i],
+            values[i]
+        );
+    }
+}
+
+#[test]
+fn automorphed_ciphertext_decrypts_under_automorphed_secret() {
+    // Apply sigma_g to the ciphertext polynomials only (no key switch) and decrypt with a
+    // decryptor built from sigma_g(s). The slots must be the left-rotated original slots.
+    let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+    let mut rng = ChaCha20Rng::seed_from_u64(6);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+    let pk = keygen.public_key(&mut rng);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone(), pk);
+
+    let scale = ctx.params().default_scale();
+    let n = ctx.slot_count();
+    let values: Vec<f64> = (0..n).map(|i| (i % 23) as f64 * 0.1).collect();
+    let pt = encoder.encode_real(&values, scale, 2).unwrap();
+    let ct = encryptor.encrypt(&pt, &mut rng).unwrap();
+
+    let steps = 1usize;
+    let element = fab_math::galois_element_for_rotation(ctx.degree(), steps);
+    let basis = ctx.basis_at_level(ct.level()).unwrap();
+    let c0 = ct.c0().automorphism(element, &basis).unwrap();
+    let c1 = ct.c1().automorphism(element, &basis).unwrap();
+    let rotated = fab_ckks::Ciphertext::from_parts(c0, c1, ct.scale(), ct.level());
+
+    // Decrypt with sigma(s).
+    let sigma_s_coeffs = {
+        let degree = ctx.degree();
+        let m = 2 * degree as u64;
+        let mut out = vec![0i64; degree];
+        for (i, &c) in sk.coeffs().iter().enumerate() {
+            let raw = (i as u64 * element) % m;
+            if raw < degree as u64 {
+                out[raw as usize] = c;
+            } else {
+                out[(raw - degree as u64) as usize] = -c;
+            }
+        }
+        out
+    };
+    let sigma_sk = SecretKey::from_coeffs(&ctx, sigma_s_coeffs);
+    let sigma_decryptor = Decryptor::new(ctx.clone(), sigma_sk);
+    let decoded = encoder.decode_real(&sigma_decryptor.decrypt(&rotated).unwrap());
+
+    let mut mismatches_left = 0;
+    let mut mismatches_right = 0;
+    for i in 0..64 {
+        let left = values[(i + steps) % n];
+        let right = values[(i + n - steps) % n];
+        if (decoded[i] - left).abs() > 1e-2 {
+            mismatches_left += 1;
+        }
+        if (decoded[i] - right).abs() > 1e-2 {
+            mismatches_right += 1;
+        }
+    }
+    assert!(
+        mismatches_left == 0 || mismatches_right == 0,
+        "automorphism alone already scrambles slots: left-mismatch {mismatches_left}, right-mismatch {mismatches_right}, sample: decoded[0..4] = {:?}, values[0..4] = {:?}",
+        &decoded[..4],
+        &values[..4]
+    );
+    assert_eq!(
+        mismatches_left, 0,
+        "rotation direction is right-rotation rather than the documented left-rotation"
+    );
+}

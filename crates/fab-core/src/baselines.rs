@@ -1,0 +1,318 @@
+//! Published baseline numbers the paper compares against (Tables 4–8 and Section 5.5).
+//!
+//! These constants are the values *reported by the respective papers* and quoted by FAB; the
+//! benchmark harness prints the model's numbers next to them and checks the speedup shapes.
+//! They are data, not measurements of this reproduction.
+
+/// A row of Table 4: resources used by prior accelerators versus FAB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorResources {
+    /// System name.
+    pub name: &'static str,
+    /// `log2 N` of the parameter set.
+    pub log_n: usize,
+    /// Limb width `log q` in bits.
+    pub log_q: u32,
+    /// Number of modular multipliers.
+    pub modular_multipliers: usize,
+    /// Register-file size in MB.
+    pub register_file_mb: f64,
+    /// On-chip memory in MB.
+    pub on_chip_memory_mb: f64,
+}
+
+/// Table 4: F1, BTS and FAB resource comparison.
+pub fn table4_resources() -> Vec<AcceleratorResources> {
+    vec![
+        AcceleratorResources {
+            name: "F1",
+            log_n: 14,
+            log_q: 32,
+            modular_multipliers: 18_432,
+            register_file_mb: 8.0,
+            on_chip_memory_mb: 64.0,
+        },
+        AcceleratorResources {
+            name: "BTS",
+            log_n: 17,
+            log_q: 50,
+            modular_multipliers: 8_192,
+            register_file_mb: 22.0,
+            on_chip_memory_mb: 512.0,
+        },
+        AcceleratorResources {
+            name: "FAB",
+            log_n: 16,
+            log_q: 54,
+            modular_multipliers: 256,
+            register_file_mb: 2.0,
+            on_chip_memory_mb: 43.0,
+        },
+    ]
+}
+
+/// GPU execution times for basic CKKS operations in milliseconds (Table 5, Jung et al.,
+/// N = 2^16, log Q = 1693).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuBasicOps {
+    /// Homomorphic addition.
+    pub add_ms: f64,
+    /// Homomorphic multiplication.
+    pub mult_ms: f64,
+    /// Rescale.
+    pub rescale_ms: f64,
+    /// Rotation.
+    pub rotate_ms: f64,
+}
+
+/// The GPU column of Table 5.
+pub const TABLE5_GPU: GpuBasicOps = GpuBasicOps {
+    add_ms: 0.16,
+    mult_ms: 2.96,
+    rescale_ms: 0.49,
+    rotate_ms: 2.55,
+};
+
+/// The FAB column of Table 5 as reported by the paper (for EXPERIMENTS.md comparison).
+pub const TABLE5_FAB_REPORTED: GpuBasicOps = GpuBasicOps {
+    add_ms: 0.04,
+    mult_ms: 1.71,
+    rescale_ms: 0.19,
+    rotate_ms: 1.57,
+};
+
+/// Throughput numbers of Table 6 (operations per second, N = 2^14, log Q = 438).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputBaseline {
+    /// Single-limb NTT throughput.
+    pub ntt_ops_per_s: f64,
+    /// Homomorphic multiplication throughput.
+    pub mult_ops_per_s: f64,
+}
+
+/// HEAX throughput (Table 6).
+pub const TABLE6_HEAX: ThroughputBaseline = ThroughputBaseline {
+    ntt_ops_per_s: 42_000.0,
+    mult_ops_per_s: 2_600.0,
+};
+
+/// FAB throughput as reported in Table 6.
+pub const TABLE6_FAB_REPORTED: ThroughputBaseline = ThroughputBaseline {
+    ntt_ops_per_s: 167_000.0,
+    mult_ops_per_s: 5_700.0,
+};
+
+/// A bootstrapping baseline row of Table 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapBaseline {
+    /// System name.
+    pub name: &'static str,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// `log2` of the packed slot count.
+    pub log_slots: usize,
+    /// Amortized per-slot multiplication time in microseconds (Equation 2).
+    pub amortized_mult_us: f64,
+}
+
+/// Table 7: amortized bootstrapping comparisons (CPU, GPU, ASIC and FAB as reported).
+pub fn table7_bootstrapping() -> Vec<BootstrapBaseline> {
+    vec![
+        BootstrapBaseline {
+            name: "Lattigo (CPU)",
+            freq_ghz: 3.5,
+            log_slots: 15,
+            amortized_mult_us: 101.78,
+        },
+        BootstrapBaseline {
+            name: "GPU-1 (100b)",
+            freq_ghz: 1.2,
+            log_slots: 15,
+            amortized_mult_us: 0.740,
+        },
+        BootstrapBaseline {
+            name: "GPU-2 (173b)",
+            freq_ghz: 1.2,
+            log_slots: 16,
+            amortized_mult_us: 0.716,
+        },
+        BootstrapBaseline {
+            name: "F1 (ASIC)",
+            freq_ghz: 1.0,
+            log_slots: 0,
+            amortized_mult_us: 254.46,
+        },
+        BootstrapBaseline {
+            name: "BTS-2 (ASIC)",
+            freq_ghz: 1.2,
+            log_slots: 16,
+            amortized_mult_us: 0.0455,
+        },
+        BootstrapBaseline {
+            name: "FAB (reported)",
+            freq_ghz: 0.3,
+            log_slots: 15,
+            amortized_mult_us: 0.477,
+        },
+    ]
+}
+
+/// A logistic-regression training baseline row of Table 8 (time per iteration in seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrBaseline {
+    /// System name.
+    pub name: &'static str,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Average training time per iteration in seconds.
+    pub seconds_per_iteration: f64,
+}
+
+/// Table 8: LR training time per iteration for sparsely-packed ciphertexts.
+pub fn table8_lr_training() -> Vec<LrBaseline> {
+    vec![
+        LrBaseline {
+            name: "Lattigo (CPU)",
+            freq_ghz: 3.5,
+            seconds_per_iteration: 37.05,
+        },
+        LrBaseline {
+            name: "GPU-2",
+            freq_ghz: 1.2,
+            seconds_per_iteration: 0.775,
+        },
+        LrBaseline {
+            name: "F1 (ASIC)",
+            freq_ghz: 1.0,
+            seconds_per_iteration: 1.024,
+        },
+        LrBaseline {
+            name: "BTS-2 (ASIC)",
+            freq_ghz: 1.2,
+            seconds_per_iteration: 0.028,
+        },
+        LrBaseline {
+            name: "FAB-1 (reported)",
+            freq_ghz: 0.3,
+            seconds_per_iteration: 0.103,
+        },
+        LrBaseline {
+            name: "FAB-2 (reported)",
+            freq_ghz: 0.3,
+            seconds_per_iteration: 0.081,
+        },
+    ]
+}
+
+/// Section 5.5 leveled-FHE comparison: client-side re-encryption alone costs 0.162 s per
+/// iteration on a 2.8 GHz CPU (excluding cloud compute and network time), already slower than
+/// FAB-1's full iteration.
+pub const LEVELED_FHE_CLIENT_ENCRYPT_S: f64 = 0.162;
+
+/// The CPU frequency (GHz) used for the leveled-FHE client measurement.
+pub const LEVELED_FHE_CLIENT_FREQ_GHZ: f64 = 2.8;
+
+/// The HELR benchmark task parameters shared by every system in Table 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelrTask {
+    /// Training samples.
+    pub samples: usize,
+    /// Features per sample.
+    pub features: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Training iterations.
+    pub iterations: usize,
+    /// Packed slots per ciphertext in the sparsely-packed configuration.
+    pub slots: usize,
+}
+
+/// The MNIST-3-vs-8 HELR task (Section 5.5).
+pub const HELR_TASK: HelrTask = HelrTask {
+    samples: 11_982,
+    features: 196,
+    batch_size: 1_024,
+    iterations: 30,
+    slots: 256,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_has_three_systems_with_fab_smallest() {
+        let rows = table4_resources();
+        assert_eq!(rows.len(), 3);
+        let fab = rows.iter().find(|r| r.name == "FAB").unwrap();
+        let bts = rows.iter().find(|r| r.name == "BTS").unwrap();
+        assert_eq!(fab.modular_multipliers, 256);
+        // The paper: 32× fewer multipliers, 11× smaller RF, 12× smaller on-chip memory vs BTS.
+        assert_eq!(bts.modular_multipliers / fab.modular_multipliers, 32);
+        assert!((bts.register_file_mb / fab.register_file_mb - 11.0).abs() < 0.1);
+        assert!((bts.on_chip_memory_mb / fab.on_chip_memory_mb - 11.9).abs() < 0.3);
+    }
+
+    #[test]
+    fn table5_and_6_reported_speedups_match_paper_claims() {
+        // Average 2.4× over the GPU for basic ops and ~3× over HEAX throughput.
+        let speedups = [
+            TABLE5_GPU.add_ms / TABLE5_FAB_REPORTED.add_ms,
+            TABLE5_GPU.mult_ms / TABLE5_FAB_REPORTED.mult_ms,
+            TABLE5_GPU.rescale_ms / TABLE5_FAB_REPORTED.rescale_ms,
+            TABLE5_GPU.rotate_ms / TABLE5_FAB_REPORTED.rotate_ms,
+        ];
+        let avg: f64 = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        assert!(avg > 2.2 && avg < 2.7, "average GPU speedup {avg}");
+        let ntt = TABLE6_FAB_REPORTED.ntt_ops_per_s / TABLE6_HEAX.ntt_ops_per_s;
+        let mult = TABLE6_FAB_REPORTED.mult_ops_per_s / TABLE6_HEAX.mult_ops_per_s;
+        assert!(ntt > 3.9 && ntt < 4.1);
+        assert!(mult > 2.0 && mult < 2.3);
+    }
+
+    #[test]
+    fn table7_speedups_match_paper_claims() {
+        let rows = table7_bootstrapping();
+        let fab = rows.last().unwrap();
+        let lattigo = &rows[0];
+        let gpu1 = &rows[1];
+        let bts = &rows[4];
+        assert!((lattigo.amortized_mult_us / fab.amortized_mult_us - 213.0).abs() < 2.0);
+        assert!((gpu1.amortized_mult_us / fab.amortized_mult_us - 1.55).abs() < 0.05);
+        // FAB is ~9-11× slower than BTS-2 in absolute time (0.09× speedup).
+        let vs_bts = bts.amortized_mult_us / fab.amortized_mult_us;
+        assert!(vs_bts > 0.08 && vs_bts < 0.11);
+    }
+
+    #[test]
+    fn table8_speedups_match_paper_claims() {
+        let rows = table8_lr_training();
+        let fab2 = rows.iter().find(|r| r.name.starts_with("FAB-2")).unwrap();
+        let fab1 = rows.iter().find(|r| r.name.starts_with("FAB-1")).unwrap();
+        let lattigo = &rows[0];
+        let gpu = &rows[1];
+        let f1 = &rows[2];
+        assert!((lattigo.seconds_per_iteration / fab2.seconds_per_iteration - 457.0).abs() < 3.0);
+        assert!((gpu.seconds_per_iteration / fab2.seconds_per_iteration - 9.57).abs() < 0.2);
+        assert!((f1.seconds_per_iteration / fab2.seconds_per_iteration - 12.6).abs() < 0.3);
+        assert!((fab1.seconds_per_iteration / fab2.seconds_per_iteration - 1.27).abs() < 0.05);
+    }
+
+    #[test]
+    fn leveled_fhe_client_cost_exceeds_fab1_iteration() {
+        let fab1 = table8_lr_training()
+            .into_iter()
+            .find(|r| r.name.starts_with("FAB-1"))
+            .unwrap();
+        assert!(LEVELED_FHE_CLIENT_ENCRYPT_S > fab1.seconds_per_iteration);
+    }
+
+    #[test]
+    fn helr_task_matches_section_5_5() {
+        assert_eq!(HELR_TASK.samples, 11_982);
+        assert_eq!(HELR_TASK.features, 196);
+        assert_eq!(HELR_TASK.batch_size, 1_024);
+        assert_eq!(HELR_TASK.iterations, 30);
+        assert_eq!(HELR_TASK.slots, 256);
+    }
+}

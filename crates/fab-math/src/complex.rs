@@ -1,0 +1,251 @@
+//! A minimal complex-number type used by the CKKS encoder and the homomorphic FFT matrices.
+//!
+//! The CKKS plaintext space is `C^{N/2}`; encoding and bootstrapping both need complex
+//! arithmetic. To stay within the approved offline dependency set we provide our own small
+//! `Complex64` rather than pulling in `num-complex`.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// ```
+/// use fab_math::Complex64;
+///
+/// let i = Complex64::new(0.0, 1.0);
+/// assert!((i * i + Complex64::new(1.0, 0.0)).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub fn zero() -> Self {
+        Self { re: 0.0, im: 0.0 }
+    }
+
+    /// The multiplicative identity.
+    #[inline]
+    pub fn one() -> Self {
+        Self { re: 1.0, im: 0.0 }
+    }
+
+    /// The imaginary unit `i`.
+    #[inline]
+    pub fn i() -> Self {
+        Self { re: 0.0, im: 1.0 }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    #[inline]
+    pub fn from_polar(radius: f64, theta: f64) -> Self {
+        Self {
+            re: radius * theta.cos(),
+            im: radius * theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Euclidean norm `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared norm `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Multiplicative inverse. Returns NaN components if `self` is zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Self::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::new(re, 0.0)
+    }
+}
+
+impl std::fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex64::new(1.5, -2.5);
+        let b = Complex64::new(-0.25, 3.0);
+        let c = Complex64::new(4.0, 4.0);
+        assert!(((a + b) + c - (a + (b + c))).norm() < 1e-12);
+        assert!(((a * b) * c - (a * (b * c))).norm() < 1e-12);
+        assert!((a * (b + c) - (a * b + a * c)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn polar_and_conjugate() {
+        let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.norm() - 2.0).abs() < 1e-12);
+        assert!(((z * z.conj()).re - 4.0).abs() < 1e-12);
+        assert!((z * z.conj()).im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(3.0, -7.0);
+        let b = Complex64::new(0.5, 0.25);
+        let q = a / b;
+        assert!((q * b - a).norm() < 1e-10);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_commutative(re1 in -1e3f64..1e3, im1 in -1e3f64..1e3,
+                                re2 in -1e3f64..1e3, im2 in -1e3f64..1e3) {
+            let a = Complex64::new(re1, im1);
+            let b = Complex64::new(re2, im2);
+            prop_assert!((a * b - b * a).norm() < 1e-9);
+        }
+
+        #[test]
+        fn prop_conj_is_involution(re in -1e6f64..1e6, im in -1e6f64..1e6) {
+            let z = Complex64::new(re, im);
+            prop_assert_eq!(z.conj().conj(), z);
+        }
+    }
+}

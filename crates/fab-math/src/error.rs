@@ -1,0 +1,123 @@
+//! Error type for the math substrate.
+
+use std::fmt;
+
+/// Errors produced by the arithmetic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MathError {
+    /// The modulus does not satisfy a precondition (zero, too large, or not prime where required).
+    InvalidModulus {
+        /// The offending modulus value.
+        modulus: u64,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A ring degree was not a power of two or was out of the supported range.
+    InvalidDegree {
+        /// The offending degree.
+        degree: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// No prime satisfying the requested constraints could be found.
+    PrimeNotFound {
+        /// Requested bit size.
+        bits: u32,
+        /// Required NTT degree (q ≡ 1 mod 2·degree).
+        degree: usize,
+    },
+    /// A primitive root of unity of the requested order does not exist modulo the prime.
+    NoPrimitiveRoot {
+        /// The modulus searched.
+        modulus: u64,
+        /// The requested order.
+        order: u64,
+    },
+    /// An element had no inverse modulo the modulus.
+    NotInvertible {
+        /// The non-invertible element.
+        value: u64,
+        /// The modulus.
+        modulus: u64,
+    },
+    /// A Galois element was invalid (even, or out of range) for the ring degree.
+    InvalidGaloisElement {
+        /// The offending Galois element.
+        element: u64,
+        /// The ring degree.
+        degree: usize,
+    },
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::InvalidModulus { modulus, reason } => {
+                write!(f, "invalid modulus {modulus}: {reason}")
+            }
+            MathError::InvalidDegree { degree, reason } => {
+                write!(f, "invalid ring degree {degree}: {reason}")
+            }
+            MathError::PrimeNotFound { bits, degree } => {
+                write!(f, "no {bits}-bit NTT prime found for degree {degree}")
+            }
+            MathError::NoPrimitiveRoot { modulus, order } => {
+                write!(f, "no primitive root of order {order} modulo {modulus}")
+            }
+            MathError::NotInvertible { value, modulus } => {
+                write!(f, "element {value} is not invertible modulo {modulus}")
+            }
+            MathError::InvalidGaloisElement { element, degree } => {
+                write!(f, "invalid galois element {element} for ring degree {degree}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = vec![
+            MathError::InvalidModulus {
+                modulus: 0,
+                reason: "zero",
+            },
+            MathError::InvalidDegree {
+                degree: 3,
+                reason: "not a power of two",
+            },
+            MathError::PrimeNotFound {
+                bits: 54,
+                degree: 1 << 16,
+            },
+            MathError::NoPrimitiveRoot {
+                modulus: 17,
+                order: 32,
+            },
+            MathError::NotInvertible {
+                value: 4,
+                modulus: 8,
+            },
+            MathError::InvalidGaloisElement {
+                element: 2,
+                degree: 8,
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

@@ -1,0 +1,299 @@
+//! The "special" complex FFT used by CKKS encoding/decoding and by the homomorphic
+//! CoeffToSlot / SlotToCoeff linear transforms in bootstrapping.
+//!
+//! CKKS maps a vector of `n = N/2` complex slots to a real polynomial through the canonical
+//! embedding restricted to the orbit of 5 modulo 2N (Section 2.1.2 of the paper: "during CKKS
+//! encryption and decryption, a complex FFT must be run … during bootstrapping, this complex
+//! FFT must be homomorphically evaluated"). This module provides both the fast O(n log n)
+//! transform (HEAAN-style) and a direct O(n^2) evaluation used as a testing oracle and to
+//! build the bootstrapping matrices.
+
+use crate::{Complex64, MathError, Result};
+
+/// Precomputed roots of unity and rotation-group tables for the special FFT at a fixed degree.
+///
+/// ```
+/// use fab_math::{Complex64, SpecialFft};
+///
+/// # fn main() -> Result<(), fab_math::MathError> {
+/// let fft = SpecialFft::new(1 << 6)?; // N = 64, n = 32 slots
+/// let slots: Vec<Complex64> = (0..32).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+/// let mut w = slots.clone();
+/// fft.inverse(&mut w);
+/// fft.forward(&mut w);
+/// for (a, b) in w.iter().zip(&slots) {
+///     assert!((*a - *b).norm() < 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpecialFft {
+    /// Ring degree `N`.
+    degree: usize,
+    /// Number of slots `n = N/2`.
+    slots: usize,
+    /// `M = 2N`.
+    m: usize,
+    /// `ksi_pows[j] = exp(2πi · j / M)`, for `j = 0..M`.
+    ksi_pows: Vec<Complex64>,
+    /// `rot_group[i] = 5^i mod M`.
+    rot_group: Vec<usize>,
+}
+
+impl SpecialFft {
+    /// Builds the tables for ring degree `degree` (power of two ≥ 4); the slot count is `N/2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidDegree`] if `degree` is not a power of two at least 4.
+    pub fn new(degree: usize) -> Result<Self> {
+        if degree < 4 || !degree.is_power_of_two() {
+            return Err(MathError::InvalidDegree {
+                degree,
+                reason: "special FFT degree must be a power of two at least 4",
+            });
+        }
+        let slots = degree / 2;
+        let m = 2 * degree;
+        let mut ksi_pows = Vec::with_capacity(m + 1);
+        for j in 0..=m {
+            let theta = 2.0 * std::f64::consts::PI * j as f64 / m as f64;
+            ksi_pows.push(Complex64::from_polar(1.0, theta));
+        }
+        let mut rot_group = Vec::with_capacity(slots);
+        let mut five_pow = 1usize;
+        for _ in 0..slots {
+            rot_group.push(five_pow);
+            five_pow = (five_pow * 5) % m;
+        }
+        Ok(Self {
+            degree,
+            slots,
+            m,
+            ksi_pows,
+            rot_group,
+        })
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of complex slots `n = N/2`.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Returns `5^i mod 2N`, the Galois exponent associated with slot rotation by `i`.
+    pub fn rotation_group(&self) -> &[usize] {
+        &self.rot_group
+    }
+
+    /// Forward special FFT: polynomial-side values → slot values (used by decoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` is not the full slot count.
+    pub fn forward(&self, values: &mut [Complex64]) {
+        assert_eq!(values.len(), self.slots, "expected N/2 slot values");
+        let n = values.len();
+        bit_reverse_in_place(values);
+        let mut len = 2usize;
+        while len <= n {
+            let lenh = len >> 1;
+            let lenq = len << 2;
+            for i in (0..n).step_by(len) {
+                for j in 0..lenh {
+                    let idx = (self.rot_group[j] % lenq) * (self.m / lenq);
+                    let u = values[i + j];
+                    let v = values[i + j + lenh] * self.ksi_pows[idx];
+                    values[i + j] = u + v;
+                    values[i + j + lenh] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Inverse special FFT: slot values → polynomial-side values (used by encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` is not the full slot count.
+    pub fn inverse(&self, values: &mut [Complex64]) {
+        assert_eq!(values.len(), self.slots, "expected N/2 slot values");
+        let n = values.len();
+        let mut len = n;
+        while len >= 2 {
+            let lenh = len >> 1;
+            let lenq = len << 2;
+            for i in (0..n).step_by(len) {
+                for j in 0..lenh {
+                    let idx = (lenq - (self.rot_group[j] % lenq)) * (self.m / lenq);
+                    let u = values[i + j] + values[i + j + lenh];
+                    let v = (values[i + j] - values[i + j + lenh]) * self.ksi_pows[idx];
+                    values[i + j] = u;
+                    values[i + j + lenh] = v;
+                }
+            }
+            len >>= 1;
+        }
+        bit_reverse_in_place(values);
+        let scale = 1.0 / n as f64;
+        for v in values.iter_mut() {
+            *v = *v * scale;
+        }
+    }
+
+    /// Direct evaluation of the canonical-embedding matrix `U` applied to `values`
+    /// (`out[j] = Σ_i values[i] · ζ^{rot_group[j]·i}` restricted to the first N/2 powers plus the
+    /// conjugate half). Quadratic cost — used as a correctness oracle for [`Self::forward`] and
+    /// to materialise the CoeffToSlot/SlotToCoeff matrices for bootstrapping.
+    pub fn embedding_matrix_row(&self, slot: usize) -> Vec<Complex64> {
+        assert!(slot < self.slots);
+        let mut row = Vec::with_capacity(self.degree);
+        let root_exp = self.rot_group[slot];
+        for i in 0..self.degree {
+            row.push(self.ksi_pows[(root_exp * i) % self.m]);
+        }
+        row
+    }
+
+    /// Decodes a real coefficient vector (length `N`, scaled floats) into complex slots by
+    /// evaluating the canonical embedding directly. Quadratic cost; testing oracle.
+    pub fn decode_direct(&self, coeffs: &[f64]) -> Vec<Complex64> {
+        assert_eq!(coeffs.len(), self.degree);
+        (0..self.slots)
+            .map(|j| {
+                let row = self.embedding_matrix_row(j);
+                let mut acc = Complex64::zero();
+                for (c, r) in coeffs.iter().zip(row.iter()) {
+                    acc += *r * *c;
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+fn bit_reverse_in_place(values: &mut [Complex64]) {
+    let n = values.len();
+    if n < 2 {
+        return;
+    }
+    let log_n = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - log_n);
+        let j = j as usize;
+        if i < j {
+            values.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for log_n in [2usize, 4, 6, 8, 10] {
+            let fft = SpecialFft::new(1 << log_n).unwrap();
+            let slots = fft.slots();
+            let original: Vec<Complex64> = (0..slots)
+                .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let mut values = original.clone();
+            fft.inverse(&mut values);
+            fft.forward(&mut values);
+            for (a, b) in values.iter().zip(&original) {
+                assert!((*a - *b).norm() < 1e-8, "roundtrip failed at log_n={log_n}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_matches_direct_embedding() {
+        // forward(ifft-side coefficients interpreted as slot evaluation) should agree with the
+        // direct canonical-embedding evaluation of the corresponding real polynomial.
+        let fft = SpecialFft::new(1 << 5).unwrap();
+        let n = fft.slots();
+        let slots: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(0.1 * i as f64, -0.05 * i as f64))
+            .collect();
+        // Encode to polynomial-side values then back — the embedding property we rely on for
+        // CKKS correctness is exactly this round trip, checked against the direct evaluation
+        // through real coefficients.
+        let mut w = slots.clone();
+        fft.inverse(&mut w);
+        // Build the real coefficient vector the encoder would produce (without scaling/rounding).
+        let mut coeffs = vec![0.0f64; fft.degree()];
+        for i in 0..n {
+            coeffs[i] = w[i].re;
+            coeffs[i + n] = w[i].im;
+        }
+        let decoded = fft.decode_direct(&coeffs);
+        for (a, b) in decoded.iter().zip(&slots) {
+            assert!((*a - *b).norm() < 1e-8, "direct embedding disagrees");
+        }
+    }
+
+    #[test]
+    fn rotation_group_structure() {
+        let fft = SpecialFft::new(1 << 6).unwrap();
+        let m = 2 * fft.degree();
+        let rg = fft.rotation_group();
+        assert_eq!(rg[0], 1);
+        for w in rg.windows(2) {
+            assert_eq!(w[1], (w[0] * 5) % m);
+        }
+        // All elements are odd (units mod 2N).
+        assert!(rg.iter().all(|&g| g % 2 == 1));
+    }
+
+    #[test]
+    fn rejects_bad_degree() {
+        assert!(SpecialFft::new(0).is_err());
+        assert!(SpecialFft::new(2).is_err());
+        assert!(SpecialFft::new(12).is_err());
+    }
+
+    #[test]
+    fn linearity_of_inverse_transform() {
+        let fft = SpecialFft::new(1 << 6).unwrap();
+        let n = fft.slots();
+        let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 1.0)).collect();
+        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(-(i as f64), 2.0)).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fsum = sum.clone();
+        fft.inverse(&mut fa);
+        fft.inverse(&mut fb);
+        fft.inverse(&mut fsum);
+        for i in 0..n {
+            assert!((fsum[i] - (fa[i] + fb[i])).norm() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_roundtrip(values in proptest::collection::vec(-100.0f64..100.0, 32)) {
+            let fft = SpecialFft::new(64).unwrap();
+            let original: Vec<Complex64> = values
+                .iter()
+                .map(|&v| Complex64::new(v, -v * 0.5))
+                .collect();
+            let mut w = original.clone();
+            fft.inverse(&mut w);
+            fft.forward(&mut w);
+            for (a, b) in w.iter().zip(&original) {
+                prop_assert!((*a - *b).norm() < 1e-7);
+            }
+        }
+    }
+}

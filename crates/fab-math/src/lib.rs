@@ -1,0 +1,52 @@
+//! # fab-math
+//!
+//! Arithmetic substrate for the FAB reproduction: word-sized modular arithmetic for
+//! NTT-friendly primes, the paper's hardware-friendly shift-add modular reduction
+//! (Algorithm 1), multi-word (DSP-style) arithmetic, NTT/iNTT over negacyclic rings,
+//! the complex "special" FFT used by CKKS encoding, and Galois/automorphism index maps.
+//!
+//! All higher-level crates (`fab-rns`, `fab-ckks`, `fab-core`) build on these kernels.
+//!
+//! ```
+//! use fab_math::{Modulus, NttTable};
+//!
+//! # fn main() -> Result<(), fab_math::MathError> {
+//! let q = fab_math::generate_ntt_prime(54, 1 << 12, 0)?;
+//! let modulus = Modulus::new(q)?;
+//! let table = NttTable::new(1 << 12, modulus.clone())?;
+//! let mut poly = vec![1u64; 1 << 12];
+//! table.forward(&mut poly);
+//! table.inverse(&mut poly);
+//! assert!(poly.iter().all(|&c| c == 1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod automorph;
+mod complex;
+mod error;
+mod fft;
+mod modulus;
+mod multiword;
+mod ntt;
+mod prime;
+mod reduction;
+
+pub use automorph::{
+    apply_automorphism, bit_reverse_indices, bit_reverse_permute, fab_rotation_index,
+    galois_element_for_conjugation, galois_element_for_rotation, AutomorphismMap,
+};
+pub use complex::Complex64;
+pub use error::MathError;
+pub use fft::SpecialFft;
+pub use modulus::Modulus;
+pub use multiword::{MultiWord54, WORD18_BITS, WORD27_BITS};
+pub use ntt::NttTable;
+pub use prime::{generate_ntt_prime, generate_ntt_primes, is_prime};
+pub use reduction::{ShiftAddReducer, DEFAULT_SHIFTS};
+
+/// Result alias used throughout the math crate.
+pub type Result<T> = std::result::Result<T, MathError>;

@@ -1,0 +1,303 @@
+//! Multi-word (DSP-style) arithmetic on 54-bit operands.
+//!
+//! FAB maps 54-bit limb arithmetic onto the FPGA's DSP slices (18×27-bit multipliers,
+//! 27-bit pre-adders) by splitting operands into three 18-bit words for multiplication and two
+//! 27-bit words for addition/subtraction (Section 4.1, following Hankerson et al. algorithms
+//! 2.7–2.9 with the paper's modified correction step). This module is the bit-exact software
+//! model of that decomposition; the accelerator resource and latency models in `fab-core`
+//! count DSP usage and pipeline depth from the same decomposition.
+
+use crate::Modulus;
+
+/// Bit-width of the multiplier words (DSP 18-bit multiplier port).
+pub const WORD18_BITS: u32 = 18;
+/// Bit-width of the adder words (DSP 27-bit pre-adder port).
+pub const WORD27_BITS: u32 = 27;
+/// Operand width handled by the functional units (paper: `log q = 54`).
+pub const OPERAND_BITS: u32 = 54;
+
+const MASK18: u64 = (1 << WORD18_BITS) - 1;
+const MASK27: u64 = (1 << WORD27_BITS) - 1;
+const MASK54: u64 = (1 << OPERAND_BITS) - 1;
+
+/// A 54-bit operand decomposed into DSP-sized words, with modular add/sub/mul implemented via
+/// multi-word arithmetic exactly as the FAB functional unit does.
+///
+/// ```
+/// use fab_math::{Modulus, MultiWord54};
+///
+/// # fn main() -> Result<(), fab_math::MathError> {
+/// let q = fab_math::generate_ntt_prime(54, 1 << 12, 0)?;
+/// let modulus = Modulus::new(q)?;
+/// let mw = MultiWord54::new(&modulus);
+/// assert_eq!(mw.mod_add(q - 1, q - 2), modulus.add(q - 1, q - 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiWord54 {
+    modulus: Modulus,
+    q_words27: [u64; 2],
+}
+
+impl MultiWord54 {
+    /// Creates the multi-word arithmetic unit model for a modulus of at most 54 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus does not fit in 54 bits — the FAB functional unit is fixed-width.
+    pub fn new(modulus: &Modulus) -> Self {
+        assert!(
+            modulus.bits() <= OPERAND_BITS,
+            "FAB functional units operate on at most 54-bit limbs"
+        );
+        Self {
+            modulus: modulus.clone(),
+            q_words27: split27(modulus.value()),
+        }
+    }
+
+    /// Splits a 54-bit operand into three 18-bit multiplier words (low to high).
+    pub fn split_mul_words(&self, a: u64) -> [u64; 3] {
+        split18(a)
+    }
+
+    /// Splits a 54-bit operand into two 27-bit adder words (low to high).
+    pub fn split_add_words(&self, a: u64) -> [u64; 2] {
+        split27(a)
+    }
+
+    /// Number of 18×18 partial products required by the operand-scanning (schoolbook)
+    /// multiplication of two 54-bit operands. The FAB multiplier unrolls these across DSPs.
+    pub fn partial_products(&self) -> usize {
+        9
+    }
+
+    /// Multi-word modular addition (Hankerson alg. 2.7 with 27-bit correction step).
+    pub fn mod_add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a <= MASK54 && b <= MASK54);
+        let aw = split27(a);
+        let bw = split27(b);
+        // Word-wise add with carry propagation through the 27-bit pre-adders.
+        let mut sum = [0u64; 3];
+        let mut carry = 0u64;
+        for i in 0..2 {
+            let s = aw[i] + bw[i] + carry;
+            sum[i] = s & MASK27;
+            carry = s >> WORD27_BITS;
+        }
+        sum[2] = carry;
+        let value = combine27(&sum);
+        // Correction step performed as 27-bit subtraction when the sum exceeds q.
+        let q = self.modulus.value();
+        if value >= q {
+            self.sub_words(value, q)
+        } else {
+            value
+        }
+    }
+
+    /// Multi-word modular subtraction (Hankerson alg. 2.8 with 27-bit correction step).
+    pub fn mod_sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a <= MASK54 && b <= MASK54);
+        if a >= b {
+            self.sub_words(a, b)
+        } else {
+            // a - b + q, computed as (a + q) - b with multi-word operations.
+            let a_plus_q = self.add_words_raw(a, self.modulus.value());
+            a_plus_q - b
+        }
+    }
+
+    /// Multi-word integer multiplication via operand scanning (Hankerson alg. 2.9): nine 18×18
+    /// partial products accumulated column-wise, exactly as the loop-unrolled FAB multiplier.
+    pub fn widening_mul(&self, a: u64, b: u64) -> u128 {
+        debug_assert!(a <= MASK54 && b <= MASK54);
+        let aw = split18(a);
+        let bw = split18(b);
+        // Column accumulation: column k collects products a_i * b_j with i + j = k.
+        let mut columns = [0u128; 5];
+        for (i, &ai) in aw.iter().enumerate() {
+            for (j, &bj) in bw.iter().enumerate() {
+                columns[i + j] += (ai as u128) * (bj as u128);
+            }
+        }
+        let mut result = 0u128;
+        for (k, &col) in columns.iter().enumerate() {
+            result += col << (WORD18_BITS as usize * k);
+        }
+        result
+    }
+
+    /// Multi-word modular multiplication: operand-scanning multiply followed by the shift-add
+    /// reduction (the two pipelined stages of the FAB modular multiplier).
+    pub fn mod_mul(&self, a: u64, b: u64) -> u64 {
+        let product = self.widening_mul(a, b);
+        self.modulus.reduce_u128(product)
+    }
+
+    /// Returns the modulus this unit reduces against.
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    fn add_words_raw(&self, a: u64, b: u64) -> u64 {
+        // Three 27-bit words cover intermediate values up to 2^55 (sums of two 54-bit operands).
+        let aw = split27_wide(a);
+        let bw = split27_wide(b);
+        let mut carry = 0u64;
+        let mut out = 0u64;
+        for i in 0..3 {
+            let s = aw[i] + bw[i] + carry;
+            out |= (s & MASK27) << (WORD27_BITS as usize * i);
+            carry = s >> WORD27_BITS;
+        }
+        debug_assert_eq!(carry, 0);
+        out
+    }
+
+    fn sub_words(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a >= b);
+        let aw = split27_wide(a);
+        let bw = split27_wide(b);
+        let _ = self.q_words27;
+        let mut borrow = 0i64;
+        let mut out = 0u64;
+        for i in 0..3 {
+            let mut d = aw[i] as i64 - bw[i] as i64 - borrow;
+            if d < 0 {
+                d += 1 << WORD27_BITS;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out |= (d as u64) << (WORD27_BITS as usize * i);
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+}
+
+fn split18(a: u64) -> [u64; 3] {
+    [
+        a & MASK18,
+        (a >> WORD18_BITS) & MASK18,
+        (a >> (2 * WORD18_BITS)) & MASK18,
+    ]
+}
+
+fn split27(a: u64) -> [u64; 2] {
+    [a & MASK27, (a >> WORD27_BITS) & MASK27]
+}
+
+fn split27_wide(a: u64) -> [u64; 3] {
+    [
+        a & MASK27,
+        (a >> WORD27_BITS) & MASK27,
+        (a >> (2 * WORD27_BITS)) & MASK27,
+    ]
+}
+
+fn combine27(words: &[u64; 3]) -> u64 {
+    words[0] | (words[1] << WORD27_BITS) | (words[2] << (2 * WORD27_BITS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit() -> MultiWord54 {
+        let q = crate::generate_ntt_prime(54, 1 << 12, 0).unwrap();
+        MultiWord54::new(&Modulus::new(q).unwrap())
+    }
+
+    #[test]
+    fn word_split_roundtrip() {
+        let mw = unit();
+        let a = 0x2A_5555_AAAA_1234u64;
+        let w18 = mw.split_mul_words(a);
+        assert_eq!(
+            w18[0] | (w18[1] << 18) | (w18[2] << 36),
+            a,
+            "18-bit split must recombine"
+        );
+        let w27 = mw.split_add_words(a);
+        assert_eq!(w27[0] | (w27[1] << 27), a, "27-bit split must recombine");
+    }
+
+    #[test]
+    fn partial_product_count_matches_paper() {
+        // 54/18 = 3 words per operand → 9 partial products; the paper unrolls these to reach
+        // a 12-cycle multiplier latency instead of the naïve 21 cycles.
+        assert_eq!(unit().partial_products(), 9);
+    }
+
+    #[test]
+    fn mod_add_matches_reference() {
+        let mw = unit();
+        let q = mw.modulus().value();
+        for (a, b) in [(0, 0), (q - 1, q - 1), (q - 1, 1), (q / 2, q / 2 + 1), (12345, 67890)] {
+            assert_eq!(mw.mod_add(a, b), mw.modulus().add(a, b));
+        }
+    }
+
+    #[test]
+    fn mod_sub_matches_reference() {
+        let mw = unit();
+        let q = mw.modulus().value();
+        for (a, b) in [(0, 0), (0, q - 1), (q - 1, q - 1), (1, 2), (q / 2, q - 1)] {
+            assert_eq!(mw.mod_sub(a, b), mw.modulus().sub(a, b));
+        }
+    }
+
+    #[test]
+    fn widening_mul_matches_native() {
+        let mw = unit();
+        let q = mw.modulus().value();
+        for (a, b) in [(q - 1, q - 1), (q - 1, 2), (0, q - 1), (123456789, 987654321)] {
+            assert_eq!(mw.widening_mul(a, b), a as u128 * b as u128);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "54-bit")]
+    fn rejects_oversized_modulus() {
+        let q = crate::generate_ntt_prime(60, 1 << 10, 0).unwrap();
+        let _ = MultiWord54::new(&Modulus::new(q).unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mod_add_matches(a in any::<u64>(), b in any::<u64>()) {
+            let mw = unit();
+            let q = mw.modulus().value();
+            let (a, b) = (a % q, b % q);
+            prop_assert_eq!(mw.mod_add(a, b), mw.modulus().add(a, b));
+        }
+
+        #[test]
+        fn prop_mod_sub_matches(a in any::<u64>(), b in any::<u64>()) {
+            let mw = unit();
+            let q = mw.modulus().value();
+            let (a, b) = (a % q, b % q);
+            prop_assert_eq!(mw.mod_sub(a, b), mw.modulus().sub(a, b));
+        }
+
+        #[test]
+        fn prop_widening_mul_matches(a in any::<u64>(), b in any::<u64>()) {
+            let mw = unit();
+            let q = mw.modulus().value();
+            let (a, b) = (a % q, b % q);
+            prop_assert_eq!(mw.widening_mul(a, b), a as u128 * b as u128);
+        }
+
+        #[test]
+        fn prop_mod_mul_matches(a in any::<u64>(), b in any::<u64>()) {
+            let mw = unit();
+            let q = mw.modulus().value();
+            let (a, b) = (a % q, b % q);
+            prop_assert_eq!(mw.mod_mul(a, b), mw.modulus().mul(a, b));
+        }
+    }
+}

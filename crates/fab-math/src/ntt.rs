@@ -1,0 +1,368 @@
+//! Negacyclic Number Theoretic Transform over `Z_q[x]/(x^N + 1)`.
+//!
+//! FAB uses a unified Cooley–Tukey datapath for both NTT and inverse NTT (Section 4.5), with
+//! 256 radix-2 butterfly units processing 512 coefficients per cycle. This module is the
+//! software-reference transform: Harvey-style butterflies with Shoup-precomputed twiddles,
+//! merged ψ powers (so no separate pre/post-multiplication is needed for the negacyclic wrap),
+//! and tables stored in bit-reversed order.
+
+use crate::{MathError, Modulus, Result};
+
+/// Precomputed NTT tables for one `(N, q)` pair.
+///
+/// ```
+/// use fab_math::{Modulus, NttTable};
+///
+/// # fn main() -> Result<(), fab_math::MathError> {
+/// let n = 1 << 10;
+/// let q = fab_math::generate_ntt_prime(50, n, 0)?;
+/// let table = NttTable::new(n, Modulus::new(q)?)?;
+/// let mut a = vec![0u64; n];
+/// a[1] = 1; // x
+/// let mut b = a.clone();
+/// table.forward(&mut a);
+/// table.forward(&mut b);
+/// let mut prod: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| table.modulus().mul(x, y)).collect();
+/// table.inverse(&mut prod);
+/// // x * x = x^2
+/// assert_eq!(prod[2], 1);
+/// assert!(prod.iter().enumerate().all(|(i, &c)| i == 2 || c == 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    degree: usize,
+    modulus: Modulus,
+    /// ψ^brv(i) for the forward transform (ψ a primitive 2N-th root of unity).
+    psi_rev: Vec<u64>,
+    psi_rev_shoup: Vec<u64>,
+    /// ψ^{-brv(i)} for the inverse transform.
+    psi_inv_rev: Vec<u64>,
+    psi_inv_rev_shoup: Vec<u64>,
+    /// N^{-1} mod q.
+    degree_inv: u64,
+    degree_inv_shoup: u64,
+}
+
+impl NttTable {
+    /// Builds NTT tables for ring degree `degree` (a power of two) and modulus `q ≡ 1 (mod 2N)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidDegree`] if `degree` is not a power of two ≥ 2, and
+    /// [`MathError::NoPrimitiveRoot`] if the modulus does not support a 2N-th root of unity.
+    pub fn new(degree: usize, modulus: Modulus) -> Result<Self> {
+        if degree < 2 || !degree.is_power_of_two() {
+            return Err(MathError::InvalidDegree {
+                degree,
+                reason: "NTT degree must be a power of two at least 2",
+            });
+        }
+        let q = modulus.value();
+        let two_n = 2 * degree as u64;
+        if (q - 1) % two_n != 0 {
+            return Err(MathError::NoPrimitiveRoot {
+                modulus: q,
+                order: two_n,
+            });
+        }
+        let psi = find_primitive_root(&modulus, two_n)?;
+        let psi_inv = modulus.inv(psi)?;
+        let log_n = degree.trailing_zeros();
+
+        let mut psi_rev = vec![0u64; degree];
+        let mut psi_inv_rev = vec![0u64; degree];
+        let mut power = 1u64;
+        let mut power_inv = 1u64;
+        for i in 0..degree {
+            let rev = (i as u64).reverse_bits() >> (64 - log_n);
+            psi_rev[rev as usize] = power;
+            psi_inv_rev[rev as usize] = power_inv;
+            power = modulus.mul(power, psi);
+            power_inv = modulus.mul(power_inv, psi_inv);
+        }
+        let psi_rev_shoup = psi_rev.iter().map(|&w| modulus.shoup_precompute(w)).collect();
+        let psi_inv_rev_shoup = psi_inv_rev
+            .iter()
+            .map(|&w| modulus.shoup_precompute(w))
+            .collect();
+        let degree_inv = modulus.inv(degree as u64)?;
+        let degree_inv_shoup = modulus.shoup_precompute(degree_inv);
+        Ok(Self {
+            degree,
+            modulus,
+            psi_rev,
+            psi_rev_shoup,
+            psi_inv_rev,
+            psi_inv_rev_shoup,
+            degree_inv,
+            degree_inv_shoup,
+        })
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The limb modulus.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// In-place forward negacyclic NTT (coefficient → evaluation representation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != N`.
+    pub fn forward(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "input length must equal N");
+        let q = &self.modulus;
+        let n = self.degree;
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let j2 = j1 + t;
+                let s = self.psi_rev[m + i];
+                let s_shoup = self.psi_rev_shoup[m + i];
+                for j in j1..j2 {
+                    let u = values[j];
+                    let v = q.mul_shoup(values[j + t], s, s_shoup);
+                    values[j] = q.add(u, v);
+                    values[j + t] = q.sub(u, v);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient representation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != N`.
+    pub fn inverse(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "input length must equal N");
+        let q = &self.modulus;
+        let n = self.degree;
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let j2 = j1 + t;
+                let s = self.psi_inv_rev[h + i];
+                let s_shoup = self.psi_inv_rev_shoup[h + i];
+                for j in j1..j2 {
+                    let u = values[j];
+                    let v = values[j + t];
+                    values[j] = q.add(u, v);
+                    values[j + t] = q.mul_shoup(q.sub(u, v), s, s_shoup);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for v in values.iter_mut() {
+            *v = q.mul_shoup(*v, self.degree_inv, self.degree_inv_shoup);
+        }
+    }
+
+    /// Negacyclic polynomial multiplication via NTT: `a * b mod (x^N + 1, q)`.
+    ///
+    /// Exposed mostly for testing and for the CPU baseline; the evaluator performs the same
+    /// steps with explicit representation management.
+    pub fn negacyclic_multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(fb.iter()) {
+            *x = self.modulus.mul(*x, *y);
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+/// Finds a primitive root of unity of exact order `order` modulo `q` (order must divide `q-1`).
+fn find_primitive_root(modulus: &Modulus, order: u64) -> Result<u64> {
+    let q = modulus.value();
+    debug_assert_eq!((q - 1) % order, 0);
+    let cofactor = (q - 1) / order;
+    // Deterministic scan over small candidates; for prime q a generator-derived element of
+    // exact order is found quickly.
+    for candidate in 2u64..(1 << 20) {
+        let root = modulus.pow(candidate % q, cofactor);
+        if root == 0 || root == 1 {
+            continue;
+        }
+        // Exact order check: root^(order/2) must be -1 (order is a power of two here).
+        if modulus.pow(root, order / 2) == q - 1 {
+            return Ok(root);
+        }
+    }
+    Err(MathError::NoPrimitiveRoot { modulus: q, order })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn table(log_n: usize, bits: u32) -> NttTable {
+        let n = 1 << log_n;
+        let q = crate::generate_ntt_prime(bits, n, 0).unwrap();
+        NttTable::new(n, Modulus::new(q).unwrap()).unwrap()
+    }
+
+    fn random_poly(n: usize, q: u64, seed: u64) -> Vec<u64> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..q)).collect()
+    }
+
+    /// Schoolbook negacyclic multiplication used as the correctness oracle.
+    fn schoolbook_negacyclic(a: &[u64], b: &[u64], modulus: &Modulus) -> Vec<u64> {
+        let n = a.len();
+        let mut out = vec![0u64; n];
+        for i in 0..n {
+            if a[i] == 0 {
+                continue;
+            }
+            for j in 0..n {
+                let prod = modulus.mul(a[i], b[j]);
+                let k = i + j;
+                if k < n {
+                    out[k] = modulus.add(out[k], prod);
+                } else {
+                    out[k - n] = modulus.sub(out[k - n], prod);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for log_n in [3usize, 6, 10, 12] {
+            let t = table(log_n, 50);
+            let q = t.modulus().value();
+            let original = random_poly(1 << log_n, q, log_n as u64);
+            let mut values = original.clone();
+            t.forward(&mut values);
+            t.inverse(&mut values);
+            assert_eq!(values, original, "roundtrip failed for log_n = {log_n}");
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_schoolbook() {
+        let t = table(6, 50);
+        let q = t.modulus().value();
+        let a = random_poly(64, q, 1);
+        let b = random_poly(64, q, 2);
+        let expected = schoolbook_negacyclic(&a, &b, t.modulus());
+        assert_eq!(t.negacyclic_multiply(&a, &b), expected);
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // x^(N-1) * x = x^N = -1 in the negacyclic ring.
+        let t = table(5, 40);
+        let n = t.degree();
+        let q = t.modulus().value();
+        let mut a = vec![0u64; n];
+        a[n - 1] = 1;
+        let mut b = vec![0u64; n];
+        b[1] = 1;
+        let prod = t.negacyclic_multiply(&a, &b);
+        assert_eq!(prod[0], q - 1);
+        assert!(prod[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn constant_polynomial_is_fixed_point_of_pointwise_identity() {
+        let t = table(8, 45);
+        let n = t.degree();
+        let mut ones = vec![0u64; n];
+        ones[0] = 1;
+        let mut transformed = ones.clone();
+        t.forward(&mut transformed);
+        // NTT of the constant 1 is the all-ones vector (evaluations of 1 everywhere).
+        assert!(transformed.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn linearity_of_transform() {
+        let t = table(9, 48);
+        let q = t.modulus();
+        let a = random_poly(t.degree(), q.value(), 7);
+        let b = random_poly(t.degree(), q.value(), 8);
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.add(x, y)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fsum = sum.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        t.forward(&mut fsum);
+        for i in 0..t.degree() {
+            assert_eq!(fsum[i], q.add(fa[i], fb[i]));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_degree_and_modulus() {
+        let q = crate::generate_ntt_prime(40, 1 << 10, 0).unwrap();
+        assert!(NttTable::new(3, Modulus::new(q).unwrap()).is_err());
+        // A prime that is 1 mod 2*2^10 may not be 1 mod 2*2^16.
+        let small = crate::generate_ntt_prime(40, 1 << 4, 0).unwrap();
+        if (small - 1) % (1 << 17) != 0 {
+            assert!(NttTable::new(1 << 16, Modulus::new(small).unwrap()).is_err());
+        }
+    }
+
+    #[test]
+    fn fab_paper_degree_roundtrip() {
+        // N = 2^16, log q = 54: the paper's parameter set (kept small in iteration count).
+        let t = table(16, 54);
+        let q = t.modulus().value();
+        let original = random_poly(1 << 16, q, 99);
+        let mut values = original.clone();
+        t.forward(&mut values);
+        t.inverse(&mut values);
+        assert_eq!(values, original);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_roundtrip_random_polys(seed in any::<u64>()) {
+            let t = table(7, 45);
+            let q = t.modulus().value();
+            let original = random_poly(t.degree(), q, seed);
+            let mut values = original.clone();
+            t.forward(&mut values);
+            t.inverse(&mut values);
+            prop_assert_eq!(values, original);
+        }
+
+        #[test]
+        fn prop_convolution_theorem(seed in any::<u64>()) {
+            let t = table(5, 40);
+            let q = t.modulus().value();
+            let a = random_poly(t.degree(), q, seed);
+            let b = random_poly(t.degree(), q, seed.wrapping_add(1));
+            let expected = schoolbook_negacyclic(&a, &b, t.modulus());
+            prop_assert_eq!(t.negacyclic_multiply(&a, &b), expected);
+        }
+    }
+}

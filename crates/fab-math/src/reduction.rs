@@ -1,0 +1,245 @@
+//! Hardware-friendly shift-add modular reduction (Algorithm 1 of the FAB paper).
+//!
+//! FAB replaces Barrett reduction with a modified Will–Ko reduction that uses only shifts and
+//! additions, processing `shifts` bits per step. For a `(2·log q − 1)`-bit product and
+//! `log q = 54`, the hardware performs the reduction in 12 clock cycles with a 6-bit shift
+//! window and a 63-entry precomputed `madd` table (7 KB across all 32 limb moduli).
+//!
+//! This module is the bit-exact software model of that unit; the accelerator cost model in
+//! `fab-core` charges its latency.
+
+use crate::{MathError, Modulus, Result};
+
+/// Default shift window used by the paper (line 1 of Algorithm 1).
+pub const DEFAULT_SHIFTS: u32 = 6;
+
+/// Shift-add modular reducer for a fixed modulus (modified Will–Ko, Algorithm 1).
+///
+/// ```
+/// use fab_math::{Modulus, ShiftAddReducer};
+///
+/// # fn main() -> Result<(), fab_math::MathError> {
+/// let q = fab_math::generate_ntt_prime(54, 1 << 12, 0)?;
+/// let reducer = ShiftAddReducer::new(Modulus::new(q)?, 6)?;
+/// let a: u128 = (q as u128 - 1) * (q as u128 - 2);
+/// assert_eq!(reducer.reduce(a) as u128, a % q as u128);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShiftAddReducer {
+    modulus: Modulus,
+    log_q: u32,
+    shifts: u32,
+    /// `madd[i-1] = (i << log_q) mod q` for `i = 1 .. 2^shifts - 1` (line 2 of Algorithm 1).
+    madd: Vec<u64>,
+}
+
+impl ShiftAddReducer {
+    /// Builds the reducer, precomputing the `madd` table offline as the paper prescribes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidModulus`] if `shifts` is zero or larger than 16 (the table
+    /// would no longer be "inexpensive" storage).
+    pub fn new(modulus: Modulus, shifts: u32) -> Result<Self> {
+        if shifts == 0 || shifts > 16 {
+            return Err(MathError::InvalidModulus {
+                modulus: modulus.value(),
+                reason: "shift window must be between 1 and 16 bits",
+            });
+        }
+        let log_q = modulus.bits();
+        let table_len = (1usize << shifts) - 1;
+        let mut madd = Vec::with_capacity(table_len);
+        for i in 1..=table_len as u64 {
+            // (i << log_q) mod q
+            madd.push(modulus.reduce_u128((i as u128) << log_q));
+        }
+        Ok(Self {
+            modulus,
+            log_q,
+            shifts,
+            madd,
+        })
+    }
+
+    /// Returns the shift window size in bits.
+    pub fn shifts(&self) -> u32 {
+        self.shifts
+    }
+
+    /// Returns the number of precomputed `madd` entries (`2^shifts − 1`).
+    pub fn table_len(&self) -> usize {
+        self.madd.len()
+    }
+
+    /// Returns the storage footprint of the `madd` table in bytes (one `log q`-bit word per entry,
+    /// rounded up to bytes), as reported by the paper for the 32-limb configuration.
+    pub fn table_bytes(&self) -> usize {
+        self.madd.len() * ((self.log_q as usize + 7) / 8)
+    }
+
+    /// Returns the number of shift-add iterations the hardware performs (`ceil(log q / shifts)`),
+    /// i.e. the latency in "shift steps" before the final correction addition.
+    pub fn iterations(&self) -> u32 {
+        (self.log_q + self.shifts - 1) / self.shifts
+    }
+
+    /// Reduces a `(2·log q)`-bit product into `[0, q)` using only shifts and additions.
+    ///
+    /// Follows Algorithm 1: the input is split into `A[1]·2^{log q} + A[0]`, the high part is
+    /// folded down `shifts` bits at a time via the `madd` table, then the two halves are added
+    /// and a final correction brings the result into range.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the input fits in `2·log q` bits (the width of a modular product).
+    pub fn reduce(&self, a: u128) -> u64 {
+        debug_assert!(
+            a >> (2 * self.log_q) == 0,
+            "input must fit in 2*log_q bits"
+        );
+        let mask = (1u128 << self.log_q) - 1;
+        let a0 = (a & mask) as u64;
+        let mut a1 = (a >> self.log_q) as u64;
+        let q = self.modulus.value();
+        let mut count = 0u32;
+        // Fold A[1]·2^{log q} into the log_q-bit window, `shifts` bits per step. When the shift
+        // window does not divide log q exactly, the final step shifts by the remaining bits so
+        // the total shift is exactly log q (the hardware fixes shifts = 6 and log q = 54, where
+        // the division is exact and every step is full-width).
+        while count < self.log_q {
+            let step = self.shifts.min(self.log_q - count);
+            let shifted = (a1 as u128) << step;
+            let carry = (shifted >> self.log_q) as u64;
+            let mut as1 = (shifted & mask) as u64;
+            if carry > 0 {
+                // carry fits in `shifts` bits because a1 is kept below 2^{log q} and corrected
+                // against q after every step (hardware correction step, Section 4.1).
+                as1 = as1.wrapping_add(self.madd[(carry - 1) as usize]);
+            }
+            // Correction: keep the accumulator within the log_q-bit window so the next carry
+            // stays within the shift window (multi-word 27-bit additions in hardware).
+            while as1 >> self.log_q != 0 {
+                as1 -= q;
+            }
+            a1 = as1;
+            count += step;
+        }
+        let mut c = a1 as u128 + a0 as u128;
+        while c >= q as u128 {
+            c -= q as u128;
+        }
+        c as u64
+    }
+
+    /// Modular multiplication implemented as integer multiply followed by [`Self::reduce`],
+    /// mirroring the two pipelined stages of the FAB modular multiplier.
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.modulus.value() && b < self.modulus.value());
+        self.reduce(a as u128 * b as u128)
+    }
+
+    /// Returns the underlying modulus.
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reducer(bits: u32, shifts: u32) -> ShiftAddReducer {
+        let q = crate::generate_ntt_prime(bits, 1 << 10, 0).unwrap();
+        ShiftAddReducer::new(Modulus::new(q).unwrap(), shifts).unwrap()
+    }
+
+    #[test]
+    fn paper_configuration_table_size() {
+        // log q = 54, shifts = 6 → 63 entries of 54 bits ≈ 7 bytes each; 32 moduli ≈ 7 KB total.
+        let r = reducer(54, 6);
+        assert_eq!(r.table_len(), 63);
+        assert_eq!(r.iterations(), 9);
+        let per_modulus = r.table_bytes();
+        let total_for_32_limbs = per_modulus * 32;
+        assert!(total_for_32_limbs <= 16 * 1024, "paper reports ~7 KB total");
+    }
+
+    #[test]
+    fn reduce_matches_modulo_on_edge_cases() {
+        let r = reducer(54, 6);
+        let q = r.modulus().value() as u128;
+        let cases = [
+            0u128,
+            1,
+            q - 1,
+            q,
+            q + 1,
+            (q - 1) * (q - 1),
+            (q - 1) * (q - 2),
+            q * (q - 1) / 2,
+        ];
+        for a in cases {
+            assert_eq!(r.reduce(a) as u128, a % q, "failed for input {a}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_modulus_mul() {
+        let r = reducer(54, 6);
+        let m = r.modulus().clone();
+        let a = m.value() - 12345;
+        let b = m.value() - 67;
+        assert_eq!(r.mul(a, b), m.mul(a, b));
+    }
+
+    #[test]
+    fn various_shift_windows_agree() {
+        for shifts in [1u32, 2, 3, 4, 6, 8, 9] {
+            let r = reducer(54, shifts);
+            let q = r.modulus().value() as u128;
+            let a = (q - 3) * (q - 7);
+            assert_eq!(r.reduce(a) as u128, a % q, "shifts = {shifts}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_shift_window() {
+        let q = crate::generate_ntt_prime(54, 1 << 10, 0).unwrap();
+        let m = Modulus::new(q).unwrap();
+        assert!(ShiftAddReducer::new(m.clone(), 0).is_err());
+        assert!(ShiftAddReducer::new(m, 17).is_err());
+    }
+
+    #[test]
+    fn works_for_smaller_limb_widths() {
+        // HEAX comparison parameters use smaller moduli (log Q = 438 split across limbs).
+        for bits in [30u32, 36, 40, 45, 50, 54, 60] {
+            let r = reducer(bits, 6);
+            let q = r.modulus().value() as u128;
+            let a = (q - 1) * (q - 1);
+            assert_eq!(r.reduce(a) as u128, a % q, "bits = {bits}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reduce_matches_modulo(a in any::<u64>(), b in any::<u64>()) {
+            let r = reducer(54, 6);
+            let q = r.modulus().value();
+            let prod = (a % q) as u128 * (b % q) as u128;
+            prop_assert_eq!(r.reduce(prod) as u128, prod % q as u128);
+        }
+
+        #[test]
+        fn prop_reduce_matches_for_random_windows(a in any::<u64>(), b in any::<u64>(), s in 1u32..10) {
+            let r = reducer(54, s);
+            let q = r.modulus().value();
+            let prod = (a % q) as u128 * (b % q) as u128;
+            prop_assert_eq!(r.reduce(prod) as u128, prod % q as u128);
+        }
+    }
+}

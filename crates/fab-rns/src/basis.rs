@@ -1,0 +1,257 @@
+//! Ordered sets of NTT-enabled RNS limb moduli.
+
+use std::sync::Arc;
+
+use fab_math::{generate_ntt_primes, Modulus, NttTable};
+
+use crate::{Result, RnsError};
+
+/// An ordered RNS basis `B = {q_1, …, q_k}` with one NTT table per limb.
+///
+/// The basis is cheap to clone: the NTT tables are shared behind [`Arc`]s.
+///
+/// ```
+/// use fab_rns::RnsBasis;
+///
+/// # fn main() -> Result<(), fab_rns::RnsError> {
+/// let basis = RnsBasis::generate(1 << 8, 40, 4)?;
+/// assert_eq!(basis.len(), 4);
+/// assert!(basis.product_bits() > 150.0 && basis.product_bits() < 161.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsBasis {
+    degree: usize,
+    moduli: Vec<Modulus>,
+    tables: Vec<Arc<NttTable>>,
+}
+
+impl RnsBasis {
+    /// Builds a basis from explicit moduli, constructing NTT tables for ring degree `degree`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NTT-table construction failures (non-NTT-friendly primes, bad degree).
+    pub fn new(degree: usize, moduli: Vec<Modulus>) -> Result<Self> {
+        let mut tables = Vec::with_capacity(moduli.len());
+        for m in &moduli {
+            tables.push(Arc::new(NttTable::new(degree, m.clone())?));
+        }
+        Ok(Self {
+            degree,
+            moduli,
+            tables,
+        })
+    }
+
+    /// Generates a basis of `count` distinct NTT-friendly primes of the given bit-width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-generation and NTT-table construction failures.
+    pub fn generate(degree: usize, bits: u32, count: usize) -> Result<Self> {
+        let primes = generate_ntt_primes(bits, degree, count)?;
+        let moduli = primes
+            .into_iter()
+            .map(Modulus::new)
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        Self::new(degree, moduli)
+    }
+
+    /// Generates a basis whose limbs have mixed bit-widths (e.g. a larger first/scaling prime),
+    /// drawing each group of limbs from a distinct bit-width so all primes stay distinct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-generation and NTT-table construction failures.
+    pub fn generate_mixed(degree: usize, widths: &[(u32, usize)]) -> Result<Self> {
+        let mut moduli = Vec::new();
+        for &(bits, count) in widths {
+            let primes = generate_ntt_primes(bits, degree, count)?;
+            for p in primes {
+                moduli.push(Modulus::new(p)?);
+            }
+        }
+        Self::new(degree, moduli)
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of limbs in the basis.
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// Whether the basis contains no limbs.
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// The limb moduli, in order.
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// The modulus of limb `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn modulus(&self, i: usize) -> &Modulus {
+        &self.moduli[i]
+    }
+
+    /// The NTT table of limb `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn table(&self, i: usize) -> &NttTable {
+        &self.tables[i]
+    }
+
+    /// Shared handle to the NTT table of limb `i`.
+    pub fn table_arc(&self, i: usize) -> Arc<NttTable> {
+        Arc::clone(&self.tables[i])
+    }
+
+    /// Total bit-size of the basis product `log2(∏ q_i)`.
+    pub fn product_bits(&self) -> f64 {
+        self.moduli.iter().map(|m| (m.value() as f64).log2()).sum()
+    }
+
+    /// Returns a new basis containing the first `count` limbs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::LimbOutOfRange`] if `count` exceeds the basis size.
+    pub fn prefix(&self, count: usize) -> Result<Self> {
+        if count > self.len() {
+            return Err(RnsError::LimbOutOfRange {
+                requested: count,
+                available: self.len(),
+            });
+        }
+        Ok(Self {
+            degree: self.degree,
+            moduli: self.moduli[..count].to_vec(),
+            tables: self.tables[..count].to_vec(),
+        })
+    }
+
+    /// Returns a new basis containing the limbs at `range`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::LimbOutOfRange`] if the range end exceeds the basis size.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Result<Self> {
+        if range.end > self.len() || range.start > range.end {
+            return Err(RnsError::LimbOutOfRange {
+                requested: range.end,
+                available: self.len(),
+            });
+        }
+        Ok(Self {
+            degree: self.degree,
+            moduli: self.moduli[range.clone()].to_vec(),
+            tables: self.tables[range].to_vec(),
+        })
+    }
+
+    /// Concatenates this basis with another over the same degree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::Mismatch`] if the degrees differ.
+    pub fn concat(&self, other: &RnsBasis) -> Result<Self> {
+        if self.degree != other.degree {
+            return Err(RnsError::Mismatch {
+                reason: format!(
+                    "cannot concatenate bases of degree {} and {}",
+                    self.degree, other.degree
+                ),
+            });
+        }
+        let mut moduli = self.moduli.clone();
+        moduli.extend(other.moduli.iter().cloned());
+        let mut tables = self.tables.clone();
+        tables.extend(other.tables.iter().cloned());
+        Ok(Self {
+            degree: self.degree,
+            moduli,
+            tables,
+        })
+    }
+
+    /// Returns the limb values as raw `u64`s (useful for precomputation loops).
+    pub fn values(&self) -> Vec<u64> {
+        self.moduli.iter().map(|m| m.value()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_produces_distinct_ntt_friendly_primes() {
+        let basis = RnsBasis::generate(1 << 8, 40, 5).unwrap();
+        assert_eq!(basis.len(), 5);
+        let mut values = basis.values();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), 5, "limbs must be distinct");
+        for q in basis.values() {
+            assert!(fab_math::is_prime(q));
+            assert_eq!(q % (2 * (1 << 8)), 1);
+        }
+    }
+
+    #[test]
+    fn mixed_widths() {
+        let basis = RnsBasis::generate_mixed(1 << 8, &[(50, 1), (40, 3)]).unwrap();
+        assert_eq!(basis.len(), 4);
+        assert_eq!(basis.modulus(0).bits(), 50);
+        for i in 1..4 {
+            assert_eq!(basis.modulus(i).bits(), 40);
+        }
+    }
+
+    #[test]
+    fn prefix_slice_concat() {
+        let basis = RnsBasis::generate(1 << 6, 30, 6).unwrap();
+        let head = basis.prefix(2).unwrap();
+        let tail = basis.slice(2..6).unwrap();
+        assert_eq!(head.len(), 2);
+        assert_eq!(tail.len(), 4);
+        let glued = head.concat(&tail).unwrap();
+        assert_eq!(glued.values(), basis.values());
+        assert!(basis.prefix(7).is_err());
+        assert!(basis.slice(3..9).is_err());
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_degree() {
+        let a = RnsBasis::generate(1 << 6, 30, 2).unwrap();
+        let b = RnsBasis::generate(1 << 7, 30, 2).unwrap();
+        assert!(a.concat(&b).is_err());
+    }
+
+    #[test]
+    fn product_bits_tracks_limb_sizes() {
+        let basis = RnsBasis::generate(1 << 6, 30, 4).unwrap();
+        let bits = basis.product_bits();
+        assert!(bits > 116.0 && bits < 120.0, "got {bits}");
+    }
+
+    #[test]
+    fn tables_are_shared_not_copied() {
+        let basis = RnsBasis::generate(1 << 6, 30, 2).unwrap();
+        let clone = basis.clone();
+        assert!(Arc::ptr_eq(&basis.tables[0], &clone.tables[0]));
+    }
+}

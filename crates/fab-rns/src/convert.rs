@@ -1,0 +1,385 @@
+//! Approximate RNS basis conversion (Equation 1 of the paper).
+//!
+//! Given residues of `x` with respect to a source basis `B = {q_1, …, q_k}`, the conversion
+//! produces `x + u·Q (mod p_j)` for every target limb `p_j`, where `0 ≤ u < k` is the small
+//! overshoot inherent to the approximate (non-exact) CRT recombination. The smart-scheduling
+//! optimisation in the paper (Section 4.6) halves the multiplication count by hoisting the
+//! `x_i · (Q/q_i)^{-1} mod q_i` products so they are shared across all target limbs — this
+//! implementation follows the same two-phase structure.
+
+use fab_math::Modulus;
+
+use crate::{Result, RnsBasis, RnsError};
+
+/// Precomputed constants for converting from one RNS basis to another.
+///
+/// ```
+/// use fab_rns::{BasisConverter, RnsBasis};
+///
+/// # fn main() -> Result<(), fab_rns::RnsError> {
+/// let source = RnsBasis::generate(1 << 4, 30, 2)?;
+/// let target = RnsBasis::generate(1 << 4, 31, 2)?;
+/// let conv = BasisConverter::new(&source, &target)?;
+/// assert_eq!(conv.source_len(), 2);
+/// assert_eq!(conv.target_len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BasisConverter {
+    source_moduli: Vec<Modulus>,
+    target_moduli: Vec<Modulus>,
+    /// `(Q/q_i)^{-1} mod q_i` — the hoisted per-source-limb factors.
+    q_hat_inv_mod_q: Vec<u64>,
+    /// `q_hat_mod_p[j][i] = (Q/q_i) mod p_j`.
+    q_hat_mod_p: Vec<Vec<u64>>,
+    /// `Q mod p_j`, used by callers that apply the exact-flooring correction.
+    q_mod_p: Vec<u64>,
+}
+
+impl BasisConverter {
+    /// Precomputes conversion constants from `source` to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::Mismatch`] if the bases share a limb modulus (the CRT factors would
+    /// not be invertible) or if either basis is empty.
+    pub fn new(source: &RnsBasis, target: &RnsBasis) -> Result<Self> {
+        if source.is_empty() || target.is_empty() {
+            return Err(RnsError::Mismatch {
+                reason: "basis conversion requires non-empty source and target bases".into(),
+            });
+        }
+        for s in source.values() {
+            if target.values().contains(&s) {
+                return Err(RnsError::Mismatch {
+                    reason: format!("modulus {s} appears in both source and target bases"),
+                });
+            }
+        }
+        let source_moduli = source.moduli().to_vec();
+        let target_moduli = target.moduli().to_vec();
+        let k = source_moduli.len();
+
+        // (Q/q_i) mod q_i and its inverse.
+        let mut q_hat_inv_mod_q = Vec::with_capacity(k);
+        for i in 0..k {
+            let qi = &source_moduli[i];
+            let mut prod = 1u64;
+            for (j, qj) in source_moduli.iter().enumerate() {
+                if j != i {
+                    prod = qi.mul(prod, qi.reduce(qj.value()));
+                }
+            }
+            q_hat_inv_mod_q.push(qi.inv(prod)?);
+        }
+
+        // (Q/q_i) mod p_j and Q mod p_j.
+        let mut q_hat_mod_p = Vec::with_capacity(target_moduli.len());
+        let mut q_mod_p = Vec::with_capacity(target_moduli.len());
+        for pj in &target_moduli {
+            let mut row = Vec::with_capacity(k);
+            for i in 0..k {
+                let mut prod = 1u64;
+                for (j, qj) in source_moduli.iter().enumerate() {
+                    if j != i {
+                        prod = pj.mul(prod, pj.reduce(qj.value()));
+                    }
+                }
+                row.push(prod);
+            }
+            let mut q_full = 1u64;
+            for qj in &source_moduli {
+                q_full = pj.mul(q_full, pj.reduce(qj.value()));
+            }
+            q_hat_mod_p.push(row);
+            q_mod_p.push(q_full);
+        }
+
+        Ok(Self {
+            source_moduli,
+            target_moduli,
+            q_hat_inv_mod_q,
+            q_hat_mod_p,
+            q_mod_p,
+        })
+    }
+
+    /// Number of source limbs.
+    pub fn source_len(&self) -> usize {
+        self.source_moduli.len()
+    }
+
+    /// Number of target limbs.
+    pub fn target_len(&self) -> usize {
+        self.target_moduli.len()
+    }
+
+    /// `Q mod p_j` for each target limb.
+    pub fn source_product_mod_target(&self) -> &[u64] {
+        &self.q_mod_p
+    }
+
+    /// Phase 1 of the conversion: the hoisted products `y_i = x_i · (Q/q_i)^{-1} mod q_i`.
+    ///
+    /// Exposed separately because the paper's smart operation scheduling reuses these products
+    /// across every extension limb ("reduces the number of modular multiplications by a factor
+    /// of two", Section 4.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of source limbs differs from the precomputation.
+    pub fn hoisted_products(&self, source_limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        assert_eq!(source_limbs.len(), self.source_moduli.len());
+        source_limbs
+            .iter()
+            .enumerate()
+            .map(|(i, limb)| {
+                let qi = &self.source_moduli[i];
+                let factor = self.q_hat_inv_mod_q[i];
+                let factor_shoup = qi.shoup_precompute(factor);
+                limb.iter()
+                    .map(|&x| qi.mul_shoup(x, factor, factor_shoup))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Phase 2: accumulate the hoisted products into one target limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_index` is out of range or the hoisted products have the wrong shape.
+    pub fn accumulate_target_limb(&self, hoisted: &[Vec<u64>], target_index: usize) -> Vec<u64> {
+        let pj = &self.target_moduli[target_index];
+        let weights = &self.q_hat_mod_p[target_index];
+        let degree = hoisted[0].len();
+        let mut out = vec![0u64; degree];
+        for (i, y) in hoisted.iter().enumerate() {
+            let w = pj.reduce(weights[i]);
+            let w_shoup = pj.shoup_precompute(w);
+            for (o, &yi) in out.iter_mut().zip(y.iter()) {
+                let term = pj.mul_shoup(pj.reduce(yi), w, w_shoup);
+                *o = pj.add(*o, term);
+            }
+        }
+        out
+    }
+
+    /// Full approximate conversion of all coefficients to every target limb.
+    ///
+    /// The result represents `x + u·Q` reduced modulo each target limb, with `0 ≤ u <` number
+    /// of source limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source limb count differs from the precomputation.
+    pub fn convert(&self, source_limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let hoisted = self.hoisted_products(source_limbs);
+        (0..self.target_moduli.len())
+            .map(|j| self.accumulate_target_limb(&hoisted, j))
+            .collect()
+    }
+}
+
+/// Exact CRT recombination of a single RNS residue vector into a `u128`, valid only when the
+/// basis product fits in 128 bits. Used as a testing oracle for the approximate conversion.
+///
+/// # Panics
+///
+/// Panics if `residues.len()` differs from the basis size or the product overflows 128 bits.
+pub fn crt_recombine_u128(residues: &[u64], basis: &RnsBasis) -> u128 {
+    assert_eq!(residues.len(), basis.len());
+    let mut product: u128 = 1;
+    for q in basis.values() {
+        product = product
+            .checked_mul(q as u128)
+            .expect("basis product must fit in u128 for exact recombination");
+    }
+    let mut acc: u128 = 0;
+    for (i, qi) in basis.moduli().iter().enumerate() {
+        let q_hat = product / qi.value() as u128; // Q / q_i
+        let q_hat_mod_qi = (q_hat % qi.value() as u128) as u64;
+        let q_hat_inv = qi.inv(q_hat_mod_qi).expect("limbs must be coprime");
+        let yi = qi.mul(residues[i], q_hat_inv) as u128;
+        // acc += y_i * (Q / q_i) mod Q, computed with 128-bit mulmod via schoolbook splitting.
+        let term = mul_mod_u128(yi, q_hat, product);
+        acc = (acc + term) % product;
+    }
+    acc
+}
+
+/// `a * b mod m` for 128-bit operands via double-and-add (used only by the testing oracle).
+fn mul_mod_u128(mut a: u128, mut b: u128, m: u128) -> u128 {
+    a %= m;
+    b %= m;
+    let mut result = 0u128;
+    while b > 0 {
+        if b & 1 == 1 {
+            result = add_mod_u128(result, a, m);
+        }
+        a = add_mod_u128(a, a, m);
+        b >>= 1;
+    }
+    result
+}
+
+fn add_mod_u128(a: u128, b: u128, m: u128) -> u128 {
+    // a, b < m ≤ 2^127 ⇒ no overflow when m < 2^127; handle the general case via wrapping check.
+    let (sum, overflow) = a.overflowing_add(b);
+    if overflow || sum >= m {
+        sum.wrapping_sub(m)
+    } else {
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bases() -> (RnsBasis, RnsBasis) {
+        let source = RnsBasis::generate(1 << 4, 30, 3).unwrap();
+        let target = RnsBasis::generate(1 << 4, 32, 2).unwrap();
+        (source, target)
+    }
+
+    /// Builds the RNS residue limbs of a single integer value replicated at coefficient 0.
+    fn encode_value(value: u128, basis: &RnsBasis, degree: usize) -> Vec<Vec<u64>> {
+        basis
+            .moduli()
+            .iter()
+            .map(|m| {
+                let mut limb = vec![0u64; degree];
+                limb[0] = (value % m.value() as u128) as u64;
+                limb
+            })
+            .collect()
+    }
+
+    #[test]
+    fn conversion_error_is_bounded_multiple_of_source_product() {
+        let (source, target) = bases();
+        let conv = BasisConverter::new(&source, &target).unwrap();
+        let q_product: u128 = source.values().iter().map(|&q| q as u128).product();
+        for value in [0u128, 1, 12345, q_product - 1, q_product / 2, q_product / 3 * 2] {
+            let limbs = encode_value(value, &source, 16);
+            let out = conv.convert(&limbs);
+            for (j, pj) in target.moduli().iter().enumerate() {
+                let got = out[j][0] as u128;
+                // got ≡ value + u*Q (mod p_j) for some 0 ≤ u < source_len.
+                let mut matched = false;
+                for u in 0..=source.len() as u128 {
+                    let expected = ((value + u * q_product) % pj.value() as u128) as u128;
+                    if expected == got {
+                        matched = true;
+                        break;
+                    }
+                }
+                assert!(matched, "value {value}: no valid overshoot for target limb {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn overshoot_is_consistent_across_target_limbs() {
+        // The approximate conversion produces x + u·Q with a single integer u (0 ≤ u < k) that
+        // is the same for every target limb — it is determined by the source residues alone.
+        let (source, target) = bases();
+        let conv = BasisConverter::new(&source, &target).unwrap();
+        let q_product: u128 = source.values().iter().map(|&q| q as u128).product();
+        for value in [0u128, 1, 1000, 65537, q_product - 1, q_product / 3] {
+            let limbs = encode_value(value, &source, 16);
+            let out = conv.convert(&limbs);
+            // Determine u from the first target limb.
+            let p0 = target.modulus(0);
+            let mut overshoot = None;
+            for u in 0..=source.len() as u128 {
+                if ((value + u * q_product) % p0.value() as u128) == out[0][0] as u128 {
+                    overshoot = Some(u);
+                    break;
+                }
+            }
+            let u = overshoot.expect("an overshoot in range must exist");
+            // Every other target limb must agree with the same u.
+            for (j, pj) in target.moduli().iter().enumerate() {
+                assert_eq!(
+                    out[j][0] as u128,
+                    (value + u * q_product) % pj.value() as u128,
+                    "value {value}: limb {j} disagrees on overshoot"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hoisted_products_match_full_conversion() {
+        let (source, target) = bases();
+        let conv = BasisConverter::new(&source, &target).unwrap();
+        let limbs = encode_value(987654321, &source, 16);
+        let hoisted = conv.hoisted_products(&limbs);
+        let full = conv.convert(&limbs);
+        for j in 0..target.len() {
+            assert_eq!(conv.accumulate_target_limb(&hoisted, j), full[j]);
+        }
+    }
+
+    #[test]
+    fn rejects_overlapping_bases() {
+        let basis = RnsBasis::generate(1 << 4, 30, 3).unwrap();
+        let overlapping = basis.prefix(2).unwrap();
+        assert!(BasisConverter::new(&basis, &overlapping).is_err());
+    }
+
+    #[test]
+    fn crt_recombine_roundtrip() {
+        let basis = RnsBasis::generate(1 << 4, 30, 3).unwrap();
+        let q_product: u128 = basis.values().iter().map(|&q| q as u128).product();
+        for value in [0u128, 1, 999_999_937, q_product - 1, q_product / 7] {
+            let residues: Vec<u64> = basis
+                .moduli()
+                .iter()
+                .map(|m| (value % m.value() as u128) as u64)
+                .collect();
+            assert_eq!(crt_recombine_u128(&residues, &basis), value);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_conversion_overshoot_bounded(value in any::<u64>()) {
+            let (source, target) = bases();
+            let conv = BasisConverter::new(&source, &target).unwrap();
+            let q_product: u128 = source.values().iter().map(|&q| q as u128).product();
+            let value = value as u128 % q_product;
+            let limbs = encode_value(value, &source, 4);
+            let out = conv.convert(&limbs);
+            for (j, pj) in target.moduli().iter().enumerate() {
+                let got = out[j][0] as u128;
+                let mut matched = false;
+                for u in 0..=source.len() as u128 {
+                    if ((value + u * q_product) % pj.value() as u128) == got {
+                        matched = true;
+                        break;
+                    }
+                }
+                prop_assert!(matched);
+            }
+        }
+
+        #[test]
+        fn prop_crt_recombination_is_exact(value in any::<u64>()) {
+            let basis = RnsBasis::generate(1 << 4, 25, 2).unwrap();
+            let q_product: u128 = basis.values().iter().map(|&q| q as u128).product();
+            let value = value as u128 % q_product;
+            let residues: Vec<u64> = basis
+                .moduli()
+                .iter()
+                .map(|m| (value % m.value() as u128) as u64)
+                .collect();
+            prop_assert_eq!(crt_recombine_u128(&residues, &basis), value);
+        }
+    }
+}

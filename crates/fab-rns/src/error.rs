@@ -1,0 +1,87 @@
+//! Error type for the RNS substrate.
+
+use std::fmt;
+
+/// Errors produced by RNS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RnsError {
+    /// An underlying arithmetic error (prime generation, NTT table construction, …).
+    Math(fab_math::MathError),
+    /// The operands disagree on degree, limb count, or representation.
+    Mismatch {
+        /// Description of what disagreed.
+        reason: String,
+    },
+    /// The requested limb index or count is out of range for the basis.
+    LimbOutOfRange {
+        /// Requested limb count or index.
+        requested: usize,
+        /// Available limbs.
+        available: usize,
+    },
+    /// The operation requires a specific representation (coefficient or evaluation).
+    WrongRepresentation {
+        /// What the operation expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for RnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RnsError::Math(e) => write!(f, "arithmetic error: {e}"),
+            RnsError::Mismatch { reason } => write!(f, "operand mismatch: {reason}"),
+            RnsError::LimbOutOfRange {
+                requested,
+                available,
+            } => write!(
+                f,
+                "limb index/count {requested} out of range (available {available})"
+            ),
+            RnsError::WrongRepresentation { expected } => {
+                write!(f, "operation requires {expected} representation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RnsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RnsError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fab_math::MathError> for RnsError {
+    fn from(e: fab_math::MathError) -> Self {
+        RnsError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RnsError::from(fab_math::MathError::PrimeNotFound {
+            bits: 54,
+            degree: 16,
+        });
+        assert!(e.to_string().contains("arithmetic error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let m = RnsError::Mismatch {
+            reason: "degree".into(),
+        };
+        assert!(std::error::Error::source(&m).is_none());
+        assert!(!m.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RnsError>();
+    }
+}

@@ -1,0 +1,41 @@
+//! # fab-rns
+//!
+//! Residue Number System (RNS) substrate for the FAB reproduction.
+//!
+//! CKKS ciphertext coefficients live modulo a large composite `Q = q_1 · q_2 · … · q_ℓ`
+//! (Section 2.1.1 of the paper). Representing each coefficient by its residues modulo the
+//! word-sized limbs `q_i` lets every operation run on machine words — and lets the FAB
+//! functional units run on 54-bit limbs. This crate provides:
+//!
+//! * [`RnsBasis`] — an ordered set of NTT-enabled limb moduli,
+//! * [`RnsPolynomial`] — a limb-major polynomial with explicit representation tracking,
+//! * [`BasisConverter`] — the approximate RNS basis conversion of Equation (1),
+//! * [`ops`] — the ModUp / ModDown / Rescale / Decomp kernels used by hybrid key switching.
+//!
+//! ```
+//! use fab_rns::{RnsBasis, RnsPolynomial, Representation};
+//!
+//! # fn main() -> Result<(), fab_rns::RnsError> {
+//! let basis = RnsBasis::generate(1 << 6, 30, 3)?;
+//! let poly = RnsPolynomial::zero(1 << 6, basis.len(), Representation::Coefficient);
+//! assert_eq!(poly.limb_count(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod basis;
+mod convert;
+mod error;
+pub mod ops;
+mod poly;
+
+pub use basis::RnsBasis;
+pub use convert::{crt_recombine_u128, BasisConverter};
+pub use error::RnsError;
+pub use poly::{Representation, RnsPolynomial};
+
+/// Result alias used throughout the RNS crate.
+pub type Result<T> = std::result::Result<T, RnsError>;

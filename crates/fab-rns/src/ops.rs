@@ -1,0 +1,417 @@
+//! RNS kernels used by hybrid key switching and rescaling: Decomp, ModUp, ModDown, Rescale.
+//!
+//! These are the four sub-operations of the KeySwitch datapath in Figure 5 of the paper
+//! (Decomp → ModUp → KSKIP → ModDown); KSKIP itself is an inner product over limbs and lives in
+//! the CKKS evaluator. All kernels here operate on coefficient-representation polynomials,
+//! mirroring the paper's datapath where basis conversion happens between the iNTT and NTT
+//! stages.
+
+use crate::{BasisConverter, Representation, Result, RnsBasis, RnsError, RnsPolynomial};
+
+/// Splits the limbs of a polynomial into `dnum` digits of (up to) `alpha` consecutive limbs
+/// (the `Decomp` sub-operation). The final digit may be shorter when `alpha` does not divide
+/// the limb count.
+///
+/// # Errors
+///
+/// Returns [`RnsError::Mismatch`] if `alpha` is zero.
+pub fn decompose(poly: &RnsPolynomial, alpha: usize) -> Result<Vec<RnsPolynomial>> {
+    if alpha == 0 {
+        return Err(RnsError::Mismatch {
+            reason: "digit size alpha must be positive".into(),
+        });
+    }
+    let mut digits = Vec::new();
+    let limbs = poly.limbs();
+    let mut start = 0usize;
+    while start < limbs.len() {
+        let end = (start + alpha).min(limbs.len());
+        digits.push(RnsPolynomial::from_limbs(
+            limbs[start..end].to_vec(),
+            poly.representation(),
+        ));
+        start = end;
+    }
+    Ok(digits)
+}
+
+/// `ModUp`: extends a digit (residues over `alpha` consecutive limbs of `Q`) to the full basis
+/// `Q_ℓ ∪ P`. Limbs belonging to the digit are copied verbatim; all other limbs are produced by
+/// approximate basis conversion from the digit.
+///
+/// `digit_offset` is the index inside `q_basis` of the digit's first limb. The output limb order
+/// is `[q_0, …, q_{ℓ-1}, p_0, …, p_{k-1}]`.
+///
+/// # Errors
+///
+/// Returns [`RnsError::WrongRepresentation`] unless the digit is in coefficient form, and
+/// propagates converter-construction errors.
+pub fn mod_up(
+    digit: &RnsPolynomial,
+    digit_basis: &RnsBasis,
+    q_basis: &RnsBasis,
+    p_basis: &RnsBasis,
+    digit_offset: usize,
+) -> Result<RnsPolynomial> {
+    if digit.representation() != Representation::Coefficient {
+        return Err(RnsError::WrongRepresentation {
+            expected: "coefficient",
+        });
+    }
+    if digit.limb_count() != digit_basis.len() {
+        return Err(RnsError::Mismatch {
+            reason: format!(
+                "digit has {} limbs but digit basis has {}",
+                digit.limb_count(),
+                digit_basis.len()
+            ),
+        });
+    }
+    let digit_len = digit_basis.len();
+    let digit_range = digit_offset..digit_offset + digit_len;
+    if digit_range.end > q_basis.len() {
+        return Err(RnsError::LimbOutOfRange {
+            requested: digit_range.end,
+            available: q_basis.len(),
+        });
+    }
+
+    // Build the "other limbs" target basis: Q limbs outside the digit, then all P limbs.
+    let mut other_moduli = Vec::new();
+    for (i, m) in q_basis.moduli().iter().enumerate() {
+        if !digit_range.contains(&i) {
+            other_moduli.push(m.clone());
+        }
+    }
+    let other_q_count = other_moduli.len();
+    other_moduli.extend(p_basis.moduli().iter().cloned());
+
+    let degree = digit.degree();
+    let mut out_limbs: Vec<Vec<u64>> = Vec::with_capacity(q_basis.len() + p_basis.len());
+
+    let converted = if other_moduli.is_empty() {
+        Vec::new()
+    } else {
+        let target = RnsBasis::new(q_basis.degree(), other_moduli)?;
+        let converter = BasisConverter::new(digit_basis, &target)?;
+        converter.convert(digit.limbs())
+    };
+
+    // Interleave copied digit limbs and converted limbs back into [Q_ℓ | P] order.
+    let mut converted_iter = converted.into_iter();
+    for i in 0..q_basis.len() {
+        if digit_range.contains(&i) {
+            out_limbs.push(digit.limb(i - digit_offset).to_vec());
+        } else {
+            out_limbs.push(converted_iter.next().expect("converted Q limb"));
+        }
+    }
+    for _ in 0..p_basis.len() {
+        out_limbs.push(converted_iter.next().expect("converted P limb"));
+    }
+    debug_assert_eq!(out_limbs.len(), q_basis.len() + p_basis.len());
+    debug_assert!(out_limbs.iter().all(|l| l.len() == degree));
+    let _ = other_q_count;
+    Ok(RnsPolynomial::from_limbs(
+        out_limbs,
+        Representation::Coefficient,
+    ))
+}
+
+/// `ModDown`: divides a polynomial over `Q_ℓ ∪ P` by `P` (with rounding error at most the
+/// number of special limbs), producing a polynomial over `Q_ℓ`.
+///
+/// The input limb order must be `[q_0, …, q_{ℓ-1}, p_0, …, p_{k-1}]` and the polynomial must be
+/// in coefficient representation.
+///
+/// # Errors
+///
+/// Returns [`RnsError::WrongRepresentation`] for evaluation-form input and
+/// [`RnsError::Mismatch`] if the limb count is not `|Q_ℓ| + |P|`.
+pub fn mod_down(
+    poly: &RnsPolynomial,
+    q_basis: &RnsBasis,
+    p_basis: &RnsBasis,
+) -> Result<RnsPolynomial> {
+    if poly.representation() != Representation::Coefficient {
+        return Err(RnsError::WrongRepresentation {
+            expected: "coefficient",
+        });
+    }
+    let l = q_basis.len();
+    let k = p_basis.len();
+    if poly.limb_count() != l + k {
+        return Err(RnsError::Mismatch {
+            reason: format!(
+                "mod_down expects {} limbs (|Q|+|P|), got {}",
+                l + k,
+                poly.limb_count()
+            ),
+        });
+    }
+    // Convert the P-part down to the Q basis.
+    let p_limbs: Vec<Vec<u64>> = poly.limbs()[l..].to_vec();
+    let converter = BasisConverter::new(p_basis, q_basis)?;
+    let converted = converter.convert(&p_limbs);
+
+    // P^{-1} mod q_i.
+    let mut out_limbs = Vec::with_capacity(l);
+    for i in 0..l {
+        let qi = q_basis.modulus(i);
+        let mut p_mod_qi = 1u64;
+        for p in p_basis.values() {
+            p_mod_qi = qi.mul(p_mod_qi, qi.reduce(p));
+        }
+        let p_inv = qi.inv(p_mod_qi)?;
+        let p_inv_shoup = qi.shoup_precompute(p_inv);
+        let limb: Vec<u64> = poly.limb(i)
+            .iter()
+            .zip(converted[i].iter())
+            .map(|(&x, &c)| qi.mul_shoup(qi.sub(x, c), p_inv, p_inv_shoup))
+            .collect();
+        out_limbs.push(limb);
+    }
+    Ok(RnsPolynomial::from_limbs(
+        out_limbs,
+        Representation::Coefficient,
+    ))
+}
+
+/// `Rescale`: divides a polynomial over `Q_ℓ` by its last limb `q_ℓ` (rounding), producing a
+/// polynomial over `Q_{ℓ-1}`. This is the level-consuming step after every CKKS multiplication.
+///
+/// Uses the centred representative of the last limb so the rounding error is at most 1/2 in
+/// absolute value per coefficient.
+///
+/// # Errors
+///
+/// Returns [`RnsError::WrongRepresentation`] for evaluation-form input and
+/// [`RnsError::Mismatch`] if the polynomial has fewer than two limbs.
+pub fn rescale(poly: &RnsPolynomial, q_basis: &RnsBasis) -> Result<RnsPolynomial> {
+    if poly.representation() != Representation::Coefficient {
+        return Err(RnsError::WrongRepresentation {
+            expected: "coefficient",
+        });
+    }
+    let l = poly.limb_count();
+    if l < 2 {
+        return Err(RnsError::Mismatch {
+            reason: "rescale requires at least two limbs".into(),
+        });
+    }
+    if q_basis.len() < l {
+        return Err(RnsError::LimbOutOfRange {
+            requested: l,
+            available: q_basis.len(),
+        });
+    }
+    let q_last = q_basis.modulus(l - 1);
+    let last_limb = poly.limb(l - 1);
+
+    let mut out_limbs = Vec::with_capacity(l - 1);
+    for i in 0..l - 1 {
+        let qi = q_basis.modulus(i);
+        let q_last_inv = qi.inv(qi.reduce(q_last.value()))?;
+        let q_last_inv_shoup = qi.shoup_precompute(q_last_inv);
+        let limb: Vec<u64> = poly.limb(i)
+            .iter()
+            .zip(last_limb.iter())
+            .map(|(&x, &c_last)| {
+                // Centre the last-limb residue to keep the rounding error ≤ 1/2.
+                let centred = q_last.to_signed(c_last);
+                let c_mod_qi = qi.reduce_i64(centred);
+                qi.mul_shoup(qi.sub(x, c_mod_qi), q_last_inv, q_last_inv_shoup)
+            })
+            .collect();
+        out_limbs.push(limb);
+    }
+    Ok(RnsPolynomial::from_limbs(
+        out_limbs,
+        Representation::Coefficient,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crt_recombine_u128;
+
+    fn small_setup() -> (RnsBasis, RnsBasis) {
+        // Q basis of 4 limbs, P basis of 2 limbs, over a tiny ring.
+        let q = RnsBasis::generate(1 << 4, 28, 4).unwrap();
+        let p = RnsBasis::generate(1 << 4, 29, 2).unwrap();
+        (q, p)
+    }
+
+    fn signed_constant_poly(value: i64, degree: usize, basis: &RnsBasis) -> RnsPolynomial {
+        let mut coeffs = vec![0i64; degree];
+        coeffs[0] = value;
+        RnsPolynomial::from_signed_coeffs(&coeffs, basis, Representation::Coefficient)
+    }
+
+    #[test]
+    fn decompose_groups_limbs() {
+        let (q, _) = small_setup();
+        let poly = RnsPolynomial::zero(16, 4, Representation::Coefficient);
+        let digits = decompose(&poly, 2).unwrap();
+        assert_eq!(digits.len(), 2);
+        assert!(digits.iter().all(|d| d.limb_count() == 2));
+        let digits3 = decompose(&poly, 3).unwrap();
+        assert_eq!(digits3.len(), 2);
+        assert_eq!(digits3[0].limb_count(), 3);
+        assert_eq!(digits3[1].limb_count(), 1);
+        assert!(decompose(&poly, 0).is_err());
+        let _ = q;
+    }
+
+    #[test]
+    fn mod_up_copies_digit_limbs_and_overshoot_is_multiple_of_digit_product() {
+        let (q, p) = small_setup();
+        let alpha = 2;
+        let digit_offset = 0;
+        let digit_basis = q.slice(0..alpha).unwrap();
+        let value = 424242i64;
+        let digit = signed_constant_poly(value, 16, &digit_basis);
+        let extended = mod_up(&digit, &digit_basis, &q, &p, digit_offset).unwrap();
+        assert_eq!(extended.limb_count(), q.len() + p.len());
+        // Digit limbs copied verbatim.
+        for i in 0..alpha {
+            assert_eq!(extended.limb(i), digit.limb(i));
+        }
+        // Every other limb carries value + u·Q_digit for a single overshoot 0 ≤ u < alpha.
+        let digit_product: u128 = digit_basis.values().iter().map(|&x| x as u128).product();
+        let full = q.concat(&p).unwrap();
+        let mut overshoot = None;
+        let probe = full.modulus(alpha); // first non-digit limb
+        for u in 0..=alpha as u128 {
+            let expected = ((value as u128 + u * digit_product) % probe.value() as u128) as u64;
+            if expected == extended.limb(alpha)[0] {
+                overshoot = Some(u);
+                break;
+            }
+        }
+        let u = overshoot.expect("overshoot must be bounded by the digit size");
+        for i in alpha..full.len() {
+            let m = full.modulus(i);
+            let expected = ((value as u128 + u * digit_product) % m.value() as u128) as u64;
+            assert_eq!(extended.limb(i)[0], expected, "limb {i}");
+        }
+    }
+
+    #[test]
+    fn mod_up_then_mod_down_recovers_value_modulo_digit_product() {
+        let (q, p) = small_setup();
+        let alpha = 2;
+        let digit_basis = q.slice(0..alpha).unwrap();
+        let value = 5_000_000i64;
+        let digit = signed_constant_poly(value, 16, &digit_basis);
+        let extended = mod_up(&digit, &digit_basis, &q, &p, 0).unwrap();
+        // Multiply by P then divide by P: ModDown should undo the scaling, returning the
+        // ModUp result (value + u·Q_digit) up to the small flooring error of ModDown.
+        let p_product: u128 = p.values().iter().map(|&x| x as u128).product();
+        let full_basis = q.concat(&p).unwrap();
+        let scalars: Vec<u64> = full_basis
+            .moduli()
+            .iter()
+            .map(|m| (p_product % m.value() as u128) as u64)
+            .collect();
+        let scaled = extended.mul_scalar_per_limb(&scalars, &full_basis);
+        let reduced = mod_down(&scaled, &q, &p).unwrap();
+        // Recombine the first coefficient over Q; it must equal value + u·Q_digit ± small error.
+        let residues: Vec<u64> = (0..q.len()).map(|i| reduced.limb(i)[0]).collect();
+        let got = crt_recombine_u128(&residues, &q) as i128;
+        let digit_product: i128 = digit_basis.values().iter().map(|&x| x as i128).product();
+        let mut matched = false;
+        for u in 0..=alpha as i128 {
+            let expected = value as i128 + u * digit_product;
+            if (got - expected).abs() <= p.len() as i128 + 1 {
+                matched = true;
+                break;
+            }
+        }
+        assert!(matched, "mod_down result {got} not within error of value + u*Q_digit");
+    }
+
+    #[test]
+    fn rescale_divides_by_last_limb() {
+        let (q, _) = small_setup();
+        // Value = k * q_last + small remainder: rescale should return ≈ k.
+        let q_last = q.modulus(3).value();
+        let k = 12_345i64;
+        let value = k as i128 * q_last as i128 + 7;
+        // Build the RNS representation of `value` over all 4 limbs.
+        let limbs: Vec<Vec<u64>> = q
+            .moduli()
+            .iter()
+            .map(|m| {
+                let mut limb = vec![0u64; 16];
+                let mut r = (value % m.value() as i128) as i128;
+                if r < 0 {
+                    r += m.value() as i128;
+                }
+                limb[0] = r as u64;
+                limb
+            })
+            .collect();
+        let poly = RnsPolynomial::from_limbs(limbs, Representation::Coefficient);
+        let rescaled = rescale(&poly, &q).unwrap();
+        assert_eq!(rescaled.limb_count(), 3);
+        for i in 0..3 {
+            let got = q.modulus(i).to_signed(rescaled.limb(i)[0]);
+            assert!((got - k).abs() <= 1, "limb {i}: got {got}, expected ~{k}");
+        }
+    }
+
+    #[test]
+    fn rescale_requires_two_limbs_and_coefficient_form() {
+        let (q, _) = small_setup();
+        let single = RnsPolynomial::zero(16, 1, Representation::Coefficient);
+        assert!(rescale(&single, &q).is_err());
+        let mut poly = RnsPolynomial::zero(16, 2, Representation::Coefficient);
+        poly.to_evaluation(&q);
+        assert!(rescale(&poly, &q).is_err());
+    }
+
+    #[test]
+    fn mod_down_shape_checks() {
+        let (q, p) = small_setup();
+        let wrong = RnsPolynomial::zero(16, 3, Representation::Coefficient);
+        assert!(mod_down(&wrong, &q, &p).is_err());
+        let mut eval = RnsPolynomial::zero(16, q.len() + p.len(), Representation::Coefficient);
+        eval.to_evaluation(&q.concat(&p).unwrap());
+        assert!(mod_down(&eval, &q, &p).is_err());
+    }
+
+    #[test]
+    fn mod_up_digit_in_middle_of_basis() {
+        let (q, p) = small_setup();
+        let alpha = 2;
+        let digit_offset = 2;
+        let digit_basis = q.slice(2..4).unwrap();
+        let value = 99_999i64;
+        let digit = signed_constant_poly(value, 16, &digit_basis);
+        let extended = mod_up(&digit, &digit_basis, &q, &p, digit_offset).unwrap();
+        assert_eq!(extended.limb_count(), q.len() + p.len());
+        // Digit limbs are copied into positions 2 and 3.
+        for i in 0..alpha {
+            assert_eq!(extended.limb(digit_offset + i), digit.limb(i));
+        }
+        // All limbs agree on a single representative value + u·Q_digit.
+        let digit_product: u128 = digit_basis.values().iter().map(|&x| x as u128).product();
+        let full = q.concat(&p).unwrap();
+        let probe = full.modulus(0);
+        let mut overshoot = None;
+        for u in 0..=alpha as u128 {
+            let expected = ((value as u128 + u * digit_product) % probe.value() as u128) as u64;
+            if expected == extended.limb(0)[0] {
+                overshoot = Some(u);
+                break;
+            }
+        }
+        let u = overshoot.expect("bounded overshoot");
+        for (i, m) in full.moduli().iter().enumerate() {
+            let expected = ((value as u128 + u * digit_product) % m.value() as u128) as u64;
+            assert_eq!(extended.limb(i)[0], expected, "q limb {i}");
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! Limb-major RNS polynomials with explicit representation tracking.
+
+use fab_math::AutomorphismMap;
+
+use crate::{Result, RnsBasis, RnsError};
+
+/// Whether a polynomial is stored as coefficients or as NTT evaluations.
+///
+/// The paper keeps most data in evaluation form and switches to coefficient form only where
+/// basis conversion requires it (Fig. 5); we track the representation explicitly so misuse is a
+/// type-checked error rather than silent corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Polynomial coefficients `a_0 … a_{N-1}`.
+    Coefficient,
+    /// NTT evaluations (the "evaluation representation" of Section 2.1.2).
+    Evaluation,
+}
+
+impl std::fmt::Display for Representation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Representation::Coefficient => write!(f, "coefficient"),
+            Representation::Evaluation => write!(f, "evaluation"),
+        }
+    }
+}
+
+/// An RNS polynomial: one row of `N` residues per limb (limb-major / "limb-wise" layout,
+/// matching the row-major ciphertext view described in Section 2.1.1).
+///
+/// The polynomial does not own its basis; operations take the relevant [`RnsBasis`] so the same
+/// struct can represent data in `Q`, in a digit basis, or in the extended basis `Q ∪ P`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPolynomial {
+    degree: usize,
+    limbs: Vec<Vec<u64>>,
+    representation: Representation,
+}
+
+impl RnsPolynomial {
+    /// The all-zero polynomial with the given number of limbs.
+    pub fn zero(degree: usize, limb_count: usize, representation: Representation) -> Self {
+        Self {
+            degree,
+            limbs: vec![vec![0u64; degree]; limb_count],
+            representation,
+        }
+    }
+
+    /// Builds a polynomial from explicit limb data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limbs have inconsistent lengths.
+    pub fn from_limbs(limbs: Vec<Vec<u64>>, representation: Representation) -> Self {
+        assert!(!limbs.is_empty(), "polynomial must have at least one limb");
+        let degree = limbs[0].len();
+        assert!(
+            limbs.iter().all(|l| l.len() == degree),
+            "all limbs must have the same length"
+        );
+        Self {
+            degree,
+            limbs,
+            representation,
+        }
+    }
+
+    /// Lifts a single small (signed) coefficient vector into every limb of a basis.
+    pub fn from_signed_coeffs(
+        coeffs: &[i64],
+        basis: &RnsBasis,
+        representation: Representation,
+    ) -> Self {
+        let limbs = basis
+            .moduli()
+            .iter()
+            .map(|m| coeffs.iter().map(|&c| m.reduce_i64(c)).collect())
+            .collect();
+        let mut poly = Self::from_limbs(limbs, Representation::Coefficient);
+        if representation == Representation::Evaluation {
+            poly.to_evaluation(basis);
+        }
+        poly
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of limbs currently held.
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Current representation.
+    pub fn representation(&self) -> Representation {
+        self.representation
+    }
+
+    /// Immutable access to limb `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn limb(&self, i: usize) -> &[u64] {
+        &self.limbs[i]
+    }
+
+    /// Mutable access to limb `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn limb_mut(&mut self, i: usize) -> &mut Vec<u64> {
+        &mut self.limbs[i]
+    }
+
+    /// All limbs.
+    pub fn limbs(&self) -> &[Vec<u64>] {
+        &self.limbs
+    }
+
+    /// Consumes the polynomial and returns its limbs.
+    pub fn into_limbs(self) -> Vec<Vec<u64>> {
+        self.limbs
+    }
+
+    /// Appends a limb (e.g. an extension limb produced by ModUp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limb length differs from the degree.
+    pub fn push_limb(&mut self, limb: Vec<u64>) {
+        assert_eq!(limb.len(), self.degree);
+        self.limbs.push(limb);
+    }
+
+    /// Drops limbs beyond the first `count` (used by Rescale / ModDown / level drops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::LimbOutOfRange`] if `count` exceeds the current limb count.
+    pub fn truncate_limbs(&mut self, count: usize) -> Result<()> {
+        if count > self.limbs.len() {
+            return Err(RnsError::LimbOutOfRange {
+                requested: count,
+                available: self.limbs.len(),
+            });
+        }
+        self.limbs.truncate(count);
+        Ok(())
+    }
+
+    /// Returns a copy restricted to the first `count` limbs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::LimbOutOfRange`] if `count` exceeds the current limb count.
+    pub fn prefix(&self, count: usize) -> Result<Self> {
+        if count > self.limbs.len() {
+            return Err(RnsError::LimbOutOfRange {
+                requested: count,
+                available: self.limbs.len(),
+            });
+        }
+        Ok(Self {
+            degree: self.degree,
+            limbs: self.limbs[..count].to_vec(),
+            representation: self.representation,
+        })
+    }
+
+    /// Converts in place to evaluation representation (forward NTT limb-by-limb). No-op if the
+    /// polynomial is already in evaluation form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis has fewer limbs than the polynomial.
+    pub fn to_evaluation(&mut self, basis: &RnsBasis) {
+        if self.representation == Representation::Evaluation {
+            return;
+        }
+        assert!(basis.len() >= self.limb_count());
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            basis.table(i).forward(limb);
+        }
+        self.representation = Representation::Evaluation;
+    }
+
+    /// Converts in place to coefficient representation (inverse NTT limb-by-limb). No-op if the
+    /// polynomial is already in coefficient form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis has fewer limbs than the polynomial.
+    pub fn to_coefficient(&mut self, basis: &RnsBasis) {
+        if self.representation == Representation::Coefficient {
+            return;
+        }
+        assert!(basis.len() >= self.limb_count());
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            basis.table(i).inverse(limb);
+        }
+        self.representation = Representation::Coefficient;
+    }
+
+    /// Component-wise addition (same representation required).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::Mismatch`] if degrees, limb counts, or representations differ.
+    pub fn add(&self, other: &Self, basis: &RnsBasis) -> Result<Self> {
+        self.check_compatible(other)?;
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&other.limbs)
+            .enumerate()
+            .map(|(i, (a, b))| {
+                let m = basis.modulus(i);
+                a.iter().zip(b).map(|(&x, &y)| m.add(x, y)).collect()
+            })
+            .collect();
+        Ok(Self {
+            degree: self.degree,
+            limbs,
+            representation: self.representation,
+        })
+    }
+
+    /// Component-wise subtraction (same representation required).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::Mismatch`] if degrees, limb counts, or representations differ.
+    pub fn sub(&self, other: &Self, basis: &RnsBasis) -> Result<Self> {
+        self.check_compatible(other)?;
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&other.limbs)
+            .enumerate()
+            .map(|(i, (a, b))| {
+                let m = basis.modulus(i);
+                a.iter().zip(b).map(|(&x, &y)| m.sub(x, y)).collect()
+            })
+            .collect();
+        Ok(Self {
+            degree: self.degree,
+            limbs,
+            representation: self.representation,
+        })
+    }
+
+    /// Component-wise negation.
+    pub fn neg(&self, basis: &RnsBasis) -> Self {
+        let limbs = self
+            .limbs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let m = basis.modulus(i);
+                a.iter().map(|&x| m.neg(x)).collect()
+            })
+            .collect();
+        Self {
+            degree: self.degree,
+            limbs,
+            representation: self.representation,
+        }
+    }
+
+    /// Pointwise (Hadamard) multiplication; both operands must be in evaluation representation
+    /// so that the product is the negacyclic polynomial product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::WrongRepresentation`] if either operand is in coefficient form, or
+    /// [`RnsError::Mismatch`] on shape disagreement.
+    pub fn mul(&self, other: &Self, basis: &RnsBasis) -> Result<Self> {
+        if self.representation != Representation::Evaluation
+            || other.representation != Representation::Evaluation
+        {
+            return Err(RnsError::WrongRepresentation {
+                expected: "evaluation",
+            });
+        }
+        self.check_compatible(other)?;
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&other.limbs)
+            .enumerate()
+            .map(|(i, (a, b))| {
+                let m = basis.modulus(i);
+                a.iter().zip(b).map(|(&x, &y)| m.mul(x, y)).collect()
+            })
+            .collect();
+        Ok(Self {
+            degree: self.degree,
+            limbs,
+            representation: Representation::Evaluation,
+        })
+    }
+
+    /// Multiplies every limb by a per-limb scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len()` differs from the limb count.
+    pub fn mul_scalar_per_limb(&self, scalars: &[u64], basis: &RnsBasis) -> Self {
+        assert_eq!(scalars.len(), self.limb_count());
+        let limbs = self
+            .limbs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let m = basis.modulus(i);
+                let s = scalars[i] % m.value();
+                a.iter().map(|&x| m.mul(x, s)).collect()
+            })
+            .collect();
+        Self {
+            degree: self.degree,
+            limbs,
+            representation: self.representation,
+        }
+    }
+
+    /// Applies the Galois automorphism `x → x^element`. The polynomial must be in coefficient
+    /// representation (the FAB automorph unit also permutes coefficient/slot indices directly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::WrongRepresentation`] if in evaluation form, or propagates an invalid
+    /// Galois element error.
+    pub fn automorphism(&self, element: u64, basis: &RnsBasis) -> Result<Self> {
+        if self.representation != Representation::Coefficient {
+            return Err(RnsError::WrongRepresentation {
+                expected: "coefficient",
+            });
+        }
+        let map = AutomorphismMap::new(self.degree, element)?;
+        let limbs = self
+            .limbs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| map.apply(a, basis.modulus(i)))
+            .collect();
+        Ok(Self {
+            degree: self.degree,
+            limbs,
+            representation: Representation::Coefficient,
+        })
+    }
+
+    fn check_compatible(&self, other: &Self) -> Result<()> {
+        if self.degree != other.degree {
+            return Err(RnsError::Mismatch {
+                reason: format!("degree {} vs {}", self.degree, other.degree),
+            });
+        }
+        if self.limb_count() != other.limb_count() {
+            return Err(RnsError::Mismatch {
+                reason: format!("limb count {} vs {}", self.limb_count(), other.limb_count()),
+            });
+        }
+        if self.representation != other.representation {
+            return Err(RnsError::Mismatch {
+                reason: format!(
+                    "representation {} vs {}",
+                    self.representation, other.representation
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn basis(limbs: usize) -> RnsBasis {
+        RnsBasis::generate(64, 30, limbs).unwrap()
+    }
+
+    fn random_poly(basis: &RnsBasis, seed: u64) -> RnsPolynomial {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let limbs = basis
+            .moduli()
+            .iter()
+            .map(|m| (0..basis.degree()).map(|_| rng.gen_range(0..m.value())).collect())
+            .collect();
+        RnsPolynomial::from_limbs(limbs, Representation::Coefficient)
+    }
+
+    #[test]
+    fn ntt_roundtrip_preserves_polynomial() {
+        let b = basis(3);
+        let original = random_poly(&b, 1);
+        let mut p = original.clone();
+        p.to_evaluation(&b);
+        assert_eq!(p.representation(), Representation::Evaluation);
+        p.to_coefficient(&b);
+        assert_eq!(p, original);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let b = basis(3);
+        let x = random_poly(&b, 2);
+        let y = random_poly(&b, 3);
+        let z = x.add(&y, &b).unwrap().sub(&y, &b).unwrap();
+        assert_eq!(z, x);
+    }
+
+    #[test]
+    fn mul_requires_evaluation_form() {
+        let b = basis(2);
+        let x = random_poly(&b, 4);
+        let y = random_poly(&b, 5);
+        assert!(matches!(
+            x.mul(&y, &b),
+            Err(RnsError::WrongRepresentation { .. })
+        ));
+    }
+
+    #[test]
+    fn mul_matches_schoolbook_in_each_limb() {
+        let b = basis(2);
+        let mut x = random_poly(&b, 6);
+        let mut y = random_poly(&b, 7);
+        let x_coeff = x.clone();
+        let y_coeff = y.clone();
+        x.to_evaluation(&b);
+        y.to_evaluation(&b);
+        let mut prod = x.mul(&y, &b).unwrap();
+        prod.to_coefficient(&b);
+        for i in 0..b.len() {
+            let expected = b.table(i).negacyclic_multiply(x_coeff.limb(i), y_coeff.limb(i));
+            assert_eq!(prod.limb(i), &expected[..]);
+        }
+    }
+
+    #[test]
+    fn from_signed_coeffs_reduces_into_each_limb() {
+        let b = basis(3);
+        let coeffs: Vec<i64> = (0..64).map(|i| if i % 2 == 0 { -i } else { i }).collect();
+        let p = RnsPolynomial::from_signed_coeffs(&coeffs, &b, Representation::Coefficient);
+        for (i, m) in b.moduli().iter().enumerate() {
+            for (j, &c) in coeffs.iter().enumerate() {
+                assert_eq!(p.limb(i)[j], m.reduce_i64(c));
+            }
+        }
+    }
+
+    #[test]
+    fn automorphism_requires_coefficient_form() {
+        let b = basis(2);
+        let mut x = random_poly(&b, 8);
+        x.to_evaluation(&b);
+        assert!(x.automorphism(5, &b).is_err());
+        x.to_coefficient(&b);
+        assert!(x.automorphism(5, &b).is_ok());
+    }
+
+    #[test]
+    fn mismatched_shapes_are_rejected() {
+        let b2 = basis(2);
+        let b3 = basis(3);
+        let x = random_poly(&b2, 9);
+        let y = random_poly(&b3, 10);
+        assert!(matches!(x.add(&y, &b3), Err(RnsError::Mismatch { .. })));
+        let mut z = random_poly(&b2, 11);
+        z.to_evaluation(&b2);
+        assert!(x.add(&z, &b2).is_err());
+    }
+
+    #[test]
+    fn truncate_and_prefix() {
+        let b = basis(4);
+        let mut x = random_poly(&b, 12);
+        let p = x.prefix(2).unwrap();
+        assert_eq!(p.limb_count(), 2);
+        x.truncate_limbs(3).unwrap();
+        assert_eq!(x.limb_count(), 3);
+        assert!(x.truncate_limbs(5).is_err());
+        assert!(x.prefix(5).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_add_commutative(seed1 in any::<u64>(), seed2 in any::<u64>()) {
+            let b = basis(2);
+            let x = random_poly(&b, seed1);
+            let y = random_poly(&b, seed2);
+            prop_assert_eq!(x.add(&y, &b).unwrap(), y.add(&x, &b).unwrap());
+        }
+
+        #[test]
+        fn prop_neg_is_additive_inverse(seed in any::<u64>()) {
+            let b = basis(2);
+            let x = random_poly(&b, seed);
+            let z = x.add(&x.neg(&b), &b).unwrap();
+            let zero = RnsPolynomial::zero(b.degree(), b.len(), Representation::Coefficient);
+            prop_assert_eq!(z, zero);
+        }
+
+        #[test]
+        fn prop_mul_commutative(seed1 in any::<u64>(), seed2 in any::<u64>()) {
+            let b = basis(2);
+            let mut x = random_poly(&b, seed1);
+            let mut y = random_poly(&b, seed2);
+            x.to_evaluation(&b);
+            y.to_evaluation(&b);
+            prop_assert_eq!(x.mul(&y, &b).unwrap(), y.mul(&x, &b).unwrap());
+        }
+    }
+}

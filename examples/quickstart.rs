@@ -1,0 +1,61 @@
+//! Quickstart: encrypt two vectors, compute on them homomorphically, decrypt — then ask the
+//! FAB accelerator model what the same operations would cost on the FPGA at the paper's full
+//! parameter set.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fab::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- software CKKS at the reduced testing parameter set --------------------------------
+    let ctx = CkksContext::new_arc(CkksParams::testing())?;
+    let mut rng = ChaCha20Rng::seed_from_u64(42);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone(), keygen.public_key(&mut rng));
+    let decryptor = Decryptor::new(ctx.clone(), sk);
+    let evaluator = Evaluator::new(ctx.clone());
+    let rlk = keygen.relinearization_key(&mut rng);
+    let gks = keygen.galois_keys(&[1], false, &mut rng)?;
+
+    let scale = ctx.params().default_scale();
+    let xs = vec![1.5, -2.0, 3.25, 0.5];
+    let ys = vec![0.5, 4.0, -1.0, 2.0];
+    let level = ctx.params().max_level;
+    let ct_x = encryptor.encrypt(&encoder.encode_real(&xs, scale, level)?, &mut rng)?;
+    let ct_y = encryptor.encrypt(&encoder.encode_real(&ys, scale, level)?, &mut rng)?;
+
+    let sum = evaluator.add(&ct_x, &ct_y)?;
+    let product = evaluator.multiply_rescale(&ct_x, &ct_y, &rlk)?;
+    let rotated = evaluator.rotate(&ct_x, 1, &gks)?;
+
+    println!("plaintext x      : {xs:?}");
+    println!("plaintext y      : {ys:?}");
+    println!(
+        "decrypted x + y  : {:?}",
+        &encoder.decode_real(&decryptor.decrypt(&sum)?)[..4]
+    );
+    println!(
+        "decrypted x * y  : {:?}",
+        &encoder.decode_real(&decryptor.decrypt(&product)?)[..4]
+    );
+    println!(
+        "decrypted rot(x) : {:?}",
+        &encoder.decode_real(&decryptor.decrypt(&rotated)?)[..4]
+    );
+
+    // --- what would this cost on FAB at the paper's parameter set? -------------------------
+    let config = FabConfig::alveo_u280();
+    let paper = CkksParams::fab_paper();
+    let model = OpCostModel::new(config.clone(), paper.clone());
+    let top = paper.max_level;
+    println!("\nFAB model at N = 2^16, 24 limbs, 300 MHz:");
+    println!("  Add     : {:.3} ms", model.add(top).time_ms(&config));
+    println!("  Mult    : {:.3} ms", model.multiply(top).time_ms(&config));
+    println!("  Rescale : {:.3} ms", model.rescale(top).time_ms(&config));
+    println!("  Rotate  : {:.3} ms", model.rotate(top).time_ms(&config));
+    Ok(())
+}

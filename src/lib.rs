@@ -1,0 +1,67 @@
+//! # fab
+//!
+//! Top-level facade of the FAB reproduction ("FAB: An FPGA-based Accelerator for
+//! Bootstrappable Fully Homomorphic Encryption", HPCA 2023): re-exports the arithmetic
+//! substrate, the RNS layer, the CKKS scheme with bootstrapping, the accelerator model and the
+//! logistic-regression application under one roof, so examples and downstream users only need
+//! a single dependency.
+//!
+//! ```
+//! use fab::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), fab::ckks::CkksError> {
+//! let ctx = CkksContext::new_arc(CkksParams::testing())?;
+//! let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(1);
+//! let sk = SecretKey::generate(&ctx, &mut rng);
+//! let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+//! let encoder = Encoder::new(ctx.clone());
+//! let encryptor = Encryptor::new(ctx.clone(), keygen.public_key(&mut rng));
+//! let decryptor = Decryptor::new(ctx.clone(), sk);
+//! let ct = encryptor.encrypt(&encoder.encode_real(&[1.0, 2.0], ctx.params().default_scale(), 2)?, &mut rng)?;
+//! let values = encoder.decode_real(&decryptor.decrypt(&ct)?);
+//! assert!((values[0] - 1.0).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Arithmetic substrate: modular arithmetic, NTT, special FFT, automorphisms.
+pub use fab_math as math;
+/// Residue-number-system substrate: bases, polynomials, basis conversion, ModUp/ModDown.
+pub use fab_rns as rns;
+/// The RNS-CKKS scheme with hybrid key switching and bootstrapping.
+pub use fab_ckks as ckks;
+/// The FAB accelerator model (cost model, memory model, resources, design space, baselines).
+pub use fab_core as accelerator;
+/// Encrypted logistic regression (the paper's target application).
+pub use fab_lr as logistic_regression;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use fab_ckks::{
+        Bootstrapper, Ciphertext, CkksContext, CkksParams, Decryptor, Encoder, Encryptor,
+        Evaluator, GaloisKeys, KeyGenerator, Plaintext, PublicKey, RelinearizationKey, SecretKey,
+    };
+    pub use fab_core::{
+        FabConfig, KeySwitchDatapath, MultiFpgaSystem, OpCost, OpCostModel, ResourceEstimator,
+    };
+    pub use fab_lr::{synthetic_mnist_like, EncryptedLogisticRegression, LogisticRegressionTrainer};
+    pub use fab_math::Complex64;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        let params = crate::ckks::CkksParams::fab_paper();
+        assert_eq!(params.degree(), 1 << 16);
+        let config = crate::accelerator::FabConfig::alveo_u280();
+        assert_eq!(config.functional_units, 256);
+        let data = crate::logistic_regression::synthetic_mnist_like(10, 4, 1);
+        assert_eq!(data.len(), 10);
+        assert!(crate::math::is_prime(65537));
+    }
+}
