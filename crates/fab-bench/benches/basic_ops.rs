@@ -10,9 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 
-use fab_ckks::{
-    CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator, SecretKey,
-};
+use fab_ckks::{CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator, SecretKey};
 use fab_core::{FabConfig, OpCostModel};
 
 fn software_basic_ops(c: &mut Criterion) {
@@ -28,7 +26,9 @@ fn software_basic_ops(c: &mut Criterion) {
     let evaluator = Evaluator::new(ctx.clone());
 
     let scale = ctx.params().default_scale();
-    let values: Vec<f64> = (0..ctx.slot_count()).map(|i| (i as f64 * 0.01).sin()).collect();
+    let values: Vec<f64> = (0..ctx.slot_count())
+        .map(|i| (i as f64 * 0.01).sin())
+        .collect();
     let level = ctx.params().max_level;
     let pt = encoder.encode_real(&values, scale, level).unwrap();
     let ct_a = encryptor.encrypt(&pt, &mut rng).unwrap();
@@ -70,7 +70,12 @@ fn model_basic_ops(c: &mut Criterion) {
         });
     });
     group.bench_function("table6_throughputs", |b| {
-        b.iter(|| (table6.ntt_throughput_ops(), table6.multiply_throughput_ops()));
+        b.iter(|| {
+            (
+                table6.ntt_throughput_ops(),
+                table6.multiply_throughput_ops(),
+            )
+        });
     });
     group.finish();
 }

@@ -38,7 +38,9 @@ fn software_bootstrap(c: &mut Criterion) {
     let encoder = Encoder::new(ctx.clone());
     let encryptor = Encryptor::new(ctx.clone(), pk);
     let scale = ctx.params().default_scale();
-    let values: Vec<f64> = (0..ctx.slot_count()).map(|i| 0.3 * (i as f64 * 0.1).sin()).collect();
+    let values: Vec<f64> = (0..ctx.slot_count())
+        .map(|i| 0.3 * (i as f64 * 0.1).sin())
+        .collect();
     let ct = encryptor
         .encrypt(&encoder.encode_real(&values, scale, 0).unwrap(), &mut rng)
         .unwrap();

@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 
-use fab_ckks::{
-    CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator, SecretKey,
-};
+use fab_ckks::{CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator, SecretKey};
 use fab_core::{FabConfig, KeySwitchDatapath, OpCostModel};
 
 fn model_datapath_ablation(c: &mut Criterion) {
@@ -57,11 +55,7 @@ fn software_keyswitch(c: &mut Criterion) {
     let mut group = c.benchmark_group("software_keyswitch");
     group.sample_size(10);
     group.bench_function("relinearising_keyswitch", |b| {
-        b.iter(|| {
-            evaluator
-                .key_switch(ct.c1(), &rlk.key, ct.level())
-                .unwrap()
-        });
+        b.iter(|| evaluator.key_switch(ct.c1(), &rlk.key, ct.level()).unwrap());
     });
     group.finish();
 }

@@ -67,5 +67,10 @@ fn model_table8(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, plaintext_iteration, encrypted_iteration, model_table8);
+criterion_group!(
+    benches,
+    plaintext_iteration,
+    encrypted_iteration,
+    model_table8
+);
 criterion_main!(benches);

@@ -55,13 +55,17 @@ fn modular_multiplication(c: &mut Criterion) {
     });
     group.bench_function("shoup_fixed_operand", |b| {
         b.iter(|| {
-            pairs
-                .iter()
-                .fold(0u64, |acc, &(x, _)| acc ^ modulus.mul_shoup(x, shoup_b, shoup))
+            pairs.iter().fold(0u64, |acc, &(x, _)| {
+                acc ^ modulus.mul_shoup(x, shoup_b, shoup)
+            })
         });
     });
     group.bench_function("shift_add_algorithm1", |b| {
-        b.iter(|| pairs.iter().fold(0u64, |acc, &(x, y)| acc ^ reducer.mul(x, y)));
+        b.iter(|| {
+            pairs
+                .iter()
+                .fold(0u64, |acc, &(x, y)| acc ^ reducer.mul(x, y))
+        });
     });
     group.finish();
 }
@@ -73,13 +77,17 @@ fn special_fft(c: &mut Criterion) {
         let slots: Vec<Complex64> = (0..fft.slots())
             .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos()))
             .collect();
-        group.bench_with_input(BenchmarkId::new("encode_side_ifft", log_n), &slots, |b, s| {
-            b.iter(|| {
-                let mut w = s.clone();
-                fft.inverse(&mut w);
-                w
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encode_side_ifft", log_n),
+            &slots,
+            |b, s| {
+                b.iter(|| {
+                    let mut w = s.clone();
+                    fft.inverse(&mut w);
+                    w
+                });
+            },
+        );
     }
     group.finish();
 }

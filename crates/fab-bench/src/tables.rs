@@ -14,8 +14,8 @@ use fab_core::baselines::{
 };
 use fab_core::workload::bootstrap_cost;
 use fab_core::{
-    amortized_mult_time_us, dnum_sweep, fft_iter_sweep, FabConfig, OpCostModel,
-    ResourceEstimator, WorkingSetReport,
+    amortized_mult_time_us, dnum_sweep, fft_iter_sweep, FabConfig, OpCostModel, ResourceEstimator,
+    WorkingSetReport,
 };
 use fab_lr::lr_training_time_s;
 
@@ -107,7 +107,11 @@ pub fn render_all() -> String {
 fn table2() -> String {
     let p = CkksParams::fab_paper();
     let mut out = String::new();
-    writeln!(out, "== Table 2: parameter set for the FPGA implementation ==").unwrap();
+    writeln!(
+        out,
+        "== Table 2: parameter set for the FPGA implementation =="
+    )
+    .unwrap();
     writeln!(
         out,
         "log q = {}  N = 2^{}  L = {}  dnum = {}  fftIter = {}  lambda = {}",
@@ -137,8 +141,17 @@ fn figure1() -> String {
     let p = CkksParams::fab_paper();
     let points = dnum_sweep(&p, 32, p.bootstrap_depth(), &[1, 2, 3, 4, 5, 6]);
     let mut out = String::new();
-    writeln!(out, "== Figure 1: dnum vs levels after bootstrapping and key size ==").unwrap();
-    writeln!(out, "{:<6} {:<9} {:<7} {:<18} {:<14}", "dnum", "limbs(Q)", "alpha", "levels after boot", "key size (MB)").unwrap();
+    writeln!(
+        out,
+        "== Figure 1: dnum vs levels after bootstrapping and key size =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<6} {:<9} {:<7} {:<18} {:<14}",
+        "dnum", "limbs(Q)", "alpha", "levels after boot", "key size (MB)"
+    )
+    .unwrap();
     for pt in points {
         writeln!(
             out,
@@ -155,7 +168,11 @@ fn figure2() -> String {
     let p = CkksParams::fab_paper();
     let points = fft_iter_sweep(&config, &p, &[1, 2, 3, 4, 5, 6]);
     let mut out = String::new();
-    writeln!(out, "== Figure 2: fftIter vs bootstrapping time and NTT count ==").unwrap();
+    writeln!(
+        out,
+        "== Figure 2: fftIter vs bootstrapping time and NTT count =="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<8} {:<7} {:<13} {:<14} {:<12} {:<20}",
@@ -181,17 +198,34 @@ fn figure2() -> String {
 fn table3() -> String {
     let estimate = ResourceEstimator::new().estimate(&FabConfig::alveo_u280());
     let mut out = String::new();
-    writeln!(out, "== Table 3: FAB hardware resource utilisation (modelled) ==").unwrap();
-    writeln!(out, "{:<10} {:<12} {:<12} {:<12}", "Resource", "Available", "Utilized", "% Utilization").unwrap();
+    writeln!(
+        out,
+        "== Table 3: FAB hardware resource utilisation (modelled) =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} {:<12} {:<12} {:<12}",
+        "Resource", "Available", "Utilized", "% Utilization"
+    )
+    .unwrap();
     for (name, available, utilized, percent) in estimate.rows() {
-        writeln!(out, "{name:<10} {available:<12} {utilized:<12} {percent:<12.2}").unwrap();
+        writeln!(
+            out,
+            "{name:<10} {available:<12} {utilized:<12} {percent:<12.2}"
+        )
+        .unwrap();
     }
     out
 }
 
 fn table4() -> String {
     let mut out = String::new();
-    writeln!(out, "== Table 4: modular multipliers, register file and on-chip memory ==").unwrap();
+    writeln!(
+        out,
+        "== Table 4: modular multipliers, register file and on-chip memory =="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<6} {:<16} {:<12} {:<10} {:<16}",
@@ -219,13 +253,37 @@ fn table5() -> String {
     let model = OpCostModel::new(config.clone(), params.clone());
     let level = params.max_level;
     let rows = [
-        ("Add", model.add(level).time_ms(&config), TABLE5_GPU.add_ms, TABLE5_FAB_REPORTED.add_ms),
-        ("Mult", model.multiply(level).time_ms(&config), TABLE5_GPU.mult_ms, TABLE5_FAB_REPORTED.mult_ms),
-        ("Rescale", model.rescale(level).time_ms(&config), TABLE5_GPU.rescale_ms, TABLE5_FAB_REPORTED.rescale_ms),
-        ("Rotate", model.rotate(level).time_ms(&config), TABLE5_GPU.rotate_ms, TABLE5_FAB_REPORTED.rotate_ms),
+        (
+            "Add",
+            model.add(level).time_ms(&config),
+            TABLE5_GPU.add_ms,
+            TABLE5_FAB_REPORTED.add_ms,
+        ),
+        (
+            "Mult",
+            model.multiply(level).time_ms(&config),
+            TABLE5_GPU.mult_ms,
+            TABLE5_FAB_REPORTED.mult_ms,
+        ),
+        (
+            "Rescale",
+            model.rescale(level).time_ms(&config),
+            TABLE5_GPU.rescale_ms,
+            TABLE5_FAB_REPORTED.rescale_ms,
+        ),
+        (
+            "Rotate",
+            model.rotate(level).time_ms(&config),
+            TABLE5_GPU.rotate_ms,
+            TABLE5_FAB_REPORTED.rotate_ms,
+        ),
     ];
     let mut out = String::new();
-    writeln!(out, "== Table 5: basic CKKS operation latency (ms), N = 2^16 ==").unwrap();
+    writeln!(
+        out,
+        "== Table 5: basic CKKS operation latency (ms), N = 2^16 =="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<10} {:<16} {:<16} {:<12} {:<18}",
@@ -253,7 +311,11 @@ fn table6() -> String {
     let ntt = model.ntt_throughput_ops();
     let mult = model.multiply_throughput_ops();
     let mut out = String::new();
-    writeln!(out, "== Table 6: throughput (ops/s) vs HEAX, N = 2^14, log Q = 438 ==").unwrap();
+    writeln!(
+        out,
+        "== Table 6: throughput (ops/s) vs HEAX, N = 2^14, log Q = 438 =="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<10} {:<16} {:<16} {:<12} {:<18}",
@@ -263,13 +325,21 @@ fn table6() -> String {
     writeln!(
         out,
         "{:<10} {:<16.0} {:<16.0} {:<12.0} {:<18.2}",
-        "NTT", ntt, TABLE6_FAB_REPORTED.ntt_ops_per_s, TABLE6_HEAX.ntt_ops_per_s, ntt / TABLE6_HEAX.ntt_ops_per_s
+        "NTT",
+        ntt,
+        TABLE6_FAB_REPORTED.ntt_ops_per_s,
+        TABLE6_HEAX.ntt_ops_per_s,
+        ntt / TABLE6_HEAX.ntt_ops_per_s
     )
     .unwrap();
     writeln!(
         out,
         "{:<10} {:<16.0} {:<16.0} {:<12.0} {:<18.2}",
-        "Mult", mult, TABLE6_FAB_REPORTED.mult_ops_per_s, TABLE6_HEAX.mult_ops_per_s, mult / TABLE6_HEAX.mult_ops_per_s
+        "Mult",
+        mult,
+        TABLE6_FAB_REPORTED.mult_ops_per_s,
+        TABLE6_HEAX.mult_ops_per_s,
+        mult / TABLE6_HEAX.mult_ops_per_s
     )
     .unwrap();
     out
@@ -287,7 +357,11 @@ fn table7() -> String {
         params.slot_count(),
     );
     let mut out = String::new();
-    writeln!(out, "== Table 7: fully-packed bootstrapping, amortized mult time per slot ==").unwrap();
+    writeln!(
+        out,
+        "== Table 7: fully-packed bootstrapping, amortized mult time per slot =="
+    )
+    .unwrap();
     writeln!(
         out,
         "modelled FAB: T_boot = {:.1} ms, levels after = {}, slots = 2^15, amortized = {:.3} us/slot",
@@ -299,7 +373,12 @@ fn table7() -> String {
     writeln!(
         out,
         "{:<16} {:<12} {:<8} {:<14} {:<22} {:<22}",
-        "Work", "Freq (GHz)", "Slots", "Time (us)", "FAB-model speedup(t)", "FAB-model speedup(cyc)"
+        "Work",
+        "Freq (GHz)",
+        "Slots",
+        "Time (us)",
+        "FAB-model speedup(t)",
+        "FAB-model speedup(cyc)"
     )
     .unwrap();
     for row in table7_bootstrapping() {
@@ -329,7 +408,11 @@ fn table8() -> String {
     let params = CkksParams::fab_paper();
     let breakdown = lr_training_time_s(&config, &params, &HELR_TASK, 8, 0.012);
     let mut out = String::new();
-    writeln!(out, "== Table 8: LR training, average time per iteration (sparsely packed) ==").unwrap();
+    writeln!(
+        out,
+        "== Table 8: LR training, average time per iteration (sparsely packed) =="
+    )
+    .unwrap();
     writeln!(
         out,
         "modelled FAB-1 = {:.3} s, FAB-2 = {:.3} s ({} data ciphertexts, parallel {:.3} s, serial {:.3} s, comm {:.3} s)",
@@ -367,7 +450,11 @@ fn leveled() -> String {
     let params = CkksParams::fab_paper();
     let breakdown = lr_training_time_s(&config, &params, &HELR_TASK, 8, 0.012);
     let mut out = String::new();
-    writeln!(out, "== Section 5.5: bootstrapped FHE vs leveled FHE (client-aided) ==").unwrap();
+    writeln!(
+        out,
+        "== Section 5.5: bootstrapped FHE vs leveled FHE (client-aided) =="
+    )
+    .unwrap();
     writeln!(
         out,
         "FAB-1 full LR iteration (incl. bootstrapping, modelled): {:.3} s",
@@ -444,8 +531,16 @@ mod tests {
     fn render_all_contains_every_header() {
         let all = render_all();
         for header in [
-            "Table 2", "Figure 1", "Figure 2", "Table 3", "Table 4", "Table 5", "Table 6",
-            "Table 7", "Table 8", "leveled FHE",
+            "Table 2",
+            "Figure 1",
+            "Figure 2",
+            "Table 3",
+            "Table 4",
+            "Table 5",
+            "Table 6",
+            "Table 7",
+            "Table 8",
+            "leveled FHE",
         ] {
             assert!(all.contains(header), "missing section {header}");
         }

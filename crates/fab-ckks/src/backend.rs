@@ -1,0 +1,552 @@
+//! The execute/plan seam: one control flow, two interpreters.
+//!
+//! Higher-level pipelines (linear transforms, Chebyshev evaluation, bootstrapping, encrypted
+//! training) are written once against [`EvalBackend`] and run under two interpreters:
+//!
+//! * [`ExecBackend`] executes on real [`Ciphertext`]s via the (sink-instrumented)
+//!   [`Evaluator`], so a `fab_trace::RecordingSink` observes the true operation stream;
+//! * [`PlanBackend`] executes on *shadow* ciphertexts carrying only `(level, scale)` and
+//!   appends the operations it would have performed to an [`OpTrace`] — producing the
+//!   **analytic** trace of the same pipeline without any polynomial arithmetic.
+//!
+//! Because both interpreters implement the exact level/scale bookkeeping of the evaluator
+//! (including the data-independent branches of scale management), a recorded execution and a
+//! plan of the same pipeline must agree op-for-op; the equivalence tests in this crate and in
+//! the workspace integration suite enforce that, which is what keeps the accelerator model's
+//! analytic workloads from drifting away from what the scheme actually executes.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use fab_math::Complex64;
+use fab_trace::{HeOp, OpTrace};
+
+use crate::evaluator::SCALE_TOLERANCE;
+use crate::{
+    Ciphertext, CkksContext, CkksError, Evaluator, GaloisKeys, RelinearizationKey, Result,
+};
+
+/// The operations a backend must interpret; mirrors the semantic surface of [`Evaluator`].
+///
+/// Implementations must keep the level/scale bookkeeping *identical* to the evaluator's, so
+/// that planned and executed traces agree op-for-op.
+pub trait EvalBackend {
+    /// The ciphertext representation this backend computes on.
+    type Ct: Clone;
+
+    /// The scheme context.
+    fn ctx(&self) -> &Arc<CkksContext>;
+
+    /// Current level of a ciphertext.
+    fn level(&self, ct: &Self::Ct) -> usize;
+
+    /// Current scale of a ciphertext.
+    fn scale(&self, ct: &Self::Ct) -> f64;
+
+    /// Marks the start of a named phase in the emitted trace.
+    fn begin_phase(&self, label: &str);
+
+    /// Homomorphic addition (operands aligned to the lower level).
+    fn add(&self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct>;
+
+    /// Homomorphic subtraction.
+    fn sub(&self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct>;
+
+    /// Adds a constant to every slot.
+    fn add_scalar(&self, a: &Self::Ct, scalar: Complex64) -> Result<Self::Ct>;
+
+    /// Multiplies every slot by a constant encoded at the current rescaling prime, then
+    /// rescales (scale-preserving, one level).
+    fn multiply_scalar(&self, a: &Self::Ct, scalar: Complex64) -> Result<Self::Ct>;
+
+    /// Ciphertext–ciphertext multiplication with relinearisation and rescale.
+    fn multiply_rescale(&self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct>;
+
+    /// Multiplies by a constant plaintext encoded at `pt_scale` (no rescale).
+    fn multiply_const(&self, a: &Self::Ct, value: Complex64, pt_scale: f64) -> Result<Self::Ct>;
+
+    /// Multiplies by a slot-vector plaintext encoded at `pt_scale` (no rescale).
+    fn multiply_slots(&self, a: &Self::Ct, values: &[Complex64], pt_scale: f64)
+        -> Result<Self::Ct>;
+
+    /// Multiplies by a real slot-vector plaintext encoded at `pt_scale` (no rescale).
+    fn multiply_real_slots(&self, a: &Self::Ct, values: &[f64], pt_scale: f64) -> Result<Self::Ct>;
+
+    /// Rescale by the current prime.
+    fn rescale(&self, a: &Self::Ct) -> Result<Self::Ct>;
+
+    /// Drops to a lower level without rescaling.
+    fn mod_drop_to_level(&self, a: &Self::Ct, level: usize) -> Result<Self::Ct>;
+
+    /// Brings a ciphertext exactly to `target_scale` (possibly spending a level).
+    fn match_scale(&self, a: &Self::Ct, target_scale: f64) -> Result<Self::Ct>;
+
+    /// Brings two ciphertexts to a common level and scale.
+    fn align_for_addition(&self, a: &Self::Ct, b: &Self::Ct) -> Result<(Self::Ct, Self::Ct)>;
+
+    /// Rotation with its own key-switch decomposition.
+    fn rotate(&self, a: &Self::Ct, steps: usize) -> Result<Self::Ct>;
+
+    /// Rotation sharing a decomposition with a previous rotation of the same ciphertext.
+    fn rotate_hoisted(&self, a: &Self::Ct, steps: usize) -> Result<Self::Ct>;
+
+    /// Conjugation.
+    fn conjugate(&self, a: &Self::Ct) -> Result<Self::Ct>;
+
+    /// Multiplication by the monomial `X^power` (free on FAB; no trace op).
+    fn multiply_by_monomial(&self, a: &Self::Ct, power: usize) -> Result<Self::Ct>;
+}
+
+// --------------------------------------------------------------------------- exec interpreter
+
+/// Executes backend operations on real ciphertexts through an [`Evaluator`] (whose sink then
+/// observes the operation stream).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecBackend<'a> {
+    evaluator: &'a Evaluator,
+    rlk: Option<&'a RelinearizationKey>,
+    keys: Option<&'a GaloisKeys>,
+}
+
+impl<'a> ExecBackend<'a> {
+    /// A backend with both key kinds available.
+    pub fn new(
+        evaluator: &'a Evaluator,
+        rlk: Option<&'a RelinearizationKey>,
+        keys: Option<&'a GaloisKeys>,
+    ) -> Self {
+        Self {
+            evaluator,
+            rlk,
+            keys,
+        }
+    }
+
+    fn rlk(&self) -> Result<&'a RelinearizationKey> {
+        self.rlk.ok_or_else(|| CkksError::MissingKey {
+            description: "relinearization key (not provided to backend)".into(),
+        })
+    }
+
+    fn keys(&self) -> Result<&'a GaloisKeys> {
+        self.keys.ok_or_else(|| CkksError::MissingKey {
+            description: "galois keys (not provided to backend)".into(),
+        })
+    }
+}
+
+impl EvalBackend for ExecBackend<'_> {
+    type Ct = Ciphertext;
+
+    fn ctx(&self) -> &Arc<CkksContext> {
+        self.evaluator.context()
+    }
+
+    fn level(&self, ct: &Ciphertext) -> usize {
+        ct.level()
+    }
+
+    fn scale(&self, ct: &Ciphertext) -> f64 {
+        ct.scale()
+    }
+
+    fn begin_phase(&self, label: &str) {
+        if self.evaluator.sink().is_enabled() {
+            self.evaluator.sink().begin_phase(label);
+        }
+    }
+
+    fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        self.evaluator.add(a, b)
+    }
+
+    fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        self.evaluator.sub(a, b)
+    }
+
+    fn add_scalar(&self, a: &Ciphertext, scalar: Complex64) -> Result<Ciphertext> {
+        self.evaluator.add_scalar(a, scalar)
+    }
+
+    fn multiply_scalar(&self, a: &Ciphertext, scalar: Complex64) -> Result<Ciphertext> {
+        self.evaluator.multiply_scalar(a, scalar)
+    }
+
+    fn multiply_rescale(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        self.evaluator.multiply_rescale(a, b, self.rlk()?)
+    }
+
+    fn multiply_const(
+        &self,
+        a: &Ciphertext,
+        value: Complex64,
+        pt_scale: f64,
+    ) -> Result<Ciphertext> {
+        let pt = self
+            .evaluator
+            .encoder()
+            .encode_constant(value, pt_scale, a.level())?;
+        self.evaluator.multiply_plain(a, &pt)
+    }
+
+    fn multiply_slots(
+        &self,
+        a: &Ciphertext,
+        values: &[Complex64],
+        pt_scale: f64,
+    ) -> Result<Ciphertext> {
+        let pt = self
+            .evaluator
+            .encoder()
+            .encode(values, pt_scale, a.level())?;
+        self.evaluator.multiply_plain(a, &pt)
+    }
+
+    fn multiply_real_slots(
+        &self,
+        a: &Ciphertext,
+        values: &[f64],
+        pt_scale: f64,
+    ) -> Result<Ciphertext> {
+        let pt = self
+            .evaluator
+            .encoder()
+            .encode_real(values, pt_scale, a.level())?;
+        self.evaluator.multiply_plain(a, &pt)
+    }
+
+    fn rescale(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        self.evaluator.rescale(a)
+    }
+
+    fn mod_drop_to_level(&self, a: &Ciphertext, level: usize) -> Result<Ciphertext> {
+        self.evaluator.mod_drop_to_level(a, level)
+    }
+
+    fn match_scale(&self, a: &Ciphertext, target_scale: f64) -> Result<Ciphertext> {
+        self.evaluator.match_scale(a, target_scale)
+    }
+
+    fn align_for_addition(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+    ) -> Result<(Ciphertext, Ciphertext)> {
+        self.evaluator.align_for_addition(a, b)
+    }
+
+    fn rotate(&self, a: &Ciphertext, steps: usize) -> Result<Ciphertext> {
+        self.evaluator.rotate(a, steps, self.keys()?)
+    }
+
+    fn rotate_hoisted(&self, a: &Ciphertext, steps: usize) -> Result<Ciphertext> {
+        self.evaluator.rotate_hoisted(a, steps, self.keys()?)
+    }
+
+    fn conjugate(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        self.evaluator.conjugate(a, self.keys()?)
+    }
+
+    fn multiply_by_monomial(&self, a: &Ciphertext, power: usize) -> Result<Ciphertext> {
+        self.evaluator.multiply_by_monomial(a, power)
+    }
+}
+
+// --------------------------------------------------------------------------- plan interpreter
+
+/// A shadow ciphertext: just the cost-relevant state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCiphertext {
+    /// Current level.
+    pub level: usize,
+    /// Current scale.
+    pub scale: f64,
+}
+
+impl PlanCiphertext {
+    /// A shadow ciphertext at the given level and scale.
+    pub fn new(level: usize, scale: f64) -> Self {
+        Self { level, scale }
+    }
+}
+
+/// Interprets backend operations on shadow ciphertexts, appending the ops that a real
+/// execution would perform to an [`OpTrace`].
+#[derive(Debug)]
+pub struct PlanBackend {
+    ctx: Arc<CkksContext>,
+    trace: RefCell<OpTrace>,
+}
+
+impl PlanBackend {
+    /// An empty planner for the given context; `name` becomes the trace name.
+    pub fn new(ctx: Arc<CkksContext>, name: impl Into<String>) -> Self {
+        Self {
+            ctx,
+            trace: RefCell::new(OpTrace::new(name)),
+        }
+    }
+
+    /// Appends a raw op (used for pipeline steps outside the evaluator surface, e.g. the
+    /// ModRaise NTT batch).
+    pub fn push(&self, op: HeOp) {
+        self.trace.borrow_mut().push(op);
+    }
+
+    /// Consumes the planner, returning the accumulated analytic trace.
+    pub fn into_trace(self) -> OpTrace {
+        self.trace.into_inner()
+    }
+
+    fn record(&self, op: HeOp) {
+        self.trace.borrow_mut().push(op);
+    }
+
+    fn rescale_prime(&self, level: usize) -> f64 {
+        self.ctx.rescale_prime(level) as f64
+    }
+
+    fn check_scales(&self, a: f64, b: f64) -> Result<()> {
+        if (a / b - 1.0).abs() >= SCALE_TOLERANCE {
+            return Err(CkksError::ScaleMismatch { left: a, right: b });
+        }
+        Ok(())
+    }
+
+    fn align_levels(
+        &self,
+        a: &PlanCiphertext,
+        b: &PlanCiphertext,
+    ) -> (PlanCiphertext, PlanCiphertext) {
+        let level = a.level.min(b.level);
+        (
+            PlanCiphertext::new(level, a.scale),
+            PlanCiphertext::new(level, b.scale),
+        )
+    }
+}
+
+impl EvalBackend for PlanBackend {
+    type Ct = PlanCiphertext;
+
+    fn ctx(&self) -> &Arc<CkksContext> {
+        &self.ctx
+    }
+
+    fn level(&self, ct: &PlanCiphertext) -> usize {
+        ct.level
+    }
+
+    fn scale(&self, ct: &PlanCiphertext) -> f64 {
+        ct.scale
+    }
+
+    fn begin_phase(&self, label: &str) {
+        self.trace.borrow_mut().mark_phase(label);
+    }
+
+    fn add(&self, a: &PlanCiphertext, b: &PlanCiphertext) -> Result<PlanCiphertext> {
+        let (a, b) = self.align_levels(a, b);
+        self.check_scales(a.scale, b.scale)?;
+        self.record(HeOp::Add { level: a.level });
+        Ok(a)
+    }
+
+    fn sub(&self, a: &PlanCiphertext, b: &PlanCiphertext) -> Result<PlanCiphertext> {
+        let (a, b) = self.align_levels(a, b);
+        self.check_scales(a.scale, b.scale)?;
+        self.record(HeOp::Add { level: a.level });
+        Ok(a)
+    }
+
+    fn add_scalar(&self, a: &PlanCiphertext, _scalar: Complex64) -> Result<PlanCiphertext> {
+        // encode_constant at (a.scale, a.level) then add_plain.
+        self.record(HeOp::Add { level: a.level });
+        Ok(*a)
+    }
+
+    fn multiply_scalar(&self, a: &PlanCiphertext, _scalar: Complex64) -> Result<PlanCiphertext> {
+        if a.level == 0 {
+            return Err(CkksError::LevelExhausted {
+                operation: "multiply_scalar",
+            });
+        }
+        let prime = self.rescale_prime(a.level);
+        let product = self.multiply_const(a, Complex64::one(), prime)?;
+        self.rescale(&product)
+    }
+
+    fn multiply_rescale(&self, a: &PlanCiphertext, b: &PlanCiphertext) -> Result<PlanCiphertext> {
+        let (a, b) = self.align_levels(a, b);
+        self.record(HeOp::Multiply { level: a.level });
+        let product = PlanCiphertext::new(a.level, a.scale * b.scale);
+        self.rescale(&product)
+    }
+
+    fn multiply_const(
+        &self,
+        a: &PlanCiphertext,
+        _value: Complex64,
+        pt_scale: f64,
+    ) -> Result<PlanCiphertext> {
+        self.record(HeOp::MultiplyPlain { level: a.level });
+        Ok(PlanCiphertext::new(a.level, a.scale * pt_scale))
+    }
+
+    fn multiply_slots(
+        &self,
+        a: &PlanCiphertext,
+        _values: &[Complex64],
+        pt_scale: f64,
+    ) -> Result<PlanCiphertext> {
+        self.multiply_const(a, Complex64::one(), pt_scale)
+    }
+
+    fn multiply_real_slots(
+        &self,
+        a: &PlanCiphertext,
+        _values: &[f64],
+        pt_scale: f64,
+    ) -> Result<PlanCiphertext> {
+        self.multiply_const(a, Complex64::one(), pt_scale)
+    }
+
+    fn rescale(&self, a: &PlanCiphertext) -> Result<PlanCiphertext> {
+        if a.level == 0 {
+            return Err(CkksError::LevelExhausted {
+                operation: "rescale",
+            });
+        }
+        self.record(HeOp::Rescale { level: a.level });
+        let prime = self.rescale_prime(a.level);
+        Ok(PlanCiphertext::new(a.level - 1, a.scale / prime))
+    }
+
+    fn mod_drop_to_level(&self, a: &PlanCiphertext, level: usize) -> Result<PlanCiphertext> {
+        if level > a.level {
+            return Err(CkksError::LevelMismatch {
+                left: a.level,
+                right: level,
+            });
+        }
+        Ok(PlanCiphertext::new(level, a.scale))
+    }
+
+    fn match_scale(&self, a: &PlanCiphertext, target_scale: f64) -> Result<PlanCiphertext> {
+        if (a.scale / target_scale - 1.0).abs() < SCALE_TOLERANCE {
+            return Ok(PlanCiphertext::new(a.level, target_scale));
+        }
+        if a.level == 0 {
+            return Err(CkksError::LevelExhausted {
+                operation: "match_scale",
+            });
+        }
+        let prime = self.rescale_prime(a.level);
+        let enc_scale = (target_scale * prime / a.scale).round();
+        if enc_scale < 1.0 {
+            return Err(CkksError::InvalidInput {
+                reason: format!(
+                    "cannot match scale {target_scale:e} from {:e} at level {}",
+                    a.scale, a.level
+                ),
+            });
+        }
+        let product = self.multiply_const(a, Complex64::one(), enc_scale)?;
+        let mut rescaled = self.rescale(&product)?;
+        rescaled.scale = target_scale;
+        Ok(rescaled)
+    }
+
+    fn align_for_addition(
+        &self,
+        a: &PlanCiphertext,
+        b: &PlanCiphertext,
+    ) -> Result<(PlanCiphertext, PlanCiphertext)> {
+        let (mut a, mut b) = self.align_levels(a, b);
+        if (a.scale / b.scale - 1.0).abs() >= SCALE_TOLERANCE {
+            if a.scale > b.scale {
+                a = self.match_scale(&a, b.scale)?;
+                let level = a.level.min(b.level);
+                a = self.mod_drop_to_level(&a, level)?;
+                b = self.mod_drop_to_level(&b, level)?;
+            } else {
+                b = self.match_scale(&b, a.scale)?;
+                let level = a.level.min(b.level);
+                a = self.mod_drop_to_level(&a, level)?;
+                b = self.mod_drop_to_level(&b, level)?;
+            }
+        }
+        Ok((a, b))
+    }
+
+    fn rotate(&self, a: &PlanCiphertext, steps: usize) -> Result<PlanCiphertext> {
+        if steps % self.ctx.slot_count() == 0 {
+            return Ok(*a);
+        }
+        self.record(HeOp::Rotate { level: a.level });
+        Ok(*a)
+    }
+
+    fn rotate_hoisted(&self, a: &PlanCiphertext, steps: usize) -> Result<PlanCiphertext> {
+        if steps % self.ctx.slot_count() == 0 {
+            return Ok(*a);
+        }
+        self.record(HeOp::RotateHoisted { level: a.level });
+        Ok(*a)
+    }
+
+    fn conjugate(&self, a: &PlanCiphertext) -> Result<PlanCiphertext> {
+        self.record(HeOp::Conjugate { level: a.level });
+        Ok(*a)
+    }
+
+    fn multiply_by_monomial(&self, a: &PlanCiphertext, _power: usize) -> Result<PlanCiphertext> {
+        Ok(*a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CkksParams;
+
+    #[test]
+    fn plan_backend_tracks_levels_and_scales_like_the_scheme() {
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        let plan = PlanBackend::new(ctx.clone(), "plan");
+        let scale = ctx.params().default_scale();
+        let ct = PlanCiphertext::new(3, scale);
+        let sq = plan.multiply_rescale(&ct, &ct).unwrap();
+        assert_eq!(sq.level, 2);
+        let expected_scale = scale * scale / ctx.rescale_prime(3) as f64;
+        assert_eq!(sq.scale, expected_scale);
+        let dropped = plan.mod_drop_to_level(&sq, 1).unwrap();
+        assert_eq!(dropped.level, 1);
+        let trace = plan.into_trace();
+        assert_eq!(
+            trace.ops,
+            vec![HeOp::Multiply { level: 3 }, HeOp::Rescale { level: 3 }]
+        );
+    }
+
+    #[test]
+    fn plan_backend_replicates_error_conditions() {
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        let plan = PlanBackend::new(ctx.clone(), "plan");
+        let exhausted = PlanCiphertext::new(0, ctx.params().default_scale());
+        assert!(matches!(
+            plan.rescale(&exhausted),
+            Err(CkksError::LevelExhausted { .. })
+        ));
+        assert!(matches!(
+            plan.mod_drop_to_level(&exhausted, 2),
+            Err(CkksError::LevelMismatch { .. })
+        ));
+        let a = PlanCiphertext::new(2, 1.0e12);
+        let b = PlanCiphertext::new(2, 2.0e12);
+        assert!(matches!(
+            plan.add(&a, &b),
+            Err(CkksError::ScaleMismatch { .. })
+        ));
+    }
+}

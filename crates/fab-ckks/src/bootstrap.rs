@@ -10,11 +10,13 @@
 use std::sync::Arc;
 
 use fab_math::Complex64;
+use fab_trace::{noop_sink, phase, HeOp, OpTrace, TraceSink};
 
+use crate::backend::{EvalBackend, ExecBackend, PlanBackend, PlanCiphertext};
 use crate::linear_transform::{coeff_to_slot_stages, slot_to_coeff_stages};
 use crate::{
-    ChebyshevSeries, Ciphertext, CkksContext, CkksError, Evaluator, GaloisKeys,
-    LinearTransform, Plaintext, RelinearizationKey, Result,
+    ChebyshevSeries, Ciphertext, CkksContext, CkksError, Evaluator, GaloisKeys, LinearTransform,
+    Plaintext, RelinearizationKey, Result,
 };
 use fab_rns::{Representation, RnsPolynomial};
 
@@ -88,7 +90,22 @@ impl Bootstrapper {
     /// Returns [`CkksError::InvalidParameters`] if the scheme does not carry enough levels for
     /// the configured pipeline.
     pub fn new(ctx: Arc<CkksContext>, params: BootstrapParams) -> Result<Self> {
-        let evaluator = Evaluator::new(ctx.clone());
+        Self::with_sink(ctx, params, noop_sink())
+    }
+
+    /// Builds an *instrumented* bootstrapper: every homomorphic operation of every phase is
+    /// reported to `sink` during [`Self::bootstrap`], phase-marked with the labels of
+    /// [`fab_trace::phase`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn with_sink(
+        ctx: Arc<CkksContext>,
+        params: BootstrapParams,
+        sink: Arc<dyn TraceSink>,
+    ) -> Result<Self> {
+        let evaluator = Evaluator::with_sink(ctx.clone(), sink);
         let fft = ctx.fft();
         let mut cts_stages = coeff_to_slot_stages(fft, params.fft_iter);
         let mut stc_stages = slot_to_coeff_stages(fft, params.fft_iter);
@@ -178,6 +195,11 @@ impl Bootstrapper {
             });
         }
         let max_level = self.ctx.params().max_level;
+        // ModRaise re-populates and transforms every limb of both ring elements; report it to
+        // the sink as the NTT batch the accelerator model charges for this phase.
+        self.evaluator.record(HeOp::Ntt {
+            count: 2 * self.ctx.params().total_q_limbs(),
+        });
         let target_basis = self.ctx.basis_at_level(max_level)?;
         let q0 = self.ctx.q_basis().modulus(0);
         let raise = |poly: &RnsPolynomial| -> RnsPolynomial {
@@ -204,18 +226,25 @@ impl Bootstrapper {
         ct: &Ciphertext,
         keys: &GaloisKeys,
     ) -> Result<(Ciphertext, Ciphertext)> {
+        let backend = ExecBackend::new(&self.evaluator, None, Some(keys));
+        self.coeff_to_slot_with(&backend, ct)
+    }
+
+    fn coeff_to_slot_with<B: EvalBackend>(
+        &self,
+        backend: &B,
+        ct: &B::Ct,
+    ) -> Result<(B::Ct, B::Ct)> {
         let mut current = ct.clone();
         for stage in &self.cts_stages {
-            current = stage.apply_homomorphic(&self.evaluator, &current, keys)?;
+            current = stage.apply_with(backend, &current)?;
         }
         // current holds w/2 (the 1/2 was folded into the last stage).
-        let conjugated = self.evaluator.conjugate(&current, keys)?;
-        let real = self.evaluator.add(&current, &conjugated)?;
-        let imag_times_i = self.evaluator.sub(&current, &conjugated)?;
+        let conjugated = backend.conjugate(&current)?;
+        let real = backend.add(&current, &conjugated)?;
+        let imag_times_i = backend.sub(&current, &conjugated)?;
         // Multiply by -i = X^{3N/2} to turn i·Im(w) into Im(w).
-        let imag = self
-            .evaluator
-            .multiply_by_monomial(&imag_times_i, 3 * self.ctx.degree() / 2)?;
+        let imag = backend.multiply_by_monomial(&imag_times_i, 3 * self.ctx.degree() / 2)?;
         Ok((real, imag))
     }
 
@@ -245,13 +274,21 @@ impl Bootstrapper {
         imag: &Ciphertext,
         keys: &GaloisKeys,
     ) -> Result<Ciphertext> {
-        let imag_i = self
-            .evaluator
-            .multiply_by_monomial(imag, self.ctx.degree() / 2)?;
-        let (a, b) = self.evaluator.align_for_addition(real, &imag_i)?;
-        let mut current = self.evaluator.add(&a, &b)?;
+        let backend = ExecBackend::new(&self.evaluator, None, Some(keys));
+        self.slot_to_coeff_with(&backend, real, imag)
+    }
+
+    fn slot_to_coeff_with<B: EvalBackend>(
+        &self,
+        backend: &B,
+        real: &B::Ct,
+        imag: &B::Ct,
+    ) -> Result<B::Ct> {
+        let imag_i = backend.multiply_by_monomial(imag, self.ctx.degree() / 2)?;
+        let (a, b) = backend.align_for_addition(real, &imag_i)?;
+        let mut current = backend.add(&a, &b)?;
         for stage in &self.stc_stages {
-            current = stage.apply_homomorphic(&self.evaluator, &current, keys)?;
+            current = stage.apply_with(backend, &current)?;
         }
         Ok(current)
     }
@@ -280,12 +317,53 @@ impl Bootstrapper {
                 ),
             });
         }
+        let backend = ExecBackend::new(&self.evaluator, Some(rlk), Some(keys));
+        backend.begin_phase(phase::MOD_RAISE);
         let raised = self.mod_raise(ct)?;
-        let (real, imag) = self.coeff_to_slot(&raised, keys)?;
-        let real_reduced = self.eval_mod(&real, rlk)?;
-        let imag_reduced = self.eval_mod(&imag, rlk)?;
-        let recombined = self.slot_to_coeff(&real_reduced, &imag_reduced, keys)?;
-        self.evaluator.match_scale(&recombined, message_scale)
+        self.pipeline_with(&backend, &raised, message_scale)
+    }
+
+    /// The phase structure after ModRaise, shared between real execution and planning.
+    fn pipeline_with<B: EvalBackend>(
+        &self,
+        backend: &B,
+        raised: &B::Ct,
+        message_scale: f64,
+    ) -> Result<B::Ct> {
+        backend.begin_phase(phase::COEFF_TO_SLOT);
+        let (real, imag) = self.coeff_to_slot_with(backend, raised)?;
+        backend.begin_phase(phase::EVAL_MOD);
+        let real_reduced = self.sine.evaluate_with(backend, &real)?;
+        let imag_reduced = self.sine.evaluate_with(backend, &imag)?;
+        backend.begin_phase(phase::SLOT_TO_COEFF);
+        let recombined = self.slot_to_coeff_with(backend, &real_reduced, &imag_reduced)?;
+        backend.match_scale(&recombined, message_scale)
+    }
+
+    /// The *analytic* operation trace of one bootstrap at this bootstrapper's configuration:
+    /// the same pipeline control flow executed on shadow `(level, scale)` ciphertexts by a
+    /// [`PlanBackend`], without touching any polynomial. A recorded real execution (run the
+    /// bootstrapper built by [`Self::with_sink`] with a `fab_trace::RecordingSink`) must agree
+    /// with this trace op-for-op — that equivalence is enforced by the crate's tests and is
+    /// what licenses feeding analytic traces to the `fab-core` cost model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (shadow) level-exhaustion errors if the parameter set cannot carry the
+    /// pipeline.
+    pub fn predicted_trace(&self) -> Result<OpTrace> {
+        let plan = PlanBackend::new(
+            self.ctx.clone(),
+            format!("bootstrap predicted(fftIter={})", self.params.fft_iter),
+        );
+        plan.begin_phase(phase::MOD_RAISE);
+        plan.push(HeOp::Ntt {
+            count: 2 * self.ctx.params().total_q_limbs(),
+        });
+        let scale = self.ctx.params().default_scale();
+        let raised = PlanCiphertext::new(self.ctx.params().max_level, scale);
+        self.pipeline_with(&plan, &raised, scale)?;
+        Ok(plan.into_trace())
     }
 
     /// Convenience: measures the slot-wise error between two plaintext decodings (used by
@@ -304,9 +382,7 @@ impl Bootstrapper {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        CkksParams, Decryptor, Encoder, Encryptor, KeyGenerator, SecretKey,
-    };
+    use crate::{CkksParams, Decryptor, Encoder, Encryptor, KeyGenerator, SecretKey};
     use rand::SeedableRng;
     use rand_chacha::ChaCha20Rng;
 
@@ -392,10 +468,7 @@ mod tests {
             .evaluator
             .multiply_scalar(&imag, Complex64::new(k1, 0.0))
             .unwrap();
-        let back = f
-            .bootstrapper
-            .slot_to_coeff(&real, &imag, &f.keys)
-            .unwrap();
+        let back = f.bootstrapper.slot_to_coeff(&real, &imag, &f.keys).unwrap();
         let decoded = f.encoder.decode_real(&f.decryptor.decrypt(&back).unwrap());
         for i in 0..64 {
             assert!(
@@ -412,9 +485,7 @@ mod tests {
         let mut f = fixture();
         let scale = f.ctx.params().default_scale();
         let n = f.ctx.slot_count();
-        let values: Vec<f64> = (0..n)
-            .map(|i| 0.4 * ((i as f64) * 0.05).sin())
-            .collect();
+        let values: Vec<f64> = (0..n).map(|i| 0.4 * ((i as f64) * 0.05).sin()).collect();
         let pt = f.encoder.encode_real(&values, scale, 0).unwrap();
         let ct = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
         assert_eq!(ct.level(), 0);
@@ -433,10 +504,7 @@ mod tests {
             .zip(&values)
             .map(|(d, v)| (d - v).abs())
             .fold(0.0f64, f64::max);
-        assert!(
-            max_err < 5e-2,
-            "bootstrapping error too large: {max_err}"
-        );
+        assert!(max_err < 5e-2, "bootstrapping error too large: {max_err}");
 
         // The refreshed ciphertext supports further computation: square it and check.
         let squared = f
@@ -475,6 +543,67 @@ mod tests {
     fn bootstrapper_rejects_parameter_sets_without_levels() {
         let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
         assert!(Bootstrapper::new(ctx, BootstrapParams::default()).is_err());
+    }
+
+    #[test]
+    fn recorded_bootstrap_matches_predicted_trace_exactly() {
+        // The closed loop: execute a real bootstrap through the instrumented evaluator and
+        // compare the recorded op stream against the analytic plan of the same pipeline.
+        // Exact equality (ops, order, levels, phase structure) is required — any drift between
+        // what the scheme executes and what the analytic model assumes fails this test.
+        let ctx = CkksContext::new_arc(CkksParams::bootstrap_testing()).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(2024);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+        let pk = keygen.public_key(&mut rng);
+        let rlk = keygen.relinearization_key(&mut rng);
+        let sink = fab_trace::RecordingSink::shared("recorded bootstrap");
+        let bootstrapper = Bootstrapper::with_sink(
+            ctx.clone(),
+            BootstrapParams {
+                eval_mod_degree: 159,
+                k_range: 16.0,
+                fft_iter: 3,
+            },
+            sink.clone(),
+        )
+        .unwrap();
+        let keys = keygen
+            .galois_keys(&bootstrapper.required_rotations(), true, &mut rng)
+            .unwrap();
+
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone(), pk);
+        let scale = ctx.params().default_scale();
+        let values: Vec<f64> = (0..ctx.slot_count())
+            .map(|i| 0.4 * ((i as f64) * 0.05).sin())
+            .collect();
+        let ct = encryptor
+            .encrypt(&encoder.encode_real(&values, scale, 0).unwrap(), &mut rng)
+            .unwrap();
+        let _refreshed = bootstrapper.bootstrap(&ct, &rlk, &keys).unwrap();
+
+        let recorded = sink.take();
+        let predicted = bootstrapper.predicted_trace().unwrap();
+
+        assert_eq!(
+            recorded.phase_labels(),
+            predicted.phase_labels(),
+            "phase structure differs"
+        );
+        for ((r_label, r_counts), (p_label, p_counts)) in recorded
+            .phase_counts()
+            .iter()
+            .zip(predicted.phase_counts().iter())
+        {
+            assert_eq!(r_label, p_label);
+            assert_eq!(
+                r_counts, p_counts,
+                "per-phase op counts diverge in {r_label}"
+            );
+        }
+        // Beyond counts: the full ordered op streams (with levels) are identical.
+        assert_eq!(recorded.ops, predicted.ops);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use fab_math::Complex64;
 
+use crate::backend::{EvalBackend, ExecBackend};
 use crate::{Ciphertext, CkksError, Evaluator, RelinearizationKey, Result};
 
 /// A Chebyshev series `Σ c_k T_k(t)` on a domain `[a, b]` (mapped affinely onto `[-1, 1]`).
@@ -126,21 +127,32 @@ impl ChebyshevSeries {
         ct: &Ciphertext,
         rlk: &RelinearizationKey,
     ) -> Result<Ciphertext> {
+        let backend = ExecBackend::new(evaluator, Some(rlk), None);
+        self.evaluate_with(&backend, ct)
+    }
+
+    /// Backend-generic BSGS evaluation: the single control flow behind both the real
+    /// execution ([`ExecBackend`]) and the analytic plan ([`crate::backend::PlanBackend`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::LevelExhausted`] if the ciphertext does not carry enough levels.
+    pub fn evaluate_with<B: EvalBackend>(&self, backend: &B, ct: &B::Ct) -> Result<B::Ct> {
         let (a, b) = self.domain;
         // Map the input onto [-1, 1] if the domain is not already the canonical interval.
         let ct_t = if (a + 1.0).abs() < 1e-12 && (b - 1.0).abs() < 1e-12 {
             ct.clone()
         } else {
             // t = (2x - (a+b)) / (b - a): one scalar multiplication + one scalar addition.
-            let scaled = evaluator.multiply_scalar(ct, Complex64::new(2.0 / (b - a), 0.0))?;
-            evaluator.add_scalar(&scaled, Complex64::new(-(a + b) / (b - a), 0.0))?
+            let scaled = backend.multiply_scalar(ct, Complex64::new(2.0 / (b - a), 0.0))?;
+            backend.add_scalar(&scaled, Complex64::new(-(a + b) / (b - a), 0.0))?
         };
 
         let degree = self.degree();
         if degree == 0 {
             // Constant series: multiply by zero and add the constant.
-            let zeroed = evaluator.multiply_scalar(&ct_t, Complex64::zero())?;
-            return evaluator.add_scalar(&zeroed, Complex64::new(self.coeffs[0], 0.0));
+            let zeroed = backend.multiply_scalar(&ct_t, Complex64::zero())?;
+            return backend.add_scalar(&zeroed, Complex64::new(self.coeffs[0], 0.0));
         }
 
         // Baby-step count m: smallest power of two with m^2 >= degree + 1 (classic BSGS split).
@@ -157,13 +169,13 @@ impl ChebyshevSeries {
         }
 
         // Compute the Chebyshev basis ciphertexts.
-        let mut basis: Vec<Option<Ciphertext>> = vec![None; degree + 1];
+        let mut basis: Vec<Option<B::Ct>> = vec![None; degree + 1];
         basis[1] = Some(ct_t.clone());
         // Baby steps T_2 .. T_m (T_m doubles as the first giant step when it exists).
         for j in 2..=m.min(degree) {
             let half = j / 2;
             let other = j - half;
-            let t = self.chebyshev_product(evaluator, rlk, &basis, half, other)?;
+            let t = self.chebyshev_product(backend, &basis, half, other)?;
             basis[j] = Some(t);
         }
         for (gi, &idx) in giant_indices.iter().enumerate() {
@@ -171,58 +183,56 @@ impl ChebyshevSeries {
                 continue; // T_m already computed above (if degree >= m).
             }
             let prev = giant_indices[gi - 1];
-            let t = self.chebyshev_product(evaluator, rlk, &basis, prev, prev)?;
+            let t = self.chebyshev_product(backend, &basis, prev, prev)?;
             basis[idx] = Some(t);
         }
 
-        self.evaluate_recursive(evaluator, rlk, &self.coeffs, &basis, m)
+        self.evaluate_recursive(backend, &self.coeffs, &basis, m)
     }
 
     /// `T_{i+j} = 2·T_i·T_j − T_{|i−j|}` on ciphertexts (with `T_0 = 1`).
-    fn chebyshev_product(
+    fn chebyshev_product<B: EvalBackend>(
         &self,
-        evaluator: &Evaluator,
-        rlk: &RelinearizationKey,
-        basis: &[Option<Ciphertext>],
+        backend: &B,
+        basis: &[Option<B::Ct>],
         i: usize,
         j: usize,
-    ) -> Result<Ciphertext> {
+    ) -> Result<B::Ct> {
         let ti = basis[i].as_ref().ok_or(CkksError::InvalidInput {
             reason: format!("chebyshev basis T_{i} missing"),
         })?;
         let tj = basis[j].as_ref().ok_or(CkksError::InvalidInput {
             reason: format!("chebyshev basis T_{j} missing"),
         })?;
-        let level = ti.level().min(tj.level());
-        let ti = evaluator.mod_drop_to_level(ti, level)?;
-        let tj = evaluator.mod_drop_to_level(tj, level)?;
-        let product = evaluator.multiply_rescale(&ti, &tj, rlk)?;
-        let doubled = evaluator.add(&product, &product)?;
+        let level = backend.level(ti).min(backend.level(tj));
+        let ti = backend.mod_drop_to_level(ti, level)?;
+        let tj = backend.mod_drop_to_level(tj, level)?;
+        let product = backend.multiply_rescale(&ti, &tj)?;
+        let doubled = backend.add(&product, &product)?;
         let diff = i.abs_diff(j);
         if diff == 0 {
             // 2 T_i T_i - T_0 = 2 T_i^2 - 1.
-            evaluator.add_scalar(&doubled, Complex64::new(-1.0, 0.0))
+            backend.add_scalar(&doubled, Complex64::new(-1.0, 0.0))
         } else {
             let t_diff = basis[diff].as_ref().ok_or(CkksError::InvalidInput {
                 reason: format!("chebyshev basis T_{diff} missing"),
             })?;
-            let (x, y) = evaluator.align_for_addition(&doubled, t_diff)?;
-            evaluator.sub(&x, &y)
+            let (x, y) = backend.align_for_addition(&doubled, t_diff)?;
+            backend.sub(&x, &y)
         }
     }
 
     /// Recursive BSGS evaluation: split `p = q·T_g + r` at the largest giant step `g`.
-    fn evaluate_recursive(
+    fn evaluate_recursive<B: EvalBackend>(
         &self,
-        evaluator: &Evaluator,
-        rlk: &RelinearizationKey,
+        backend: &B,
         coeffs: &[f64],
-        basis: &[Option<Ciphertext>],
+        basis: &[Option<B::Ct>],
         m: usize,
-    ) -> Result<Ciphertext> {
+    ) -> Result<B::Ct> {
         let degree = coeffs.len() - 1;
         if degree < m {
-            return self.evaluate_leaf(evaluator, coeffs, basis);
+            return self.evaluate_leaf(backend, coeffs, basis);
         }
         // Largest power-of-two multiple of m that is <= degree.
         let mut g = m;
@@ -243,49 +253,48 @@ impl ChebyshevSeries {
                 r[g - j] -= coeffs[g + j];
             }
         }
-        let q_eval = self.evaluate_recursive(evaluator, rlk, &q, basis, m)?;
-        let r_eval = self.evaluate_recursive(evaluator, rlk, &r, basis, m)?;
+        let q_eval = self.evaluate_recursive(backend, &q, basis, m)?;
+        let r_eval = self.evaluate_recursive(backend, &r, basis, m)?;
         let t_g = basis[g].as_ref().ok_or(CkksError::InvalidInput {
             reason: format!("chebyshev basis T_{g} missing"),
         })?;
-        let level = q_eval.level().min(t_g.level());
-        let q_dropped = evaluator.mod_drop_to_level(&q_eval, level)?;
-        let t_dropped = evaluator.mod_drop_to_level(t_g, level)?;
-        let product = evaluator.multiply_rescale(&q_dropped, &t_dropped, rlk)?;
-        let (x, y) = evaluator.align_for_addition(&product, &r_eval)?;
-        evaluator.add(&x, &y)
+        let level = backend.level(&q_eval).min(backend.level(t_g));
+        let q_dropped = backend.mod_drop_to_level(&q_eval, level)?;
+        let t_dropped = backend.mod_drop_to_level(t_g, level)?;
+        let product = backend.multiply_rescale(&q_dropped, &t_dropped)?;
+        let (x, y) = backend.align_for_addition(&product, &r_eval)?;
+        backend.add(&x, &y)
     }
 
     /// Leaf evaluation `Σ_{j<m} c_j·T_j` using plaintext multiplications only.
-    fn evaluate_leaf(
+    fn evaluate_leaf<B: EvalBackend>(
         &self,
-        evaluator: &Evaluator,
+        backend: &B,
         coeffs: &[f64],
-        basis: &[Option<Ciphertext>],
-    ) -> Result<Ciphertext> {
-        let ctx = evaluator.context();
+        basis: &[Option<B::Ct>],
+    ) -> Result<B::Ct> {
         // Find the working level: the minimum level among the basis terms we need.
         let mut level = usize::MAX;
         for (j, c) in coeffs.iter().enumerate().skip(1) {
             if c.abs() > 0.0 {
                 if let Some(t) = basis[j].as_ref() {
-                    level = level.min(t.level());
+                    level = level.min(backend.level(t));
                 }
             }
         }
         if level == usize::MAX {
             // No ciphertext term: encode the constant on top of T_1 scaled by zero.
             let t1 = basis[1].as_ref().expect("T_1 always present");
-            let zeroed = evaluator.multiply_scalar(t1, Complex64::zero())?;
-            return evaluator.add_scalar(&zeroed, Complex64::new(coeffs[0], 0.0));
+            let zeroed = backend.multiply_scalar(t1, Complex64::zero())?;
+            return backend.add_scalar(&zeroed, Complex64::new(coeffs[0], 0.0));
         }
         if level == 0 {
             return Err(CkksError::LevelExhausted {
                 operation: "chebyshev leaf evaluation",
             });
         }
-        let prime = ctx.rescale_prime(level) as f64;
-        let mut acc: Option<Ciphertext> = None;
+        let prime = backend.ctx().rescale_prime(level) as f64;
+        let mut acc: Option<B::Ct> = None;
         for (j, c) in coeffs.iter().enumerate().skip(1) {
             if c.abs() == 0.0 {
                 continue;
@@ -293,31 +302,26 @@ impl ChebyshevSeries {
             let t = basis[j].as_ref().ok_or(CkksError::InvalidInput {
                 reason: format!("chebyshev basis T_{j} missing"),
             })?;
-            let t = evaluator.mod_drop_to_level(t, level)?;
-            let pt = evaluator
-                .encoder()
-                .encode_constant(Complex64::new(*c, 0.0), prime, level)?;
-            let term = evaluator.multiply_plain(&t, &pt)?;
+            let t = backend.mod_drop_to_level(t, level)?;
+            let term = backend.multiply_const(&t, Complex64::new(*c, 0.0), prime)?;
             acc = Some(match acc {
                 None => term,
                 Some(prev) => {
-                    let (x, y) = evaluator.align_for_addition(&prev, &term)?;
-                    evaluator.add(&x, &y)?
+                    let (x, y) = backend.align_for_addition(&prev, &term)?;
+                    backend.add(&x, &y)?
                 }
             });
         }
         let summed = acc.expect("at least one nonzero term");
-        let rescaled = evaluator.rescale(&summed)?;
-        evaluator.add_scalar(&rescaled, Complex64::new(coeffs[0], 0.0))
+        let rescaled = backend.rescale(&summed)?;
+        backend.add_scalar(&rescaled, Complex64::new(coeffs[0], 0.0))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        CkksContext, CkksParams, Decryptor, Encoder, Encryptor, KeyGenerator, SecretKey,
-    };
+    use crate::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, KeyGenerator, SecretKey};
     use rand::SeedableRng;
     use rand_chacha::ChaCha20Rng;
 

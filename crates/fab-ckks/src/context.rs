@@ -50,23 +50,21 @@ impl CkksContext {
         // limbs in a single digit of Q"). When widths coincide (as in the paper's uniform
         // 54-bit set), every prime is drawn from a single decreasing stream so limbs stay
         // distinct.
-        let (first_prime, scaling_primes, special_primes) =
-            if params.first_prime_bits == params.scale_bits {
-                let all = generate_ntt_primes(
-                    params.scale_bits,
-                    degree,
-                    1 + scaling_limbs + special_limbs,
-                )?;
-                (
-                    all[0],
-                    all[1..1 + scaling_limbs].to_vec(),
-                    all[1 + scaling_limbs..].to_vec(),
-                )
-            } else {
-                let wide = generate_ntt_primes(params.first_prime_bits, degree, 1 + special_limbs)?;
-                let scaling = generate_ntt_primes(params.scale_bits, degree, scaling_limbs)?;
-                (wide[0], scaling, wide[1..].to_vec())
-            };
+        let (first_prime, scaling_primes, special_primes) = if params.first_prime_bits
+            == params.scale_bits
+        {
+            let all =
+                generate_ntt_primes(params.scale_bits, degree, 1 + scaling_limbs + special_limbs)?;
+            (
+                all[0],
+                all[1..1 + scaling_limbs].to_vec(),
+                all[1 + scaling_limbs..].to_vec(),
+            )
+        } else {
+            let wide = generate_ntt_primes(params.first_prime_bits, degree, 1 + special_limbs)?;
+            let scaling = generate_ntt_primes(params.scale_bits, degree, scaling_limbs)?;
+            (wide[0], scaling, wide[1..].to_vec())
+        };
 
         let mut q_moduli = Vec::with_capacity(params.total_q_limbs());
         q_moduli.push(Modulus::new(first_prime)?);
@@ -200,7 +198,11 @@ mod tests {
         values.sort_unstable();
         let before = values.len();
         values.dedup();
-        assert_eq!(values.len(), before, "limb moduli must be pairwise distinct");
+        assert_eq!(
+            values.len(),
+            before,
+            "limb moduli must be pairwise distinct"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::{CkksContext, CkksError, Plaintext, Result};
 
 /// Largest coefficient magnitude the encoder accepts (must stay well inside an `i64` and below
 /// the first limb for decodability).
-const MAX_COEFF_MAGNITUDE: f64 = 4.611_686_018_427_387_9e18; // 2^62
+const MAX_COEFF_MAGNITUDE: f64 = 4.611_686_018_427_388e18; // 2^62
 
 /// Encoder/decoder between complex slot vectors and scaled integer polynomials.
 ///
@@ -55,7 +55,11 @@ impl Encoder {
         let slots = self.ctx.slot_count();
         if values.len() > slots {
             return Err(CkksError::InvalidInput {
-                reason: format!("{} values exceed the {} available slots", values.len(), slots),
+                reason: format!(
+                    "{} values exceed the {} available slots",
+                    values.len(),
+                    slots
+                ),
             });
         }
         if scale <= 0.0 || !scale.is_finite() {
@@ -212,8 +216,12 @@ mod tests {
     fn encoding_is_additively_homomorphic() {
         let enc = encoder();
         let scale = enc.context().params().default_scale();
-        let a: Vec<Complex64> = (0..64).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
-        let b: Vec<Complex64> = (0..64).map(|i| Complex64::new(1.0, i as f64 * 0.5)).collect();
+        let a: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
+        let b: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new(1.0, i as f64 * 0.5))
+            .collect();
         let pa = enc.encode(&a, scale, 1).unwrap();
         let pb = enc.encode(&b, scale, 1).unwrap();
         let basis = enc.context().basis_at_level(1).unwrap();

@@ -181,7 +181,10 @@ mod tests {
         let values: Vec<Complex64> = (0..200)
             .map(|i| Complex64::new((i as f64 * 0.1).sin() * 2.0, (i as f64 * 0.05).cos()))
             .collect();
-        let pt = f.encoder.encode(&values, scale, f.ctx.params().max_level).unwrap();
+        let pt = f
+            .encoder
+            .encode(&values, scale, f.ctx.params().max_level)
+            .unwrap();
         let ct = f.encryptor.encrypt(&pt, &mut f.rng).unwrap();
         let decoded = f.encoder.decode(&f.decryptor.decrypt(&ct).unwrap());
         for (d, v) in decoded.iter().zip(&values) {

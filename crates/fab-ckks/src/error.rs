@@ -58,7 +58,10 @@ impl fmt::Display for CkksError {
                 write!(f, "scale mismatch: {left:e} vs {right:e}")
             }
             CkksError::LevelExhausted { operation } => {
-                write!(f, "no levels remaining for {operation} (bootstrapping required)")
+                write!(
+                    f,
+                    "no levels remaining for {operation} (bootstrapping required)"
+                )
             }
             CkksError::MissingKey { description } => write!(f, "missing key: {description}"),
             CkksError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),

@@ -1,18 +1,24 @@
 //! Homomorphic operations: addition, multiplication, rescaling, rotation, conjugation, and the
 //! hybrid key-switching core (Decomp → ModUp → KSKIP → ModDown, Figure 5 of the paper).
+//!
+//! The evaluator is the instrumentation choke point of the workspace: every semantic
+//! operation reports one [`HeOp`] to the attached [`TraceSink`], so a real execution produces
+//! exactly the event stream the `fab-core` accelerator model prices. The default sink is a
+//! no-op whose `is_enabled` check reduces the overhead to a single predictable branch.
 
 use std::sync::Arc;
 
 use fab_math::{galois_element_for_conjugation, galois_element_for_rotation, Complex64};
 use fab_rns::{ops, Representation, RnsBasis, RnsPolynomial};
+use fab_trace::{noop_sink, HeOp, TraceSink};
 
 use crate::{
-    Ciphertext, CkksContext, CkksError, Encoder, GaloisKeys, Plaintext, RelinearizationKey,
-    Result, SwitchingKey,
+    Ciphertext, CkksContext, CkksError, Encoder, GaloisKeys, Plaintext, RelinearizationKey, Result,
+    SwitchingKey,
 };
 
 /// Relative tolerance used when checking that two scales are compatible for addition.
-const SCALE_TOLERANCE: f64 = 1e-6;
+pub(crate) const SCALE_TOLERANCE: f64 = 1e-6;
 
 /// Executes homomorphic operations over ciphertexts.
 ///
@@ -23,13 +29,48 @@ const SCALE_TOLERANCE: f64 = 1e-6;
 pub struct Evaluator {
     ctx: Arc<CkksContext>,
     encoder: Encoder,
+    sink: Arc<dyn TraceSink>,
 }
 
 impl Evaluator {
-    /// Creates an evaluator for the given context.
+    /// Creates an evaluator for the given context, with the no-op trace sink.
     pub fn new(ctx: Arc<CkksContext>) -> Self {
+        Self::with_sink(ctx, noop_sink())
+    }
+
+    /// Creates an evaluator whose operations are reported to `sink` as they execute.
+    ///
+    /// ```
+    /// use fab_ckks::{CkksContext, CkksParams, Evaluator};
+    /// use fab_trace::RecordingSink;
+    ///
+    /// let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+    /// let sink = RecordingSink::shared("session");
+    /// let evaluator = Evaluator::with_sink(ctx, sink.clone());
+    /// assert!(evaluator.sink().is_enabled());
+    /// ```
+    pub fn with_sink(ctx: Arc<CkksContext>, sink: Arc<dyn TraceSink>) -> Self {
         let encoder = Encoder::new(ctx.clone());
-        Self { ctx, encoder }
+        Self { ctx, encoder, sink }
+    }
+
+    /// Replaces the trace sink, keeping context and encoder (builder-style).
+    #[must_use]
+    pub fn sink_replaced(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The trace sink operations are reported to.
+    pub fn sink(&self) -> &Arc<dyn TraceSink> {
+        &self.sink
+    }
+
+    /// Reports one executed operation to the sink.
+    pub(crate) fn record(&self, op: HeOp) {
+        if self.sink.is_enabled() {
+            self.sink.record(op);
+        }
     }
 
     /// The context this evaluator is bound to.
@@ -52,6 +93,7 @@ impl Evaluator {
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
         let (a, b) = self.align_levels(a, b)?;
         self.check_scales(a.scale, b.scale)?;
+        self.record(HeOp::Add { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
         Ok(Ciphertext::from_parts(
             a.c0.add(&b.c0, &basis)?,
@@ -69,6 +111,7 @@ impl Evaluator {
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
         let (a, b) = self.align_levels(a, b)?;
         self.check_scales(a.scale, b.scale)?;
+        self.record(HeOp::Add { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
         Ok(Ciphertext::from_parts(
             a.c0.sub(&b.c0, &basis)?,
@@ -106,6 +149,7 @@ impl Evaluator {
                 right: pt.level,
             });
         }
+        self.record(HeOp::Add { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
         let pt_poly = pt.poly.prefix(a.level + 1)?;
         Ok(Ciphertext::from_parts(
@@ -129,6 +173,7 @@ impl Evaluator {
                 right: pt.level,
             });
         }
+        self.record(HeOp::Add { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
         let pt_poly = pt.poly.prefix(a.level + 1)?;
         Ok(Ciphertext::from_parts(
@@ -163,6 +208,7 @@ impl Evaluator {
                 right: pt.level,
             });
         }
+        self.record(HeOp::MultiplyPlain { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
         let mut p = pt.poly.prefix(a.level + 1)?;
         p.to_evaluation(&basis);
@@ -209,6 +255,7 @@ impl Evaluator {
     ) -> Result<Ciphertext> {
         let (a, b) = self.align_levels(a, b)?;
         let level = a.level;
+        self.record(HeOp::Multiply { level });
         let basis = self.ctx.basis_at_level(level)?;
 
         let mut a0 = a.c0.clone();
@@ -269,16 +316,12 @@ impl Evaluator {
                 operation: "rescale",
             });
         }
+        self.record(HeOp::Rescale { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
         let prime = self.ctx.rescale_prime(a.level) as f64;
         let c0 = ops::rescale(&a.c0, &basis)?;
         let c1 = ops::rescale(&a.c1, &basis)?;
-        Ok(Ciphertext::from_parts(
-            c0,
-            c1,
-            a.scale / prime,
-            a.level - 1,
-        ))
+        Ok(Ciphertext::from_parts(c0, c1, a.scale / prime, a.level - 1))
     }
 
     /// Drops a ciphertext to a lower level without rescaling (the scale is unchanged).
@@ -332,7 +375,9 @@ impl Evaluator {
                 ),
             });
         }
-        let pt = self.encoder.encode_constant(Complex64::one(), enc_scale, a.level)?;
+        let pt = self
+            .encoder
+            .encode_constant(Complex64::one(), enc_scale, a.level)?;
         let product = self.multiply_plain(a, &pt)?;
         let mut rescaled = self.rescale(&product)?;
         // The achieved scale differs from the target only by the rounding of enc_scale;
@@ -382,6 +427,43 @@ impl Evaluator {
         if steps == 0 {
             return Ok(a.clone());
         }
+        let rotated = self.rotate_unrecorded(a, steps, keys)?;
+        self.record(HeOp::Rotate { level: a.level });
+        Ok(rotated)
+    }
+
+    /// Rotates the slots left by `steps`, declaring that the rotation shares a key-switch
+    /// decomposition with a previous rotation *of the same ciphertext* (hoisting, Bossuat et
+    /// al.). The software reference still executes a full independent rotation — only the
+    /// emitted trace op differs ([`fab_trace::HeOp::RotateHoisted`]), because on FAB the
+    /// shared decomposition is what the scheduler exploits. Callers are responsible for the
+    /// sharing claim being structurally true (same source ciphertext, same level).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::rotate`].
+    pub fn rotate_hoisted(
+        &self,
+        a: &Ciphertext,
+        steps: usize,
+        keys: &GaloisKeys,
+    ) -> Result<Ciphertext> {
+        let slots = self.ctx.slot_count();
+        let steps = steps % slots;
+        if steps == 0 {
+            return Ok(a.clone());
+        }
+        let rotated = self.rotate_unrecorded(a, steps, keys)?;
+        self.record(HeOp::RotateHoisted { level: a.level });
+        Ok(rotated)
+    }
+
+    fn rotate_unrecorded(
+        &self,
+        a: &Ciphertext,
+        steps: usize,
+        keys: &GaloisKeys,
+    ) -> Result<Ciphertext> {
         let element = galois_element_for_rotation(self.ctx.degree(), steps);
         let key = keys.get(element).ok_or_else(|| CkksError::MissingKey {
             description: format!("rotation by {steps} (galois element {element})"),
@@ -399,7 +481,9 @@ impl Evaluator {
         let key = keys.get(element).ok_or_else(|| CkksError::MissingKey {
             description: "conjugation".into(),
         })?;
-        self.apply_galois(a, element, key)
+        let conjugated = self.apply_galois(a, element, key)?;
+        self.record(HeOp::Conjugate { level: a.level });
+        Ok(conjugated)
     }
 
     /// Applies the Galois automorphism `x → x^element` followed by the key switch back to the
@@ -473,10 +557,8 @@ impl Evaluator {
         let beta = limbs.div_ceil(alpha);
         let degree = d.degree();
 
-        let mut acc0 =
-            RnsPolynomial::zero(degree, raised.len(), Representation::Evaluation);
-        let mut acc1 =
-            RnsPolynomial::zero(degree, raised.len(), Representation::Evaluation);
+        let mut acc0 = RnsPolynomial::zero(degree, raised.len(), Representation::Evaluation);
+        let mut acc1 = RnsPolynomial::zero(degree, raised.len(), Representation::Evaluation);
 
         for j in 0..beta {
             let start = j * alpha;
@@ -568,9 +650,7 @@ fn multiply_poly_by_monomial(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        CkksParams, Decryptor, Encoder, Encryptor, KeyGenerator, SecretKey,
-    };
+    use crate::{CkksParams, Decryptor, Encoder, Encryptor, KeyGenerator, SecretKey};
     use rand::SeedableRng;
     use rand_chacha::ChaCha20Rng;
 
@@ -606,7 +686,9 @@ mod tests {
     }
 
     fn sample_values(n: usize, seed: f64) -> Vec<f64> {
-        (0..n).map(|i| ((i as f64 + seed) * 0.37).sin() * 2.0).collect()
+        (0..n)
+            .map(|i| ((i as f64 + seed) * 0.37).sin() * 2.0)
+            .collect()
     }
 
     fn encrypt(f: &mut Fixture, values: &[f64], level: usize) -> Ciphertext {
@@ -881,6 +963,95 @@ mod tests {
                 decoded[i]
             );
         }
+    }
+
+    #[test]
+    fn recording_sink_captures_multiply_rescale_sequence() {
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        let sink = fab_trace::RecordingSink::shared("ops");
+        let evaluator = Evaluator::with_sink(ctx.clone(), sink.clone());
+        let mut f = fixture();
+        let a = sample_values(8, 20.0);
+        let ct_a = encrypt(&mut f, &a, 3);
+        let ct_b = encrypt(&mut f, &a, 3);
+        // The fixture's keys belong to a different context instance but the parameters are
+        // identical, so the instrumented evaluator can operate on its ciphertexts.
+        let product = evaluator.multiply_rescale(&ct_a, &ct_b, &f.rlk).unwrap();
+        assert_eq!(product.level(), 2);
+        let trace = sink.take();
+        assert_eq!(
+            trace.ops,
+            vec![
+                fab_trace::HeOp::Multiply { level: 3 },
+                fab_trace::HeOp::Rescale { level: 3 }
+            ]
+        );
+        // add/sub record as Add at the aligned level.
+        let _ = evaluator.add(&ct_a, &product).unwrap();
+        assert_eq!(sink.take().ops, vec![fab_trace::HeOp::Add { level: 2 }]);
+    }
+
+    #[test]
+    fn recording_sink_distinguishes_hoisted_rotations() {
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        let sink = fab_trace::RecordingSink::shared("rotations");
+        let evaluator = Evaluator::with_sink(ctx, sink.clone());
+        let mut f = fixture();
+        let values = sample_values(16, 21.0);
+        let ct = encrypt(&mut f, &values, 3);
+
+        // One full rotation, then two rotations sharing its decomposition.
+        let r1 = evaluator.rotate(&ct, 1, &f.gks).unwrap();
+        let r2 = evaluator.rotate_hoisted(&ct, 2, &f.gks).unwrap();
+        let r5 = evaluator.rotate_hoisted(&ct, 5, &f.gks).unwrap();
+        // Rotation by 0 (and multiples of the slot count) is free and unrecorded.
+        let _ = evaluator.rotate(&ct, 0, &f.gks).unwrap();
+
+        let trace = sink.take();
+        assert_eq!(
+            trace.ops,
+            vec![
+                fab_trace::HeOp::Rotate { level: 3 },
+                fab_trace::HeOp::RotateHoisted { level: 3 },
+                fab_trace::HeOp::RotateHoisted { level: 3 },
+            ]
+        );
+        // The hoisted execution path is the same math: results decrypt correctly.
+        for (steps, rotated) in [(1usize, &r1), (2, &r2), (5, &r5)] {
+            let decoded = decrypt(&f, rotated);
+            for i in 0..8 {
+                // i + steps stays inside the 16 encoded slots for these cases.
+                assert!(
+                    (decoded[i] - values[i + steps]).abs() < 1e-2,
+                    "steps {steps} slot {i}: {} vs {}",
+                    decoded[i],
+                    values[i + steps]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counting_sink_meters_without_recording_order() {
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        let sink = fab_trace::CountingSink::shared();
+        let evaluator = Evaluator::with_sink(ctx, sink.clone());
+        let mut f = fixture();
+        let values = sample_values(8, 22.0);
+        let ct = encrypt(&mut f, &values, 3);
+        let _ = evaluator.multiply_rescale(&ct, &ct, &f.rlk).unwrap();
+        let _ = evaluator.rotate(&ct, 1, &f.gks).unwrap();
+        let counts = sink.counts();
+        assert_eq!(counts.multiply, 1);
+        assert_eq!(counts.rescale, 1);
+        assert_eq!(counts.rotate, 1);
+        assert_eq!(counts.add, 0);
+    }
+
+    #[test]
+    fn default_evaluator_sink_is_noop() {
+        let f = fixture();
+        assert!(!f.evaluator.sink().is_enabled());
     }
 
     #[test]

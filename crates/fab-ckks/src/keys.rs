@@ -129,9 +129,7 @@ impl SwitchingKey {
     pub fn packed_bytes(&self, limb_bits: u32) -> usize {
         self.components
             .iter()
-            .map(|(b, a)| {
-                (b.limb_count() + a.limb_count()) * b.degree() * limb_bits as usize / 8
-            })
+            .map(|(b, a)| (b.limb_count() + a.limb_count()) * b.degree() * limb_bits as usize / 8)
             .sum()
     }
 }
@@ -188,8 +186,7 @@ impl GaloisKeys {
 
     /// The conjugation key, if present.
     pub fn conjugation_key(&self) -> Option<&SwitchingKey> {
-        self.keys
-            .get(&galois_element_for_conjugation(self.degree))
+        self.keys.get(&galois_element_for_conjugation(self.degree))
     }
 
     /// The Galois elements for which keys are held.
@@ -322,8 +319,7 @@ impl KeyGenerator {
 
             let mut a = sampling::sample_uniform(rng, full);
             a.to_evaluation(full);
-            let e_coeffs =
-                sampling::sample_gaussian_coeffs(rng, degree, ctx.params().error_std);
+            let e_coeffs = sampling::sample_gaussian_coeffs(rng, degree, ctx.params().error_std);
             let mut e = sampling::lift_signed(&e_coeffs, full);
             e.to_evaluation(full);
 
@@ -331,9 +327,8 @@ impl KeyGenerator {
             let mut b = e
                 .sub(&a.mul(s, full).expect("evaluation form"), full)
                 .expect("matching shapes");
-            for limb_idx in digit_start..digit_end {
+            for (limb_idx, &p_qi) in p_mod_q.iter().enumerate().take(digit_end).skip(digit_start) {
                 let qi = ctx.q_basis().modulus(limb_idx);
-                let p_qi = p_mod_q[limb_idx];
                 let p_shoup = qi.shoup_precompute(p_qi);
                 let target_limb = target_eval.limb(limb_idx);
                 let b_limb = b.limb_mut(limb_idx);
@@ -368,7 +363,11 @@ mod tests {
         let (ctx, kg, _) = setup();
         let expected = ctx.params().secret_hamming_weight.unwrap();
         assert_eq!(kg.secret_key().hamming_weight(), expected);
-        assert!(kg.secret_key().coeffs().iter().all(|&c| (-1..=1).contains(&c)));
+        assert!(kg
+            .secret_key()
+            .coeffs()
+            .iter()
+            .all(|&c| (-1..=1).contains(&c)));
     }
 
     #[test]
@@ -378,10 +377,7 @@ mod tests {
         let pk = kg.public_key(&mut rng);
         let q = ctx.q_basis();
         let s = kg.secret_key().q_eval_prefix(q.len());
-        let mut check = pk
-            .b()
-            .add(&pk.a().mul(&s, q).unwrap(), q)
-            .unwrap();
+        let mut check = pk.b().add(&pk.a().mul(&s, q).unwrap(), q).unwrap();
         check.to_coefficient(q);
         let q0 = q.modulus(0);
         let max_err = check
@@ -466,7 +462,12 @@ mod tests {
             // Every limb must now hold only the small error e_j.
             for i in 0..full.len() {
                 let m = full.modulus(i);
-                let max = check.limb(i).iter().map(|&c| m.to_signed(c).abs()).max().unwrap();
+                let max = check
+                    .limb(i)
+                    .iter()
+                    .map(|&c| m.to_signed(c).abs())
+                    .max()
+                    .unwrap();
                 assert!(max < 64, "digit {j} limb {i}: residual {max} too large");
             }
         }

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bootstrap;
 mod chebyshev;
 mod ciphertext;
@@ -55,6 +56,7 @@ mod linear_transform;
 mod params;
 pub mod sampling;
 
+pub use backend::{EvalBackend, ExecBackend, PlanBackend, PlanCiphertext};
 pub use bootstrap::{BootstrapParams, Bootstrapper};
 pub use chebyshev::ChebyshevSeries;
 pub use ciphertext::{Ciphertext, Plaintext};
@@ -63,9 +65,7 @@ pub use encoding::Encoder;
 pub use encryption::{Decryptor, Encryptor};
 pub use error::CkksError;
 pub use evaluator::Evaluator;
-pub use keys::{
-    GaloisKeys, KeyGenerator, PublicKey, RelinearizationKey, SecretKey, SwitchingKey,
-};
+pub use keys::{GaloisKeys, KeyGenerator, PublicKey, RelinearizationKey, SecretKey, SwitchingKey};
 pub use linear_transform::LinearTransform;
 pub use params::{CkksParams, CkksParamsBuilder};
 

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 
 use fab_math::{Complex64, SpecialFft};
 
+use crate::backend::{EvalBackend, ExecBackend};
 use crate::{Ciphertext, CkksError, Evaluator, GaloisKeys, Result};
 
 /// A slot-space linear transform in generalized-diagonal representation.
@@ -47,7 +48,10 @@ impl LinearTransform {
                 diagonals.insert(d, diag);
             }
         }
-        Self { slots: n, diagonals }
+        Self {
+            slots: n,
+            diagonals,
+        }
     }
 
     /// Builds the transform directly from its nonzero generalized diagonals.
@@ -96,7 +100,7 @@ impl LinearTransform {
     pub fn scale_by(&mut self, factor: Complex64) {
         for diag in self.diagonals.values_mut() {
             for v in diag.iter_mut() {
-                *v = *v * factor;
+                *v *= factor;
             }
         }
     }
@@ -151,6 +155,10 @@ impl LinearTransform {
     /// The diagonal plaintexts are encoded at the current rescaling prime so the ciphertext
     /// scale is preserved; one level is consumed.
     ///
+    /// All rotations act on the *same* input ciphertext, so they share one key-switch
+    /// decomposition on FAB: the first is emitted as a full rotation and the rest as hoisted
+    /// rotations (Bossuat et al., the algorithm the paper adopts).
+    ///
     /// # Errors
     ///
     /// Returns [`CkksError::MissingKey`] if a required rotation key is missing and
@@ -161,12 +169,23 @@ impl LinearTransform {
         ct: &Ciphertext,
         keys: &GaloisKeys,
     ) -> Result<Ciphertext> {
-        if ct.level() == 0 {
+        let backend = ExecBackend::new(evaluator, None, Some(keys));
+        self.apply_with(&backend, ct)
+    }
+
+    /// Backend-generic application (see [`crate::backend`]): the single control flow behind
+    /// real execution and analytic planning.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::apply_homomorphic`].
+    pub fn apply_with<B: EvalBackend>(&self, backend: &B, ct: &B::Ct) -> Result<B::Ct> {
+        if backend.level(ct) == 0 {
             return Err(CkksError::LevelExhausted {
                 operation: "linear transform",
             });
         }
-        let ctx = evaluator.context();
+        let ctx = backend.ctx();
         if self.slots != ctx.slot_count() {
             return Err(CkksError::InvalidInput {
                 reason: format!(
@@ -176,26 +195,29 @@ impl LinearTransform {
                 ),
             });
         }
-        let level = ct.level();
+        let level = backend.level(ct);
         let prime = ctx.rescale_prime(level) as f64;
-        let mut acc: Option<Ciphertext> = None;
+        let mut acc: Option<B::Ct> = None;
+        let mut first_rotation = true;
         for (&d, diag) in &self.diagonals {
             let rotated = if d == 0 {
                 ct.clone()
+            } else if first_rotation {
+                first_rotation = false;
+                backend.rotate(ct, d)?
             } else {
-                evaluator.rotate(ct, d, keys)?
+                backend.rotate_hoisted(ct, d)?
             };
-            let pt = evaluator.encoder().encode(diag, prime, level)?;
-            let term = evaluator.multiply_plain(&rotated, &pt)?;
+            let term = backend.multiply_slots(&rotated, diag, prime)?;
             acc = Some(match acc {
                 None => term,
-                Some(prev) => evaluator.add(&prev, &term)?,
+                Some(prev) => backend.add(&prev, &term)?,
             });
         }
         let summed = acc.ok_or(CkksError::InvalidInput {
             reason: "linear transform has no nonzero diagonals".into(),
         })?;
-        evaluator.rescale(&summed)
+        backend.rescale(&summed)
     }
 }
 
@@ -289,7 +311,10 @@ fn inverse_butterfly_stages(fft: &SpecialFft) -> Vec<LinearTransform> {
 }
 
 fn unit_root(index: usize, m: usize) -> Complex64 {
-    Complex64::from_polar(1.0, 2.0 * std::f64::consts::PI * (index % m) as f64 / m as f64)
+    Complex64::from_polar(
+        1.0,
+        2.0 * std::f64::consts::PI * (index % m) as f64 / m as f64,
+    )
 }
 
 fn make_stage(
@@ -353,9 +378,7 @@ fn group_stages(stages: Vec<LinearTransform>, groups: usize) -> Vec<LinearTransf
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        CkksContext, CkksParams, Decryptor, Encoder, Encryptor, KeyGenerator, SecretKey,
-    };
+    use crate::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, KeyGenerator, SecretKey};
     use rand::SeedableRng;
     use rand_chacha::ChaCha20Rng;
     use std::sync::Arc;

@@ -425,7 +425,10 @@ mod tests {
         // Switching key ≈ 84 MB uncompressed-equivalent working set (Section 4.6 mentions
         // 84 MB keys + 28 MB ciphertext = 112 MB working set).
         let key_mb = p.switching_key_bytes(false) as f64 / (1024.0 * 1024.0);
-        assert!(key_mb > 80.0 && key_mb < 90.0, "switching key is {key_mb} MB");
+        assert!(
+            key_mb > 80.0 && key_mb < 90.0,
+            "switching key is {key_mb} MB"
+        );
     }
 
     #[test]
@@ -469,11 +472,7 @@ mod tests {
         assert!(CkksParams::builder().log_n(2).build().is_err());
         assert!(CkksParams::builder().scale_bits(10).build().is_err());
         assert!(CkksParams::builder().dnum(0).build().is_err());
-        assert!(CkksParams::builder()
-            .max_level(3)
-            .dnum(9)
-            .build()
-            .is_err());
+        assert!(CkksParams::builder().max_level(3).dnum(9).build().is_err());
         assert!(CkksParams::builder().error_std(-1.0).build().is_err());
         assert!(CkksParams::builder()
             .secret_hamming_weight(Some(0))

@@ -117,14 +117,20 @@ mod tests {
         let coeffs = sample_gaussian_coeffs(&mut rng(), 1 << 14, std_dev);
         let n = coeffs.len() as f64;
         let mean = coeffs.iter().map(|&c| c as f64).sum::<f64>() / n;
-        let var = coeffs.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = coeffs
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.2, "mean {mean} too far from zero");
         assert!(
             (var.sqrt() - std_dev).abs() < 0.5,
             "std {} too far from {std_dev}",
             var.sqrt()
         );
-        assert!(coeffs.iter().all(|&c| (c as f64).abs() <= 6.0 * std_dev + 1.0));
+        assert!(coeffs
+            .iter()
+            .all(|&c| (c as f64).abs() <= 6.0 * std_dev + 1.0));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! is the maximum of the two — the balanced-design argument at the heart of the paper.
 
 use fab_ckks::CkksParams;
+use fab_trace::{HeOp, OpTrace};
 
 use crate::memory::HbmModel;
 use crate::{FabConfig, KeySwitchDatapath};
@@ -234,8 +235,7 @@ impl OpCostModel {
         // Smart scheduling overlaps each digit's key prefetch with the previous digit's
         // compute; ModDown has no memory traffic, so the overlapped total is the sum of
         // per-digit maxima plus the purely-compute phases.
-        let per_digit_total =
-            (per_digit_compute).max(per_digit_memory + per_digit_spill);
+        let per_digit_total = (per_digit_compute).max(per_digit_memory + per_digit_spill);
         let total = decomp_intt + beta * per_digit_total + mod_down_compute;
 
         OpCost {
@@ -310,6 +310,55 @@ impl OpCostModel {
     /// Conjugation at `level` (same structure as a rotation).
     pub fn conjugate(&self, level: usize) -> OpCost {
         self.rotate(level)
+    }
+
+    // ------------------------------------------------------------------- trace consumers
+
+    /// The cost of one operation from the shared `fab-trace` vocabulary.
+    pub fn cost_op(&self, op: &HeOp) -> OpCost {
+        match *op {
+            HeOp::Add { level } => self.add(level),
+            HeOp::MultiplyPlain { level } => self.multiply_plain(level),
+            HeOp::Multiply { level } => self.multiply(level),
+            HeOp::Rescale { level } => self.rescale(level),
+            HeOp::Rotate { level } => self.rotate(level),
+            HeOp::RotateHoisted { level } => self.rotate_hoisted(level),
+            HeOp::Conjugate { level } => self.conjugate(level),
+            HeOp::Ntt { count } => {
+                let cycles = count as u64 * self.ntt_cycles();
+                OpCost {
+                    compute_cycles: cycles,
+                    memory_cycles: 0,
+                    total_cycles: cycles,
+                    ntt_count: count as u64,
+                    hbm_bytes: 0,
+                }
+            }
+        }
+    }
+
+    /// Total cost of a trace — analytic or recorded from a real execution via
+    /// `fab_trace::RecordingSink` — as sequential composition of its op costs.
+    pub fn cost_trace(&self, trace: &OpTrace) -> OpCost {
+        trace
+            .ops
+            .iter()
+            .fold(OpCost::default(), |acc, op| acc.then(self.cost_op(op)))
+    }
+
+    /// Per-phase cost breakdown of a trace carrying phase markers (one entry per
+    /// [`OpTrace::phase_slices`] bucket, in order).
+    pub fn phase_costs(&self, trace: &OpTrace) -> Vec<(String, OpCost)> {
+        trace
+            .phase_slices()
+            .into_iter()
+            .map(|(label, ops)| {
+                let cost = ops
+                    .iter()
+                    .fold(OpCost::default(), |acc, op| acc.then(self.cost_op(op)));
+                (label.to_string(), cost)
+            })
+            .collect()
     }
 
     /// Throughput of single-limb NTTs in operations per second (Table 6).

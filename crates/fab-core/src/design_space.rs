@@ -49,8 +49,7 @@ pub fn dnum_sweep(
                 }
             }
             let alpha = q_limbs.div_ceil(dnum);
-            let levels_after_bootstrap =
-                q_limbs.saturating_sub(1).saturating_sub(bootstrap_depth);
+            let levels_after_bootstrap = q_limbs.saturating_sub(1).saturating_sub(bootstrap_depth);
             // Key: 2 × dnum polynomials over the raised modulus, halved by key compression.
             let key_size_mib = (2 * dnum * (q_limbs + alpha)) as f64 * limb_mib / 2.0;
             DnumPoint {
@@ -164,7 +163,11 @@ mod tests {
         // The amortized metric has an interior optimum: the best fftIter is not 1.
         let best = points
             .iter()
-            .min_by(|a, b| a.amortized_mult_us.partial_cmp(&b.amortized_mult_us).unwrap())
+            .min_by(|a, b| {
+                a.amortized_mult_us
+                    .partial_cmp(&b.amortized_mult_us)
+                    .unwrap()
+            })
             .unwrap();
         assert!(
             best.fft_iter >= 2,

@@ -46,7 +46,9 @@ pub mod workload;
 pub use config::{CmacConfig, FabConfig, HbmConfig, KeySwitchDatapath, OnChipMemoryConfig};
 pub use cost::{OpCost, OpCostModel};
 pub use design_space::{dnum_sweep, fft_iter_sweep, DnumPoint, FftIterPoint};
+pub use fab_trace::{HeOp, OpCounts, OpTrace};
 pub use memory::{HbmModel, OnChipMemoryModel, WorkingSetReport};
 pub use metrics::{amortized_mult_time_us, speedup, SpeedupReport};
 pub use multi_fpga::{CommunicationModel, MultiFpgaSystem, ParallelWorkload};
 pub use resources::{ResourceEstimator, ResourceUtilization};
+pub use workload::TraceCost;

@@ -93,7 +93,8 @@ mod tests {
             "amortized mult time {amortized} µs/slot"
         );
         // More levels after bootstrapping improve (reduce) the metric.
-        let fewer = amortized_mult_time_us(&config, &params, &boot, levels.saturating_sub(2), slots);
+        let fewer =
+            amortized_mult_time_us(&config, &params, &boot, levels.saturating_sub(2), slots);
         assert!(fewer > amortized);
     }
 

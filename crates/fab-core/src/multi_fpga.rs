@@ -90,8 +90,7 @@ impl MultiFpgaSystem {
     /// part runs on one board, and `communication_ms` is added per execution (0 for a single
     /// board).
     pub fn execute_ms(&self, workload: &ParallelWorkload, communication_ms: f64) -> f64 {
-        let parallel_ms =
-            workload.parallel.time_ms(&self.config) / self.num_fpgas as f64;
+        let parallel_ms = workload.parallel.time_ms(&self.config) / self.num_fpgas as f64;
         let serial_ms = workload.serial.time_ms(&self.config);
         let comm = if self.num_fpgas > 1 {
             communication_ms
@@ -163,7 +162,10 @@ mod tests {
                 last = t;
                 continue;
             }
-            assert!(t < last + 12.0, "time should not grow substantially with more FPGAs");
+            assert!(
+                t < last + 12.0,
+                "time should not grow substantially with more FPGAs"
+            );
             last = t;
         }
     }
@@ -179,7 +181,10 @@ mod tests {
         let ct = comm.transfer_ms(48, limb_bytes);
         assert!(ct > 1.5 && ct < 2.2, "ciphertext {ct} ms");
         let broadcast = comm.broadcast_ms(48, limb_bytes, 8);
-        assert!(broadcast > ct, "broadcast must cost more than a point-to-point transfer");
+        assert!(
+            broadcast > ct,
+            "broadcast must cost more than a point-to-point transfer"
+        );
     }
 
     #[test]

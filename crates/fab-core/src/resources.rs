@@ -6,8 +6,6 @@
 //! paper's reported totals (so that alternative configurations — more functional units, wider
 //! limbs — produce proportionate estimates).
 
-use serde::{Deserialize, Serialize};
-
 use crate::FabConfig;
 
 /// LUTs per functional unit (calibrated: the paper attributes ~37% of 899K LUTs to the 256
@@ -21,7 +19,7 @@ const FF_PER_FUNCTIONAL_UNIT: f64 = 3_800.0;
 const FF_BASE: f64 = 1_100_200.0;
 
 /// Resources available on the Xilinx Alveo U280 (16 nm UltraScale+).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AvailableResources {
     /// Lookup tables.
     pub luts: u64,
@@ -49,7 +47,7 @@ impl AvailableResources {
 }
 
 /// Estimated utilization of each resource class, mirroring Table 3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceUtilization {
     /// Utilized LUTs.
     pub luts: u64,
@@ -103,11 +101,36 @@ impl ResourceUtilization {
     /// Table-3-style rows: (resource, available, utilized, % utilization).
     pub fn rows(&self) -> Vec<(String, u64, u64, f64)> {
         vec![
-            ("LUTs".into(), self.available.luts, self.luts, self.lut_percent()),
-            ("FFs".into(), self.available.ffs, self.ffs, self.ff_percent()),
-            ("DSP".into(), self.available.dsps, self.dsps, self.dsp_percent()),
-            ("BRAM".into(), self.available.brams, self.brams, self.bram_percent()),
-            ("URAM".into(), self.available.urams, self.urams, self.uram_percent()),
+            (
+                "LUTs".into(),
+                self.available.luts,
+                self.luts,
+                self.lut_percent(),
+            ),
+            (
+                "FFs".into(),
+                self.available.ffs,
+                self.ffs,
+                self.ff_percent(),
+            ),
+            (
+                "DSP".into(),
+                self.available.dsps,
+                self.dsps,
+                self.dsp_percent(),
+            ),
+            (
+                "BRAM".into(),
+                self.available.brams,
+                self.brams,
+                self.bram_percent(),
+            ),
+            (
+                "URAM".into(),
+                self.available.urams,
+                self.urams,
+                self.uram_percent(),
+            ),
         ]
     }
 }
@@ -196,6 +219,9 @@ mod tests {
     #[test]
     fn bts_class_design_does_not_fit_on_one_u280() {
         let estimate = ResourceEstimator::new().estimate(&FabConfig::bts_class_scaling());
-        assert!(!estimate.fits(), "a BTS-class design cannot fit a single U280");
+        assert!(
+            !estimate.fits(),
+            "a BTS-class design cannot fit a single U280"
+        );
     }
 }

@@ -1,129 +1,32 @@
 //! Operation traces: sequences of homomorphic operations (with their levels) whose cost the
-//! accelerator model aggregates. The bootstrapping trace mirrors the pipeline the paper
+//! accelerator model aggregates.
+//!
+//! The op vocabulary itself ([`HeOp`], [`OpTrace`], [`OpCounts`]) lives in the `fab-trace`
+//! crate so that the executing scheme (`fab-ckks`) can *record* traces with the same types the
+//! model costs; this module re-exports it and adds the costing glue plus the paper's
+//! FPGA-scale bootstrapping workload. The bootstrapping trace mirrors the pipeline the paper
 //! accelerates (ModRaise → CoeffToSlot → EvalMod → SlotToCoeff with the Bossuat et al.
-//! depth-9 sine polynomial); application crates (e.g. `fab-lr`) build their own traces from
-//! the same vocabulary.
+//! depth-9 sine polynomial) *as scheduled on FAB* — baby-step/giant-step linear transforms
+//! with hoisted rotations — which is why its op counts are far lower than the software
+//! reference executes; the software-faithful trace is produced by
+//! `fab_ckks::Bootstrapper::predicted_trace` and validated against recorded executions.
 
 use fab_ckks::CkksParams;
 
+pub use fab_trace::{HeOp, OpCounts, OpTrace};
+
 use crate::{FabConfig, OpCost, OpCostModel};
 
-/// One homomorphic operation at a given level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum HeOp {
-    /// Ciphertext addition.
-    Add {
-        /// Ciphertext level.
-        level: usize,
-    },
-    /// Plaintext multiplication.
-    MultiplyPlain {
-        /// Ciphertext level.
-        level: usize,
-    },
-    /// Ciphertext multiplication (tensor + relinearisation).
-    Multiply {
-        /// Ciphertext level.
-        level: usize,
-    },
-    /// Rescale.
-    Rescale {
-        /// Ciphertext level before the rescale.
-        level: usize,
-    },
-    /// Rotation with its own key-switch decomposition.
-    Rotate {
-        /// Ciphertext level.
-        level: usize,
-    },
-    /// Rotation sharing a decomposition with a previous rotation (hoisted).
-    RotateHoisted {
-        /// Ciphertext level.
-        level: usize,
-    },
-    /// Conjugation.
-    Conjugate {
-        /// Ciphertext level.
-        level: usize,
-    },
-    /// Raw NTTs (used by ModRaise, which transforms every freshly-populated limb).
-    Ntt {
-        /// Number of single-limb transforms.
-        count: usize,
-    },
-}
-
-/// A named sequence of operations.
-#[derive(Debug, Clone, Default)]
-pub struct OpTrace {
-    /// Human-readable name of the workload.
-    pub name: String,
-    /// The operations in execution order.
-    pub ops: Vec<HeOp>,
-}
-
-impl OpTrace {
-    /// Creates an empty trace.
-    pub fn new(name: impl Into<String>) -> Self {
-        Self {
-            name: name.into(),
-            ops: Vec::new(),
-        }
-    }
-
-    /// Appends an operation.
-    pub fn push(&mut self, op: HeOp) {
-        self.ops.push(op);
-    }
-
-    /// Appends `count` copies of an operation.
-    pub fn push_many(&mut self, op: HeOp, count: usize) {
-        for _ in 0..count {
-            self.ops.push(op);
-        }
-    }
-
-    /// Number of operations.
-    pub fn len(&self) -> usize {
-        self.ops.len()
-    }
-
-    /// Whether the trace is empty.
-    pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
-    }
-
+/// Costing extension for [`OpTrace`], keeping the familiar `trace.cost(&model)` call-site
+/// shape now that the trace type lives in the model-agnostic `fab-trace` crate.
+pub trait TraceCost {
     /// Total cost of the trace under a cost model.
-    pub fn cost(&self, model: &OpCostModel) -> OpCost {
-        let mut total = OpCost::default();
-        for op in &self.ops {
-            let c = match *op {
-                HeOp::Add { level } => model.add(level),
-                HeOp::MultiplyPlain { level } => model.multiply_plain(level),
-                HeOp::Multiply { level } => model.multiply(level),
-                HeOp::Rescale { level } => model.rescale(level),
-                HeOp::Rotate { level } => model.rotate(level),
-                HeOp::RotateHoisted { level } => model.rotate_hoisted(level),
-                HeOp::Conjugate { level } => model.conjugate(level),
-                HeOp::Ntt { count } => {
-                    let cycles = count as u64 * model.ntt_cycles();
-                    OpCost {
-                        compute_cycles: cycles,
-                        memory_cycles: 0,
-                        total_cycles: cycles,
-                        ntt_count: count as u64,
-                        hbm_bytes: 0,
-                    }
-                }
-            };
-            total = total.then(c);
-        }
-        total
-    }
+    fn cost(&self, model: &OpCostModel) -> OpCost;
+}
 
-    /// Concatenates two traces.
-    pub fn extend(&mut self, other: &OpTrace) {
-        self.ops.extend_from_slice(&other.ops);
+impl TraceCost for OpTrace {
+    fn cost(&self, model: &OpCostModel) -> OpCost {
+        model.cost_trace(self)
     }
 }
 
@@ -174,6 +77,15 @@ impl BootstrapStructure {
     }
 }
 
+/// Phase label for ModRaise (shared by analytic and recorded bootstrap traces).
+pub const PHASE_MOD_RAISE: &str = fab_trace::phase::MOD_RAISE;
+/// Phase label for CoeffToSlot.
+pub const PHASE_COEFF_TO_SLOT: &str = fab_trace::phase::COEFF_TO_SLOT;
+/// Phase label for EvalMod.
+pub const PHASE_EVAL_MOD: &str = fab_trace::phase::EVAL_MOD;
+/// Phase label for SlotToCoeff.
+pub const PHASE_SLOT_TO_COEFF: &str = fab_trace::phase::SLOT_TO_COEFF;
+
 /// Builds the operation trace of one fully-packed bootstrapping at the given parameters and
 /// `ﬀtIter` (Section 2.1.3: linear transform → polynomial evaluation → linear transform).
 pub fn bootstrap_trace(params: &CkksParams, fft_iter: usize) -> OpTrace {
@@ -182,6 +94,7 @@ pub fn bootstrap_trace(params: &CkksParams, fft_iter: usize) -> OpTrace {
     let top = params.max_level;
 
     // ModRaise: every limb of both ring elements is re-populated and transformed.
+    trace.mark_phase(PHASE_MOD_RAISE);
     trace.push(HeOp::Ntt {
         count: 2 * params.total_q_limbs(),
     });
@@ -190,6 +103,7 @@ pub fn bootstrap_trace(params: &CkksParams, fft_iter: usize) -> OpTrace {
     // CoeffToSlot: fft_iter stages of a BSGS-evaluated sparse matrix; each stage performs its
     // rotations (the first full, the rest hoisted), one plaintext multiplication per diagonal,
     // and a rescale. The real/imaginary split costs one conjugation.
+    trace.mark_phase(PHASE_COEFF_TO_SLOT);
     for _ in 0..structure.fft_iter {
         trace.push(HeOp::Rotate { level });
         trace.push_many(
@@ -204,6 +118,7 @@ pub fn bootstrap_trace(params: &CkksParams, fft_iter: usize) -> OpTrace {
     trace.push(HeOp::Conjugate { level });
 
     // EvalMod on both the real and imaginary halves.
+    trace.mark_phase(PHASE_EVAL_MOD);
     for _ in 0..2 {
         let mut eval_level = level;
         let mults_per_level = structure
@@ -218,6 +133,7 @@ pub fn bootstrap_trace(params: &CkksParams, fft_iter: usize) -> OpTrace {
     level -= structure.eval_mod_depth;
 
     // SlotToCoeff: mirror of CoeffToSlot.
+    trace.mark_phase(PHASE_SLOT_TO_COEFF);
     for _ in 0..structure.fft_iter {
         trace.push(HeOp::Rotate { level });
         trace.push_many(
@@ -263,6 +179,7 @@ mod tests {
         trace.push(HeOp::Multiply { level: 10 });
         let expected = model.add(10).then(model.multiply(10));
         assert_eq!(trace.cost(&model), expected);
+        assert_eq!(model.cost_trace(&trace), expected);
     }
 
     #[test]
@@ -319,5 +236,33 @@ mod tests {
             );
             last = cost.ntt_count;
         }
+    }
+
+    #[test]
+    fn bootstrap_trace_carries_the_four_phases() {
+        let params = CkksParams::fab_paper();
+        let trace = bootstrap_trace(&params, params.fft_iter);
+        assert_eq!(
+            trace.phase_labels(),
+            vec![
+                PHASE_MOD_RAISE,
+                PHASE_COEFF_TO_SLOT,
+                PHASE_EVAL_MOD,
+                PHASE_SLOT_TO_COEFF
+            ]
+        );
+        let phases = trace.phase_counts();
+        // CoeffToSlot performs fft_iter rescales (one level per stage), EvalMod 2×9.
+        assert_eq!(phases[1].1.rescale, params.fft_iter as u64);
+        assert_eq!(phases[2].1.rescale, 18);
+        assert_eq!(phases[3].1.rescale, params.fft_iter as u64);
+        // Per-phase cost decomposition sums to the full trace cost.
+        let model = OpCostModel::new(FabConfig::alveo_u280(), params.clone());
+        let total = model.cost_trace(&trace);
+        let summed = model
+            .phase_costs(&trace)
+            .into_iter()
+            .fold(crate::OpCost::default(), |acc, (_, c)| acc.then(c));
+        assert_eq!(total, summed);
     }
 }

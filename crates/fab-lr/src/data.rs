@@ -6,8 +6,8 @@
 //! data shape, and the synthetic task remains learnable so accuracy can be sanity-checked.
 
 use rand::Rng;
-use rand_chacha::ChaCha20Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
 
 /// A dense binary-classification dataset with labels in `{0, 1}` (stored as ±1 internally
 /// where convenient).
@@ -70,14 +70,8 @@ impl Dataset {
         let cut = ((self.len() as f64) * train_fraction).round() as usize;
         let cut = cut.min(self.len());
         (
-            Dataset::new(
-                self.features[..cut].to_vec(),
-                self.labels[..cut].to_vec(),
-            ),
-            Dataset::new(
-                self.features[cut..].to_vec(),
-                self.labels[cut..].to_vec(),
-            ),
+            Dataset::new(self.features[..cut].to_vec(), self.labels[..cut].to_vec()),
+            Dataset::new(self.features[cut..].to_vec(), self.labels[cut..].to_vec()),
         )
     }
 
@@ -193,7 +187,10 @@ mod tests {
             .map(|(p, n)| (p / np - n / nn).abs())
             .sum::<f64>()
             / dim as f64;
-        assert!(diff > 0.01, "classes should be distinguishable, diff {diff}");
+        assert!(
+            diff > 0.01,
+            "classes should be distinguishable, diff {diff}"
+        );
     }
 
     #[test]

@@ -9,11 +9,13 @@
 
 use std::sync::Arc;
 
+use fab_ckks::backend::{EvalBackend, ExecBackend, PlanBackend, PlanCiphertext};
 use fab_ckks::{
-    Ciphertext, CkksContext, CkksError, Decryptor, Encoder, Encryptor, Evaluator, GaloisKeys,
-    KeyGenerator, RelinearizationKey, SecretKey,
+    CkksContext, CkksError, Decryptor, Encoder, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
+    RelinearizationKey, SecretKey,
 };
 use fab_math::Complex64;
+use fab_trace::{noop_sink, phase, OpTrace, TraceSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 
@@ -52,6 +54,21 @@ impl EncryptedLogisticRegression {
     ///
     /// Propagates context/keygen errors.
     pub fn new(ctx: Arc<CkksContext>, features: usize, seed: u64) -> Result<Self, CkksError> {
+        Self::with_sink(ctx, features, seed, noop_sink())
+    }
+
+    /// Sets up an *instrumented* trainer: every homomorphic operation of [`Self::train`] is
+    /// reported to `sink`, phase-marked per pipeline step (`fab_trace::phase::LR_*`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates context/keygen errors.
+    pub fn with_sink(
+        ctx: Arc<CkksContext>,
+        features: usize,
+        seed: u64,
+        sink: Arc<dyn TraceSink>,
+    ) -> Result<Self, CkksError> {
         let mut rng = ChaCha20Rng::seed_from_u64(seed);
         let sk = SecretKey::generate(&ctx, &mut rng);
         let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
@@ -71,7 +88,7 @@ impl EncryptedLogisticRegression {
             encoder: Encoder::new(ctx.clone()),
             encryptor: Encryptor::new(ctx.clone(), pk),
             decryptor: Decryptor::new(ctx.clone(), sk),
-            evaluator: Evaluator::new(ctx.clone()),
+            evaluator: Evaluator::with_sink(ctx.clone(), sink),
             ctx,
             rlk,
             gks,
@@ -85,36 +102,9 @@ impl EncryptedLogisticRegression {
         &self.ctx
     }
 
-    /// Sums the first `width` slots of a ciphertext into every slot of that window using a
-    /// rotate-and-add tree (`log2 width` rotations).
-    fn rotate_sum(&self, ct: &Ciphertext, width: usize) -> Result<Ciphertext, CkksError> {
-        let mut acc = ct.clone();
-        let mut step = 1usize;
-        let width = width.next_power_of_two();
-        while step < width {
-            let rotated = self.evaluator.rotate(&acc, step, &self.gks)?;
-            acc = self.evaluator.add(&acc, &rotated)?;
-            step *= 2;
-        }
-        Ok(acc)
-    }
-
-    /// Degree-3 HELR sigmoid on a ciphertext: `0.5 + 0.15012·z − 0.001593·z³` (2 levels).
-    fn encrypted_sigmoid(&self, z: &Ciphertext) -> Result<Ciphertext, CkksError> {
-        let z_sq = self.evaluator.multiply_rescale(z, z, &self.rlk)?;
-        // a1*z + a3*z*z² : compute z*(a1 + a3·z²).
-        let a3_z_sq = self.evaluator.multiply_scalar(&z_sq, Complex64::new(-0.001593, 0.0))?;
-        let inner = self
-            .evaluator
-            .add_scalar(&a3_z_sq, Complex64::new(0.15012, 0.0))?;
-        let (z_aligned, inner_aligned) = (
-            self.evaluator.mod_drop_to_level(z, inner.level())?,
-            inner,
-        );
-        let product = self
-            .evaluator
-            .multiply_rescale(&z_aligned, &inner_aligned, &self.rlk)?;
-        self.evaluator.add_scalar(&product, Complex64::new(0.5, 0.0))
+    /// The evaluator (and through it the trace sink) this trainer executes on.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
     }
 
     /// Trains for `iterations` mini-batch iterations of `batch_size` samples and returns the
@@ -153,50 +143,14 @@ impl EncryptedLogisticRegression {
             &mut self.rng,
         )?;
 
-        let batches: Vec<(Vec<&[f64]>, Vec<f64>)> = data.batches(batch_size).collect();
+        let batches: Vec<(Vec<Vec<f64>>, Vec<f64>)> = data
+            .batches(batch_size)
+            .map(|(rows, labels)| (rows.iter().map(|r| r.to_vec()).collect(), labels))
+            .collect();
+        let backend = ExecBackend::new(&self.evaluator, Some(&self.rlk), Some(&self.gks));
         for iter in 0..iterations {
             let (rows, labels) = &batches[iter % batches.len()];
-            // Gradient accumulator (encrypted).
-            let mut ct_gradient: Option<Ciphertext> = None;
-            for (row, &label) in rows.iter().zip(labels) {
-                // z = <w, x>: elementwise product with the plaintext row, then rotate-sum.
-                let row_pt =
-                    self.encoder
-                        .encode_real(row, self.ctx.rescale_prime(ct_weights.level()) as f64, ct_weights.level())?;
-                let prod = self.evaluator.multiply_plain(&ct_weights, &row_pt)?;
-                let prod = self.evaluator.rescale(&prod)?;
-                let z = self.rotate_sum(&prod, self.ctx.slot_count())?;
-                // σ(z) - y, broadcast across the feature slots.
-                let sigma = self.encrypted_sigmoid(&z)?;
-                let error = self
-                    .evaluator
-                    .add_scalar(&sigma, Complex64::new(-label, 0.0))?;
-                // Gradient contribution: (σ(z) - y) ⊙ x, scaled by the learning rate.
-                let lr_row: Vec<f64> = row
-                    .iter()
-                    .map(|x| x * learning_rate / rows.len() as f64)
-                    .collect();
-                let lr_row_pt = self.encoder.encode_real(
-                    &lr_row,
-                    self.ctx.rescale_prime(error.level()) as f64,
-                    error.level(),
-                )?;
-                let contribution = self.evaluator.multiply_plain(&error, &lr_row_pt)?;
-                let contribution = self.evaluator.rescale(&contribution)?;
-                ct_gradient = Some(match ct_gradient {
-                    None => contribution,
-                    Some(prev) => {
-                        let (a, b) = self.evaluator.align_for_addition(&prev, &contribution)?;
-                        self.evaluator.add(&a, &b)?
-                    }
-                });
-            }
-            // w ← w − gradient.
-            let gradient = ct_gradient.expect("non-empty batch");
-            let (w_aligned, g_aligned) = self
-                .evaluator
-                .align_for_addition(&ct_weights, &gradient)?;
-            ct_weights = self.evaluator.sub(&w_aligned, &g_aligned)?;
+            ct_weights = train_iteration_with(&backend, &ct_weights, rows, labels, learning_rate)?;
         }
 
         // Decrypt the model and evaluate it in the clear.
@@ -213,6 +167,111 @@ impl EncryptedLogisticRegression {
             iterations,
         })
     }
+}
+
+/// One encrypted mini-batch iteration, written once against the execute/plan seam of
+/// `fab-ckks` (see `fab_ckks::backend`): under an [`ExecBackend`] it trains on real
+/// ciphertexts; under a [`PlanBackend`] it produces the analytic operation trace of the same
+/// control flow. Phase markers label each pipeline step per sample.
+fn train_iteration_with<B: EvalBackend>(
+    backend: &B,
+    weights: &B::Ct,
+    rows: &[Vec<f64>],
+    labels: &[f64],
+    learning_rate: f64,
+) -> Result<B::Ct, CkksError> {
+    let ctx = backend.ctx();
+    let mut gradient: Option<B::Ct> = None;
+    for (row, &label) in rows.iter().zip(labels) {
+        // z = <w, x>: elementwise product with the plaintext row, then rotate-sum.
+        backend.begin_phase(phase::LR_FORWARD);
+        let prime = ctx.rescale_prime(backend.level(weights)) as f64;
+        let prod = backend.multiply_real_slots(weights, row, prime)?;
+        let prod = backend.rescale(&prod)?;
+        backend.begin_phase(phase::LR_AGGREGATE);
+        let z = rotate_sum_with(backend, &prod, ctx.slot_count())?;
+        // σ(z) - y, broadcast across the feature slots.
+        backend.begin_phase(phase::LR_SIGMOID);
+        let sigma = encrypted_sigmoid_with(backend, &z)?;
+        let error = backend.add_scalar(&sigma, Complex64::new(-label, 0.0))?;
+        // Gradient contribution: (σ(z) - y) ⊙ x, scaled by the learning rate.
+        backend.begin_phase(phase::LR_GRADIENT);
+        let lr_row: Vec<f64> = row
+            .iter()
+            .map(|x| x * learning_rate / rows.len() as f64)
+            .collect();
+        let prime = ctx.rescale_prime(backend.level(&error)) as f64;
+        let contribution = backend.multiply_real_slots(&error, &lr_row, prime)?;
+        let contribution = backend.rescale(&contribution)?;
+        gradient = Some(match gradient {
+            None => contribution,
+            Some(prev) => {
+                let (a, b) = backend.align_for_addition(&prev, &contribution)?;
+                backend.add(&a, &b)?
+            }
+        });
+    }
+    // w ← w − gradient.
+    backend.begin_phase(phase::LR_UPDATE);
+    let gradient = gradient.expect("non-empty batch");
+    let (w_aligned, g_aligned) = backend.align_for_addition(weights, &gradient)?;
+    backend.sub(&w_aligned, &g_aligned)
+}
+
+/// Sums the first `width` slots of a ciphertext into every slot of that window using a
+/// rotate-and-add tree (`log2 width` rotations). Each rotation acts on the freshly-updated
+/// accumulator, so no decomposition sharing is possible — these are full rotations.
+fn rotate_sum_with<B: EvalBackend>(
+    backend: &B,
+    ct: &B::Ct,
+    width: usize,
+) -> Result<B::Ct, CkksError> {
+    let mut acc = ct.clone();
+    let mut step = 1usize;
+    let width = width.next_power_of_two();
+    while step < width {
+        let rotated = backend.rotate(&acc, step)?;
+        acc = backend.add(&acc, &rotated)?;
+        step *= 2;
+    }
+    Ok(acc)
+}
+
+/// Degree-3 HELR sigmoid on a ciphertext: `0.5 + 0.15012·z − 0.001593·z³` (2 levels).
+fn encrypted_sigmoid_with<B: EvalBackend>(backend: &B, z: &B::Ct) -> Result<B::Ct, CkksError> {
+    let z_sq = backend.multiply_rescale(z, z)?;
+    // a1*z + a3*z*z² : compute z*(a1 + a3·z²).
+    let a3_z_sq = backend.multiply_scalar(&z_sq, Complex64::new(-0.001593, 0.0))?;
+    let inner = backend.add_scalar(&a3_z_sq, Complex64::new(0.15012, 0.0))?;
+    let z_aligned = backend.mod_drop_to_level(z, backend.level(&inner))?;
+    let product = backend.multiply_rescale(&z_aligned, &inner)?;
+    backend.add_scalar(&product, Complex64::new(0.5, 0.0))
+}
+
+/// The *analytic* operation trace of one encrypted LR iteration at the given context: the
+/// training control flow executed on shadow `(level, scale)` ciphertexts. A recorded real
+/// iteration (train via [`EncryptedLogisticRegression::with_sink`]) must agree op-for-op;
+/// the crate's tests enforce the equivalence.
+///
+/// # Errors
+///
+/// Propagates (shadow) level errors if the parameter set cannot carry an iteration.
+pub fn planned_iteration_trace(
+    ctx: &Arc<CkksContext>,
+    features: usize,
+    batch_size: usize,
+    learning_rate: f64,
+) -> Result<OpTrace, CkksError> {
+    let plan = PlanBackend::new(
+        ctx.clone(),
+        format!("helr iteration predicted(features={features}, batch={batch_size})"),
+    );
+    let weights = PlanCiphertext::new(ctx.params().max_level, ctx.params().default_scale());
+    // Row values are irrelevant to the plan; only the shapes drive the control flow.
+    let rows = vec![vec![0.0f64; features]; batch_size];
+    let labels = vec![0.0f64; batch_size];
+    train_iteration_with(&plan, &weights, &rows, &labels, learning_rate)?;
+    Ok(plan.into_trace())
 }
 
 fn plaintext_accuracy(weights: &[f64], data: &Dataset) -> f64 {
@@ -296,6 +355,36 @@ mod tests {
             cosine > 0.5,
             "encrypted and plaintext gradients disagree: cosine {cosine}"
         );
+    }
+
+    #[test]
+    fn recorded_iteration_matches_planned_trace_exactly() {
+        // Closed loop for the HELR workload: really train one encrypted iteration through the
+        // instrumented evaluator and compare the recorded op stream with the analytic plan of
+        // the same control flow — exact equality, including phases and levels.
+        let features = 16;
+        let batch = 4;
+        let data = synthetic_mnist_like(8, features, 5);
+        let ctx = context();
+        let sink = fab_trace::RecordingSink::shared("recorded iteration");
+        let mut trainer =
+            EncryptedLogisticRegression::with_sink(ctx.clone(), features, 7, sink.clone()).unwrap();
+        trainer.train(&data, 1, batch, 1.0).unwrap();
+        let recorded = sink.take();
+        let planned = planned_iteration_trace(&ctx, features, batch, 1.0).unwrap();
+
+        assert_eq!(recorded.phase_labels(), planned.phase_labels());
+        for ((rl, rc), (pl, pc)) in recorded
+            .phase_counts()
+            .iter()
+            .zip(planned.phase_counts().iter())
+        {
+            assert_eq!(rl, pl);
+            assert_eq!(rc, pc, "per-phase op counts diverge in {rl}");
+        }
+        assert_eq!(recorded.ops, planned.ops);
+        // The per-sample phase structure repeats batch times, plus the final update.
+        assert_eq!(recorded.phase_labels().len(), 4 * batch + 1);
     }
 
     #[test]

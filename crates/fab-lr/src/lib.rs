@@ -22,6 +22,8 @@ mod plaintext;
 mod trace;
 
 pub use data::{synthetic_mnist_like, Dataset};
-pub use encrypted::{EncryptedLogisticRegression, EncryptedTrainingReport};
+pub use encrypted::{
+    planned_iteration_trace, EncryptedLogisticRegression, EncryptedTrainingReport,
+};
 pub use plaintext::{polynomial_sigmoid, LogisticRegressionTrainer, TrainingConfig};
 pub use trace::{helr_iteration_workload, lr_training_time_s, HelrWorkloadBreakdown};

@@ -121,8 +121,8 @@ impl LogisticRegressionTrainer {
                 loss -= label * p.ln() + (1.0 - label) * (1.0 - p).ln();
             }
             let scale = self.config.learning_rate / rows.len() as f64;
-            for i in 0..dim {
-                let step = -scale * gradient[i];
+            for (i, &g) in gradient.iter().enumerate() {
+                let step = -scale * g;
                 self.momentum[i] = 0.9 * self.momentum[i] + step;
                 self.weights[i] += if self.config.nesterov {
                     self.momentum[i]
@@ -168,7 +168,7 @@ mod tests {
     fn polynomial_sigmoid_tracks_exact_sigmoid() {
         for i in -40..=40 {
             let x = i as f64 * 0.2;
-            let exact = 1.0 / (1.0 + (-x as f64).exp());
+            let exact = 1.0 / (1.0 + (-x).exp());
             assert!(
                 (polynomial_sigmoid(x) - exact).abs() < 0.12,
                 "x = {x}: {} vs {exact}",

@@ -1,5 +1,10 @@
 //! The HELR iteration workload for the accelerator model (the FAB-1 / FAB-2 rows of Table 8).
 //!
+//! Since the trace-recording redesign, the serial op mix of the workload is no longer
+//! hand-written: one miniature iteration of the *real* encrypted trainer is planned through
+//! the execute/plan seam of `fab-ckks` (validated op-for-op against a recorded execution by
+//! this crate's tests), and its per-phase structure is scaled to the benchmark parameters.
+//!
 //! One iteration of encrypted LR training at the benchmark scale consists of
 //!
 //! * a **data-parallel part** — streaming every sparsely-packed data ciphertext through the
@@ -12,7 +17,7 @@
 
 use fab_ckks::CkksParams;
 use fab_core::baselines::HelrTask;
-use fab_core::workload::{HeOp, OpTrace};
+use fab_core::workload::{HeOp, OpTrace, TraceCost};
 use fab_core::{FabConfig, MultiFpgaSystem, OpCostModel, ParallelWorkload};
 
 /// Breakdown of one modelled HELR iteration.
@@ -45,41 +50,50 @@ pub fn helr_iteration_workload(
     let config = FabConfig::alveo_u280();
     let model = OpCostModel::new(config, params.clone());
 
+    // One miniature iteration of the real trainer, planned (not hand-written) and phase-split.
+    // The plan is op-for-op identical to a recorded execution — see
+    // `encrypted::tests::recorded_iteration_matches_planned_trace_exactly`. Its inputs are
+    // constants, so it is planned once per process (context construction is not free).
+    static MINI: std::sync::OnceLock<MiniatureIteration> = std::sync::OnceLock::new();
+    let mini = MINI.get_or_init(MiniatureIteration::plan);
+
     // Sparsely-packed ciphertexts: one batch of `batch_size` samples × `features` values packed
     // 256 values per ciphertext.
     let data_ciphertexts = (task.batch_size * task.features).div_ceil(task.slots);
     // The working levels of the iteration sit just above the bootstrapping floor.
     let base_level = levels_per_iteration + 1;
 
-    // Data-parallel trace: every data ciphertext is touched twice per iteration — once in the
-    // forward pass (X·w: product with the broadcast weights plus accumulation) and once in the
-    // gradient pass (Xᵀ·error) — each touch being an element-wise multiplication and an
-    // addition at the iteration's working level.
+    // Data-parallel trace: every data ciphertext is touched once per plaintext product the
+    // real iteration performs on a sample (forward X·w and gradient Xᵀ·error — `touches` is
+    // recorded, not assumed), each touch being an element-wise multiplication and the packed
+    // accumulation addition at the iteration's working level. The per-sample rescales of the
+    // miniature amortise into the level transition already charged to the serial part.
     let mut parallel = OpTrace::new("helr-iteration-parallel");
     for _ in 0..data_ciphertexts {
-        parallel.push(HeOp::MultiplyPlain { level: base_level });
-        parallel.push(HeOp::Add { level: base_level });
-        parallel.push(HeOp::MultiplyPlain { level: base_level });
-        parallel.push(HeOp::Add { level: base_level });
+        for _ in 0..mini.data_touches {
+            parallel.push(HeOp::MultiplyPlain { level: base_level });
+            parallel.push(HeOp::Add { level: base_level });
+        }
     }
 
-    // Serial trace: the aggregation rotations over the slot tree, the degree-3 sigmoid (two
-    // ciphertext multiplications), the weight update, and the end-of-iteration bootstrapping
-    // of the (few) weight ciphertexts. The bootstrapping uses the sparse-slot structure: the
-    // linear transforms only span log2(slots) butterfly levels.
+    // Serial trace: the aggregation rotations over the slot tree (structural: their count
+    // depends on the benchmark packing, not the miniature's), then the sigmoid and weight
+    // update with the exact op mix of the real iteration relabelled to the benchmark levels,
+    // and the end-of-iteration bootstrapping of the (few) weight ciphertexts. The
+    // bootstrapping uses the sparse-slot structure: the linear transforms only span
+    // log2(slots) butterfly levels.
     let mut serial = OpTrace::new("helr-iteration-serial");
     let slot_rotations = (task.slots as f64).log2().ceil() as usize;
     for _ in 0..slot_rotations {
         serial.push(HeOp::RotateHoisted { level: base_level });
         serial.push(HeOp::Add { level: base_level });
     }
-    for level in (base_level.saturating_sub(2)..=base_level).rev() {
-        serial.push(HeOp::Multiply { level });
-        serial.push(HeOp::Rescale { level });
+    for op in mini.relabel(&mini.sigmoid_ops, base_level) {
+        serial.push(op);
     }
-    serial.push(HeOp::Add {
-        level: base_level.saturating_sub(3),
-    });
+    for op in mini.relabel(&mini.update_ops, base_level.saturating_sub(3)) {
+        serial.push(op);
+    }
     serial.extend(&sparse_bootstrap_trace(params, task.slots));
 
     let workload = ParallelWorkload {
@@ -87,6 +101,90 @@ pub fn helr_iteration_workload(
         serial: serial.cost(&model),
     };
     (workload, parallel, serial)
+}
+
+/// The phase-split structure of one planned miniature iteration of the real encrypted
+/// trainer, used to scale its op mix to the benchmark parameters.
+struct MiniatureIteration {
+    /// Plaintext products per sample (forward + gradient passes).
+    data_touches: usize,
+    /// The sigmoid ops of one sample (σ(z) and the error shift).
+    sigmoid_ops: Vec<HeOp>,
+    /// The weight-update ops.
+    update_ops: Vec<HeOp>,
+}
+
+impl MiniatureIteration {
+    /// Plans one single-sample iteration at a reduced parameter set and splits it by phase.
+    fn plan() -> Self {
+        let params = CkksParams::builder()
+            .log_n(12)
+            .scale_bits(40)
+            .first_prime_bits(60)
+            .max_level(12)
+            .dnum(4)
+            .secret_hamming_weight(Some(64))
+            .security_bits(0)
+            .build()
+            .expect("miniature parameters are valid");
+        let ctx = fab_ckks::CkksContext::new_arc(params).expect("miniature context");
+        let trace = crate::planned_iteration_trace(&ctx, 16, 1, 1.0)
+            .expect("miniature iteration plans within the level budget");
+        let phase_ops = |label: &str| -> Vec<HeOp> {
+            trace
+                .phase_ops(label)
+                .map(<[HeOp]>::to_vec)
+                .unwrap_or_default()
+        };
+        let forward = phase_ops(fab_trace::phase::LR_FORWARD);
+        let gradient = phase_ops(fab_trace::phase::LR_GRADIENT);
+        let data_touches = [&forward, &gradient]
+            .into_iter()
+            .flatten()
+            .filter(|op| matches!(op, HeOp::MultiplyPlain { .. }))
+            .count();
+        Self {
+            data_touches,
+            sigmoid_ops: phase_ops(fab_trace::phase::LR_SIGMOID),
+            update_ops: phase_ops(fab_trace::phase::LR_UPDATE),
+        }
+    }
+
+    /// Relabels a phase's ops so its first op sits at `target_level` and subsequent ops keep
+    /// their level distance to it (the benchmark iteration runs just above the bootstrapping
+    /// floor rather than at the miniature's top level).
+    fn relabel(&self, ops: &[HeOp], target_level: usize) -> Vec<HeOp> {
+        let first = ops.iter().find_map(HeOp::level).unwrap_or(0);
+        ops.iter()
+            .map(|op| {
+                let remap = |level: usize| target_level.saturating_sub(first.saturating_sub(level));
+                match *op {
+                    HeOp::Add { level } => HeOp::Add {
+                        level: remap(level),
+                    },
+                    HeOp::MultiplyPlain { level } => HeOp::MultiplyPlain {
+                        level: remap(level),
+                    },
+                    HeOp::Multiply { level } => HeOp::Multiply {
+                        level: remap(level),
+                    },
+                    HeOp::Rescale { level } => HeOp::Rescale {
+                        level: remap(level),
+                    },
+                    HeOp::Rotate { level } => HeOp::Rotate {
+                        level: remap(level),
+                    },
+                    HeOp::RotateHoisted { level } => HeOp::RotateHoisted {
+                        level: remap(level),
+                    },
+                    HeOp::Conjugate { level } => HeOp::Conjugate {
+                        level: remap(level),
+                    },
+                    HeOp::Ntt { count } => HeOp::Ntt { count },
+                }
+            })
+            .collect()
+    }
 }
 
 /// Bootstrapping trace for a sparsely-packed ciphertext: identical pipeline to the fully-packed

@@ -130,11 +130,7 @@ impl AutomorphismMap {
 /// # Errors
 ///
 /// Propagates the construction errors of [`AutomorphismMap::new`].
-pub fn apply_automorphism(
-    coeffs: &[u64],
-    element: u64,
-    modulus: &Modulus,
-) -> Result<Vec<u64>> {
+pub fn apply_automorphism(coeffs: &[u64], element: u64, modulus: &Modulus) -> Result<Vec<u64>> {
     let map = AutomorphismMap::new(coeffs.len(), element)?;
     Ok(map.apply(coeffs, modulus))
 }
@@ -197,7 +193,8 @@ mod tests {
         let coeffs: Vec<u64> = (1..=n as u64).collect();
         let g1 = 5u64;
         let g2 = 25u64;
-        let once = apply_automorphism(&apply_automorphism(&coeffs, g1, &q).unwrap(), g1, &q).unwrap();
+        let once =
+            apply_automorphism(&apply_automorphism(&coeffs, g1, &q).unwrap(), g1, &q).unwrap();
         let combined = apply_automorphism(&coeffs, g2, &q).unwrap();
         assert_eq!(once, combined);
         let _ = g2;
@@ -209,7 +206,8 @@ mod tests {
         let n = 64;
         let coeffs: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
         let g = galois_element_for_conjugation(n);
-        let twice = apply_automorphism(&apply_automorphism(&coeffs, g, &q).unwrap(), g, &q).unwrap();
+        let twice =
+            apply_automorphism(&apply_automorphism(&coeffs, g, &q).unwrap(), g, &q).unwrap();
         assert_eq!(twice, coeffs);
     }
 

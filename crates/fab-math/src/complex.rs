@@ -158,6 +158,7 @@ impl Mul<f64> for Complex64 {
 impl Div for Complex64 {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via multiplication by the reciprocal
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

@@ -68,7 +68,10 @@ impl fmt::Display for MathError {
                 write!(f, "element {value} is not invertible modulo {modulus}")
             }
             MathError::InvalidGaloisElement { element, degree } => {
-                write!(f, "invalid galois element {element} for ring degree {degree}")
+                write!(
+                    f,
+                    "invalid galois element {element} for ring degree {degree}"
+                )
             }
         }
     }

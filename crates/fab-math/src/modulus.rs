@@ -58,9 +58,9 @@ impl Modulus {
         // floor(2^128 / q) computed via 128-bit long division in two halves.
         let q = value as u128;
         let hi = (u128::MAX / q) as u64; // floor((2^128 - 1)/q) high part approximation
-        // Compute floor(2^128 / q) exactly: 2^128 = q * floor + rem.
-        // floor(2^128 / q) = floor((2^128 - 1)/q) unless q divides 2^128 (impossible for q>2 odd-ish)
-        // but q may be even; handle exactly:
+                                         // Compute floor(2^128 / q) exactly: 2^128 = q * floor + rem.
+                                         // floor(2^128 / q) = floor((2^128 - 1)/q) unless q divides 2^128 (impossible for q>2 odd-ish)
+                                         // but q may be even; handle exactly:
         let floor_div = if (u128::MAX % q) == q - 1 {
             (u128::MAX / q) + 1
         } else {

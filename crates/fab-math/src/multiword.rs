@@ -237,7 +237,13 @@ mod tests {
     fn mod_add_matches_reference() {
         let mw = unit();
         let q = mw.modulus().value();
-        for (a, b) in [(0, 0), (q - 1, q - 1), (q - 1, 1), (q / 2, q / 2 + 1), (12345, 67890)] {
+        for (a, b) in [
+            (0, 0),
+            (q - 1, q - 1),
+            (q - 1, 1),
+            (q / 2, q / 2 + 1),
+            (12345, 67890),
+        ] {
             assert_eq!(mw.mod_add(a, b), mw.modulus().add(a, b));
         }
     }
@@ -255,7 +261,12 @@ mod tests {
     fn widening_mul_matches_native() {
         let mw = unit();
         let q = mw.modulus().value();
-        for (a, b) in [(q - 1, q - 1), (q - 1, 2), (0, q - 1), (123456789, 987654321)] {
+        for (a, b) in [
+            (q - 1, q - 1),
+            (q - 1, 2),
+            (0, q - 1),
+            (123456789, 987654321),
+        ] {
             assert_eq!(mw.widening_mul(a, b), a as u128 * b as u128);
         }
     }

@@ -82,7 +82,10 @@ impl NttTable {
             power = modulus.mul(power, psi);
             power_inv = modulus.mul(power_inv, psi_inv);
         }
-        let psi_rev_shoup = psi_rev.iter().map(|&w| modulus.shoup_precompute(w)).collect();
+        let psi_rev_shoup = psi_rev
+            .iter()
+            .map(|&w| modulus.shoup_precompute(w))
+            .collect();
         let psi_inv_rev_shoup = psi_inv_rev
             .iter()
             .map(|&w| modulus.shoup_precompute(w))
@@ -234,12 +237,12 @@ mod tests {
     fn schoolbook_negacyclic(a: &[u64], b: &[u64], modulus: &Modulus) -> Vec<u64> {
         let n = a.len();
         let mut out = vec![0u64; n];
-        for i in 0..n {
-            if a[i] == 0 {
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
                 continue;
             }
-            for j in 0..n {
-                let prod = modulus.mul(a[i], b[j]);
+            for (j, &bj) in b.iter().enumerate() {
+                let prod = modulus.mul(ai, bj);
                 let k = i + j;
                 if k < n {
                     out[k] = modulus.add(out[k], prod);

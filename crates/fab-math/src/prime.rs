@@ -104,7 +104,7 @@ pub fn generate_ntt_primes(bits: u32, degree: usize, count: usize) -> Result<Vec
             reason: "degree must be a nonzero power of two",
         });
     }
-    if bits < 10 || bits > 62 {
+    if !(10..=62).contains(&bits) {
         return Err(MathError::InvalidModulus {
             modulus: bits as u64,
             reason: "prime bit-width must be between 10 and 62",

@@ -77,13 +77,13 @@ impl ShiftAddReducer {
     /// Returns the storage footprint of the `madd` table in bytes (one `log q`-bit word per entry,
     /// rounded up to bytes), as reported by the paper for the 32-limb configuration.
     pub fn table_bytes(&self) -> usize {
-        self.madd.len() * ((self.log_q as usize + 7) / 8)
+        self.madd.len() * (self.log_q as usize).div_ceil(8)
     }
 
     /// Returns the number of shift-add iterations the hardware performs (`ceil(log q / shifts)`),
     /// i.e. the latency in "shift steps" before the final correction addition.
     pub fn iterations(&self) -> u32 {
-        (self.log_q + self.shifts - 1) / self.shifts
+        self.log_q.div_ceil(self.shifts)
     }
 
     /// Reduces a `(2·log q)`-bit product into `[0, q)` using only shifts and additions.
@@ -96,10 +96,7 @@ impl ShiftAddReducer {
     ///
     /// Debug-asserts that the input fits in `2·log q` bits (the width of a modular product).
     pub fn reduce(&self, a: u128) -> u64 {
-        debug_assert!(
-            a >> (2 * self.log_q) == 0,
-            "input must fit in 2*log_q bits"
-        );
+        debug_assert!(a >> (2 * self.log_q) == 0, "input must fit in 2*log_q bits");
         let mask = (1u128 << self.log_q) - 1;
         let a0 = (a & mask) as u64;
         let mut a1 = (a >> self.log_q) as u64;

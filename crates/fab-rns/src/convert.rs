@@ -263,7 +263,14 @@ mod tests {
         let (source, target) = bases();
         let conv = BasisConverter::new(&source, &target).unwrap();
         let q_product: u128 = source.values().iter().map(|&q| q as u128).product();
-        for value in [0u128, 1, 12345, q_product - 1, q_product / 2, q_product / 3 * 2] {
+        for value in [
+            0u128,
+            1,
+            12345,
+            q_product - 1,
+            q_product / 2,
+            q_product / 3 * 2,
+        ] {
             let limbs = encode_value(value, &source, 16);
             let out = conv.convert(&limbs);
             for (j, pj) in target.moduli().iter().enumerate() {
@@ -271,13 +278,16 @@ mod tests {
                 // got ≡ value + u*Q (mod p_j) for some 0 ≤ u < source_len.
                 let mut matched = false;
                 for u in 0..=source.len() as u128 {
-                    let expected = ((value + u * q_product) % pj.value() as u128) as u128;
+                    let expected = (value + u * q_product) % pj.value() as u128;
                     if expected == got {
                         matched = true;
                         break;
                     }
                 }
-                assert!(matched, "value {value}: no valid overshoot for target limb {j}");
+                assert!(
+                    matched,
+                    "value {value}: no valid overshoot for target limb {j}"
+                );
             }
         }
     }
@@ -320,8 +330,8 @@ mod tests {
         let limbs = encode_value(987654321, &source, 16);
         let hoisted = conv.hoisted_products(&limbs);
         let full = conv.convert(&limbs);
-        for j in 0..target.len() {
-            assert_eq!(conv.accumulate_target_limb(&hoisted, j), full[j]);
+        for (j, full_limb) in full.iter().enumerate() {
+            assert_eq!(&conv.accumulate_target_limb(&hoisted, j), full_limb);
         }
     }
 

@@ -156,7 +156,7 @@ pub fn mod_down(
 
     // P^{-1} mod q_i.
     let mut out_limbs = Vec::with_capacity(l);
-    for i in 0..l {
+    for (i, converted_limb) in converted.iter().enumerate().take(l) {
         let qi = q_basis.modulus(i);
         let mut p_mod_qi = 1u64;
         for p in p_basis.values() {
@@ -164,9 +164,10 @@ pub fn mod_down(
         }
         let p_inv = qi.inv(p_mod_qi)?;
         let p_inv_shoup = qi.shoup_precompute(p_inv);
-        let limb: Vec<u64> = poly.limb(i)
+        let limb: Vec<u64> = poly
+            .limb(i)
             .iter()
-            .zip(converted[i].iter())
+            .zip(converted_limb.iter())
             .map(|(&x, &c)| qi.mul_shoup(qi.sub(x, c), p_inv, p_inv_shoup))
             .collect();
         out_limbs.push(limb);
@@ -213,7 +214,8 @@ pub fn rescale(poly: &RnsPolynomial, q_basis: &RnsBasis) -> Result<RnsPolynomial
         let qi = q_basis.modulus(i);
         let q_last_inv = qi.inv(qi.reduce(q_last.value()))?;
         let q_last_inv_shoup = qi.shoup_precompute(q_last_inv);
-        let limb: Vec<u64> = poly.limb(i)
+        let limb: Vec<u64> = poly
+            .limb(i)
             .iter()
             .zip(last_limb.iter())
             .map(|(&x, &c_last)| {
@@ -329,7 +331,10 @@ mod tests {
                 break;
             }
         }
-        assert!(matched, "mod_down result {got} not within error of value + u*Q_digit");
+        assert!(
+            matched,
+            "mod_down result {got} not within error of value + u*Q_digit"
+        );
     }
 
     #[test]
@@ -345,7 +350,7 @@ mod tests {
             .iter()
             .map(|m| {
                 let mut limb = vec![0u64; 16];
-                let mut r = (value % m.value() as i128) as i128;
+                let mut r = value % m.value() as i128;
                 if r < 0 {
                     r += m.value() as i128;
                 }

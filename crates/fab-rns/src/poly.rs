@@ -395,7 +395,11 @@ mod tests {
         let limbs = basis
             .moduli()
             .iter()
-            .map(|m| (0..basis.degree()).map(|_| rng.gen_range(0..m.value())).collect())
+            .map(|m| {
+                (0..basis.degree())
+                    .map(|_| rng.gen_range(0..m.value()))
+                    .collect()
+            })
             .collect();
         RnsPolynomial::from_limbs(limbs, Representation::Coefficient)
     }
@@ -443,7 +447,9 @@ mod tests {
         let mut prod = x.mul(&y, &b).unwrap();
         prod.to_coefficient(&b);
         for i in 0..b.len() {
-            let expected = b.table(i).negacyclic_multiply(x_coeff.limb(i), y_coeff.limb(i));
+            let expected = b
+                .table(i)
+                .negacyclic_multiply(x_coeff.limb(i), y_coeff.limb(i));
             assert_eq!(prod.limb(i), &expected[..]);
         }
     }

@@ -1,6 +1,6 @@
-//! Quickstart: encrypt two vectors, compute on them homomorphically, decrypt — then ask the
-//! FAB accelerator model what the same operations would cost on the FPGA at the paper's full
-//! parameter set.
+//! Quickstart: encrypt two vectors, compute on them homomorphically while *recording* the
+//! operation trace, decrypt — then feed the recorded trace to the FAB accelerator model to see
+//! what the very same operations would cost on the FPGA at the paper's full parameter set.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -17,9 +17,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let encoder = Encoder::new(ctx.clone());
     let encryptor = Encryptor::new(ctx.clone(), keygen.public_key(&mut rng));
     let decryptor = Decryptor::new(ctx.clone(), sk);
-    let evaluator = Evaluator::new(ctx.clone());
     let rlk = keygen.relinearization_key(&mut rng);
     let gks = keygen.galois_keys(&[1], false, &mut rng)?;
+
+    // The evaluator reports every operation it executes to the attached sink.
+    let sink = RecordingSink::shared("quickstart session");
+    let evaluator = Evaluator::with_sink(ctx.clone(), sink.clone());
 
     let scale = ctx.params().default_scale();
     let xs = vec![1.5, -2.0, 3.25, 0.5];
@@ -47,12 +50,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &encoder.decode_real(&decryptor.decrypt(&rotated)?)[..4]
     );
 
-    // --- what would this cost on FAB at the paper's parameter set? -------------------------
+    // --- the recorded trace ----------------------------------------------------------------
+    let trace = sink.take();
+    let counts = trace.counts();
+    println!(
+        "\nrecorded trace: {} ops (add {}, mult {}, rescale {}, rotate {})",
+        trace.len(),
+        counts.add,
+        counts.multiply,
+        counts.rescale,
+        counts.rotate
+    );
+
+    // --- what would exactly this execution cost on FAB at the paper's parameter set? -------
+    // The recorded ops carry the testing set's levels; the model prices each op at the
+    // configured parameter set, so the same trace can be costed at full scale.
     let config = FabConfig::alveo_u280();
     let paper = CkksParams::fab_paper();
     let model = OpCostModel::new(config.clone(), paper.clone());
-    let top = paper.max_level;
+    let cost = model.cost_trace(&trace);
     println!("\nFAB model at N = 2^16, 24 limbs, 300 MHz:");
+    println!("  recorded session : {:.3} ms total", cost.time_ms(&config));
+    println!("  NTT invocations  : {}", cost.ntt_count);
+    println!("  HBM traffic      : {:.2} MB", cost.hbm_bytes as f64 / 1e6);
+
+    // Individual op latencies (Table 5 shape), for reference.
+    let top = paper.max_level;
     println!("  Add     : {:.3} ms", model.add(top).time_ms(&config));
     println!("  Mult    : {:.3} ms", model.multiply(top).time_ms(&config));
     println!("  Rescale : {:.3} ms", model.rescale(top).time_ms(&config));

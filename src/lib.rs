@@ -6,6 +6,29 @@
 //! logistic-regression application under one roof, so examples and downstream users only need
 //! a single dependency.
 //!
+//! ## The trace-recording loop
+//!
+//! The workspace is organised around one seam: every homomorphic execution can *record* the
+//! operations it performs (as [`trace::OpTrace`]), and the accelerator model *costs* exactly
+//! those recorded operations — so the modelled FPGA numbers can never silently drift away
+//! from what the scheme really executes.
+//!
+//! 1. Build an instrumented evaluator ([`ckks::Evaluator::with_sink`]), bootstrapper
+//!    ([`ckks::Bootstrapper::with_sink`]) or encrypted trainer
+//!    ([`logistic_regression::EncryptedLogisticRegression::with_sink`]) with a
+//!    [`trace::RecordingSink`] (or a cheap always-on [`trace::CountingSink`]).
+//! 2. Run the real encrypted computation; the sink observes one [`trace::HeOp`] per semantic
+//!    operation, phase-marked with the labels of [`trace::phase`].
+//! 3. Feed the recorded trace to [`accelerator::OpCostModel::cost_trace`] (or
+//!    [`accelerator::OpCostModel::phase_costs`]) to get modelled FPGA cycles, NTT counts, HBM
+//!    traffic and wall-clock time at any parameter set.
+//!
+//! Analytic workloads remain available (e.g. [`accelerator::workload::bootstrap_trace`] for
+//! the FPGA-scheduled fully-packed bootstrap), and every software-faithful analytic trace has
+//! a *recorded counterpart test* asserting exact per-phase agreement — see
+//! [`ckks::Bootstrapper::predicted_trace`] and
+//! [`logistic_regression::planned_iteration_trace`].
+//!
 //! ```
 //! use fab::prelude::*;
 //! use rand::SeedableRng;
@@ -17,10 +40,20 @@
 //! let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
 //! let encoder = Encoder::new(ctx.clone());
 //! let encryptor = Encryptor::new(ctx.clone(), keygen.public_key(&mut rng));
-//! let decryptor = Decryptor::new(ctx.clone(), sk);
-//! let ct = encryptor.encrypt(&encoder.encode_real(&[1.0, 2.0], ctx.params().default_scale(), 2)?, &mut rng)?;
-//! let values = encoder.decode_real(&decryptor.decrypt(&ct)?);
-//! assert!((values[0] - 1.0).abs() < 1e-3);
+//! let rlk = keygen.relinearization_key(&mut rng);
+//!
+//! // Record a real encrypted computation...
+//! let sink = RecordingSink::shared("session");
+//! let evaluator = Evaluator::with_sink(ctx.clone(), sink.clone());
+//! let scale = ctx.params().default_scale();
+//! let x = encryptor.encrypt(&encoder.encode_real(&[1.0, 2.0], scale, 3)?, &mut rng)?;
+//! let product = evaluator.multiply_rescale(&x, &x, &rlk)?;
+//!
+//! // ...and ask the accelerator model what it costs on FAB at the paper's parameters.
+//! let trace = sink.take();
+//! assert_eq!(trace.counts().multiply, 1);
+//! let model = OpCostModel::new(FabConfig::alveo_u280(), CkksParams::fab_paper());
+//! assert!(model.cost_trace(&trace).time_ms(&FabConfig::alveo_u280()) > 0.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -28,28 +61,37 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Arithmetic substrate: modular arithmetic, NTT, special FFT, automorphisms.
-pub use fab_math as math;
-/// Residue-number-system substrate: bases, polynomials, basis conversion, ModUp/ModDown.
-pub use fab_rns as rns;
-/// The RNS-CKKS scheme with hybrid key switching and bootstrapping.
+/// The RNS-CKKS scheme with hybrid key switching, bootstrapping, and the execute/plan seam.
 pub use fab_ckks as ckks;
 /// The FAB accelerator model (cost model, memory model, resources, design space, baselines).
 pub use fab_core as accelerator;
 /// Encrypted logistic regression (the paper's target application).
 pub use fab_lr as logistic_regression;
+/// Arithmetic substrate: modular arithmetic, NTT, special FFT, automorphisms.
+pub use fab_math as math;
+/// Residue-number-system substrate: bases, polynomials, basis conversion, ModUp/ModDown.
+pub use fab_rns as rns;
+/// Shared op vocabulary ([`trace::HeOp`], [`trace::OpTrace`]) and trace sinks.
+pub use fab_trace as trace;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use fab_ckks::{
         Bootstrapper, Ciphertext, CkksContext, CkksParams, Decryptor, Encoder, Encryptor,
-        Evaluator, GaloisKeys, KeyGenerator, Plaintext, PublicKey, RelinearizationKey, SecretKey,
+        EvalBackend, Evaluator, ExecBackend, GaloisKeys, KeyGenerator, Plaintext, PlanBackend,
+        PlanCiphertext, PublicKey, RelinearizationKey, SecretKey,
     };
     pub use fab_core::{
         FabConfig, KeySwitchDatapath, MultiFpgaSystem, OpCost, OpCostModel, ResourceEstimator,
+        TraceCost,
     };
-    pub use fab_lr::{synthetic_mnist_like, EncryptedLogisticRegression, LogisticRegressionTrainer};
+    pub use fab_lr::{
+        synthetic_mnist_like, EncryptedLogisticRegression, LogisticRegressionTrainer,
+    };
     pub use fab_math::Complex64;
+    pub use fab_trace::{
+        CountingSink, HeOp, NoopSink, OpCounts, OpTrace, RecordingSink, TraceSink,
+    };
 }
 
 #[cfg(test)]
@@ -63,5 +105,8 @@ mod tests {
         let data = crate::logistic_regression::synthetic_mnist_like(10, 4, 1);
         assert_eq!(data.len(), 10);
         assert!(crate::math::is_prime(65537));
+        let sink = crate::trace::RecordingSink::new("wired");
+        crate::trace::TraceSink::record(&sink, crate::trace::HeOp::Add { level: 1 });
+        assert_eq!(sink.snapshot().len(), 1);
     }
 }

@@ -105,7 +105,10 @@ fn design_space_choices_match_the_paper() {
 fn resource_estimate_fits_the_u280() {
     let estimate = ResourceEstimator::new().estimate(&FabConfig::alveo_u280());
     assert!(estimate.fits());
-    assert!(estimate.uram_percent() > 95.0, "URAM is the binding resource");
+    assert!(
+        estimate.uram_percent() > 95.0,
+        "URAM is the binding resource"
+    );
     assert!(estimate.bram_percent() > 90.0);
     assert!(estimate.dsp_percent() < 100.0);
 }
@@ -119,7 +122,7 @@ fn scaling_up_functional_units_approaches_asic_performance() {
     let u280 = OpCostModel::new(FabConfig::alveo_u280(), params.clone());
     let scaled = OpCostModel::new(FabConfig::bts_class_scaling(), params.clone());
     let level = params.max_level;
-    let speedup = u280.multiply(level).total_cycles as f64
-        / scaled.multiply(level).total_cycles as f64;
+    let speedup =
+        u280.multiply(level).total_cycles as f64 / scaled.multiply(level).total_cycles as f64;
     assert!(speedup > 4.0, "BTS-class scaling speedup {speedup}");
 }

@@ -51,11 +51,17 @@ fn polynomial_evaluation_pipeline_end_to_end() {
     let ys: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.05).cos() * 0.5).collect();
     let ct_x = f
         .encryptor
-        .encrypt(&f.encoder.encode_real(&xs, scale, level).unwrap(), &mut f.rng)
+        .encrypt(
+            &f.encoder.encode_real(&xs, scale, level).unwrap(),
+            &mut f.rng,
+        )
         .unwrap();
     let ct_y = f
         .encryptor
-        .encrypt(&f.encoder.encode_real(&ys, scale, level).unwrap(), &mut f.rng)
+        .encrypt(
+            &f.encoder.encode_real(&ys, scale, level).unwrap(),
+            &mut f.rng,
+        )
         .unwrap();
 
     let xy = f.evaluator.multiply_rescale(&ct_x, &ct_y, &f.rlk).unwrap();

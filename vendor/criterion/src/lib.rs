@@ -1,0 +1,223 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API this workspace uses.
+//!
+//! The container has no registry access, so `fab-bench` links against this minimal harness:
+//! it runs each benchmark closure for a short, fixed measurement budget and prints mean
+//! iteration times to stdout. There is no statistical analysis, HTML report, or comparison
+//! baseline — the numbers are indicative only, but the benchmark *code* stays identical to
+//! what real criterion would run, so swapping the real crate back in is a one-line change.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value (best-effort, stable-Rust version).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warmup iteration, then the measured samples.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iterations = self.samples;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iterations == 0 {
+            println!("{name}: no measurement recorded");
+            return;
+        }
+        let mean = self.total.as_secs_f64() / self.iterations as f64;
+        println!(
+            "{name}: mean {:.3} ms over {} iterations",
+            mean * 1e3,
+            self.iterations
+        );
+    }
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut routine: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        bencher.report(&name);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        routine(&mut bencher, input);
+        bencher.report(&name);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.effective_samples();
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.effective_samples(),
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        bencher.report(&format!("{id}"));
+        self
+    }
+
+    /// Sets the default number of measured iterations.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.default_samples = samples as u64;
+        self
+    }
+
+    fn effective_samples(&self) -> u64 {
+        if self.default_samples == 0 {
+            10
+        } else {
+            self.default_samples
+        }
+    }
+}
+
+/// Declares the benchmark entry-point group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("square", |b| b.iter(|| black_box(7u64) * 7));
+        group.bench_with_input(BenchmarkId::new("with_input", 5), &5u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, demo);
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+}
