@@ -29,6 +29,7 @@ fn software_bootstrap(c: &mut Criterion) {
             eval_mod_degree: 159,
             k_range: 16.0,
             fft_iter: 3,
+            sparse_slots: None,
         },
     )
     .unwrap();

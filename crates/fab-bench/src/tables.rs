@@ -6,7 +6,8 @@
 
 use std::fmt::Write as _;
 
-use fab_ckks::CkksParams;
+use fab_ckks::linear_transform::coeff_to_slot_offset_sets;
+use fab_ckks::{BsgsPlan, CkksParams};
 use fab_core::baselines::{
     table4_resources, table7_bootstrapping, table8_lr_training, HELR_TASK,
     LEVELED_FHE_CLIENT_ENCRYPT_S, TABLE5_FAB_REPORTED, TABLE5_GPU, TABLE6_FAB_REPORTED,
@@ -189,6 +190,37 @@ fn figure2() -> String {
             pt.bootstrap_ms,
             pt.ntt_operations,
             pt.amortized_mult_us
+        )
+        .unwrap();
+    }
+    // The rotation schedule behind the sweep: per-diagonal vs the exact BSGS plans of the
+    // CoeffToSlot stages (the schedule the software pipeline executes and fab-core prices).
+    writeln!(
+        out,
+        "\nCoeffToSlot key-switched rotations at N = 2^{} (per-diagonal -> BSGS+hoisting):",
+        p.log_n
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<8} {:<14} {:<12} {:<10}",
+        "fftIter", "per-diagonal", "BSGS", "reduction"
+    )
+    .unwrap();
+    for fft_iter in [1usize, 2, 3, 4, 5, 6] {
+        let mut naive = 0usize;
+        let mut bsgs = 0usize;
+        for offsets in coeff_to_slot_offset_sets(p.slot_count(), fft_iter) {
+            naive += offsets.iter().filter(|&&d| d != 0).count();
+            bsgs += BsgsPlan::for_offsets(p.slot_count(), &offsets).rotation_count();
+        }
+        writeln!(
+            out,
+            "{:<8} {:<14} {:<12} {:<10.2}",
+            fft_iter,
+            naive,
+            bsgs,
+            naive as f64 / bsgs as f64
         )
         .unwrap();
     }
@@ -508,6 +540,23 @@ mod tests {
             assert_eq!(Experiment::parse(name), Some(expected));
         }
         assert_eq!(Experiment::parse("table9"), None);
+    }
+
+    #[test]
+    fn figure2_reports_bsgs_rotation_reduction() {
+        let rendered = render_experiment(Experiment::Figure2);
+        assert!(rendered.contains("CoeffToSlot key-switched rotations"));
+        assert!(rendered.contains("per-diagonal"));
+        // Every sweep point must show a real reduction (the last column is > 1).
+        let reductions: Vec<f64> = rendered
+            .lines()
+            .skip_while(|l| !l.starts_with("fftIter"))
+            .skip_while(|l| !l.contains("reduction"))
+            .skip(1)
+            .filter_map(|l| l.split_whitespace().nth(3)?.parse().ok())
+            .collect();
+        assert_eq!(reductions.len(), 6);
+        assert!(reductions.iter().all(|&r| r > 1.5), "{reductions:?}");
     }
 
     #[test]

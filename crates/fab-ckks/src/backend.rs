@@ -69,6 +69,29 @@ pub trait EvalBackend {
     fn multiply_slots(&self, a: &Self::Ct, values: &[Complex64], pt_scale: f64)
         -> Result<Self::Ct>;
 
+    /// Multiplies by the plaintext `rot_{-shift}(values)` (i.e. `values` pre-rotated right by
+    /// `shift` slots) encoded at `pt_scale` — the BSGS giant-step diagonal shape. The default
+    /// materialises the shifted vector and defers to [`Self::multiply_slots`]; [`PlanBackend`]
+    /// overrides it to skip the O(n) copy, since shadows never read the values.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::multiply_slots`].
+    fn multiply_shifted_slots(
+        &self,
+        a: &Self::Ct,
+        values: &[Complex64],
+        shift: usize,
+        pt_scale: f64,
+    ) -> Result<Self::Ct> {
+        if shift == 0 {
+            return self.multiply_slots(a, values, pt_scale);
+        }
+        let n = values.len();
+        let shifted: Vec<Complex64> = (0..n).map(|j| values[(j + n - shift) % n]).collect();
+        self.multiply_slots(a, &shifted, pt_scale)
+    }
+
     /// Multiplies by a real slot-vector plaintext encoded at `pt_scale` (no rescale).
     fn multiply_real_slots(&self, a: &Self::Ct, values: &[f64], pt_scale: f64) -> Result<Self::Ct>;
 
@@ -89,6 +112,34 @@ pub trait EvalBackend {
 
     /// Rotation sharing a decomposition with a previous rotation of the same ciphertext.
     fn rotate_hoisted(&self, a: &Self::Ct, steps: usize) -> Result<Self::Ct>;
+
+    /// Rotates one ciphertext by every step in `steps`, sharing a single key-switch
+    /// decomposition across the batch (hoisting, Bossuat et al.): the first nonzero step is a
+    /// full rotation, every further nonzero step a hoisted one, and steps that are multiples
+    /// of the slot count are free clones. The default implementation defers to
+    /// [`Self::rotate`]/[`Self::rotate_hoisted`]; [`ExecBackend`] overrides it with the
+    /// evaluator's genuinely-shared Decomp→ModUp, emitting the *identical* op stream — which
+    /// is what keeps recorded executions and planned traces in op-for-op agreement.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::rotate`].
+    fn rotate_batch_hoisted(&self, a: &Self::Ct, steps: &[usize]) -> Result<Vec<Self::Ct>> {
+        let slots = self.ctx().slot_count();
+        let mut out = Vec::with_capacity(steps.len());
+        let mut first = true;
+        for &s in steps {
+            if s % slots == 0 {
+                out.push(a.clone());
+            } else if first {
+                first = false;
+                out.push(self.rotate(a, s)?);
+            } else {
+                out.push(self.rotate_hoisted(a, s)?);
+            }
+        }
+        Ok(out)
+    }
 
     /// Conjugation.
     fn conjugate(&self, a: &Self::Ct) -> Result<Self::Ct>;
@@ -241,6 +292,10 @@ impl EvalBackend for ExecBackend<'_> {
 
     fn rotate_hoisted(&self, a: &Ciphertext, steps: usize) -> Result<Ciphertext> {
         self.evaluator.rotate_hoisted(a, steps, self.keys()?)
+    }
+
+    fn rotate_batch_hoisted(&self, a: &Ciphertext, steps: &[usize]) -> Result<Vec<Ciphertext>> {
+        self.evaluator.rotate_hoisted_batch(a, steps, self.keys()?)
     }
 
     fn conjugate(&self, a: &Ciphertext) -> Result<Ciphertext> {
@@ -399,6 +454,17 @@ impl EvalBackend for PlanBackend {
         _values: &[Complex64],
         pt_scale: f64,
     ) -> Result<PlanCiphertext> {
+        self.multiply_const(a, Complex64::one(), pt_scale)
+    }
+
+    fn multiply_shifted_slots(
+        &self,
+        a: &PlanCiphertext,
+        _values: &[Complex64],
+        _shift: usize,
+        pt_scale: f64,
+    ) -> Result<PlanCiphertext> {
+        // Shadows never read the plaintext, so skip materialising the shifted diagonal.
         self.multiply_const(a, Complex64::one(), pt_scale)
     }
 

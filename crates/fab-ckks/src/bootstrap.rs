@@ -5,11 +5,27 @@
 //! modulus, homomorphically applies the inverse encoding FFT so the coefficients appear in the
 //! slots, removes the `q_0·I` multiples with a scaled-sine Chebyshev approximation, and applies
 //! the forward encoding FFT to return to coefficient form. The linear transforms are factored
-//! into `ﬀtIter` groups exactly as the paper's design-space study (Figure 2) parameterises.
+//! into `ﬀtIter` groups exactly as the paper's design-space study (Figure 2) parameterises, and
+//! every stage carries a [`crate::BsgsPlan`]: the software pipeline executes the same
+//! baby-step/giant-step + hoisting rotation schedule the FAB FPGA runs, so the recorded
+//! execution, the planned trace ([`Bootstrapper::predicted_trace`]) and the `fab-core`
+//! accelerator workload agree on rotation counts op for op.
+//!
+//! ## Sparse-slot bootstrapping
+//!
+//! When [`BootstrapParams::sparse_slots`] is set to `s < N/2`, the pipeline bootstraps a
+//! ciphertext whose message occupies only the first `s` slots (the remaining slots must be
+//! zero — the packing `fab-lr` uses). After ModRaise a **SubSum** pass of `log2(n/s)`
+//! rotate-and-adds projects the raised polynomial onto the `s`-periodic subring; the linear
+//! transforms then factor the *sub*-FFT over `s` slots (tiled block-wise across the full slot
+//! vector), so CoeffToSlot/SlotToCoeff span only `log2(s)` butterfly levels and need far fewer
+//! rotations. The integer multiples folded together by SubSum grow like `√(n/s)`, which is why
+//! the sine range of [`BootstrapParams::sparse_for_scheme`] widens accordingly. The refreshed
+//! ciphertext carries the message replicated every `s` slots.
 
 use std::sync::Arc;
 
-use fab_math::Complex64;
+use fab_math::{Complex64, SpecialFft};
 use fab_trace::{noop_sink, phase, HeOp, OpTrace, TraceSink};
 
 use crate::backend::{EvalBackend, ExecBackend, PlanBackend, PlanCiphertext};
@@ -30,6 +46,10 @@ pub struct BootstrapParams {
     /// Number of grouped linear-transform stages per direction (`0` keeps one stage per
     /// butterfly level; the paper's `ﬀtIter` corresponds to this group count).
     pub fft_iter: usize,
+    /// Bootstrap a sparsely-packed ciphertext whose message occupies only the first
+    /// `sparse_slots` slots (a power of two; the remaining slots must be zero). `None`
+    /// bootstraps the fully-packed slot vector.
+    pub sparse_slots: Option<usize>,
 }
 
 impl Default for BootstrapParams {
@@ -38,6 +58,7 @@ impl Default for BootstrapParams {
             eval_mod_degree: 159,
             k_range: 16.0,
             fft_iter: 3,
+            sparse_slots: None,
         }
     }
 }
@@ -50,13 +71,48 @@ impl BootstrapParams {
             Some(h) => ((h as f64).sqrt() * 2.5).max(12.0),
             None => 34.0,
         };
-        // Degree grows roughly linearly with the sine range 2π(K+1).
-        let degree = ((2.0 * std::f64::consts::PI * (k_range + 1.0)) * 1.4).ceil() as usize + 16;
         Self {
-            eval_mod_degree: degree.next_power_of_two().max(64) - 1,
+            eval_mod_degree: Self::degree_for_range(k_range),
             k_range,
             fft_iter: params.fft_iter,
+            sparse_slots: None,
         }
+    }
+
+    /// Derives parameters for bootstrapping a sparsely-packed ciphertext with `slots` used
+    /// slots. The SubSum projection folds `n/slots` of the ModRaise integers together, so the
+    /// sine range widens by `√(n/slots)` (their typical growth) and the approximation degree
+    /// follows.
+    ///
+    /// The degree is capped at 511: production bootstrappers keep the sine degree near the
+    /// dense-key baseline at large packing ratios with the double-angle range reduction
+    /// (Bossuat et al.), which this software pipeline does not implement yet — at the
+    /// benchmark ratios the pipeline is only *planned* (for the accelerator model), while
+    /// every ratio the tests execute stays under the cap and is value-correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is not a power of two or exceeds the slot count.
+    pub fn sparse_for_scheme(params: &crate::CkksParams, slots: usize) -> Self {
+        assert!(
+            slots.is_power_of_two() && slots <= params.slot_count(),
+            "sparse slot count must be a power of two within the slot vector"
+        );
+        let base = Self::for_scheme(params);
+        let ratio = (params.slot_count() / slots) as f64;
+        let k_range = base.k_range * ratio.sqrt();
+        Self {
+            eval_mod_degree: Self::degree_for_range(k_range).min(511),
+            k_range,
+            fft_iter: params.fft_iter,
+            sparse_slots: Some(slots),
+        }
+    }
+
+    /// Sine degree for a given range: grows roughly linearly with `2π(K+1)`.
+    fn degree_for_range(k_range: f64) -> usize {
+        let degree = ((2.0 * std::f64::consts::PI * (k_range + 1.0)) * 1.4).ceil() as usize + 16;
+        degree.next_power_of_two().max(64) - 1
     }
 }
 
@@ -67,6 +123,8 @@ pub struct Bootstrapper {
     params: BootstrapParams,
     cts_stages: Vec<LinearTransform>,
     stc_stages: Vec<LinearTransform>,
+    /// Rotation steps of the SubSum doubling ladder (empty for fully-packed bootstraps).
+    subsum_steps: Vec<usize>,
     sine: ChebyshevSeries,
 }
 
@@ -106,9 +164,45 @@ impl Bootstrapper {
         sink: Arc<dyn TraceSink>,
     ) -> Result<Self> {
         let evaluator = Evaluator::with_sink(ctx.clone(), sink);
-        let fft = ctx.fft();
-        let mut cts_stages = coeff_to_slot_stages(fft, params.fft_iter);
-        let mut stc_stages = slot_to_coeff_stages(fft, params.fft_iter);
+        let slots = ctx.slot_count();
+        // Validate the window before choosing a pipeline, so an out-of-range request errors
+        // instead of silently building the fully-packed bootstrap.
+        if let Some(s) = params.sparse_slots {
+            if !s.is_power_of_two() || s < 2 || s > slots {
+                return Err(CkksError::InvalidParameters {
+                    reason: format!("sparse slot count {s} must be a power of two in [2, {slots}]"),
+                });
+            }
+        }
+        let (mut cts_stages, mut stc_stages, subsum_steps) = match params.sparse_slots {
+            Some(s) if s < slots => {
+                // Factor the sub-FFT over the s used slots and tile its diagonals block-wise
+                // over the full slot vector; SubSum makes the input s-periodic first.
+                let sub_fft = SpecialFft::new(2 * s).map_err(|e| CkksError::InvalidParameters {
+                    reason: format!("sparse sub-FFT: {e}"),
+                })?;
+                let cts: Vec<LinearTransform> = coeff_to_slot_stages(&sub_fft, params.fft_iter)
+                    .into_iter()
+                    .map(|stage| stage.tiled(slots))
+                    .collect();
+                let stc: Vec<LinearTransform> = slot_to_coeff_stages(&sub_fft, params.fft_iter)
+                    .into_iter()
+                    .map(|stage| stage.tiled(slots))
+                    .collect();
+                let steps: Vec<usize> =
+                    std::iter::successors(Some(s), |&step| (step * 2 < slots).then(|| step * 2))
+                        .collect();
+                (cts, stc, steps)
+            }
+            _ => {
+                let fft = ctx.fft();
+                (
+                    coeff_to_slot_stages(fft, params.fft_iter),
+                    slot_to_coeff_stages(fft, params.fft_iter),
+                    Vec::new(),
+                )
+            }
+        };
         // Fold the 1/2 of the real/imaginary extraction into the last CoeffToSlot stage so the
         // conjugation-based split needs no extra scalar multiplication.
         if let Some(last) = cts_stages.last_mut() {
@@ -146,14 +240,35 @@ impl Bootstrapper {
                 ),
             });
         }
-        Ok(Self {
+        // Every stage executes (and is costed) through its baby-step/giant-step plan: the
+        // software pipeline runs the FAB rotation schedule, not one key switch per diagonal.
+        let cts_stages = cts_stages
+            .into_iter()
+            .map(LinearTransform::with_bsgs_plan)
+            .collect();
+        let stc_stages = stc_stages
+            .into_iter()
+            .map(LinearTransform::with_bsgs_plan)
+            .collect();
+        let bootstrapper = Self {
             ctx,
             evaluator,
             params,
             cts_stages,
             stc_stages,
+            subsum_steps,
             sine,
-        })
+        };
+        // The `+ 8` slack above is only a fast pre-check; deep sine approximations consume
+        // more levels than it assumes. Planning the pipeline on shadow ciphertexts costs
+        // milliseconds and validates the exact budget, so a bootstrapper that cannot run is
+        // rejected here instead of failing mid-bootstrap.
+        if let Err(e) = bootstrapper.predicted_trace() {
+            return Err(CkksError::InvalidParameters {
+                reason: format!("parameter set cannot carry the bootstrap pipeline: {e}"),
+            });
+        }
+        Ok(bootstrapper)
     }
 
     /// The bootstrapping configuration.
@@ -161,13 +276,16 @@ impl Bootstrapper {
         &self.params
     }
 
-    /// The rotation steps required by the linear-transform stages (for Galois key generation).
+    /// The rotation steps required for Galois key generation: the union of every stage's
+    /// BSGS-decomposed baby/giant offsets plus the SubSum ladder (sparse bootstraps). The
+    /// plans keep this set near `2·√d` per stage instead of one key per diagonal.
     pub fn required_rotations(&self) -> Vec<usize> {
         let mut steps: Vec<usize> = self
             .cts_stages
             .iter()
             .chain(self.stc_stages.iter())
             .flat_map(|s| s.required_rotations())
+            .chain(self.subsum_steps.iter().copied())
             .collect();
         steps.sort_unstable();
         steps.dedup();
@@ -177,6 +295,27 @@ impl Bootstrapper {
     /// Number of linear-transform stages per direction.
     pub fn stage_counts(&self) -> (usize, usize) {
         (self.cts_stages.len(), self.stc_stages.len())
+    }
+
+    /// The BSGS plans of the CoeffToSlot stages, in application order.
+    pub fn coeff_to_slot_plans(&self) -> Vec<&crate::BsgsPlan> {
+        self.cts_stages
+            .iter()
+            .filter_map(LinearTransform::bsgs_plan)
+            .collect()
+    }
+
+    /// The BSGS plans of the SlotToCoeff stages, in application order.
+    pub fn slot_to_coeff_plans(&self) -> Vec<&crate::BsgsPlan> {
+        self.stc_stages
+            .iter()
+            .filter_map(LinearTransform::bsgs_plan)
+            .collect()
+    }
+
+    /// The rotation steps of the SubSum ladder (empty for fully-packed bootstraps).
+    pub fn subsum_steps(&self) -> &[usize] {
+        &self.subsum_steps
     }
 
     /// ModRaise: reinterprets a (nearly) exhausted ciphertext modulo `q_0` as a ciphertext over
@@ -330,8 +469,21 @@ impl Bootstrapper {
         raised: &B::Ct,
         message_scale: f64,
     ) -> Result<B::Ct> {
+        let raised = if self.subsum_steps.is_empty() {
+            raised.clone()
+        } else {
+            // SubSum (sparse packing): Σ_j rotate(ct, j·s) by doubling — projects the raised
+            // polynomial onto the s-periodic subring so the tiled sub-FFT stages apply.
+            backend.begin_phase(phase::SUB_SUM);
+            let mut acc = raised.clone();
+            for &step in &self.subsum_steps {
+                let rotated = backend.rotate(&acc, step)?;
+                acc = backend.add(&acc, &rotated)?;
+            }
+            acc
+        };
         backend.begin_phase(phase::COEFF_TO_SLOT);
-        let (real, imag) = self.coeff_to_slot_with(backend, raised)?;
+        let (real, imag) = self.coeff_to_slot_with(backend, &raised)?;
         backend.begin_phase(phase::EVAL_MOD);
         let real_reduced = self.sine.evaluate_with(backend, &real)?;
         let imag_reduced = self.sine.evaluate_with(backend, &imag)?;
@@ -411,6 +563,7 @@ mod tests {
                 eval_mod_degree: 159,
                 k_range: 16.0,
                 fft_iter: 3,
+                sparse_slots: None,
             },
         )
         .unwrap();
@@ -546,6 +699,24 @@ mod tests {
     }
 
     #[test]
+    fn bootstrapper_rejects_out_of_range_sparse_windows() {
+        let ctx = CkksContext::new_arc(CkksParams::bootstrap_testing()).unwrap();
+        for bad in [0usize, 1, 3, ctx.slot_count() * 2, ctx.slot_count() + 1] {
+            let params = BootstrapParams {
+                sparse_slots: Some(bad),
+                ..BootstrapParams::default()
+            };
+            assert!(
+                matches!(
+                    Bootstrapper::new(ctx.clone(), params),
+                    Err(CkksError::InvalidParameters { .. })
+                ),
+                "sparse_slots = {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn recorded_bootstrap_matches_predicted_trace_exactly() {
         // The closed loop: execute a real bootstrap through the instrumented evaluator and
         // compare the recorded op stream against the analytic plan of the same pipeline.
@@ -564,6 +735,7 @@ mod tests {
                 eval_mod_degree: 159,
                 k_range: 16.0,
                 fft_iter: 3,
+                sparse_slots: None,
             },
             sink.clone(),
         )
@@ -603,6 +775,116 @@ mod tests {
             );
         }
         // Beyond counts: the full ordered op streams (with levels) are identical.
+        assert_eq!(recorded.ops, predicted.ops);
+    }
+
+    #[test]
+    fn bsgs_schedule_cuts_bootstrap_keyswitches_below_per_diagonal_baseline() {
+        // The tentpole claim in miniature: the planned rotation schedule of the full pipeline
+        // performs far fewer key-switched rotations than one rotation per nonzero diagonal.
+        let f = fixture();
+        let predicted = f.bootstrapper.predicted_trace().unwrap();
+        let counts = predicted.counts();
+        let planned_rotations = counts.rotate + counts.rotate_hoisted;
+        let per_diagonal: usize = f
+            .bootstrapper
+            .coeff_to_slot_plans()
+            .iter()
+            .chain(f.bootstrapper.slot_to_coeff_plans().iter())
+            .map(|plan| {
+                plan.groups()
+                    .iter()
+                    .map(|g| g.babies.len())
+                    .sum::<usize>()
+                    .saturating_sub(usize::from(
+                        plan.groups()
+                            .iter()
+                            .any(|g| g.giant == 0 && g.babies.contains(&0)),
+                    ))
+            })
+            .sum();
+        assert!(
+            (planned_rotations as usize) < per_diagonal,
+            "BSGS schedule ({planned_rotations}) must beat per-diagonal ({per_diagonal})"
+        );
+        // Per stage: at most ⌈d/bs⌉ + bs rotations.
+        for plan in f
+            .bootstrapper
+            .coeff_to_slot_plans()
+            .iter()
+            .chain(f.bootstrapper.slot_to_coeff_plans().iter())
+        {
+            let d: usize = plan.groups().iter().map(|g| g.babies.len()).sum();
+            let bs = plan.baby_step();
+            assert!(plan.rotation_count() <= d.div_ceil(bs) + bs);
+        }
+    }
+
+    #[test]
+    fn sparse_bootstrap_refreshes_message_and_matches_predicted_trace() {
+        // Real sparse-slot bootstrap, recorded end to end: the message lives in the first s
+        // slots (zeros elsewhere), SubSum projects onto the subring, the tiled sub-FFT stages
+        // and EvalMod refresh it, the output carries the message replicated every s slots, and
+        // the recorded op stream equals the planned trace of the same pipeline exactly.
+        let ctx = CkksContext::new_arc(CkksParams::bootstrap_testing()).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(4242);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+        let pk = keygen.public_key(&mut rng);
+        let rlk = keygen.relinearization_key(&mut rng);
+        let s = 64usize;
+        let mut params = BootstrapParams::sparse_for_scheme(ctx.params(), s);
+        params.fft_iter = 3;
+        let sink = fab_trace::RecordingSink::shared("recorded sparse bootstrap");
+        let bootstrapper = Bootstrapper::with_sink(ctx.clone(), params, sink.clone()).unwrap();
+        assert_eq!(bootstrapper.subsum_steps(), &[64, 128, 256]);
+        assert_eq!(bootstrapper.stage_counts(), (3, 3));
+        let keys = keygen
+            .galois_keys(&bootstrapper.required_rotations(), true, &mut rng)
+            .unwrap();
+
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone(), pk);
+        let decryptor = Decryptor::new(ctx.clone(), sk);
+        let scale = ctx.params().default_scale();
+        let values: Vec<f64> = (0..s).map(|i| 0.35 * ((i as f64) * 0.21).sin()).collect();
+        let ct = encryptor
+            .encrypt(&encoder.encode_real(&values, scale, 0).unwrap(), &mut rng)
+            .unwrap();
+
+        let refreshed = bootstrapper.bootstrap(&ct, &rlk, &keys).unwrap();
+        assert!(refreshed.level() >= 2);
+        let decoded = encoder.decode_real(&decryptor.decrypt(&refreshed).unwrap());
+        for i in 0..s {
+            assert!(
+                (decoded[i] - values[i]).abs() < 5e-2,
+                "slot {i}: {} vs {}",
+                decoded[i],
+                values[i]
+            );
+            // The message is replicated into the next block.
+            assert!(
+                (decoded[s + i] - values[i]).abs() < 5e-2,
+                "replicated slot {}: {} vs {}",
+                s + i,
+                decoded[s + i],
+                values[i]
+            );
+        }
+
+        let recorded = sink.take();
+        let predicted = bootstrapper.predicted_trace().unwrap();
+        assert_eq!(
+            recorded.phase_labels(),
+            vec![
+                phase::MOD_RAISE,
+                phase::SUB_SUM,
+                phase::COEFF_TO_SLOT,
+                phase::EVAL_MOD,
+                phase::SLOT_TO_COEFF
+            ]
+        );
+        assert_eq!(recorded.phase_labels(), predicted.phase_labels());
         assert_eq!(recorded.ops, predicted.ops);
     }
 

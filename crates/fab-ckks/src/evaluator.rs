@@ -458,6 +458,97 @@ impl Evaluator {
         Ok(rotated)
     }
 
+    /// Rotates one ciphertext by every step in `steps` while performing the key-switch
+    /// Decomp → ModUp **once** for the whole batch (hoisting, Bossuat et al.): the raised
+    /// digits of `c1` are computed up front in coefficient form, and each rotation only pays
+    /// the automorphism permutation, the NTTs and the inner product with its own key. This is
+    /// the software realisation of the sharing FAB's scheduler exploits — the first step is
+    /// recorded as a full [`HeOp::Rotate`], every further nonzero step as
+    /// [`HeOp::RotateHoisted`], and steps that are multiples of the slot count are free
+    /// clones, exactly like the per-op path.
+    ///
+    /// Soundness of sharing: digit slicing commutes with the automorphism (it acts limb-wise),
+    /// and applying the automorphism to a ModUp output yields a valid lift of the
+    /// automorphised digit (the permutation preserves both the congruence and the norm bound),
+    /// so each rotation's key switch sees exactly the operand it requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::MissingKey`] if any step's Galois key is absent.
+    pub fn rotate_hoisted_batch(
+        &self,
+        a: &Ciphertext,
+        steps: &[usize],
+        keys: &GaloisKeys,
+    ) -> Result<Vec<Ciphertext>> {
+        let slots = self.ctx.slot_count();
+        if steps.iter().all(|s| s % slots == 0) {
+            return Ok(steps.iter().map(|_| a.clone()).collect());
+        }
+        let level = a.level;
+        let q_basis = self.ctx.basis_at_level(level)?;
+        let p_basis = self.ctx.p_basis();
+        let raised = self.ctx.raised_basis_at_level(level)?;
+        let total_q = self.ctx.q_basis().len();
+        let limbs = level + 1;
+
+        // Decomp + ModUp of c1, shared by every rotation in the batch.
+        let alpha = self.ctx.params().alpha();
+        let beta = limbs.div_ceil(alpha);
+        let mut raised_digits = Vec::with_capacity(beta);
+        for j in 0..beta {
+            let start = j * alpha;
+            let end = ((j + 1) * alpha).min(limbs);
+            let digit = RnsPolynomial::from_limbs(
+                a.c1.limbs()[start..end].to_vec(),
+                Representation::Coefficient,
+            );
+            let digit_basis = q_basis.slice(start..end)?;
+            raised_digits.push(ops::mod_up(&digit, &digit_basis, &q_basis, p_basis, start)?);
+        }
+
+        let mut out = Vec::with_capacity(steps.len());
+        let mut first = true;
+        for &s in steps {
+            let st = s % slots;
+            if st == 0 {
+                out.push(a.clone());
+                continue;
+            }
+            let element = galois_element_for_rotation(self.ctx.degree(), st);
+            let key = keys.get(element).ok_or_else(|| CkksError::MissingKey {
+                description: format!("rotation by {st} (galois element {element})"),
+            })?;
+            let mut acc0 =
+                RnsPolynomial::zero(a.c1.degree(), raised.len(), Representation::Evaluation);
+            let mut acc1 =
+                RnsPolynomial::zero(a.c1.degree(), raised.len(), Representation::Evaluation);
+            for (j, digit) in raised_digits.iter().enumerate() {
+                let mut extended = digit.automorphism(element, &raised)?;
+                extended.to_evaluation(&raised);
+                let (b_full, a_full) = key.component(j);
+                let b_j = restrict_key_poly(b_full, limbs, total_q, p_basis.len());
+                let a_j = restrict_key_poly(a_full, limbs, total_q, p_basis.len());
+                acc0 = acc0.add(&extended.mul(&b_j, &raised)?, &raised)?;
+                acc1 = acc1.add(&extended.mul(&a_j, &raised)?, &raised)?;
+            }
+            acc0.to_coefficient(&raised);
+            acc1.to_coefficient(&raised);
+            let k0 = ops::mod_down(&acc0, &q_basis, p_basis)?;
+            let k1 = ops::mod_down(&acc1, &q_basis, p_basis)?;
+            let c0 = a.c0.automorphism(element, &q_basis)?.add(&k0, &q_basis)?;
+            let rotated = Ciphertext::from_parts(c0, k1, a.scale, level);
+            self.record(if first {
+                HeOp::Rotate { level }
+            } else {
+                HeOp::RotateHoisted { level }
+            });
+            first = false;
+            out.push(rotated);
+        }
+        Ok(out)
+    }
+
     fn rotate_unrecorded(
         &self,
         a: &Ciphertext,
@@ -1029,6 +1120,49 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn hoisted_batch_shares_decomposition_and_matches_per_op_rotations() {
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        let sink = fab_trace::RecordingSink::shared("batch");
+        let evaluator = Evaluator::with_sink(ctx, sink.clone());
+        let mut f = fixture();
+        let values = sample_values(16, 23.0);
+        let ct = encrypt(&mut f, &values, 3);
+
+        // One shared Decomp → ModUp drives rotations by 1, 2 and 5; step 0 is a free clone.
+        let batch = evaluator
+            .rotate_hoisted_batch(&ct, &[1, 0, 2, 5], &f.gks)
+            .unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(
+            sink.take().ops,
+            vec![
+                fab_trace::HeOp::Rotate { level: 3 },
+                fab_trace::HeOp::RotateHoisted { level: 3 },
+                fab_trace::HeOp::RotateHoisted { level: 3 },
+            ]
+        );
+        // Each batch output decrypts identically (within noise) to the per-op rotation.
+        for (i, &steps) in [1usize, 0, 2, 5].iter().enumerate() {
+            let reference = f.evaluator.rotate(&ct, steps, &f.gks).unwrap();
+            let got = decrypt(&f, &batch[i]);
+            let expected = decrypt(&f, &reference);
+            for slot in 0..8 {
+                assert!(
+                    (got[slot] - expected[slot]).abs() < 1e-2,
+                    "steps {steps} slot {slot}: {} vs {}",
+                    got[slot],
+                    expected[slot]
+                );
+            }
+        }
+        // A missing key fails the batch just like the per-op path.
+        assert!(matches!(
+            evaluator.rotate_hoisted_batch(&ct, &[1, 3], &f.gks),
+            Err(CkksError::MissingKey { .. })
+        ));
     }
 
     #[test]

@@ -12,6 +12,16 @@
 //! extension modulus `P`, and bootstrapping composed of ModRaise, CoeffToSlot, EvalMod
 //! (scaled-sine Chebyshev approximation) and SlotToCoeff.
 //!
+//! The homomorphic linear transforms follow a *plan → execute* flow: a [`BsgsPlan`] regroups
+//! a transform's diagonals into baby-step/giant-step rotation sets ([`linear_transform`]),
+//! the baby steps execute as one hoisted batch sharing a single key-switch decomposition
+//! ([`Evaluator::rotate_hoisted_batch`]), and the identical control flow runs on real
+//! ciphertexts or on `(level, scale)` shadows through the [`backend`] seam — so a recorded
+//! bootstrap, its planned trace and the `fab-core` accelerator workload carry the same
+//! rotation schedule op for op. Sparsely-packed ciphertexts bootstrap through a dedicated
+//! entry point ([`bootstrap::BootstrapParams::sparse_for_scheme`]) that projects onto the
+//! packing subring with SubSum and factors the tiled sub-FFT over the used slots.
+//!
 //! ```
 //! use fab_ckks::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator,
 //!                KeyGenerator, SecretKey};
@@ -52,7 +62,7 @@ mod encryption;
 mod error;
 mod evaluator;
 mod keys;
-mod linear_transform;
+pub mod linear_transform;
 mod params;
 pub mod sampling;
 
@@ -66,7 +76,7 @@ pub use encryption::{Decryptor, Encryptor};
 pub use error::CkksError;
 pub use evaluator::Evaluator;
 pub use keys::{GaloisKeys, KeyGenerator, PublicKey, RelinearizationKey, SecretKey, SwitchingKey};
-pub use linear_transform::LinearTransform;
+pub use linear_transform::{BsgsGroup, BsgsPlan, LinearTransform};
 pub use params::{CkksParams, CkksParamsBuilder};
 
 /// Result alias used throughout the CKKS crate.

@@ -8,19 +8,166 @@
 //! into `ﬀtIter` groups of butterfly stages (Section 2.2 of the paper): a larger `ﬀtIter`
 //! means more, sparser matrices (fewer rotations each) but more consumed levels — exactly the
 //! trade-off of Figure 2.
+//!
+//! ## Baby-step/giant-step evaluation
+//!
+//! Applying a `d`-diagonal transform naively costs one key-switched rotation per nonzero
+//! diagonal. The FAB schedule instead regroups the diagonals into a [`BsgsPlan`]: every
+//! offset is split as `d = g·n1 + b` (baby step `b < n1`, giant step `g·n1`), the input is
+//! rotated once per distinct baby step (all sharing one key-switch decomposition — hoisting,
+//! Bossuat et al.), the per-giant partial sums are formed with plaintext multiplications whose
+//! diagonals are pre-rotated by `-g·n1`, and each partial sum is rotated once by its giant
+//! step. The rotation count drops from `d` to roughly `2·√d` while the result (and the
+//! level/scale bookkeeping) is unchanged. [`LinearTransform::apply_with`] routes through the
+//! plan automatically when one is attached ([`LinearTransform::with_bsgs_plan`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use fab_math::{Complex64, SpecialFft};
 
 use crate::backend::{EvalBackend, ExecBackend};
 use crate::{Ciphertext, CkksError, Evaluator, GaloisKeys, Result};
 
+/// One giant-step group of a [`BsgsPlan`]: the diagonals `{giant + b : b ∈ babies}` are
+/// accumulated (with pre-rotated plaintexts) and then rotated once by `giant`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BsgsGroup {
+    /// The giant-step rotation applied to this group's partial sum (0 for the first group).
+    pub giant: usize,
+    /// The baby-step offsets used by this group, sorted ascending.
+    pub babies: Vec<usize>,
+}
+
+/// A baby-step/giant-step rotation schedule for a set of diagonal offsets.
+///
+/// The plan is pure structure (offsets only, no matrix data), so the exact same object drives
+/// the real execution in this crate *and* the analytic rotation accounting of the `fab-core`
+/// accelerator workload — which is what keeps the two in op-for-op agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BsgsPlan {
+    slots: usize,
+    baby_step: usize,
+    groups: Vec<BsgsGroup>,
+}
+
+impl BsgsPlan {
+    /// Builds the plan for the given offsets with an explicit baby-step modulus `baby_step`
+    /// (`n1` in the literature): offset `d` lands in group `⌊d/n1⌋·n1` with baby step
+    /// `d mod n1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baby_step` is zero or exceeds `slots`.
+    pub fn with_baby_step(slots: usize, offsets: &[usize], baby_step: usize) -> Self {
+        assert!(
+            baby_step >= 1 && baby_step <= slots,
+            "baby step must be in [1, slots]"
+        );
+        let mut groups: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for &offset in offsets {
+            let d = offset % slots;
+            groups
+                .entry((d / baby_step) * baby_step)
+                .or_default()
+                .insert(d % baby_step);
+        }
+        Self {
+            slots,
+            baby_step,
+            groups: groups
+                .into_iter()
+                .map(|(giant, babies)| BsgsGroup {
+                    giant,
+                    babies: babies.into_iter().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds the plan that minimises the total number of key-switched rotations (baby +
+    /// giant), searching the power-of-two baby-step moduli. Ties prefer fewer giant steps,
+    /// because baby rotations share one hoisted decomposition while every giant rotation pays
+    /// for its own.
+    pub fn for_offsets(slots: usize, offsets: &[usize]) -> Self {
+        let mut best: Option<Self> = None;
+        let mut n1 = 1usize;
+        while n1 <= slots {
+            let candidate = Self::with_baby_step(slots, offsets, n1);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (candidate.rotation_count(), candidate.giant_rotation_count())
+                        < (b.rotation_count(), b.giant_rotation_count())
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+            n1 <<= 1;
+        }
+        best.expect("at least one candidate baby step")
+    }
+
+    /// The slot count the plan was built for.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The baby-step modulus `n1`.
+    pub fn baby_step(&self) -> usize {
+        self.baby_step
+    }
+
+    /// The giant-step groups, sorted by giant offset.
+    pub fn groups(&self) -> &[BsgsGroup] {
+        &self.groups
+    }
+
+    /// All distinct baby-step offsets (including 0 when used), sorted ascending. The nonzero
+    /// entries are executed as one hoisted rotation batch on the input ciphertext.
+    pub fn baby_offsets(&self) -> Vec<usize> {
+        let set: BTreeSet<usize> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.babies.iter().copied())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Number of key-switched baby rotations (nonzero baby offsets).
+    pub fn baby_rotation_count(&self) -> usize {
+        self.baby_offsets().iter().filter(|&&b| b != 0).count()
+    }
+
+    /// Number of key-switched giant rotations (nonzero giant offsets).
+    pub fn giant_rotation_count(&self) -> usize {
+        self.groups.iter().filter(|g| g.giant != 0).count()
+    }
+
+    /// Total key-switched rotations the plan performs.
+    pub fn rotation_count(&self) -> usize {
+        self.baby_rotation_count() + self.giant_rotation_count()
+    }
+
+    /// The rotation steps (excluding 0) whose Galois keys the plan needs, sorted and deduped:
+    /// the union of nonzero baby and giant offsets.
+    pub fn required_rotations(&self) -> Vec<usize> {
+        let mut set: BTreeSet<usize> = self
+            .baby_offsets()
+            .into_iter()
+            .filter(|&b| b != 0)
+            .collect();
+        set.extend(self.groups.iter().map(|g| g.giant).filter(|&g| g != 0));
+        set.into_iter().collect()
+    }
+}
+
 /// A slot-space linear transform in generalized-diagonal representation.
 #[derive(Debug, Clone)]
 pub struct LinearTransform {
     slots: usize,
     diagonals: BTreeMap<usize, Vec<Complex64>>,
+    plan: Option<BsgsPlan>,
 }
 
 impl LinearTransform {
@@ -51,6 +198,7 @@ impl LinearTransform {
         Self {
             slots: n,
             diagonals,
+            plan: None,
         }
     }
 
@@ -65,14 +213,86 @@ impl LinearTransform {
             assert!(*d < slots, "diagonal offset out of range");
             assert_eq!(diag.len(), slots, "diagonal length must equal slot count");
         }
-        Self { slots, diagonals }
+        Self {
+            slots,
+            diagonals,
+            plan: None,
+        }
     }
 
     /// The identity transform.
     pub fn identity(slots: usize) -> Self {
         let mut diagonals = BTreeMap::new();
         diagonals.insert(0, vec![Complex64::one(); slots]);
-        Self { slots, diagonals }
+        Self {
+            slots,
+            diagonals,
+            plan: None,
+        }
+    }
+
+    /// Attaches the rotation-minimising BSGS plan for this transform's diagonals;
+    /// [`Self::apply_with`] then executes the baby-step/giant-step schedule and
+    /// [`Self::required_rotations`] returns the decomposed key set.
+    #[must_use]
+    pub fn with_bsgs_plan(mut self) -> Self {
+        self.plan = Some(BsgsPlan::for_offsets(self.slots, &self.diagonal_offsets()));
+        self
+    }
+
+    /// Attaches a BSGS plan with an explicit baby-step modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baby_step` is zero or exceeds the slot count.
+    #[must_use]
+    pub fn with_bsgs_baby_step(mut self, baby_step: usize) -> Self {
+        self.plan = Some(BsgsPlan::with_baby_step(
+            self.slots,
+            &self.diagonal_offsets(),
+            baby_step,
+        ));
+        self
+    }
+
+    /// The attached BSGS plan, if any.
+    pub fn bsgs_plan(&self) -> Option<&BsgsPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Replicates a transform over `s` slots to a larger power-of-two slot count by tiling
+    /// every diagonal `slots/s` times (offsets are unchanged). For ciphertexts whose slot
+    /// vector is `s`-periodic — sparse packing — the tiled transform applies the original
+    /// transform block-wise, which is what the sparse-slot bootstrap builds on. Any attached
+    /// plan is re-derived for the new slot count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is not a power-of-two multiple of the current slot count.
+    #[must_use]
+    pub fn tiled(&self, slots: usize) -> Self {
+        assert!(slots.is_power_of_two() && slots % self.slots == 0);
+        let reps = slots / self.slots;
+        let diagonals: BTreeMap<usize, Vec<Complex64>> = self
+            .diagonals
+            .iter()
+            .map(|(&d, diag)| {
+                let mut tiled = Vec::with_capacity(slots);
+                for _ in 0..reps {
+                    tiled.extend_from_slice(diag);
+                }
+                (d, tiled)
+            })
+            .collect();
+        let mut out = Self {
+            slots,
+            diagonals,
+            plan: None,
+        };
+        if self.plan.is_some() {
+            out = out.with_bsgs_plan();
+        }
+        out
     }
 
     /// Number of slots.
@@ -90,9 +310,15 @@ impl LinearTransform {
         self.diagonals.len()
     }
 
-    /// The rotation steps (excluding 0) needed to apply this transform homomorphically.
+    /// The rotation steps (excluding 0, deduplicated) whose Galois keys are needed to apply
+    /// this transform homomorphically. With a BSGS plan attached this is the *decomposed*
+    /// baby/giant set — typically ~`2√d` keys instead of one per diagonal, which is what keeps
+    /// `Bootstrapper` setup from over-generating Galois keys.
     pub fn required_rotations(&self) -> Vec<usize> {
-        self.diagonals.keys().copied().filter(|&d| d != 0).collect()
+        match &self.plan {
+            Some(plan) => plan.required_rotations(),
+            None => self.diagonals.keys().copied().filter(|&d| d != 0).collect(),
+        }
     }
 
     /// Scales every diagonal entry by a complex constant (used to fold constants like `1/n` or
@@ -124,6 +350,7 @@ impl LinearTransform {
 
     /// Composition `self ∘ other` (apply `other` first, then `self`), computed directly in the
     /// diagonal representation: `diag_d(A·B)[i] = Σ_{d1+d2=d} diag_{d1}(A)[i] · diag_{d2}(B)[(i+d1) mod n]`.
+    /// The result carries no BSGS plan (the offset set changes).
     ///
     /// # Panics
     ///
@@ -148,16 +375,13 @@ impl LinearTransform {
         LinearTransform {
             slots: n,
             diagonals,
+            plan: None,
         }
     }
 
     /// Homomorphic application: `Σ_d encode(diag_d) ⊙ rotate(ct, d)`, followed by one rescale.
     /// The diagonal plaintexts are encoded at the current rescaling prime so the ciphertext
     /// scale is preserved; one level is consumed.
-    ///
-    /// All rotations act on the *same* input ciphertext, so they share one key-switch
-    /// decomposition on FAB: the first is emitted as a full rotation and the rest as hoisted
-    /// rotations (Bossuat et al., the algorithm the paper adopts).
     ///
     /// # Errors
     ///
@@ -174,29 +398,19 @@ impl LinearTransform {
     }
 
     /// Backend-generic application (see [`crate::backend`]): the single control flow behind
-    /// real execution and analytic planning.
+    /// real execution and analytic planning. Routes through [`Self::apply_bsgs_with`] when a
+    /// plan is attached, otherwise performs one (hoisted) rotation per nonzero diagonal.
     ///
     /// # Errors
     ///
     /// Same as [`Self::apply_homomorphic`].
     pub fn apply_with<B: EvalBackend>(&self, backend: &B, ct: &B::Ct) -> Result<B::Ct> {
-        if backend.level(ct) == 0 {
-            return Err(CkksError::LevelExhausted {
-                operation: "linear transform",
-            });
+        if let Some(plan) = &self.plan {
+            return self.apply_planned(backend, ct, plan);
         }
-        let ctx = backend.ctx();
-        if self.slots != ctx.slot_count() {
-            return Err(CkksError::InvalidInput {
-                reason: format!(
-                    "transform has {} slots but the context provides {}",
-                    self.slots,
-                    ctx.slot_count()
-                ),
-            });
-        }
+        self.check_applicable(backend, ct)?;
         let level = backend.level(ct);
-        let prime = ctx.rescale_prime(level) as f64;
+        let prime = backend.ctx().rescale_prime(level) as f64;
         let mut acc: Option<B::Ct> = None;
         let mut first_rotation = true;
         for (&d, diag) in &self.diagonals {
@@ -219,6 +433,104 @@ impl LinearTransform {
         })?;
         backend.rescale(&summed)
     }
+
+    /// Baby-step/giant-step application against the attached plan (or a freshly derived one):
+    /// the distinct baby rotations run as one hoisted batch on the input, every giant group
+    /// accumulates its pre-rotated diagonals with plaintext multiplications, pays one full
+    /// rotation, and the group sums are added before the single rescale. Numerically
+    /// equivalent to the naive path; the rotation count is `babies + giants ≈ 2·√d`.
+    ///
+    /// Without an attached plan one is derived on the fly — note that the Galois keys it
+    /// needs are the *decomposed* baby/giant set, which [`Self::required_rotations`] only
+    /// reports once a plan is attached ([`Self::with_bsgs_plan`]); generate keys from a
+    /// planned transform when using this path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::apply_homomorphic`].
+    pub fn apply_bsgs_with<B: EvalBackend>(&self, backend: &B, ct: &B::Ct) -> Result<B::Ct> {
+        match &self.plan {
+            Some(plan) => self.apply_planned(backend, ct, plan),
+            None => {
+                let plan = BsgsPlan::for_offsets(self.slots, &self.diagonal_offsets());
+                self.apply_planned(backend, ct, &plan)
+            }
+        }
+    }
+
+    fn apply_planned<B: EvalBackend>(
+        &self,
+        backend: &B,
+        ct: &B::Ct,
+        plan: &BsgsPlan,
+    ) -> Result<B::Ct> {
+        self.check_applicable(backend, ct)?;
+        if self.diagonals.is_empty() {
+            return Err(CkksError::InvalidInput {
+                reason: "linear transform has no nonzero diagonals".into(),
+            });
+        }
+        let n = self.slots;
+        let level = backend.level(ct);
+        let prime = backend.ctx().rescale_prime(level) as f64;
+        // All baby rotations act on the input ciphertext and share one key-switch
+        // decomposition (hoisting).
+        let baby_offsets = plan.baby_offsets();
+        let rotated = backend.rotate_batch_hoisted(ct, &baby_offsets)?;
+        let by_baby: BTreeMap<usize, &B::Ct> = baby_offsets.iter().copied().zip(&rotated).collect();
+        let mut acc: Option<B::Ct> = None;
+        for group in plan.groups() {
+            let mut inner: Option<B::Ct> = None;
+            for &b in &group.babies {
+                let d = (group.giant + b) % n;
+                let diag = self
+                    .diagonals
+                    .get(&d)
+                    .ok_or_else(|| CkksError::InvalidInput {
+                        reason: format!("BSGS plan references missing diagonal {d}"),
+                    })?;
+                let source = by_baby[&b];
+                // The diagonal is pre-rotated by -giant so the single giant rotation of the
+                // group sum lands every term on its proper slots; the backend decides whether
+                // the shifted vector needs materialising.
+                let term = backend.multiply_shifted_slots(source, diag, group.giant, prime)?;
+                inner = Some(match inner {
+                    None => term,
+                    Some(prev) => backend.add(&prev, &term)?,
+                });
+            }
+            let inner = inner.expect("plan groups are non-empty");
+            let moved = if group.giant == 0 {
+                inner
+            } else {
+                backend.rotate(&inner, group.giant)?
+            };
+            acc = Some(match acc {
+                None => moved,
+                Some(prev) => backend.add(&prev, &moved)?,
+            });
+        }
+        backend.rescale(&acc.expect("plan has at least one group"))
+    }
+
+    fn check_applicable<B: EvalBackend>(&self, backend: &B, ct: &B::Ct) -> Result<()> {
+        if backend.level(ct) == 0 {
+            return Err(CkksError::LevelExhausted {
+                operation: "linear transform",
+            });
+        }
+        let ctx = backend.ctx();
+        if self.slots != ctx.slot_count() {
+            return Err(CkksError::InvalidInput {
+                reason: format!(
+                    "transform has {} slots but the context provides {}",
+                    self.slots,
+                    ctx.slot_count()
+                ),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Builds the butterfly-stage factors of the *forward* special FFT (used by SlotToCoeff),
@@ -240,6 +552,61 @@ pub fn coeff_to_slot_stages(fft: &SpecialFft, groups: usize) -> Vec<LinearTransf
         last.scale_by(Complex64::new(1.0 / fft.slots() as f64, 0.0));
     }
     group_stages(stages, groups)
+}
+
+/// The diagonal-offset sets of the grouped CoeffToSlot stages, computed *structurally* (no
+/// matrix data): each butterfly level contributes offsets `{0, ±lenh mod n}` and grouping
+/// composes the sets additively. `fab-core` prices the FPGA bootstrapping workload from these
+/// sets (via [`BsgsPlan::for_offsets`]) without materialising any diagonal, and the crate's
+/// tests pin them against the offsets of the actually-composed stage matrices.
+pub fn coeff_to_slot_offset_sets(slots: usize, groups: usize) -> Vec<Vec<usize>> {
+    let mut stages = Vec::new();
+    let mut len = slots;
+    while len >= 2 {
+        stages.push(butterfly_offsets(slots, len >> 1));
+        len >>= 1;
+    }
+    group_offset_sets(slots, stages, groups)
+}
+
+/// The diagonal-offset sets of the grouped SlotToCoeff stages (see
+/// [`coeff_to_slot_offset_sets`]).
+pub fn slot_to_coeff_offset_sets(slots: usize, groups: usize) -> Vec<Vec<usize>> {
+    let mut stages = Vec::new();
+    let mut len = 2usize;
+    while len <= slots {
+        stages.push(butterfly_offsets(slots, len >> 1));
+        len <<= 1;
+    }
+    group_offset_sets(slots, stages, groups)
+}
+
+fn butterfly_offsets(slots: usize, lenh: usize) -> BTreeSet<usize> {
+    [0, lenh % slots, (slots - lenh) % slots]
+        .into_iter()
+        .collect()
+}
+
+/// Composes per-stage offset sets with the same chunking as [`group_stages`].
+fn group_offset_sets(slots: usize, stages: Vec<BTreeSet<usize>>, groups: usize) -> Vec<Vec<usize>> {
+    let total = stages.len();
+    let per_group = if groups == 0 || groups >= total {
+        1
+    } else {
+        total.div_ceil(groups)
+    };
+    let mut out = Vec::new();
+    for chunk in stages.chunks(per_group) {
+        let mut combined: BTreeSet<usize> = chunk[0].clone();
+        for stage in &chunk[1..] {
+            combined = combined
+                .iter()
+                .flat_map(|&a| stage.iter().map(move |&b| (a + b) % slots))
+                .collect();
+        }
+        out.push(combined.into_iter().collect());
+    }
+    out
 }
 
 /// The forward butterfly stages (len = 2, 4, …, n), in application order.
@@ -523,6 +890,113 @@ mod tests {
     }
 
     #[test]
+    fn structural_offset_sets_match_composed_stage_offsets() {
+        // The analytic offset sets (which fab-core prices the FPGA workload from) must agree
+        // with the offsets of the actually-composed stage matrices, for every grouping.
+        for n in [32usize, 256] {
+            let fft = SpecialFft::new(2 * n).unwrap();
+            for groups in [0usize, 2, 3, 4] {
+                let stc = slot_to_coeff_stages(&fft, groups);
+                let stc_offsets = slot_to_coeff_offset_sets(n, groups);
+                assert_eq!(stc.len(), stc_offsets.len(), "n={n} groups={groups}");
+                for (stage, offsets) in stc.iter().zip(&stc_offsets) {
+                    assert_eq!(
+                        &stage.diagonal_offsets(),
+                        offsets,
+                        "slot_to_coeff n={n} groups={groups}"
+                    );
+                }
+                let cts = coeff_to_slot_stages(&fft, groups);
+                let cts_offsets = coeff_to_slot_offset_sets(n, groups);
+                assert_eq!(cts.len(), cts_offsets.len());
+                for (stage, offsets) in cts.iter().zip(&cts_offsets) {
+                    assert_eq!(
+                        &stage.diagonal_offsets(),
+                        offsets,
+                        "coeff_to_slot n={n} groups={groups}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bsgs_plan_covers_all_offsets_and_cuts_rotations() {
+        let n = 1024usize;
+        // A dense band of 64 diagonals: naive evaluation needs 63 rotations.
+        let offsets: Vec<usize> = (0..64).collect();
+        let plan = BsgsPlan::for_offsets(n, &offsets);
+        // Every offset is reachable as giant + baby.
+        let mut covered = BTreeSet::new();
+        for group in plan.groups() {
+            for &b in &group.babies {
+                covered.insert((group.giant + b) % n);
+            }
+        }
+        assert_eq!(covered, offsets.iter().copied().collect());
+        // ⌈d/bs⌉ + bs bound, and far fewer than naive.
+        let bs = plan.baby_step();
+        assert!(plan.rotation_count() <= 64usize.div_ceil(bs) + bs);
+        assert!(
+            plan.rotation_count() <= 16,
+            "expected ~2·√64 rotations, got {}",
+            plan.rotation_count()
+        );
+        // The key set is the decomposed union, not the raw offsets.
+        assert!(plan.required_rotations().len() < 63);
+    }
+
+    #[test]
+    fn bsgs_plan_with_explicit_baby_step_splits_offsets() {
+        let plan = BsgsPlan::with_baby_step(64, &[0, 3, 17, 35], 16);
+        let giants: Vec<usize> = plan.groups().iter().map(|g| g.giant).collect();
+        assert_eq!(giants, vec![0, 16, 32]);
+        assert_eq!(plan.groups()[0].babies, vec![0, 3]);
+        assert_eq!(plan.groups()[1].babies, vec![1]);
+        assert_eq!(plan.groups()[2].babies, vec![3]);
+        assert_eq!(plan.baby_offsets(), vec![0, 1, 3]);
+        assert_eq!(plan.baby_rotation_count(), 2);
+        assert_eq!(plan.giant_rotation_count(), 2);
+        assert_eq!(plan.required_rotations(), vec![1, 3, 16, 32]);
+    }
+
+    #[test]
+    fn plan_attachment_shrinks_required_rotations() {
+        let n = 256usize;
+        let mut diagonals = BTreeMap::new();
+        for d in 0..40usize {
+            diagonals.insert(d, vec![Complex64::new(1.0 + d as f64, 0.0); n]);
+        }
+        let naive = LinearTransform::from_diagonals(n, diagonals.clone());
+        assert_eq!(naive.required_rotations().len(), 39);
+        let planned = LinearTransform::from_diagonals(n, diagonals).with_bsgs_plan();
+        let keys = planned.required_rotations();
+        assert!(keys.len() < 20, "BSGS key set still {} entries", keys.len());
+        // Deduped, sorted, zero-free.
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(!keys.contains(&0));
+    }
+
+    #[test]
+    fn tiled_transform_applies_blockwise_to_periodic_inputs() {
+        let s = 8usize;
+        let n = 32usize;
+        let mut diagonals = BTreeMap::new();
+        diagonals.insert(1usize, random_slots(s, 5));
+        diagonals.insert(3usize, random_slots(s, 9));
+        let small = LinearTransform::from_diagonals(s, diagonals);
+        let tiled = small.tiled(n);
+        assert_eq!(tiled.slots(), n);
+        let block = random_slots(s, 21);
+        let periodic: Vec<Complex64> = (0..n).map(|i| block[i % s]).collect();
+        let big = tiled.apply_plain(&periodic);
+        let small_out = small.apply_plain(&block);
+        for i in 0..n {
+            assert!((big[i] - small_out[i % s]).norm() < 1e-9, "slot {i}");
+        }
+    }
+
+    #[test]
     fn homomorphic_application_matches_plain_application() {
         let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
         let mut rng = ChaCha20Rng::seed_from_u64(31);
@@ -562,5 +1036,78 @@ mod tests {
             );
         }
         let _ = Arc::strong_count(&ctx);
+    }
+
+    #[test]
+    fn bsgs_application_matches_naive_application_and_cuts_keyswitches() {
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(41);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+        let pk = keygen.public_key(&mut rng);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone(), pk);
+        let decryptor = Decryptor::new(ctx.clone(), sk);
+
+        // A 12-diagonal band: naive needs 11 rotations, BSGS far fewer.
+        let n = ctx.slot_count();
+        let mut diagonals = BTreeMap::new();
+        for d in 0..12usize {
+            let values: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new(((i + d) as f64 * 0.11).sin() * 0.4, 0.02 * d as f64))
+                .collect();
+            diagonals.insert(d, values);
+        }
+        let naive = LinearTransform::from_diagonals(n, diagonals.clone());
+        let bsgs = LinearTransform::from_diagonals(n, diagonals).with_bsgs_plan();
+
+        let naive_keys = keygen
+            .galois_keys(&naive.required_rotations(), false, &mut rng)
+            .unwrap();
+        let bsgs_keys = keygen
+            .galois_keys(&bsgs.required_rotations(), false, &mut rng)
+            .unwrap();
+        assert!(bsgs_keys.len() < naive_keys.len());
+
+        let input = random_slots(n, 51);
+        let scale = ctx.params().default_scale();
+        let ct = encryptor
+            .encrypt(&encoder.encode(&input, scale, 3).unwrap(), &mut rng)
+            .unwrap();
+
+        let naive_sink = fab_trace::RecordingSink::shared("naive");
+        let naive_eval = Evaluator::with_sink(ctx.clone(), naive_sink.clone());
+        let naive_out = naive
+            .apply_homomorphic(&naive_eval, &ct, &naive_keys)
+            .unwrap();
+
+        let bsgs_sink = fab_trace::RecordingSink::shared("bsgs");
+        let bsgs_eval = Evaluator::with_sink(ctx.clone(), bsgs_sink.clone());
+        let bsgs_out = bsgs.apply_homomorphic(&bsgs_eval, &ct, &bsgs_keys).unwrap();
+
+        // Same level/scale bookkeeping, same decrypted result within noise.
+        assert_eq!(naive_out.level(), bsgs_out.level());
+        assert!((naive_out.scale() / bsgs_out.scale() - 1.0).abs() < 1e-9);
+        let naive_dec = encoder.decode(&decryptor.decrypt(&naive_out).unwrap());
+        let bsgs_dec = encoder.decode(&decryptor.decrypt(&bsgs_out).unwrap());
+        let expected = naive.apply_plain(&input);
+        for i in 0..64 {
+            assert!((naive_dec[i] - expected[i]).norm() < 1e-2, "naive slot {i}");
+            assert!((bsgs_dec[i] - expected[i]).norm() < 1e-2, "bsgs slot {i}");
+        }
+
+        // Rotation-count regression: the BSGS trace performs at most ⌈d/bs⌉ + bs rotations.
+        let naive_counts = naive_sink.take().counts();
+        let bsgs_counts = bsgs_sink.take().counts();
+        let naive_rotations = naive_counts.rotate + naive_counts.rotate_hoisted;
+        let bsgs_rotations = bsgs_counts.rotate + bsgs_counts.rotate_hoisted;
+        assert_eq!(naive_rotations, 11);
+        let bs = bsgs.bsgs_plan().unwrap().baby_step();
+        assert!(bsgs_rotations as usize <= 12usize.div_ceil(bs) + bs);
+        assert!(bsgs_rotations < naive_rotations);
+        // The op mix outside rotations is unchanged: d plaintext products, d−1 adds, 1 rescale.
+        assert_eq!(naive_counts.multiply_plain, bsgs_counts.multiply_plain);
+        assert_eq!(naive_counts.add, bsgs_counts.add);
+        assert_eq!(naive_counts.rescale, bsgs_counts.rescale);
     }
 }

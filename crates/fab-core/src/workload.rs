@@ -4,14 +4,17 @@
 //! The op vocabulary itself ([`HeOp`], [`OpTrace`], [`OpCounts`]) lives in the `fab-trace`
 //! crate so that the executing scheme (`fab-ckks`) can *record* traces with the same types the
 //! model costs; this module re-exports it and adds the costing glue plus the paper's
-//! FPGA-scale bootstrapping workload. The bootstrapping trace mirrors the pipeline the paper
-//! accelerates (ModRaise → CoeffToSlot → EvalMod → SlotToCoeff with the Bossuat et al.
-//! depth-9 sine polynomial) *as scheduled on FAB* — baby-step/giant-step linear transforms
-//! with hoisted rotations — which is why its op counts are far lower than the software
-//! reference executes; the software-faithful trace is produced by
-//! `fab_ckks::Bootstrapper::predicted_trace` and validated against recorded executions.
+//! FPGA-scale bootstrapping workload. The linear-transform phases of [`bootstrap_trace`] are
+//! no longer hand-approximated: each stage's diagonal-offset set is derived structurally
+//! (`fab_ckks::linear_transform::coeff_to_slot_offset_sets`) and priced through the *same*
+//! [`fab_ckks::BsgsPlan`] the software pipeline executes, so the analytic workload, the
+//! planned trace (`fab_ckks::Bootstrapper::predicted_trace`) and a recorded real execution
+//! agree op for op on rotation counts — the workspace equivalence tests pin all three
+//! together. Only the EvalMod op mix remains a depth-9 summary (the Bossuat et al.
+//! polynomial), which contains no rotations.
 
-use fab_ckks::CkksParams;
+use fab_ckks::linear_transform::{coeff_to_slot_offset_sets, slot_to_coeff_offset_sets};
+use fab_ckks::{BsgsPlan, CkksParams};
 
 pub use fab_trace::{HeOp, OpCounts, OpTrace};
 
@@ -36,11 +39,11 @@ impl TraceCost for OpTrace {
 pub struct BootstrapStructure {
     /// Number of CoeffToSlot / SlotToCoeff stages (each is `ﬀtIter` deep in total).
     pub fft_iter: usize,
-    /// Radix of each stage (`n^(1/ﬀtIter)` rounded to a power of two).
+    /// Radix of a generic stage (`n^(1/ﬀtIter)` rounded to a power of two).
     pub stage_radix: usize,
-    /// Non-zero diagonals per stage matrix.
+    /// Non-zero diagonals of a generic (non-wrapping) stage matrix.
     pub diagonals_per_stage: usize,
-    /// Rotations per stage under baby-step/giant-step evaluation.
+    /// Key-switched rotations of a generic stage under its exact baby-step/giant-step plan.
     pub rotations_per_stage: usize,
     /// Multiplicative depth of the sine evaluation (9 in the paper).
     pub eval_mod_depth: usize,
@@ -52,15 +55,27 @@ pub struct BootstrapStructure {
 
 impl BootstrapStructure {
     /// Derives the structure for a parameter set and an explicit `ﬀtIter`.
+    ///
+    /// This is the paper-facing *summary* (every stage modelled at the generic radix);
+    /// [`bootstrap_trace`] itself prices each stage from its exact offset set, which differs
+    /// for groups whose offsets wrap around the slot count or whose group is a remainder of
+    /// the stage chunking.
     pub fn for_params(params: &CkksParams, fft_iter: usize) -> Self {
         let fft_iter = fft_iter.max(1);
         let log_slots = params.log_n - 1;
+        let slots = 1usize << log_slots;
         let stage_log_radix = log_slots.div_ceil(fft_iter);
         let stage_radix = 1usize << stage_log_radix;
-        // A radix-r merged butterfly stage has (2r - 1) generalized diagonals.
+        // A radix-r merged butterfly stage has (2r - 1) generalized diagonals at contiguous
+        // multiples of its innermost butterfly stride.
         let diagonals_per_stage = 2 * stage_radix - 1;
-        // Baby-step/giant-step evaluation of a d-diagonal matrix needs ≈ 2·sqrt(d) rotations.
-        let rotations_per_stage = (2.0 * (diagonals_per_stage as f64).sqrt()).ceil() as usize;
+        // Price the generic stage through the exact plan of its offset set (stride-1 band
+        // ±(r−1) around zero) — the same selection rule the executing pipeline uses.
+        let generic_offsets: Vec<usize> = (0..stage_radix)
+            .chain((1..stage_radix).map(|m| slots - m))
+            .map(|m| m % slots)
+            .collect();
+        let rotations_per_stage = BsgsPlan::for_offsets(slots, &generic_offsets).rotation_count();
         // The Bossuat et al. polynomial evaluation has depth 9; its BSGS evaluation performs
         // roughly 2^(depth/2) + depth ciphertext multiplications.
         let eval_mod_depth = 9;
@@ -86,10 +101,42 @@ pub const PHASE_EVAL_MOD: &str = fab_trace::phase::EVAL_MOD;
 /// Phase label for SlotToCoeff.
 pub const PHASE_SLOT_TO_COEFF: &str = fab_trace::phase::SLOT_TO_COEFF;
 
+/// Appends one BSGS-scheduled linear-transform stage: the distinct baby rotations (first
+/// full, rest sharing its hoisted decomposition), then per giant group one plaintext
+/// multiplication per diagonal, the intra-group additions, the group's giant rotation, and
+/// the cross-group additions, closed by one rescale — exactly the op mix
+/// `LinearTransform::apply_with` executes for the same plan.
+fn push_bsgs_stage(trace: &mut OpTrace, plan: &BsgsPlan, level: usize) {
+    let babies = plan.baby_rotation_count();
+    if babies > 0 {
+        trace.push(HeOp::Rotate { level });
+        trace.push_many(HeOp::RotateHoisted { level }, babies - 1);
+    }
+    let mut first_group = true;
+    for group in plan.groups() {
+        trace.push_many(HeOp::MultiplyPlain { level }, group.babies.len());
+        trace.push_many(HeOp::Add { level }, group.babies.len().saturating_sub(1));
+        if group.giant != 0 {
+            trace.push(HeOp::Rotate { level });
+        }
+        if !first_group {
+            trace.push(HeOp::Add { level });
+        }
+        first_group = false;
+    }
+    trace.push(HeOp::Rescale { level });
+}
+
 /// Builds the operation trace of one fully-packed bootstrapping at the given parameters and
 /// `ﬀtIter` (Section 2.1.3: linear transform → polynomial evaluation → linear transform).
+///
+/// The CoeffToSlot/SlotToCoeff phases are priced stage by stage from the exact structural
+/// offset sets and their [`BsgsPlan`]s — the same plans the `fab-ckks` pipeline executes — so
+/// the rotation accounting here is identical, op for op, to a recorded software bootstrap at
+/// the same parameters. EvalMod remains the depth-9 paper summary (it performs no rotations).
 pub fn bootstrap_trace(params: &CkksParams, fft_iter: usize) -> OpTrace {
     let structure = BootstrapStructure::for_params(params, fft_iter);
+    let slots = params.slot_count();
     let mut trace = OpTrace::new(format!("bootstrap(fftIter={})", structure.fft_iter));
     let top = params.max_level;
 
@@ -100,22 +147,15 @@ pub fn bootstrap_trace(params: &CkksParams, fft_iter: usize) -> OpTrace {
     });
 
     let mut level = top;
-    // CoeffToSlot: fft_iter stages of a BSGS-evaluated sparse matrix; each stage performs its
-    // rotations (the first full, the rest hoisted), one plaintext multiplication per diagonal,
-    // and a rescale. The real/imaginary split costs one conjugation.
+    // CoeffToSlot: one BSGS-planned stage per group; the real/imaginary split costs one
+    // conjugation and two additions.
     trace.mark_phase(PHASE_COEFF_TO_SLOT);
-    for _ in 0..structure.fft_iter {
-        trace.push(HeOp::Rotate { level });
-        trace.push_many(
-            HeOp::RotateHoisted { level },
-            structure.rotations_per_stage.saturating_sub(1),
-        );
-        trace.push_many(HeOp::MultiplyPlain { level }, structure.diagonals_per_stage);
-        trace.push_many(HeOp::Add { level }, structure.diagonals_per_stage - 1);
-        trace.push(HeOp::Rescale { level });
+    for offsets in coeff_to_slot_offset_sets(slots, structure.fft_iter) {
+        push_bsgs_stage(&mut trace, &BsgsPlan::for_offsets(slots, &offsets), level);
         level -= 1;
     }
     trace.push(HeOp::Conjugate { level });
+    trace.push_many(HeOp::Add { level }, 2);
 
     // EvalMod on both the real and imaginary halves.
     trace.mark_phase(PHASE_EVAL_MOD);
@@ -132,17 +172,11 @@ pub fn bootstrap_trace(params: &CkksParams, fft_iter: usize) -> OpTrace {
     }
     level -= structure.eval_mod_depth;
 
-    // SlotToCoeff: mirror of CoeffToSlot.
+    // SlotToCoeff: the halves recombine with one addition, then the mirrored stages.
     trace.mark_phase(PHASE_SLOT_TO_COEFF);
-    for _ in 0..structure.fft_iter {
-        trace.push(HeOp::Rotate { level });
-        trace.push_many(
-            HeOp::RotateHoisted { level },
-            structure.rotations_per_stage.saturating_sub(1),
-        );
-        trace.push_many(HeOp::MultiplyPlain { level }, structure.diagonals_per_stage);
-        trace.push_many(HeOp::Add { level }, structure.diagonals_per_stage - 1);
-        trace.push(HeOp::Rescale { level });
+    trace.push(HeOp::Add { level });
+    for offsets in slot_to_coeff_offset_sets(slots, structure.fft_iter) {
+        push_bsgs_stage(&mut trace, &BsgsPlan::for_offsets(slots, &offsets), level);
         level -= 1;
     }
     trace

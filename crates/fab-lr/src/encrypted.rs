@@ -10,9 +10,10 @@
 use std::sync::Arc;
 
 use fab_ckks::backend::{EvalBackend, ExecBackend, PlanBackend, PlanCiphertext};
+use fab_ckks::bootstrap::BootstrapParams;
 use fab_ckks::{
-    CkksContext, CkksError, Decryptor, Encoder, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
-    RelinearizationKey, SecretKey,
+    Bootstrapper, Ciphertext, CkksContext, CkksError, Decryptor, Encoder, Encryptor, Evaluator,
+    GaloisKeys, KeyGenerator, RelinearizationKey, SecretKey,
 };
 use fab_math::Complex64;
 use fab_trace::{noop_sink, phase, OpTrace, TraceSink};
@@ -45,6 +46,9 @@ pub struct EncryptedLogisticRegression {
     gks: GaloisKeys,
     rng: ChaCha20Rng,
     features: usize,
+    /// Sparse-slot bootstrapper refreshing the weight ciphertext between iterations
+    /// (see [`Self::with_bootstrapping`]); shares the trainer's trace sink.
+    bootstrapper: Option<Bootstrapper>,
 }
 
 impl EncryptedLogisticRegression {
@@ -69,21 +73,72 @@ impl EncryptedLogisticRegression {
         seed: u64,
         sink: Arc<dyn TraceSink>,
     ) -> Result<Self, CkksError> {
+        Self::build(ctx, features, None, seed, sink)
+    }
+
+    /// Sets up a trainer whose weight ciphertext can be *refreshed between iterations* by a
+    /// real sparse-slot bootstrap over `sparse_slots` slots ("a bootstrapping operation after
+    /// every iteration", Section 5.5): the bootstrapper shares the trainer's trace sink, so
+    /// [`Self::train_with_refresh`] records the serial part of the HELR iteration — sigmoid,
+    /// update *and* bootstrap — end to end. `sparse_slots` must be a power of two at least
+    /// `features` (a larger window widens the sine range less).
+    ///
+    /// # Errors
+    ///
+    /// Propagates context/keygen/bootstrapper-construction errors.
+    pub fn with_bootstrapping(
+        ctx: Arc<CkksContext>,
+        features: usize,
+        sparse_slots: usize,
+        seed: u64,
+        sink: Arc<dyn TraceSink>,
+    ) -> Result<Self, CkksError> {
+        Self::build(ctx, features, Some(sparse_slots), seed, sink)
+    }
+
+    fn build(
+        ctx: Arc<CkksContext>,
+        features: usize,
+        sparse_slots: Option<usize>,
+        seed: u64,
+        sink: Arc<dyn TraceSink>,
+    ) -> Result<Self, CkksError> {
         let mut rng = ChaCha20Rng::seed_from_u64(seed);
         let sk = SecretKey::generate(&ctx, &mut rng);
         let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
         let pk = keygen.public_key(&mut rng);
         let rlk = keygen.relinearization_key(&mut rng);
+        let bootstrapper = match sparse_slots {
+            Some(slots) => {
+                if slots < features {
+                    return Err(CkksError::InvalidInput {
+                        reason: format!("sparse window {slots} cannot hold {features} features"),
+                    });
+                }
+                let mut params = BootstrapParams::sparse_for_scheme(ctx.params(), slots);
+                if params.fft_iter == 0 {
+                    // One stage per butterfly level spends a level per butterfly; training
+                    // needs the budget back, so group the sub-FFT into at most three stages.
+                    params.fft_iter = 3.min(slots.trailing_zeros().max(1) as usize);
+                }
+                Some(Bootstrapper::with_sink(ctx.clone(), params, sink.clone())?)
+            }
+            None => None,
+        };
         // Rotations by powers of two cover the inner-product sum tree over the full slot
         // vector (every slot beyond the feature window is zero, so the cyclic total equals the
-        // inner product and is broadcast to every slot).
+        // inner product and is broadcast to every slot); a bootstrapper adds its own
+        // BSGS-decomposed stage offsets, the SubSum ladder and the conjugation key.
         let mut steps = Vec::new();
         let mut s = 1usize;
         while s < ctx.slot_count() {
             steps.push(s);
             s *= 2;
         }
-        let gks = keygen.galois_keys(&steps, false, &mut rng)?;
+        if let Some(b) = &bootstrapper {
+            steps.extend(b.required_rotations());
+        }
+        let gks = keygen.galois_keys(&steps, bootstrapper.is_some(), &mut rng)?;
         Ok(Self {
             encoder: Encoder::new(ctx.clone()),
             encryptor: Encryptor::new(ctx.clone(), pk),
@@ -94,6 +149,7 @@ impl EncryptedLogisticRegression {
             gks,
             rng,
             features,
+            bootstrapper,
         })
     }
 
@@ -105,6 +161,11 @@ impl EncryptedLogisticRegression {
     /// The evaluator (and through it the trace sink) this trainer executes on.
     pub fn evaluator(&self) -> &Evaluator {
         &self.evaluator
+    }
+
+    /// The sparse-slot bootstrapper refreshing the weights, when configured.
+    pub fn bootstrapper(&self) -> Option<&Bootstrapper> {
+        self.bootstrapper.as_ref()
     }
 
     /// Trains for `iterations` mini-batch iterations of `batch_size` samples and returns the
@@ -123,6 +184,41 @@ impl EncryptedLogisticRegression {
         iterations: usize,
         batch_size: usize,
         learning_rate: f64,
+    ) -> Result<EncryptedTrainingReport, CkksError> {
+        self.train_inner(data, iterations, batch_size, learning_rate, false)
+    }
+
+    /// Trains like [`Self::train`] but refreshes the weight ciphertext with a real sparse-slot
+    /// bootstrap between iterations, so the level budget no longer bounds the iteration count
+    /// — the full-system behaviour of Section 5.5, recorded end to end through the shared
+    /// trace sink. Requires a trainer built by [`Self::with_bootstrapping`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidInput`] if no bootstrapper is configured, and propagates
+    /// scheme errors.
+    pub fn train_with_refresh(
+        &mut self,
+        data: &Dataset,
+        iterations: usize,
+        batch_size: usize,
+        learning_rate: f64,
+    ) -> Result<EncryptedTrainingReport, CkksError> {
+        if self.bootstrapper.is_none() {
+            return Err(CkksError::InvalidInput {
+                reason: "trainer was built without a bootstrapper (use with_bootstrapping)".into(),
+            });
+        }
+        self.train_inner(data, iterations, batch_size, learning_rate, true)
+    }
+
+    fn train_inner(
+        &mut self,
+        data: &Dataset,
+        iterations: usize,
+        batch_size: usize,
+        learning_rate: f64,
+        refresh: bool,
     ) -> Result<EncryptedTrainingReport, CkksError> {
         let scale = self.ctx.params().default_scale();
         let top_level = self.ctx.params().max_level;
@@ -151,6 +247,9 @@ impl EncryptedLogisticRegression {
         for iter in 0..iterations {
             let (rows, labels) = &batches[iter % batches.len()];
             ct_weights = train_iteration_with(&backend, &ct_weights, rows, labels, learning_rate)?;
+            if refresh && iter + 1 < iterations {
+                ct_weights = self.refresh_weights(&ct_weights)?;
+            }
         }
 
         // Decrypt the model and evaluate it in the clear.
@@ -166,6 +265,31 @@ impl EncryptedLogisticRegression {
             training_accuracy: accuracy,
             iterations,
         })
+    }
+
+    /// Masks the weight ciphertext down to the feature window (the sparse bootstrap requires
+    /// zeros outside its `s`-slot window, and a previous refresh leaves stale replicas
+    /// there), exhausts its remaining levels, and runs the real sparse-slot bootstrap.
+    fn refresh_weights(&self, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        let bootstrapper = self
+            .bootstrapper
+            .as_ref()
+            .expect("refresh_weights requires a bootstrapper");
+        if self.evaluator.sink().is_enabled() {
+            self.evaluator.sink().begin_phase(phase::LR_REFRESH);
+        }
+        let mut mask = vec![0.0f64; self.ctx.slot_count()];
+        mask[..self.features].fill(1.0);
+        let prime = self.ctx.rescale_prime(ct.level()) as f64;
+        let pt = self.encoder.encode_real(&mask, prime, ct.level())?;
+        let masked = self
+            .evaluator
+            .rescale(&self.evaluator.multiply_plain(ct, &pt)?)?;
+        let aligned = self
+            .evaluator
+            .match_scale(&masked, self.ctx.params().default_scale())?;
+        let exhausted = self.evaluator.mod_drop_to_level(&aligned, 0)?;
+        bootstrapper.bootstrap(&exhausted, &self.rlk, &self.gks)
     }
 }
 
@@ -385,6 +509,71 @@ mod tests {
         assert_eq!(recorded.ops, planned.ops);
         // The per-sample phase structure repeats batch times, plus the final update.
         assert_eq!(recorded.phase_labels().len(), 4 * batch + 1);
+    }
+
+    #[test]
+    fn bootstrapped_training_records_the_serial_part_end_to_end() {
+        // Two encrypted iterations with a *real* sparse-slot bootstrap of the weight
+        // ciphertext in between: the full serial part of the HELR iteration — sigmoid, update,
+        // mask and bootstrap — lands in one recorded trace, and the embedded bootstrap matches
+        // the bootstrapper's planned trace op for op.
+        let features = 16;
+        let data = synthetic_mnist_like(32, features, 17);
+        let ctx = CkksContext::new_arc(CkksParams::bootstrap_testing()).unwrap();
+        let sink = fab_trace::RecordingSink::shared("recorded refresh training");
+        let mut trainer =
+            EncryptedLogisticRegression::with_bootstrapping(ctx, features, 64, 3, sink.clone())
+                .unwrap();
+        let report = trainer.train_with_refresh(&data, 2, 8, 1.0).unwrap();
+        assert_eq!(report.iterations, 2);
+        // The refreshed model still learned: better than chance on the training data.
+        assert!(
+            report.training_accuracy > 0.55,
+            "accuracy after refreshed training: {}",
+            report.training_accuracy
+        );
+
+        let recorded = sink.take();
+        let labels = recorded.phase_labels();
+        // Iteration phases, then the refresh (mask + the five bootstrap phases), then the
+        // second iteration's phases.
+        let refresh_at = labels
+            .iter()
+            .position(|&l| l == phase::LR_REFRESH)
+            .expect("refresh phase recorded");
+        assert_eq!(
+            &labels[refresh_at..refresh_at + 6],
+            &[
+                phase::LR_REFRESH,
+                fab_trace::phase::MOD_RAISE,
+                fab_trace::phase::SUB_SUM,
+                fab_trace::phase::COEFF_TO_SLOT,
+                fab_trace::phase::EVAL_MOD,
+                fab_trace::phase::SLOT_TO_COEFF,
+            ]
+        );
+        assert!(labels[refresh_at + 6..].contains(&phase::LR_FORWARD));
+        // The recorded bootstrap equals its plan op for op, phase by phase.
+        let predicted = trainer.bootstrapper().unwrap().predicted_trace().unwrap();
+        for label in [
+            fab_trace::phase::MOD_RAISE,
+            fab_trace::phase::SUB_SUM,
+            fab_trace::phase::COEFF_TO_SLOT,
+            fab_trace::phase::EVAL_MOD,
+        ] {
+            assert_eq!(
+                recorded.phase_ops(label).unwrap(),
+                predicted.phase_ops(label).unwrap(),
+                "recorded and planned bootstrap diverge in {label}"
+            );
+        }
+        // SLOT_TO_COEFF runs up to the next phase marker in the recorded trace (the second
+        // iteration's forward pass), so compare it by prefix.
+        let recorded_stc = recorded.phase_ops(fab_trace::phase::SLOT_TO_COEFF).unwrap();
+        let predicted_stc = predicted
+            .phase_ops(fab_trace::phase::SLOT_TO_COEFF)
+            .unwrap();
+        assert_eq!(&recorded_stc[..predicted_stc.len()], predicted_stc);
     }
 
     #[test]

@@ -14,8 +14,19 @@
 //!   the weight ciphertexts at the end of the iteration ("a bootstrapping operation after
 //!   every iteration", Section 5.5), which stays on one FPGA, plus
 //! * ~12 ms of inter-FPGA communication per iteration for FAB-2 (Section 5.5).
+//!
+//! Since the BSGS refactor the end-of-iteration bootstrap is no longer hand-approximated
+//! either: the serial trace embeds the *planned* trace of the real sparse-slot bootstrapper
+//! (`fab_ckks::Bootstrapper` with [`fab_ckks::bootstrap::BootstrapParams::sparse_for_scheme`])
+//! at the benchmark parameters — the same pipeline whose recorded execution is pinned
+//! op-for-op to its plan by the fab-ckks tests, and the one
+//! [`crate::EncryptedLogisticRegression::train_with_refresh`] really executes.
 
-use fab_ckks::CkksParams;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use fab_ckks::bootstrap::BootstrapParams;
+use fab_ckks::{Bootstrapper, CkksContext, CkksParams};
 use fab_core::baselines::HelrTask;
 use fab_core::workload::{HeOp, OpTrace, TraceCost};
 use fab_core::{FabConfig, MultiFpgaSystem, OpCostModel, ParallelWorkload};
@@ -187,50 +198,34 @@ impl MiniatureIteration {
     }
 }
 
-/// Bootstrapping trace for a sparsely-packed ciphertext: identical pipeline to the fully-packed
-/// case, but the CoeffToSlot/SlotToCoeff matrices only span `log2(slots)` butterfly levels and
-/// therefore need far fewer rotations.
+/// Bootstrapping trace for a sparsely-packed ciphertext: the *planned* trace of the real
+/// sparse-slot bootstrapper at the given parameters — SubSum onto the packing subring, tiled
+/// sub-FFT CoeffToSlot/SlotToCoeff under their exact BSGS plans, and the widened-range
+/// EvalMod. The same pipeline's recorded execution equals its plan op-for-op (fab-ckks
+/// `sparse_bootstrap_refreshes_message_and_matches_predicted_trace`), so the serial part of
+/// the HELR workload is no longer a hand-written approximation.
+///
+/// Planning builds the scheme context at the benchmark parameters (seconds of one-time work),
+/// so traces are cached per `(log_n, slots)` for the life of the process.
 fn sparse_bootstrap_trace(params: &CkksParams, slots: usize) -> OpTrace {
-    let mut trace = OpTrace::new("sparse-bootstrap");
-    let top = params.max_level;
-    let fft_iter = params.fft_iter.max(1);
-    let log_slots = (slots as f64).log2().ceil() as usize;
-    let stage_radix = 1usize << log_slots.div_ceil(fft_iter);
-    let diagonals = 2 * stage_radix - 1;
-    let rotations = (2.0 * (diagonals as f64).sqrt()).ceil() as usize;
-
-    trace.push(HeOp::Ntt {
-        count: 2 * params.total_q_limbs(),
-    });
-    let mut level = top;
-    for _ in 0..fft_iter {
-        trace.push(HeOp::Rotate { level });
-        trace.push_many(HeOp::RotateHoisted { level }, rotations.saturating_sub(1));
-        trace.push_many(HeOp::MultiplyPlain { level }, diagonals);
-        trace.push(HeOp::Rescale { level });
-        level -= 1;
-    }
-    trace.push(HeOp::Conjugate { level });
-    // EvalMod (depth 9). With sparse packing the real and imaginary coefficient halves fit in
-    // unused slots of a single ciphertext, so the sine is evaluated once (a standard sparse
-    // bootstrapping optimisation); the fully-packed trace in `fab-core` evaluates it twice.
-    {
-        let mut eval_level = level;
-        for _ in 0..9 {
-            trace.push_many(HeOp::Multiply { level: eval_level }, 3);
-            trace.push(HeOp::Rescale { level: eval_level });
-            eval_level -= 1;
-        }
-    }
-    level -= 9;
-    for _ in 0..fft_iter {
-        trace.push(HeOp::Rotate { level });
-        trace.push_many(HeOp::RotateHoisted { level }, rotations.saturating_sub(1));
-        trace.push_many(HeOp::MultiplyPlain { level }, diagonals);
-        trace.push(HeOp::Rescale { level });
-        level -= 1;
-    }
-    trace
+    static CACHE: Mutex<Option<HashMap<String, OpTrace>>> = Mutex::new(None);
+    // The trace depends on every parameter (levels, fft_iter, moduli, secret sparsity), so
+    // key on the full parameter set, not just its size.
+    let key = format!("{params:?}|{slots}");
+    let mut guard = CACHE.lock().expect("sparse bootstrap trace cache poisoned");
+    let cache = guard.get_or_insert_with(HashMap::new);
+    cache
+        .entry(key)
+        .or_insert_with(|| {
+            let ctx =
+                CkksContext::new_arc(params.clone()).expect("benchmark parameters build a context");
+            let bootstrap = BootstrapParams::sparse_for_scheme(params, slots);
+            Bootstrapper::new(ctx, bootstrap)
+                .expect("benchmark parameters carry the sparse bootstrap")
+                .predicted_trace()
+                .expect("sparse bootstrap plans within the level budget")
+        })
+        .clone()
 }
 
 /// Models the average LR training time per iteration for FAB-1 (one FPGA) and FAB-2

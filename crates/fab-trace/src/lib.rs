@@ -38,6 +38,9 @@ use std::sync::{Arc, Mutex};
 pub mod phase {
     /// ModRaise: re-populating every limb of an exhausted ciphertext.
     pub const MOD_RAISE: &str = "mod_raise";
+    /// SubSum: the rotate-and-add projection onto the sparse-packing subring that precedes
+    /// CoeffToSlot when bootstrapping sparsely-packed ciphertexts.
+    pub const SUB_SUM: &str = "sub_sum";
     /// CoeffToSlot: the homomorphic inverse encoding FFT.
     pub const COEFF_TO_SLOT: &str = "coeff_to_slot";
     /// EvalMod: the scaled-sine polynomial evaluation.
@@ -54,6 +57,9 @@ pub mod phase {
     pub const LR_GRADIENT: &str = "lr_gradient";
     /// HELR: the end-of-iteration weight update.
     pub const LR_UPDATE: &str = "lr_update";
+    /// HELR: masking the weight ciphertext ahead of its end-of-iteration sparse bootstrap
+    /// (the bootstrap itself is phase-marked `MOD_RAISE` … `SLOT_TO_COEFF`).
+    pub const LR_REFRESH: &str = "lr_refresh";
 }
 
 /// One homomorphic operation at a given level.

@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eval_mod_degree: 159,
             k_range: 16.0,
             fft_iter: 3,
+            sparse_slots: None,
         },
     )?;
     println!(

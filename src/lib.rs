@@ -23,10 +23,32 @@
 //!    [`accelerator::OpCostModel::phase_costs`]) to get modelled FPGA cycles, NTT counts, HBM
 //!    traffic and wall-clock time at any parameter set.
 //!
-//! Analytic workloads remain available (e.g. [`accelerator::workload::bootstrap_trace`] for
-//! the FPGA-scheduled fully-packed bootstrap), and every software-faithful analytic trace has
-//! a *recorded counterpart test* asserting exact per-phase agreement — see
-//! [`ckks::Bootstrapper::predicted_trace`] and
+//! ## Bootstrapping: one rotation schedule, planned then executed
+//!
+//! Bootstrapping (ModRaise → CoeffToSlot → EvalMod → SlotToCoeff) is organised around a
+//! *plan → execute* flow. Every CoeffToSlot/SlotToCoeff stage carries a [`ckks::BsgsPlan`]:
+//! the baby-step/giant-step regrouping of its diagonal offsets that FAB schedules on the
+//! FPGA — the distinct baby rotations run as **one hoisted batch** sharing a single
+//! key-switch Decomp→ModUp ([`ckks::Evaluator::rotate_hoisted_batch`]), each giant group pays
+//! one full rotation, and the total drops from one key switch per diagonal to ~`2·√d`. The
+//! *same plan object* then drives three views that the workspace tests pin together op for
+//! op:
+//!
+//! * the **real execution** ([`ckks::Bootstrapper::bootstrap`]) on ciphertexts,
+//! * the **planned trace** ([`ckks::Bootstrapper::predicted_trace`]) on `(level, scale)`
+//!   shadows, and
+//! * the **accelerator workload** ([`accelerator::workload::bootstrap_trace`]), which prices
+//!   each stage from the structural offset sets without touching a polynomial.
+//!
+//! Sparsely-packed ciphertexts (messages in the first `s` slots, as `fab-lr` packs them) get
+//! a real sparse-slot entry point: `BootstrapParams::sparse_for_scheme` inserts a SubSum
+//! projection onto the packing subring and factors the tiled sub-FFT over `s` slots, so the
+//! encrypted trainer's end-of-iteration refresh
+//! ([`logistic_regression::EncryptedLogisticRegression::train_with_refresh`]) is recorded end
+//! to end instead of being hand-approximated.
+//!
+//! Every software-faithful analytic trace has a *recorded counterpart test* asserting exact
+//! per-phase agreement — see [`ckks::Bootstrapper::predicted_trace`] and
 //! [`logistic_regression::planned_iteration_trace`].
 //!
 //! ```

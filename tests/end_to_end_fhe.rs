@@ -114,6 +114,7 @@ fn bootstrap_then_continue_computing() {
             eval_mod_degree: 159,
             k_range: 16.0,
             fft_iter: 3,
+            sparse_slots: None,
         },
     )
     .unwrap();

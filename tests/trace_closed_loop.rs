@@ -27,6 +27,7 @@ fn recorded_bootstrap_feeds_the_accelerator_model() {
             eval_mod_degree: 159,
             k_range: 16.0,
             fft_iter: 3,
+            sparse_slots: None,
         },
         sink.clone(),
     )
@@ -80,6 +81,32 @@ fn recorded_bootstrap_feeds_the_accelerator_model() {
         assert_eq!(
             recorded_counts, predicted_counts,
             "recorded and analytic op counts diverge in phase {recorded_label}"
+        );
+    }
+
+    // --- recorded == planned == fab-core workload on the rotation schedule -----------------
+    // The fab-core analytic bootstrap workload prices each linear-transform stage from the
+    // same BSGS plans the recorded pipeline executed, so all three views agree op-for-op on
+    // rotation counts — the equivalence no longer carves out the linear-transform phases.
+    let analytic = fab_core::workload::bootstrap_trace(ctx.params(), 3);
+    assert_eq!(recorded.phase_labels(), analytic.phase_labels());
+    for ((recorded_label, recorded_counts), (_, analytic_counts)) in recorded
+        .phase_counts()
+        .iter()
+        .zip(analytic.phase_counts().iter())
+    {
+        assert_eq!(
+            (
+                recorded_counts.rotate,
+                recorded_counts.rotate_hoisted,
+                recorded_counts.conjugate
+            ),
+            (
+                analytic_counts.rotate,
+                analytic_counts.rotate_hoisted,
+                analytic_counts.conjugate
+            ),
+            "recorded and fab-core rotation counts diverge in phase {recorded_label}"
         );
     }
 
