@@ -1,14 +1,30 @@
 //! The CKKS context: limb moduli, NTT tables, and the encoding FFT for one parameter set.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-use fab_math::{generate_ntt_primes, Modulus, SpecialFft};
+use fab_math::{generate_ntt_primes, AutomorphismMap, Modulus, SpecialFft};
+use fab_rns::ops::{ModDownPlan, ModUpPlan};
 use fab_rns::RnsBasis;
 
 use crate::{CkksError, CkksParams, Result};
 
+/// Lazily-built, shared kernel precomputations: ModUp/ModDown conversion constants per
+/// `(level, digit)` and automorphism index maps per Galois element. These are pure scalar
+/// tables (no polynomial data), so caching them per context is cheap and lets the evaluator's
+/// steady-state key switches skip all constant (re)computation.
+#[derive(Debug, Default)]
+struct KernelCache {
+    /// Keyed by `(level, digit_offset, digit_len)`.
+    mod_up: Mutex<HashMap<(usize, usize, usize), Arc<ModUpPlan>>>,
+    /// Keyed by level.
+    mod_down: Mutex<HashMap<usize, Arc<ModDownPlan>>>,
+    /// Keyed by Galois element.
+    automorphism: Mutex<HashMap<u64, Arc<AutomorphismMap>>>,
+}
+
 /// Shared precomputed state for one CKKS parameter set: the limb moduli of `Q` and `P`, their
-/// NTT tables, and the special FFT used by the encoder.
+/// NTT tables, the special FFT used by the encoder, and a cache of key-switch kernel plans.
 ///
 /// Contexts are created once and shared (e.g. behind an [`Arc`]) by encoders, key generators,
 /// encryptors and evaluators.
@@ -22,13 +38,28 @@ use crate::{CkksError, CkksParams, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CkksContext {
     params: CkksParams,
     q_basis: RnsBasis,
     p_basis: RnsBasis,
     full_basis: RnsBasis,
     fft: Arc<SpecialFft>,
+    kernel_cache: KernelCache,
+}
+
+impl Clone for CkksContext {
+    fn clone(&self) -> Self {
+        Self {
+            params: self.params.clone(),
+            q_basis: self.q_basis.clone(),
+            p_basis: self.p_basis.clone(),
+            full_basis: self.full_basis.clone(),
+            fft: Arc::clone(&self.fft),
+            // Kernel plans are lazily derived state; a clone starts with an empty cache.
+            kernel_cache: KernelCache::default(),
+        }
+    }
 }
 
 impl CkksContext {
@@ -87,6 +118,7 @@ impl CkksContext {
             p_basis,
             full_basis,
             fft,
+            kernel_cache: KernelCache::default(),
         })
     }
 
@@ -175,6 +207,74 @@ impl CkksContext {
     pub fn log_p(&self) -> f64 {
         self.p_basis.product_bits()
     }
+
+    /// The cached ModUp plan for the digit `[digit_offset .. digit_offset + digit_len)` at
+    /// `level` (built on first use, shared afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Propagates level and plan-construction errors.
+    pub fn mod_up_plan(
+        &self,
+        level: usize,
+        digit_offset: usize,
+        digit_len: usize,
+    ) -> Result<Arc<ModUpPlan>> {
+        cached(
+            &self.kernel_cache.mod_up,
+            (level, digit_offset, digit_len),
+            || {
+                let q_basis = self.basis_at_level(level)?;
+                Ok(ModUpPlan::new(
+                    &q_basis,
+                    &self.p_basis,
+                    digit_offset,
+                    digit_len,
+                )?)
+            },
+        )
+    }
+
+    /// The cached ModDown plan for `Q_level ∪ P → Q_level` (built on first use).
+    ///
+    /// # Errors
+    ///
+    /// Propagates level and plan-construction errors.
+    pub fn mod_down_plan(&self, level: usize) -> Result<Arc<ModDownPlan>> {
+        cached(&self.kernel_cache.mod_down, level, || {
+            let q_basis = self.basis_at_level(level)?;
+            Ok(ModDownPlan::new(&q_basis, &self.p_basis)?)
+        })
+    }
+
+    /// The cached coefficient-permutation map for the Galois automorphism `x → x^element`
+    /// (built on first use; bootstrapping touches only ~60 distinct elements).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid-element errors.
+    pub fn automorphism_map(&self, element: u64) -> Result<Arc<AutomorphismMap>> {
+        cached(&self.kernel_cache.automorphism, element, || {
+            Ok(AutomorphismMap::new(self.degree(), element)?)
+        })
+    }
+}
+
+/// Get-or-build under a single lock: a racing miss builds once, and the three kernel caches
+/// share one code path. Builders are CPU-only constant precomputation (they take no other
+/// locks), so holding the cache lock during construction cannot deadlock.
+fn cached<K: std::hash::Hash + Eq, V>(
+    cache: &Mutex<HashMap<K, Arc<V>>>,
+    key: K,
+    build: impl FnOnce() -> Result<V>,
+) -> Result<Arc<V>> {
+    let mut guard = cache.lock().expect("kernel cache poisoned");
+    if let Some(value) = guard.get(&key) {
+        return Ok(Arc::clone(value));
+    }
+    let value = Arc::new(build()?);
+    guard.insert(key, Arc::clone(&value));
+    Ok(value)
 }
 
 #[cfg(test)]

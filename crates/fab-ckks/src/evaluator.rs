@@ -5,8 +5,18 @@
 //! operation reports one [`HeOp`] to the attached [`TraceSink`], so a real execution produces
 //! exactly the event stream the `fab-core` accelerator model prices. The default sink is a
 //! no-op whose `is_enabled` check reduces the overhead to a single predictable branch.
+//!
+//! ## Scratch arena
+//!
+//! Steady-state hot paths (`multiply`, `key_switch`, `rotate_hoisted_batch`,
+//! `multiply_plain`) draw every temporary polynomial from a shared buffer pool instead of
+//! allocating: leased flat buffers are reshaped in place ([`RnsPolynomial::reset`] /
+//! [`RnsPolynomial::copy_from`]) and recycled when the operation completes, and the cached
+//! per-level ModUp/ModDown plans on [`CkksContext`] remove all per-call constant
+//! recomputation. Only the polynomials that escape into the returned [`Ciphertext`] keep
+//! their buffers.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use fab_math::{galois_element_for_conjugation, galois_element_for_rotation, Complex64};
 use fab_rns::{ops, Representation, RnsBasis, RnsPolynomial};
@@ -20,16 +30,73 @@ use crate::{
 /// Relative tolerance used when checking that two scales are compatible for addition.
 pub(crate) const SCALE_TOLERANCE: f64 = 1e-6;
 
+/// Reusable flat-buffer pool + kernel scratch shared by the evaluator's hot paths.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Recycled flat limb-major buffers (capacity is retained across leases).
+    pool: Vec<Vec<u64>>,
+    /// Hoisted-product buffer for the basis-conversion kernels.
+    convert: ops::ConvertScratch,
+}
+
+/// Upper bound on pooled buffers; beyond this, recycled buffers are simply dropped.
+const SCRATCH_POOL_LIMIT: usize = 32;
+
+impl Scratch {
+    /// Leases a zero-filled polynomial of the given shape from the pool.
+    fn lease_zero(
+        &mut self,
+        degree: usize,
+        limb_count: usize,
+        representation: Representation,
+    ) -> RnsPolynomial {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(degree * limb_count, 0);
+        RnsPolynomial::from_flat(degree, buf, representation)
+    }
+
+    /// Leases a polynomial holding a copy of `src`.
+    fn lease_copy(&mut self, src: &RnsPolynomial) -> RnsPolynomial {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(src.data());
+        RnsPolynomial::from_flat(src.degree(), buf, src.representation())
+    }
+
+    /// Returns a leased polynomial's buffer to the pool.
+    fn recycle(&mut self, poly: RnsPolynomial) {
+        if self.pool.len() < SCRATCH_POOL_LIMIT {
+            self.pool.push(poly.into_data());
+        }
+    }
+}
+
 /// Executes homomorphic operations over ciphertexts.
 ///
 /// All ciphertexts are kept in coefficient representation between operations; the evaluator
 /// performs the NTT/iNTT transitions internally, mirroring the representation switches of the
 /// FAB datapath (Section 4.5–4.6).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Evaluator {
     ctx: Arc<CkksContext>,
     encoder: Encoder,
     sink: Arc<dyn TraceSink>,
+    /// Per-evaluator buffer pool, locked for the duration of each hot-path operation.
+    scratch: Arc<Mutex<Scratch>>,
+}
+
+impl Clone for Evaluator {
+    fn clone(&self) -> Self {
+        Self {
+            ctx: Arc::clone(&self.ctx),
+            encoder: self.encoder.clone(),
+            sink: Arc::clone(&self.sink),
+            // Scratch is pure buffer reuse, nothing semantic: each clone gets its own arena
+            // so ciphertext-level parallelism across clones does not serialise on one lock.
+            scratch: Arc::new(Mutex::new(Scratch::default())),
+        }
+    }
 }
 
 impl Evaluator {
@@ -51,7 +118,17 @@ impl Evaluator {
     /// ```
     pub fn with_sink(ctx: Arc<CkksContext>, sink: Arc<dyn TraceSink>) -> Self {
         let encoder = Encoder::new(ctx.clone());
-        Self { ctx, encoder, sink }
+        Self {
+            ctx,
+            encoder,
+            sink,
+            scratch: Arc::new(Mutex::new(Scratch::default())),
+        }
+    }
+
+    /// Locks the shared scratch arena (never held across a second lock).
+    fn scratch(&self) -> std::sync::MutexGuard<'_, Scratch> {
+        self.scratch.lock().expect("evaluator scratch poisoned")
     }
 
     /// Replaces the trace sink, keeping context and encoder (builder-style).
@@ -210,16 +287,21 @@ impl Evaluator {
         }
         self.record(HeOp::MultiplyPlain { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
-        let mut p = pt.poly.prefix(a.level + 1)?;
+        let mut scratch = self.scratch();
+        let sc = &mut *scratch;
+        let mut p = sc.lease_zero(a.c0.degree(), 0, Representation::Coefficient);
+        p.copy_limbs_from(&pt.poly, 0..a.level + 1)?;
         p.to_evaluation(&basis);
-        let mut c0 = a.c0.clone();
-        let mut c1 = a.c1.clone();
-        c0.to_evaluation(&basis);
-        c1.to_evaluation(&basis);
-        let mut r0 = c0.mul(&p, &basis)?;
-        let mut r1 = c1.mul(&p, &basis)?;
+        // r0/r1 escape into the returned ciphertext; everything else is recycled.
+        let mut r0 = sc.lease_copy(&a.c0);
+        let mut r1 = sc.lease_copy(&a.c1);
+        r0.to_evaluation(&basis);
+        r1.to_evaluation(&basis);
+        r0.mul_assign(&p, &basis)?;
+        r1.mul_assign(&p, &basis)?;
         r0.to_coefficient(&basis);
         r1.to_coefficient(&basis);
+        sc.recycle(p);
         Ok(Ciphertext::from_parts(r0, r1, a.scale * pt.scale, a.level))
     }
 
@@ -258,26 +340,40 @@ impl Evaluator {
         self.record(HeOp::Multiply { level });
         let basis = self.ctx.basis_at_level(level)?;
 
-        let mut a0 = a.c0.clone();
-        let mut a1 = a.c1.clone();
-        let mut b0 = b.c0.clone();
-        let mut b1 = b.c1.clone();
+        let mut scratch = self.scratch();
+        let sc = &mut *scratch;
+        let mut a0 = sc.lease_copy(&a.c0);
+        let mut a1 = sc.lease_copy(&a.c1);
+        let mut b0 = sc.lease_copy(&b.c0);
+        let mut b1 = sc.lease_copy(&b.c1);
         a0.to_evaluation(&basis);
         a1.to_evaluation(&basis);
         b0.to_evaluation(&basis);
         b1.to_evaluation(&basis);
 
-        let mut d0 = a0.mul(&b0, &basis)?;
-        let mut d1 = a0.mul(&b1, &basis)?.add(&a1.mul(&b0, &basis)?, &basis)?;
-        let mut d2 = a1.mul(&b1, &basis)?;
+        let mut d0 = sc.lease_copy(&a0);
+        d0.mul_assign(&b0, &basis)?;
+        let mut d1 = sc.lease_copy(&a0);
+        d1.mul_assign(&b1, &basis)?;
+        d1.add_mul_assign(&a1, &b0, &basis)?;
+        let mut d2 = sc.lease_copy(&a1);
+        d2.mul_assign(&b1, &basis)?;
+        sc.recycle(a0);
+        sc.recycle(a1);
+        sc.recycle(b0);
+        sc.recycle(b1);
         d0.to_coefficient(&basis);
         d1.to_coefficient(&basis);
         d2.to_coefficient(&basis);
 
-        let (k0, k1) = self.key_switch(&d2, &rlk.key, level)?;
-        let c0 = d0.add(&k0, &basis)?;
-        let c1 = d1.add(&k1, &basis)?;
-        Ok(Ciphertext::from_parts(c0, c1, a.scale * b.scale, level))
+        let (k0, k1) = self.key_switch_with(sc, &d2, &rlk.key, level)?;
+        // d0/d1 become the output parts in place; the key-switch pair is recycled.
+        d0.add_assign(&k0, &basis)?;
+        d1.add_assign(&k1, &basis)?;
+        sc.recycle(d2);
+        sc.recycle(k0);
+        sc.recycle(k1);
+        Ok(Ciphertext::from_parts(d0, d1, a.scale * b.scale, level))
     }
 
     /// Ciphertext–ciphertext multiplication followed by a rescale.
@@ -486,27 +582,37 @@ impl Evaluator {
             return Ok(steps.iter().map(|_| a.clone()).collect());
         }
         let level = a.level;
+        let degree = a.c1.degree();
         let q_basis = self.ctx.basis_at_level(level)?;
         let p_basis = self.ctx.p_basis();
         let raised = self.ctx.raised_basis_at_level(level)?;
         let total_q = self.ctx.q_basis().len();
         let limbs = level + 1;
+        let key_map = key_limb_map(limbs, total_q, p_basis.len());
+
+        let mut scratch = self.scratch();
+        let sc = &mut *scratch;
 
         // Decomp + ModUp of c1, shared by every rotation in the batch.
         let alpha = self.ctx.params().alpha();
         let beta = limbs.div_ceil(alpha);
+        let mut digit = sc.lease_zero(degree, 0, Representation::Coefficient);
         let mut raised_digits = Vec::with_capacity(beta);
         for j in 0..beta {
             let start = j * alpha;
             let end = ((j + 1) * alpha).min(limbs);
-            let digit = RnsPolynomial::from_limbs(
-                a.c1.limbs()[start..end].to_vec(),
-                Representation::Coefficient,
-            );
-            let digit_basis = q_basis.slice(start..end)?;
-            raised_digits.push(ops::mod_up(&digit, &digit_basis, &q_basis, p_basis, start)?);
+            digit.copy_limbs_from(&a.c1, start..end)?;
+            let plan = self.ctx.mod_up_plan(level, start, end - start)?;
+            let mut extended = sc.lease_zero(degree, 0, Representation::Coefficient);
+            plan.apply_into(&digit, &mut sc.convert, &mut extended)?;
+            raised_digits.push(extended);
         }
+        sc.recycle(digit);
 
+        let down = self.ctx.mod_down_plan(level)?;
+        let mut rotated_digit = sc.lease_zero(degree, 0, Representation::Coefficient);
+        let mut acc0 = sc.lease_zero(degree, 0, Representation::Evaluation);
+        let mut acc1 = sc.lease_zero(degree, 0, Representation::Evaluation);
         let mut out = Vec::with_capacity(steps.len());
         let mut first = true;
         for &s in steps {
@@ -519,24 +625,25 @@ impl Evaluator {
             let key = keys.get(element).ok_or_else(|| CkksError::MissingKey {
                 description: format!("rotation by {st} (galois element {element})"),
             })?;
-            let mut acc0 =
-                RnsPolynomial::zero(a.c1.degree(), raised.len(), Representation::Evaluation);
-            let mut acc1 =
-                RnsPolynomial::zero(a.c1.degree(), raised.len(), Representation::Evaluation);
-            for (j, digit) in raised_digits.iter().enumerate() {
-                let mut extended = digit.automorphism(element, &raised)?;
-                extended.to_evaluation(&raised);
+            let map = self.ctx.automorphism_map(element)?;
+            acc0.reset(degree, raised.len(), Representation::Evaluation);
+            acc1.reset(degree, raised.len(), Representation::Evaluation);
+            for (j, raised_digit) in raised_digits.iter().enumerate() {
+                raised_digit.automorphism_into(&map, &raised, &mut rotated_digit)?;
+                rotated_digit.to_evaluation(&raised);
                 let (b_full, a_full) = key.component(j);
-                let b_j = restrict_key_poly(b_full, limbs, total_q, p_basis.len());
-                let a_j = restrict_key_poly(a_full, limbs, total_q, p_basis.len());
-                acc0 = acc0.add(&extended.mul(&b_j, &raised)?, &raised)?;
-                acc1 = acc1.add(&extended.mul(&a_j, &raised)?, &raised)?;
+                acc0.add_mul_limb_mapped(&rotated_digit, b_full, &key_map, &raised)?;
+                acc1.add_mul_limb_mapped(&rotated_digit, a_full, &key_map, &raised)?;
             }
             acc0.to_coefficient(&raised);
             acc1.to_coefficient(&raised);
-            let k0 = ops::mod_down(&acc0, &q_basis, p_basis)?;
-            let k1 = ops::mod_down(&acc1, &q_basis, p_basis)?;
-            let c0 = a.c0.automorphism(element, &q_basis)?.add(&k0, &q_basis)?;
+            let mut k0 = sc.lease_zero(degree, 0, Representation::Coefficient);
+            let mut k1 = sc.lease_zero(degree, 0, Representation::Coefficient);
+            down.apply_into(&acc0, &mut sc.convert, &mut k0)?;
+            down.apply_into(&acc1, &mut sc.convert, &mut k1)?;
+            let mut c0 = a.c0.automorphism_with_map(&map, &q_basis)?;
+            c0.add_assign(&k0, &q_basis)?;
+            sc.recycle(k0);
             let rotated = Ciphertext::from_parts(c0, k1, a.scale, level);
             self.record(if first {
                 HeOp::Rotate { level }
@@ -545,6 +652,12 @@ impl Evaluator {
             });
             first = false;
             out.push(rotated);
+        }
+        sc.recycle(rotated_digit);
+        sc.recycle(acc0);
+        sc.recycle(acc1);
+        for raised_digit in raised_digits {
+            sc.recycle(raised_digit);
         }
         Ok(out)
     }
@@ -590,15 +703,13 @@ impl Evaluator {
         key: &SwitchingKey,
     ) -> Result<Ciphertext> {
         let basis = self.ctx.basis_at_level(a.level)?;
-        let c0 = a.c0.automorphism(element, &basis)?;
-        let c1 = a.c1.automorphism(element, &basis)?;
+        let map = self.ctx.automorphism_map(element)?;
+        let mut c0 = a.c0.automorphism_with_map(&map, &basis)?;
+        let c1 = a.c1.automorphism_with_map(&map, &basis)?;
         let (k0, k1) = self.key_switch(&c1, key, a.level)?;
-        Ok(Ciphertext::from_parts(
-            c0.add(&k0, &basis)?,
-            k1,
-            a.scale,
-            a.level,
-        ))
+        c0.add_assign(&k0, &basis)?;
+        self.scratch().recycle(k0);
+        Ok(Ciphertext::from_parts(c0, k1, a.scale, a.level))
     }
 
     /// Multiplies the underlying polynomial by the monomial `X^power` (a negacyclic shift).
@@ -640,42 +751,61 @@ impl Evaluator {
         key: &SwitchingKey,
         level: usize,
     ) -> Result<(RnsPolynomial, RnsPolynomial)> {
-        let q_basis = self.ctx.basis_at_level(level)?;
-        let p_basis = self.ctx.p_basis();
+        let mut scratch = self.scratch();
+        self.key_switch_with(&mut scratch, d, key, level)
+    }
+
+    /// Key-switch core operating on an already-locked scratch arena (so composite operations
+    /// like `multiply` hold the lock once). Every temporary is leased and recycled; the
+    /// returned pair keeps its leased buffers (the caller recycles or moves them on).
+    fn key_switch_with(
+        &self,
+        sc: &mut Scratch,
+        d: &RnsPolynomial,
+        key: &SwitchingKey,
+        level: usize,
+    ) -> Result<(RnsPolynomial, RnsPolynomial)> {
         let raised = self.ctx.raised_basis_at_level(level)?;
+        let p_limbs = self.ctx.p_basis().len();
         let alpha = key.alpha();
         let limbs = level + 1;
         let beta = limbs.div_ceil(alpha);
         let degree = d.degree();
+        let key_map = key_limb_map(limbs, self.ctx.q_basis().len(), p_limbs);
 
-        let mut acc0 = RnsPolynomial::zero(degree, raised.len(), Representation::Evaluation);
-        let mut acc1 = RnsPolynomial::zero(degree, raised.len(), Representation::Evaluation);
+        let mut acc0 = sc.lease_zero(degree, raised.len(), Representation::Evaluation);
+        let mut acc1 = sc.lease_zero(degree, raised.len(), Representation::Evaluation);
+        let mut digit = sc.lease_zero(degree, 0, Representation::Coefficient);
+        let mut extended = sc.lease_zero(degree, 0, Representation::Coefficient);
 
         for j in 0..beta {
             let start = j * alpha;
             let end = ((j + 1) * alpha).min(limbs);
             // Decomp: take the digit's limbs.
-            let digit = RnsPolynomial::from_limbs(
-                d.limbs()[start..end].to_vec(),
-                Representation::Coefficient,
-            );
-            let digit_basis = q_basis.slice(start..end)?;
-            // ModUp: extend to Q_level ∪ P.
-            let mut extended = ops::mod_up(&digit, &digit_basis, &q_basis, p_basis, start)?;
+            digit.copy_limbs_from(d, start..end)?;
+            // ModUp: extend to Q_level ∪ P through the cached per-digit plan.
+            let plan = self.ctx.mod_up_plan(level, start, end - start)?;
+            plan.apply_into(&digit, &mut sc.convert, &mut extended)?;
             extended.to_evaluation(&raised);
-            // KSKIP: accumulate the inner product with the key, restricted to the live limbs.
+            // KSKIP: accumulate the inner product with the key; the limb map picks the live
+            // limbs straight out of the full-basis key, so no restricted copy is built.
             let (b_full, a_full) = key.component(j);
-            let b_j = restrict_key_poly(b_full, limbs, self.ctx.q_basis().len(), p_basis.len());
-            let a_j = restrict_key_poly(a_full, limbs, self.ctx.q_basis().len(), p_basis.len());
-            acc0 = acc0.add(&extended.mul(&b_j, &raised)?, &raised)?;
-            acc1 = acc1.add(&extended.mul(&a_j, &raised)?, &raised)?;
+            acc0.add_mul_limb_mapped(&extended, b_full, &key_map, &raised)?;
+            acc1.add_mul_limb_mapped(&extended, a_full, &key_map, &raised)?;
         }
+        sc.recycle(digit);
+        sc.recycle(extended);
 
         acc0.to_coefficient(&raised);
         acc1.to_coefficient(&raised);
-        // ModDown: divide by P.
-        let k0 = ops::mod_down(&acc0, &q_basis, p_basis)?;
-        let k1 = ops::mod_down(&acc1, &q_basis, p_basis)?;
+        // ModDown: divide by P through the cached plan.
+        let down = self.ctx.mod_down_plan(level)?;
+        let mut k0 = sc.lease_zero(degree, 0, Representation::Coefficient);
+        let mut k1 = sc.lease_zero(degree, 0, Representation::Coefficient);
+        down.apply_into(&acc0, &mut sc.convert, &mut k0)?;
+        down.apply_into(&acc1, &mut sc.convert, &mut k1)?;
+        sc.recycle(acc0);
+        sc.recycle(acc1);
         Ok((k0, k1))
     }
 
@@ -697,22 +827,12 @@ impl Evaluator {
     }
 }
 
-/// Restricts a key polynomial over `[q_0 … q_L, p_0 … p_{k-1}]` to the limbs
-/// `[q_0 … q_{limbs-1}, p_0 … p_{k-1}]` used at the current level.
-fn restrict_key_poly(
-    poly: &RnsPolynomial,
-    limbs: usize,
-    total_q_limbs: usize,
-    p_limbs: usize,
-) -> RnsPolynomial {
-    let mut selected = Vec::with_capacity(limbs + p_limbs);
-    for i in 0..limbs {
-        selected.push(poly.limb(i).to_vec());
-    }
-    for i in 0..p_limbs {
-        selected.push(poly.limb(total_q_limbs + i).to_vec());
-    }
-    RnsPolynomial::from_limbs(selected, poly.representation())
+/// The limb map selecting the level-`limbs` live rows `[q_0 … q_{limbs-1}, p_0 … p_{k-1}]`
+/// out of a full-basis key polynomial `[q_0 … q_L, p_0 … p_{k-1}]`.
+fn key_limb_map(limbs: usize, total_q_limbs: usize, p_limbs: usize) -> Vec<usize> {
+    (0..limbs)
+        .chain(total_q_limbs..total_q_limbs + p_limbs)
+        .collect()
 }
 
 /// Multiplies a coefficient-form polynomial by `X^power` in the negacyclic ring.
@@ -723,19 +843,17 @@ fn multiply_poly_by_monomial(
 ) -> RnsPolynomial {
     let degree = poly.degree();
     let power = power % (2 * degree);
-    let mut limbs = Vec::with_capacity(poly.limb_count());
-    for (idx, limb) in poly.limbs().iter().enumerate() {
+    let mut out = RnsPolynomial::zero(degree, poly.limb_count(), poly.representation());
+    fab_par::par_chunks_mut(out.data_mut(), degree, |idx, row| {
         let m = basis.modulus(idx);
-        let mut out = vec![0u64; degree];
-        for (i, &c) in limb.iter().enumerate() {
+        for (i, &c) in poly.limb(idx).iter().enumerate() {
             let shifted = i + power;
             let wraps = (shifted / degree) % 2 == 1;
             let target = shifted % degree;
-            out[target] = if wraps { m.neg(c) } else { c };
+            row[target] = if wraps { m.neg(c) } else { c };
         }
-        limbs.push(out);
-    }
-    RnsPolynomial::from_limbs(limbs, poly.representation())
+    });
+    out
 }
 
 #[cfg(test)]
@@ -1186,6 +1304,30 @@ mod tests {
     fn default_evaluator_sink_is_noop() {
         let f = fixture();
         assert!(!f.evaluator.sink().is_enabled());
+    }
+
+    #[test]
+    fn worker_count_is_invisible_in_results() {
+        // Limb partitioning is disjoint, so any FAB_THREADS setting must produce bitwise
+        // identical ciphertexts — the determinism contract of fab-par.
+        let mut f = fixture();
+        let a = sample_values(16, 30.0);
+        let b = sample_values(16, 31.0);
+        let ct_a = encrypt(&mut f, &a, 3);
+        let ct_b = encrypt(&mut f, &b, 3);
+        let single = {
+            fab_par::set_threads(1);
+            let product = f.evaluator.multiply_rescale(&ct_a, &ct_b, &f.rlk).unwrap();
+            f.evaluator.rotate(&product, 1, &f.gks).unwrap()
+        };
+        for workers in [2usize, 4] {
+            fab_par::set_threads(workers);
+            let product = f.evaluator.multiply_rescale(&ct_a, &ct_b, &f.rlk).unwrap();
+            let rotated = f.evaluator.rotate(&product, 1, &f.gks).unwrap();
+            assert_eq!(rotated.c0, single.c0, "c0 diverged at {workers} workers");
+            assert_eq!(rotated.c1, single.c1, "c1 diverged at {workers} workers");
+        }
+        fab_par::set_threads(1);
     }
 
     #[test]

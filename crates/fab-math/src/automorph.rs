@@ -114,13 +114,25 @@ impl AutomorphismMap {
     ///
     /// Panics if `coeffs.len() != degree`.
     pub fn apply(&self, coeffs: &[u64], modulus: &Modulus) -> Vec<u64> {
-        assert_eq!(coeffs.len(), self.degree);
         let mut out = vec![0u64; self.degree];
+        self.apply_into(coeffs, modulus, &mut out);
+        out
+    }
+
+    /// Applies the automorphism writing into a caller-provided output row (every index of
+    /// `out` is overwritten). Lets flat-layout polynomial kernels permute limb rows without
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != degree` or `out.len() != degree`.
+    pub fn apply_into(&self, coeffs: &[u64], modulus: &Modulus, out: &mut [u64]) {
+        assert_eq!(coeffs.len(), self.degree);
+        assert_eq!(out.len(), self.degree);
         for (i, &c) in coeffs.iter().enumerate() {
             let t = self.target[i];
             out[t] = if self.negate[i] { modulus.neg(c) } else { c };
         }
-        out
     }
 }
 

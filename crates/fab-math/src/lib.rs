@@ -7,6 +7,20 @@
 //!
 //! All higher-level crates (`fab-rns`, `fab-ckks`, `fab-core`) build on these kernels.
 //!
+//! ## Lazy-reduction invariants
+//!
+//! The hot paths work in an extended residue domain instead of reducing canonically after
+//! every operation:
+//!
+//! * [`Modulus::mul_shoup_lazy`] accepts **any** `u64` left operand and returns a residue in
+//!   `[0, 2q)`; [`Modulus::add_lazy`] closes `[0, 2q)` under addition.
+//! * [`NttTable::forward`] keeps butterfly operands in `[0, 4q)` and corrects once at the
+//!   end; [`NttTable::inverse`] works in `[0, 2q)` and fuses the `N⁻¹` scaling into its last
+//!   stage. Both are pinned bit-for-bit to the eager
+//!   [`NttTable::forward_reference`] / [`NttTable::inverse_reference`] baselines.
+//! * `q < 2^62` ([`MAX_MODULUS_BITS`]) guarantees `4q` fits in a `u64`, which is what makes
+//!   the whole scheme branch-free.
+//!
 //! ```
 //! use fab_math::{Modulus, NttTable};
 //!
@@ -42,7 +56,7 @@ pub use automorph::{
 pub use complex::Complex64;
 pub use error::MathError;
 pub use fft::SpecialFft;
-pub use modulus::Modulus;
+pub use modulus::{Modulus, MAX_MODULUS_BITS};
 pub use multiword::{MultiWord54, WORD18_BITS, WORD27_BITS};
 pub use ntt::NttTable;
 pub use prime::{generate_ntt_prime, generate_ntt_primes, is_prime};

@@ -15,6 +15,11 @@ pub const MAX_MODULUS_BITS: u32 = 62;
 /// [`Modulus::inv`] and [`Modulus::pow`]-based inverses assume primality (Fermat inversion)
 /// and the NTT requires `q ≡ 1 (mod 2N)`.
 ///
+/// Besides the canonical `[0, q)` operations, the modulus exposes *lazy* primitives
+/// ([`Modulus::mul_shoup_lazy`], [`Modulus::add_lazy`]) whose results live in the extended
+/// domain `[0, 2q)`; the lazy-reduction NTT keeps whole butterfly networks in that domain and
+/// corrects once at the end ([`Modulus::reduce_2q`] / [`Modulus::reduce_4q`]).
+///
 /// ```
 /// use fab_math::Modulus;
 ///
@@ -28,8 +33,11 @@ pub const MAX_MODULUS_BITS: u32 = 62;
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Modulus {
     value: u64,
+    /// `2q`, precomputed for the lazy `[0, 2q)` domain (fits: q < 2^62).
+    twice_value: u64,
     bits: u32,
     /// floor(2^128 / q), stored as (high 64 bits, low 64 bits) — classic Barrett constant.
+    /// The high half is exactly floor(2^64 / q), which single-word reduction reuses.
     barrett_hi: u64,
     barrett_lo: u64,
 }
@@ -55,20 +63,17 @@ impl Modulus {
                 reason: "modulus must fit in 62 bits",
             });
         }
-        // floor(2^128 / q) computed via 128-bit long division in two halves.
+        // floor(2^128 / q) = floor((2^128 - 1) / q), plus one iff q divides 2^128 exactly
+        // (equivalently, iff (2^128 - 1) mod q == q - 1 — only possible for powers of two).
         let q = value as u128;
-        let hi = (u128::MAX / q) as u64; // floor((2^128 - 1)/q) high part approximation
-                                         // Compute floor(2^128 / q) exactly: 2^128 = q * floor + rem.
-                                         // floor(2^128 / q) = floor((2^128 - 1)/q) unless q divides 2^128 (impossible for q>2 odd-ish)
-                                         // but q may be even; handle exactly:
         let floor_div = if (u128::MAX % q) == q - 1 {
             (u128::MAX / q) + 1
         } else {
             u128::MAX / q
         };
-        let _ = hi;
         Ok(Self {
             value,
+            twice_value: value << 1,
             bits,
             barrett_hi: (floor_div >> 64) as u64,
             barrett_lo: floor_div as u64,
@@ -87,24 +92,36 @@ impl Modulus {
         self.bits
     }
 
-    /// Reduces an arbitrary `u64` into `[0, q)`.
+    /// Returns `2q`, the upper bound of the lazy residue domain.
+    #[inline]
+    pub fn two_q(&self) -> u64 {
+        self.twice_value
+    }
+
+    /// Reduces an arbitrary `u64` into `[0, q)` via single-word Barrett reduction (no
+    /// hardware division): the quotient estimate `floor(a · floor(2^64/q) / 2^64)` is off by
+    /// at most 2, corrected with conditional subtractions.
     #[inline]
     pub fn reduce(&self, a: u64) -> u64 {
-        a % self.value
+        // barrett_hi == floor(2^64 / q) exactly (high half of floor(2^128 / q)).
+        let quotient = ((a as u128 * self.barrett_hi as u128) >> 64) as u64;
+        let mut r = a.wrapping_sub(quotient.wrapping_mul(self.value));
+        while r >= self.value {
+            r -= self.value;
+        }
+        r
     }
 
     /// Reduces an arbitrary `u128` into `[0, q)` using the precomputed Barrett constant.
     #[inline]
     pub fn reduce_u128(&self, a: u128) -> u64 {
-        // Barrett: estimate quotient via the top 128 bits of a * floor(2^128/q) >> 128.
+        // Barrett: estimate quotient via the top 128 bits of a * floor(2^128/q) >> 128,
+        // computed with 64x64 partial products.
         let q = self.value as u128;
-        let m = ((self.barrett_hi as u128) << 64) | self.barrett_lo as u128;
-        // (a * m) >> 128 computed with 64x64 partial products.
         let a_lo = a as u64 as u128;
         let a_hi = (a >> 64) as u64 as u128;
         let m_lo = self.barrett_lo as u128;
         let m_hi = self.barrett_hi as u128;
-        let _ = m;
         let lo_lo = a_lo * m_lo;
         let lo_hi = a_lo * m_hi;
         let hi_lo = a_hi * m_lo;
@@ -183,13 +200,66 @@ impl Modulus {
     /// used for twiddle factors in the FAB NTT datapath.
     #[inline]
     pub fn mul_shoup(&self, a: u64, b: u64, b_shoup: u64) -> u64 {
-        debug_assert!(a < self.value);
-        let q_hat = ((a as u128 * b_shoup as u128) >> 64) as u64;
-        let r = (a.wrapping_mul(b)).wrapping_sub(q_hat.wrapping_mul(self.value));
+        let r = self.mul_shoup_lazy(a, b, b_shoup);
         if r >= self.value {
             r - self.value
         } else {
             r
+        }
+    }
+
+    /// Lazy Shoup multiplication: same as [`Modulus::mul_shoup`] but the final conditional
+    /// subtraction is skipped, so the result lives in `[0, 2q)`. The left operand `a` may be
+    /// **any** `u64` (in particular a lazy residue in `[0, 4q)`): the Shoup quotient estimate
+    /// `floor(a·b_shoup/2^64)` differs from the true quotient by less than `1 + a/2^64 < 2`
+    /// whenever `b < q`, so the remainder stays below `2q` unconditionally.
+    ///
+    /// This is the butterfly workhorse of the lazy-reduction NTT: one multiply-high, two
+    /// multiply-lows, zero branches.
+    #[inline]
+    pub fn mul_shoup_lazy(&self, a: u64, b: u64, b_shoup: u64) -> u64 {
+        let q_hat = ((a as u128 * b_shoup as u128) >> 64) as u64;
+        (a.wrapping_mul(b)).wrapping_sub(q_hat.wrapping_mul(self.value))
+    }
+
+    /// Lazy addition over the `[0, 2q)` domain: both operands and the result are lazy
+    /// residues below `2q` (a single conditional subtraction of `2q`, never of `q`).
+    #[inline]
+    pub fn add_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.twice_value && b < self.twice_value);
+        let s = a + b;
+        if s >= self.twice_value {
+            s - self.twice_value
+        } else {
+            s
+        }
+    }
+
+    /// Corrects a lazy residue in `[0, 2q)` into the canonical `[0, q)`.
+    #[inline]
+    pub fn reduce_2q(&self, a: u64) -> u64 {
+        debug_assert!(a < self.twice_value);
+        if a >= self.value {
+            a - self.value
+        } else {
+            a
+        }
+    }
+
+    /// Corrects a doubly-lazy residue in `[0, 4q)` into the canonical `[0, q)` (the forward
+    /// lazy NTT leaves coefficients in this domain).
+    #[inline]
+    pub fn reduce_4q(&self, a: u64) -> u64 {
+        debug_assert!((a as u128) < 2 * self.twice_value as u128);
+        let a = if a >= self.twice_value {
+            a - self.twice_value
+        } else {
+            a
+        };
+        if a >= self.value {
+            a - self.value
+        } else {
+            a
         }
     }
 
@@ -347,11 +417,58 @@ mod tests {
         }
     }
 
+    #[test]
+    fn lazy_domain_bounds_and_correction() {
+        let q = modulus();
+        assert_eq!(q.two_q(), 2 * q.value());
+        let b = 0x1234_5678_9ABC % q.value();
+        let b_shoup = q.shoup_precompute(b);
+        // Lazy operands anywhere in [0, 4q) must stay below 2q and agree with eager mod q.
+        for a in [
+            0u64,
+            1,
+            q.value() - 1,
+            q.value(),
+            2 * q.value() - 1,
+            4 * q.value() - 1,
+        ] {
+            let lazy = q.mul_shoup_lazy(a, b, b_shoup);
+            assert!(lazy < q.two_q(), "lazy result {lazy} out of [0, 2q)");
+            assert_eq!(q.reduce_2q(lazy), q.mul(q.reduce(a), b));
+        }
+        for a in [0u64, q.value() - 1, q.value(), 2 * q.value() - 1] {
+            for c in [0u64, q.value(), 2 * q.value() - 1] {
+                let s = q.add_lazy(a, c);
+                assert!(s < q.two_q());
+                assert_eq!(q.reduce_2q(s), q.add(q.reduce(a), q.reduce(c)));
+            }
+        }
+        for a in [0u64, q.value(), 2 * q.value(), 4 * q.value() - 1] {
+            assert_eq!(q.reduce_4q(a), q.reduce(a));
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_reduce_u128_matches_modulo(a in any::<u128>()) {
             let q = modulus();
             prop_assert_eq!(q.reduce_u128(a) as u128, a % q.value() as u128);
+        }
+
+        #[test]
+        fn prop_reduce_u64_matches_modulo(a in any::<u64>()) {
+            let q = modulus();
+            prop_assert_eq!(q.reduce(a), a % q.value());
+        }
+
+        #[test]
+        fn prop_mul_shoup_lazy_congruent(a in any::<u64>(), b in any::<u64>()) {
+            let q = modulus();
+            let b = b % q.value();
+            let b_shoup = q.shoup_precompute(b);
+            let lazy = q.mul_shoup_lazy(a, b, b_shoup);
+            prop_assert!(lazy < q.two_q());
+            prop_assert_eq!(q.reduce_2q(lazy), q.mul(q.reduce(a), b));
         }
 
         #[test]

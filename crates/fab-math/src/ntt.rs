@@ -5,6 +5,17 @@
 //! software-reference transform: Harvey-style butterflies with Shoup-precomputed twiddles,
 //! merged ψ powers (so no separate pre/post-multiplication is needed for the negacyclic wrap),
 //! and tables stored in bit-reversed order.
+//!
+//! ## Lazy reduction
+//!
+//! The hot [`NttTable::forward`] / [`NttTable::inverse`] paths use *lazy reduction*: butterfly
+//! operands live in the extended domain `[0, 2q)` (forward outputs drift up to `[0, 4q)`), no
+//! butterfly performs a full canonical reduction, and a single correction pass at the end maps
+//! every coefficient back into `[0, q)`. The inverse transform additionally fuses the `N⁻¹`
+//! scaling into its last butterfly stage, so the separate scaling sweep of the textbook
+//! algorithm disappears. The pre-refactor eager transforms are kept verbatim as
+//! [`NttTable::forward_reference`] / [`NttTable::inverse_reference`]; property tests pin the
+//! lazy transforms to them bit for bit, and `fab-bench` measures the speedup between the two.
 
 use crate::{MathError, Modulus, Result};
 
@@ -43,6 +54,10 @@ pub struct NttTable {
     /// N^{-1} mod q.
     degree_inv: u64,
     degree_inv_shoup: u64,
+    /// `ψ^{-brv(1)} · N^{-1} mod q`: the last inverse stage's single twiddle with the `N⁻¹`
+    /// scaling fused in, so the inverse transform needs no separate scaling pass.
+    psi_inv_last_fused: u64,
+    psi_inv_last_fused_shoup: u64,
 }
 
 impl NttTable {
@@ -92,6 +107,8 @@ impl NttTable {
             .collect();
         let degree_inv = modulus.inv(degree as u64)?;
         let degree_inv_shoup = modulus.shoup_precompute(degree_inv);
+        let psi_inv_last_fused = modulus.mul(psi_inv_rev[1], degree_inv);
+        let psi_inv_last_fused_shoup = modulus.shoup_precompute(psi_inv_last_fused);
         Ok(Self {
             degree,
             modulus,
@@ -101,6 +118,8 @@ impl NttTable {
             psi_inv_rev_shoup,
             degree_inv,
             degree_inv_shoup,
+            psi_inv_last_fused,
+            psi_inv_last_fused_shoup,
         })
     }
 
@@ -118,10 +137,106 @@ impl NttTable {
 
     /// In-place forward negacyclic NTT (coefficient → evaluation representation).
     ///
+    /// Lazy-reduction Harvey butterflies: operands stay in `[0, 4q)` across the whole
+    /// butterfly network (each butterfly only conditionally subtracts `2q` from its upper
+    /// input) and a single correction pass at the end restores the canonical `[0, q)` range.
+    /// Output is bit-for-bit identical to [`NttTable::forward_reference`].
+    ///
     /// # Panics
     ///
     /// Panics if `values.len() != N`.
     pub fn forward(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "input length must equal N");
+        let q = &self.modulus;
+        let two_q = q.two_q();
+        let n = self.degree;
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for (i, block) in values.chunks_exact_mut(2 * t).enumerate() {
+                let s = self.psi_rev[m + i];
+                let s_shoup = self.psi_rev_shoup[m + i];
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // Invariant: *x, *y ∈ [0, 4q). Reduce x into [0, 2q), keep the twiddle
+                    // product lazy in [0, 2q); the outputs land back in [0, 4q).
+                    let mut u = *x;
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = q.mul_shoup_lazy(*y, s, s_shoup);
+                    *x = u + v;
+                    *y = u + two_q - v;
+                }
+            }
+            m <<= 1;
+        }
+        for v in values.iter_mut() {
+            *v = q.reduce_4q(*v);
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient representation).
+    ///
+    /// Lazy-reduction Gentleman–Sande butterflies over the `[0, 2q)` domain, with the `N⁻¹`
+    /// scaling fused into the final stage's twiddles (no separate scaling sweep) and one
+    /// correction pass at the end. Output is bit-for-bit identical to
+    /// [`NttTable::inverse_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != N`.
+    pub fn inverse(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "input length must equal N");
+        let q = &self.modulus;
+        let two_q = q.two_q();
+        let n = self.degree;
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 2 {
+            let h = m >> 1;
+            for (i, block) in values.chunks_exact_mut(2 * t).enumerate() {
+                let s = self.psi_inv_rev[h + i];
+                let s_shoup = self.psi_inv_rev_shoup[h + i];
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // Invariant: *x, *y ∈ [0, 2q).
+                    let u = *x;
+                    let v = *y;
+                    *x = q.add_lazy(u, v);
+                    *y = q.mul_shoup_lazy(u + two_q - v, s, s_shoup);
+                }
+            }
+            t <<= 1;
+            m = h;
+        }
+        // Last stage (m == 2): one butterfly group spanning the whole array, with N⁻¹ fused
+        // into both output twiddles.
+        debug_assert_eq!(t, n / 2);
+        let (lo, hi) = values.split_at_mut(t);
+        for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+            let u = *x;
+            let v = *y;
+            *x = q.mul_shoup_lazy(q.add_lazy(u, v), self.degree_inv, self.degree_inv_shoup);
+            *y = q.mul_shoup_lazy(
+                u + two_q - v,
+                self.psi_inv_last_fused,
+                self.psi_inv_last_fused_shoup,
+            );
+        }
+        for v in values.iter_mut() {
+            *v = q.reduce_2q(*v);
+        }
+    }
+
+    /// The pre-refactor eager forward transform (fully reduced after every butterfly), kept
+    /// as the scalar correctness and performance baseline for the lazy [`NttTable::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != N`.
+    pub fn forward_reference(&self, values: &mut [u64]) {
         assert_eq!(values.len(), self.degree, "input length must equal N");
         let q = &self.modulus;
         let n = self.degree;
@@ -145,12 +260,14 @@ impl NttTable {
         }
     }
 
-    /// In-place inverse negacyclic NTT (evaluation → coefficient representation).
+    /// The pre-refactor eager inverse transform (fully reduced after every butterfly, with a
+    /// separate `N⁻¹` scaling sweep), kept as the scalar correctness and performance baseline
+    /// for the lazy [`NttTable::inverse`].
     ///
     /// # Panics
     ///
     /// Panics if `values.len() != N`.
-    pub fn inverse(&self, values: &mut [u64]) {
+    pub fn inverse_reference(&self, values: &mut [u64]) {
         assert_eq!(values.len(), self.degree, "input length must equal N");
         let q = &self.modulus;
         let n = self.degree;
@@ -343,6 +460,62 @@ mod tests {
         t.forward(&mut values);
         t.inverse(&mut values);
         assert_eq!(values, original);
+    }
+
+    #[test]
+    fn lazy_matches_eager_reference_across_degrees() {
+        for log_n in 3usize..=12 {
+            let t = table(log_n, 50);
+            let q = t.modulus().value();
+            let poly = random_poly(1 << log_n, q, 1000 + log_n as u64);
+            let mut lazy = poly.clone();
+            let mut eager = poly.clone();
+            t.forward(&mut lazy);
+            t.forward_reference(&mut eager);
+            assert_eq!(lazy, eager, "forward mismatch at log_n = {log_n}");
+            t.inverse(&mut lazy);
+            t.inverse_reference(&mut eager);
+            assert_eq!(lazy, eager, "inverse mismatch at log_n = {log_n}");
+            assert_eq!(lazy, poly, "roundtrip mismatch at log_n = {log_n}");
+        }
+    }
+
+    #[test]
+    fn fused_scaling_handles_minimum_degree() {
+        // N = 2 exercises the inverse path where the fused last stage is the *only* stage.
+        let t = table(1, 40);
+        let q = t.modulus().value();
+        for seed in 0..8 {
+            let poly = random_poly(2, q, seed);
+            let mut lazy = poly.clone();
+            let mut eager = poly.clone();
+            t.forward(&mut lazy);
+            t.forward_reference(&mut eager);
+            assert_eq!(lazy, eager);
+            t.inverse(&mut lazy);
+            t.inverse_reference(&mut eager);
+            assert_eq!(lazy, eager);
+            assert_eq!(lazy, poly);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn prop_lazy_matches_eager_bit_for_bit(seed in any::<u64>(), log_n in 3usize..13) {
+            let t = table(log_n, 45);
+            let q = t.modulus().value();
+            let poly = random_poly(1 << log_n, q, seed);
+            let mut lazy = poly.clone();
+            let mut eager = poly.clone();
+            t.forward(&mut lazy);
+            t.forward_reference(&mut eager);
+            prop_assert_eq!(&lazy, &eager);
+            t.inverse(&mut lazy);
+            t.inverse_reference(&mut eager);
+            prop_assert_eq!(&lazy, &eager);
+            prop_assert_eq!(lazy, poly);
+        }
     }
 
     proptest! {

@@ -1,0 +1,256 @@
+//! # fab-par
+//!
+//! A dependency-free scoped worker pool for the FAB reproduction's limb-parallel kernels.
+//!
+//! RNS arithmetic is embarrassingly parallel across limbs: every limb of an
+//! [`RnsPolynomial`](../fab_rns/struct.RnsPolynomial.html) is an independent residue vector,
+//! so NTTs, basis conversions and key-switch digit products all decompose into per-limb jobs
+//! that touch disjoint memory. This crate provides the minimal machinery to fan those jobs
+//! out over OS threads using only `std::thread::scope` — no external scheduler, no global
+//! thread pool, no `unsafe`.
+//!
+//! ## Threading model
+//!
+//! The worker count is a process-wide setting resolved once from the `FAB_THREADS`
+//! environment variable (default **1**, i.e. fully serial). Tests therefore run
+//! deterministically single-threaded unless they opt in; benchmarks and applications opt in
+//! either via the environment (`FAB_THREADS=8`) or programmatically via [`set_threads`].
+//! Because every helper partitions work into *disjoint* index ranges or slices, the computed
+//! results are bitwise identical at any thread count — a property the crate's tests pin.
+//!
+//! Threads are spawned per call (`std::thread::scope`), which keeps the crate dependency-free
+//! and borrows-friendly; the kernels this crate serves (degree-2¹⁶ NTTs, multi-limb basis
+//! conversions) run for long enough that spawn overhead is noise.
+//!
+//! ```
+//! let mut data = vec![0u64; 4 * 8];
+//! fab_par::par_chunks_mut(&mut data, 8, |limb_idx, limb| {
+//!     for (i, v) in limb.iter_mut().enumerate() {
+//!         *v = (limb_idx * 100 + i) as u64;
+//!     }
+//! });
+//! assert_eq!(data[8], 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Unresolved sentinel for the global thread-count cell.
+const UNSET: usize = 0;
+
+static THREADS: AtomicUsize = AtomicUsize::new(UNSET);
+
+/// Returns the configured worker count (≥ 1).
+///
+/// Resolved once from the `FAB_THREADS` environment variable; absent or unparsable values
+/// default to `1` (serial), so library users — tests in particular — stay deterministic and
+/// single-threaded unless they explicitly opt in.
+pub fn threads() -> usize {
+    let t = THREADS.load(Ordering::Relaxed);
+    if t != UNSET {
+        return t;
+    }
+    let resolved = std::env::var("FAB_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the worker count for the whole process (clamped to ≥ 1).
+///
+/// Takes precedence over `FAB_THREADS`; used by benchmarks to sweep thread counts at runtime.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Runs `f(i)` for every `i in 0..n`, fanning the indices out over the configured workers.
+///
+/// Indices are handed out via an atomic counter (dynamic load balancing), so uneven jobs —
+/// e.g. NTTs over moduli of different widths — do not serialise the pool. With one worker
+/// (the default) this is a plain loop.
+pub fn par_limbs<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = threads().min(n);
+    if workers <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let run = |next: &AtomicUsize| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        f(i);
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..workers {
+            scope.spawn(|| run(&next));
+        }
+        run(&next);
+    });
+}
+
+/// Runs `f(chunk_index, chunk)` over consecutive `chunk_len`-sized chunks of `data` in
+/// parallel. The final chunk may be shorter when `chunk_len` does not divide the length.
+///
+/// This is the mutable workhorse for limb-major flat polynomial storage: a polynomial's
+/// limbs are exactly its `degree`-sized chunks, and `chunks_mut` hands each worker a
+/// disjoint `&mut` slice, so no synchronisation (beyond the job queue) is needed.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = threads().min(n_chunks);
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let jobs: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    par_jobs(jobs, |(i, chunk)| f(i, chunk));
+}
+
+/// Runs `f` over an explicit list of jobs (e.g. `(target_index, &mut limb)` pairs gathered
+/// from non-contiguous output positions), fanning them out over the configured workers.
+///
+/// Jobs are popped from a shared queue, so ordering across workers is unspecified — the
+/// closure must only write through the state it is handed.
+pub fn par_jobs<T, F>(jobs: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let workers = threads().min(jobs.len());
+    if workers <= 1 {
+        for job in jobs {
+            f(job);
+        }
+        return;
+    }
+    let queue = Mutex::new(jobs);
+    let run = |queue: &Mutex<Vec<T>>| loop {
+        let job = queue
+            .lock()
+            .expect("worker panicked holding job queue")
+            .pop();
+        match job {
+            Some(job) => f(job),
+            None => break,
+        }
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..workers {
+            scope.spawn(|| run(&queue));
+        }
+        run(&queue);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serialises the tests that mutate the global thread count.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = GUARD
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let previous = threads();
+        set_threads(n);
+        let result = f();
+        set_threads(previous);
+        result
+    }
+
+    fn kernel(i: usize, limb: &mut [u64]) {
+        for (j, v) in limb.iter_mut().enumerate() {
+            // A cheap but index-sensitive mixing function.
+            *v = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (j as u64);
+        }
+    }
+
+    #[test]
+    fn par_limbs_visits_every_index_exactly_once() {
+        with_threads(4, || {
+            let counts: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+            par_limbs(counts.len(), |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        });
+    }
+
+    #[test]
+    fn multi_thread_matches_single_thread_bitwise() {
+        // The determinism contract: identical output at any worker count.
+        let degree = 64;
+        let limbs = 13;
+        let serial = with_threads(1, || {
+            let mut data = vec![0u64; degree * limbs];
+            par_chunks_mut(&mut data, degree, kernel);
+            data
+        });
+        for workers in [2usize, 3, 8] {
+            let parallel = with_threads(workers, || {
+                let mut data = vec![0u64; degree * limbs];
+                par_chunks_mut(&mut data, degree, kernel);
+                data
+            });
+            assert_eq!(parallel, serial, "mismatch at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn par_jobs_consumes_all_jobs() {
+        with_threads(3, || {
+            let total = AtomicU64::new(0);
+            par_jobs((1u64..=100).collect(), |v| {
+                total.fetch_add(v, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 5050);
+        });
+    }
+
+    #[test]
+    fn ragged_final_chunk_is_processed() {
+        with_threads(2, || {
+            let mut data = vec![0u64; 10];
+            par_chunks_mut(&mut data, 4, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = i as u64 + 1;
+                }
+            });
+            assert_eq!(data, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
+        });
+    }
+
+    #[test]
+    fn zero_jobs_are_a_no_op() {
+        with_threads(4, || {
+            par_limbs(0, |_| panic!("no indices expected"));
+            par_jobs(Vec::<u64>::new(), |_| panic!("no jobs expected"));
+        });
+    }
+}

@@ -6,6 +6,12 @@
 //! optimisation in the paper (Section 4.6) halves the multiplication count by hoisting the
 //! `x_i · (Q/q_i)^{-1} mod q_i` products so they are shared across all target limbs — this
 //! implementation follows the same two-phase structure.
+//!
+//! The converter operates on the flat limb-major layout of [`crate::RnsPolynomial`]: phase 1
+//! writes the hoisted products into one contiguous `k·N` scratch row block, and phase 2
+//! accumulates each target limb with *lazy* `[0, 2p_j)` arithmetic (one Shoup multiply-high
+//! and one conditional subtraction of `2p_j` per term, a single canonical correction at the
+//! end). All Shoup constants are precomputed at construction.
 
 use fab_math::Modulus;
 
@@ -29,10 +35,12 @@ use crate::{Result, RnsBasis, RnsError};
 pub struct BasisConverter {
     source_moduli: Vec<Modulus>,
     target_moduli: Vec<Modulus>,
-    /// `(Q/q_i)^{-1} mod q_i` — the hoisted per-source-limb factors.
+    /// `(Q/q_i)^{-1} mod q_i` — the hoisted per-source-limb factors (+ Shoup constants).
     q_hat_inv_mod_q: Vec<u64>,
-    /// `q_hat_mod_p[j][i] = (Q/q_i) mod p_j`.
+    q_hat_inv_mod_q_shoup: Vec<u64>,
+    /// `q_hat_mod_p[j][i] = (Q/q_i) mod p_j` (+ Shoup constants).
     q_hat_mod_p: Vec<Vec<u64>>,
+    q_hat_mod_p_shoup: Vec<Vec<u64>>,
     /// `Q mod p_j`, used by callers that apply the exact-flooring correction.
     q_mod_p: Vec<u64>,
 }
@@ -45,24 +53,39 @@ impl BasisConverter {
     /// Returns [`RnsError::Mismatch`] if the bases share a limb modulus (the CRT factors would
     /// not be invertible) or if either basis is empty.
     pub fn new(source: &RnsBasis, target: &RnsBasis) -> Result<Self> {
+        Self::from_moduli(source.moduli(), target.moduli())
+    }
+
+    /// Precomputes conversion constants from explicit source/target moduli. Unlike
+    /// [`BasisConverter::new`] this needs no NTT tables, so key-switch plans can be built for
+    /// arbitrary limb subsets without paying table construction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BasisConverter::new`].
+    pub fn from_moduli(source: &[Modulus], target: &[Modulus]) -> Result<Self> {
         if source.is_empty() || target.is_empty() {
             return Err(RnsError::Mismatch {
                 reason: "basis conversion requires non-empty source and target bases".into(),
             });
         }
-        for s in source.values() {
-            if target.values().contains(&s) {
+        for s in source {
+            if target.iter().any(|t| t.value() == s.value()) {
                 return Err(RnsError::Mismatch {
-                    reason: format!("modulus {s} appears in both source and target bases"),
+                    reason: format!(
+                        "modulus {} appears in both source and target bases",
+                        s.value()
+                    ),
                 });
             }
         }
-        let source_moduli = source.moduli().to_vec();
-        let target_moduli = target.moduli().to_vec();
+        let source_moduli = source.to_vec();
+        let target_moduli = target.to_vec();
         let k = source_moduli.len();
 
         // (Q/q_i) mod q_i and its inverse.
         let mut q_hat_inv_mod_q = Vec::with_capacity(k);
+        let mut q_hat_inv_mod_q_shoup = Vec::with_capacity(k);
         for i in 0..k {
             let qi = &source_moduli[i];
             let mut prod = 1u64;
@@ -71,14 +94,18 @@ impl BasisConverter {
                     prod = qi.mul(prod, qi.reduce(qj.value()));
                 }
             }
-            q_hat_inv_mod_q.push(qi.inv(prod)?);
+            let inv = qi.inv(prod)?;
+            q_hat_inv_mod_q.push(inv);
+            q_hat_inv_mod_q_shoup.push(qi.shoup_precompute(inv));
         }
 
         // (Q/q_i) mod p_j and Q mod p_j.
         let mut q_hat_mod_p = Vec::with_capacity(target_moduli.len());
+        let mut q_hat_mod_p_shoup = Vec::with_capacity(target_moduli.len());
         let mut q_mod_p = Vec::with_capacity(target_moduli.len());
         for pj in &target_moduli {
             let mut row = Vec::with_capacity(k);
+            let mut row_shoup = Vec::with_capacity(k);
             for i in 0..k {
                 let mut prod = 1u64;
                 for (j, qj) in source_moduli.iter().enumerate() {
@@ -86,6 +113,7 @@ impl BasisConverter {
                         prod = pj.mul(prod, pj.reduce(qj.value()));
                     }
                 }
+                row_shoup.push(pj.shoup_precompute(prod));
                 row.push(prod);
             }
             let mut q_full = 1u64;
@@ -93,6 +121,7 @@ impl BasisConverter {
                 q_full = pj.mul(q_full, pj.reduce(qj.value()));
             }
             q_hat_mod_p.push(row);
+            q_hat_mod_p_shoup.push(row_shoup);
             q_mod_p.push(q_full);
         }
 
@@ -100,7 +129,9 @@ impl BasisConverter {
             source_moduli,
             target_moduli,
             q_hat_inv_mod_q,
+            q_hat_inv_mod_q_shoup,
             q_hat_mod_p,
+            q_hat_mod_p_shoup,
             q_mod_p,
         })
     }
@@ -120,7 +151,9 @@ impl BasisConverter {
         &self.q_mod_p
     }
 
-    /// Phase 1 of the conversion: the hoisted products `y_i = x_i · (Q/q_i)^{-1} mod q_i`.
+    /// Phase 1 of the conversion over flat limb-major data: writes the hoisted products
+    /// `y_i = x_i · (Q/q_i)^{-1} mod q_i` into `out` (resized to `source_len()·degree`,
+    /// reusing its allocation — this is the per-call scratch buffer).
     ///
     /// Exposed separately because the paper's smart operation scheduling reuses these products
     /// across every extension limb ("reduces the number of modular multiplications by a factor
@@ -128,57 +161,98 @@ impl BasisConverter {
     ///
     /// # Panics
     ///
-    /// Panics if the number of source limbs differs from the precomputation.
-    pub fn hoisted_products(&self, source_limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
-        assert_eq!(source_limbs.len(), self.source_moduli.len());
-        source_limbs
-            .iter()
-            .enumerate()
-            .map(|(i, limb)| {
-                let qi = &self.source_moduli[i];
-                let factor = self.q_hat_inv_mod_q[i];
-                let factor_shoup = qi.shoup_precompute(factor);
-                limb.iter()
-                    .map(|&x| qi.mul_shoup(x, factor, factor_shoup))
-                    .collect()
-            })
-            .collect()
+    /// Panics if `source_flat.len() != source_len() · degree`.
+    pub fn hoisted_products_into(&self, source_flat: &[u64], degree: usize, out: &mut Vec<u64>) {
+        assert_eq!(source_flat.len(), self.source_moduli.len() * degree);
+        out.clear();
+        out.resize(source_flat.len(), 0);
+        fab_par::par_chunks_mut(out, degree, |i, row| {
+            let qi = &self.source_moduli[i];
+            let factor = self.q_hat_inv_mod_q[i];
+            let factor_shoup = self.q_hat_inv_mod_q_shoup[i];
+            let src = &source_flat[i * degree..(i + 1) * degree];
+            for (y, &x) in row.iter_mut().zip(src) {
+                *y = qi.mul_shoup(x, factor, factor_shoup);
+            }
+        });
     }
 
-    /// Phase 2: accumulate the hoisted products into one target limb.
+    /// Phase 2: accumulates the hoisted products into one target limb row, overwriting `out`.
+    ///
+    /// The inner loop is lazy: per term one Shoup multiply into `[0, 2p_j)` and one lazy
+    /// addition; the canonical correction happens once per coefficient at the end.
     ///
     /// # Panics
     ///
-    /// Panics if `target_index` is out of range or the hoisted products have the wrong shape.
-    pub fn accumulate_target_limb(&self, hoisted: &[Vec<u64>], target_index: usize) -> Vec<u64> {
+    /// Panics if `target_index` is out of range or the buffer shapes disagree.
+    pub fn accumulate_target_limb_into(
+        &self,
+        hoisted_flat: &[u64],
+        degree: usize,
+        target_index: usize,
+        out: &mut [u64],
+    ) {
+        assert_eq!(hoisted_flat.len(), self.source_moduli.len() * degree);
+        assert_eq!(out.len(), degree);
         let pj = &self.target_moduli[target_index];
         let weights = &self.q_hat_mod_p[target_index];
-        let degree = hoisted[0].len();
-        let mut out = vec![0u64; degree];
-        for (i, y) in hoisted.iter().enumerate() {
-            let w = pj.reduce(weights[i]);
-            let w_shoup = pj.shoup_precompute(w);
-            for (o, &yi) in out.iter_mut().zip(y.iter()) {
-                let term = pj.mul_shoup(pj.reduce(yi), w, w_shoup);
-                *o = pj.add(*o, term);
+        let weights_shoup = &self.q_hat_mod_p_shoup[target_index];
+        // The first source limb *writes* the row (no zero-fill pass — `out` may hold
+        // arbitrary recycled data); the remaining limbs accumulate lazily.
+        let mut rows = hoisted_flat.chunks_exact(degree).enumerate();
+        let (i0, y0) = rows.next().expect("converter has at least one source limb");
+        let w0 = weights[i0];
+        let w0_shoup = weights_shoup[i0];
+        for (o, &yi) in out.iter_mut().zip(y0) {
+            *o = pj.mul_shoup_lazy(yi, w0, w0_shoup);
+        }
+        for (i, y_row) in rows {
+            let w = weights[i];
+            let w_shoup = weights_shoup[i];
+            for (o, &yi) in out.iter_mut().zip(y_row) {
+                *o = pj.add_lazy(*o, pj.mul_shoup_lazy(yi, w, w_shoup));
             }
         }
-        out
+        for o in out.iter_mut() {
+            *o = pj.reduce_2q(*o);
+        }
     }
 
-    /// Full approximate conversion of all coefficients to every target limb.
+    /// Full approximate conversion of flat limb-major source data to every target limb
+    /// (returned as a flat `target_len()·degree` buffer), fanned out over the worker pool.
     ///
     /// The result represents `x + u·Q` reduced modulo each target limb, with `0 ≤ u <` number
     /// of source limbs.
     ///
     /// # Panics
     ///
-    /// Panics if the source limb count differs from the precomputation.
+    /// Panics if `source_flat.len() != source_len() · degree`.
+    pub fn convert_flat(&self, source_flat: &[u64], degree: usize) -> Vec<u64> {
+        let mut hoisted = Vec::new();
+        self.hoisted_products_into(source_flat, degree, &mut hoisted);
+        let mut out = vec![0u64; self.target_moduli.len() * degree];
+        fab_par::par_chunks_mut(&mut out, degree, |j, row| {
+            self.accumulate_target_limb_into(&hoisted, degree, j, row);
+        });
+        out
+    }
+
+    /// Row-per-limb convenience wrapper over [`BasisConverter::convert_flat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source limb count differs from the precomputation or rows have uneven
+    /// lengths.
     pub fn convert(&self, source_limbs: &[Vec<u64>]) -> Vec<Vec<u64>> {
-        let hoisted = self.hoisted_products(source_limbs);
-        (0..self.target_moduli.len())
-            .map(|j| self.accumulate_target_limb(&hoisted, j))
-            .collect()
+        assert_eq!(source_limbs.len(), self.source_moduli.len());
+        let degree = source_limbs[0].len();
+        let mut flat = Vec::with_capacity(degree * source_limbs.len());
+        for limb in source_limbs {
+            assert_eq!(limb.len(), degree);
+            flat.extend_from_slice(limb);
+        }
+        let out = self.convert_flat(&flat, degree);
+        out.chunks_exact(degree).map(|row| row.to_vec()).collect()
     }
 }
 
@@ -324,15 +398,34 @@ mod tests {
     }
 
     #[test]
-    fn hoisted_products_match_full_conversion() {
+    fn flat_phases_match_full_conversion() {
         let (source, target) = bases();
         let conv = BasisConverter::new(&source, &target).unwrap();
-        let limbs = encode_value(987654321, &source, 16);
-        let hoisted = conv.hoisted_products(&limbs);
-        let full = conv.convert(&limbs);
-        for (j, full_limb) in full.iter().enumerate() {
-            assert_eq!(&conv.accumulate_target_limb(&hoisted, j), full_limb);
+        let degree = 16;
+        let limbs = encode_value(987654321, &source, degree);
+        let flat: Vec<u64> = limbs.iter().flatten().copied().collect();
+        let mut hoisted = Vec::new();
+        conv.hoisted_products_into(&flat, degree, &mut hoisted);
+        let full = conv.convert_flat(&flat, degree);
+        for j in 0..conv.target_len() {
+            let mut row = vec![0u64; degree];
+            conv.accumulate_target_limb_into(&hoisted, degree, j, &mut row);
+            assert_eq!(&row[..], &full[j * degree..(j + 1) * degree]);
         }
+        // The row-per-limb wrapper agrees with the flat path.
+        let rows = conv.convert(&limbs);
+        for (j, row) in rows.iter().enumerate() {
+            assert_eq!(&row[..], &full[j * degree..(j + 1) * degree]);
+        }
+    }
+
+    #[test]
+    fn from_moduli_matches_basis_construction() {
+        let (source, target) = bases();
+        let a = BasisConverter::new(&source, &target).unwrap();
+        let b = BasisConverter::from_moduli(source.moduli(), target.moduli()).unwrap();
+        let limbs = encode_value(4242, &source, 8);
+        assert_eq!(a.convert(&limbs), b.convert(&limbs));
     }
 
     #[test]

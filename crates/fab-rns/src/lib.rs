@@ -8,9 +8,18 @@
 //! functional units run on 54-bit limbs. This crate provides:
 //!
 //! * [`RnsBasis`] — an ordered set of NTT-enabled limb moduli,
-//! * [`RnsPolynomial`] — a limb-major polynomial with explicit representation tracking,
-//! * [`BasisConverter`] — the approximate RNS basis conversion of Equation (1),
-//! * [`ops`] — the ModUp / ModDown / Rescale / Decomp kernels used by hybrid key switching.
+//! * [`RnsPolynomial`] — a limb-major polynomial in **one flat contiguous allocation**
+//!   (limb `i` at `data[i·N .. (i+1)·N]`) with explicit representation tracking,
+//! * [`BasisConverter`] — the approximate RNS basis conversion of Equation (1), operating on
+//!   the flat layout with construction-time Shoup constants and lazy `[0, 2q)` accumulation,
+//! * [`ops`] — the ModUp / ModDown / Rescale / Decomp kernels used by hybrid key switching,
+//!   with precomputed [`ops::ModUpPlan`] / [`ops::ModDownPlan`] objects and a reusable
+//!   [`ops::ConvertScratch`] so steady-state key switching allocates nothing.
+//!
+//! Per-limb work (NTTs, conversion targets, elementwise arithmetic) fans out over the
+//! `fab-par` worker pool; the default worker count is 1 (serial), so results are bitwise
+//! deterministic unless a caller opts into `FAB_THREADS > 1` — and remain bitwise identical
+//! even then, because limbs partition into disjoint jobs.
 //!
 //! ```
 //! use fab_rns::{RnsBasis, RnsPolynomial, Representation};

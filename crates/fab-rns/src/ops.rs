@@ -5,8 +5,26 @@
 //! the CKKS evaluator. All kernels here operate on coefficient-representation polynomials,
 //! mirroring the paper's datapath where basis conversion happens between the iNTT and NTT
 //! stages.
+//!
+//! Steady-state callers use the precomputed [`ModUpPlan`] / [`ModDownPlan`] objects (one per
+//! `(level, digit)` pair, cacheable because they hold only scalar constants — no NTT tables)
+//! together with a [`ConvertScratch`]: each `apply_into` reuses the scratch's hoisted-product
+//! buffer and the output polynomial's allocation, so a key switch allocates nothing after
+//! warm-up. The free functions [`mod_up`] / [`mod_down`] / [`rescale`] build a throwaway plan
+//! per call and remain as the convenient (and test-facing) entry points.
+
+use fab_math::Modulus;
 
 use crate::{BasisConverter, Representation, Result, RnsBasis, RnsError, RnsPolynomial};
+
+/// Reusable scratch buffers for the basis-conversion kernels (the hoisted phase-1 products).
+///
+/// One instance per evaluator/arena; contents are overwritten by every use.
+#[derive(Debug, Default, Clone)]
+pub struct ConvertScratch {
+    /// Flat `source_limbs · N` buffer holding `y_i = x_i · (Q/q_i)^{-1} mod q_i`.
+    pub hoisted: Vec<u64>,
+}
 
 /// Splits the limbs of a polynomial into `dnum` digits of (up to) `alpha` consecutive limbs
 /// (the `Decomp` sub-operation). The final digit may be shorter when `alpha` does not divide
@@ -22,17 +40,263 @@ pub fn decompose(poly: &RnsPolynomial, alpha: usize) -> Result<Vec<RnsPolynomial
         });
     }
     let mut digits = Vec::new();
-    let limbs = poly.limbs();
     let mut start = 0usize;
-    while start < limbs.len() {
-        let end = (start + alpha).min(limbs.len());
-        digits.push(RnsPolynomial::from_limbs(
-            limbs[start..end].to_vec(),
-            poly.representation(),
-        ));
+    while start < poly.limb_count() {
+        let end = (start + alpha).min(poly.limb_count());
+        digits.push(poly.slice_limbs(start..end)?);
         start = end;
     }
     Ok(digits)
+}
+
+/// A precomputed `ModUp` kernel: extends a digit (residues over `digit_len` consecutive limbs
+/// of `Q` starting at `digit_offset`) to the full basis `Q_ℓ ∪ P`.
+///
+/// Digit limbs are copied verbatim into their output positions; every other limb is produced
+/// by approximate basis conversion from the digit. The output limb order is
+/// `[q_0, …, q_{ℓ-1}, p_0, …, p_{k-1}]`.
+#[derive(Debug, Clone)]
+pub struct ModUpPlan {
+    /// `None` when the digit already covers the whole output (no conversion needed).
+    converter: Option<BasisConverter>,
+    degree: usize,
+    q_len: usize,
+    p_len: usize,
+    digit_offset: usize,
+    digit_len: usize,
+    /// For each output limb: `Some(j)` = converter target index `j`, `None` = digit copy.
+    target_index: Vec<Option<usize>>,
+}
+
+impl ModUpPlan {
+    /// Precomputes the ModUp constants for the digit `[digit_offset .. digit_offset +
+    /// digit_len)` of `q_basis`, extended to `q_basis ∪ p_basis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::LimbOutOfRange`] if the digit exceeds the basis, and propagates
+    /// converter-construction errors.
+    pub fn new(
+        q_basis: &RnsBasis,
+        p_basis: &RnsBasis,
+        digit_offset: usize,
+        digit_len: usize,
+    ) -> Result<Self> {
+        let q_len = q_basis.len();
+        let p_len = p_basis.len();
+        if digit_offset + digit_len > q_len || digit_len == 0 {
+            return Err(RnsError::LimbOutOfRange {
+                requested: digit_offset + digit_len,
+                available: q_len,
+            });
+        }
+        let digit_range = digit_offset..digit_offset + digit_len;
+        let source: Vec<Modulus> = q_basis.moduli()[digit_range.clone()].to_vec();
+        let mut other: Vec<Modulus> = Vec::with_capacity(q_len + p_len - digit_len);
+        let mut target_index = Vec::with_capacity(q_len + p_len);
+        for (i, m) in q_basis.moduli().iter().enumerate() {
+            if digit_range.contains(&i) {
+                target_index.push(None);
+            } else {
+                target_index.push(Some(other.len()));
+                other.push(m.clone());
+            }
+        }
+        for m in p_basis.moduli() {
+            target_index.push(Some(other.len()));
+            other.push(m.clone());
+        }
+        let converter = if other.is_empty() {
+            None
+        } else {
+            Some(BasisConverter::from_moduli(&source, &other)?)
+        };
+        Ok(Self {
+            converter,
+            degree: q_basis.degree(),
+            q_len,
+            p_len,
+            digit_offset,
+            digit_len,
+            target_index,
+        })
+    }
+
+    /// Number of limbs the extended output holds (`|Q_ℓ| + |P|`).
+    pub fn output_limbs(&self) -> usize {
+        self.q_len + self.p_len
+    }
+
+    /// Applies the kernel, writing the extended polynomial into `out` (reshaped in place,
+    /// reusing its allocation) and the hoisted products into `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::WrongRepresentation`] unless the digit is in coefficient form and
+    /// [`RnsError::Mismatch`] if the digit shape disagrees with the plan.
+    pub fn apply_into(
+        &self,
+        digit: &RnsPolynomial,
+        scratch: &mut ConvertScratch,
+        out: &mut RnsPolynomial,
+    ) -> Result<()> {
+        if digit.representation() != Representation::Coefficient {
+            return Err(RnsError::WrongRepresentation {
+                expected: "coefficient",
+            });
+        }
+        if digit.limb_count() != self.digit_len || digit.degree() != self.degree {
+            return Err(RnsError::Mismatch {
+                reason: format!(
+                    "digit of {} limbs / degree {} does not match plan ({} limbs / degree {})",
+                    digit.limb_count(),
+                    digit.degree(),
+                    self.digit_len,
+                    self.degree
+                ),
+            });
+        }
+        let degree = self.degree;
+        // Every output row is either copied from the digit or fully written by the
+        // conversion accumulate, so the zeroing reset is skipped.
+        out.reshape_unspecified(degree, self.output_limbs(), Representation::Coefficient);
+        if let Some(converter) = &self.converter {
+            converter.hoisted_products_into(digit.data(), degree, &mut scratch.hoisted);
+        }
+        let hoisted = &scratch.hoisted;
+        fab_par::par_chunks_mut(out.data_mut(), degree, |i, row| {
+            match self.target_index[i] {
+                None => row.copy_from_slice(digit.limb(i - self.digit_offset)),
+                Some(j) => self
+                    .converter
+                    .as_ref()
+                    .expect("conversion targets imply a converter")
+                    .accumulate_target_limb_into(hoisted, degree, j, row),
+            }
+        });
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper over [`ModUpPlan::apply_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModUpPlan::apply_into`].
+    pub fn apply(&self, digit: &RnsPolynomial) -> Result<RnsPolynomial> {
+        let mut scratch = ConvertScratch::default();
+        let mut out = RnsPolynomial::zero(self.degree, 1, Representation::Coefficient);
+        self.apply_into(digit, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// A precomputed `ModDown` kernel: divides a polynomial over `Q_ℓ ∪ P` by `P` (with rounding
+/// error at most the number of special limbs), producing a polynomial over `Q_ℓ`.
+#[derive(Debug, Clone)]
+pub struct ModDownPlan {
+    converter: BasisConverter,
+    degree: usize,
+    q_len: usize,
+    p_len: usize,
+    /// `P^{-1} mod q_i` (+ Shoup constants), one per Q limb.
+    p_inv: Vec<u64>,
+    p_inv_shoup: Vec<u64>,
+    q_moduli: Vec<Modulus>,
+}
+
+impl ModDownPlan {
+    /// Precomputes the ModDown constants for `q_basis ∪ p_basis`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates converter-construction and inversion errors.
+    pub fn new(q_basis: &RnsBasis, p_basis: &RnsBasis) -> Result<Self> {
+        let converter = BasisConverter::from_moduli(p_basis.moduli(), q_basis.moduli())?;
+        let mut p_inv = Vec::with_capacity(q_basis.len());
+        let mut p_inv_shoup = Vec::with_capacity(q_basis.len());
+        for qi in q_basis.moduli() {
+            let mut p_mod_qi = 1u64;
+            for p in p_basis.values() {
+                p_mod_qi = qi.mul(p_mod_qi, qi.reduce(p));
+            }
+            let inv = qi.inv(p_mod_qi)?;
+            p_inv.push(inv);
+            p_inv_shoup.push(qi.shoup_precompute(inv));
+        }
+        Ok(Self {
+            converter,
+            degree: q_basis.degree(),
+            q_len: q_basis.len(),
+            p_len: p_basis.len(),
+            p_inv,
+            p_inv_shoup,
+            q_moduli: q_basis.moduli().to_vec(),
+        })
+    }
+
+    /// Applies the kernel, writing the `Q_ℓ` polynomial into `out` (reshaped in place). The
+    /// input limb order must be `[q_0, …, q_{ℓ-1}, p_0, …, p_{k-1}]` in coefficient form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::WrongRepresentation`] for evaluation-form input and
+    /// [`RnsError::Mismatch`] if the limb count is not `|Q_ℓ| + |P|`.
+    pub fn apply_into(
+        &self,
+        poly: &RnsPolynomial,
+        scratch: &mut ConvertScratch,
+        out: &mut RnsPolynomial,
+    ) -> Result<()> {
+        if poly.representation() != Representation::Coefficient {
+            return Err(RnsError::WrongRepresentation {
+                expected: "coefficient",
+            });
+        }
+        if poly.limb_count() != self.q_len + self.p_len || poly.degree() != self.degree {
+            return Err(RnsError::Mismatch {
+                reason: format!(
+                    "mod_down expects {} limbs (|Q|+|P|) of degree {}, got {} of degree {}",
+                    self.q_len + self.p_len,
+                    self.degree,
+                    poly.limb_count(),
+                    poly.degree()
+                ),
+            });
+        }
+        let degree = self.degree;
+        // Hoist the P-part products once, shared across every Q limb.
+        let p_part = &poly.data()[self.q_len * degree..];
+        self.converter
+            .hoisted_products_into(p_part, degree, &mut scratch.hoisted);
+        let hoisted = &scratch.hoisted;
+        // Every output row is fully written (accumulate, then the P^-1 combine).
+        out.reshape_unspecified(degree, self.q_len, Representation::Coefficient);
+        fab_par::par_chunks_mut(out.data_mut(), degree, |i, row| {
+            // row := approximate conversion of the P-part into q_i …
+            self.converter
+                .accumulate_target_limb_into(hoisted, degree, i, row);
+            // … then (x - row) · P^{-1} mod q_i.
+            let qi = &self.q_moduli[i];
+            let inv = self.p_inv[i];
+            let inv_shoup = self.p_inv_shoup[i];
+            for (o, &x) in row.iter_mut().zip(poly.limb(i)) {
+                *o = qi.mul_shoup(qi.sub(x, *o), inv, inv_shoup);
+            }
+        });
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper over [`ModDownPlan::apply_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModDownPlan::apply_into`].
+    pub fn apply(&self, poly: &RnsPolynomial) -> Result<RnsPolynomial> {
+        let mut scratch = ConvertScratch::default();
+        let mut out = RnsPolynomial::zero(self.degree, 1, Representation::Coefficient);
+        self.apply_into(poly, &mut scratch, &mut out)?;
+        Ok(out)
+    }
 }
 
 /// `ModUp`: extends a digit (residues over `alpha` consecutive limbs of `Q`) to the full basis
@@ -40,7 +304,8 @@ pub fn decompose(poly: &RnsPolynomial, alpha: usize) -> Result<Vec<RnsPolynomial
 /// approximate basis conversion from the digit.
 ///
 /// `digit_offset` is the index inside `q_basis` of the digit's first limb. The output limb order
-/// is `[q_0, …, q_{ℓ-1}, p_0, …, p_{k-1}]`.
+/// is `[q_0, …, q_{ℓ-1}, p_0, …, p_{k-1}]`. Steady-state callers should cache a [`ModUpPlan`]
+/// instead of paying the constant precomputation per call.
 ///
 /// # Errors
 ///
@@ -53,11 +318,6 @@ pub fn mod_up(
     p_basis: &RnsBasis,
     digit_offset: usize,
 ) -> Result<RnsPolynomial> {
-    if digit.representation() != Representation::Coefficient {
-        return Err(RnsError::WrongRepresentation {
-            expected: "coefficient",
-        });
-    }
     if digit.limb_count() != digit_basis.len() {
         return Err(RnsError::Mismatch {
             reason: format!(
@@ -67,62 +327,15 @@ pub fn mod_up(
             ),
         });
     }
-    let digit_len = digit_basis.len();
-    let digit_range = digit_offset..digit_offset + digit_len;
-    if digit_range.end > q_basis.len() {
-        return Err(RnsError::LimbOutOfRange {
-            requested: digit_range.end,
-            available: q_basis.len(),
-        });
-    }
-
-    // Build the "other limbs" target basis: Q limbs outside the digit, then all P limbs.
-    let mut other_moduli = Vec::new();
-    for (i, m) in q_basis.moduli().iter().enumerate() {
-        if !digit_range.contains(&i) {
-            other_moduli.push(m.clone());
-        }
-    }
-    let other_q_count = other_moduli.len();
-    other_moduli.extend(p_basis.moduli().iter().cloned());
-
-    let degree = digit.degree();
-    let mut out_limbs: Vec<Vec<u64>> = Vec::with_capacity(q_basis.len() + p_basis.len());
-
-    let converted = if other_moduli.is_empty() {
-        Vec::new()
-    } else {
-        let target = RnsBasis::new(q_basis.degree(), other_moduli)?;
-        let converter = BasisConverter::new(digit_basis, &target)?;
-        converter.convert(digit.limbs())
-    };
-
-    // Interleave copied digit limbs and converted limbs back into [Q_ℓ | P] order.
-    let mut converted_iter = converted.into_iter();
-    for i in 0..q_basis.len() {
-        if digit_range.contains(&i) {
-            out_limbs.push(digit.limb(i - digit_offset).to_vec());
-        } else {
-            out_limbs.push(converted_iter.next().expect("converted Q limb"));
-        }
-    }
-    for _ in 0..p_basis.len() {
-        out_limbs.push(converted_iter.next().expect("converted P limb"));
-    }
-    debug_assert_eq!(out_limbs.len(), q_basis.len() + p_basis.len());
-    debug_assert!(out_limbs.iter().all(|l| l.len() == degree));
-    let _ = other_q_count;
-    Ok(RnsPolynomial::from_limbs(
-        out_limbs,
-        Representation::Coefficient,
-    ))
+    let plan = ModUpPlan::new(q_basis, p_basis, digit_offset, digit_basis.len())?;
+    plan.apply(digit)
 }
 
 /// `ModDown`: divides a polynomial over `Q_ℓ ∪ P` by `P` (with rounding error at most the
 /// number of special limbs), producing a polynomial over `Q_ℓ`.
 ///
 /// The input limb order must be `[q_0, …, q_{ℓ-1}, p_0, …, p_{k-1}]` and the polynomial must be
-/// in coefficient representation.
+/// in coefficient representation. Steady-state callers should cache a [`ModDownPlan`].
 ///
 /// # Errors
 ///
@@ -133,56 +346,15 @@ pub fn mod_down(
     q_basis: &RnsBasis,
     p_basis: &RnsBasis,
 ) -> Result<RnsPolynomial> {
-    if poly.representation() != Representation::Coefficient {
-        return Err(RnsError::WrongRepresentation {
-            expected: "coefficient",
-        });
-    }
-    let l = q_basis.len();
-    let k = p_basis.len();
-    if poly.limb_count() != l + k {
-        return Err(RnsError::Mismatch {
-            reason: format!(
-                "mod_down expects {} limbs (|Q|+|P|), got {}",
-                l + k,
-                poly.limb_count()
-            ),
-        });
-    }
-    // Convert the P-part down to the Q basis.
-    let p_limbs: Vec<Vec<u64>> = poly.limbs()[l..].to_vec();
-    let converter = BasisConverter::new(p_basis, q_basis)?;
-    let converted = converter.convert(&p_limbs);
-
-    // P^{-1} mod q_i.
-    let mut out_limbs = Vec::with_capacity(l);
-    for (i, converted_limb) in converted.iter().enumerate().take(l) {
-        let qi = q_basis.modulus(i);
-        let mut p_mod_qi = 1u64;
-        for p in p_basis.values() {
-            p_mod_qi = qi.mul(p_mod_qi, qi.reduce(p));
-        }
-        let p_inv = qi.inv(p_mod_qi)?;
-        let p_inv_shoup = qi.shoup_precompute(p_inv);
-        let limb: Vec<u64> = poly
-            .limb(i)
-            .iter()
-            .zip(converted_limb.iter())
-            .map(|(&x, &c)| qi.mul_shoup(qi.sub(x, c), p_inv, p_inv_shoup))
-            .collect();
-        out_limbs.push(limb);
-    }
-    Ok(RnsPolynomial::from_limbs(
-        out_limbs,
-        Representation::Coefficient,
-    ))
+    let plan = ModDownPlan::new(q_basis, p_basis)?;
+    plan.apply(poly)
 }
 
 /// `Rescale`: divides a polynomial over `Q_ℓ` by its last limb `q_ℓ` (rounding), producing a
 /// polynomial over `Q_{ℓ-1}`. This is the level-consuming step after every CKKS multiplication.
 ///
 /// Uses the centred representative of the last limb so the rounding error is at most 1/2 in
-/// absolute value per coefficient.
+/// absolute value per coefficient. The per-output-limb work fans out over the worker pool.
 ///
 /// # Errors
 ///
@@ -206,31 +378,33 @@ pub fn rescale(poly: &RnsPolynomial, q_basis: &RnsBasis) -> Result<RnsPolynomial
             available: q_basis.len(),
         });
     }
+    let degree = poly.degree();
     let q_last = q_basis.modulus(l - 1);
     let last_limb = poly.limb(l - 1);
 
-    let mut out_limbs = Vec::with_capacity(l - 1);
+    // Per-output-limb constants, hoisted out of the coefficient loops.
+    let mut inv = Vec::with_capacity(l - 1);
+    let mut inv_shoup = Vec::with_capacity(l - 1);
     for i in 0..l - 1 {
         let qi = q_basis.modulus(i);
         let q_last_inv = qi.inv(qi.reduce(q_last.value()))?;
-        let q_last_inv_shoup = qi.shoup_precompute(q_last_inv);
-        let limb: Vec<u64> = poly
-            .limb(i)
-            .iter()
-            .zip(last_limb.iter())
-            .map(|(&x, &c_last)| {
-                // Centre the last-limb residue to keep the rounding error ≤ 1/2.
-                let centred = q_last.to_signed(c_last);
-                let c_mod_qi = qi.reduce_i64(centred);
-                qi.mul_shoup(qi.sub(x, c_mod_qi), q_last_inv, q_last_inv_shoup)
-            })
-            .collect();
-        out_limbs.push(limb);
+        inv.push(q_last_inv);
+        inv_shoup.push(qi.shoup_precompute(q_last_inv));
     }
-    Ok(RnsPolynomial::from_limbs(
-        out_limbs,
-        Representation::Coefficient,
-    ))
+
+    let mut out = RnsPolynomial::zero(degree, l - 1, Representation::Coefficient);
+    fab_par::par_chunks_mut(out.data_mut(), degree, |i, row| {
+        let qi = q_basis.modulus(i);
+        let q_last_inv = inv[i];
+        let q_last_inv_shoup = inv_shoup[i];
+        for ((o, &x), &c_last) in row.iter_mut().zip(poly.limb(i)).zip(last_limb) {
+            // Centre the last-limb residue to keep the rounding error ≤ 1/2.
+            let centred = q_last.to_signed(c_last);
+            let c_mod_qi = qi.reduce_i64(centred);
+            *o = qi.mul_shoup(qi.sub(x, c_mod_qi), q_last_inv, q_last_inv_shoup);
+        }
+    });
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -297,6 +471,40 @@ mod tests {
             let m = full.modulus(i);
             let expected = ((value as u128 + u * digit_product) % m.value() as u128) as u64;
             assert_eq!(extended.limb(i)[0], expected, "limb {i}");
+        }
+    }
+
+    #[test]
+    fn mod_up_plan_reuse_matches_free_function() {
+        let (q, p) = small_setup();
+        let alpha = 2;
+        let digit_basis = q.slice(0..alpha).unwrap();
+        let plan = ModUpPlan::new(&q, &p, 0, alpha).unwrap();
+        let mut scratch = ConvertScratch::default();
+        let mut out = RnsPolynomial::zero(16, 1, Representation::Coefficient);
+        for value in [1i64, -77, 424242, 5_000_000] {
+            let digit = signed_constant_poly(value, 16, &digit_basis);
+            let reference = mod_up(&digit, &digit_basis, &q, &p, 0).unwrap();
+            plan.apply_into(&digit, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, reference, "value {value}");
+        }
+        // Wrong-shape digits are rejected.
+        let wrong = RnsPolynomial::zero(16, 3, Representation::Coefficient);
+        assert!(plan.apply_into(&wrong, &mut scratch, &mut out).is_err());
+    }
+
+    #[test]
+    fn mod_down_plan_reuse_matches_free_function() {
+        let (q, p) = small_setup();
+        let full = q.concat(&p).unwrap();
+        let plan = ModDownPlan::new(&q, &p).unwrap();
+        let mut scratch = ConvertScratch::default();
+        let mut out = RnsPolynomial::zero(16, 1, Representation::Coefficient);
+        for value in [0i64, 123_456, -9_876_543] {
+            let poly = signed_constant_poly(value, 16, &full);
+            let reference = mod_down(&poly, &q, &p).unwrap();
+            plan.apply_into(&poly, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, reference, "value {value}");
         }
     }
 

@@ -1,4 +1,4 @@
-//! Limb-major RNS polynomials with explicit representation tracking.
+//! Limb-major RNS polynomials in one flat allocation, with explicit representation tracking.
 
 use fab_math::AutomorphismMap;
 
@@ -26,15 +26,20 @@ impl std::fmt::Display for Representation {
     }
 }
 
-/// An RNS polynomial: one row of `N` residues per limb (limb-major / "limb-wise" layout,
-/// matching the row-major ciphertext view described in Section 2.1.1).
+/// An RNS polynomial stored as **one flat, contiguous `Vec<u64>`** in limb-major order: limb
+/// `i` occupies `data[i·N .. (i+1)·N]` (the row-major ciphertext view of Section 2.1.1).
+///
+/// A polynomial is therefore a single allocation regardless of its limb count, kernels stream
+/// cache-line-contiguous rows via the [`RnsPolynomial::limb`] / [`RnsPolynomial::limb_mut`]
+/// slice accessors, and per-limb work parallelises over disjoint `&mut` chunks (`fab-par`).
 ///
 /// The polynomial does not own its basis; operations take the relevant [`RnsBasis`] so the same
 /// struct can represent data in `Q`, in a digit basis, or in the extended basis `Q ∪ P`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RnsPolynomial {
     degree: usize,
-    limbs: Vec<Vec<u64>>,
+    limb_count: usize,
+    data: Vec<u64>,
     representation: Representation,
 }
 
@@ -43,16 +48,39 @@ impl RnsPolynomial {
     pub fn zero(degree: usize, limb_count: usize, representation: Representation) -> Self {
         Self {
             degree,
-            limbs: vec![vec![0u64; degree]; limb_count],
+            limb_count,
+            data: vec![0u64; degree * limb_count],
             representation,
         }
     }
 
-    /// Builds a polynomial from explicit limb data.
+    /// Builds a polynomial directly from its flat limb-major data (`limb i` at
+    /// `data[i·degree .. (i+1)·degree]`). The buffer's spare capacity is kept, so scratch
+    /// arenas can recycle allocations through [`RnsPolynomial::into_data`] and back.
     ///
     /// # Panics
     ///
-    /// Panics if the limbs have inconsistent lengths.
+    /// Panics if `data.len()` is not a multiple of `degree`.
+    pub fn from_flat(degree: usize, data: Vec<u64>, representation: Representation) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        assert_eq!(
+            data.len() % degree,
+            0,
+            "flat data length must be a multiple of the degree"
+        );
+        Self {
+            degree,
+            limb_count: data.len() / degree,
+            data,
+            representation,
+        }
+    }
+
+    /// Builds a polynomial from per-limb rows (flattening them into the contiguous layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limbs have inconsistent lengths or no limb is given.
     pub fn from_limbs(limbs: Vec<Vec<u64>>, representation: Representation) -> Self {
         assert!(!limbs.is_empty(), "polynomial must have at least one limb");
         let degree = limbs[0].len();
@@ -60,9 +88,15 @@ impl RnsPolynomial {
             limbs.iter().all(|l| l.len() == degree),
             "all limbs must have the same length"
         );
+        let limb_count = limbs.len();
+        let mut data = Vec::with_capacity(degree * limb_count);
+        for limb in &limbs {
+            data.extend_from_slice(limb);
+        }
         Self {
             degree,
-            limbs,
+            limb_count,
+            data,
             representation,
         }
     }
@@ -73,12 +107,21 @@ impl RnsPolynomial {
         basis: &RnsBasis,
         representation: Representation,
     ) -> Self {
-        let limbs = basis
-            .moduli()
-            .iter()
-            .map(|m| coeffs.iter().map(|&c| m.reduce_i64(c)).collect())
-            .collect();
-        let mut poly = Self::from_limbs(limbs, Representation::Coefficient);
+        let degree = coeffs.len();
+        let limb_count = basis.len();
+        let mut data = vec![0u64; degree * limb_count];
+        for (i, row) in data.chunks_exact_mut(degree).enumerate() {
+            let m = basis.modulus(i);
+            for (out, &c) in row.iter_mut().zip(coeffs.iter()) {
+                *out = m.reduce_i64(c);
+            }
+        }
+        let mut poly = Self {
+            degree,
+            limb_count,
+            data,
+            representation: Representation::Coefficient,
+        };
         if representation == Representation::Evaluation {
             poly.to_evaluation(basis);
         }
@@ -92,7 +135,7 @@ impl RnsPolynomial {
 
     /// Number of limbs currently held.
     pub fn limb_count(&self) -> usize {
-        self.limbs.len()
+        self.limb_count
     }
 
     /// Current representation.
@@ -100,13 +143,23 @@ impl RnsPolynomial {
         self.representation
     }
 
-    /// Immutable access to limb `i`.
+    /// Reinterprets the stored data as the given representation without transforming it.
+    ///
+    /// Low-level escape hatch for kernels that produce data directly in a known form (e.g.
+    /// scratch buffers filled by an NTT-domain accumulation); everyday code should use
+    /// [`RnsPolynomial::to_evaluation`] / [`RnsPolynomial::to_coefficient`].
+    pub fn set_representation(&mut self, representation: Representation) {
+        self.representation = representation;
+    }
+
+    /// Immutable access to limb `i` (a `N`-length row of the flat buffer).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn limb(&self, i: usize) -> &[u64] {
-        &self.limbs[i]
+        assert!(i < self.limb_count, "limb index {i} out of range");
+        &self.data[i * self.degree..(i + 1) * self.degree]
     }
 
     /// Mutable access to limb `i`.
@@ -114,18 +167,98 @@ impl RnsPolynomial {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn limb_mut(&mut self, i: usize) -> &mut Vec<u64> {
-        &mut self.limbs[i]
+    pub fn limb_mut(&mut self, i: usize) -> &mut [u64] {
+        assert!(i < self.limb_count, "limb index {i} out of range");
+        &mut self.data[i * self.degree..(i + 1) * self.degree]
     }
 
-    /// All limbs.
-    pub fn limbs(&self) -> &[Vec<u64>] {
-        &self.limbs
+    /// Iterates over the limbs as `N`-length rows.
+    pub fn limbs_iter(&self) -> std::slice::ChunksExact<'_, u64> {
+        self.data.chunks_exact(self.degree)
     }
 
-    /// Consumes the polynomial and returns its limbs.
-    pub fn into_limbs(self) -> Vec<Vec<u64>> {
-        self.limbs
+    /// Iterates mutably over the limbs as disjoint `N`-length rows.
+    pub fn limbs_iter_mut(&mut self) -> std::slice::ChunksExactMut<'_, u64> {
+        self.data.chunks_exact_mut(self.degree)
+    }
+
+    /// The whole flat limb-major buffer (limb `i` at `data[i·N .. (i+1)·N]`).
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable access to the whole flat buffer.
+    pub fn data_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Consumes the polynomial and returns its flat buffer (for allocation recycling).
+    pub fn into_data(self) -> Vec<u64> {
+        self.data
+    }
+
+    /// Reshapes this polynomial in place into an all-zero polynomial of the given shape,
+    /// reusing the existing allocation when capacity allows (the scratch-arena workhorse).
+    pub fn reset(&mut self, degree: usize, limb_count: usize, representation: Representation) {
+        self.degree = degree;
+        self.limb_count = limb_count;
+        self.representation = representation;
+        self.data.clear();
+        self.data.resize(degree * limb_count, 0);
+    }
+
+    /// Reshapes this polynomial in place **without zeroing**: the resulting coefficient
+    /// values are unspecified (whatever the recycled buffer held). Strictly for kernel
+    /// outputs whose every element is overwritten before being read — ModUp/ModDown targets
+    /// and automorphism outputs — where [`RnsPolynomial::reset`]'s zero pass would be a
+    /// wasted full write of a memory-bound buffer.
+    pub fn reshape_unspecified(
+        &mut self,
+        degree: usize,
+        limb_count: usize,
+        representation: Representation,
+    ) {
+        self.degree = degree;
+        self.limb_count = limb_count;
+        self.representation = representation;
+        let len = degree * limb_count;
+        if self.data.len() > len {
+            self.data.truncate(len);
+        } else {
+            self.data.resize(len, 0);
+        }
+    }
+
+    /// Overwrites this polynomial with a copy of `src`, reusing the existing allocation when
+    /// capacity allows.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.degree = src.degree;
+        self.limb_count = src.limb_count;
+        self.representation = src.representation;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Overwrites this polynomial with a copy of the limbs `range` of `src` (the allocation-
+    /// recycling counterpart of [`RnsPolynomial::slice_limbs`], used by digit decomposition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::LimbOutOfRange`] if the range end exceeds `src`'s limb count.
+    pub fn copy_limbs_from(&mut self, src: &Self, range: std::ops::Range<usize>) -> Result<()> {
+        if range.end > src.limb_count || range.start > range.end {
+            return Err(RnsError::LimbOutOfRange {
+                requested: range.end,
+                available: src.limb_count,
+            });
+        }
+        self.degree = src.degree;
+        self.limb_count = range.len();
+        self.representation = src.representation;
+        self.data.clear();
+        self.data
+            .extend_from_slice(&src.data[range.start * src.degree..range.end * src.degree]);
+        Ok(())
     }
 
     /// Appends a limb (e.g. an extension limb produced by ModUp).
@@ -133,9 +266,10 @@ impl RnsPolynomial {
     /// # Panics
     ///
     /// Panics if the limb length differs from the degree.
-    pub fn push_limb(&mut self, limb: Vec<u64>) {
+    pub fn push_limb(&mut self, limb: &[u64]) {
         assert_eq!(limb.len(), self.degree);
-        self.limbs.push(limb);
+        self.data.extend_from_slice(limb);
+        self.limb_count += 1;
     }
 
     /// Drops limbs beyond the first `count` (used by Rescale / ModDown / level drops).
@@ -144,13 +278,14 @@ impl RnsPolynomial {
     ///
     /// Returns [`RnsError::LimbOutOfRange`] if `count` exceeds the current limb count.
     pub fn truncate_limbs(&mut self, count: usize) -> Result<()> {
-        if count > self.limbs.len() {
+        if count > self.limb_count {
             return Err(RnsError::LimbOutOfRange {
                 requested: count,
-                available: self.limbs.len(),
+                available: self.limb_count,
             });
         }
-        self.limbs.truncate(count);
+        self.data.truncate(count * self.degree);
+        self.limb_count = count;
         Ok(())
     }
 
@@ -160,21 +295,42 @@ impl RnsPolynomial {
     ///
     /// Returns [`RnsError::LimbOutOfRange`] if `count` exceeds the current limb count.
     pub fn prefix(&self, count: usize) -> Result<Self> {
-        if count > self.limbs.len() {
+        if count > self.limb_count {
             return Err(RnsError::LimbOutOfRange {
                 requested: count,
-                available: self.limbs.len(),
+                available: self.limb_count,
             });
         }
         Ok(Self {
             degree: self.degree,
-            limbs: self.limbs[..count].to_vec(),
+            limb_count: count,
+            data: self.data[..count * self.degree].to_vec(),
             representation: self.representation,
         })
     }
 
-    /// Converts in place to evaluation representation (forward NTT limb-by-limb). No-op if the
-    /// polynomial is already in evaluation form.
+    /// Returns a copy of the limbs in `range` (used by key-switch digit decomposition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::LimbOutOfRange`] if the range end exceeds the limb count.
+    pub fn slice_limbs(&self, range: std::ops::Range<usize>) -> Result<Self> {
+        if range.end > self.limb_count || range.start > range.end {
+            return Err(RnsError::LimbOutOfRange {
+                requested: range.end,
+                available: self.limb_count,
+            });
+        }
+        Ok(Self {
+            degree: self.degree,
+            limb_count: range.len(),
+            data: self.data[range.start * self.degree..range.end * self.degree].to_vec(),
+            representation: self.representation,
+        })
+    }
+
+    /// Converts in place to evaluation representation (forward NTT limb-by-limb, fanned out
+    /// over the `fab-par` worker pool). No-op if already in evaluation form.
     ///
     /// # Panics
     ///
@@ -183,15 +339,15 @@ impl RnsPolynomial {
         if self.representation == Representation::Evaluation {
             return;
         }
-        assert!(basis.len() >= self.limb_count());
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
+        assert!(basis.len() >= self.limb_count);
+        fab_par::par_chunks_mut(&mut self.data, self.degree, |i, limb| {
             basis.table(i).forward(limb);
-        }
+        });
         self.representation = Representation::Evaluation;
     }
 
-    /// Converts in place to coefficient representation (inverse NTT limb-by-limb). No-op if the
-    /// polynomial is already in coefficient form.
+    /// Converts in place to coefficient representation (inverse NTT limb-by-limb, fanned out
+    /// over the `fab-par` worker pool). No-op if already in coefficient form.
     ///
     /// # Panics
     ///
@@ -200,10 +356,10 @@ impl RnsPolynomial {
         if self.representation == Representation::Coefficient {
             return;
         }
-        assert!(basis.len() >= self.limb_count());
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
+        assert!(basis.len() >= self.limb_count);
+        fab_par::par_chunks_mut(&mut self.data, self.degree, |i, limb| {
             basis.table(i).inverse(limb);
-        }
+        });
         self.representation = Representation::Coefficient;
     }
 
@@ -213,22 +369,26 @@ impl RnsPolynomial {
     ///
     /// Returns [`RnsError::Mismatch`] if degrees, limb counts, or representations differ.
     pub fn add(&self, other: &Self, basis: &RnsBasis) -> Result<Self> {
+        let mut out = self.clone();
+        out.add_assign(other, basis)?;
+        Ok(out)
+    }
+
+    /// In-place component-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RnsPolynomial::add`].
+    pub fn add_assign(&mut self, other: &Self, basis: &RnsBasis) -> Result<()> {
         self.check_compatible(other)?;
-        let limbs = self
-            .limbs
-            .iter()
-            .zip(&other.limbs)
-            .enumerate()
-            .map(|(i, (a, b))| {
-                let m = basis.modulus(i);
-                a.iter().zip(b).map(|(&x, &y)| m.add(x, y)).collect()
-            })
-            .collect();
-        Ok(Self {
-            degree: self.degree,
-            limbs,
-            representation: self.representation,
-        })
+        let degree = self.degree;
+        fab_par::par_chunks_mut(&mut self.data, degree, |i, row| {
+            let m = basis.modulus(i);
+            for (x, &y) in row.iter_mut().zip(other.limb(i)) {
+                *x = m.add(*x, y);
+            }
+        });
+        Ok(())
     }
 
     /// Component-wise subtraction (same representation required).
@@ -237,40 +397,39 @@ impl RnsPolynomial {
     ///
     /// Returns [`RnsError::Mismatch`] if degrees, limb counts, or representations differ.
     pub fn sub(&self, other: &Self, basis: &RnsBasis) -> Result<Self> {
+        let mut out = self.clone();
+        out.sub_assign(other, basis)?;
+        Ok(out)
+    }
+
+    /// In-place component-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RnsPolynomial::sub`].
+    pub fn sub_assign(&mut self, other: &Self, basis: &RnsBasis) -> Result<()> {
         self.check_compatible(other)?;
-        let limbs = self
-            .limbs
-            .iter()
-            .zip(&other.limbs)
-            .enumerate()
-            .map(|(i, (a, b))| {
-                let m = basis.modulus(i);
-                a.iter().zip(b).map(|(&x, &y)| m.sub(x, y)).collect()
-            })
-            .collect();
-        Ok(Self {
-            degree: self.degree,
-            limbs,
-            representation: self.representation,
-        })
+        let degree = self.degree;
+        fab_par::par_chunks_mut(&mut self.data, degree, |i, row| {
+            let m = basis.modulus(i);
+            for (x, &y) in row.iter_mut().zip(other.limb(i)) {
+                *x = m.sub(*x, y);
+            }
+        });
+        Ok(())
     }
 
     /// Component-wise negation.
     pub fn neg(&self, basis: &RnsBasis) -> Self {
-        let limbs = self
-            .limbs
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                let m = basis.modulus(i);
-                a.iter().map(|&x| m.neg(x)).collect()
-            })
-            .collect();
-        Self {
-            degree: self.degree,
-            limbs,
-            representation: self.representation,
-        }
+        let mut out = self.clone();
+        let degree = out.degree;
+        fab_par::par_chunks_mut(&mut out.data, degree, |i, row| {
+            let m = basis.modulus(i);
+            for x in row.iter_mut() {
+                *x = m.neg(*x);
+            }
+        });
+        out
     }
 
     /// Pointwise (Hadamard) multiplication; both operands must be in evaluation representation
@@ -281,6 +440,17 @@ impl RnsPolynomial {
     /// Returns [`RnsError::WrongRepresentation`] if either operand is in coefficient form, or
     /// [`RnsError::Mismatch`] on shape disagreement.
     pub fn mul(&self, other: &Self, basis: &RnsBasis) -> Result<Self> {
+        let mut out = self.clone();
+        out.mul_assign(other, basis)?;
+        Ok(out)
+    }
+
+    /// In-place pointwise multiplication (both operands in evaluation form).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RnsPolynomial::mul`].
+    pub fn mul_assign(&mut self, other: &Self, basis: &RnsBasis) -> Result<()> {
         if self.representation != Representation::Evaluation
             || other.representation != Representation::Evaluation
         {
@@ -289,21 +459,94 @@ impl RnsPolynomial {
             });
         }
         self.check_compatible(other)?;
-        let limbs = self
-            .limbs
-            .iter()
-            .zip(&other.limbs)
-            .enumerate()
-            .map(|(i, (a, b))| {
-                let m = basis.modulus(i);
-                a.iter().zip(b).map(|(&x, &y)| m.mul(x, y)).collect()
-            })
-            .collect();
-        Ok(Self {
-            degree: self.degree,
-            limbs,
-            representation: Representation::Evaluation,
-        })
+        let degree = self.degree;
+        fab_par::par_chunks_mut(&mut self.data, degree, |i, row| {
+            let m = basis.modulus(i);
+            for (x, &y) in row.iter_mut().zip(other.limb(i)) {
+                *x = m.mul(*x, y);
+            }
+        });
+        Ok(())
+    }
+
+    /// Fused accumulation `self += a · b` (pointwise, all three in evaluation form) with the
+    /// limbs of `b` selected through `b_limb_map`: limb `i` of the accumulation multiplies
+    /// limb `i` of `a` with limb `b_limb_map[i]` of `b`.
+    ///
+    /// This is the KSKIP inner-product kernel: key polynomials are stored over the *full*
+    /// basis `[q_0 … q_L, p_0 … p_{k-1}]` while a level-`ℓ` accumulator only holds
+    /// `[q_0 … q_ℓ, p_0 … p_{k-1}]`, so the map picks each live limb out of the key without
+    /// materialising a restricted copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::WrongRepresentation`] unless all operands are in evaluation form,
+    /// and [`RnsError::Mismatch`] on shape disagreement (including a map of the wrong length
+    /// or out-of-range entries).
+    pub fn add_mul_limb_mapped(
+        &mut self,
+        a: &Self,
+        b: &Self,
+        b_limb_map: &[usize],
+        basis: &RnsBasis,
+    ) -> Result<()> {
+        if self.representation != Representation::Evaluation
+            || a.representation != Representation::Evaluation
+            || b.representation != Representation::Evaluation
+        {
+            return Err(RnsError::WrongRepresentation {
+                expected: "evaluation",
+            });
+        }
+        self.check_compatible(a)?;
+        if b_limb_map.len() != self.limb_count
+            || b_limb_map.iter().any(|&j| j >= b.limb_count)
+            || b.degree != self.degree
+        {
+            return Err(RnsError::Mismatch {
+                reason: format!(
+                    "limb map of length {} over {} source limbs incompatible with {} target limbs",
+                    b_limb_map.len(),
+                    b.limb_count,
+                    self.limb_count
+                ),
+            });
+        }
+        self.add_mul_inner(a, b, Some(b_limb_map), basis);
+        Ok(())
+    }
+
+    /// Fused accumulation `self += a · b` (pointwise, evaluation form, aligned limbs). Unlike
+    /// the mapped variant this allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RnsPolynomial::add_mul_limb_mapped`] with the identity map.
+    pub fn add_mul_assign(&mut self, a: &Self, b: &Self, basis: &RnsBasis) -> Result<()> {
+        if self.representation != Representation::Evaluation
+            || a.representation != Representation::Evaluation
+            || b.representation != Representation::Evaluation
+        {
+            return Err(RnsError::WrongRepresentation {
+                expected: "evaluation",
+            });
+        }
+        self.check_compatible(a)?;
+        self.check_compatible(b)?;
+        self.add_mul_inner(a, b, None, basis);
+        Ok(())
+    }
+
+    /// Shared fused-accumulate loop: `map == None` means identity limb selection.
+    fn add_mul_inner(&mut self, a: &Self, b: &Self, map: Option<&[usize]>, basis: &RnsBasis) {
+        let degree = self.degree;
+        fab_par::par_chunks_mut(&mut self.data, degree, |i, row| {
+            let m = basis.modulus(i);
+            let b_row = b.limb(map.map_or(i, |map| map[i]));
+            for ((x, &ai), &bi) in row.iter_mut().zip(a.limb(i)).zip(b_row) {
+                *x = m.add(*x, m.reduce_u128(ai as u128 * bi as u128));
+            }
+        });
     }
 
     /// Multiplies every limb by a per-limb scalar.
@@ -312,22 +555,18 @@ impl RnsPolynomial {
     ///
     /// Panics if `scalars.len()` differs from the limb count.
     pub fn mul_scalar_per_limb(&self, scalars: &[u64], basis: &RnsBasis) -> Self {
-        assert_eq!(scalars.len(), self.limb_count());
-        let limbs = self
-            .limbs
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                let m = basis.modulus(i);
-                let s = scalars[i] % m.value();
-                a.iter().map(|&x| m.mul(x, s)).collect()
-            })
-            .collect();
-        Self {
-            degree: self.degree,
-            limbs,
-            representation: self.representation,
-        }
+        assert_eq!(scalars.len(), self.limb_count);
+        let mut out = self.clone();
+        let degree = out.degree;
+        fab_par::par_chunks_mut(&mut out.data, degree, |i, row| {
+            let m = basis.modulus(i);
+            let s = m.reduce(scalars[i]);
+            let s_shoup = m.shoup_precompute(s);
+            for x in row.iter_mut() {
+                *x = m.mul_shoup(*x, s, s_shoup);
+            }
+        });
+        out
     }
 
     /// Applies the Galois automorphism `x → x^element`. The polynomial must be in coefficient
@@ -338,23 +577,56 @@ impl RnsPolynomial {
     /// Returns [`RnsError::WrongRepresentation`] if in evaluation form, or propagates an invalid
     /// Galois element error.
     pub fn automorphism(&self, element: u64, basis: &RnsBasis) -> Result<Self> {
+        let map = AutomorphismMap::new(self.degree, element)?;
+        self.automorphism_with_map(&map, basis)
+    }
+
+    /// Applies a precomputed automorphism permutation (see [`AutomorphismMap`]); callers that
+    /// rotate repeatedly cache the map and skip its `O(N)` construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::WrongRepresentation`] if in evaluation form, or
+    /// [`RnsError::Mismatch`] if the map was built for a different degree.
+    pub fn automorphism_with_map(&self, map: &AutomorphismMap, basis: &RnsBasis) -> Result<Self> {
+        let mut out = Self::zero(self.degree, self.limb_count, Representation::Coefficient);
+        self.automorphism_into(map, basis, &mut out)?;
+        Ok(out)
+    }
+
+    /// Applies a precomputed automorphism permutation writing into `out` (reshaped in place,
+    /// reusing its allocation) — the scratch-arena path for hoisted rotation batches.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RnsPolynomial::automorphism_with_map`].
+    pub fn automorphism_into(
+        &self,
+        map: &AutomorphismMap,
+        basis: &RnsBasis,
+        out: &mut Self,
+    ) -> Result<()> {
         if self.representation != Representation::Coefficient {
             return Err(RnsError::WrongRepresentation {
                 expected: "coefficient",
             });
         }
-        let map = AutomorphismMap::new(self.degree, element)?;
-        let limbs = self
-            .limbs
-            .iter()
-            .enumerate()
-            .map(|(i, a)| map.apply(a, basis.modulus(i)))
-            .collect();
-        Ok(Self {
-            degree: self.degree,
-            limbs,
-            representation: Representation::Coefficient,
-        })
+        if map.degree() != self.degree {
+            return Err(RnsError::Mismatch {
+                reason: format!(
+                    "automorphism map degree {} vs polynomial degree {}",
+                    map.degree(),
+                    self.degree
+                ),
+            });
+        }
+        // The permutation writes every output index, so the zeroing reset is skipped.
+        out.reshape_unspecified(self.degree, self.limb_count, Representation::Coefficient);
+        let degree = self.degree;
+        fab_par::par_chunks_mut(&mut out.data, degree, |i, row| {
+            map.apply_into(self.limb(i), basis.modulus(i), row);
+        });
+        Ok(())
     }
 
     fn check_compatible(&self, other: &Self) -> Result<()> {
@@ -363,9 +635,9 @@ impl RnsPolynomial {
                 reason: format!("degree {} vs {}", self.degree, other.degree),
             });
         }
-        if self.limb_count() != other.limb_count() {
+        if self.limb_count != other.limb_count {
             return Err(RnsError::Mismatch {
-                reason: format!("limb count {} vs {}", self.limb_count(), other.limb_count()),
+                reason: format!("limb count {} vs {}", self.limb_count, other.limb_count),
             });
         }
         if self.representation != other.representation {
@@ -405,6 +677,59 @@ mod tests {
     }
 
     #[test]
+    fn flat_layout_is_limb_major_with_stride_n() {
+        let b = basis(3);
+        let p = random_poly(&b, 40);
+        let n = b.degree();
+        assert_eq!(p.data().len(), 3 * n);
+        for i in 0..3 {
+            assert_eq!(p.limb(i), &p.data()[i * n..(i + 1) * n]);
+        }
+        // limbs_iter yields the same rows in order.
+        for (i, row) in p.limbs_iter().enumerate() {
+            assert_eq!(row, p.limb(i));
+        }
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_equality() {
+        let b = basis(3);
+        let p = random_poly(&b, 41);
+        let degree = p.degree();
+        let repr = p.representation();
+        let q = RnsPolynomial::from_flat(degree, p.clone().into_data(), repr);
+        assert_eq!(p, q);
+        // Row-wise construction and flat construction agree.
+        let rows: Vec<Vec<u64>> = p.limbs_iter().map(|r| r.to_vec()).collect();
+        assert_eq!(RnsPolynomial::from_limbs(rows, repr), p);
+    }
+
+    #[test]
+    fn reset_and_copy_from_reuse_the_allocation() {
+        let b = basis(2);
+        let p = random_poly(&b, 42);
+        let mut scratch = RnsPolynomial::zero(b.degree(), 4, Representation::Evaluation);
+        let cap_before = scratch.data.capacity();
+        scratch.copy_from(&p);
+        assert_eq!(scratch, p);
+        assert!(scratch.data.capacity() >= cap_before.min(p.data().len()));
+        scratch.reset(b.degree(), 2, Representation::Coefficient);
+        assert!(scratch.data().iter().all(|&v| v == 0));
+        assert_eq!(scratch.limb_count(), 2);
+    }
+
+    #[test]
+    fn slice_limbs_matches_manual_rows() {
+        let b = basis(4);
+        let p = random_poly(&b, 43);
+        let digit = p.slice_limbs(1..3).unwrap();
+        assert_eq!(digit.limb_count(), 2);
+        assert_eq!(digit.limb(0), p.limb(1));
+        assert_eq!(digit.limb(1), p.limb(2));
+        assert!(p.slice_limbs(2..5).is_err());
+    }
+
+    #[test]
     fn ntt_roundtrip_preserves_polynomial() {
         let b = basis(3);
         let original = random_poly(&b, 1);
@@ -422,6 +747,63 @@ mod tests {
         let y = random_poly(&b, 3);
         let z = x.add(&y, &b).unwrap().sub(&y, &b).unwrap();
         assert_eq!(z, x);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let b = basis(3);
+        let x = random_poly(&b, 30);
+        let y = random_poly(&b, 31);
+        let mut z = x.clone();
+        z.add_assign(&y, &b).unwrap();
+        assert_eq!(z, x.add(&y, &b).unwrap());
+        z.sub_assign(&y, &b).unwrap();
+        assert_eq!(z, x);
+        let mut xe = x.clone();
+        let mut ye = y.clone();
+        xe.to_evaluation(&b);
+        ye.to_evaluation(&b);
+        let mut ze = xe.clone();
+        ze.mul_assign(&ye, &b).unwrap();
+        assert_eq!(ze, xe.mul(&ye, &b).unwrap());
+    }
+
+    #[test]
+    fn add_mul_assign_accumulates_products() {
+        let b = basis(2);
+        let mut x = random_poly(&b, 32);
+        let mut y = random_poly(&b, 33);
+        x.to_evaluation(&b);
+        y.to_evaluation(&b);
+        let mut acc = RnsPolynomial::zero(b.degree(), b.len(), Representation::Evaluation);
+        acc.add_mul_assign(&x, &y, &b).unwrap();
+        acc.add_mul_assign(&x, &y, &b).unwrap();
+        let product = x.mul(&y, &b).unwrap();
+        let twice = product.add(&product, &b).unwrap();
+        assert_eq!(acc, twice);
+    }
+
+    #[test]
+    fn add_mul_limb_mapped_selects_source_limbs() {
+        let b2 = basis(2);
+        let b4 = basis(4);
+        let mut a = random_poly(&b2, 34);
+        let mut key = random_poly(&b4, 35);
+        a.to_evaluation(&b2);
+        key.to_evaluation(&b4);
+        let mut acc = RnsPolynomial::zero(b2.degree(), 2, Representation::Evaluation);
+        // Limb 0 multiplies key limb 0, limb 1 multiplies key limb 3.
+        acc.add_mul_limb_mapped(&a, &key, &[0, 3], &b2).unwrap();
+        for (i, &key_limb) in [0usize, 3].iter().enumerate() {
+            let m = b2.modulus(i);
+            for j in 0..b2.degree() {
+                let expected = m.reduce_u128(a.limb(i)[j] as u128 * key.limb(key_limb)[j] as u128);
+                assert_eq!(acc.limb(i)[j], expected);
+            }
+        }
+        // Out-of-range map entries are rejected.
+        assert!(acc.add_mul_limb_mapped(&a, &key, &[0, 4], &b2).is_err());
+        assert!(acc.add_mul_limb_mapped(&a, &key, &[0], &b2).is_err());
     }
 
     #[test]
@@ -477,6 +859,19 @@ mod tests {
     }
 
     #[test]
+    fn automorphism_with_cached_map_matches_ad_hoc() {
+        let b = basis(2);
+        let x = random_poly(&b, 9);
+        let map = AutomorphismMap::new(b.degree(), 5).unwrap();
+        assert_eq!(
+            x.automorphism(5, &b).unwrap(),
+            x.automorphism_with_map(&map, &b).unwrap()
+        );
+        let wrong = AutomorphismMap::new(b.degree() * 2, 5).unwrap();
+        assert!(x.automorphism_with_map(&wrong, &b).is_err());
+    }
+
+    #[test]
     fn mismatched_shapes_are_rejected() {
         let b2 = basis(2);
         let b3 = basis(3);
@@ -498,6 +893,16 @@ mod tests {
         assert_eq!(x.limb_count(), 3);
         assert!(x.truncate_limbs(5).is_err());
         assert!(x.prefix(5).is_err());
+    }
+
+    #[test]
+    fn push_limb_appends_a_row() {
+        let b = basis(2);
+        let mut x = random_poly(&b, 13);
+        let row: Vec<u64> = (0..b.degree() as u64).collect();
+        x.push_limb(&row);
+        assert_eq!(x.limb_count(), 3);
+        assert_eq!(x.limb(2), &row[..]);
     }
 
     proptest! {
@@ -527,6 +932,14 @@ mod tests {
             x.to_evaluation(&b);
             y.to_evaluation(&b);
             prop_assert_eq!(x.mul(&y, &b).unwrap(), y.mul(&x, &b).unwrap());
+        }
+
+        #[test]
+        fn prop_flat_roundtrip(seed in any::<u64>()) {
+            let b = basis(3);
+            let p = random_poly(&b, seed);
+            let q = RnsPolynomial::from_flat(p.degree(), p.data().to_vec(), p.representation());
+            prop_assert_eq!(p, q);
         }
     }
 }

@@ -51,6 +51,29 @@
 //! per-phase agreement — see [`ckks::Bootstrapper::predicted_trace`] and
 //! [`logistic_regression::planned_iteration_trace`].
 //!
+//! ## The numeric substrate: flat layout, lazy reduction, limb parallelism
+//!
+//! The software pipeline runs on a substrate engineered for throughput (PR 3):
+//!
+//! * **Flat limb-major polynomials** — [`rns::RnsPolynomial`] stores all limbs in one
+//!   contiguous allocation (limb `i` at `data[i·N .. (i+1)·N]`), so kernels stream
+//!   cache-line-contiguous rows and a polynomial is a single allocation.
+//! * **Lazy-reduction NTT** — [`math::NttTable::forward`]/[`math::NttTable::inverse`] keep
+//!   butterflies in the extended `[0, 2q)`/`[0, 4q)` domains with one correction pass at the
+//!   end and the `N⁻¹` scaling fused into the last inverse stage; the eager seed transforms
+//!   survive as `*_reference` baselines, pinned bit-for-bit by property tests.
+//! * **Limb parallelism** — per-limb work (NTTs, basis-conversion targets, key-switch digit
+//!   products) fans out over the dependency-free `fab-par` worker pool, gated by
+//!   `FAB_THREADS` (default 1, so every run is deterministic; results are bitwise identical
+//!   at any worker count).
+//! * **Scratch-arena evaluator** — steady-state [`ckks::Evaluator`] operations
+//!   (`multiply`, `key_switch`, `rotate_hoisted_batch`) lease all temporaries from a shared
+//!   buffer pool and reuse cached per-level ModUp/ModDown plans, so the hot path stops
+//!   allocating.
+//!
+//! The measured trajectory lives in `BENCH_pr3.json` at the repo root (regenerate with
+//! `cargo run --release -p fab-bench --bin kernels`).
+//!
 //! ```
 //! use fab::prelude::*;
 //! use rand::SeedableRng;
