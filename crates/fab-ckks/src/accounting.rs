@@ -1,0 +1,212 @@
+//! Closed-form NTT-count accounting for the evaluator's hot operations.
+//!
+//! Timings drift with machines and schedulers; *operation counts* do not. Following the
+//! hardware-performance-monitoring argument (Röhl et al.), every hot path in this crate has a
+//! closed-form expected transform count, and regression tests assert that the transforms the
+//! substrate actually performed ([`fab_rns::metering`]) equal the formula — so a future
+//! change that silently adds transforms fails loudly instead of just getting slower.
+//!
+//! Notation: a ciphertext at level `ℓ` has `limbs = ℓ + 1` `Q`-limbs, `special = |P| = k`
+//! extension limbs, `raised = limbs + special` raised limbs, and the hybrid key switch uses
+//! `β = ⌈limbs / α⌉` digits of (up to) `α` limbs.
+//!
+//! The counts below are the **minimum** the hybrid datapath admits and what the
+//! transform-minimal pipeline executes:
+//!
+//! * key switch: `β·raised` forward (every digit row exactly once, batched) + `2·raised`
+//!   inverse (the two KSKIP accumulators);
+//! * hoisted rotation batch: the `β·raised` forward sweep is paid **once** for the whole
+//!   batch — each rotation permutes the transformed digits in evaluation domain instead of
+//!   re-transforming them (the audited-redundant per-rotation forwards the pipeline
+//!   eliminated);
+//! * fused ModDown+rescale (`multiply_rescale`): identical transform count to `multiply` —
+//!   basis conversions are NTT-free, so the fusion saves conversion work, not transforms.
+//!
+//! Use [`NttMeter`] to measure a region and surface the observed count as a
+//! [`fab_trace::HeOp::Ntt`] op in a recorded trace.
+
+use fab_rns::metering;
+pub use fab_rns::metering::TransformCounts;
+use fab_trace::{HeOp, TraceSink};
+
+use crate::BsgsPlan;
+
+/// Builds a count from forward/inverse totals.
+fn counts(forward: u64, inverse: u64) -> TransformCounts {
+    TransformCounts { forward, inverse }
+}
+
+/// Component-wise sum of transform counts.
+#[must_use]
+pub fn add(a: TransformCounts, b: TransformCounts) -> TransformCounts {
+    counts(a.forward + b.forward, a.inverse + b.inverse)
+}
+
+/// Scales a transform count by an operation multiplicity.
+#[must_use]
+pub fn times(a: TransformCounts, n: u64) -> TransformCounts {
+    counts(a.forward * n, a.inverse * n)
+}
+
+/// Expected transforms of one hybrid key switch at `limbs = ℓ+1` with `special = |P|`
+/// extension limbs and digit size `alpha`: `β·(limbs+special)` forward, `2·(limbs+special)`
+/// inverse.
+pub fn key_switch(limbs: usize, special: usize, alpha: usize) -> TransformCounts {
+    let beta = limbs.div_ceil(alpha) as u64;
+    let raised = (limbs + special) as u64;
+    counts(beta * raised, 2 * raised)
+}
+
+/// Expected transforms of a ciphertext multiplication (with relinearisation): four operand
+/// forwards, three tensor-output inverses, plus the key switch. A `multiply_rescale` costs
+/// exactly the same — the fused ModDown+rescale changes conversion work, not transforms.
+pub fn multiply(limbs: usize, special: usize, alpha: usize) -> TransformCounts {
+    add(
+        counts(4 * limbs as u64, 3 * limbs as u64),
+        key_switch(limbs, special, alpha),
+    )
+}
+
+/// Expected transforms of a plaintext multiplication: the encoded plaintext and both
+/// ciphertext parts go forward, both parts come back.
+pub fn multiply_plain(limbs: usize) -> TransformCounts {
+    counts(3 * limbs as u64, 2 * limbs as u64)
+}
+
+/// Expected transforms of one key-switched rotation (or conjugation): the coefficient-domain
+/// automorphism is transform-free, so this is exactly one key switch.
+pub fn rotation(limbs: usize, special: usize, alpha: usize) -> TransformCounts {
+    key_switch(limbs, special, alpha)
+}
+
+/// Expected transforms of a hoisted rotation batch with `rotations` key-switched (nonzero)
+/// steps: one shared `β·raised` forward sweep, then `2·raised` inverses per rotation. A batch
+/// of only free steps (`rotations == 0`) performs no transforms at all.
+pub fn hoisted_rotation_batch(
+    limbs: usize,
+    special: usize,
+    alpha: usize,
+    rotations: usize,
+) -> TransformCounts {
+    if rotations == 0 {
+        return TransformCounts::default();
+    }
+    let beta = limbs.div_ceil(alpha) as u64;
+    let raised = (limbs + special) as u64;
+    counts(beta * raised, rotations as u64 * 2 * raised)
+}
+
+/// Expected transforms of one BSGS linear-transform stage (a bootstrap CoeffToSlot /
+/// SlotToCoeff stage) applied at `limbs = ℓ+1`: the hoisted baby batch, one plaintext
+/// multiplication per diagonal, and one full rotation per nonzero giant step. The trailing
+/// rescale is transform-free.
+pub fn bsgs_stage(
+    limbs: usize,
+    special: usize,
+    alpha: usize,
+    plan: &BsgsPlan,
+    diagonals: usize,
+) -> TransformCounts {
+    let babies = hoisted_rotation_batch(limbs, special, alpha, plan.baby_rotation_count());
+    let products = times(multiply_plain(limbs), diagonals as u64);
+    let giants = times(
+        rotation(limbs, special, alpha),
+        plan.giant_rotation_count() as u64,
+    );
+    add(add(babies, products), giants)
+}
+
+/// Measures the transforms performed between construction and [`NttMeter::elapsed`] /
+/// [`NttMeter::finish_into`], using the thread-local [`fab_rns::metering`] counters.
+///
+/// `finish_into` surfaces the observed count as a [`HeOp::Ntt`] op on a trace sink, so
+/// recorded traces (and their [`fab_trace::OpCounts::ntt`] tallies) carry verified transform
+/// counts alongside the semantic operation stream.
+#[derive(Debug)]
+pub struct NttMeter {
+    start: TransformCounts,
+}
+
+impl NttMeter {
+    /// Starts measuring from the current thread's counters.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            start: metering::counts(),
+        }
+    }
+
+    /// Transforms performed since [`NttMeter::start`].
+    pub fn elapsed(&self) -> TransformCounts {
+        metering::counts().since(&self.start)
+    }
+
+    /// Records the elapsed transform count as one [`HeOp::Ntt`] op on `sink` and returns it.
+    pub fn finish_into(self, sink: &dyn TraceSink) -> TransformCounts {
+        let elapsed = self.elapsed();
+        sink.record(HeOp::Ntt {
+            count: elapsed.total() as usize,
+        });
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_compose() {
+        // testing()-shaped: limbs 7, special 3, alpha 3 → beta 3, raised 10.
+        let ks = key_switch(7, 3, 3);
+        assert_eq!(
+            ks,
+            TransformCounts {
+                forward: 30,
+                inverse: 20
+            }
+        );
+        let mul = multiply(7, 3, 3);
+        assert_eq!(
+            mul,
+            TransformCounts {
+                forward: 58,
+                inverse: 41
+            }
+        );
+        assert_eq!(
+            multiply_plain(7),
+            TransformCounts {
+                forward: 21,
+                inverse: 14
+            }
+        );
+        assert_eq!(rotation(7, 3, 3), ks);
+        // A 4-rotation hoisted batch pays the forward sweep once.
+        let batch = hoisted_rotation_batch(7, 3, 3, 4);
+        assert_eq!(
+            batch,
+            TransformCounts {
+                forward: 30,
+                inverse: 80
+            }
+        );
+        assert_eq!(
+            hoisted_rotation_batch(7, 3, 3, 0),
+            TransformCounts::default()
+        );
+        // Helpers.
+        assert_eq!(add(ks, ks), times(ks, 2));
+    }
+
+    #[test]
+    fn meter_reports_into_a_sink() {
+        let sink = fab_trace::RecordingSink::new("meter");
+        let meter = NttMeter::start();
+        fab_rns::metering::add_forward(5);
+        fab_rns::metering::add_inverse(2);
+        let elapsed = meter.finish_into(&sink);
+        assert_eq!(elapsed.total(), 7);
+        assert_eq!(sink.snapshot().counts().ntt, 7);
+    }
+}

@@ -3,11 +3,14 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use fab_math::{generate_ntt_primes, AutomorphismMap, Modulus, SpecialFft};
+use fab_math::{generate_ntt_primes, AutomorphismMap, EvalAutomorphismMap, Modulus, SpecialFft};
 use fab_rns::ops::{ModDownPlan, ModUpPlan};
 use fab_rns::RnsBasis;
 
 use crate::{CkksError, CkksParams, Result};
+
+/// `(P mod q_i, Shoup(P mod q_i))` per Q limb of one level.
+pub type PModQConstants = Vec<(u64, u64)>;
 
 /// Lazily-built, shared kernel precomputations: ModUp/ModDown conversion constants per
 /// `(level, digit)` and automorphism index maps per Galois element. These are pure scalar
@@ -19,8 +22,14 @@ struct KernelCache {
     mod_up: Mutex<HashMap<(usize, usize, usize), Arc<ModUpPlan>>>,
     /// Keyed by level.
     mod_down: Mutex<HashMap<usize, Arc<ModDownPlan>>>,
+    /// Fused ModDown+rescale plans, keyed by the level *before* the rescale.
+    mod_down_rescale: Mutex<HashMap<usize, Arc<ModDownPlan>>>,
+    /// `(P mod q_i, Shoup constant)` per Q limb, keyed by level.
+    p_mod_q: Mutex<HashMap<usize, Arc<PModQConstants>>>,
     /// Keyed by Galois element.
     automorphism: Mutex<HashMap<u64, Arc<AutomorphismMap>>>,
+    /// Evaluation-domain automorphism permutations, keyed by Galois element.
+    eval_automorphism: Mutex<HashMap<u64, Arc<EvalAutomorphismMap>>>,
 }
 
 /// Shared precomputed state for one CKKS parameter set: the limb moduli of `Q` and `P`, their
@@ -247,6 +256,62 @@ impl CkksContext {
         })
     }
 
+    /// The cached **fused ModDown+rescale** plan for a multiply-then-rescale at `level`:
+    /// one basis conversion from `{q_level} ∪ P` onto `Q_{level-1}`, dividing by `P·q_level`
+    /// in a single pass instead of a ModDown (divide by `P`) followed by a rescale (divide by
+    /// `q_level`). Mathematically this *is* a [`ModDownPlan`] over the regrouped bases — the
+    /// accumulator's limb order `[q_0 … q_level, p_0 … p_{k-1}]` already matches the plan's
+    /// expected `[targets…, source…]` layout, so no data movement is needed.
+    ///
+    /// The fused division drops the exact centring of the two-step rescale, so the per
+    /// coefficient rounding error grows from ~`k` to ~`k+2` absolute units — negligible
+    /// against the scale `Δ`, and the reason `multiply_rescale` can skip one conversion and
+    /// one combine pass per component.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parameter error at level 0 (no level to consume) and propagates
+    /// plan-construction errors.
+    pub fn mod_down_rescale_plan(&self, level: usize) -> Result<Arc<ModDownPlan>> {
+        if level == 0 {
+            return Err(CkksError::InvalidParameters {
+                reason: "fused ModDown+rescale needs a level to consume".into(),
+            });
+        }
+        cached(&self.kernel_cache.mod_down_rescale, level, || {
+            let targets = self.basis_at_level(level - 1)?;
+            let source = self
+                .q_basis
+                .slice(level..level + 1)?
+                .concat(&self.p_basis)?;
+            Ok(ModDownPlan::new(&targets, &source)?)
+        })
+    }
+
+    /// The cached per-limb constants `(P mod q_i, Shoup(P mod q_i))` for `i ∈ [0, level]` —
+    /// the scalars the fused `multiply_rescale` uses to absorb `P·d` into the key-switch
+    /// accumulator before the one-shot division by `P·q_level`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates level errors.
+    pub fn p_mod_q_constants(&self, level: usize) -> Result<Arc<PModQConstants>> {
+        cached(&self.kernel_cache.p_mod_q, level, || {
+            let basis = self.basis_at_level(level)?;
+            Ok(basis
+                .moduli()
+                .iter()
+                .map(|qi| {
+                    let mut acc = 1u64;
+                    for p in self.p_basis.values() {
+                        acc = qi.mul(acc, qi.reduce(p));
+                    }
+                    (acc, qi.shoup_precompute(acc))
+                })
+                .collect())
+        })
+    }
+
     /// The cached coefficient-permutation map for the Galois automorphism `x → x^element`
     /// (built on first use; bootstrapping touches only ~60 distinct elements).
     ///
@@ -256,6 +321,20 @@ impl CkksContext {
     pub fn automorphism_map(&self, element: u64) -> Result<Arc<AutomorphismMap>> {
         cached(&self.kernel_cache.automorphism, element, || {
             Ok(AutomorphismMap::new(self.degree(), element)?)
+        })
+    }
+
+    /// The cached **evaluation-domain** permutation for the Galois automorphism
+    /// `x → x^element` (see [`EvalAutomorphismMap`]): hoisted rotation batches permute the
+    /// once-transformed raised digits with this map instead of re-running the forward NTT
+    /// per rotation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid-element errors.
+    pub fn eval_automorphism_map(&self, element: u64) -> Result<Arc<EvalAutomorphismMap>> {
+        cached(&self.kernel_cache.eval_automorphism, element, || {
+            Ok(EvalAutomorphismMap::new(self.degree(), element)?)
         })
     }
 }

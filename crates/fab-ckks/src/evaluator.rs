@@ -37,10 +37,44 @@ struct Scratch {
     pool: Vec<Vec<u64>>,
     /// Hoisted-product buffer for the basis-conversion kernels.
     convert: ops::ConvertScratch,
+    /// Per-digit hoisted-product buffers for the batched (digit-parallel) ModUp.
+    hoisted: Vec<Vec<u64>>,
+    /// u128 KSKIP accumulator rows for the `b` key component (flat, `R·N`).
+    acc_b: Vec<u128>,
+    /// u128 KSKIP accumulator rows for the `a` key component (flat, `R·N`).
+    acc_a: Vec<u128>,
 }
 
 /// Upper bound on pooled buffers; beyond this, recycled buffers are simply dropped.
 const SCRATCH_POOL_LIMIT: usize = 32;
+
+/// The once-raised digit data of the lazy key-switch pipeline: `d`'s own limbs plus every
+/// digit's conversion rows, all in lazy `[0, 4q)` evaluation form over `Q_level ∪ P`.
+///
+/// Hoisted rotation batches compute this **once** and reuse it for every rotation (the
+/// per-rotation automorphism is an evaluation-domain permutation applied inside the KSKIP
+/// gather), which is what eliminates the per-rotation forward-NTT sweeps of the old path.
+struct RaisedDigits {
+    /// The raised basis `Q_level ∪ P` (tables shared behind `Arc`s).
+    basis: RnsBasis,
+    /// `d` forward-transformed once (`ℓ+1` rows) — each digit reads its own limb block.
+    d_eval: RnsPolynomial,
+    /// Per digit: the extension rows produced by ModUp conversion, in
+    /// `ModUpPlan::conversion_rows` order.
+    converted: Vec<RnsPolynomial>,
+    /// Per digit: its `[start, end)` limb range inside `Q_level`.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl RaisedDigits {
+    /// Returns every leased buffer to the arena.
+    fn recycle_into(self, sc: &mut Scratch) {
+        sc.recycle(self.d_eval);
+        for poly in self.converted {
+            sc.recycle(poly);
+        }
+    }
+}
 
 impl Scratch {
     /// Leases a zero-filled polynomial of the given shape from the pool.
@@ -342,30 +376,7 @@ impl Evaluator {
 
         let mut scratch = self.scratch();
         let sc = &mut *scratch;
-        let mut a0 = sc.lease_copy(&a.c0);
-        let mut a1 = sc.lease_copy(&a.c1);
-        let mut b0 = sc.lease_copy(&b.c0);
-        let mut b1 = sc.lease_copy(&b.c1);
-        a0.to_evaluation(&basis);
-        a1.to_evaluation(&basis);
-        b0.to_evaluation(&basis);
-        b1.to_evaluation(&basis);
-
-        let mut d0 = sc.lease_copy(&a0);
-        d0.mul_assign(&b0, &basis)?;
-        let mut d1 = sc.lease_copy(&a0);
-        d1.mul_assign(&b1, &basis)?;
-        d1.add_mul_assign(&a1, &b0, &basis)?;
-        let mut d2 = sc.lease_copy(&a1);
-        d2.mul_assign(&b1, &basis)?;
-        sc.recycle(a0);
-        sc.recycle(a1);
-        sc.recycle(b0);
-        sc.recycle(b1);
-        d0.to_coefficient(&basis);
-        d1.to_coefficient(&basis);
-        d2.to_coefficient(&basis);
-
+        let (mut d0, mut d1, d2) = self.tensor_with(sc, &a, &b, &basis)?;
         let (k0, k1) = self.key_switch_with(sc, &d2, &rlk.key, level)?;
         // d0/d1 become the output parts in place; the key-switch pair is recycled.
         d0.add_assign(&k0, &basis)?;
@@ -376,7 +387,48 @@ impl Evaluator {
         Ok(Ciphertext::from_parts(d0, d1, a.scale * b.scale, level))
     }
 
-    /// Ciphertext–ciphertext multiplication followed by a rescale.
+    /// The tensor + relinearisation front half of a ciphertext multiplication: returns
+    /// `(d0, d1, d2)` in coefficient form over `basis`, all leased from the arena.
+    fn tensor_with(
+        &self,
+        sc: &mut Scratch,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        basis: &RnsBasis,
+    ) -> Result<(RnsPolynomial, RnsPolynomial, RnsPolynomial)> {
+        let mut a0 = sc.lease_copy(&a.c0);
+        let mut a1 = sc.lease_copy(&a.c1);
+        let mut b0 = sc.lease_copy(&b.c0);
+        let mut b1 = sc.lease_copy(&b.c1);
+        a0.to_evaluation(basis);
+        a1.to_evaluation(basis);
+        b0.to_evaluation(basis);
+        b1.to_evaluation(basis);
+
+        let mut d0 = sc.lease_copy(&a0);
+        d0.mul_assign(&b0, basis)?;
+        let mut d1 = sc.lease_copy(&a0);
+        d1.mul_assign(&b1, basis)?;
+        d1.add_mul_assign(&a1, &b0, basis)?;
+        let mut d2 = sc.lease_copy(&a1);
+        d2.mul_assign(&b1, basis)?;
+        sc.recycle(a0);
+        sc.recycle(a1);
+        sc.recycle(b0);
+        sc.recycle(b1);
+        d0.to_coefficient(basis);
+        d1.to_coefficient(basis);
+        d2.to_coefficient(basis);
+        Ok((d0, d1, d2))
+    }
+
+    /// Ciphertext–ciphertext multiplication followed by a rescale — the common
+    /// Chebyshev/BSGS pattern, executed with the **fused ModDown+rescale** plan: the
+    /// key-switch accumulator absorbs `P·d` and is divided by `P·q_level` in **one** basis
+    /// conversion (`CkksContext::mod_down_rescale_plan`) instead of a ModDown followed by a
+    /// separate rescale pass. Level, scale and the emitted trace ops (`Multiply`, `Rescale`)
+    /// are identical to the two-step path; only the ~`k+2`-unit rounding (vs ~`k`) differs,
+    /// which is negligible against the scale.
     ///
     /// # Errors
     ///
@@ -387,8 +439,58 @@ impl Evaluator {
         b: &Ciphertext,
         rlk: &RelinearizationKey,
     ) -> Result<Ciphertext> {
-        let product = self.multiply(a, b, rlk)?;
-        self.rescale(&product)
+        let (a, b) = self.align_levels(a, b)?;
+        let level = a.level;
+        if level == 0 {
+            // Match the two-step path's error exactly: the multiply succeeds, the rescale
+            // reports exhaustion.
+            let product = self.multiply(&a, &b, rlk)?;
+            return self.rescale(&product);
+        }
+        self.record(HeOp::Multiply { level });
+        self.record(HeOp::Rescale { level });
+        let basis = self.ctx.basis_at_level(level)?;
+        let limbs = level + 1;
+
+        let mut scratch = self.scratch();
+        let sc = &mut *scratch;
+        let (d0, d1, d2) = self.tensor_with(sc, &a, &b, &basis)?;
+        let raised = self.raise_digits(sc, &d2, rlk.key.alpha(), level)?;
+        let (mut acc0, mut acc1) = self.kskip_apply(sc, &raised, &rlk.key, level, None)?;
+        raised.recycle_into(sc);
+        sc.recycle(d2);
+
+        // Absorb P·d into the accumulators: P·d ≡ 0 on every P limb, so only the Q rows
+        // change, and ModDown(acc + P·d) = ModDown(acc) + d exactly — which lets the fused
+        // plan divide the whole sum by P·q_level in one conversion.
+        let p_mod_q = self.ctx.p_mod_q_constants(level)?;
+        for (acc, d) in [(&mut acc0, &d0), (&mut acc1, &d1)] {
+            let degree = d.degree();
+            fab_par::par_chunks_mut(&mut acc.data_mut()[..limbs * degree], degree, |i, row| {
+                let qi = basis.modulus(i);
+                let (p, p_shoup) = p_mod_q[i];
+                for (x, &dv) in row.iter_mut().zip(d.limb(i)) {
+                    *x = qi.add(*x, qi.mul_shoup(dv, p, p_shoup));
+                }
+            });
+        }
+        sc.recycle(d0);
+        sc.recycle(d1);
+
+        let fused = self.ctx.mod_down_rescale_plan(level)?;
+        let mut c0 = sc.lease_zero(a.c0.degree(), 0, Representation::Coefficient);
+        let mut c1 = sc.lease_zero(a.c0.degree(), 0, Representation::Coefficient);
+        fused.apply_into(&acc0, &mut sc.convert, &mut c0)?;
+        fused.apply_into(&acc1, &mut sc.convert, &mut c1)?;
+        sc.recycle(acc0);
+        sc.recycle(acc1);
+        let prime = self.ctx.rescale_prime(level) as f64;
+        Ok(Ciphertext::from_parts(
+            c0,
+            c1,
+            a.scale * b.scale / prime,
+            level - 1,
+        ))
     }
 
     /// Squares a ciphertext (with relinearisation, no rescale).
@@ -555,18 +657,25 @@ impl Evaluator {
     }
 
     /// Rotates one ciphertext by every step in `steps` while performing the key-switch
-    /// Decomp → ModUp **once** for the whole batch (hoisting, Bossuat et al.): the raised
-    /// digits of `c1` are computed up front in coefficient form, and each rotation only pays
-    /// the automorphism permutation, the NTTs and the inner product with its own key. This is
-    /// the software realisation of the sharing FAB's scheduler exploits — the first step is
-    /// recorded as a full [`HeOp::Rotate`], every further nonzero step as
+    /// Decomp → ModUp **and the forward NTTs once** for the whole batch (hoisting, Bossuat et
+    /// al.): the raised digits of `c1` are computed and transformed up front, and each
+    /// rotation only pays an evaluation-domain permutation (applied on the fly inside the
+    /// KSKIP gather — see [`fab_math::EvalAutomorphismMap`]), the u128 inner product with its
+    /// own key, and the inverse NTT + ModDown. The per-rotation forward transforms of the
+    /// coefficient-domain path were audited redundant and are eliminated: a batch of `M`
+    /// rotations now performs `β·(ℓ+1+k) + M·2·(ℓ+1+k)` transforms instead of
+    /// `M·β·(ℓ+1+k) + M·2·(ℓ+1+k)`.
+    ///
+    /// The first step is recorded as a full [`HeOp::Rotate`], every further nonzero step as
     /// [`HeOp::RotateHoisted`], and steps that are multiples of the slot count are free
     /// clones, exactly like the per-op path.
     ///
-    /// Soundness of sharing: digit slicing commutes with the automorphism (it acts limb-wise),
-    /// and applying the automorphism to a ModUp output yields a valid lift of the
-    /// automorphised digit (the permutation preserves both the congruence and the norm bound),
-    /// so each rotation's key switch sees exactly the operand it requires.
+    /// Soundness of sharing: digit slicing commutes with the automorphism (it acts
+    /// limb-wise), applying the automorphism to a ModUp output yields a valid lift of the
+    /// automorphised digit (the permutation preserves both the congruence and the norm
+    /// bound), and in evaluation representation the automorphism is exactly the
+    /// `EvalAutomorphismMap` point permutation — so each rotation's key switch sees exactly
+    /// the operand it requires.
     ///
     /// # Errors
     ///
@@ -584,35 +693,14 @@ impl Evaluator {
         let level = a.level;
         let degree = a.c1.degree();
         let q_basis = self.ctx.basis_at_level(level)?;
-        let p_basis = self.ctx.p_basis();
-        let raised = self.ctx.raised_basis_at_level(level)?;
-        let total_q = self.ctx.q_basis().len();
-        let limbs = level + 1;
-        let key_map = key_limb_map(limbs, total_q, p_basis.len());
+        let alpha = self.ctx.params().alpha();
 
         let mut scratch = self.scratch();
         let sc = &mut *scratch;
 
-        // Decomp + ModUp of c1, shared by every rotation in the batch.
-        let alpha = self.ctx.params().alpha();
-        let beta = limbs.div_ceil(alpha);
-        let mut digit = sc.lease_zero(degree, 0, Representation::Coefficient);
-        let mut raised_digits = Vec::with_capacity(beta);
-        for j in 0..beta {
-            let start = j * alpha;
-            let end = ((j + 1) * alpha).min(limbs);
-            digit.copy_limbs_from(&a.c1, start..end)?;
-            let plan = self.ctx.mod_up_plan(level, start, end - start)?;
-            let mut extended = sc.lease_zero(degree, 0, Representation::Coefficient);
-            plan.apply_into(&digit, &mut sc.convert, &mut extended)?;
-            raised_digits.push(extended);
-        }
-        sc.recycle(digit);
-
+        // Decomp + ModUp + forward NTT of c1, shared by every rotation in the batch.
+        let raised = self.raise_digits(sc, &a.c1, alpha, level)?;
         let down = self.ctx.mod_down_plan(level)?;
-        let mut rotated_digit = sc.lease_zero(degree, 0, Representation::Coefficient);
-        let mut acc0 = sc.lease_zero(degree, 0, Representation::Evaluation);
-        let mut acc1 = sc.lease_zero(degree, 0, Representation::Evaluation);
         let mut out = Vec::with_capacity(steps.len());
         let mut first = true;
         for &s in steps {
@@ -625,22 +713,15 @@ impl Evaluator {
             let key = keys.get(element).ok_or_else(|| CkksError::MissingKey {
                 description: format!("rotation by {st} (galois element {element})"),
             })?;
-            let map = self.ctx.automorphism_map(element)?;
-            acc0.reset(degree, raised.len(), Representation::Evaluation);
-            acc1.reset(degree, raised.len(), Representation::Evaluation);
-            for (j, raised_digit) in raised_digits.iter().enumerate() {
-                raised_digit.automorphism_into(&map, &raised, &mut rotated_digit)?;
-                rotated_digit.to_evaluation(&raised);
-                let (b_full, a_full) = key.component(j);
-                acc0.add_mul_limb_mapped(&rotated_digit, b_full, &key_map, &raised)?;
-                acc1.add_mul_limb_mapped(&rotated_digit, a_full, &key_map, &raised)?;
-            }
-            acc0.to_coefficient(&raised);
-            acc1.to_coefficient(&raised);
+            let eval_map = self.ctx.eval_automorphism_map(element)?;
+            let (acc0, acc1) = self.kskip_apply(sc, &raised, key, level, Some(&eval_map))?;
             let mut k0 = sc.lease_zero(degree, 0, Representation::Coefficient);
             let mut k1 = sc.lease_zero(degree, 0, Representation::Coefficient);
             down.apply_into(&acc0, &mut sc.convert, &mut k0)?;
             down.apply_into(&acc1, &mut sc.convert, &mut k1)?;
+            sc.recycle(acc0);
+            sc.recycle(acc1);
+            let map = self.ctx.automorphism_map(element)?;
             let mut c0 = a.c0.automorphism_with_map(&map, &q_basis)?;
             c0.add_assign(&k0, &q_basis)?;
             sc.recycle(k0);
@@ -653,12 +734,7 @@ impl Evaluator {
             first = false;
             out.push(rotated);
         }
-        sc.recycle(rotated_digit);
-        sc.recycle(acc0);
-        sc.recycle(acc1);
-        for raised_digit in raised_digits {
-            sc.recycle(raised_digit);
-        }
+        raised.recycle_into(sc);
         Ok(out)
     }
 
@@ -742,6 +818,14 @@ impl Evaluator {
     /// Decomp → ModUp → KSKIP (inner product with the key) → ModDown. Returns the pair
     /// `(k_0, k_1)` over `Q_level` in coefficient form.
     ///
+    /// Runs the **transform-minimal lazy pipeline**: the β digits are raised and
+    /// forward-transformed as one batched, digit-parallel stage (`β·(ℓ+1+k)` lazy NTT rows,
+    /// the closed-form minimum), and the KSKIP inner product sums the raw 64×64→128-bit
+    /// products of *all* digits into per-coefficient u128 accumulators, reducing **once** per
+    /// coefficient instead of once per digit (`fab_rns::kskip`). Output is bit-for-bit
+    /// identical to [`Evaluator::key_switch_reference`], which keeps the PR 3 per-digit eager
+    /// algorithm as the benchmarked baseline.
+    ///
     /// # Errors
     ///
     /// Propagates RNS kernel errors.
@@ -765,6 +849,38 @@ impl Evaluator {
         key: &SwitchingKey,
         level: usize,
     ) -> Result<(RnsPolynomial, RnsPolynomial)> {
+        let raised = self.raise_digits(sc, d, key.alpha(), level)?;
+        let (acc0, acc1) = self.kskip_apply(sc, &raised, key, level, None)?;
+        raised.recycle_into(sc);
+        let down = self.ctx.mod_down_plan(level)?;
+        let degree = d.degree();
+        let mut k0 = sc.lease_zero(degree, 0, Representation::Coefficient);
+        let mut k1 = sc.lease_zero(degree, 0, Representation::Coefficient);
+        down.apply_into(&acc0, &mut sc.convert, &mut k0)?;
+        down.apply_into(&acc1, &mut sc.convert, &mut k1)?;
+        sc.recycle(acc0);
+        sc.recycle(acc1);
+        Ok((k0, k1))
+    }
+
+    /// The PR 3 key-switch algorithm — per-digit sequential ModUp → NTT → **eager** KSKIP
+    /// (one Barrett reduction per digit per coefficient) → ModDown — kept verbatim as the
+    /// timed and bitwise baseline for the lazy pipeline, exactly like
+    /// `NttTable::forward_reference` is kept for the lazy NTT. `fab-bench` reports
+    /// `key_switch` speedups against this path, and property tests pin
+    /// [`Evaluator::key_switch`] to it bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RNS kernel errors.
+    pub fn key_switch_reference(
+        &self,
+        d: &RnsPolynomial,
+        key: &SwitchingKey,
+        level: usize,
+    ) -> Result<(RnsPolynomial, RnsPolynomial)> {
+        let mut scratch = self.scratch();
+        let sc = &mut *scratch;
         let raised = self.ctx.raised_basis_at_level(level)?;
         let p_limbs = self.ctx.p_basis().len();
         let alpha = key.alpha();
@@ -807,6 +923,259 @@ impl Evaluator {
         sc.recycle(acc0);
         sc.recycle(acc1);
         Ok((k0, k1))
+    }
+
+    /// Decomp + ModUp + batched forward NTT of every digit of `d`, the front half of the
+    /// transform-minimal key switch (shared verbatim by hoisted rotation batches, which pay
+    /// it **once** for the whole batch).
+    ///
+    /// Work is flattened into row-level job lists so one `fab_par` fan-out covers all β
+    /// digits at once — the digit-parallel schedule of the ROADMAP item: hoisted products
+    /// per digit row, then every converted/copied output row, each forward-transformed lazily
+    /// in the same job. Outputs stay in the lazy `[0, 4q)` evaluation domain; the u128 KSKIP
+    /// absorbs the laziness in its single end reduction, so the correction sweeps between
+    /// ModUp and KSKIP are eliminated (the audited-redundant passes of the eager path).
+    fn raise_digits(
+        &self,
+        sc: &mut Scratch,
+        d: &RnsPolynomial,
+        alpha: usize,
+        level: usize,
+    ) -> Result<RaisedDigits> {
+        let limbs = level + 1;
+        // Reject the operands the eager path's ModUp kernels used to reject, instead of
+        // silently raising garbage: `d` must be a coefficient-form polynomial carrying (at
+        // least) the level's limbs at the ring degree.
+        if d.representation() != Representation::Coefficient {
+            return Err(fab_rns::RnsError::WrongRepresentation {
+                expected: "coefficient",
+            }
+            .into());
+        }
+        if d.limb_count() < limbs {
+            return Err(fab_rns::RnsError::LimbOutOfRange {
+                requested: limbs,
+                available: d.limb_count(),
+            }
+            .into());
+        }
+        if d.degree() != self.ctx.degree() {
+            return Err(fab_rns::RnsError::Mismatch {
+                reason: format!(
+                    "key-switch operand degree {} does not match ring degree {}",
+                    d.degree(),
+                    self.ctx.degree()
+                ),
+            }
+            .into());
+        }
+        let beta = limbs.div_ceil(alpha);
+        let degree = d.degree();
+        let basis = self.ctx.raised_basis_at_level(level)?;
+        let raised_limbs = basis.len();
+
+        let mut ranges = Vec::with_capacity(beta);
+        let mut plans = Vec::with_capacity(beta);
+        for j in 0..beta {
+            let start = j * alpha;
+            let end = ((j + 1) * alpha).min(limbs);
+            ranges.push((start, end));
+            plans.push(self.ctx.mod_up_plan(level, start, end - start)?);
+        }
+
+        // Phase 1 (digit-parallel): hoisted conversion products, one job per digit source row.
+        if sc.hoisted.len() < beta {
+            sc.hoisted.resize_with(beta, Vec::new);
+        }
+        for (j, buf) in sc.hoisted.iter_mut().take(beta).enumerate() {
+            let (start, end) = ranges[j];
+            buf.resize(degree * (end - start), 0);
+        }
+        {
+            let mut jobs = Vec::with_capacity(limbs);
+            for (j, buf) in sc.hoisted.iter_mut().take(beta).enumerate() {
+                for (i, row) in buf.chunks_mut(degree).enumerate() {
+                    jobs.push((j, i, row));
+                }
+            }
+            let plans = &plans;
+            let ranges = &ranges;
+            fab_par::par_jobs(jobs, |(j, i, row)| {
+                let converter = plans[j]
+                    .converter()
+                    .expect("key-switch ModUp always has extension targets");
+                converter.hoisted_product_row(i, d.limb(ranges[j].0 + i), row);
+            });
+        }
+
+        // Phase 2 (batched): every output row of every digit — digit rows lifted from `d`,
+        // the rest produced by lazy conversion — forward-transformed in the same job.
+        // β·(ℓ+1+k) rows total: the closed-form minimum number of forward transforms.
+        let mut d_eval = sc.lease_zero(degree, limbs, Representation::Evaluation);
+        let mut converted: Vec<RnsPolynomial> = plans
+            .iter()
+            .map(|p| {
+                sc.lease_zero(
+                    degree,
+                    p.conversion_rows().len(),
+                    Representation::Evaluation,
+                )
+            })
+            .collect();
+        {
+            enum RowJob<'a> {
+                /// Lift a digit row of `d` and transform it (shared by its digit).
+                Lift {
+                    src: &'a [u64],
+                    table: &'a fab_math::NttTable,
+                    out: &'a mut [u64],
+                },
+                /// Convert one extension row of one digit (lazy, no correction) + transform.
+                Convert {
+                    plan: &'a ops::ModUpPlan,
+                    hoisted: &'a [u64],
+                    target: usize,
+                    table: &'a fab_math::NttTable,
+                    out: &'a mut [u64],
+                },
+            }
+            let mut jobs = Vec::with_capacity(beta * raised_limbs);
+            for (i, out) in d_eval.data_mut().chunks_mut(degree).enumerate() {
+                jobs.push(RowJob::Lift {
+                    src: d.limb(i),
+                    table: basis.table(i),
+                    out,
+                });
+            }
+            for (j, poly) in converted.iter_mut().enumerate() {
+                let plan = plans[j].as_ref();
+                let hoisted = &sc.hoisted[j];
+                for (target, out) in poly.data_mut().chunks_mut(degree).enumerate() {
+                    jobs.push(RowJob::Convert {
+                        plan,
+                        hoisted,
+                        target,
+                        table: basis.table(plan.conversion_rows()[target]),
+                        out,
+                    });
+                }
+            }
+            fab_rns::metering::add_forward(jobs.len());
+            fab_par::par_jobs(jobs, |job| match job {
+                RowJob::Lift { src, table, out } => {
+                    out.copy_from_slice(src);
+                    table.forward_lazy(out);
+                }
+                RowJob::Convert {
+                    plan,
+                    hoisted,
+                    target,
+                    table,
+                    out,
+                } => {
+                    plan.converter()
+                        .expect("conversion rows imply a converter")
+                        .accumulate_target_limb_lazy_into(hoisted, out.len(), target, out);
+                    table.forward_lazy(out);
+                }
+            });
+        }
+
+        Ok(RaisedDigits {
+            basis,
+            d_eval,
+            converted,
+            ranges,
+        })
+    }
+
+    /// The u128 lazy KSKIP + inverse NTT: accumulates `Σ_j ext_j · ksk_j` over all β digits
+    /// into per-coefficient u128 accumulators (fold-guarded against overflow), reduces once
+    /// per coefficient into the lazy `[0, 2q)` domain, and inverse-transforms the two
+    /// accumulator polynomials back to coefficient form over `Q_level ∪ P`.
+    ///
+    /// `perm` applies an evaluation-domain automorphism gather to the raised digits on the
+    /// fly (hoisted rotation batches), so no rotated copy is ever materialised. Work fans out
+    /// one job per raised limb; each digit's contribution is summed in fixed digit order, so
+    /// results are bitwise identical at any `FAB_THREADS`.
+    fn kskip_apply(
+        &self,
+        sc: &mut Scratch,
+        raised: &RaisedDigits,
+        key: &SwitchingKey,
+        level: usize,
+        perm: Option<&fab_math::EvalAutomorphismMap>,
+    ) -> Result<(RnsPolynomial, RnsPolynomial)> {
+        let limbs = level + 1;
+        let degree = raised.d_eval.degree();
+        let raised_limbs = raised.basis.len();
+        let key_map = key_limb_map(limbs, self.ctx.q_basis().len(), self.ctx.p_basis().len());
+        let perm = perm.map(fab_math::EvalAutomorphismMap::source);
+
+        let mut acc0 = sc.lease_zero(degree, raised_limbs, Representation::Evaluation);
+        let mut acc1 = sc.lease_zero(degree, raised_limbs, Representation::Evaluation);
+        sc.acc_b.clear();
+        sc.acc_b.resize(raised_limbs * degree, 0);
+        sc.acc_a.clear();
+        sc.acc_a.resize(raised_limbs * degree, 0);
+        {
+            let jobs: Vec<_> = sc
+                .acc_b
+                .chunks_mut(degree)
+                .zip(sc.acc_a.chunks_mut(degree))
+                .zip(acc0.data_mut().chunks_mut(degree))
+                .zip(acc1.data_mut().chunks_mut(degree))
+                .enumerate()
+                .map(|(r, (((ub, ua), ob), oa))| (r, ub, ua, ob, oa))
+                .collect();
+            fab_par::par_jobs(jobs, |(r, acc_b, acc_a, out_b, out_a)| {
+                let modulus = raised.basis.modulus(r);
+                let digit_rows = raised.ranges.iter().enumerate().map(|(j, &(start, end))| {
+                    let x = if r >= start && r < end {
+                        raised.d_eval.limb(r)
+                    } else {
+                        // Converted rows skip the digit's own contiguous limb block.
+                        let t = if r < start { r } else { r - (end - start) };
+                        raised.converted[j].limb(t)
+                    };
+                    let (b_full, a_full) = key.component(j);
+                    fab_rns::kskip::DigitRows {
+                        x,
+                        key_b: b_full.limb(key_map[r]),
+                        key_a: a_full.limb(key_map[r]),
+                    }
+                });
+                // All digits accumulate under the shared fold schedule; the single [0, 2q)
+                // reduction per coefficient feeds the inverse NTT.
+                fab_rns::kskip::accumulate_digits(
+                    modulus,
+                    modulus.u128_mac_capacity(),
+                    digit_rows,
+                    perm,
+                    fab_rns::kskip::RowBuffers {
+                        acc_b,
+                        acc_a,
+                        out_b,
+                        out_a,
+                    },
+                );
+            });
+        }
+
+        // Batched inverse NTTs of both accumulators (2·(ℓ+1+k) rows, the minimum).
+        {
+            let mut jobs = Vec::with_capacity(2 * raised_limbs);
+            for poly in [&mut acc0, &mut acc1] {
+                for (r, row) in poly.data_mut().chunks_mut(degree).enumerate() {
+                    jobs.push((raised.basis.table(r), row));
+                }
+            }
+            fab_rns::metering::add_inverse(jobs.len());
+            fab_par::par_jobs(jobs, |(table, row)| table.inverse(row));
+        }
+        acc0.set_representation(Representation::Coefficient);
+        acc1.set_representation(Representation::Coefficient);
+        Ok((acc0, acc1))
     }
 
     // ------------------------------------------------------------------------- internals

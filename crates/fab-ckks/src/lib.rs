@@ -22,6 +22,17 @@
 //! entry point ([`bootstrap::BootstrapParams::sparse_for_scheme`]) that projects onto the
 //! packing subring with SubSum and factors the tiled sub-FFT over the used slots.
 //!
+//! The hot key-switch datapath is **transform-minimal** (PR 4): the β digits are raised and
+//! forward-transformed as one batched digit-parallel stage, the KSKIP inner product sums the
+//! raw 128-bit products of all digits and reduces once per coefficient
+//! (`fab_rns::kskip`), hoisted rotation batches permute the once-transformed digits in
+//! evaluation domain instead of re-transforming them, and `multiply_rescale` divides by
+//! `P·q_ℓ` in one **fused ModDown+rescale** conversion
+//! ([`CkksContext::mod_down_rescale_plan`]). The [`accounting`] module carries the
+//! closed-form expected NTT counts for every hot operation, asserted against the
+//! `fab_rns::metering` tallies by regression tests; the PR 3 per-digit eager algorithm
+//! survives as [`Evaluator::key_switch_reference`], the timed and bitwise baseline.
+//!
 //! ```
 //! use fab_ckks::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator,
 //!                KeyGenerator, SecretKey};
@@ -52,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accounting;
 pub mod backend;
 pub mod bootstrap;
 mod chebyshev;

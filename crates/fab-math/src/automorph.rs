@@ -136,6 +136,91 @@ impl AutomorphismMap {
     }
 }
 
+/// A precomputed **evaluation-domain** permutation for a Galois automorphism
+/// `x → x^{element}` on the negacyclic ring.
+///
+/// The lazy NTT ([`crate::NttTable::forward`]) stores the evaluation at `ψ^{2·brv(i)+1}` in
+/// output slot `i` (ψ a primitive 2N-th root, `brv` the log-N bit reversal). Because Galois
+/// elements are odd units modulo `2N`, `σ_t` maps the evaluation point set to itself:
+/// `σ_t(a)(ψ^e) = a(ψ^{e·t})`, so in evaluation representation the automorphism is a **pure
+/// permutation with no sign fix-ups** — `out[i] = in[source[i]]` where `source[i]` is the
+/// slot holding the exponent `(2·brv(i)+1)·t mod 2N`.
+///
+/// This is what lets hoisted rotation batches share one ModUp *and* one forward-NTT sweep:
+/// the raised digits are transformed once, and every rotation in the batch only pays the
+/// permutation (applied on the fly inside the key-switch inner product) — the per-rotation
+/// forward transforms of the coefficient-domain path are audited-redundant and eliminated.
+#[derive(Debug, Clone)]
+pub struct EvalAutomorphismMap {
+    degree: usize,
+    element: u64,
+    /// `source[i]` = evaluation slot of the input feeding output slot `i`.
+    source: Vec<usize>,
+}
+
+impl EvalAutomorphismMap {
+    /// Builds the evaluation-domain permutation for `x → x^{element}`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AutomorphismMap::new`].
+    pub fn new(degree: usize, element: u64) -> Result<Self> {
+        if degree < 2 || !degree.is_power_of_two() {
+            return Err(MathError::InvalidDegree {
+                degree,
+                reason: "automorphism degree must be a power of two",
+            });
+        }
+        let m = 2 * degree as u64;
+        if element % 2 == 0 || element == 0 || element >= m {
+            return Err(MathError::InvalidGaloisElement { element, degree });
+        }
+        let log_n = degree.trailing_zeros();
+        let brv = |i: u64| (i.reverse_bits() >> (64 - log_n)) as usize;
+        let mut source = vec![0usize; degree];
+        for (i, slot) in source.iter_mut().enumerate() {
+            let exponent = 2 * brv(i as u64) as u64 + 1;
+            // Odd × odd mod 2N stays odd, so the halving below is exact.
+            let mapped = (exponent * element) % m;
+            *slot = brv((mapped - 1) / 2);
+        }
+        Ok(Self {
+            degree,
+            element,
+            source,
+        })
+    }
+
+    /// The ring degree this map was built for.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The Galois element `k` of `x → x^k`.
+    pub fn element(&self) -> u64 {
+        self.element
+    }
+
+    /// `source[i]` = input evaluation slot feeding output slot `i` (for fused gathers).
+    pub fn source(&self) -> &[usize] {
+        &self.source
+    }
+
+    /// Applies the permutation to one evaluation-form row (`out[i] = input[source[i]]`).
+    /// Values are moved untouched, so lazy residues stay valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from the degree.
+    pub fn apply_into(&self, input: &[u64], out: &mut [u64]) {
+        assert_eq!(input.len(), self.degree);
+        assert_eq!(out.len(), self.degree);
+        for (o, &s) in out.iter_mut().zip(self.source.iter()) {
+            *o = input[s];
+        }
+    }
+}
+
 /// Applies the automorphism `x → x^{element}` to a coefficient-domain polynomial without
 /// precomputing a map. Convenience wrapper over [`AutomorphismMap`].
 ///
@@ -271,6 +356,39 @@ mod tests {
                 seen[idx] = true;
             }
         }
+    }
+
+    #[test]
+    fn evaluation_map_commutes_with_the_ntt() {
+        // NTT(σ_t(a)) must equal the EvalAutomorphismMap permutation of NTT(a), bit for bit —
+        // the soundness contract that lets hoisted batches permute instead of re-transform.
+        let n = 64usize;
+        let q_val = crate::generate_ntt_prime(40, n, 0).unwrap();
+        let q = Modulus::new(q_val).unwrap();
+        let table = crate::NttTable::new(n, q.clone()).unwrap();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 7) % q_val).collect();
+        let mut a_eval = a.clone();
+        table.forward(&mut a_eval);
+        for element in [5u64, 25, 125 % (2 * n as u64), 2 * n as u64 - 1] {
+            let coeff_map = AutomorphismMap::new(n, element).unwrap();
+            let mut via_coeff = coeff_map.apply(&a, &q);
+            table.forward(&mut via_coeff);
+            let eval_map = EvalAutomorphismMap::new(n, element).unwrap();
+            let mut via_eval = vec![0u64; n];
+            eval_map.apply_into(&a_eval, &mut via_eval);
+            assert_eq!(via_eval, via_coeff, "element {element}");
+        }
+    }
+
+    #[test]
+    fn evaluation_map_rejects_invalid_elements() {
+        assert!(EvalAutomorphismMap::new(16, 2).is_err());
+        assert!(EvalAutomorphismMap::new(16, 0).is_err());
+        assert!(EvalAutomorphismMap::new(16, 32).is_err());
+        assert!(EvalAutomorphismMap::new(15, 3).is_err());
+        // Identity element is the identity permutation.
+        let id = EvalAutomorphismMap::new(16, 1).unwrap();
+        assert_eq!(id.source(), &(0..16).collect::<Vec<_>>()[..]);
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod reduction;
 pub use automorph::{
     apply_automorphism, bit_reverse_indices, bit_reverse_permute, fab_rotation_index,
     galois_element_for_conjugation, galois_element_for_rotation, AutomorphismMap,
+    EvalAutomorphismMap,
 };
 pub use complex::Complex64;
 pub use error::MathError;

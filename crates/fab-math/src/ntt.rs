@@ -146,6 +146,27 @@ impl NttTable {
     ///
     /// Panics if `values.len() != N`.
     pub fn forward(&self, values: &mut [u64]) {
+        self.forward_lazy(values);
+        let q = &self.modulus;
+        for v in values.iter_mut() {
+            *v = q.reduce_4q(*v);
+        }
+    }
+
+    /// Forward negacyclic NTT **without the final canonicalisation pass**: inputs may be lazy
+    /// residues in `[0, 4q)` and outputs stay in `[0, 4q)`, congruent to the canonical
+    /// [`NttTable::forward`] output limb-for-limb.
+    ///
+    /// This is the transform-minimal key-switch entry point: the ModUp conversion hands over
+    /// `[0, 2q)` rows directly (skipping its own correction pass), and the u128 KSKIP inner
+    /// product consumes the `[0, 4q)` evaluations as-is — its single end-of-accumulation
+    /// Barrett reduction absorbs the laziness, so the two correction sweeps between ModUp and
+    /// KSKIP disappear entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != N`.
+    pub fn forward_lazy(&self, values: &mut [u64]) {
         assert_eq!(values.len(), self.degree, "input length must equal N");
         let q = &self.modulus;
         let two_q = q.two_q();
@@ -171,9 +192,6 @@ impl NttTable {
                 }
             }
             m <<= 1;
-        }
-        for v in values.iter_mut() {
-            *v = q.reduce_4q(*v);
         }
     }
 
@@ -477,6 +495,38 @@ mod tests {
             t.inverse_reference(&mut eager);
             assert_eq!(lazy, eager, "inverse mismatch at log_n = {log_n}");
             assert_eq!(lazy, poly, "roundtrip mismatch at log_n = {log_n}");
+        }
+    }
+
+    #[test]
+    fn forward_lazy_is_congruent_for_lazy_inputs() {
+        // forward_lazy accepts inputs anywhere in [0, 4q) and its outputs, corrected, must
+        // match the canonical transform of the canonical input.
+        let t = table(8, 50);
+        let q = t.modulus();
+        let canonical = random_poly(t.degree(), q.value(), 77);
+        let mut reference = canonical.clone();
+        t.forward(&mut reference);
+        for shift in [0u64, 1, 2, 3] {
+            // Shift each coefficient by a multiple of q (staying below 4q).
+            let mut lazy: Vec<u64> = canonical
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c + q.value() * ((shift + i as u64) % 4).min(3))
+                .collect();
+            for v in lazy.iter_mut() {
+                if *v >= 4 * q.value() {
+                    *v -= q.value();
+                }
+            }
+            t.forward_lazy(&mut lazy);
+            for (i, &v) in lazy.iter().enumerate() {
+                assert!(
+                    (v as u128) < 4 * q.value() as u128,
+                    "output {v} out of [0,4q)"
+                );
+                assert_eq!(q.reduce_4q(v), reference[i], "slot {i} shift {shift}");
+            }
         }
     }
 

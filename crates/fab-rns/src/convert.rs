@@ -177,6 +177,24 @@ impl BasisConverter {
         });
     }
 
+    /// Phase 1 for a single source row: `out[c] = src[c] · (Q/q_i)^{-1} mod q_i` for source
+    /// limb `source_index`. The row-level entry point for job-list fan-out (the batched
+    /// key-switch pipeline hands each `(digit, source row)` pair to one worker job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source_index` is out of range or the row lengths disagree.
+    pub fn hoisted_product_row(&self, source_index: usize, src: &[u64], out: &mut [u64]) {
+        assert!(source_index < self.source_moduli.len());
+        assert_eq!(src.len(), out.len());
+        let qi = &self.source_moduli[source_index];
+        let factor = self.q_hat_inv_mod_q[source_index];
+        let factor_shoup = self.q_hat_inv_mod_q_shoup[source_index];
+        for (y, &x) in out.iter_mut().zip(src) {
+            *y = qi.mul_shoup(x, factor, factor_shoup);
+        }
+    }
+
     /// Phase 2: accumulates the hoisted products into one target limb row, overwriting `out`.
     ///
     /// The inner loop is lazy: per term one Shoup multiply into `[0, 2p_j)` and one lazy
@@ -186,6 +204,28 @@ impl BasisConverter {
     ///
     /// Panics if `target_index` is out of range or the buffer shapes disagree.
     pub fn accumulate_target_limb_into(
+        &self,
+        hoisted_flat: &[u64],
+        degree: usize,
+        target_index: usize,
+        out: &mut [u64],
+    ) {
+        self.accumulate_target_limb_lazy_into(hoisted_flat, degree, target_index, out);
+        let pj = &self.target_moduli[target_index];
+        for o in out.iter_mut() {
+            *o = pj.reduce_2q(*o);
+        }
+    }
+
+    /// Phase 2 **without the final canonical correction**: the output row stays in the lazy
+    /// `[0, 2p_j)` domain. Used when the row feeds straight into the lazy forward NTT
+    /// ([`fab_math::NttTable::forward_lazy`] accepts inputs below `4q`), eliminating one full
+    /// correction sweep per converted limb of the key-switch ModUp.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`BasisConverter::accumulate_target_limb_into`].
+    pub fn accumulate_target_limb_lazy_into(
         &self,
         hoisted_flat: &[u64],
         degree: usize,
@@ -212,9 +252,6 @@ impl BasisConverter {
             for (o, &yi) in out.iter_mut().zip(y_row) {
                 *o = pj.add_lazy(*o, pj.mul_shoup_lazy(yi, w, w_shoup));
             }
-        }
-        for o in out.iter_mut() {
-            *o = pj.reduce_2q(*o);
         }
     }
 
@@ -416,6 +453,34 @@ mod tests {
         let rows = conv.convert(&limbs);
         for (j, row) in rows.iter().enumerate() {
             assert_eq!(&row[..], &full[j * degree..(j + 1) * degree]);
+        }
+    }
+
+    #[test]
+    fn row_level_phases_match_batch_phases() {
+        let (source, target) = bases();
+        let conv = BasisConverter::new(&source, &target).unwrap();
+        let degree = 16;
+        let limbs = encode_value(123_456_789, &source, degree);
+        let flat: Vec<u64> = limbs.iter().flatten().copied().collect();
+        // Row-level phase 1 matches the batch phase 1.
+        let mut hoisted = Vec::new();
+        conv.hoisted_products_into(&flat, degree, &mut hoisted);
+        for i in 0..conv.source_len() {
+            let mut row = vec![0u64; degree];
+            conv.hoisted_product_row(i, &limbs[i], &mut row);
+            assert_eq!(&row[..], &hoisted[i * degree..(i + 1) * degree]);
+        }
+        // Lazy phase 2 stays below 2q and canonicalises to the corrected phase 2.
+        for j in 0..conv.target_len() {
+            let pj = target.modulus(j);
+            let mut lazy = vec![0u64; degree];
+            conv.accumulate_target_limb_lazy_into(&hoisted, degree, j, &mut lazy);
+            assert!(lazy.iter().all(|&v| v < pj.two_q()));
+            let mut canonical = vec![0u64; degree];
+            conv.accumulate_target_limb_into(&hoisted, degree, j, &mut canonical);
+            let corrected: Vec<u64> = lazy.iter().map(|&v| pj.reduce_2q(v)).collect();
+            assert_eq!(corrected, canonical);
         }
     }
 

@@ -1,0 +1,341 @@
+//! The u128 lazy key-switch inner product (KSKIP) row kernels.
+//!
+//! The hybrid key switch accumulates `Σ_j ext_j · ksk_j` over the `β` decomposition digits.
+//! The eager path (kept as the benchmarked reference) performs one Barrett reduction per
+//! digit per coefficient; the kernels here instead sum the raw 64×64→128-bit products of
+//! **all** digits into per-coefficient `u128` accumulators and reduce **once** per
+//! coefficient at the end — into the lazy `[0, 2q)` domain
+//! ([`fab_math::Modulus::reduce_u128_lazy`]), which the `[0, 2q)` inverse NTT consumes
+//! directly.
+//!
+//! ## Lazy-invariant and overflow-fold bound
+//!
+//! Operands may be *doubly-lazy* forward-NTT outputs `x < 4q` multiplied by canonical key
+//! residues `k < q`, so each term is below `(4q−1)(q−1) < 2^(2B+2)` for a `B`-bit limb. A
+//! `u128` accumulator therefore holds at least `⌊2^128 / 4q²⌋ ≥ 4` terms (the modulus is
+//! capped at 62 bits) — [`fab_math::Modulus::u128_mac_capacity`]. When the digit count
+//! exceeds that capacity the caller folds the accumulator ([`fold_row`]) back to canonical
+//! residues (each counting as one term) and keeps accumulating; since every coefficient sees
+//! the same fixed digit order and fold schedule, results are bitwise independent of the
+//! worker count.
+//!
+//! Rows are processed limb-major: a key switch fans out one job per *raised limb*, each job
+//! streaming every digit's row through [`accumulate_row_pair`] while its two accumulator rows
+//! stay cache-hot — the digit loop costs two widening multiplies and two 128-bit adds per
+//! coefficient for both key components, against two full Barrett chains on the eager path.
+
+use fab_math::Modulus;
+
+/// Accumulates one digit's contribution into a pair of `u128` accumulator rows:
+/// `acc_b[c] += x[π(c)]·key_b[c]` and `acc_a[c] += x[π(c)]·key_a[c]`, where `π` is an
+/// optional evaluation-domain automorphism gather (`perm[c]` = source slot) applied on the
+/// fly — hoisted rotation batches permute here instead of materialising rotated digits.
+///
+/// `x` is read **once** for both key components (the fused-pair saving over two separate
+/// eager accumulations). The caller is responsible for the overflow-fold schedule; see the
+/// module docs.
+///
+/// # Panics
+///
+/// Panics if the row lengths disagree (or a permutation index is out of range).
+pub fn accumulate_row_pair(
+    acc_b: &mut [u128],
+    acc_a: &mut [u128],
+    x: &[u64],
+    key_b: &[u64],
+    key_a: &[u64],
+    perm: Option<&[usize]>,
+) {
+    let n = acc_b.len();
+    assert!(
+        acc_a.len() == n && x.len() == n && key_b.len() == n && key_a.len() == n,
+        "KSKIP row length mismatch"
+    );
+    match perm {
+        None => {
+            for c in 0..n {
+                let xv = x[c] as u128;
+                acc_b[c] += xv * key_b[c] as u128;
+                acc_a[c] += xv * key_a[c] as u128;
+            }
+        }
+        Some(perm) => {
+            assert_eq!(perm.len(), n, "permutation length mismatch");
+            for c in 0..n {
+                let xv = x[perm[c]] as u128;
+                acc_b[c] += xv * key_b[c] as u128;
+                acc_a[c] += xv * key_a[c] as u128;
+            }
+        }
+    }
+}
+
+/// Folds an accumulator row back to canonical residues (`acc[c] ← acc[c] mod q`), freeing
+/// headroom when the digit count exceeds [`fab_math::Modulus::u128_mac_capacity`]. The folded
+/// value counts as **one** accumulated term.
+pub fn fold_row(modulus: &Modulus, acc: &mut [u128]) {
+    for v in acc.iter_mut() {
+        *v = modulus.reduce_u128(*v) as u128;
+    }
+}
+
+/// One digit's row operands for [`accumulate_digits`].
+#[derive(Debug, Clone, Copy)]
+pub struct DigitRows<'a> {
+    /// The raised digit row (lazy, `< 4q`).
+    pub x: &'a [u64],
+    /// The key's `b` component row (canonical).
+    pub key_b: &'a [u64],
+    /// The key's `a` component row (canonical).
+    pub key_a: &'a [u64],
+}
+
+/// One raised limb's working buffers for [`accumulate_digits`]: the u128 accumulator rows
+/// (must be zeroed by the caller) and the lazy `[0, 2q)` output rows.
+#[derive(Debug)]
+pub struct RowBuffers<'a> {
+    /// u128 accumulator for the `b` key component.
+    pub acc_b: &'a mut [u128],
+    /// u128 accumulator for the `a` key component.
+    pub acc_a: &'a mut [u128],
+    /// Lazy output row for the `b` component.
+    pub out_b: &'a mut [u64],
+    /// Lazy output row for the `a` component.
+    pub out_a: &'a mut [u64],
+}
+
+/// The full per-row KSKIP: streams every digit through [`accumulate_row_pair`] under the
+/// overflow-fold schedule (`fold_every` = [`fab_math::Modulus::u128_mac_capacity`], or a
+/// smaller value in tests), then performs the single end-of-accumulation reduction into the
+/// lazy `[0, 2q)` outputs. This *is* the loop the evaluator ships — tests drive the same
+/// function at forced tiny fold intervals, so the fold path cannot drift untested.
+///
+/// `perm` optionally gathers the digit rows through an evaluation-domain automorphism.
+///
+/// # Panics
+///
+/// Panics if `fold_every < 2` (the capacity of any supported modulus is at least 4) or if
+/// row lengths disagree.
+pub fn accumulate_digits<'a, I>(
+    modulus: &Modulus,
+    fold_every: usize,
+    digits: I,
+    perm: Option<&[usize]>,
+    buffers: RowBuffers<'_>,
+) where
+    I: IntoIterator<Item = DigitRows<'a>>,
+{
+    assert!(
+        fold_every >= 2,
+        "fold interval must leave accumulation room"
+    );
+    let RowBuffers {
+        acc_b,
+        acc_a,
+        out_b,
+        out_a,
+    } = buffers;
+    let mut terms = 0usize;
+    for digit in digits {
+        if terms + 1 > fold_every {
+            fold_row(modulus, acc_b);
+            fold_row(modulus, acc_a);
+            // The folded residues are canonical (< q ≤ one term's bound): count them as one.
+            terms = 1;
+        }
+        accumulate_row_pair(acc_b, acc_a, digit.x, digit.key_b, digit.key_a, perm);
+        terms += 1;
+    }
+    reduce_row_lazy_into(modulus, acc_b, out_b);
+    reduce_row_lazy_into(modulus, acc_a, out_a);
+}
+
+/// The single end-of-accumulation reduction: writes each coefficient's lazy `[0, 2q)` residue
+/// (congruent to the accumulated sum mod `q`) into `out`. Feed the result straight into the
+/// `[0, 2q)`-domain inverse NTT, whose final pass canonicalises it.
+///
+/// # Panics
+///
+/// Panics if the lengths disagree.
+pub fn reduce_row_lazy_into(modulus: &Modulus, acc: &[u128], out: &mut [u64]) {
+    assert_eq!(acc.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(acc.iter()) {
+        *o = modulus.reduce_u128_lazy(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn modulus() -> Modulus {
+        Modulus::new(fab_math::generate_ntt_prime(50, 1 << 4, 0).unwrap()).unwrap()
+    }
+
+    fn rows(n: usize, bound: u64, seed: u64) -> Vec<u64> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..bound)).collect()
+    }
+
+    /// The eager per-digit reference: reduce after every product.
+    fn eager_pair(
+        m: &Modulus,
+        digits: &[(Vec<u64>, Vec<u64>, Vec<u64>)],
+        n: usize,
+    ) -> (Vec<u64>, Vec<u64>) {
+        let mut b = vec![0u64; n];
+        let mut a = vec![0u64; n];
+        for (x, kb, ka) in digits {
+            for c in 0..n {
+                let xr = m.reduce(x[c]);
+                b[c] = m.add(b[c], m.reduce_u128(xr as u128 * kb[c] as u128));
+                a[c] = m.add(a[c], m.reduce_u128(xr as u128 * ka[c] as u128));
+            }
+        }
+        (b, a)
+    }
+
+    /// The lazy pipeline at an explicit fold interval — drives the *shipped*
+    /// [`accumulate_digits`] loop (the very function the evaluator's KSKIP jobs call), then
+    /// canonicalises the lazy outputs for comparison.
+    fn lazy_pair(
+        m: &Modulus,
+        digits: &[(Vec<u64>, Vec<u64>, Vec<u64>)],
+        n: usize,
+        fold_every: usize,
+    ) -> (Vec<u64>, Vec<u64>) {
+        let mut acc_b = vec![0u128; n];
+        let mut acc_a = vec![0u128; n];
+        let mut b = vec![0u64; n];
+        let mut a = vec![0u64; n];
+        accumulate_digits(
+            m,
+            fold_every,
+            digits.iter().map(|(x, kb, ka)| DigitRows {
+                x,
+                key_b: kb,
+                key_a: ka,
+            }),
+            None,
+            RowBuffers {
+                acc_b: &mut acc_b,
+                acc_a: &mut acc_a,
+                out_b: &mut b,
+                out_a: &mut a,
+            },
+        );
+        for c in 0..n {
+            assert!(
+                b[c] < m.two_q() && a[c] < m.two_q(),
+                "output not lazy-bounded"
+            );
+            b[c] = m.reduce_2q(b[c]);
+            a[c] = m.reduce_2q(a[c]);
+        }
+        (b, a)
+    }
+
+    fn random_digits(
+        m: &Modulus,
+        beta: usize,
+        n: usize,
+        seed: u64,
+    ) -> Vec<(Vec<u64>, Vec<u64>, Vec<u64>)> {
+        (0..beta)
+            .map(|j| {
+                let s = seed + 10 * j as u64;
+                (
+                    // x operands are doubly-lazy: anywhere in [0, 4q).
+                    rows(n, 4 * m.value() - 1, s),
+                    rows(n, m.value(), s + 1),
+                    rows(n, m.value(), s + 2),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lazy_matches_eager_without_folding() {
+        let m = modulus();
+        let digits = random_digits(&m, 3, 64, 42);
+        assert_eq!(
+            lazy_pair(&m, &digits, 64, m.u128_mac_capacity()),
+            eager_pair(&m, &digits, 64)
+        );
+    }
+
+    #[test]
+    fn forced_tiny_fold_interval_is_lossless() {
+        // A fold interval of 2 forces a fold between almost every digit; the result must
+        // still match the eager reference bit for bit.
+        let m = modulus();
+        for beta in [1usize, 2, 5, 9] {
+            let digits = random_digits(&m, beta, 32, 1000 + beta as u64);
+            assert_eq!(
+                lazy_pair(&m, &digits, 32, 2),
+                eager_pair(&m, &digits, 32),
+                "beta = {beta}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_boundary_at_the_widest_modulus_is_reachable_and_lossless() {
+        // At the 62-bit modulus cap the capacity is genuinely small (≈4), so "β > capacity"
+        // is a real configuration: accumulate exactly `capacity` maximal-magnitude terms
+        // (the checked oracle proves the raw sum approaches but does not wrap u128), then
+        // run 3·capacity digits through the shipped fold schedule and pin it to the eager
+        // reference. The modulus need not be prime for the MAC/reduction arithmetic.
+        let m = Modulus::new((1u64 << 62) - 57).unwrap();
+        let cap = m.u128_mac_capacity();
+        assert!(
+            (4..16).contains(&cap),
+            "62-bit capacity should be small, got {cap}"
+        );
+        let n = 4usize;
+        let x_max = 4 * m.value() - 2;
+        let k_max = m.value() - 1;
+        // Checked oracle: `cap` maximal terms fit in u128 (one more may not).
+        let mut oracle = 0u128;
+        for _ in 0..cap {
+            oracle = oracle
+                .checked_add(x_max as u128 * k_max as u128)
+                .expect("capacity terms must fit in u128");
+        }
+        let digits: Vec<_> = (0..3 * cap)
+            .map(|j| {
+                (
+                    rows(n, x_max, 90 + j as u64),
+                    rows(n, m.value(), 91 + j as u64),
+                    rows(n, m.value(), 92 + j as u64),
+                )
+            })
+            .collect();
+        // Maximal-magnitude digits at exactly the capacity (no fold triggers)…
+        let maximal: Vec<_> = (0..cap)
+            .map(|_| (vec![x_max; n], vec![k_max; n], vec![k_max; n]))
+            .collect();
+        assert_eq!(lazy_pair(&m, &maximal, n, cap), eager_pair(&m, &maximal, n));
+        // …and 3·capacity random digits through the real fold schedule.
+        assert_eq!(lazy_pair(&m, &digits, n, cap), eager_pair(&m, &digits, n));
+    }
+
+    #[test]
+    fn permutation_gathers_sources() {
+        let m = modulus();
+        let n = 8usize;
+        let x = rows(n, m.value(), 7);
+        let kb = rows(n, m.value(), 8);
+        let ka = rows(n, m.value(), 9);
+        // Reverse permutation.
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let mut acc_b = vec![0u128; n];
+        let mut acc_a = vec![0u128; n];
+        accumulate_row_pair(&mut acc_b, &mut acc_a, &x, &kb, &ka, Some(&perm));
+        for c in 0..n {
+            assert_eq!(acc_b[c], x[n - 1 - c] as u128 * kb[c] as u128);
+            assert_eq!(acc_a[c], x[n - 1 - c] as u128 * ka[c] as u128);
+        }
+    }
+}

@@ -14,7 +14,13 @@
 //!   the flat layout with construction-time Shoup constants and lazy `[0, 2q)` accumulation,
 //! * [`ops`] — the ModUp / ModDown / Rescale / Decomp kernels used by hybrid key switching,
 //!   with precomputed [`ops::ModUpPlan`] / [`ops::ModDownPlan`] objects and a reusable
-//!   [`ops::ConvertScratch`] so steady-state key switching allocates nothing.
+//!   [`ops::ConvertScratch`] so steady-state key switching allocates nothing,
+//! * [`kskip`] — the **u128 lazy key-switch inner product**: products of all β digits are
+//!   summed into per-coefficient `u128` accumulators and reduced *once* per coefficient
+//!   (into the lazy `[0, 2q)` domain the inverse NTT consumes), with an overflow-safe
+//!   periodic fold derived from the limb bit-width ([`fab_math::Modulus::u128_mac_capacity`]),
+//! * [`metering`] — thread-local NTT transform counters, so tests can assert
+//!   `recorded transforms == closed-form formula` per operation instead of trusting timings.
 //!
 //! Per-limb work (NTTs, conversion targets, elementwise arithmetic) fans out over the
 //! `fab-par` worker pool; the default worker count is 1 (serial), so results are bitwise
@@ -38,6 +44,8 @@
 mod basis;
 mod convert;
 mod error;
+pub mod kskip;
+pub mod metering;
 pub mod ops;
 mod poly;
 

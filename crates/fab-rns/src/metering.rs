@@ -1,0 +1,107 @@
+//! Thread-local NTT transform counters — the hardware-counter analogue for perf claims.
+//!
+//! The HPM-validation literature argues that trustworthy performance claims need *verified
+//! operation counts*, not just wall-clock timings. This module keeps a cheap tally of
+//! single-limb forward/inverse NTT transforms so tests can pin `recorded == closed-form
+//! formula` for every hot operation (and fail loudly if a future change silently adds
+//! transforms).
+//!
+//! ## Counting discipline
+//!
+//! Counters are **thread-local** and incremented on the *calling* thread:
+//!
+//! * [`RnsPolynomial::to_evaluation`](crate::RnsPolynomial::to_evaluation) /
+//!   [`RnsPolynomial::to_coefficient`](crate::RnsPolynomial::to_coefficient) add their limb
+//!   count before fanning the per-limb transforms out over the `fab-par` pool, so the tally
+//!   is exact at **any** `FAB_THREADS` setting;
+//! * kernels that drive [`fab_math::NttTable`] rows directly (the batched key-switch
+//!   pipeline in `fab-ckks`) report their row counts through [`add_forward`] /
+//!   [`add_inverse`] themselves.
+//!
+//! Thread-locality makes concurrent tests (cargo's default) independent: each test thread
+//! observes only its own transforms, as long as it keeps `FAB_THREADS = 1` (the default) or
+//! measures deltas around operations whose counting happens on the caller thread (all of the
+//! workspace's instrumented call sites do).
+
+use std::cell::Cell;
+
+thread_local! {
+    static FORWARD: Cell<u64> = const { Cell::new(0) };
+    static INVERSE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A snapshot of the transform counters (monotonic within a thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransformCounts {
+    /// Single-limb forward NTTs performed.
+    pub forward: u64,
+    /// Single-limb inverse NTTs performed.
+    pub inverse: u64,
+}
+
+impl TransformCounts {
+    /// Transforms performed since an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &TransformCounts) -> TransformCounts {
+        TransformCounts {
+            forward: self.forward - earlier.forward,
+            inverse: self.inverse - earlier.inverse,
+        }
+    }
+
+    /// Total transforms (forward + inverse).
+    pub fn total(&self) -> u64 {
+        self.forward + self.inverse
+    }
+}
+
+/// The current thread's transform tally.
+pub fn counts() -> TransformCounts {
+    TransformCounts {
+        forward: FORWARD.with(Cell::get),
+        inverse: INVERSE.with(Cell::get),
+    }
+}
+
+/// Records `n` single-limb forward transforms (for kernels driving NTT rows directly).
+pub fn add_forward(n: usize) {
+    FORWARD.with(|c| c.set(c.get() + n as u64));
+}
+
+/// Records `n` single-limb inverse transforms (for kernels driving NTT rows directly).
+pub fn add_inverse(n: usize) {
+    INVERSE.with(|c| c.set(c.get() + n as u64));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let start = counts();
+        add_forward(3);
+        add_inverse(2);
+        add_forward(1);
+        let delta = counts().since(&start);
+        assert_eq!(
+            delta,
+            TransformCounts {
+                forward: 4,
+                inverse: 2
+            }
+        );
+        assert_eq!(delta.total(), 6);
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        let start = counts();
+        std::thread::spawn(|| {
+            add_forward(1000);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(counts().since(&start).forward, 0);
+    }
+}

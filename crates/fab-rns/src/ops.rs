@@ -66,6 +66,8 @@ pub struct ModUpPlan {
     digit_len: usize,
     /// For each output limb: `Some(j)` = converter target index `j`, `None` = digit copy.
     target_index: Vec<Option<usize>>,
+    /// Inverse map: output limb position of each converter target, in target order.
+    target_rows: Vec<usize>,
 }
 
 impl ModUpPlan {
@@ -111,6 +113,11 @@ impl ModUpPlan {
         } else {
             Some(BasisConverter::from_moduli(&source, &other)?)
         };
+        let target_rows = target_index
+            .iter()
+            .enumerate()
+            .filter_map(|(row, t)| t.map(|_| row))
+            .collect();
         Ok(Self {
             converter,
             degree: q_basis.degree(),
@@ -119,12 +126,27 @@ impl ModUpPlan {
             digit_offset,
             digit_len,
             target_index,
+            target_rows,
         })
     }
 
     /// Number of limbs the extended output holds (`|Q_ℓ| + |P|`).
     pub fn output_limbs(&self) -> usize {
         self.q_len + self.p_len
+    }
+
+    /// The conversion constants (absent when the digit already covers the whole output).
+    /// Together with [`ModUpPlan::conversion_rows`] this drives the row-level job-list fan-out
+    /// of the batched key-switch pipeline.
+    pub fn converter(&self) -> Option<&BasisConverter> {
+        self.converter.as_ref()
+    }
+
+    /// The output limb positions produced by conversion (everything except the digit's own
+    /// copied limbs), in converter-target order: `conversion_rows()[t]` is the output row of
+    /// converter target `t`.
+    pub fn conversion_rows(&self) -> &[usize] {
+        &self.target_rows
     }
 
     /// Applies the kernel, writing the extended polynomial into `out` (reshaped in place,

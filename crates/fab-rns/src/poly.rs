@@ -340,6 +340,9 @@ impl RnsPolynomial {
             return;
         }
         assert!(basis.len() >= self.limb_count);
+        // Counted on the calling thread (before the fan-out) so the tally is exact at any
+        // FAB_THREADS setting; see `crate::metering`.
+        crate::metering::add_forward(self.limb_count);
         fab_par::par_chunks_mut(&mut self.data, self.degree, |i, limb| {
             basis.table(i).forward(limb);
         });
@@ -357,6 +360,7 @@ impl RnsPolynomial {
             return;
         }
         assert!(basis.len() >= self.limb_count);
+        crate::metering::add_inverse(self.limb_count);
         fab_par::par_chunks_mut(&mut self.data, self.degree, |i, limb| {
             basis.table(i).inverse(limb);
         });

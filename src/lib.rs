@@ -53,7 +53,7 @@
 //!
 //! ## The numeric substrate: flat layout, lazy reduction, limb parallelism
 //!
-//! The software pipeline runs on a substrate engineered for throughput (PR 3):
+//! The software pipeline runs on a substrate engineered for throughput (PR 3–4):
 //!
 //! * **Flat limb-major polynomials** — [`rns::RnsPolynomial`] stores all limbs in one
 //!   contiguous allocation (limb `i` at `data[i·N .. (i+1)·N]`), so kernels stream
@@ -70,9 +70,19 @@
 //!   (`multiply`, `key_switch`, `rotate_hoisted_batch`) lease all temporaries from a shared
 //!   buffer pool and reuse cached per-level ModUp/ModDown plans, so the hot path stops
 //!   allocating.
+//! * **Transform-minimal lazy key switching** — the KSKIP inner product sums the raw
+//!   128-bit products of all β digits into per-coefficient u128 accumulators and reduces
+//!   *once* per coefficient ([`rns::kskip`]); ModUp + the forward NTTs run as one batched
+//!   digit-parallel stage; hoisted rotation batches permute the once-transformed digits in
+//!   evaluation domain ([`math::EvalAutomorphismMap`]) instead of re-transforming them; and
+//!   `multiply_rescale` divides by `P·q_ℓ` in one fused ModDown+rescale conversion. NTT
+//!   counts per operation are *verified*, not assumed: [`ckks::accounting`] holds the
+//!   closed-form minimums and tests pin the [`rns::metering`] tallies to them. The PR 3
+//!   eager algorithm survives as `Evaluator::key_switch_reference`, the timed baseline.
 //!
-//! The measured trajectory lives in `BENCH_pr3.json` at the repo root (regenerate with
-//! `cargo run --release -p fab-bench --bin kernels`).
+//! The measured trajectory lives in `BENCH_pr4.json` at the repo root (regenerate with
+//! `cargo run --release -p fab-bench --bin kernels`; PR 3's record remains as
+//! `BENCH_pr3.json`).
 //!
 //! ```
 //! use fab::prelude::*;

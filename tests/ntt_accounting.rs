@@ -1,0 +1,183 @@
+//! NTT-count regression: the transforms the substrate *actually performs* for the hot
+//! evaluator operations must equal the closed-form minimum formulas of
+//! `fab_ckks::accounting` — verified operation counts instead of trusted timings (the
+//! hardware-counter discipline). A future change that silently adds transforms to
+//! `multiply`, the hoisted rotation batch, or a bootstrap CoeffToSlot stage fails here.
+
+use fab::ckks::accounting::{self, NttMeter};
+use fab::ckks::linear_transform::coeff_to_slot_stages;
+use fab::prelude::*;
+use fab::rns::metering;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+fn shape(ctx: &CkksContext, level: usize) -> (usize, usize, usize) {
+    (
+        level + 1,
+        ctx.params().special_limbs(),
+        ctx.params().alpha(),
+    )
+}
+
+#[test]
+fn multiply_and_key_switch_match_the_closed_form_minimum() {
+    let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+    let mut rng = ChaCha20Rng::seed_from_u64(4040);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let keygen = KeyGenerator::new(ctx.clone(), sk);
+    let pk = keygen.public_key(&mut rng);
+    let rlk = keygen.relinearization_key(&mut rng);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone(), pk);
+    let evaluator = Evaluator::new(ctx.clone());
+    let scale = ctx.params().default_scale();
+    let values: Vec<f64> = (0..16).map(|i| (i as f64 * 0.2).cos()).collect();
+    let level = 3;
+    let ct_a = encryptor
+        .encrypt(
+            &encoder.encode_real(&values, scale, level).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    let ct_b = encryptor
+        .encrypt(
+            &encoder.encode_real(&values, scale, level).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    let (limbs, special, alpha) = shape(&ctx, level);
+
+    // Raw key switch.
+    let basis = ctx.basis_at_level(level).unwrap();
+    let d = fab::ckks::sampling::sample_uniform(&mut rng, &basis);
+    let before = metering::counts();
+    evaluator.key_switch(&d, &rlk.key, level).unwrap();
+    let observed = metering::counts().since(&before);
+    assert_eq!(
+        observed,
+        accounting::key_switch(limbs, special, alpha),
+        "key_switch transform count drifted from the closed-form minimum"
+    );
+
+    // Ciphertext multiplication (tensor + relinearisation).
+    let before = metering::counts();
+    evaluator.multiply(&ct_a, &ct_b, &rlk).unwrap();
+    let observed = metering::counts().since(&before);
+    assert_eq!(
+        observed,
+        accounting::multiply(limbs, special, alpha),
+        "multiply transform count drifted"
+    );
+
+    // The fused multiply_rescale performs exactly the same transforms (the fusion saves
+    // conversion work, never transforms) — and the NttMeter surfaces the count as an
+    // HeOp::Ntt in a recorded trace.
+    let sink = fab::trace::RecordingSink::new("fused");
+    let meter = NttMeter::start();
+    evaluator.multiply_rescale(&ct_a, &ct_b, &rlk).unwrap();
+    let observed = meter.finish_into(&sink);
+    assert_eq!(observed, accounting::multiply(limbs, special, alpha));
+    assert_eq!(
+        sink.snapshot().counts().ntt,
+        accounting::multiply(limbs, special, alpha).total()
+    );
+}
+
+#[test]
+fn hoisted_rotation_batch_shares_one_forward_sweep() {
+    let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+    let mut rng = ChaCha20Rng::seed_from_u64(1212);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let keygen = KeyGenerator::new(ctx.clone(), sk);
+    let pk = keygen.public_key(&mut rng);
+    let keys = keygen.galois_keys(&[1, 2, 5], false, &mut rng).unwrap();
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone(), pk);
+    let evaluator = Evaluator::new(ctx.clone());
+    let scale = ctx.params().default_scale();
+    let values: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+    let level = 3;
+    let ct = encryptor
+        .encrypt(
+            &encoder.encode_real(&values, scale, level).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    let (limbs, special, alpha) = shape(&ctx, level);
+
+    // Three key-switched rotations + one free step: one shared β·R forward sweep, 2R
+    // inverses per rotation — the per-rotation forward re-transforms are gone.
+    let before = metering::counts();
+    evaluator
+        .rotate_hoisted_batch(&ct, &[1, 0, 2, 5], &keys)
+        .unwrap();
+    let observed = metering::counts().since(&before);
+    assert_eq!(
+        observed,
+        accounting::hoisted_rotation_batch(limbs, special, alpha, 3),
+        "hoisted batch transform count drifted"
+    );
+
+    // A batch of free steps performs no transforms.
+    let before = metering::counts();
+    evaluator.rotate_hoisted_batch(&ct, &[0], &keys).unwrap();
+    assert_eq!(metering::counts().since(&before).total(), 0);
+
+    // A single key-switched rotation costs exactly one key switch.
+    let before = metering::counts();
+    evaluator.rotate(&ct, 1, &keys).unwrap();
+    assert_eq!(
+        metering::counts().since(&before),
+        accounting::rotation(limbs, special, alpha)
+    );
+}
+
+#[test]
+fn bootstrap_coeff_to_slot_stage_matches_its_bsgs_formula() {
+    // One CoeffToSlot stage of the bootstrap pipeline (grouped inverse-FFT factor with its
+    // rotation-minimising BSGS plan), applied homomorphically: the observed transforms must
+    // equal the per-stage closed form — hoisted babies + d·multiply_plain + giants.
+    let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+    let mut rng = ChaCha20Rng::seed_from_u64(77);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let keygen = KeyGenerator::new(ctx.clone(), sk);
+    let pk = keygen.public_key(&mut rng);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone(), pk);
+    let evaluator = Evaluator::new(ctx.clone());
+
+    let stage = coeff_to_slot_stages(ctx.fft(), ctx.params().fft_iter)
+        .into_iter()
+        .next()
+        .expect("at least one CoeffToSlot stage")
+        .with_bsgs_plan();
+    let plan = stage.bsgs_plan().expect("plan attached").clone();
+    let keys = keygen
+        .galois_keys(&stage.required_rotations(), false, &mut rng)
+        .unwrap();
+
+    let scale = ctx.params().default_scale();
+    let values: Vec<f64> = (0..ctx.slot_count())
+        .map(|i| (i as f64 * 0.05).sin())
+        .collect();
+    let level = 3;
+    let ct = encryptor
+        .encrypt(
+            &encoder.encode_real(&values, scale, level).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    let (limbs, special, alpha) = shape(&ctx, level);
+
+    let before = metering::counts();
+    stage.apply_homomorphic(&evaluator, &ct, &keys).unwrap();
+    let observed = metering::counts().since(&before);
+    assert_eq!(
+        observed,
+        accounting::bsgs_stage(limbs, special, alpha, &plan, stage.diagonal_count()),
+        "CoeffToSlot stage transform count drifted (babies={}, giants={}, diagonals={})",
+        plan.baby_rotation_count(),
+        plan.giant_rotation_count(),
+        stage.diagonal_count()
+    );
+}
