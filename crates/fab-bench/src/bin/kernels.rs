@@ -1,26 +1,35 @@
-//! Kernel performance trajectory: times the NTT, key-switch, fused multiply-rescale and
-//! linear-transform kernels and writes a machine-readable `BENCH_pr4.json` so the repo
-//! carries a committed perf record.
+//! Kernel performance trajectory: times the NTT, key-switch, dual-form multiply, fused
+//! multiply-rescale and linear-transform kernels and writes a machine-readable
+//! `BENCH_pr5.json` so the repo carries a committed perf record.
 //!
-//! The `key_switch` rows report the **u128 lazy transform-minimal pipeline** against the
-//! PR 3 algorithm (`Evaluator::key_switch_reference`, per-digit eager reduction), which is
-//! kept as the timed baseline exactly like `forward_reference` is kept for the NTT — so the
-//! speedup column never degenerates into a kernel measured against itself. Alongside the
-//! timings, the observed NTT transform counts (via `fab_rns::metering`) are recorded and
-//! asserted equal to the closed-form minimum of `fab_ckks::accounting`.
+//! Every optimised row is timed against its **retained reference path** — `key_switch`
+//! against the PR 3 per-digit eager algorithm (`Evaluator::key_switch_reference`),
+//! `multiply_dual` against the PR 4 coefficient-resident pipeline
+//! (`Evaluator::multiply_reference`), `linear_transform_bsgs` against the PR 4 per-diagonal
+//! BSGS path (`LinearTransform::apply_bsgs_reference`) — so no speedup column ever
+//! degenerates into a kernel measured against itself, and each pair is asserted **bitwise
+//! equal** before any timing. Alongside the timings, the observed NTT transform counts (via
+//! `fab_rns::metering`) are recorded and asserted equal to the closed-form formulas of
+//! `fab_ckks::accounting` (formula + assertion before optimisation claim — the PR 4 rule).
+//!
+//! Thread-sweep rows are only meaningful on a multi-core machine: when the container reports
+//! a single core, every `threads > 1` row is flagged `"untrusted_scaling": true` in the JSON
+//! and a loud warning is printed, so a BENCH file recorded on a 1-core box cannot be misread
+//! as a scaling result.
 //!
 //! Modes:
 //!
 //! * default — full-size kernels (forward/inverse NTT at the paper's `N = 2^16`, key switch,
-//!   fused multiply-rescale and BSGS linear transform at the testing parameter set) written
-//!   to `BENCH_pr4.json`; enforces the lazy-NTT and key-switch speedup floors;
-//! * `--quick` — tiny kernels for the CI smoke run: asserts that the lazy NTT matches the
-//!   eager reference bit for bit, that the lazy key switch matches `key_switch_reference`
-//!   bit for bit, that digit-parallel key switching is bitwise deterministic across worker
-//!   counts, that the recorded NTT counts equal the closed-form formula, and that the
-//!   key-switch speedup stays above a conservative floor (0.7× — a catastrophic-regression
-//!   guard; microsecond-scale timings are too flaky for a tight gate); writes to
-//!   `target/BENCH_quick.json`. Any violated invariant panics, failing CI loudly.
+//!   dual-form multiply, fused multiply-rescale and eval-resident BSGS linear transform at
+//!   the testing parameter set) written to `BENCH_pr5.json`; enforces the lazy-NTT,
+//!   key-switch, multiply and BSGS speedup floors;
+//! * `--quick` — tiny kernels for the CI smoke run: asserts all the bitwise gates, the
+//!   thread-determinism gate, that the recorded NTT counts equal the closed-form formulas
+//!   (including the dual-form multiply delta and the eval-resident BSGS warm/steady pair),
+//!   and that the key-switch / multiply / BSGS speedups stay above conservative floors
+//!   (catastrophic-regression guards; microsecond-scale timings are too flaky for tight
+//!   gates); writes to `target/BENCH_quick.json`. Any violated invariant panics, failing CI
+//!   loudly.
 //!
 //! Usage: `cargo run --release -p fab-bench --bin kernels [-- --quick] [--out PATH]`
 
@@ -42,6 +51,15 @@ use fab_rns::metering;
 /// (stable millisecond-scale samples), loose in `--quick` (CI smoke, microsecond-scale).
 const KEY_SWITCH_FLOOR_FULL: f64 = 1.2;
 const KEY_SWITCH_FLOOR_QUICK: f64 = 0.7;
+/// Speedup floor for the dual-form multiply vs the PR 4 coefficient-resident reference:
+/// the seam saves ~15% of the transforms, so "no regression" is the honest full-run gate.
+const MULTIPLY_FLOOR_FULL: f64 = 1.0;
+const MULTIPLY_FLOOR_QUICK: f64 = 0.7;
+/// Speedup floor for the eval-resident BSGS apply vs the PR 4 per-diagonal path: the stage
+/// drops one plaintext round-trip per diagonal, a conservative floor well under the
+/// expected steady-state gain.
+const BSGS_FLOOR_FULL: f64 = 1.05;
+const BSGS_FLOOR_QUICK: f64 = 0.7;
 
 /// One measured kernel configuration.
 struct Record {
@@ -56,6 +74,9 @@ struct Record {
     speedup: Option<f64>,
     /// Observed single-limb NTT transforms per op (forward, inverse), where metered.
     ntt_counts: Option<(u64, u64)>,
+    /// `true` on thread-sweep rows recorded on a single-core container: the timing is real
+    /// but the scaling conclusion is not (no parallel hardware was exercised).
+    untrusted_scaling: bool,
     note: &'static str,
 }
 
@@ -67,6 +88,27 @@ fn time_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
         f();
     }
     start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Flake guard shared by every speedup floor gate: while the observed speedup sits under
+/// `floor`, re-sample both paths (up to two extra rounds — best of three overall) before
+/// declaring a regression, so one scheduler blip on a microsecond-scale quick sample cannot
+/// fail CI spuriously. The recorded JSON rows always keep the first, honest sample; only the
+/// gate uses the best.
+fn resample_speedup_floor(
+    first: f64,
+    floor: f64,
+    mut baseline_ns: impl FnMut() -> f64,
+    mut measured_ns: impl FnMut() -> f64,
+) -> f64 {
+    let mut best = first;
+    for _ in 0..2 {
+        if best >= floor {
+            break;
+        }
+        best = best.max(baseline_ns() / measured_ns());
+    }
+    best
 }
 
 fn random_residues(n: usize, q: u64, seed: u64) -> Vec<u64> {
@@ -108,6 +150,7 @@ fn ntt_records(log_n: usize, iters: usize, records: &mut Vec<Record>) {
         baseline_ns_per_op: Some(fwd_eager),
         speedup: Some(fwd_eager / fwd_lazy),
         ntt_counts: Some((1, 0)),
+        untrusted_scaling: false,
         note: "lazy-reduction Harvey vs eager seed reference, 54-bit prime",
     });
     records.push(Record {
@@ -119,6 +162,7 @@ fn ntt_records(log_n: usize, iters: usize, records: &mut Vec<Record>) {
         baseline_ns_per_op: Some(inv_eager),
         speedup: Some(inv_eager / inv_lazy),
         ntt_counts: Some((0, 1)),
+        untrusted_scaling: false,
         note: "lazy + fused N^-1 vs eager seed reference, 54-bit prime",
     });
 }
@@ -199,6 +243,7 @@ fn key_switch_records(
         baseline_ns_per_op: None,
         speedup: None,
         ntt_counts: Some((expected.forward, expected.inverse)),
+        untrusted_scaling: false,
         note: "PR 3 algorithm: per-digit sequential ModUp->NTT->eager KSKIP->ModDown",
     });
 
@@ -232,34 +277,160 @@ fn key_switch_records(
             baseline_ns_per_op: Some(baseline_ns),
             speedup: Some(baseline_ns / ns),
             ntt_counts: Some((expected.forward, expected.inverse)),
+            untrusted_scaling: threads > 1 && cores == 1,
             note: "u128 lazy KSKIP, batched digit-parallel ModUp+NTT, vs PR 3 reference",
         });
     }
     fab_par::set_threads(1);
-    // Flake guard for the floor gate: re-sample both paths (best of three rounds) before
-    // declaring a regression. The JSON keeps the first sample; only the gate uses the best.
-    let mut best_speedup = single_thread_speedup;
-    for _ in 0..2 {
-        if best_speedup >= floor {
-            break;
-        }
-        let base = time_ns(iters, || {
-            std::hint::black_box(
-                evaluator
-                    .key_switch_reference(&d, &rlk.key, level)
-                    .expect("reference key switch"),
-            );
-        });
-        let ns = time_ns(iters, || {
-            std::hint::black_box(
-                evaluator
-                    .key_switch(&d, &rlk.key, level)
-                    .expect("key switch"),
-            );
-        });
-        best_speedup = best_speedup.max(base / ns);
-    }
-    best_speedup
+    resample_speedup_floor(
+        single_thread_speedup,
+        floor,
+        || {
+            time_ns(iters, || {
+                std::hint::black_box(
+                    evaluator
+                        .key_switch_reference(&d, &rlk.key, level)
+                        .expect("reference key switch"),
+                );
+            })
+        },
+        || {
+            time_ns(iters, || {
+                std::hint::black_box(
+                    evaluator
+                        .key_switch(&d, &rlk.key, level)
+                        .expect("key switch"),
+                );
+            })
+        },
+    )
+}
+
+/// Dual-form multiply (eval-resident tensor, dual-form key switch, eval-domain `P·d`
+/// absorption) vs the retained PR 4 coefficient-resident pipeline
+/// (`Evaluator::multiply_reference`). Bitwise equality and the exact transform-count deltas
+/// (`ℓ+1` fewer forwards, `2·(ℓ+1)` fewer inverses) are asserted before timing; returns the
+/// measured speedup for the floor gate (best-of-three resampling like the key switch).
+fn multiply_records(
+    params: CkksParams,
+    iters: usize,
+    floor: f64,
+    records: &mut Vec<Record>,
+) -> f64 {
+    let ctx = CkksContext::new_arc(params).expect("context");
+    let mut rng = ChaCha20Rng::seed_from_u64(909);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let keygen = KeyGenerator::new(ctx.clone(), sk);
+    let pk = keygen.public_key(&mut rng);
+    let rlk = keygen.relinearization_key(&mut rng);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone(), pk);
+    let evaluator = Evaluator::new(ctx.clone());
+    let level = ctx.params().max_level;
+    let scale = ctx.params().default_scale();
+    let values: Vec<f64> = (0..ctx.slot_count())
+        .map(|i| (i as f64 * 0.11).cos())
+        .collect();
+    let ct_a = encryptor
+        .encrypt(
+            &encoder.encode_real(&values, scale, level).expect("encode"),
+            &mut rng,
+        )
+        .expect("encrypt");
+    let ct_b = encryptor
+        .encrypt(
+            &encoder.encode_real(&values, scale, level).expect("encode"),
+            &mut rng,
+        )
+        .expect("encrypt");
+    let (limbs, special, alpha) = (
+        level + 1,
+        ctx.params().special_limbs(),
+        ctx.params().alpha(),
+    );
+
+    // Bitwise gate: the dual-form pipeline must reproduce the PR 4 reference exactly.
+    let dual = evaluator.multiply(&ct_a, &ct_b, &rlk).expect("multiply");
+    let reference = evaluator
+        .multiply_reference(&ct_a, &ct_b, &rlk)
+        .expect("reference multiply");
+    assert_eq!(
+        dual.c0(),
+        reference.c0(),
+        "dual-form multiply diverged from the PR 4 reference (c0)"
+    );
+    assert_eq!(
+        dual.c1(),
+        reference.c1(),
+        "dual-form multiply diverged from the PR 4 reference (c1)"
+    );
+
+    // Transform-count gates: both paths match their formulas, and the delta is exactly the
+    // dual-form seam (ℓ+1 forwards) + the eval-domain P·d absorption (2·(ℓ+1) inverses).
+    let before = metering::counts();
+    std::hint::black_box(evaluator.multiply(&ct_a, &ct_b, &rlk).expect("multiply"));
+    let observed = metering::counts().since(&before);
+    let expected = accounting::multiply(limbs, special, alpha);
+    assert_eq!(
+        observed, expected,
+        "dual-form multiply performed {observed:?} transforms, formula says {expected:?}"
+    );
+    let before = metering::counts();
+    std::hint::black_box(
+        evaluator
+            .multiply_reference(&ct_a, &ct_b, &rlk)
+            .expect("reference multiply"),
+    );
+    let observed_pr4 = metering::counts().since(&before);
+    let expected_pr4 = accounting::multiply_pr4(limbs, special, alpha);
+    assert_eq!(
+        observed_pr4, expected_pr4,
+        "PR 4 reference multiply performed {observed_pr4:?} transforms, formula says {expected_pr4:?}"
+    );
+    assert_eq!(observed_pr4.forward - observed.forward, limbs as u64);
+    assert_eq!(observed_pr4.inverse - observed.inverse, 2 * limbs as u64);
+
+    let baseline_ns = time_ns(iters, || {
+        std::hint::black_box(
+            evaluator
+                .multiply_reference(&ct_a, &ct_b, &rlk)
+                .expect("reference multiply"),
+        );
+    });
+    let ns = time_ns(iters, || {
+        std::hint::black_box(evaluator.multiply(&ct_a, &ct_b, &rlk).expect("multiply"));
+    });
+    records.push(Record {
+        kernel: "multiply_dual",
+        n: ctx.degree(),
+        limbs: level + 1,
+        threads: 1,
+        ns_per_op: ns,
+        baseline_ns_per_op: Some(baseline_ns),
+        speedup: Some(baseline_ns / ns),
+        ntt_counts: Some((observed.forward, observed.inverse)),
+        untrusted_scaling: false,
+        note: "dual-form key switch + eval-domain P*d absorption vs PR 4 coefficient path",
+    });
+
+    resample_speedup_floor(
+        baseline_ns / ns,
+        floor,
+        || {
+            time_ns(iters, || {
+                std::hint::black_box(
+                    evaluator
+                        .multiply_reference(&ct_a, &ct_b, &rlk)
+                        .expect("reference multiply"),
+                );
+            })
+        },
+        || {
+            time_ns(iters, || {
+                std::hint::black_box(evaluator.multiply(&ct_a, &ct_b, &rlk).expect("multiply"));
+            })
+        },
+    )
 }
 
 /// Fused multiply_rescale (one ModDown+rescale basis conversion) vs multiply-then-rescale.
@@ -331,17 +502,21 @@ fn multiply_rescale_records(params: CkksParams, iters: usize, records: &mut Vec<
         baseline_ns_per_op: Some(two_step_ns),
         speedup: Some(two_step_ns / fused_ns),
         ntt_counts: Some((observed.forward, observed.inverse)),
+        untrusted_scaling: false,
         note: "fused ModDown+rescale (one conversion) vs multiply-then-rescale",
     });
 }
 
-/// BSGS hoisted linear transform at the testing parameter set.
+/// Eval-resident BSGS linear transform vs the PR 4 per-diagonal coefficient path. Asserts
+/// bitwise equality and the warm/steady transform-count formulas, then times the steady
+/// state of both paths; returns the speedup for the floor gate (best-of-three resampling).
 fn linear_transform_records(
     params: CkksParams,
     diagonals: usize,
     iters: usize,
+    floor: f64,
     records: &mut Vec<Record>,
-) {
+) -> f64 {
     let ctx = CkksContext::new_arc(params).expect("context");
     let mut rng = ChaCha20Rng::seed_from_u64(7);
     let sk = SecretKey::generate(&ctx, &mut rng);
@@ -373,14 +548,48 @@ fn linear_transform_records(
         )
         .expect("encrypt");
 
-    // Transform-count gate for the whole stage (hoisted babies share one forward sweep).
-    let plan = transform.bsgs_plan().expect("plan attached");
-    let expected = accounting::bsgs_stage(
+    // Bitwise gate: the eval-resident apply must reproduce the PR 4 per-diagonal path
+    // exactly (ciphertext parts, not just decryptions).
+    let plan = transform.bsgs_plan().expect("plan attached").clone();
+    let backend = fab_ckks::backend::ExecBackend::new(&evaluator, None, Some(&keys));
+    let reference_out = transform
+        .apply_bsgs_reference(&backend, &ct)
+        .expect("reference transform");
+
+    // Transform-count gates: the first eval-resident apply pays the one-time NTT-diagonal
+    // cache fill (`warm`), every later apply performs zero plaintext forwards (`steady`),
+    // and the reference path still matches the PR 4 formula.
+    let (limbs, special, alpha) = (
         level + 1,
         ctx.params().special_limbs(),
         ctx.params().alpha(),
-        plan,
+    );
+    let before = metering::counts();
+    let eval_out = transform
+        .apply_homomorphic(&evaluator, &ct, &keys)
+        .expect("transform");
+    let warm = metering::counts().since(&before);
+    let expected_warm = accounting::bsgs_stage_eval(
+        limbs,
+        special,
+        alpha,
+        &plan,
         transform.diagonal_count(),
+        true,
+    );
+    assert_eq!(
+        warm, expected_warm,
+        "warm BSGS stage performed {warm:?} transforms, formula says {expected_warm:?}"
+    );
+    assert_eq!(
+        eval_out.c0(),
+        reference_out.c0(),
+        "BSGS paths diverged (c0)"
+    );
+    assert_eq!(
+        eval_out.c1(),
+        reference_out.c1(),
+        "BSGS paths diverged (c1)"
     );
     let before = metering::counts();
     std::hint::black_box(
@@ -388,12 +597,40 @@ fn linear_transform_records(
             .apply_homomorphic(&evaluator, &ct, &keys)
             .expect("transform"),
     );
-    let observed = metering::counts().since(&before);
+    let steady = metering::counts().since(&before);
+    let expected_steady = accounting::bsgs_stage_eval(
+        limbs,
+        special,
+        alpha,
+        &plan,
+        transform.diagonal_count(),
+        false,
+    );
     assert_eq!(
-        observed, expected,
-        "BSGS stage performed {observed:?} transforms, formula says {expected:?}"
+        steady, expected_steady,
+        "steady BSGS stage performed {steady:?} transforms, formula says {expected_steady:?}"
+    );
+    let before = metering::counts();
+    std::hint::black_box(
+        transform
+            .apply_bsgs_reference(&backend, &ct)
+            .expect("reference transform"),
+    );
+    let observed_ref = metering::counts().since(&before);
+    let expected_ref =
+        accounting::bsgs_stage(limbs, special, alpha, &plan, transform.diagonal_count());
+    assert_eq!(
+        observed_ref, expected_ref,
+        "PR 4 BSGS stage performed {observed_ref:?} transforms, formula says {expected_ref:?}"
     );
 
+    let baseline_ns = time_ns(iters, || {
+        std::hint::black_box(
+            transform
+                .apply_bsgs_reference(&backend, &ct)
+                .expect("reference transform"),
+        );
+    });
     let ns = time_ns(iters, || {
         std::hint::black_box(
             transform
@@ -407,23 +644,53 @@ fn linear_transform_records(
         limbs: level + 1,
         threads: 1,
         ns_per_op: ns,
-        baseline_ns_per_op: None,
-        speedup: None,
-        ntt_counts: Some((observed.forward, observed.inverse)),
-        note: "BSGS plan; baby batch pays one shared ModUp + forward-NTT sweep",
+        baseline_ns_per_op: Some(baseline_ns),
+        speedup: Some(baseline_ns / ns),
+        ntt_counts: Some((steady.forward, steady.inverse)),
+        untrusted_scaling: false,
+        note: "eval-resident BSGS (NTT-cached diagonals, one inverse pair per giant group) vs PR 4 per-diagonal path",
     });
+
+    resample_speedup_floor(
+        baseline_ns / ns,
+        floor,
+        || {
+            time_ns(iters, || {
+                std::hint::black_box(
+                    transform
+                        .apply_bsgs_reference(&backend, &ct)
+                        .expect("reference transform"),
+                );
+            })
+        },
+        || {
+            time_ns(iters, || {
+                std::hint::black_box(
+                    transform
+                        .apply_homomorphic(&evaluator, &ct, &keys)
+                        .expect("transform"),
+                );
+            })
+        },
+    )
 }
 
 fn render_json(mode: &str, cores: usize, records: &[Record]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"source\": \"fab-bench kernels bin (PR 4)\",");
+    let _ = writeln!(out, "  \"source\": \"fab-bench kernels bin (PR 5)\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"cores_available\": {cores},");
     let _ = writeln!(
         out,
-        "  \"baseline\": \"key_switch rows are measured against key_switch_reference (the PR 3 per-digit eager algorithm)\","
+        "  \"baseline\": \"key_switch vs key_switch_reference (PR 3 eager), multiply_dual vs multiply_reference (PR 4 coefficient-resident), linear_transform_bsgs vs apply_bsgs_reference (PR 4 per-diagonal); all pairs asserted bitwise equal\","
     );
+    if cores == 1 {
+        let _ = writeln!(
+            out,
+            "  \"scaling_warning\": \"recorded on a 1-core container: thread-sweep rows carry untrusted_scaling=true and measure oversubscription, not parallel speedup\","
+        );
+    }
     out.push_str("  \"kernels\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str("    {");
@@ -440,6 +707,9 @@ fn render_json(mode: &str, cores: usize, records: &[Record]) -> String {
         }
         if let Some((fwd, inv)) = r.ntt_counts {
             let _ = write!(out, ", \"ntt_forward\": {fwd}, \"ntt_inverse\": {inv}");
+        }
+        if r.untrusted_scaling {
+            let _ = write!(out, ", \"untrusted_scaling\": true");
         }
         let _ = write!(out, ", \"note\": \"{}\"", r.note);
         out.push_str(if i + 1 == records.len() {
@@ -464,19 +734,33 @@ fn main() {
             if quick {
                 "target/BENCH_quick.json".to_string()
             } else {
-                "BENCH_pr4.json".to_string()
+                "BENCH_pr5.json".to_string()
             }
         });
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if cores == 1 {
+        eprintln!(
+            "WARNING: this container reports 1 available core. Thread-sweep rows will be \
+             flagged \"untrusted_scaling\": true — they measure oversubscription on a single \
+             core, NOT parallel scaling. Rerun on a multi-core machine for trustworthy \
+             scaling curves."
+        );
+    }
 
-    let floor = if quick {
-        KEY_SWITCH_FLOOR_QUICK
+    let (ks_floor, mul_floor, bsgs_floor) = if quick {
+        (
+            KEY_SWITCH_FLOOR_QUICK,
+            MULTIPLY_FLOOR_QUICK,
+            BSGS_FLOOR_QUICK,
+        )
     } else {
-        KEY_SWITCH_FLOOR_FULL
+        (KEY_SWITCH_FLOOR_FULL, MULTIPLY_FLOOR_FULL, BSGS_FLOOR_FULL)
     };
 
     let mut records = Vec::new();
     let key_switch_speedup;
+    let multiply_speedup;
+    let bsgs_speedup;
     if quick {
         ntt_records(10, 20, &mut records);
         let params = CkksParams::builder()
@@ -487,20 +771,24 @@ fn main() {
             .dnum(2)
             .build()
             .expect("quick params");
-        key_switch_speedup = key_switch_records(params.clone(), 3, floor, &mut records);
+        key_switch_speedup = key_switch_records(params.clone(), 3, ks_floor, &mut records);
+        multiply_speedup = multiply_records(params.clone(), 3, mul_floor, &mut records);
         multiply_rescale_records(params.clone(), 2, &mut records);
-        linear_transform_records(params, 4, 1, &mut records);
+        bsgs_speedup = linear_transform_records(params, 4, 1, bsgs_floor, &mut records);
     } else {
         ntt_records(16, 50, &mut records);
         ntt_records(14, 100, &mut records);
-        key_switch_speedup = key_switch_records(CkksParams::testing(), 20, floor, &mut records);
+        key_switch_speedup = key_switch_records(CkksParams::testing(), 20, ks_floor, &mut records);
+        multiply_speedup = multiply_records(CkksParams::testing(), 10, mul_floor, &mut records);
         multiply_rescale_records(CkksParams::testing(), 5, &mut records);
-        linear_transform_records(CkksParams::testing(), 16, 2, &mut records);
+        bsgs_speedup =
+            linear_transform_records(CkksParams::testing(), 16, 2, bsgs_floor, &mut records);
     }
 
     // Perf-trajectory gates. The NTT floor is enforced only in the full run (long, stable
-    // samples); the key-switch floor is enforced in both modes, but conservatively in
-    // --quick where one scheduler blip can halve a microsecond-scale sample.
+    // samples); the key-switch / multiply / BSGS floors are enforced in both modes, but
+    // conservatively in --quick where one scheduler blip can halve a microsecond-scale
+    // sample. Every gated speedup is backed by an asserted transform-count delta above.
     if !quick {
         for r in &records {
             if r.kernel.starts_with("ntt_") {
@@ -515,8 +803,16 @@ fn main() {
         }
     }
     assert!(
-        key_switch_speedup >= floor,
-        "lazy key switch is only {key_switch_speedup:.2}x the PR 3 reference (floor {floor})"
+        key_switch_speedup >= ks_floor,
+        "lazy key switch is only {key_switch_speedup:.2}x the PR 3 reference (floor {ks_floor})"
+    );
+    assert!(
+        multiply_speedup >= mul_floor,
+        "dual-form multiply is only {multiply_speedup:.2}x the PR 4 reference (floor {mul_floor})"
+    );
+    assert!(
+        bsgs_speedup >= bsgs_floor,
+        "eval-resident BSGS apply is only {bsgs_speedup:.2}x the PR 4 path (floor {bsgs_floor})"
     );
 
     let json = render_json(if quick { "quick" } else { "full" }, cores, &records);

@@ -13,12 +13,23 @@
 //! The counts below are the **minimum** the hybrid datapath admits and what the
 //! transform-minimal pipeline executes:
 //!
-//! * key switch: `β·raised` forward (every digit row exactly once, batched) + `2·raised`
-//!   inverse (the two KSKIP accumulators);
+//! * key switch (coefficient operand): `β·raised` forward (every digit row exactly once,
+//!   batched) + `2·raised` inverse (the two KSKIP accumulators);
+//! * key switch (**dual-form**, evaluation operand): `β·raised − limbs` forward — the
+//!   operand's rows are reused verbatim as the digits' own raised rows — plus `limbs` extra
+//!   inverses feeding the coefficient-domain ModUp conversions;
+//! * multiply: the tensor products never round-trip — `d2` enters the key switch dual-form
+//!   and `d0`/`d1` are absorbed as `P·d` into the KSKIP accumulators **before** the
+//!   accumulator inverse, exactly `limbs` fewer forwards and `2·limbs` fewer inverses than
+//!   the PR 4 pipeline ([`multiply_pr4`]);
 //! * hoisted rotation batch: the `β·raised` forward sweep is paid **once** for the whole
 //!   batch — each rotation permutes the transformed digits in evaluation domain instead of
 //!   re-transforming them (the audited-redundant per-rotation forwards the pipeline
 //!   eliminated);
+//! * eval-resident BSGS stage: plaintext diagonals are NTT-cached in the plan (zero
+//!   plaintext forwards after warm-up), babies are promoted to evaluation form once each,
+//!   and the partial sums pay one inverse pair per giant **group** instead of per diagonal
+//!   ([`bsgs_stage_eval`] vs the PR 4 [`bsgs_stage`]);
 //! * fused ModDown+rescale (`multiply_rescale`): identical transform count to `multiply` —
 //!   basis conversions are NTT-free, so the fusion saves conversion work, not transforms.
 //!
@@ -48,29 +59,67 @@ pub fn times(a: TransformCounts, n: u64) -> TransformCounts {
     counts(a.forward * n, a.inverse * n)
 }
 
-/// Expected transforms of one hybrid key switch at `limbs = ℓ+1` with `special = |P|`
-/// extension limbs and digit size `alpha`: `β·(limbs+special)` forward, `2·(limbs+special)`
-/// inverse.
+/// Expected transforms of one hybrid key switch of a **coefficient-form** operand at
+/// `limbs = ℓ+1` with `special = |P|` extension limbs and digit size `alpha`:
+/// `β·(limbs+special)` forward, `2·(limbs+special)` inverse.
 pub fn key_switch(limbs: usize, special: usize, alpha: usize) -> TransformCounts {
     let beta = limbs.div_ceil(alpha) as u64;
     let raised = (limbs + special) as u64;
     counts(beta * raised, 2 * raised)
 }
 
-/// Expected transforms of a ciphertext multiplication (with relinearisation): four operand
-/// forwards, three tensor-output inverses, plus the key switch. A `multiply_rescale` costs
-/// exactly the same — the fused ModDown+rescale changes conversion work, not transforms.
+/// Expected transforms of one **dual-form** hybrid key switch — the operand arrives in
+/// evaluation form (a tensor product `d2`): its rows are reused verbatim as the digits' own
+/// raised rows (`limbs` forwards saved against [`key_switch`]) while one batched inverse of
+/// the `limbs` rows feeds the coefficient-domain ModUp conversions.
+pub fn key_switch_dual(limbs: usize, special: usize, alpha: usize) -> TransformCounts {
+    let beta = limbs.div_ceil(alpha) as u64;
+    let raised = (limbs + special) as u64;
+    counts(beta * raised - limbs as u64, 2 * raised + limbs as u64)
+}
+
+/// Expected transforms of a ciphertext multiplication (with relinearisation) on
+/// **coefficient-form operands** through the dual-form pipeline: four operand forwards, the
+/// dual-form key switch of `d2` (its tensor rows never round-trip), and **zero** tensor
+/// inverses — `d0`/`d1` stay in evaluation form and are absorbed as `P·d` into the KSKIP
+/// accumulators before the accumulator inverse, so ModDown emits `d_i + k_i` directly.
+///
+/// Against the PR 4 formula ([`multiply_pr4`]) this is exactly `limbs` fewer forwards (the
+/// dual-form seam) and `2·limbs` fewer inverses (the evaluation-domain `P·d` absorption) —
+/// the ROADMAP "multiply dual-form" lever, overdelivered on the inverse side. A
+/// `multiply_rescale` costs exactly the same — the fused ModDown+rescale changes conversion
+/// work, not transforms. Evaluation-form operands save a further `2·limbs` forwards each
+/// (their `to_evaluation` no-ops).
 pub fn multiply(limbs: usize, special: usize, alpha: usize) -> TransformCounts {
+    add(
+        counts(4 * limbs as u64, 0),
+        key_switch_dual(limbs, special, alpha),
+    )
+}
+
+/// The PR 4 coefficient-resident multiplication formula — four operand forwards, three
+/// tensor-output inverses, a coefficient-form key switch, coefficient-domain adds — kept as
+/// the regression baseline for [`multiply`] (and executed verbatim by
+/// `Evaluator::multiply_reference`, the bitwise oracle).
+pub fn multiply_pr4(limbs: usize, special: usize, alpha: usize) -> TransformCounts {
     add(
         counts(4 * limbs as u64, 3 * limbs as u64),
         key_switch(limbs, special, alpha),
     )
 }
 
-/// Expected transforms of a plaintext multiplication: the encoded plaintext and both
-/// ciphertext parts go forward, both parts come back.
+/// Expected transforms of a plaintext multiplication on a **coefficient-form** ciphertext:
+/// the encoded plaintext and both ciphertext parts go forward, both parts come back.
 pub fn multiply_plain(limbs: usize) -> TransformCounts {
     counts(3 * limbs as u64, 2 * limbs as u64)
+}
+
+/// Expected transforms of a plaintext multiplication on an **evaluation-form** ciphertext:
+/// only the plaintext goes forward — the parts are already there, and the product stays
+/// eval-resident (no inverses). With an NTT-cached plaintext
+/// (`Evaluator::multiply_plain_ntt`) even that forward disappears: zero transforms.
+pub fn multiply_plain_eval(limbs: usize) -> TransformCounts {
+    counts(limbs as u64, 0)
 }
 
 /// Expected transforms of one key-switched rotation (or conjugation): the coefficient-domain
@@ -96,10 +145,10 @@ pub fn hoisted_rotation_batch(
     counts(beta * raised, rotations as u64 * 2 * raised)
 }
 
-/// Expected transforms of one BSGS linear-transform stage (a bootstrap CoeffToSlot /
-/// SlotToCoeff stage) applied at `limbs = ℓ+1`: the hoisted baby batch, one plaintext
-/// multiplication per diagonal, and one full rotation per nonzero giant step. The trailing
-/// rescale is transform-free.
+/// Expected transforms of one **coefficient-resident** BSGS linear-transform stage (the PR 4
+/// path, still executed by `LinearTransform::apply_bsgs_reference`): the hoisted baby batch,
+/// one full plaintext multiplication per diagonal, and one full rotation per nonzero giant
+/// step. The trailing rescale is transform-free.
 pub fn bsgs_stage(
     limbs: usize,
     special: usize,
@@ -114,6 +163,45 @@ pub fn bsgs_stage(
         plan.giant_rotation_count() as u64,
     );
     add(add(babies, products), giants)
+}
+
+/// Expected transforms of one **eval-resident** BSGS stage (the shipped
+/// `LinearTransform::apply_with` execution path): the hoisted baby batch, one promotion of
+/// each distinct baby ciphertext into evaluation form (`2·limbs` forwards per baby — paid
+/// once per baby instead of once per *diagonal*), zero-transform plaintext products against
+/// the plan's NTT-cached diagonals, **one** inverse pair per giant group (`2·limbs` per
+/// group instead of per diagonal), and one full rotation per nonzero giant step.
+///
+/// `warm` charges the one-time cache fill: `diagonals·limbs` plaintext forwards on the first
+/// application of a transform at a level. Every later application performs **zero plaintext
+/// forward transforms** — the cached diagonals are reused across applies and across
+/// bootstrap iterations.
+pub fn bsgs_stage_eval(
+    limbs: usize,
+    special: usize,
+    alpha: usize,
+    plan: &BsgsPlan,
+    diagonals: usize,
+    warm: bool,
+) -> TransformCounts {
+    let babies = hoisted_rotation_batch(limbs, special, alpha, plan.baby_rotation_count());
+    let baby_count = plan.baby_offsets().len() as u64;
+    let group_count = plan.groups().len() as u64;
+    let promote = counts(2 * limbs as u64 * baby_count, 0);
+    let cache_fill = if warm {
+        counts(diagonals as u64 * limbs as u64, 0)
+    } else {
+        TransformCounts::default()
+    };
+    let group_inverses = counts(0, 2 * limbs as u64 * group_count);
+    let giants = times(
+        rotation(limbs, special, alpha),
+        plan.giant_rotation_count() as u64,
+    );
+    add(
+        add(add(add(babies, promote), cache_fill), group_inverses),
+        giants,
+    )
 }
 
 /// Measures the transforms performed between construction and [`NttMeter::elapsed`] /
@@ -166,19 +254,45 @@ mod tests {
                 inverse: 20
             }
         );
+        // Dual-form: the 7 operand rows skip their forwards and pay conversion inverses.
+        assert_eq!(
+            key_switch_dual(7, 3, 3),
+            TransformCounts {
+                forward: 23,
+                inverse: 27
+            }
+        );
         let mul = multiply(7, 3, 3);
         assert_eq!(
             mul,
+            TransformCounts {
+                forward: 51,
+                inverse: 27
+            }
+        );
+        // Exactly `limbs` fewer forwards and `2·limbs` fewer inverses than the PR 4 formula.
+        let pr4 = multiply_pr4(7, 3, 3);
+        assert_eq!(
+            pr4,
             TransformCounts {
                 forward: 58,
                 inverse: 41
             }
         );
+        assert_eq!(pr4.forward - mul.forward, 7);
+        assert_eq!(pr4.inverse - mul.inverse, 14);
         assert_eq!(
             multiply_plain(7),
             TransformCounts {
                 forward: 21,
                 inverse: 14
+            }
+        );
+        assert_eq!(
+            multiply_plain_eval(7),
+            TransformCounts {
+                forward: 7,
+                inverse: 0
             }
         );
         assert_eq!(rotation(7, 3, 3), ks);
@@ -197,6 +311,38 @@ mod tests {
         );
         // Helpers.
         assert_eq!(add(ks, ks), times(ks, 2));
+    }
+
+    #[test]
+    fn eval_resident_bsgs_formula_beats_the_pr4_formula() {
+        // 12 diagonals, baby step 4 → babies {0,1,2,3}, groups {0,4,8}.
+        let offsets: Vec<usize> = (0..12).collect();
+        let plan = BsgsPlan::with_baby_step(64, &offsets, 4);
+        let coeff = bsgs_stage(4, 2, 2, &plan, 12);
+        let warm = bsgs_stage_eval(4, 2, 2, &plan, 12, true);
+        let steady = bsgs_stage_eval(4, 2, 2, &plan, 12, false);
+        // Warm-up charges exactly the one-time diagonal cache fill; nothing else differs.
+        assert_eq!(warm.forward - steady.forward, 12 * 4);
+        assert_eq!(warm.inverse, steady.inverse);
+        // After warm-up the eval-resident stage strictly beats the PR 4 coefficient path:
+        // babies promoted once each vs one round-trip per diagonal, one inverse pair per
+        // giant group vs per diagonal.
+        assert!(steady.forward < coeff.forward, "{steady:?} vs {coeff:?}");
+        assert!(steady.inverse < coeff.inverse, "{steady:?} vs {coeff:?}");
+        assert_eq!(
+            steady,
+            TransformCounts {
+                forward: 68,
+                inverse: 84
+            }
+        );
+        assert_eq!(
+            coeff,
+            TransformCounts {
+                forward: 180,
+                inverse: 156
+            }
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@ use fab_trace::{HeOp, OpTrace};
 
 use crate::evaluator::SCALE_TOLERANCE;
 use crate::{
-    Ciphertext, CkksContext, CkksError, Evaluator, GaloisKeys, RelinearizationKey, Result,
+    BsgsPlan, Ciphertext, CkksContext, CkksError, Evaluator, GaloisKeys, LinearTransform,
+    RelinearizationKey, Result,
 };
 
 /// The operations a backend must interpret; mirrors the semantic surface of [`Evaluator`].
@@ -146,6 +147,40 @@ pub trait EvalBackend {
 
     /// Multiplication by the monomial `X^power` (free on FAB; no trace op).
     fn multiply_by_monomial(&self, a: &Self::Ct, power: usize) -> Result<Self::Ct>;
+
+    /// Promotes a ciphertext to the backend's **evaluation-resident** form, after which
+    /// plaintext-multiply/add chains perform no per-step transforms. Emits no trace op —
+    /// domain moves are representation bookkeeping, not semantic operations. The default is
+    /// the identity (shadows carry no representation); [`ExecBackend`] overrides it with
+    /// [`Evaluator::to_evaluation_form`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates level errors.
+    fn to_eval_resident(&self, a: &Self::Ct) -> Result<Self::Ct> {
+        Ok(a.clone())
+    }
+
+    /// Applies a planned BSGS linear transform. The default runs the backend-generic
+    /// coefficient-resident control flow (one plaintext multiplication round-trip per
+    /// diagonal); [`ExecBackend`] overrides it with the eval-resident, NTT-cached execution
+    /// — emitting the **identical** semantic op stream, which is what keeps recorded
+    /// executions and planned traces in op-for-op agreement.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LinearTransform::apply_with`].
+    fn apply_bsgs_planned(
+        &self,
+        lt: &LinearTransform,
+        ct: &Self::Ct,
+        plan: &BsgsPlan,
+    ) -> Result<Self::Ct>
+    where
+        Self: Sized,
+    {
+        crate::linear_transform::apply_planned_generic(lt, self, ct, plan)
+    }
 }
 
 // --------------------------------------------------------------------------- exec interpreter
@@ -304,6 +339,19 @@ impl EvalBackend for ExecBackend<'_> {
 
     fn multiply_by_monomial(&self, a: &Ciphertext, power: usize) -> Result<Ciphertext> {
         self.evaluator.multiply_by_monomial(a, power)
+    }
+
+    fn to_eval_resident(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        self.evaluator.to_evaluation_form(a)
+    }
+
+    fn apply_bsgs_planned(
+        &self,
+        lt: &LinearTransform,
+        ct: &Ciphertext,
+        plan: &BsgsPlan,
+    ) -> Result<Ciphertext> {
+        lt.apply_planned_exec(self.evaluator, self.keys()?, ct, plan)
     }
 }
 

@@ -11,6 +11,13 @@
 //! execution, the planned trace ([`Bootstrapper::predicted_trace`]) and the `fab-core`
 //! accelerator workload agree on rotation counts op for op.
 //!
+//! Because the bootstrapper holds its stage transforms for its whole lifetime, the
+//! eval-resident BSGS execution warms each stage's **NTT-cached diagonal plaintexts** once
+//! (on the first bootstrap, per level) and then performs zero plaintext forward transforms
+//! on every further iteration — the cache is exactly the "reused across every apply and
+//! every bootstrap iteration" term of `fab_ckks::accounting::bsgs_stage_eval`; EvalMod's
+//! Chebyshev leaf accumulations likewise run eval-resident through the backend seam.
+//!
 //! ## Sparse-slot bootstrapping
 //!
 //! When [`BootstrapParams::sparse_slots`] is set to `s < N/2`, the pipeline bootstraps a

@@ -267,6 +267,13 @@ impl ChebyshevSeries {
     }
 
     /// Leaf evaluation `Σ_{j<m} c_j·T_j` using plaintext multiplications only.
+    ///
+    /// The accumulation runs **eval-resident**: every basis term is promoted to the
+    /// backend's evaluation form once, so each constant product and each add is
+    /// transform-free on real ciphertexts (the constant plaintext pays its own forwards;
+    /// the terms never round-trip). The single crossing back to coefficient form happens
+    /// inside the trailing rescale. Bitwise identical to the coefficient-resident order —
+    /// the inverse NTT canonicalises — and the emitted op stream is unchanged.
     fn evaluate_leaf<B: EvalBackend>(
         &self,
         backend: &B,
@@ -303,6 +310,7 @@ impl ChebyshevSeries {
                 reason: format!("chebyshev basis T_{j} missing"),
             })?;
             let t = backend.mod_drop_to_level(t, level)?;
+            let t = backend.to_eval_resident(&t)?;
             let term = backend.multiply_const(&t, Complex64::new(*c, 0.0), prime)?;
             acc = Some(match acc {
                 None => term,

@@ -19,7 +19,7 @@
 use std::sync::{Arc, Mutex};
 
 use fab_math::{galois_element_for_conjugation, galois_element_for_rotation, Complex64};
-use fab_rns::{ops, Representation, RnsBasis, RnsPolynomial};
+use fab_rns::{ops, Domain, Representation, RnsBasis, RnsPolynomial};
 use fab_trace::{noop_sink, HeOp, TraceSink};
 
 use crate::{
@@ -108,9 +108,15 @@ impl Scratch {
 
 /// Executes homomorphic operations over ciphertexts.
 ///
-/// All ciphertexts are kept in coefficient representation between operations; the evaluator
+/// Ciphertexts default to coefficient representation between operations, and the evaluator
 /// performs the NTT/iNTT transitions internally, mirroring the representation switches of the
-/// FAB datapath (Section 4.5–4.6).
+/// FAB datapath (Section 4.5–4.6). Every operation is **domain-aware** through the per-poly
+/// [`fab_rns::Domain`] tag: callers may keep ciphertexts *eval-resident*
+/// ([`Evaluator::to_evaluation_form`]) so that `multiply_plain`/`add`/`sub` chains perform
+/// zero transforms per step, `multiply` skips its operand forwards, and only the genuine
+/// coefficient boundaries (rescale, automorphisms, basis conversions) convert back —
+/// bitwise-identically to the coefficient-resident sequence, because the inverse NTT
+/// canonicalises.
 #[derive(Debug)]
 pub struct Evaluator {
     ctx: Arc<CkksContext>,
@@ -194,15 +200,82 @@ impl Evaluator {
         &self.encoder
     }
 
+    // ------------------------------------------------------------------ domain management
+
+    /// Returns the ciphertext with both parts in **evaluation** form (a clone when it already
+    /// is). Together with the domain-aware operations this is what makes pipelines
+    /// *eval-resident*: a ciphertext promoted once stays in evaluation form through
+    /// `multiply_plain` / `add` / `sub` chains, paying zero transforms per step, and is
+    /// demoted only at a genuine coefficient boundary (rescale, automorphism, basis
+    /// conversion). Records nothing — domain moves are representation bookkeeping, not
+    /// semantic operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates level errors.
+    pub fn to_evaluation_form(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        if a.c0.is_evaluation() {
+            return Ok(a.clone());
+        }
+        let basis = self.ctx.basis_at_level(a.level)?;
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.to_evaluation(&basis);
+        c1.to_evaluation(&basis);
+        Ok(Ciphertext::from_parts(c0, c1, a.scale, a.level))
+    }
+
+    /// Returns the ciphertext with both parts in **coefficient** form (a clone when it
+    /// already is). The inverse NTT canonicalises, so converting an eval-resident ciphertext
+    /// back is bitwise identical to having stayed coefficient-resident throughout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates level errors.
+    pub fn to_coefficient_form(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        if a.c0.is_coefficient() {
+            return Ok(a.clone());
+        }
+        let basis = self.ctx.basis_at_level(a.level)?;
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.to_coefficient(&basis);
+        c1.to_coefficient(&basis);
+        Ok(Ciphertext::from_parts(c0, c1, a.scale, a.level))
+    }
+
+    /// Borrows `a` when it is already coefficient-form, otherwise converts a copy — the entry
+    /// guard of the operations that genuinely need coefficient data (rescale, automorphisms,
+    /// the raise of `c1`).
+    fn coefficient_input<'t>(&self, a: &'t Ciphertext) -> Result<std::borrow::Cow<'t, Ciphertext>> {
+        if a.c0.is_coefficient() {
+            Ok(std::borrow::Cow::Borrowed(a))
+        } else {
+            Ok(std::borrow::Cow::Owned(self.to_coefficient_form(a)?))
+        }
+    }
+
+    /// Converts `b` to `a`'s domain when the two disagree (mixed-form addition operands).
+    fn match_form(&self, a: &Ciphertext, b: Ciphertext) -> Result<Ciphertext> {
+        match (a.c0.domain(), b.c0.domain()) {
+            (x, y) if x == y => Ok(b),
+            (Domain::Evaluation, _) => self.to_evaluation_form(&b),
+            (Domain::Coefficient, _) => self.to_coefficient_form(&b),
+        }
+    }
+
     // ---------------------------------------------------------------- additive operations
 
-    /// Homomorphic addition. Operands at different levels are aligned to the lower level.
+    /// Homomorphic addition. Operands at different levels are aligned to the lower level;
+    /// mixed-domain operands are aligned to `a`'s domain (the result keeps `a`'s form, so
+    /// eval-resident accumulations stay eval-resident).
     ///
     /// # Errors
     ///
     /// Returns [`CkksError::ScaleMismatch`] if the scales differ by more than the tolerance.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
         let (a, b) = self.align_levels(a, b)?;
+        let b = self.match_form(&a, b)?;
         self.check_scales(a.scale, b.scale)?;
         self.record(HeOp::Add { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
@@ -214,13 +287,14 @@ impl Evaluator {
         ))
     }
 
-    /// Homomorphic subtraction (`a - b`).
+    /// Homomorphic subtraction (`a - b`). Domain handling as in [`Self::add`].
     ///
     /// # Errors
     ///
     /// Same as [`Self::add`].
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
         let (a, b) = self.align_levels(a, b)?;
+        let b = self.match_form(&a, b)?;
         self.check_scales(a.scale, b.scale)?;
         self.record(HeOp::Add { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
@@ -262,7 +336,10 @@ impl Evaluator {
         }
         self.record(HeOp::Add { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
-        let pt_poly = pt.poly.prefix(a.level + 1)?;
+        let mut pt_poly = pt.poly.prefix(a.level + 1)?;
+        if a.c0.is_evaluation() {
+            pt_poly.to_evaluation(&basis);
+        }
         Ok(Ciphertext::from_parts(
             a.c0.add(&pt_poly, &basis)?,
             a.c1.clone(),
@@ -286,7 +363,10 @@ impl Evaluator {
         }
         self.record(HeOp::Add { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
-        let pt_poly = pt.poly.prefix(a.level + 1)?;
+        let mut pt_poly = pt.poly.prefix(a.level + 1)?;
+        if a.c0.is_evaluation() {
+            pt_poly.to_evaluation(&basis);
+        }
         Ok(Ciphertext::from_parts(
             a.c0.sub(&pt_poly, &basis)?,
             a.c1.clone(),
@@ -309,6 +389,13 @@ impl Evaluator {
 
     /// Plaintext multiplication (no rescale). The result scale is the product of scales.
     ///
+    /// **Domain-preserving**: a coefficient-form ciphertext is transformed, multiplied and
+    /// transformed back (the PR 4 behaviour); an **evaluation-form** ciphertext skips both
+    /// the forward and the final inverse round-trip — only the plaintext pays its `ℓ+1`
+    /// forwards — and the result stays in evaluation form for the caller's next eval-resident
+    /// step (`accounting::multiply_plain_eval`). Callers holding a pre-transformed plaintext
+    /// can drop even those forwards via [`Evaluator::multiply_plain_ntt`].
+    ///
     /// # Errors
     ///
     /// Returns level errors if the plaintext holds fewer limbs than the ciphertext.
@@ -321,6 +408,7 @@ impl Evaluator {
         }
         self.record(HeOp::MultiplyPlain { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
+        let eval_resident = a.c0.is_evaluation();
         let mut scratch = self.scratch();
         let sc = &mut *scratch;
         let mut p = sc.lease_zero(a.c0.degree(), 0, Representation::Coefficient);
@@ -333,10 +421,55 @@ impl Evaluator {
         r1.to_evaluation(&basis);
         r0.mul_assign(&p, &basis)?;
         r1.mul_assign(&p, &basis)?;
-        r0.to_coefficient(&basis);
-        r1.to_coefficient(&basis);
+        if !eval_resident {
+            r0.to_coefficient(&basis);
+            r1.to_coefficient(&basis);
+        }
         sc.recycle(p);
         Ok(Ciphertext::from_parts(r0, r1, a.scale * pt.scale, a.level))
+    }
+
+    /// Plaintext multiplication against an **NTT-cached plaintext polynomial** (evaluation
+    /// form over `Q_level`, `ℓ+1` limbs, encoded at `pt_scale`): the zero-transform inner
+    /// step of the eval-resident BSGS accumulation. The ciphertext is promoted to evaluation
+    /// form if it is not already (a warm eval-resident pipeline passes it in evaluation form
+    /// and the operation performs **no transforms at all**); the result is evaluation-form.
+    ///
+    /// Semantically identical to encoding the same values at `pt_scale` and calling
+    /// [`Evaluator::multiply_plain`] — same recorded op, same scale/level bookkeeping, and
+    /// bitwise-identical once converted to coefficient form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidInput`] unless the plaintext polynomial is evaluation-form
+    /// with exactly the ciphertext's limbs.
+    pub fn multiply_plain_ntt(
+        &self,
+        a: &Ciphertext,
+        pt_poly: &RnsPolynomial,
+        pt_scale: f64,
+    ) -> Result<Ciphertext> {
+        if !pt_poly.is_evaluation() || pt_poly.limb_count() != a.level + 1 {
+            return Err(CkksError::InvalidInput {
+                reason: format!(
+                    "multiply_plain_ntt needs an evaluation-form plaintext with {} limbs, got {} in {} form",
+                    a.level + 1,
+                    pt_poly.limb_count(),
+                    pt_poly.representation()
+                ),
+            });
+        }
+        self.record(HeOp::MultiplyPlain { level: a.level });
+        let basis = self.ctx.basis_at_level(a.level)?;
+        let mut scratch = self.scratch();
+        let sc = &mut *scratch;
+        let mut r0 = sc.lease_copy(&a.c0);
+        let mut r1 = sc.lease_copy(&a.c1);
+        r0.to_evaluation(&basis);
+        r1.to_evaluation(&basis);
+        r0.mul_assign(pt_poly, &basis)?;
+        r1.mul_assign(pt_poly, &basis)?;
+        Ok(Ciphertext::from_parts(r0, r1, a.scale * pt_scale, a.level))
     }
 
     /// Multiplies every slot by a complex scalar encoded at the current level's rescaling
@@ -358,7 +491,16 @@ impl Evaluator {
     }
 
     /// Ciphertext–ciphertext multiplication with relinearisation (no rescale). The result
-    /// scale is the product of the operand scales.
+    /// scale is the product of the operand scales; the result is in coefficient form.
+    ///
+    /// Runs the **domain-aware dual-form pipeline**: the tensor products `d0`/`d1`/`d2` stay
+    /// in evaluation form, `d2` enters the key switch through the dual-form seam (its rows
+    /// are reused as the digits' own raised rows — `ℓ+1` forwards saved against the PR 4
+    /// path), and `P·d0`/`P·d1` are absorbed into the KSKIP accumulators *before* the
+    /// accumulator inverse (`2·(ℓ+1)` inverses saved), so ModDown directly emits
+    /// `d_i + k_i`. Operands already in evaluation form skip their forward transforms too.
+    /// Output is bit-for-bit identical to [`Evaluator::multiply_reference`], the retained
+    /// PR 4 coefficient-resident pipeline.
     ///
     /// # Errors
     ///
@@ -373,10 +515,61 @@ impl Evaluator {
         let level = a.level;
         self.record(HeOp::Multiply { level });
         let basis = self.ctx.basis_at_level(level)?;
+        let degree = a.c0.degree();
 
         let mut scratch = self.scratch();
         let sc = &mut *scratch;
-        let (mut d0, mut d1, d2) = self.tensor_with(sc, &a, &b, &basis)?;
+        let (d0, d1, d2) = self.tensor_eval_with(sc, &a, &b, &basis)?;
+        let raised = self.raise_digits(sc, &d2, rlk.key.alpha(), level)?;
+        let (mut acc0, mut acc1) = self.kskip_accumulate(sc, &raised, &rlk.key, level, None)?;
+        let p_mod_q = self.ctx.p_mod_q_constants(level)?;
+        self.absorb_p_times(&mut acc0, &d0, &basis, &p_mod_q);
+        self.absorb_p_times(&mut acc1, &d1, &basis, &p_mod_q);
+        self.invert_accumulators(&mut acc0, &mut acc1, &raised.basis);
+        raised.recycle_into(sc);
+        sc.recycle(d0);
+        sc.recycle(d1);
+        sc.recycle(d2);
+
+        // ModDown(acc + P·d) = d + ModDown(acc): the output parts come out in one pass.
+        let down = self.ctx.mod_down_plan(level)?;
+        let mut c0 = sc.lease_zero(degree, 0, Representation::Coefficient);
+        let mut c1 = sc.lease_zero(degree, 0, Representation::Coefficient);
+        down.apply_into(&acc0, &mut sc.convert, &mut c0)?;
+        down.apply_into(&acc1, &mut sc.convert, &mut c1)?;
+        sc.recycle(acc0);
+        sc.recycle(acc1);
+        Ok(Ciphertext::from_parts(c0, c1, a.scale * b.scale, level))
+    }
+
+    /// The PR 4 coefficient-resident multiplication — tensor inverses all three products,
+    /// the key switch re-forwards `d2`'s rows, and `d0`/`d1` are added to the ModDown
+    /// outputs in coefficient form — kept verbatim as the timed and **bitwise** baseline for
+    /// the dual-form pipeline, exactly like [`Evaluator::key_switch_reference`] is kept for
+    /// the lazy key switch. `fab-bench` reports `multiply` speedups against this path, and
+    /// the NTT-accounting suite pins its transform count to the PR 4 closed form
+    /// (`accounting::multiply_pr4`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Evaluator::multiply`].
+    pub fn multiply_reference(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        rlk: &RelinearizationKey,
+    ) -> Result<Ciphertext> {
+        let (a, b) = self.align_levels(a, b)?;
+        let level = a.level;
+        self.record(HeOp::Multiply { level });
+        let basis = self.ctx.basis_at_level(level)?;
+
+        let mut scratch = self.scratch();
+        let sc = &mut *scratch;
+        let (mut d0, mut d1, mut d2) = self.tensor_eval_with(sc, &a, &b, &basis)?;
+        d0.to_coefficient(&basis);
+        d1.to_coefficient(&basis);
+        d2.to_coefficient(&basis);
         let (k0, k1) = self.key_switch_with(sc, &d2, &rlk.key, level)?;
         // d0/d1 become the output parts in place; the key-switch pair is recycled.
         d0.add_assign(&k0, &basis)?;
@@ -388,8 +581,10 @@ impl Evaluator {
     }
 
     /// The tensor + relinearisation front half of a ciphertext multiplication: returns
-    /// `(d0, d1, d2)` in coefficient form over `basis`, all leased from the arena.
-    fn tensor_with(
+    /// `(d0, d1, d2)` in **evaluation** form over `basis`, all leased from the arena.
+    /// Operands already in evaluation form skip their forward transforms (`to_evaluation`
+    /// no-ops on the domain tag).
+    fn tensor_eval_with(
         &self,
         sc: &mut Scratch,
         a: &Ciphertext,
@@ -416,9 +611,6 @@ impl Evaluator {
         sc.recycle(a1);
         sc.recycle(b0);
         sc.recycle(b1);
-        d0.to_coefficient(basis);
-        d1.to_coefficient(basis);
-        d2.to_coefficient(basis);
         Ok((d0, d1, d2))
     }
 
@@ -450,32 +642,25 @@ impl Evaluator {
         self.record(HeOp::Multiply { level });
         self.record(HeOp::Rescale { level });
         let basis = self.ctx.basis_at_level(level)?;
-        let limbs = level + 1;
 
         let mut scratch = self.scratch();
         let sc = &mut *scratch;
-        let (d0, d1, d2) = self.tensor_with(sc, &a, &b, &basis)?;
+        let (d0, d1, d2) = self.tensor_eval_with(sc, &a, &b, &basis)?;
         let raised = self.raise_digits(sc, &d2, rlk.key.alpha(), level)?;
-        let (mut acc0, mut acc1) = self.kskip_apply(sc, &raised, &rlk.key, level, None)?;
-        raised.recycle_into(sc);
-        sc.recycle(d2);
+        let (mut acc0, mut acc1) = self.kskip_accumulate(sc, &raised, &rlk.key, level, None)?;
 
-        // Absorb P·d into the accumulators: P·d ≡ 0 on every P limb, so only the Q rows
-        // change, and ModDown(acc + P·d) = ModDown(acc) + d exactly — which lets the fused
-        // plan divide the whole sum by P·q_level in one conversion.
+        // Absorb P·d into the accumulators in the evaluation domain, before the accumulator
+        // inverse: P·d ≡ 0 on every P limb, so only the Q rows change, and
+        // ModDown(acc + P·d) = ModDown(acc) + d exactly — which lets the fused plan divide
+        // the whole sum by P·q_level in one conversion while d0/d1 never pay an inverse NTT.
         let p_mod_q = self.ctx.p_mod_q_constants(level)?;
-        for (acc, d) in [(&mut acc0, &d0), (&mut acc1, &d1)] {
-            let degree = d.degree();
-            fab_par::par_chunks_mut(&mut acc.data_mut()[..limbs * degree], degree, |i, row| {
-                let qi = basis.modulus(i);
-                let (p, p_shoup) = p_mod_q[i];
-                for (x, &dv) in row.iter_mut().zip(d.limb(i)) {
-                    *x = qi.add(*x, qi.mul_shoup(dv, p, p_shoup));
-                }
-            });
-        }
+        self.absorb_p_times(&mut acc0, &d0, &basis, &p_mod_q);
+        self.absorb_p_times(&mut acc1, &d1, &basis, &p_mod_q);
+        self.invert_accumulators(&mut acc0, &mut acc1, &raised.basis);
+        raised.recycle_into(sc);
         sc.recycle(d0);
         sc.recycle(d1);
+        sc.recycle(d2);
 
         let fused = self.ctx.mod_down_rescale_plan(level)?;
         let mut c0 = sc.lease_zero(a.c0.degree(), 0, Representation::Coefficient);
@@ -503,7 +688,9 @@ impl Evaluator {
     }
 
     /// Rescales by the current level's prime: the level drops by one and the scale is divided
-    /// by `q_level`.
+    /// by `q_level`. Rescaling is a genuine coefficient boundary (the centred division needs
+    /// coefficient data), so an eval-resident input is converted first and the result is in
+    /// coefficient form.
     ///
     /// # Errors
     ///
@@ -514,6 +701,7 @@ impl Evaluator {
                 operation: "rescale",
             });
         }
+        let a = self.coefficient_input(a)?;
         self.record(HeOp::Rescale { level: a.level });
         let basis = self.ctx.basis_at_level(a.level)?;
         let prime = self.ctx.rescale_prime(a.level) as f64;
@@ -690,6 +878,8 @@ impl Evaluator {
         if steps.iter().all(|s| s % slots == 0) {
             return Ok(steps.iter().map(|_| a.clone()).collect());
         }
+        let a = self.coefficient_input(a)?;
+        let a = a.as_ref();
         let level = a.level;
         let degree = a.c1.degree();
         let q_basis = self.ctx.basis_at_level(level)?;
@@ -714,7 +904,9 @@ impl Evaluator {
                 description: format!("rotation by {st} (galois element {element})"),
             })?;
             let eval_map = self.ctx.eval_automorphism_map(element)?;
-            let (acc0, acc1) = self.kskip_apply(sc, &raised, key, level, Some(&eval_map))?;
+            let (mut acc0, mut acc1) =
+                self.kskip_accumulate(sc, &raised, key, level, Some(&eval_map))?;
+            self.invert_accumulators(&mut acc0, &mut acc1, &raised.basis);
             let mut k0 = sc.lease_zero(degree, 0, Representation::Coefficient);
             let mut k1 = sc.lease_zero(degree, 0, Representation::Coefficient);
             down.apply_into(&acc0, &mut sc.convert, &mut k0)?;
@@ -778,6 +970,8 @@ impl Evaluator {
         element: u64,
         key: &SwitchingKey,
     ) -> Result<Ciphertext> {
+        let a = self.coefficient_input(a)?;
+        let a = a.as_ref();
         let basis = self.ctx.basis_at_level(a.level)?;
         let map = self.ctx.automorphism_map(element)?;
         let mut c0 = a.c0.automorphism_with_map(&map, &basis)?;
@@ -797,6 +991,7 @@ impl Evaluator {
     ///
     /// Propagates level errors.
     pub fn multiply_by_monomial(&self, a: &Ciphertext, power: usize) -> Result<Ciphertext> {
+        let a = self.coefficient_input(a)?;
         let basis = self.ctx.basis_at_level(a.level)?;
         let c0 = multiply_poly_by_monomial(&a.c0, power, &basis);
         let c1 = multiply_poly_by_monomial(&a.c1, power, &basis);
@@ -814,17 +1009,23 @@ impl Evaluator {
 
     // ------------------------------------------------------------------ key switching core
 
-    /// Hybrid key switch of a single polynomial `d` (coefficient form, level `level`):
-    /// Decomp → ModUp → KSKIP (inner product with the key) → ModDown. Returns the pair
-    /// `(k_0, k_1)` over `Q_level` in coefficient form.
+    /// Hybrid key switch of a single polynomial `d` at `level`: Decomp → ModUp → KSKIP
+    /// (inner product with the key) → ModDown. Returns the pair `(k_0, k_1)` over `Q_level`
+    /// in coefficient form.
     ///
-    /// Runs the **transform-minimal lazy pipeline**: the β digits are raised and
-    /// forward-transformed as one batched, digit-parallel stage (`β·(ℓ+1+k)` lazy NTT rows,
-    /// the closed-form minimum), and the KSKIP inner product sums the raw 64×64→128-bit
-    /// products of *all* digits into per-coefficient u128 accumulators, reducing **once** per
-    /// coefficient instead of once per digit (`fab_rns::kskip`). Output is bit-for-bit
-    /// identical to [`Evaluator::key_switch_reference`], which keeps the PR 3 per-digit eager
-    /// algorithm as the benchmarked baseline.
+    /// **Dual-form entry point**: `d`'s domain tag selects the seam. A coefficient-form
+    /// operand runs the classic transform-minimal pipeline (`β·(ℓ+1+k)` forwards). An
+    /// **evaluation-form** operand — the tensor product `d2` of a multiplication, which the
+    /// PR 4 seam used to inverse-transform only for ModUp to re-forward the very same rows —
+    /// reuses its rows directly as the digits' own raised rows and pays one batched inverse
+    /// for the ModUp conversions instead: `β·(ℓ+1+k) − (ℓ+1)` forwards and `ℓ+1` extra
+    /// inverses (`accounting::key_switch_dual`). Both entries are bit-for-bit identical to
+    /// [`Evaluator::key_switch_reference`], which keeps the PR 3 per-digit eager algorithm as
+    /// the benchmarked baseline.
+    ///
+    /// The KSKIP inner product sums the raw 64×64→128-bit products of *all* digits into
+    /// per-coefficient u128 accumulators, reducing **once** per coefficient instead of once
+    /// per digit (`fab_rns::kskip`).
     ///
     /// # Errors
     ///
@@ -850,7 +1051,8 @@ impl Evaluator {
         level: usize,
     ) -> Result<(RnsPolynomial, RnsPolynomial)> {
         let raised = self.raise_digits(sc, d, key.alpha(), level)?;
-        let (acc0, acc1) = self.kskip_apply(sc, &raised, key, level, None)?;
+        let (mut acc0, mut acc1) = self.kskip_accumulate(sc, &raised, key, level, None)?;
+        self.invert_accumulators(&mut acc0, &mut acc1, &raised.basis);
         raised.recycle_into(sc);
         let down = self.ctx.mod_down_plan(level)?;
         let degree = d.degree();
@@ -943,15 +1145,16 @@ impl Evaluator {
         level: usize,
     ) -> Result<RaisedDigits> {
         let limbs = level + 1;
-        // Reject the operands the eager path's ModUp kernels used to reject, instead of
-        // silently raising garbage: `d` must be a coefficient-form polynomial carrying (at
-        // least) the level's limbs at the ring degree.
-        if d.representation() != Representation::Coefficient {
-            return Err(fab_rns::RnsError::WrongRepresentation {
-                expected: "coefficient",
-            }
-            .into());
-        }
+        // `d` must carry (at least) the level's limbs at the ring degree. Both domains are
+        // accepted — the tag selects the seam:
+        //
+        // * **coefficient** (classic): every digit row is lifted + forward-transformed
+        //   (`limbs` of the `β·raised` forwards are spent re-transforming rows a tensor may
+        //   just have inverse-transformed);
+        // * **evaluation** (dual-form): the rows are reused *verbatim* as the digits' own
+        //   raised rows (zero forwards — the ROADMAP "multiply dual-form" lever), and one
+        //   batched inverse of the `limbs` rows feeds the ModUp conversions, which are
+        //   coefficient-domain by nature (CRT lifting sums residues across moduli).
         if d.limb_count() < limbs {
             return Err(fab_rns::RnsError::LimbOutOfRange {
                 requested: limbs,
@@ -983,6 +1186,20 @@ impl Evaluator {
             plans.push(self.ctx.mod_up_plan(level, start, end - start)?);
         }
 
+        // Dual-form seam: an evaluation-domain operand pays one batched inverse of its
+        // `limbs` rows to feed the conversions (`to_coefficient` meters it), while its
+        // original rows skip the Lift forwards entirely.
+        let dual = d.representation() == Representation::Evaluation;
+        let d_coeff_lease: Option<RnsPolynomial> = if dual {
+            let mut c = sc.lease_zero(degree, 0, Representation::Coefficient);
+            c.copy_limbs_from(d, 0..limbs)?;
+            c.to_coefficient(&basis);
+            Some(c)
+        } else {
+            None
+        };
+        let d_coeff: &RnsPolynomial = d_coeff_lease.as_ref().unwrap_or(d);
+
         // Phase 1 (digit-parallel): hoisted conversion products, one job per digit source row.
         if sc.hoisted.len() < beta {
             sc.hoisted.resize_with(beta, Vec::new);
@@ -1004,14 +1221,19 @@ impl Evaluator {
                 let converter = plans[j]
                     .converter()
                     .expect("key-switch ModUp always has extension targets");
-                converter.hoisted_product_row(i, d.limb(ranges[j].0 + i), row);
+                converter.hoisted_product_row(i, d_coeff.limb(ranges[j].0 + i), row);
             });
         }
 
-        // Phase 2 (batched): every output row of every digit — digit rows lifted from `d`,
-        // the rest produced by lazy conversion — forward-transformed in the same job.
-        // β·(ℓ+1+k) rows total: the closed-form minimum number of forward transforms.
+        // Phase 2 (batched): every output row of every digit — digit rows lifted from `d`
+        // (or, in the dual-form seam, copied from the evaluation-domain operand without any
+        // transform), the rest produced by lazy conversion — forward-transformed in the same
+        // job. Coefficient operands pay β·(ℓ+1+k) forwards (the classic closed-form minimum);
+        // evaluation operands pay β·(ℓ+1+k) − (ℓ+1), because the digits' own rows are reused.
         let mut d_eval = sc.lease_zero(degree, limbs, Representation::Evaluation);
+        if dual {
+            d_eval.copy_limbs_from(d, 0..limbs)?;
+        }
         let mut converted: Vec<RnsPolynomial> = plans
             .iter()
             .map(|p| {
@@ -1040,12 +1262,14 @@ impl Evaluator {
                 },
             }
             let mut jobs = Vec::with_capacity(beta * raised_limbs);
-            for (i, out) in d_eval.data_mut().chunks_mut(degree).enumerate() {
-                jobs.push(RowJob::Lift {
-                    src: d.limb(i),
-                    table: basis.table(i),
-                    out,
-                });
+            if !dual {
+                for (i, out) in d_eval.data_mut().chunks_mut(degree).enumerate() {
+                    jobs.push(RowJob::Lift {
+                        src: d.limb(i),
+                        table: basis.table(i),
+                        out,
+                    });
+                }
             }
             for (j, poly) in converted.iter_mut().enumerate() {
                 let plan = plans[j].as_ref();
@@ -1080,6 +1304,9 @@ impl Evaluator {
                 }
             });
         }
+        if let Some(c) = d_coeff_lease {
+            sc.recycle(c);
+        }
 
         Ok(RaisedDigits {
             basis,
@@ -1089,16 +1316,19 @@ impl Evaluator {
         })
     }
 
-    /// The u128 lazy KSKIP + inverse NTT: accumulates `Σ_j ext_j · ksk_j` over all β digits
-    /// into per-coefficient u128 accumulators (fold-guarded against overflow), reduces once
-    /// per coefficient into the lazy `[0, 2q)` domain, and inverse-transforms the two
-    /// accumulator polynomials back to coefficient form over `Q_level ∪ P`.
+    /// The u128 lazy KSKIP accumulation: `Σ_j ext_j · ksk_j` over all β digits into
+    /// per-coefficient u128 accumulators (fold-guarded against overflow), reduced once per
+    /// coefficient into the lazy `[0, 2q)` domain. The returned pair is still in
+    /// **evaluation** representation over `Q_level ∪ P`; callers either invert it straight
+    /// away ([`Evaluator::invert_accumulators`]) or first absorb evaluation-domain addends
+    /// ([`Evaluator::absorb_p_times`] — the multiply seam) so the addends ride the
+    /// accumulator inverse for free instead of paying their own.
     ///
     /// `perm` applies an evaluation-domain automorphism gather to the raised digits on the
     /// fly (hoisted rotation batches), so no rotated copy is ever materialised. Work fans out
     /// one job per raised limb; each digit's contribution is summed in fixed digit order, so
     /// results are bitwise identical at any `FAB_THREADS`.
-    fn kskip_apply(
+    fn kskip_accumulate(
         &self,
         sc: &mut Scratch,
         raised: &RaisedDigits,
@@ -1161,21 +1391,61 @@ impl Evaluator {
                 );
             });
         }
+        Ok((acc0, acc1))
+    }
 
-        // Batched inverse NTTs of both accumulators (2·(ℓ+1+k) rows, the minimum).
-        {
-            let mut jobs = Vec::with_capacity(2 * raised_limbs);
-            for poly in [&mut acc0, &mut acc1] {
-                for (r, row) in poly.data_mut().chunks_mut(degree).enumerate() {
-                    jobs.push((raised.basis.table(r), row));
-                }
+    /// Batched inverse NTTs of both KSKIP accumulators (`2·(ℓ+1+k)` rows, the closed-form
+    /// minimum), canonicalising every coefficient into `[0, q)` — which is what makes every
+    /// evaluation-domain rearrangement upstream (dual-form digit reuse, `P·d` absorption,
+    /// eval-resident partial sums) bitwise invisible downstream.
+    fn invert_accumulators(
+        &self,
+        acc0: &mut RnsPolynomial,
+        acc1: &mut RnsPolynomial,
+        basis: &RnsBasis,
+    ) {
+        let degree = acc0.degree();
+        let mut jobs = Vec::with_capacity(acc0.limb_count() + acc1.limb_count());
+        for poly in [&mut *acc0, &mut *acc1] {
+            for (r, row) in poly.data_mut().chunks_mut(degree).enumerate() {
+                jobs.push((basis.table(r), row));
             }
-            fab_rns::metering::add_inverse(jobs.len());
-            fab_par::par_jobs(jobs, |(table, row)| table.inverse(row));
         }
+        fab_rns::metering::add_inverse(jobs.len());
+        fab_par::par_jobs(jobs, |(table, row)| table.inverse(row));
         acc0.set_representation(Representation::Coefficient);
         acc1.set_representation(Representation::Coefficient);
-        Ok((acc0, acc1))
+    }
+
+    /// Absorbs `P·d` into a KSKIP accumulator **in the evaluation domain**, before the
+    /// accumulator inverse: `ModDown(acc + P·d) = ModDown(acc) + d` exactly (the `P` rows are
+    /// untouched, and on each `q_i` row the added `P·d` term survives the `·P^{-1}` combine as
+    /// `+d`), and the fused ModDown+rescale plan divides the same sum by `P·q_level`. Because
+    /// the addition happens pre-inverse, `d` never pays its own inverse NTT — the tensor's
+    /// `d0`/`d1` stay evaluation-resident from the pointwise products to this seam, which is
+    /// where `multiply`/`multiply_rescale` drop `2·(ℓ+1)` inverses against the PR 4 pipeline.
+    ///
+    /// The accumulator rows arrive in the lazy `[0, 2q)` domain; absorbed rows are
+    /// canonicalised on the way (`reduce_2q` + canonical add), preserving the inverse NTT's
+    /// `[0, 2q)` input invariant and the bitwise equality with the coefficient-domain path.
+    fn absorb_p_times(
+        &self,
+        acc: &mut RnsPolynomial,
+        d: &RnsPolynomial,
+        basis: &RnsBasis,
+        p_mod_q: &[(u64, u64)],
+    ) {
+        debug_assert_eq!(acc.representation(), Representation::Evaluation);
+        debug_assert_eq!(d.representation(), Representation::Evaluation);
+        let limbs = d.limb_count();
+        let degree = d.degree();
+        fab_par::par_chunks_mut(&mut acc.data_mut()[..limbs * degree], degree, |i, row| {
+            let qi = basis.modulus(i);
+            let (p, p_shoup) = p_mod_q[i];
+            for (x, &dv) in row.iter_mut().zip(d.limb(i)) {
+                *x = qi.add(qi.reduce_2q(*x), qi.mul_shoup(dv, p, p_shoup));
+            }
+        });
     }
 
     // ------------------------------------------------------------------------- internals

@@ -28,10 +28,26 @@
 //! (`fab_rns::kskip`), hoisted rotation batches permute the once-transformed digits in
 //! evaluation domain instead of re-transforming them, and `multiply_rescale` divides by
 //! `P·q_ℓ` in one **fused ModDown+rescale** conversion
-//! ([`CkksContext::mod_down_rescale_plan`]). The [`accounting`] module carries the
-//! closed-form expected NTT counts for every hot operation, asserted against the
-//! `fab_rns::metering` tallies by regression tests; the PR 3 per-digit eager algorithm
-//! survives as [`Evaluator::key_switch_reference`], the timed and bitwise baseline.
+//! ([`CkksContext::mod_down_rescale_plan`]).
+//!
+//! On top of that, the evaluation pipeline is **domain-aware** (PR 5): every polynomial
+//! carries a `fab_rns::Domain` tag, and the evaluator exploits it end-to-end. `multiply`
+//! keeps its tensor products in evaluation form — `d2` enters the key switch through the
+//! **dual-form seam** ([`Evaluator::key_switch`] accepts either domain; an evaluation
+//! operand's rows are reused verbatim as the digits' own raised rows), and `P·d0`/`P·d1`
+//! are absorbed into the KSKIP accumulators before the accumulator inverse, so the PR 4
+//! tensor round-trips disappear. Ciphertexts can be kept **eval-resident**
+//! ([`Evaluator::to_evaluation_form`]): `multiply_plain`/`add`/`sub` chains are then
+//! transform-free per step, and BSGS applies run against the plan's **NTT-cached** diagonal
+//! plaintexts with one inverse pair per giant group
+//! ([`Evaluator::multiply_plain_ntt`]) — zero plaintext forwards after the one-time
+//! per-level warm-up, reused across applies and bootstrap iterations.
+//!
+//! The [`accounting`] module carries the closed-form expected NTT counts for every hot
+//! operation, asserted against the `fab_rns::metering` tallies by regression tests; the
+//! PR 3 eager key switch survives as [`Evaluator::key_switch_reference`] and the PR 4
+//! coefficient-resident pipelines as [`Evaluator::multiply_reference`] /
+//! [`LinearTransform::apply_bsgs_reference`] — the timed and bitwise baselines.
 //!
 //! ```
 //! use fab_ckks::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator,

@@ -21,12 +21,24 @@
 //! level/scale bookkeeping) is unchanged. [`LinearTransform::apply_with`] routes through the
 //! plan automatically when one is attached ([`LinearTransform::with_bsgs_plan`]).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
 use fab_math::{Complex64, SpecialFft};
+use fab_rns::RnsPolynomial;
 
 use crate::backend::{EvalBackend, ExecBackend};
-use crate::{Ciphertext, CkksError, Evaluator, GaloisKeys, Result};
+use crate::{Ciphertext, CkksContext, CkksError, Evaluator, GaloisKeys, Result};
+
+/// Per-transform cache of encoded, pre-rotated, **NTT-form** diagonal plaintexts, keyed by
+/// `(level, baby_step)` and holding, per entry, the exact [`BsgsPlan`] it was filled for plus
+/// one polynomial per `(giant group, baby)` pair in plan iteration order. The stored plan is
+/// compared on every hit — a *different* plan that happens to share the baby step (possible
+/// through the public `apply_bsgs_planned` seam) rebuilds the entry instead of silently
+/// multiplying against the wrong diagonals. Filled on the first application of the transform
+/// at a level; every later application (and every bootstrap iteration reusing the same stage
+/// object) performs zero plaintext forward transforms. Shared across clones of the transform.
+type NttDiagonalCache = Arc<Mutex<HashMap<(usize, usize), Arc<(BsgsPlan, Vec<RnsPolynomial>)>>>>;
 
 /// One giant-step group of a [`BsgsPlan`]: the diagonals `{giant + b : b ∈ babies}` are
 /// accumulated (with pre-rotated plaintexts) and then rotated once by `giant`.
@@ -168,6 +180,8 @@ pub struct LinearTransform {
     slots: usize,
     diagonals: BTreeMap<usize, Vec<Complex64>>,
     plan: Option<BsgsPlan>,
+    /// NTT-form plaintext diagonals, filled per level on first application.
+    ntt_diagonals: NttDiagonalCache,
 }
 
 impl LinearTransform {
@@ -199,6 +213,7 @@ impl LinearTransform {
             slots: n,
             diagonals,
             plan: None,
+            ntt_diagonals: NttDiagonalCache::default(),
         }
     }
 
@@ -217,6 +232,7 @@ impl LinearTransform {
             slots,
             diagonals,
             plan: None,
+            ntt_diagonals: NttDiagonalCache::default(),
         }
     }
 
@@ -228,6 +244,7 @@ impl LinearTransform {
             slots,
             diagonals,
             plan: None,
+            ntt_diagonals: NttDiagonalCache::default(),
         }
     }
 
@@ -288,6 +305,8 @@ impl LinearTransform {
             slots,
             diagonals,
             plan: None,
+            // Tiled diagonals differ from the source transform's: a fresh cache.
+            ntt_diagonals: NttDiagonalCache::default(),
         };
         if self.plan.is_some() {
             out = out.with_bsgs_plan();
@@ -322,13 +341,15 @@ impl LinearTransform {
     }
 
     /// Scales every diagonal entry by a complex constant (used to fold constants like `1/n` or
-    /// `1/2` into a stage instead of spending a ciphertext multiplication on them).
+    /// `1/2` into a stage instead of spending a ciphertext multiplication on them). Any cached
+    /// NTT-form diagonals are invalidated.
     pub fn scale_by(&mut self, factor: Complex64) {
         for diag in self.diagonals.values_mut() {
             for v in diag.iter_mut() {
                 *v *= factor;
             }
         }
+        self.ntt_diagonals = NttDiagonalCache::default();
     }
 
     /// Reference (plaintext) application of the transform.
@@ -376,6 +397,7 @@ impl LinearTransform {
             slots: n,
             diagonals,
             plan: None,
+            ntt_diagonals: NttDiagonalCache::default(),
         }
     }
 
@@ -458,29 +480,136 @@ impl LinearTransform {
         }
     }
 
+    /// Routes the planned application through the backend seam: [`ExecBackend`] overrides
+    /// [`EvalBackend::apply_bsgs_planned`] with the eval-resident NTT-cached execution,
+    /// every other interpreter (and [`Self::apply_bsgs_reference`]) uses the generic
+    /// coefficient-resident control flow — both emit the identical semantic op stream.
     fn apply_planned<B: EvalBackend>(
         &self,
         backend: &B,
         ct: &B::Ct,
         plan: &BsgsPlan,
     ) -> Result<B::Ct> {
-        self.check_applicable(backend, ct)?;
-        if self.diagonals.is_empty() {
-            return Err(CkksError::InvalidInput {
-                reason: "linear transform has no nonzero diagonals".into(),
+        backend.apply_bsgs_planned(self, ct, plan)
+    }
+
+    /// Applies the BSGS schedule through the **PR 4 coefficient-resident path** (one full
+    /// plaintext multiplication round-trip per diagonal, one inverse pair per diagonal),
+    /// regardless of the backend's override. Kept as the timed and **bitwise** baseline for
+    /// the eval-resident execution, exactly like `Evaluator::key_switch_reference` — the
+    /// bench bin reports `linear_transform_bsgs` speedups against this path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::apply_homomorphic`].
+    pub fn apply_bsgs_reference<B: EvalBackend>(&self, backend: &B, ct: &B::Ct) -> Result<B::Ct> {
+        match &self.plan {
+            Some(plan) => apply_planned_generic(self, backend, ct, plan),
+            None => {
+                let plan = BsgsPlan::for_offsets(self.slots, &self.diagonal_offsets());
+                apply_planned_generic(self, backend, ct, &plan)
+            }
+        }
+    }
+
+    /// The eval-resident BSGS execution on real ciphertexts (the [`ExecBackend`] override of
+    /// [`EvalBackend::apply_bsgs_planned`]):
+    ///
+    /// * the distinct baby rotations run as one hoisted batch, then each baby ciphertext is
+    ///   promoted to evaluation form **once** (instead of one round-trip per diagonal it
+    ///   appears in);
+    /// * the per-group inner accumulation multiplies against the plan's **NTT-cached**
+    ///   pre-rotated diagonal plaintexts ([`Evaluator::multiply_plain_ntt`] — zero transforms
+    ///   after the one-time per-level cache fill) and adds entirely in evaluation form;
+    /// * each giant group's partial sum pays **one** inverse pair at the giant-rotation
+    ///   boundary instead of one per diagonal.
+    ///
+    /// The emitted op stream (Rotate/RotateHoisted, MultiplyPlain per diagonal, Adds,
+    /// Rescale) is identical to the generic path's, and the result is bit-for-bit equal to
+    /// [`Self::apply_bsgs_reference`] — the inverse NTT canonicalises, so summing in the
+    /// evaluation domain is invisible after the group inverse.
+    pub(crate) fn apply_planned_exec(
+        &self,
+        evaluator: &Evaluator,
+        keys: &GaloisKeys,
+        ct: &Ciphertext,
+        plan: &BsgsPlan,
+    ) -> Result<Ciphertext> {
+        let ctx = evaluator.context();
+        self.check_applicable_at(ctx, ct.level())?;
+        self.check_has_diagonals()?;
+        let level = ct.level();
+        let prime = ctx.rescale_prime(level) as f64;
+        let cache = self.ntt_diagonal_cache(evaluator, plan, level, prime)?;
+
+        // All baby rotations act on the input ciphertext and share one key-switch
+        // decomposition (hoisting); each distinct baby is then promoted to evaluation form
+        // exactly once for the whole apply.
+        let baby_offsets = plan.baby_offsets();
+        let rotated = evaluator.rotate_hoisted_batch(ct, &baby_offsets, keys)?;
+        let eval_babies: Vec<Ciphertext> = rotated
+            .iter()
+            .map(|c| evaluator.to_evaluation_form(c))
+            .collect::<Result<_>>()?;
+        let by_baby: BTreeMap<usize, &Ciphertext> =
+            baby_offsets.iter().copied().zip(&eval_babies).collect();
+
+        let mut cached = cache.1.iter();
+        let mut acc: Option<Ciphertext> = None;
+        for group in plan.groups() {
+            let mut inner: Option<Ciphertext> = None;
+            for &b in &group.babies {
+                let pt_poly = cached.next().expect("cache covers the plan");
+                let term = evaluator.multiply_plain_ntt(by_baby[&b], pt_poly, prime)?;
+                inner = Some(match inner {
+                    None => term,
+                    Some(prev) => evaluator.add(&prev, &term)?,
+                });
+            }
+            // One inverse pair per giant group: the eval-resident partial sum crosses back
+            // to coefficient form only at its rotation boundary.
+            let inner =
+                evaluator.to_coefficient_form(&inner.expect("plan groups are non-empty"))?;
+            let moved = if group.giant == 0 {
+                inner
+            } else {
+                evaluator.rotate(&inner, group.giant, keys)?
+            };
+            acc = Some(match acc {
+                None => moved,
+                Some(prev) => evaluator.add(&prev, &moved)?,
             });
         }
+        evaluator.rescale(&acc.expect("plan has at least one group"))
+    }
+
+    /// Gets (or fills, on first use at this `(level, baby_step)`) the NTT-form pre-rotated
+    /// diagonal plaintexts for `plan`, in plan iteration order. The fill encodes each
+    /// diagonal exactly as the generic path's `multiply_shifted_slots` would and forward
+    /// transforms it once; the `diagonals·(ℓ+1)` forwards are the `warm` term of
+    /// [`crate::accounting::bsgs_stage_eval`].
+    fn ntt_diagonal_cache(
+        &self,
+        evaluator: &Evaluator,
+        plan: &BsgsPlan,
+        level: usize,
+        prime: f64,
+    ) -> Result<Arc<(BsgsPlan, Vec<RnsPolynomial>)>> {
+        let key = (level, plan.baby_step());
+        let mut guard = self
+            .ntt_diagonals
+            .lock()
+            .expect("NTT diagonal cache poisoned");
+        if let Some(hit) = guard.get(&key) {
+            // The entry is only valid for the exact plan it was filled for.
+            if hit.0 == *plan {
+                return Ok(Arc::clone(hit));
+            }
+        }
         let n = self.slots;
-        let level = backend.level(ct);
-        let prime = backend.ctx().rescale_prime(level) as f64;
-        // All baby rotations act on the input ciphertext and share one key-switch
-        // decomposition (hoisting).
-        let baby_offsets = plan.baby_offsets();
-        let rotated = backend.rotate_batch_hoisted(ct, &baby_offsets)?;
-        let by_baby: BTreeMap<usize, &B::Ct> = baby_offsets.iter().copied().zip(&rotated).collect();
-        let mut acc: Option<B::Ct> = None;
+        let basis = evaluator.context().basis_at_level(level)?;
+        let mut polys = Vec::new();
         for group in plan.groups() {
-            let mut inner: Option<B::Ct> = None;
             for &b in &group.babies {
                 let d = (group.giant + b) % n;
                 let diag = self
@@ -489,37 +618,38 @@ impl LinearTransform {
                     .ok_or_else(|| CkksError::InvalidInput {
                         reason: format!("BSGS plan references missing diagonal {d}"),
                     })?;
-                let source = by_baby[&b];
-                // The diagonal is pre-rotated by -giant so the single giant rotation of the
-                // group sum lands every term on its proper slots; the backend decides whether
-                // the shifted vector needs materialising.
-                let term = backend.multiply_shifted_slots(source, diag, group.giant, prime)?;
-                inner = Some(match inner {
-                    None => term,
-                    Some(prev) => backend.add(&prev, &term)?,
-                });
+                // Pre-rotate by -giant (identically to the generic multiply_shifted_slots),
+                // encode at the level's rescale prime, and transform once.
+                let shift = group.giant;
+                let shifted: Vec<Complex64> = if shift == 0 {
+                    diag.clone()
+                } else {
+                    (0..n).map(|j| diag[(j + n - shift) % n]).collect()
+                };
+                let pt = evaluator.encoder().encode(&shifted, prime, level)?;
+                let mut poly = pt.poly().clone();
+                poly.to_evaluation(&basis);
+                polys.push(poly);
             }
-            let inner = inner.expect("plan groups are non-empty");
-            let moved = if group.giant == 0 {
-                inner
-            } else {
-                backend.rotate(&inner, group.giant)?
-            };
-            acc = Some(match acc {
-                None => moved,
-                Some(prev) => backend.add(&prev, &moved)?,
-            });
         }
-        backend.rescale(&acc.expect("plan has at least one group"))
+        let entry = Arc::new((plan.clone(), polys));
+        guard.insert(key, Arc::clone(&entry));
+        Ok(entry)
     }
 
     fn check_applicable<B: EvalBackend>(&self, backend: &B, ct: &B::Ct) -> Result<()> {
-        if backend.level(ct) == 0 {
+        self.check_applicable_at(backend.ctx(), backend.level(ct))
+    }
+
+    /// The shared entry validation of every application path (generic, shadow and
+    /// eval-resident exec) — one copy, so a future rule cannot guard one interpreter and
+    /// silently skip another.
+    fn check_applicable_at(&self, ctx: &CkksContext, level: usize) -> Result<()> {
+        if level == 0 {
             return Err(CkksError::LevelExhausted {
                 operation: "linear transform",
             });
         }
-        let ctx = backend.ctx();
         if self.slots != ctx.slot_count() {
             return Err(CkksError::InvalidInput {
                 reason: format!(
@@ -531,6 +661,73 @@ impl LinearTransform {
         }
         Ok(())
     }
+
+    /// Shared emptiness check of the BSGS application paths.
+    fn check_has_diagonals(&self) -> Result<()> {
+        if self.diagonals.is_empty() {
+            return Err(CkksError::InvalidInput {
+                reason: "linear transform has no nonzero diagonals".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The backend-generic (coefficient-resident) BSGS control flow — the default body of
+/// [`EvalBackend::apply_bsgs_planned`], shared by the shadow planner, the PR 4 reference
+/// entry ([`LinearTransform::apply_bsgs_reference`]) and any future interpreter. One
+/// plaintext multiplication per diagonal, partial sums accumulated in whatever form the
+/// backend's ops keep them (coefficient, for real ciphertexts), one rotation per nonzero
+/// giant step, one trailing rescale.
+pub(crate) fn apply_planned_generic<B: EvalBackend>(
+    lt: &LinearTransform,
+    backend: &B,
+    ct: &B::Ct,
+    plan: &BsgsPlan,
+) -> Result<B::Ct> {
+    lt.check_applicable(backend, ct)?;
+    lt.check_has_diagonals()?;
+    let n = lt.slots;
+    let level = backend.level(ct);
+    let prime = backend.ctx().rescale_prime(level) as f64;
+    // All baby rotations act on the input ciphertext and share one key-switch
+    // decomposition (hoisting).
+    let baby_offsets = plan.baby_offsets();
+    let rotated = backend.rotate_batch_hoisted(ct, &baby_offsets)?;
+    let by_baby: BTreeMap<usize, &B::Ct> = baby_offsets.iter().copied().zip(&rotated).collect();
+    let mut acc: Option<B::Ct> = None;
+    for group in plan.groups() {
+        let mut inner: Option<B::Ct> = None;
+        for &b in &group.babies {
+            let d = (group.giant + b) % n;
+            let diag = lt
+                .diagonals
+                .get(&d)
+                .ok_or_else(|| CkksError::InvalidInput {
+                    reason: format!("BSGS plan references missing diagonal {d}"),
+                })?;
+            let source = by_baby[&b];
+            // The diagonal is pre-rotated by -giant so the single giant rotation of the
+            // group sum lands every term on its proper slots; the backend decides whether
+            // the shifted vector needs materialising.
+            let term = backend.multiply_shifted_slots(source, diag, group.giant, prime)?;
+            inner = Some(match inner {
+                None => term,
+                Some(prev) => backend.add(&prev, &term)?,
+            });
+        }
+        let inner = inner.expect("plan groups are non-empty");
+        let moved = if group.giant == 0 {
+            inner
+        } else {
+            backend.rotate(&inner, group.giant)?
+        };
+        acc = Some(match acc {
+            None => moved,
+            Some(prev) => backend.add(&prev, &moved)?,
+        });
+    }
+    backend.rescale(&acc.expect("plan has at least one group"))
 }
 
 /// Builds the butterfly-stage factors of the *forward* special FFT (used by SlotToCoeff),
@@ -1036,6 +1233,56 @@ mod tests {
             );
         }
         let _ = Arc::strong_count(&ctx);
+    }
+
+    #[test]
+    fn ntt_cache_is_rebuilt_for_a_different_plan_with_the_same_baby_step() {
+        // The diagonal cache is keyed by (level, baby_step) but validated against the exact
+        // plan: applying the same transform through the public apply_bsgs_planned seam with
+        // a *different* plan sharing the baby step must rebuild the entry, not reuse plan
+        // A's plaintexts for plan B's (group, baby) pairs.
+        let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(61);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let keygen = KeyGenerator::new(ctx.clone(), sk.clone());
+        let pk = keygen.public_key(&mut rng);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone(), pk);
+        let evaluator = crate::Evaluator::new(ctx.clone());
+        let keys = keygen.galois_keys(&[1, 2], false, &mut rng).unwrap();
+
+        let n = ctx.slot_count();
+        let mut diagonals = BTreeMap::new();
+        for d in [0usize, 1, 3] {
+            diagonals.insert(d, random_slots(n, 70 + d as u64));
+        }
+        let lt = LinearTransform::from_diagonals(n, diagonals);
+        // Plan A covers all three diagonals, plan B only two — same baby step of 2.
+        let plan_a = BsgsPlan::with_baby_step(n, &[0, 1, 3], 2);
+        let plan_b = BsgsPlan::with_baby_step(n, &[0, 1], 2);
+        assert_eq!(plan_a.baby_step(), plan_b.baby_step());
+        assert_ne!(plan_a, plan_b);
+
+        let input = random_slots(n, 73);
+        let scale = ctx.params().default_scale();
+        let ct = encryptor
+            .encrypt(&encoder.encode(&input, scale, 3).unwrap(), &mut rng)
+            .unwrap();
+        let backend = ExecBackend::new(&evaluator, None, Some(&keys));
+        // Fill the cache with plan A, then apply plan B through the same seam.
+        let _warm = backend.apply_bsgs_planned(&lt, &ct, &plan_a).unwrap();
+        let b_exec = backend.apply_bsgs_planned(&lt, &ct, &plan_b).unwrap();
+        let b_reference = apply_planned_generic(&lt, &backend, &ct, &plan_b).unwrap();
+        assert_eq!(
+            b_exec.c0(),
+            b_reference.c0(),
+            "stale cache reused for plan B"
+        );
+        assert_eq!(
+            b_exec.c1(),
+            b_reference.c1(),
+            "stale cache reused for plan B"
+        );
     }
 
     #[test]

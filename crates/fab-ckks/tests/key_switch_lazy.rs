@@ -1,4 +1,5 @@
-//! Pins the u128 lazy key-switch pipeline (`Evaluator::key_switch`) **bitwise** against the
+//! Pins the u128 lazy key-switch pipeline (`Evaluator::key_switch`) — through **both** its
+//! coefficient and its dual-form (evaluation-operand) entries — **bitwise** against the
 //! PR 3 per-digit eager reference (`Evaluator::key_switch_reference`) across random
 //! `(N, L, dnum)` configurations, and pins the digit-parallel fan-out's determinism across
 //! `FAB_THREADS` sweeps.
@@ -73,31 +74,56 @@ proptest! {
                 &lazy.1, &eager.1,
                 "k1 diverged at log_n={} level={} dnum={}", log_n, level, dnum
             );
+            // The dual-form entry — the same operand handed over in evaluation form — must
+            // also be bitwise identical: the digits' own raised rows are reused in the lazy
+            // [0, q) domain instead of the [0, 4q) forward output, and the canonicalising
+            // accumulator inverse makes the representative difference invisible.
+            let mut d_eval = d.clone();
+            d_eval.to_evaluation(&basis);
+            let dual = evaluator
+                .key_switch(&d_eval, &rlk.key, level)
+                .expect("dual-form");
+            prop_assert_eq!(
+                &dual.0, &eager.0,
+                "dual-form k0 diverged at log_n={} level={} dnum={}", log_n, level, dnum
+            );
+            prop_assert_eq!(
+                &dual.1, &eager.1,
+                "dual-form k1 diverged at log_n={} level={} dnum={}", log_n, level, dnum
+            );
         }
     }
 }
 
 #[test]
-fn lazy_key_switch_rejects_malformed_operands_like_the_reference() {
-    // The lazy pipeline must keep the eager path's input validation: an evaluation-form or
-    // short operand errors instead of silently producing a garbage key-switch pair.
+fn dual_form_entry_accepts_evaluation_operands_and_malformed_shapes_still_fail() {
+    // The domain tag selects the seam: an evaluation-form operand enters the dual-form
+    // pipeline (and must match the coefficient entry bitwise — its ℓ+1 rows skip the
+    // inverse+forward round-trip the PR 4 seam paid), while the PR 3 reference keeps
+    // rejecting it and shape errors keep failing loudly on every path.
     let (ctx, evaluator, rlk, mut rng) = setup(8, 4, 2, 7);
     let level = ctx.params().max_level;
     let basis = ctx.basis_at_level(level).expect("basis");
     let mut d = fab_ckks::sampling::sample_uniform(&mut rng, &basis);
+    let from_coeff = evaluator.key_switch(&d, &rlk.key, level).expect("coeff");
 
-    // Evaluation representation is rejected by both paths.
+    // Evaluation representation: dual-form entry, bitwise equal; the eager reference is
+    // coefficient-only by construction and still rejects it.
     d.to_evaluation(&basis);
-    assert!(evaluator.key_switch(&d, &rlk.key, level).is_err());
+    let from_eval = evaluator.key_switch(&d, &rlk.key, level).expect("dual");
+    assert_eq!(from_eval, from_coeff, "dual-form seam diverged");
     assert!(evaluator.key_switch_reference(&d, &rlk.key, level).is_err());
     d.to_coefficient(&basis);
 
-    // Too few limbs for the requested level is rejected by both paths.
+    // Too few limbs for the requested level is rejected by both paths and both forms.
     let short = d.prefix(level).expect("prefix");
     assert!(evaluator.key_switch(&short, &rlk.key, level).is_err());
     assert!(evaluator
         .key_switch_reference(&short, &rlk.key, level)
         .is_err());
+    let mut short_eval = short.clone();
+    short_eval.to_evaluation(&basis);
+    assert!(evaluator.key_switch(&short_eval, &rlk.key, level).is_err());
 
     // The well-formed operand still succeeds.
     assert!(evaluator.key_switch(&d, &rlk.key, level).is_ok());

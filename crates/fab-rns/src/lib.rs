@@ -9,7 +9,10 @@
 //!
 //! * [`RnsBasis`] — an ordered set of NTT-enabled limb moduli,
 //! * [`RnsPolynomial`] — a limb-major polynomial in **one flat contiguous allocation**
-//!   (limb `i` at `data[i·N .. (i+1)·N]`) with explicit representation tracking,
+//!   (limb `i` at `data[i·N .. (i+1)·N]`) with an explicit per-polynomial [`Domain`] tag
+//!   (coefficient vs evaluation), maintained by the transform entry points and checked by
+//!   the kernels — domain bugs fail loudly, and domain-resident callers skip transforms
+//!   whose input already matches,
 //! * [`BasisConverter`] — the approximate RNS basis conversion of Equation (1), operating on
 //!   the flat layout with construction-time Shoup constants and lazy `[0, 2q)` accumulation,
 //! * [`ops`] — the ModUp / ModDown / Rescale / Decomp kernels used by hybrid key switching,
@@ -52,7 +55,7 @@ mod poly;
 pub use basis::RnsBasis;
 pub use convert::{crt_recombine_u128, BasisConverter};
 pub use error::RnsError;
-pub use poly::{Representation, RnsPolynomial};
+pub use poly::{Domain, Representation, RnsPolynomial};
 
 /// Result alias used throughout the RNS crate.
 pub type Result<T> = std::result::Result<T, RnsError>;

@@ -26,6 +26,20 @@ impl std::fmt::Display for Representation {
     }
 }
 
+/// The polynomial **domain** — the paper's coefficient-domain / evaluation-domain vocabulary
+/// for [`Representation`].
+///
+/// Every [`RnsPolynomial`] carries this tag: it is maintained by
+/// [`RnsPolynomial::to_evaluation`] / [`RnsPolynomial::to_coefficient`] (both no-ops when the
+/// polynomial is already in the requested domain, which is what makes domain-resident
+/// pipelines free to express), and checked by the arithmetic and key-switch kernels — a
+/// pointwise product of coefficient-domain operands or a basis conversion of evaluation-domain
+/// rows is rejected with [`RnsError::WrongRepresentation`] instead of silently producing
+/// garbage. Downstream crates exploit the tag to skip transforms whenever a producer's output
+/// domain already matches the consumer's input domain (the dual-form key-switch seam and the
+/// eval-resident BSGS accumulation in `fab-ckks`).
+pub type Domain = Representation;
+
 /// An RNS polynomial stored as **one flat, contiguous `Vec<u64>`** in limb-major order: limb
 /// `i` occupies `data[i·N .. (i+1)·N]` (the row-major ciphertext view of Section 2.1.1).
 ///
@@ -141,6 +155,22 @@ impl RnsPolynomial {
     /// Current representation.
     pub fn representation(&self) -> Representation {
         self.representation
+    }
+
+    /// The polynomial's current [`Domain`] (the paper-vocabulary name for
+    /// [`RnsPolynomial::representation`] — same tag, domain-aware callers read this one).
+    pub fn domain(&self) -> Domain {
+        self.representation
+    }
+
+    /// `true` when the polynomial is in evaluation (NTT) domain.
+    pub fn is_evaluation(&self) -> bool {
+        self.representation == Representation::Evaluation
+    }
+
+    /// `true` when the polynomial is in coefficient domain.
+    pub fn is_coefficient(&self) -> bool {
+        self.representation == Representation::Coefficient
     }
 
     /// Reinterprets the stored data as the given representation without transforming it.

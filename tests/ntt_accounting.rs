@@ -3,8 +3,21 @@
 //! `fab_ckks::accounting` — verified operation counts instead of trusted timings (the
 //! hardware-counter discipline). A future change that silently adds transforms to
 //! `multiply`, the hoisted rotation batch, or a bootstrap CoeffToSlot stage fails here.
+//!
+//! The PR 5 rows pin the domain-aware pipeline:
+//!
+//! * the dual-form key switch (evaluation operand) performs exactly `ℓ+1` fewer forwards
+//!   than the coefficient entry;
+//! * `multiply` beats the retained PR 4 formula by exactly `ℓ+1` forwards **and** `2·(ℓ+1)`
+//!   inverses (the issue's `ℓ+1`-inverse target, overdelivered: the evaluation-domain `P·d`
+//!   absorption removes both `d0` and `d1` inverses);
+//! * `multiply_plain` is pinned in both domains (the coefficient path had no assertion
+//!   before);
+//! * the eval-resident BSGS stage matches its warm/steady formulas, and after warm-up
+//!   performs **zero plaintext forward transforms**.
 
 use fab::ckks::accounting::{self, NttMeter};
+use fab::ckks::backend::ExecBackend;
 use fab::ckks::linear_transform::coeff_to_slot_stages;
 use fab::prelude::*;
 use fab::rns::metering;
@@ -47,11 +60,11 @@ fn multiply_and_key_switch_match_the_closed_form_minimum() {
         .unwrap();
     let (limbs, special, alpha) = shape(&ctx, level);
 
-    // Raw key switch.
+    // Raw key switch, coefficient entry.
     let basis = ctx.basis_at_level(level).unwrap();
     let d = fab::ckks::sampling::sample_uniform(&mut rng, &basis);
     let before = metering::counts();
-    evaluator.key_switch(&d, &rlk.key, level).unwrap();
+    let from_coeff = evaluator.key_switch(&d, &rlk.key, level).unwrap();
     let observed = metering::counts().since(&before);
     assert_eq!(
         observed,
@@ -59,15 +72,55 @@ fn multiply_and_key_switch_match_the_closed_form_minimum() {
         "key_switch transform count drifted from the closed-form minimum"
     );
 
-    // Ciphertext multiplication (tensor + relinearisation).
+    // Dual-form entry: the same operand in evaluation form skips the lift forwards of its
+    // own rows (exactly `limbs` fewer forwards) and pays `limbs` conversion inverses —
+    // bitwise-identical output.
+    let mut d_eval = d.clone();
+    d_eval.to_evaluation(&basis);
     let before = metering::counts();
-    evaluator.multiply(&ct_a, &ct_b, &rlk).unwrap();
+    let from_eval = evaluator.key_switch(&d_eval, &rlk.key, level).unwrap();
+    let observed_dual = metering::counts().since(&before);
+    assert_eq!(
+        observed_dual,
+        accounting::key_switch_dual(limbs, special, alpha),
+        "dual-form key_switch transform count drifted"
+    );
+    assert_eq!(
+        observed.forward - observed_dual.forward,
+        limbs as u64,
+        "dual-form seam must save exactly ℓ+1 forwards"
+    );
+    assert_eq!(
+        from_eval, from_coeff,
+        "dual-form key switch diverged bitwise"
+    );
+
+    // Ciphertext multiplication (tensor + relinearisation) through the dual-form pipeline.
+    let before = metering::counts();
+    let product = evaluator.multiply(&ct_a, &ct_b, &rlk).unwrap();
     let observed = metering::counts().since(&before);
     assert_eq!(
         observed,
         accounting::multiply(limbs, special, alpha),
         "multiply transform count drifted"
     );
+
+    // The retained PR 4 reference path matches the PR 4 formula and the new pipeline beats
+    // it by exactly ℓ+1 forwards and 2·(ℓ+1) inverses — the ROADMAP dual-form lever (the
+    // eval-domain P·d absorption removes both d0's and d1's inverses, overdelivering on the
+    // ℓ+1-inverse target) — while staying bitwise identical.
+    let before = metering::counts();
+    let reference = evaluator.multiply_reference(&ct_a, &ct_b, &rlk).unwrap();
+    let observed_pr4 = metering::counts().since(&before);
+    assert_eq!(
+        observed_pr4,
+        accounting::multiply_pr4(limbs, special, alpha),
+        "PR 4 reference multiply transform count drifted"
+    );
+    assert_eq!(observed_pr4.forward - observed.forward, limbs as u64);
+    assert_eq!(observed_pr4.inverse - observed.inverse, 2 * limbs as u64);
+    assert_eq!(product.c0(), reference.c0(), "multiply c0 diverged bitwise");
+    assert_eq!(product.c1(), reference.c1(), "multiply c1 diverged bitwise");
 
     // The fused multiply_rescale performs exactly the same transforms (the fusion saves
     // conversion work, never transforms) — and the NttMeter surfaces the count as an
@@ -81,6 +134,54 @@ fn multiply_and_key_switch_match_the_closed_form_minimum() {
         sink.snapshot().counts().ntt,
         accounting::multiply(limbs, special, alpha).total()
     );
+}
+
+#[test]
+fn multiply_plain_matches_its_formula_in_both_domains() {
+    // Coefficient path: pt + both parts forward, both parts back. Evaluation path: the
+    // domain tag skips the ciphertext round-trip entirely — only the plaintext transforms —
+    // and converting the eval product back equals the coefficient product bitwise.
+    let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
+    let mut rng = ChaCha20Rng::seed_from_u64(505);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let keygen = KeyGenerator::new(ctx.clone(), sk);
+    let pk = keygen.public_key(&mut rng);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone(), pk);
+    let evaluator = Evaluator::new(ctx.clone());
+    let scale = ctx.params().default_scale();
+    let values: Vec<f64> = (0..16).map(|i| (i as f64 * 0.4).sin()).collect();
+    let level = 3;
+    let limbs = level + 1;
+    let ct = encryptor
+        .encrypt(
+            &encoder.encode_real(&values, scale, level).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    let pt = encoder.encode_real(&values, scale, level).unwrap();
+
+    let before = metering::counts();
+    let coeff_product = evaluator.multiply_plain(&ct, &pt).unwrap();
+    let observed = metering::counts().since(&before);
+    assert_eq!(
+        observed,
+        accounting::multiply_plain(limbs),
+        "coefficient multiply_plain transform count drifted"
+    );
+
+    let ct_eval = evaluator.to_evaluation_form(&ct).unwrap();
+    let before = metering::counts();
+    let eval_product = evaluator.multiply_plain(&ct_eval, &pt).unwrap();
+    let observed = metering::counts().since(&before);
+    assert_eq!(
+        observed,
+        accounting::multiply_plain_eval(limbs),
+        "eval-resident multiply_plain transform count drifted"
+    );
+    let back = evaluator.to_coefficient_form(&eval_product).unwrap();
+    assert_eq!(back.c0(), coeff_product.c0());
+    assert_eq!(back.c1(), coeff_product.c1());
 }
 
 #[test]
@@ -135,8 +236,10 @@ fn hoisted_rotation_batch_shares_one_forward_sweep() {
 #[test]
 fn bootstrap_coeff_to_slot_stage_matches_its_bsgs_formula() {
     // One CoeffToSlot stage of the bootstrap pipeline (grouped inverse-FFT factor with its
-    // rotation-minimising BSGS plan), applied homomorphically: the observed transforms must
-    // equal the per-stage closed form — hoisted babies + d·multiply_plain + giants.
+    // rotation-minimising BSGS plan), applied homomorphically through the eval-resident
+    // path: the first application pays the one-time NTT-diagonal cache fill (`warm`), every
+    // later application performs zero plaintext forward transforms, and the retained PR 4
+    // coefficient-resident path still matches its own formula bitwise-identically.
     let ctx = CkksContext::new_arc(CkksParams::testing()).unwrap();
     let mut rng = ChaCha20Rng::seed_from_u64(77);
     let sk = SecretKey::generate(&ctx, &mut rng);
@@ -168,16 +271,52 @@ fn bootstrap_coeff_to_slot_stage_matches_its_bsgs_formula() {
         )
         .unwrap();
     let (limbs, special, alpha) = shape(&ctx, level);
+    let diagonals = stage.diagonal_count();
 
+    // Warm-up application: eval-resident counts plus the one-time cache fill.
     let before = metering::counts();
-    stage.apply_homomorphic(&evaluator, &ct, &keys).unwrap();
+    let warm_out = stage.apply_homomorphic(&evaluator, &ct, &keys).unwrap();
+    let warm = metering::counts().since(&before);
+    assert_eq!(
+        warm,
+        accounting::bsgs_stage_eval(limbs, special, alpha, &plan, diagonals, true),
+        "warm CoeffToSlot stage transform count drifted (babies={}, giants={}, diagonals={})",
+        plan.baby_rotation_count(),
+        plan.giant_rotation_count(),
+        diagonals
+    );
+
+    // Steady-state application: zero plaintext forwards — the warm/steady difference is
+    // exactly the diagonal cache fill, and nothing else.
+    let before = metering::counts();
+    let steady_out = stage.apply_homomorphic(&evaluator, &ct, &keys).unwrap();
+    let steady = metering::counts().since(&before);
+    assert_eq!(
+        steady,
+        accounting::bsgs_stage_eval(limbs, special, alpha, &plan, diagonals, false),
+        "steady CoeffToSlot stage transform count drifted"
+    );
+    assert_eq!(
+        warm.forward - steady.forward,
+        (diagonals * limbs) as u64,
+        "warm-up must charge exactly the plaintext cache fill"
+    );
+    assert_eq!(warm.inverse, steady.inverse);
+    assert_eq!(warm_out.c0(), steady_out.c0(), "cache changed the result");
+
+    // The PR 4 coefficient-resident reference still matches its own (larger) formula and
+    // the same bits.
+    let backend = ExecBackend::new(&evaluator, None, Some(&keys));
+    let before = metering::counts();
+    let reference = stage.apply_bsgs_reference(&backend, &ct).unwrap();
     let observed = metering::counts().since(&before);
     assert_eq!(
         observed,
-        accounting::bsgs_stage(limbs, special, alpha, &plan, stage.diagonal_count()),
-        "CoeffToSlot stage transform count drifted (babies={}, giants={}, diagonals={})",
-        plan.baby_rotation_count(),
-        plan.giant_rotation_count(),
-        stage.diagonal_count()
+        accounting::bsgs_stage(limbs, special, alpha, &plan, diagonals),
+        "PR 4 reference BSGS stage transform count drifted"
     );
+    assert!(steady.forward < observed.forward);
+    assert!(steady.inverse < observed.inverse);
+    assert_eq!(reference.c0(), steady_out.c0(), "BSGS paths diverged (c0)");
+    assert_eq!(reference.c1(), steady_out.c1(), "BSGS paths diverged (c1)");
 }
