@@ -13,9 +13,10 @@
 //! `fab_ckks::accounting` (formula + assertion before optimisation claim — the PR 4 rule).
 //!
 //! Thread-sweep rows are only meaningful on a multi-core machine: when the container reports
-//! a single core, every `threads > 1` row is flagged `"untrusted_scaling": true` in the JSON
-//! and a loud warning is printed, so a BENCH file recorded on a 1-core box cannot be misread
-//! as a scaling result.
+//! a single core, the JSON carries a single top-level `"untrusted_scaling": true` field and
+//! one loud warning is printed (via [`fab_bench::warn_untrusted_scaling`], shared with the
+//! serving bench), so a BENCH file recorded on a 1-core box cannot be misread as a scaling
+//! result.
 //!
 //! Modes:
 //!
@@ -74,9 +75,6 @@ struct Record {
     speedup: Option<f64>,
     /// Observed single-limb NTT transforms per op (forward, inverse), where metered.
     ntt_counts: Option<(u64, u64)>,
-    /// `true` on thread-sweep rows recorded on a single-core container: the timing is real
-    /// but the scaling conclusion is not (no parallel hardware was exercised).
-    untrusted_scaling: bool,
     note: &'static str,
 }
 
@@ -150,7 +148,6 @@ fn ntt_records(log_n: usize, iters: usize, records: &mut Vec<Record>) {
         baseline_ns_per_op: Some(fwd_eager),
         speedup: Some(fwd_eager / fwd_lazy),
         ntt_counts: Some((1, 0)),
-        untrusted_scaling: false,
         note: "lazy-reduction Harvey vs eager seed reference, 54-bit prime",
     });
     records.push(Record {
@@ -162,7 +159,6 @@ fn ntt_records(log_n: usize, iters: usize, records: &mut Vec<Record>) {
         baseline_ns_per_op: Some(inv_eager),
         speedup: Some(inv_eager / inv_lazy),
         ntt_counts: Some((0, 1)),
-        untrusted_scaling: false,
         note: "lazy + fused N^-1 vs eager seed reference, 54-bit prime",
     });
 }
@@ -187,7 +183,7 @@ fn key_switch_records(
     let basis = ctx.basis_at_level(level).expect("basis");
     let d = fab_ckks::sampling::sample_uniform(&mut rng, &basis);
 
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let cores = fab_bench::available_cores();
     let mut sweep = vec![1usize, 2];
     if cores > 2 {
         sweep.push(cores);
@@ -243,7 +239,6 @@ fn key_switch_records(
         baseline_ns_per_op: None,
         speedup: None,
         ntt_counts: Some((expected.forward, expected.inverse)),
-        untrusted_scaling: false,
         note: "PR 3 algorithm: per-digit sequential ModUp->NTT->eager KSKIP->ModDown",
     });
 
@@ -277,7 +272,6 @@ fn key_switch_records(
             baseline_ns_per_op: Some(baseline_ns),
             speedup: Some(baseline_ns / ns),
             ntt_counts: Some((expected.forward, expected.inverse)),
-            untrusted_scaling: threads > 1 && cores == 1,
             note: "u128 lazy KSKIP, batched digit-parallel ModUp+NTT, vs PR 3 reference",
         });
     }
@@ -409,7 +403,6 @@ fn multiply_records(
         baseline_ns_per_op: Some(baseline_ns),
         speedup: Some(baseline_ns / ns),
         ntt_counts: Some((observed.forward, observed.inverse)),
-        untrusted_scaling: false,
         note: "dual-form key switch + eval-domain P*d absorption vs PR 4 coefficient path",
     });
 
@@ -502,7 +495,6 @@ fn multiply_rescale_records(params: CkksParams, iters: usize, records: &mut Vec<
         baseline_ns_per_op: Some(two_step_ns),
         speedup: Some(two_step_ns / fused_ns),
         ntt_counts: Some((observed.forward, observed.inverse)),
-        untrusted_scaling: false,
         note: "fused ModDown+rescale (one conversion) vs multiply-then-rescale",
     });
 }
@@ -647,7 +639,6 @@ fn linear_transform_records(
         baseline_ns_per_op: Some(baseline_ns),
         speedup: Some(baseline_ns / ns),
         ntt_counts: Some((steady.forward, steady.inverse)),
-        untrusted_scaling: false,
         note: "eval-resident BSGS (NTT-cached diagonals, one inverse pair per giant group) vs PR 4 per-diagonal path",
     });
 
@@ -675,22 +666,19 @@ fn linear_transform_records(
     )
 }
 
-fn render_json(mode: &str, cores: usize, records: &[Record]) -> String {
+fn render_json(mode: &str, cores: usize, untrusted_scaling: bool, records: &[Record]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"source\": \"fab-bench kernels bin (PR 5)\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"cores_available\": {cores},");
+    // One top-level flag instead of a repeated per-row field: either the whole file was
+    // recorded on parallel hardware or none of it was.
+    let _ = writeln!(out, "  \"untrusted_scaling\": {untrusted_scaling},");
     let _ = writeln!(
         out,
         "  \"baseline\": \"key_switch vs key_switch_reference (PR 3 eager), multiply_dual vs multiply_reference (PR 4 coefficient-resident), linear_transform_bsgs vs apply_bsgs_reference (PR 4 per-diagonal); all pairs asserted bitwise equal\","
     );
-    if cores == 1 {
-        let _ = writeln!(
-            out,
-            "  \"scaling_warning\": \"recorded on a 1-core container: thread-sweep rows carry untrusted_scaling=true and measure oversubscription, not parallel speedup\","
-        );
-    }
     out.push_str("  \"kernels\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str("    {");
@@ -707,9 +695,6 @@ fn render_json(mode: &str, cores: usize, records: &[Record]) -> String {
         }
         if let Some((fwd, inv)) = r.ntt_counts {
             let _ = write!(out, ", \"ntt_forward\": {fwd}, \"ntt_inverse\": {inv}");
-        }
-        if r.untrusted_scaling {
-            let _ = write!(out, ", \"untrusted_scaling\": true");
         }
         let _ = write!(out, ", \"note\": \"{}\"", r.note);
         out.push_str(if i + 1 == records.len() {
@@ -737,15 +722,8 @@ fn main() {
                 "BENCH_pr5.json".to_string()
             }
         });
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    if cores == 1 {
-        eprintln!(
-            "WARNING: this container reports 1 available core. Thread-sweep rows will be \
-             flagged \"untrusted_scaling\": true — they measure oversubscription on a single \
-             core, NOT parallel scaling. Rerun on a multi-core machine for trustworthy \
-             scaling curves."
-        );
-    }
+    let cores = fab_bench::available_cores();
+    let untrusted_scaling = fab_bench::warn_untrusted_scaling("Thread-sweep rows");
 
     let (ks_floor, mul_floor, bsgs_floor) = if quick {
         (
@@ -815,7 +793,12 @@ fn main() {
         "eval-resident BSGS apply is only {bsgs_speedup:.2}x the PR 4 path (floor {bsgs_floor})"
     );
 
-    let json = render_json(if quick { "quick" } else { "full" }, cores, &records);
+    let json = render_json(
+        if quick { "quick" } else { "full" },
+        cores,
+        untrusted_scaling,
+        &records,
+    );
     print!("{json}");
     if let Some(parent) = std::path::Path::new(&out_path).parent() {
         if !parent.as_os_str().is_empty() {

@@ -1,0 +1,411 @@
+//! Multi-tenant serving benchmark: key-cache hit rate and end-to-end tail latency versus
+//! tenant count and cache budget, written to a machine-readable `BENCH_pr6.json`.
+//!
+//! A fixed, seeded request stream (interleaved tenants, repeated small programs drawing
+//! rotations from a shared working set) is served by [`fab_serve::FabServer`] at three cache
+//! budgets — 25%, 50% and 100% of the tenant mix's total serialized key bytes — with
+//! trace-driven prefetch on and off. Before any number is reported, the outputs of every
+//! budget/prefetch configuration are asserted **bitwise equal** to the generous-cache
+//! reference: cache state may only move latency, never a ciphertext bit (the same gate the
+//! `fab-serve` proptests enforce per op).
+//!
+//! The identical request stream is also priced on the accelerator model: FAB-1 (one Alveo
+//! U280) via [`fab_core::OpCostModel::cost_trace`] over the aggregated planned trace, and
+//! FAB-2 (two boards, request-parallel, CMAC broadcast per request input) via
+//! [`fab_core::MultiFpgaSystem`] — the serving-throughput comparison of the paper's
+//! multi-FPGA section, driven by the exact op stream the software server executed.
+//!
+//! Latency percentiles recorded on a single-core container carry scheduler noise; the shared
+//! [`fab_bench::warn_untrusted_scaling`] helper flags the whole file once at the top level.
+//!
+//! Usage: `cargo run --release -p fab-bench --bin serving [-- --quick] [--out PATH]`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use fab_ckks::{
+    key_set_bytes, Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, Evaluator, GaloisKeys,
+    KeyGenerator, RelinearizationKey, SecretKey,
+};
+use fab_core::{
+    CommunicationModel, FabConfig, MultiFpgaSystem, OpCost, OpCostModel, ParallelWorkload,
+};
+use fab_serve::{CacheStats, FabServer, Program, Request, ServerConfig, TenantId};
+use fab_trace::OpTrace;
+
+/// Rotation working set every tenant holds keys for (plus conjugation and relin).
+const ROTATIONS: [usize; 2] = [1, 3];
+/// Minimum demand hit rate at the full budget with prefetch on — the CI gate.
+const HIT_RATE_FLOOR: f64 = 0.8;
+
+struct TenantMaterial {
+    rlk: RelinearizationKey,
+    keys: GaloisKeys,
+    input: Ciphertext,
+}
+
+fn make_tenants(ctx: &Arc<CkksContext>, count: usize) -> Vec<TenantMaterial> {
+    (0..count)
+        .map(|t| {
+            let mut rng = ChaCha20Rng::seed_from_u64(0xFAB0 + t as u64);
+            let sk = SecretKey::generate(ctx, &mut rng);
+            let keygen = KeyGenerator::new(ctx.clone(), sk);
+            let pk = keygen.public_key(&mut rng);
+            let rlk = keygen.relinearization_key(&mut rng);
+            let keys = keygen
+                .galois_keys(&ROTATIONS, true, &mut rng)
+                .expect("galois keys");
+            let encoder = Encoder::new(ctx.clone());
+            let encryptor = Encryptor::new(ctx.clone(), pk);
+            let scale = ctx.params().default_scale();
+            let values: Vec<f64> = (0..ctx.slot_count())
+                .map(|i| ((i + t) as f64 * 0.19).sin())
+                .collect();
+            let pt = encoder
+                .encode_real(&values, scale, ctx.params().max_level)
+                .expect("encode");
+            let input = encryptor.encrypt(&pt, &mut rng).expect("encrypt");
+            TenantMaterial { rlk, keys, input }
+        })
+        .collect()
+}
+
+/// The fixed request stream for a tenant mix: `rounds` rounds of one request per tenant,
+/// interleaved, with a seeded per-round program shared by all tenants (the repeated-workload
+/// pattern a key cache exists for).
+fn request_stream(tenants: &[TenantMaterial], rounds: u64, ops_per_request: usize) -> Vec<Request> {
+    let mut stream = Vec::new();
+    for round in 0..rounds {
+        for (t, tenant) in tenants.iter().enumerate() {
+            stream.push(Request {
+                tenant: TenantId(t as u32),
+                program: Program::random(11 + round, ops_per_request, &ROTATIONS),
+                input: tenant.input.clone(),
+            });
+        }
+    }
+    stream
+}
+
+struct ConfigResult {
+    tenants: usize,
+    budget_bytes: usize,
+    budget_fraction: f64,
+    prefetch: bool,
+    stats: CacheStats,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    mean_us: f64,
+    requests: usize,
+    outputs: Vec<Ciphertext>,
+}
+
+fn run_config(
+    ctx: &Arc<CkksContext>,
+    tenants: &[TenantMaterial],
+    budget_bytes: usize,
+    budget_fraction: f64,
+    prefetch: bool,
+    rounds: u64,
+    ops_per_request: usize,
+) -> ConfigResult {
+    let mut server = FabServer::new(
+        Evaluator::new(ctx.clone()),
+        ServerConfig {
+            cache_budget_bytes: budget_bytes,
+            prefetch,
+            lookahead: 2 + ROTATIONS.len(),
+        },
+    );
+    for (t, tenant) in tenants.iter().enumerate() {
+        server.register_tenant(TenantId(t as u32), &tenant.rlk, &tenant.keys);
+    }
+    for request in request_stream(tenants, rounds, ops_per_request) {
+        server.submit(request);
+    }
+    let served = server.run().expect("serve request stream");
+    let histogram = server.histogram();
+    ConfigResult {
+        tenants: tenants.len(),
+        budget_bytes,
+        budget_fraction,
+        prefetch,
+        stats: server.cache_stats(),
+        p50_us: histogram.p50().expect("non-empty run"),
+        p95_us: histogram.p95().expect("non-empty run"),
+        p99_us: histogram.p99().expect("non-empty run"),
+        mean_us: histogram.mean_us().expect("non-empty run"),
+        requests: served.len(),
+        outputs: served.into_iter().map(|s| s.output).collect(),
+    }
+}
+
+/// FAB-1 / FAB-2 pricing of the whole request stream from its aggregated planned trace.
+struct Pricing {
+    ops: usize,
+    fab1_ms: f64,
+    fab2_ms: f64,
+    fab2_speedup: f64,
+}
+
+fn price_stream(
+    ctx: &Arc<CkksContext>,
+    tenants: &[TenantMaterial],
+    rounds: u64,
+    ops: usize,
+) -> Pricing {
+    let params = ctx.params().clone();
+    let start_level = params.max_level;
+    let scale = params.default_scale();
+    let mut aggregate = OpTrace::new("serving stream");
+    for request in request_stream(tenants, rounds, ops) {
+        let trace = request
+            .program
+            .plan(ctx, start_level, scale, "request")
+            .expect("plan request");
+        aggregate.ops.extend(trace.ops);
+    }
+
+    let config = FabConfig::alveo_u280();
+    let model = OpCostModel::new(config.clone(), params.clone());
+    let stream_cost = model.cost_trace(&aggregate);
+    let fab1_ms = stream_cost.time_ms(&config);
+
+    // FAB-2: requests are independent, so the stream is fully request-parallel across two
+    // boards; each request pays one CMAC broadcast of its input ciphertext (2 polynomials of
+    // `L+1` limbs) to reach its board.
+    let system = MultiFpgaSystem::new(config.clone(), 2);
+    let workload = ParallelWorkload {
+        parallel: stream_cost,
+        serial: OpCost::default(),
+    };
+    let limb_bytes = params.degree() * 8;
+    let request_count = tenants.len() as f64 * rounds as f64;
+    let comm_ms = CommunicationModel::new(&config).broadcast_ms(
+        2 * (params.max_level + 1),
+        limb_bytes,
+        system.num_fpgas(),
+    ) * request_count;
+    let fab2_ms = system.execute_ms(&workload, comm_ms);
+    Pricing {
+        ops: aggregate.ops.len(),
+        fab1_ms,
+        fab2_ms,
+        fab2_speedup: system.speedup_over_single(&workload, comm_ms),
+    }
+}
+
+fn assert_bitwise_equal_outputs(reference: &[Ciphertext], other: &ConfigResult) {
+    assert_eq!(reference.len(), other.outputs.len());
+    for (r, o) in reference.iter().zip(&other.outputs) {
+        assert_eq!(
+            r.c0(),
+            o.c0(),
+            "output diverged at budget {} (prefetch {}) — cache state changed a ciphertext",
+            other.budget_bytes,
+            other.prefetch
+        );
+        assert_eq!(
+            r.c1(),
+            o.c1(),
+            "c1 diverged at budget {}",
+            other.budget_bytes
+        );
+    }
+}
+
+fn render_json(
+    mode: &str,
+    cores: usize,
+    untrusted_scaling: bool,
+    params: &CkksParams,
+    per_set_bytes: usize,
+    results: &[ConfigResult],
+    pricing: &Pricing,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"source\": \"fab-bench serving bin (PR 6)\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"cores_available\": {cores},");
+    let _ = writeln!(out, "  \"untrusted_scaling\": {untrusted_scaling},");
+    let _ = writeln!(
+        out,
+        "  \"params\": {{\"log_n\": {}, \"max_level\": {}, \"dnum\": {}}},",
+        params.degree().trailing_zeros(),
+        params.max_level,
+        params.dnum
+    );
+    let _ = writeln!(out, "  \"key_set_bytes_per_tenant\": {per_set_bytes},");
+    let _ = writeln!(
+        out,
+        "  \"bitwise_gate\": \"every configuration's outputs asserted bitwise equal to the full-budget reference before reporting\","
+    );
+    out.push_str("  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"tenants\": {}, \"budget_bytes\": {}, \"budget_fraction\": {:.2}, \"prefetch\": {}, \"requests\": {}",
+            r.tenants, r.budget_bytes, r.budget_fraction, r.prefetch, r.requests
+        );
+        let _ = write!(
+            out,
+            ", \"hit_rate\": {:.3}, \"hits\": {}, \"misses\": {}, \"prefetch_hits\": {}, \"evictions\": {}, \"uncached_fetches\": {}, \"key_bytes_fetched\": {}",
+            r.stats.hit_rate(),
+            r.stats.hits,
+            r.stats.misses,
+            r.stats.prefetch_hits,
+            r.stats.evictions,
+            r.stats.uncached_fetches,
+            r.stats.bytes_fetched
+        );
+        let _ = write!(
+            out,
+            ", \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"mean_us\": {:.0}",
+            r.p50_us, r.p95_us, r.p99_us, r.mean_us
+        );
+        out.push_str(if i + 1 == results.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"pricing\": {{");
+    let _ = writeln!(
+        out,
+        "    \"note\": \"aggregated planned trace of the largest tenant mix's request stream, priced on the accelerator model\","
+    );
+    let _ = writeln!(out, "    \"ops\": {},", pricing.ops);
+    let _ = writeln!(out, "    \"fab1_ms\": {:.3},", pricing.fab1_ms);
+    let _ = writeln!(
+        out,
+        "    \"fab2_ms\": {:.3}, \"fab2_speedup\": {:.2}",
+        pricing.fab2_ms, pricing.fab2_speedup
+    );
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            if quick {
+                "target/BENCH_serving_quick.json".to_string()
+            } else {
+                "BENCH_pr6.json".to_string()
+            }
+        });
+    let cores = fab_bench::available_cores();
+    let untrusted_scaling = fab_bench::warn_untrusted_scaling("Latency percentiles");
+
+    let (log_n, max_level, tenant_counts, rounds, ops_per_request): (
+        usize,
+        usize,
+        Vec<usize>,
+        u64,
+        usize,
+    ) = if quick {
+        (8, 2, vec![2], 2, 5)
+    } else {
+        (10, 3, vec![1, 2, 4], 3, 6)
+    };
+    let params = CkksParams::builder()
+        .log_n(log_n)
+        .scale_bits(40)
+        .first_prime_bits(50)
+        .max_level(max_level)
+        .dnum(2)
+        .secret_hamming_weight(Some(32))
+        .build()
+        .expect("serving parameters");
+    // relin + one key per distinct rotation + conjugation.
+    let per_set_bytes = key_set_bytes(&params, ROTATIONS.len() + 1);
+    let ctx = CkksContext::new_arc(params.clone()).expect("context");
+    let max_tenants = *tenant_counts.iter().max().expect("non-empty sweep");
+    let all_tenants = make_tenants(&ctx, max_tenants);
+
+    let mut results = Vec::new();
+    for &count in &tenant_counts {
+        let tenants = &all_tenants[..count];
+        let total_bytes = count * per_set_bytes;
+        let mut reference_outputs: Option<Vec<Ciphertext>> = None;
+        // Full budget first: its outputs are the bitwise reference for the starved configs.
+        for &fraction in &[1.0f64, 0.5, 0.25] {
+            let budget = ((total_bytes as f64) * fraction) as usize;
+            for prefetch in [true, false] {
+                let result = run_config(
+                    &ctx,
+                    tenants,
+                    budget,
+                    fraction,
+                    prefetch,
+                    rounds,
+                    ops_per_request,
+                );
+                match &reference_outputs {
+                    None => reference_outputs = Some(result.outputs.clone()),
+                    Some(reference) => assert_bitwise_equal_outputs(reference, &result),
+                }
+                results.push(result);
+            }
+        }
+    }
+
+    // Hit-rate gate on the fixed tenant mix: at the full budget with prefetch on, only each
+    // key's first-ever touch may miss, so the demand hit rate must clear the floor.
+    for r in results
+        .iter()
+        .filter(|r| r.prefetch && (r.budget_fraction - 1.0).abs() < f64::EPSILON)
+    {
+        assert!(
+            r.stats.hit_rate() >= HIT_RATE_FLOOR,
+            "hit rate {:.3} at full budget ({} tenants) under floor {HIT_RATE_FLOOR}",
+            r.stats.hit_rate(),
+            r.tenants
+        );
+        assert_eq!(
+            r.stats.uncached_fetches, 0,
+            "full budget must admit every key"
+        );
+    }
+    // Starved configs must actually exercise eviction/admission, or the sweep says nothing.
+    assert!(
+        results
+            .iter()
+            .filter(|r| r.budget_fraction < 0.3 && r.tenants > 1)
+            .all(|r| r.stats.evictions > 0 || r.stats.uncached_fetches > 0),
+        "the smallest budget never evicted: the sweep is not exercising the cache"
+    );
+
+    let pricing = price_stream(&ctx, &all_tenants[..max_tenants], rounds, ops_per_request);
+
+    let json = render_json(
+        if quick { "quick" } else { "full" },
+        cores,
+        untrusted_scaling,
+        &params,
+        per_set_bytes,
+        &results,
+        &pricing,
+    );
+    print!("{json}");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    eprintln!("wrote {out_path}");
+}

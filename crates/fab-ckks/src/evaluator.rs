@@ -818,6 +818,44 @@ impl Evaluator {
         Ok(rotated)
     }
 
+    /// Rotates the slots left by `steps` with an explicitly supplied switching key — the
+    /// serving-side entry point where keys come from a [`crate::KeyProvider`] rather than a
+    /// resident [`GaloisKeys`] collection. Identical semantics (and identical recorded trace)
+    /// to [`Self::rotate`]; the caller is responsible for the key matching the rotation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates representation/level errors from the Galois application.
+    pub fn rotate_with_key(
+        &self,
+        a: &Ciphertext,
+        steps: usize,
+        key: &SwitchingKey,
+    ) -> Result<Ciphertext> {
+        let slots = self.ctx.slot_count();
+        let steps = steps % slots;
+        if steps == 0 {
+            return Ok(a.clone());
+        }
+        let element = galois_element_for_rotation(self.ctx.degree(), steps);
+        let rotated = self.apply_galois(a, element, key)?;
+        self.record(HeOp::Rotate { level: a.level });
+        Ok(rotated)
+    }
+
+    /// Conjugates every slot with an explicitly supplied switching key (the serving-side
+    /// counterpart of [`Self::conjugate`], same semantics and recorded trace).
+    ///
+    /// # Errors
+    ///
+    /// Propagates representation/level errors from the Galois application.
+    pub fn conjugate_with_key(&self, a: &Ciphertext, key: &SwitchingKey) -> Result<Ciphertext> {
+        let element = galois_element_for_conjugation(self.ctx.degree());
+        let conjugated = self.apply_galois(a, element, key)?;
+        self.record(HeOp::Conjugate { level: a.level });
+        Ok(conjugated)
+    }
+
     /// Rotates the slots left by `steps`, declaring that the rotation shares a key-switch
     /// decomposition with a previous rotation *of the same ciphertext* (hoisting, Bossuat et
     /// al.). The software reference still executes a full independent rotation — only the

@@ -11,11 +11,14 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fab_math::{galois_element_for_conjugation, galois_element_for_rotation};
-use fab_rns::RnsPolynomial;
+use fab_rns::{Representation, RnsPolynomial};
 use rand::Rng;
 
 use crate::sampling;
-use crate::{CkksContext, Result};
+use crate::{CkksContext, CkksError, CkksParams, Result};
+
+/// Bytes of the fixed `to_bytes` header: degree, limb count, `α`, `dnum` as `u64` LE words.
+const KEY_HEADER_BYTES: usize = 32;
 
 /// The secret key: a ternary polynomial `s`, stored both as signed coefficients and in
 /// evaluation form over the full raised basis `Q ∪ P`.
@@ -132,6 +135,101 @@ impl SwitchingKey {
             .map(|(b, a)| (b.limb_count() + a.limb_count()) * b.degree() * limb_bits as usize / 8)
             .sum()
     }
+
+    /// Exact size of [`Self::to_bytes`]'s output for this key.
+    pub fn serialized_bytes(&self) -> usize {
+        let (b, _) = &self.components[0];
+        KEY_HEADER_BYTES + 2 * self.components.len() * b.limb_count() * b.degree() * 8
+    }
+
+    /// Serializes the key: a 4-word header (degree, limb count, `α`, `dnum`, each `u64` LE)
+    /// followed by each digit's `b_j` then `a_j` flat limb-major `u64` LE words. Keys are
+    /// always held in evaluation form, so no representation tag is needed.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let (b0, _) = &self.components[0];
+        debug_assert_eq!(b0.representation(), Representation::Evaluation);
+        let mut out = Vec::with_capacity(self.serialized_bytes());
+        for header in [
+            b0.degree() as u64,
+            b0.limb_count() as u64,
+            self.alpha as u64,
+            self.components.len() as u64,
+        ] {
+            out.extend_from_slice(&header.to_le_bytes());
+        }
+        for (b, a) in &self.components {
+            for poly in [b, a] {
+                for &word in poly.data() {
+                    out.extend_from_slice(&word.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a key serialized by [`Self::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidInput`] when the header is malformed or the payload length
+    /// does not match the header's geometry.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let word = |i: usize| -> u64 {
+            u64::from_le_bytes(bytes[8 * i..8 * (i + 1)].try_into().expect("8 bytes"))
+        };
+        if bytes.len() < KEY_HEADER_BYTES {
+            return Err(CkksError::InvalidInput {
+                reason: format!("switching key blob of {} bytes has no header", bytes.len()),
+            });
+        }
+        let degree = word(0) as usize;
+        let limb_count = word(1) as usize;
+        let alpha = word(2) as usize;
+        let dnum = word(3) as usize;
+        if degree == 0 || limb_count == 0 || alpha == 0 || dnum == 0 {
+            return Err(CkksError::InvalidInput {
+                reason: format!(
+                    "switching key header has zero geometry: \
+                     degree {degree}, limbs {limb_count}, alpha {alpha}, dnum {dnum}"
+                ),
+            });
+        }
+        let poly_words = degree * limb_count;
+        let expected = KEY_HEADER_BYTES + 2 * dnum * poly_words * 8;
+        if bytes.len() != expected {
+            return Err(CkksError::InvalidInput {
+                reason: format!(
+                    "switching key blob is {} bytes, header implies {expected}",
+                    bytes.len()
+                ),
+            });
+        }
+        let mut words = bytes[KEY_HEADER_BYTES..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")));
+        let mut read_poly = || {
+            let data: Vec<u64> = words.by_ref().take(poly_words).collect();
+            RnsPolynomial::from_flat(degree, data, Representation::Evaluation)
+        };
+        let components = (0..dnum).map(|_| (read_poly(), read_poly())).collect();
+        Ok(Self { components, alpha })
+    }
+}
+
+/// Exact serialized size ([`SwitchingKey::to_bytes`]) of one switching key under `params`:
+/// `32 + 2 · dnum · (L + 1 + k) · N · 8` bytes, with `dnum = ⌈(L+1)/α⌉` digits of `(b_j, a_j)`
+/// pairs over the raised basis of `L + 1 + k` limbs. This closed form is what serving-side
+/// cache budgets are derived from; `tests` pin it against actual serialized lengths.
+pub fn switching_key_serialized_bytes(params: &CkksParams) -> usize {
+    let dnum = params.total_q_limbs().div_ceil(params.alpha());
+    KEY_HEADER_BYTES + 2 * dnum * params.total_raised_limbs() * params.degree() * 8
+}
+
+/// Exact serialized size of a tenant's full evaluation-key set: one relinearisation key plus
+/// `galois_key_count` Galois keys (rotations and/or conjugation), all structurally identical
+/// switching keys.
+pub fn key_set_bytes(params: &CkksParams, galois_key_count: usize) -> usize {
+    (1 + galois_key_count) * switching_key_serialized_bytes(params)
 }
 
 /// The relinearisation key (a switching key for `s² → s`).
@@ -142,10 +240,11 @@ pub struct RelinearizationKey {
 }
 
 /// A collection of Galois keys: rotation keys indexed by Galois element plus the conjugation
-/// key.
+/// key. Keys are held behind [`Arc`] so caches and providers can hand them out without
+/// cloning tens of megabytes of polynomial material.
 #[derive(Debug, Clone, Default)]
 pub struct GaloisKeys {
-    keys: HashMap<u64, SwitchingKey>,
+    keys: HashMap<u64, Arc<SwitchingKey>>,
     degree: usize,
 }
 
@@ -170,23 +269,32 @@ impl GaloisKeys {
 
     /// Inserts a key for the given Galois element.
     pub fn insert(&mut self, element: u64, key: SwitchingKey) {
+        self.keys.insert(element, Arc::new(key));
+    }
+
+    /// Inserts an already-shared key for the given Galois element.
+    pub fn insert_arc(&mut self, element: u64, key: Arc<SwitchingKey>) {
         self.keys.insert(element, key);
     }
 
     /// The key for an explicit Galois element, if present.
     pub fn get(&self, element: u64) -> Option<&SwitchingKey> {
-        self.keys.get(&element)
+        self.keys.get(&element).map(|k| k.as_ref())
+    }
+
+    /// The shared handle for an explicit Galois element, if present.
+    pub fn get_arc(&self, element: u64) -> Option<Arc<SwitchingKey>> {
+        self.keys.get(&element).cloned()
     }
 
     /// The key for a left rotation by `steps` slots, if present.
     pub fn rotation_key(&self, steps: usize) -> Option<&SwitchingKey> {
-        self.keys
-            .get(&galois_element_for_rotation(self.degree, steps))
+        self.get(galois_element_for_rotation(self.degree, steps))
     }
 
     /// The conjugation key, if present.
     pub fn conjugation_key(&self) -> Option<&SwitchingKey> {
-        self.keys.get(&galois_element_for_conjugation(self.degree))
+        self.get(galois_element_for_conjugation(self.degree))
     }
 
     /// The Galois elements for which keys are held.
@@ -194,6 +302,62 @@ impl GaloisKeys {
         let mut v: Vec<u64> = self.keys.keys().copied().collect();
         v.sort_unstable();
         v
+    }
+}
+
+/// Where the evaluator's switching keys come from.
+///
+/// The evaluator historically borrowed `&RelinearizationKey` / `&GaloisKeys` that the caller
+/// owned outright. A serving front-end instead keeps key material in a bounded cache whose
+/// contents change between (and during) requests, so ops fetch each key *through* this seam at
+/// the moment of use: a provider may return a long-lived resident key, a cache hit, or a key
+/// freshly deserialized on a cold miss — the returned [`Arc`] keeps the material alive for the
+/// duration of the op even if the cache evicts it mid-flight.
+pub trait KeyProvider {
+    /// The relinearisation key for `s² → s` switches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::MissingKey`] (or a transport error) when the key is unavailable.
+    fn relinearization_key(&self) -> Result<Arc<RelinearizationKey>>;
+
+    /// The Galois key for `x → x^element`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::MissingKey`] (or a transport error) when the key is unavailable.
+    fn galois_key(&self, element: u64) -> Result<Arc<SwitchingKey>>;
+}
+
+/// The trivial [`KeyProvider`]: every key is resident in memory for the provider's lifetime
+/// (the behaviour of the pre-serving API, adapted to the seam).
+#[derive(Debug, Clone)]
+pub struct ResidentKeyProvider {
+    rlk: Arc<RelinearizationKey>,
+    galois: GaloisKeys,
+}
+
+impl ResidentKeyProvider {
+    /// Wraps fully-resident key material.
+    pub fn new(rlk: RelinearizationKey, galois: GaloisKeys) -> Self {
+        Self {
+            rlk: Arc::new(rlk),
+            galois,
+        }
+    }
+}
+
+impl KeyProvider for ResidentKeyProvider {
+    fn relinearization_key(&self) -> Result<Arc<RelinearizationKey>> {
+        Ok(self.rlk.clone())
+    }
+
+    fn galois_key(&self, element: u64) -> Result<Arc<SwitchingKey>> {
+        self.galois
+            .get_arc(element)
+            .ok_or_else(|| CkksError::MissingKey {
+                description: format!("galois element {element}"),
+            })
     }
 }
 
@@ -429,6 +593,84 @@ mod tests {
         let (_, kg, mut rng) = setup();
         let keys = kg.galois_keys(&[1, 1, 1], false, &mut rng).unwrap();
         assert_eq!(keys.len(), 1);
+    }
+
+    #[test]
+    fn serialized_size_matches_the_closed_form() {
+        // The cache's admission budget is derived from `key_set_bytes`, so the closed form
+        // must equal the actual `to_bytes` length for every key shape — including a dnum
+        // that does not divide the limb count.
+        for params in [
+            CkksParams::testing(),
+            CkksParams::builder()
+                .log_n(5)
+                .max_level(4)
+                .dnum(3)
+                .secret_hamming_weight(Some(8))
+                .build()
+                .unwrap(),
+        ] {
+            let ctx = CkksContext::new_arc(params.clone()).unwrap();
+            let mut rng = ChaCha20Rng::seed_from_u64(7);
+            let kg = KeyGenerator::new(ctx.clone(), SecretKey::generate(&ctx, &mut rng));
+            let rlk = kg.relinearization_key(&mut rng);
+            let rot = kg
+                .galois_key(
+                    fab_math::galois_element_for_rotation(ctx.degree(), 1),
+                    &mut rng,
+                )
+                .unwrap();
+            let expected = switching_key_serialized_bytes(&params);
+            assert_eq!(rlk.key.to_bytes().len(), expected);
+            assert_eq!(rlk.key.serialized_bytes(), expected);
+            assert_eq!(rot.to_bytes().len(), expected);
+            assert_eq!(key_set_bytes(&params, 3), 4 * expected);
+        }
+    }
+
+    #[test]
+    fn switching_key_round_trips_bitwise() {
+        let (_, kg, mut rng) = setup();
+        let rlk = kg.relinearization_key(&mut rng);
+        let blob = rlk.key.to_bytes();
+        let back = SwitchingKey::from_bytes(&blob).unwrap();
+        assert_eq!(back.digit_count(), rlk.key.digit_count());
+        assert_eq!(back.alpha(), rlk.key.alpha());
+        for j in 0..back.digit_count() {
+            let (b0, a0) = rlk.key.component(j);
+            let (b1, a1) = back.component(j);
+            assert_eq!(b0.data(), b1.data());
+            assert_eq!(a0.data(), a1.data());
+            assert_eq!(b1.representation(), Representation::Evaluation);
+        }
+        // A second serialization of the rebuilt key is byte-identical.
+        assert_eq!(back.to_bytes(), blob);
+    }
+
+    #[test]
+    fn corrupt_key_blobs_are_rejected() {
+        let (_, kg, mut rng) = setup();
+        let blob = kg.relinearization_key(&mut rng).key.to_bytes();
+        assert!(SwitchingKey::from_bytes(&blob[..16]).is_err());
+        assert!(SwitchingKey::from_bytes(&blob[..blob.len() - 8]).is_err());
+        let mut zeroed = blob.clone();
+        zeroed[0..8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(SwitchingKey::from_bytes(&zeroed).is_err());
+    }
+
+    #[test]
+    fn resident_provider_serves_every_generated_key() {
+        let (ctx, kg, mut rng) = setup();
+        let rlk = kg.relinearization_key(&mut rng);
+        let keys = kg.galois_keys(&[1, 2], true, &mut rng).unwrap();
+        let elements = keys.elements();
+        let provider = ResidentKeyProvider::new(rlk, keys);
+        assert!(provider.relinearization_key().is_ok());
+        for element in elements {
+            assert!(provider.galois_key(element).is_ok());
+        }
+        let absent = fab_math::galois_element_for_rotation(ctx.degree(), 3);
+        assert!(provider.galois_key(absent).is_err());
     }
 
     #[test]

@@ -103,7 +103,10 @@ pub use encoding::Encoder;
 pub use encryption::{Decryptor, Encryptor};
 pub use error::CkksError;
 pub use evaluator::Evaluator;
-pub use keys::{GaloisKeys, KeyGenerator, PublicKey, RelinearizationKey, SecretKey, SwitchingKey};
+pub use keys::{
+    key_set_bytes, switching_key_serialized_bytes, GaloisKeys, KeyGenerator, KeyProvider,
+    PublicKey, RelinearizationKey, ResidentKeyProvider, SecretKey, SwitchingKey,
+};
 pub use linear_transform::{BsgsGroup, BsgsPlan, LinearTransform};
 pub use params::{CkksParams, CkksParamsBuilder};
 

@@ -1,0 +1,301 @@
+//! The byte-budgeted evaluation-key cache and its [`KeyProvider`] adapter.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fab_ckks::{CkksError, KeyProvider, RelinearizationKey, Result, SwitchingKey};
+
+use crate::tenant::{TenantId, TenantKeyStore};
+
+/// Names one evaluation key of a tenant's set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KeyRef {
+    /// The relinearisation key (`s² → s`).
+    Relin,
+    /// The Galois key for `x → x^element` (rotations and conjugation).
+    Galois(u64),
+}
+
+/// Deserialized key material handed out by the cache. The [`Arc`] keeps the polynomials alive
+/// for the duration of the op using them even if the cache evicts the entry mid-flight.
+#[derive(Debug, Clone)]
+pub enum KeyMaterial {
+    /// A relinearisation key.
+    Relin(Arc<RelinearizationKey>),
+    /// A Galois switching key.
+    Galois(Arc<SwitchingKey>),
+}
+
+impl KeyMaterial {
+    /// The relinearisation key, if that is what this material holds.
+    pub fn relin(&self) -> Option<Arc<RelinearizationKey>> {
+        match self {
+            KeyMaterial::Relin(key) => Some(key.clone()),
+            KeyMaterial::Galois(_) => None,
+        }
+    }
+
+    /// The Galois switching key, if that is what this material holds.
+    pub fn galois(&self) -> Option<Arc<SwitchingKey>> {
+        match self {
+            KeyMaterial::Galois(key) => Some(key.clone()),
+            KeyMaterial::Relin(_) => None,
+        }
+    }
+}
+
+/// Hardware-monitor-style cache counters. Every latency/hit-rate claim the serving layer
+/// makes is backed by these, the same way `tests/ntt_accounting.rs` pins NTT counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that found the key resident.
+    pub hits: u64,
+    /// Demand accesses that deserialized and admitted the key.
+    pub misses: u64,
+    /// Subset of `hits` where residency came from a prefetch not yet touched by demand.
+    pub prefetch_hits: u64,
+    /// Keys loaded by the prefetcher.
+    pub prefetches: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Demand accesses served *without* caching because the key alone exceeds the budget.
+    pub uncached_fetches: u64,
+    /// Total bytes deserialized from tenant stores (demand misses, prefetches and uncached
+    /// fetches alike) — the software analogue of HBM key-read traffic.
+    pub bytes_fetched: u64,
+}
+
+impl CacheStats {
+    /// Demand accesses observed (hits + misses + uncached fetches).
+    pub fn demand_accesses(&self) -> u64 {
+        self.hits + self.misses + self.uncached_fetches
+    }
+
+    /// Fraction of demand accesses served from the cache (0 when none were observed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.demand_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    material: KeyMaterial,
+    bytes: usize,
+    last_use: u64,
+    prefetched: bool,
+}
+
+/// The bounded working set of deserialized evaluation keys, shared across tenants and keyed
+/// by `(tenant, key)`.
+///
+/// * **Admission** is byte-budgeted: an entry is admitted only if it fits the budget at all;
+///   a key larger than the entire budget is served uncached (fetched, used, dropped).
+/// * **Eviction** is LRU with a cost-aware tiebreak: the least recently used entry goes
+///   first, and among equal recency the smaller entry (cheapest to refetch) is evicted.
+/// * Iteration order is a [`BTreeMap`], so eviction decisions — and therefore every counter —
+///   are deterministic and test-assertable.
+#[derive(Debug)]
+pub struct EvalKeyCache {
+    budget_bytes: usize,
+    resident_bytes: usize,
+    clock: u64,
+    entries: BTreeMap<(TenantId, KeyRef), CacheEntry>,
+    stats: CacheStats,
+}
+
+impl EvalKeyCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            resident_bytes: 0,
+            clock: 0,
+            entries: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a key is currently resident (no counter is touched).
+    pub fn contains(&self, tenant: TenantId, key: KeyRef) -> bool {
+        self.entries.contains_key(&(tenant, key))
+    }
+
+    /// The accumulated counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Demand access: returns the key, from cache when resident, otherwise deserialized from
+    /// `store` (and admitted if it fits the budget).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors (absent key, corrupt bytes).
+    pub fn get(
+        &mut self,
+        tenant: TenantId,
+        key: KeyRef,
+        store: &TenantKeyStore,
+    ) -> Result<KeyMaterial> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(entry) = self.entries.get_mut(&(tenant, key)) {
+            entry.last_use = clock;
+            self.stats.hits += 1;
+            if entry.prefetched {
+                entry.prefetched = false;
+                self.stats.prefetch_hits += 1;
+            }
+            return Ok(entry.material.clone());
+        }
+        let bytes = store.key_size(key)?;
+        let material = store.fetch(key)?;
+        self.stats.bytes_fetched += bytes as u64;
+        if bytes > self.budget_bytes {
+            self.stats.uncached_fetches += 1;
+            return Ok(material);
+        }
+        self.stats.misses += 1;
+        self.evict_for(bytes);
+        self.resident_bytes += bytes;
+        self.entries.insert(
+            (tenant, key),
+            CacheEntry {
+                material: material.clone(),
+                bytes,
+                last_use: clock,
+                prefetched: false,
+            },
+        );
+        Ok(material)
+    }
+
+    /// Prefetch: warms a key into the cache ahead of its use. Returns whether the key is now
+    /// resident — `false` when it exceeds the whole budget (prefetch never bypasses
+    /// admission) — without fetching anything in that case.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors (absent key, corrupt bytes).
+    pub fn prefetch(
+        &mut self,
+        tenant: TenantId,
+        key: KeyRef,
+        store: &TenantKeyStore,
+    ) -> Result<bool> {
+        if self.entries.contains_key(&(tenant, key)) {
+            return Ok(true);
+        }
+        let bytes = store.key_size(key)?;
+        if bytes > self.budget_bytes {
+            return Ok(false);
+        }
+        let material = store.fetch(key)?;
+        self.clock += 1;
+        self.stats.prefetches += 1;
+        self.stats.bytes_fetched += bytes as u64;
+        self.evict_for(bytes);
+        self.resident_bytes += bytes;
+        self.entries.insert(
+            (tenant, key),
+            CacheEntry {
+                material,
+                bytes,
+                last_use: self.clock,
+                prefetched: true,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.resident_bytes = 0;
+    }
+
+    /// Evicts least-recently-used entries (equal recency: smaller entry first) until `needed`
+    /// additional bytes fit the budget.
+    fn evict_for(&mut self, needed: usize) {
+        while self.resident_bytes + needed > self.budget_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| (entry.last_use, entry.bytes))
+                .map(|(&id, _)| id);
+            let Some(id) = victim else { break };
+            let entry = self.entries.remove(&id).expect("victim is resident");
+            self.resident_bytes -= entry.bytes;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+/// [`KeyProvider`] over an [`EvalKeyCache`] for one tenant: every key an op asks for is
+/// resolved through the cache at the moment of use — hit, prefetch hit, cold miss, or
+/// uncached oversized fetch, all transparently to the executing program.
+#[derive(Debug)]
+pub struct CachedKeyProvider<'a> {
+    cache: RefCell<&'a mut EvalKeyCache>,
+    store: &'a TenantKeyStore,
+    tenant: TenantId,
+}
+
+impl<'a> CachedKeyProvider<'a> {
+    /// Binds a provider to one tenant's store and the shared cache.
+    pub fn new(cache: &'a mut EvalKeyCache, store: &'a TenantKeyStore, tenant: TenantId) -> Self {
+        Self {
+            cache: RefCell::new(cache),
+            store,
+            tenant,
+        }
+    }
+}
+
+impl KeyProvider for CachedKeyProvider<'_> {
+    fn relinearization_key(&self) -> Result<Arc<RelinearizationKey>> {
+        self.cache
+            .borrow_mut()
+            .get(self.tenant, KeyRef::Relin, self.store)?
+            .relin()
+            .ok_or_else(|| CkksError::InvalidInput {
+                reason: "relin slot held galois material".into(),
+            })
+    }
+
+    fn galois_key(&self, element: u64) -> Result<Arc<SwitchingKey>> {
+        self.cache
+            .borrow_mut()
+            .get(self.tenant, KeyRef::Galois(element), self.store)?
+            .galois()
+            .ok_or_else(|| CkksError::InvalidInput {
+                reason: format!("galois slot {element} held relin material"),
+            })
+    }
+}

@@ -1,0 +1,106 @@
+//! Exact latency percentiles over recorded samples.
+
+/// An exact (sample-storing) latency histogram in microseconds. Serving runs are small enough
+/// that storing every sample and computing nearest-rank percentiles beats bucketing — the
+/// reported p99 is the true p99 of the run, not a bucket boundary.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample in microseconds.
+    pub fn record(&mut self, micros: u64) {
+        self.samples_us.push(micros);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// The nearest-rank percentile (`p` in `(0, 100]`), or `None` without samples.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// Median latency (p50).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// Tail latency p95.
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(95.0)
+    }
+
+    /// Tail latency p99.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> Option<f64> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        Some(self.samples_us.iter().sum::<u64>() as f64 / self.samples_us.len() as f64)
+    }
+
+    /// Largest sample.
+    pub fn max_us(&self) -> Option<u64> {
+        self.samples_us.iter().copied().max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), Some(50));
+        assert_eq!(h.p95(), Some(100));
+        assert_eq!(h.p99(), Some(100));
+        assert_eq!(h.percentile(10.0), Some(10));
+        assert_eq!(h.mean_us(), Some(55.0));
+        assert_eq!(h.max_us(), Some(100));
+        assert_eq!(h.len(), 10);
+    }
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.mean_us(), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        assert_eq!(h.p50(), Some(42));
+        assert_eq!(h.p99(), Some(42));
+    }
+}

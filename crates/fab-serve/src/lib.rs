@@ -1,0 +1,60 @@
+//! Multi-tenant serving front-end with a trace-driven evaluation-key cache.
+//!
+//! FAB's serving argument (Section 5 of the paper) is that evaluation keys dominate the
+//! working set: switching keys are streamed from HBM and their fetch is overlapped with
+//! compute by the scheduler. At paper scale a single tenant's key set runs to tens of
+//! megabytes, so a population of tenants makes keys — not ciphertexts — the dataset. This
+//! crate is the software realisation of that regime:
+//!
+//! * [`TenantRegistry`] holds each tenant's key material in *serialized* form (the stand-in
+//!   for HBM/backing store): one relinearisation key plus Galois keys, as produced by
+//!   [`fab_ckks::SwitchingKey::to_bytes`].
+//! * [`EvalKeyCache`] is the bounded deserialized-key working set: byte-budgeted admission
+//!   (an entry larger than the whole budget is served **uncached**), LRU eviction with a
+//!   cost-aware tiebreak (equal recency evicts the cheaper-to-refetch, smaller entry first),
+//!   and hardware-monitor-style counters ([`CacheStats`]) that tests assert exactly.
+//! * [`Prefetcher`] is the software analogue of FAB's key-prefetch-overlap: before a request
+//!   executes, its op stream is walked ([`Program::key_refs`]) and the upcoming switching
+//!   keys are warmed into the cache, so execution finds them resident.
+//! * [`FabServer`] ties it together: a FIFO request queue, per-request phase labels
+//!   (`serve_queue` / `serve_prefetch` / `serve_execute` in [`fab_trace::phase`]) on the
+//!   evaluator's trace sink, and a [`LatencyHistogram`] of end-to-end latencies.
+//!
+//! # The `KeyProvider` seam
+//!
+//! The evaluator historically borrowed `&RelinearizationKey` / `&GaloisKeys` owned by the
+//! caller for the whole computation. Serving breaks that assumption: which keys are resident
+//! changes over time. [`fab_ckks::KeyProvider`] is the seam — each op fetches the key it
+//! needs at the moment of use, and [`CachedKeyProvider`] implements the seam over
+//! [`EvalKeyCache`], so the very same [`Program::execute`] control flow runs against fully
+//! resident keys ([`fab_ckks::ResidentKeyProvider`]), a generous cache, or a cache so small
+//! every access is a cold miss that deserializes from the tenant's stored bytes. The crate's
+//! property tests prove the resulting ciphertexts are **bitwise identical** across all of
+//! those configurations — cache state must never change a single output bit.
+//!
+//! # Prefetch scheduling
+//!
+//! A request's key-switch DAG is known before execution: [`Program::key_refs`] replays the
+//! exact level bookkeeping of the evaluator (a square at level 0 is skipped, a rotation by a
+//! multiple of the slot count needs no key) to produce the ordered list of upcoming
+//! [`KeyRef`]s. [`Prefetcher::warm`] deduplicates that list, keeps the first `lookahead`
+//! distinct keys, and loads them with prefetch-tagged cache entries; a later demand access
+//! that finds a prefetched entry counts as a `prefetch_hit`. Prefetch never bypasses the
+//! byte budget — an oversized key is simply not warmed and is served uncached at use time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod histogram;
+mod prefetch;
+mod request;
+mod server;
+mod tenant;
+
+pub use cache::{CacheStats, CachedKeyProvider, EvalKeyCache, KeyMaterial, KeyRef};
+pub use histogram::LatencyHistogram;
+pub use prefetch::Prefetcher;
+pub use request::{Program, Request, ServeOp};
+pub use server::{FabServer, RequestReport, ServedRequest, ServerConfig};
+pub use tenant::{TenantId, TenantKeyStore, TenantRegistry};

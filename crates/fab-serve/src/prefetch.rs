@@ -1,0 +1,58 @@
+//! Trace-driven key prefetch — the software analogue of FAB's key-prefetch-overlap.
+
+use fab_ckks::Result;
+
+use crate::cache::{EvalKeyCache, KeyRef};
+use crate::tenant::{TenantId, TenantKeyStore};
+
+/// Warms the evaluation-key cache from a request's planned key-switch DAG before execution
+/// starts, so demand accesses find their keys resident (counted as `prefetch_hits`).
+#[derive(Debug, Clone, Copy)]
+pub struct Prefetcher {
+    lookahead: usize,
+}
+
+impl Prefetcher {
+    /// A prefetcher warming up to `lookahead` distinct keys per request.
+    pub fn new(lookahead: usize) -> Self {
+        Self { lookahead }
+    }
+
+    /// Maximum distinct keys warmed per request.
+    pub fn lookahead(&self) -> usize {
+        self.lookahead
+    }
+
+    /// Warms the first `lookahead` *distinct* upcoming keys (`upcoming` is the in-order,
+    /// with-repeats demand stream from [`crate::Program::key_refs`]). Returns how many keys
+    /// are resident after the pass; oversized keys are skipped — prefetch never bypasses the
+    /// cache's admission budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors (absent key, corrupt bytes).
+    pub fn warm(
+        &self,
+        cache: &mut EvalKeyCache,
+        tenant: TenantId,
+        store: &TenantKeyStore,
+        upcoming: &[KeyRef],
+    ) -> Result<usize> {
+        let mut distinct: Vec<KeyRef> = Vec::new();
+        for &key in upcoming {
+            if distinct.len() >= self.lookahead {
+                break;
+            }
+            if !distinct.contains(&key) {
+                distinct.push(key);
+            }
+        }
+        let mut resident = 0;
+        for key in distinct {
+            if cache.prefetch(tenant, key, store)? {
+                resident += 1;
+            }
+        }
+        Ok(resident)
+    }
+}

@@ -1,0 +1,212 @@
+//! Requests: small homomorphic programs executed on behalf of a tenant.
+
+use std::sync::Arc;
+
+use fab_ckks::{
+    Ciphertext, CkksContext, EvalBackend, Evaluator, KeyProvider, PlanBackend, PlanCiphertext,
+    Result,
+};
+use fab_math::{galois_element_for_conjugation, galois_element_for_rotation};
+use fab_trace::OpTrace;
+
+use crate::cache::KeyRef;
+use crate::tenant::TenantId;
+
+/// One operation of a serving program. The surface is deliberately small: every op either
+/// needs a switching key (square → relin, rotate/conjugate → Galois) or none (add), which is
+/// exactly the structure the key cache and prefetcher care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOp {
+    /// Squares the ciphertext (multiply + relinearise + rescale). Skipped at level 0, like
+    /// every depth-spending op in a level-exhausted pipeline.
+    Square,
+    /// Rotates the slots left by this many positions. A rotation by a multiple of the slot
+    /// count is free and needs no key.
+    Rotate(usize),
+    /// Conjugates every slot.
+    Conjugate,
+    /// Adds the ciphertext to itself (no key needed; keeps traces from being key-switch-only).
+    AddSelf,
+}
+
+/// A serving program: an op list whose key-switch DAG is known before execution, which is
+/// what makes trace-driven prefetch possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    ops: Vec<ServeOp>,
+}
+
+impl Program {
+    /// Wraps an explicit op list.
+    pub fn new(ops: Vec<ServeOp>) -> Self {
+        Self { ops }
+    }
+
+    /// The ops in execution order.
+    pub fn ops(&self) -> &[ServeOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// A deterministic pseudo-random program of `len` ops drawing rotations from
+    /// `rotation_steps` (SplitMix64 over `seed`; no external RNG dependency).
+    pub fn random(seed: u64, len: usize, rotation_steps: &[usize]) -> Self {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let ops = (0..len)
+            .map(|_| {
+                let r = next();
+                match r % 6 {
+                    0 => ServeOp::Square,
+                    1 => ServeOp::Conjugate,
+                    2 => ServeOp::AddSelf,
+                    _ if rotation_steps.is_empty() => ServeOp::AddSelf,
+                    _ => {
+                        let i = (r >> 8) as usize % rotation_steps.len();
+                        ServeOp::Rotate(rotation_steps[i])
+                    }
+                }
+            })
+            .collect();
+        Self { ops }
+    }
+
+    /// The switching keys this program will demand, in execution order (with repeats). The
+    /// walk replays the evaluator's exact skip rules — a square at level 0 is a no-op, a
+    /// rotation by a multiple of the slot count needs no key — so the prefetcher's view of
+    /// the upcoming key-switch DAG matches execution one-for-one.
+    pub fn key_refs(&self, ctx: &CkksContext, start_level: usize) -> Vec<KeyRef> {
+        let slots = ctx.slot_count();
+        let degree = ctx.degree();
+        let mut level = start_level;
+        let mut refs = Vec::new();
+        for op in &self.ops {
+            match *op {
+                ServeOp::Square => {
+                    if level > 0 {
+                        refs.push(KeyRef::Relin);
+                        level -= 1;
+                    }
+                }
+                ServeOp::Rotate(steps) => {
+                    if steps % slots != 0 {
+                        refs.push(KeyRef::Galois(galois_element_for_rotation(degree, steps)));
+                    }
+                }
+                ServeOp::Conjugate => {
+                    refs.push(KeyRef::Galois(galois_element_for_conjugation(degree)));
+                }
+                ServeOp::AddSelf => {}
+            }
+        }
+        refs
+    }
+
+    /// Plans the program on shadow ciphertexts via [`PlanBackend`], producing the analytic
+    /// [`OpTrace`] used for FAB cost-model pricing. Level/scale bookkeeping (and the skip
+    /// rules) are identical to [`Self::execute`], so recorded and planned traces agree
+    /// op-for-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scale/level bookkeeping errors.
+    pub fn plan(
+        &self,
+        ctx: &Arc<CkksContext>,
+        start_level: usize,
+        scale: f64,
+        name: &str,
+    ) -> Result<OpTrace> {
+        let backend = PlanBackend::new(ctx.clone(), name);
+        let mut shadow = PlanCiphertext::new(start_level, scale);
+        for op in &self.ops {
+            match *op {
+                ServeOp::Square => {
+                    if shadow.level > 0 {
+                        shadow = backend.multiply_rescale(&shadow, &shadow)?;
+                    }
+                }
+                ServeOp::Rotate(steps) => {
+                    shadow = backend.rotate(&shadow, steps)?;
+                }
+                ServeOp::Conjugate => {
+                    shadow = backend.conjugate(&shadow)?;
+                }
+                ServeOp::AddSelf => {
+                    shadow = backend.add(&shadow, &shadow)?;
+                }
+            }
+        }
+        Ok(backend.into_trace())
+    }
+
+    /// Executes the program on a real ciphertext, fetching every switching key through the
+    /// [`KeyProvider`] seam at the moment of use. The output is bitwise independent of
+    /// *where* the provider found each key (resident, cache hit, prefetch, cold miss).
+    ///
+    /// # Errors
+    ///
+    /// Propagates provider errors (missing/corrupt keys) and evaluator errors.
+    pub fn execute<P: KeyProvider + ?Sized>(
+        &self,
+        evaluator: &Evaluator,
+        provider: &P,
+        input: &Ciphertext,
+    ) -> Result<Ciphertext> {
+        let ctx = evaluator.context();
+        let slots = ctx.slot_count();
+        let degree = ctx.degree();
+        let mut ct = input.clone();
+        for op in &self.ops {
+            match *op {
+                ServeOp::Square => {
+                    if ct.level() > 0 {
+                        let rlk = provider.relinearization_key()?;
+                        ct = evaluator.multiply_rescale(&ct, &ct, &rlk)?;
+                    }
+                }
+                ServeOp::Rotate(steps) => {
+                    if steps % slots != 0 {
+                        let key =
+                            provider.galois_key(galois_element_for_rotation(degree, steps))?;
+                        ct = evaluator.rotate_with_key(&ct, steps, &key)?;
+                    }
+                }
+                ServeOp::Conjugate => {
+                    let key = provider.galois_key(galois_element_for_conjugation(degree))?;
+                    ct = evaluator.conjugate_with_key(&ct, &key)?;
+                }
+                ServeOp::AddSelf => {
+                    ct = evaluator.add(&ct, &ct)?;
+                }
+            }
+        }
+        Ok(ct)
+    }
+}
+
+/// One queued serving request: a tenant, the program to run, and its encrypted input.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The requesting tenant (selects the key store).
+    pub tenant: TenantId,
+    /// The program to execute.
+    pub program: Program,
+    /// The encrypted input the program starts from.
+    pub input: Ciphertext,
+}

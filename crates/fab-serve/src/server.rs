@@ -1,0 +1,190 @@
+//! The serving front-end: FIFO queue, prefetch, execution, phase labels and latency.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use fab_ckks::{Ciphertext, Evaluator, GaloisKeys, RelinearizationKey, Result};
+use fab_trace::phase;
+
+use crate::cache::{CacheStats, CachedKeyProvider, EvalKeyCache};
+use crate::histogram::LatencyHistogram;
+use crate::prefetch::Prefetcher;
+use crate::request::Request;
+use crate::tenant::{TenantId, TenantKeyStore, TenantRegistry};
+
+/// Serving configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Byte budget of the shared evaluation-key cache.
+    pub cache_budget_bytes: usize,
+    /// Whether requests warm the cache from their planned key-switch DAG before executing.
+    pub prefetch: bool,
+    /// Maximum distinct keys the prefetcher warms per request.
+    pub lookahead: usize,
+}
+
+/// Per-request timing and counter deltas.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestReport {
+    /// The tenant served.
+    pub tenant: TenantId,
+    /// Microseconds spent queued before the server picked the request up.
+    pub queue_us: u64,
+    /// Microseconds spent warming the key cache.
+    pub prefetch_us: u64,
+    /// Microseconds executing the program.
+    pub execute_us: u64,
+    /// End-to-end latency (queue + prefetch + execute).
+    pub total_us: u64,
+    /// Ops in the request's program.
+    pub ops: usize,
+    /// Switching-key demand accesses the program performed.
+    pub key_accesses: u64,
+}
+
+/// A completed request: its output ciphertext and report.
+#[derive(Debug, Clone)]
+pub struct ServedRequest {
+    /// The program's output.
+    pub output: Ciphertext,
+    /// Timing and counters for this request.
+    pub report: RequestReport,
+}
+
+/// The multi-tenant serving front-end.
+///
+/// Requests are drained FIFO; each one is (optionally) prefetched and then executed through
+/// the [`CachedKeyProvider`] seam against the shared [`EvalKeyCache`]. When the evaluator
+/// carries a recording sink, every request contributes `serve_queue` / `serve_prefetch` /
+/// `serve_execute` phase marks to the recorded trace, so per-phase op accounting works the
+/// same way it does for bootstrap stages.
+#[derive(Debug)]
+pub struct FabServer {
+    evaluator: Evaluator,
+    registry: TenantRegistry,
+    cache: EvalKeyCache,
+    prefetcher: Option<Prefetcher>,
+    histogram: LatencyHistogram,
+    queue: VecDeque<(Request, Instant)>,
+}
+
+impl FabServer {
+    /// Creates a server around an evaluator (plain or sink-instrumented).
+    pub fn new(evaluator: Evaluator, config: ServerConfig) -> Self {
+        Self {
+            evaluator,
+            registry: TenantRegistry::new(),
+            cache: EvalKeyCache::new(config.cache_budget_bytes),
+            prefetcher: config.prefetch.then(|| Prefetcher::new(config.lookahead)),
+            histogram: LatencyHistogram::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Registers a tenant by serializing their key material into the registry.
+    pub fn register_tenant(
+        &mut self,
+        tenant: TenantId,
+        rlk: &RelinearizationKey,
+        galois: &GaloisKeys,
+    ) {
+        self.registry
+            .register(tenant, TenantKeyStore::new(rlk, galois));
+    }
+
+    /// The tenant registry.
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.registry
+    }
+
+    /// The shared key cache.
+    pub fn cache(&self) -> &EvalKeyCache {
+        &self.cache
+    }
+
+    /// The cache counters (shorthand for `cache().stats()`).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// End-to-end latency histogram over every served request.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.histogram
+    }
+
+    /// The evaluator requests execute on.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// Enqueues a request (FIFO).
+    pub fn submit(&mut self, request: Request) {
+        self.queue.push_back((request, Instant::now()));
+    }
+
+    /// Requests currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drains the queue FIFO, serving every request.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing request (unknown tenant, missing/corrupt key, evaluator
+    /// error), leaving later requests queued.
+    pub fn run(&mut self) -> Result<Vec<ServedRequest>> {
+        let mut served = Vec::with_capacity(self.queue.len());
+        while let Some((request, enqueued)) = self.queue.pop_front() {
+            served.push(self.serve(request, enqueued)?);
+        }
+        Ok(served)
+    }
+
+    fn serve(&mut self, request: Request, enqueued: Instant) -> Result<ServedRequest> {
+        let sink = self.evaluator.sink();
+        if sink.is_enabled() {
+            sink.begin_phase(phase::SERVE_QUEUE);
+        }
+        let queue_us = enqueued.elapsed().as_micros() as u64;
+        let store = self.registry.store(request.tenant)?;
+        let accesses_before = self.cache.stats().demand_accesses();
+
+        if sink.is_enabled() {
+            sink.begin_phase(phase::SERVE_PREFETCH);
+        }
+        let prefetch_start = Instant::now();
+        if let Some(prefetcher) = &self.prefetcher {
+            let upcoming = request
+                .program
+                .key_refs(self.evaluator.context(), request.input.level());
+            prefetcher.warm(&mut self.cache, request.tenant, store, &upcoming)?;
+        }
+        let prefetch_us = prefetch_start.elapsed().as_micros() as u64;
+
+        if sink.is_enabled() {
+            sink.begin_phase(phase::SERVE_EXECUTE);
+        }
+        let execute_start = Instant::now();
+        let provider = CachedKeyProvider::new(&mut self.cache, store, request.tenant);
+        let output = request
+            .program
+            .execute(&self.evaluator, &provider, &request.input)?;
+        let execute_us = execute_start.elapsed().as_micros() as u64;
+
+        let total_us = queue_us + prefetch_us + execute_us;
+        self.histogram.record(total_us);
+        Ok(ServedRequest {
+            output,
+            report: RequestReport {
+                tenant: request.tenant,
+                queue_us,
+                prefetch_us,
+                execute_us,
+                total_us,
+                ops: request.program.len(),
+                key_accesses: self.cache.stats().demand_accesses() - accesses_before,
+            },
+        })
+    }
+}

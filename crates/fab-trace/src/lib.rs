@@ -60,6 +60,12 @@ pub mod phase {
     /// HELR: masking the weight ciphertext ahead of its end-of-iteration sparse bootstrap
     /// (the bootstrap itself is phase-marked `MOD_RAISE` … `SLOT_TO_COEFF`).
     pub const LR_REFRESH: &str = "lr_refresh";
+    /// Serving: time a request spends queued before the server picks it up.
+    pub const SERVE_QUEUE: &str = "serve_queue";
+    /// Serving: warming the evaluation-key cache from the request's planned key-switch DAG.
+    pub const SERVE_PREFETCH: &str = "serve_prefetch";
+    /// Serving: executing the request's homomorphic program.
+    pub const SERVE_EXECUTE: &str = "serve_execute";
 }
 
 /// One homomorphic operation at a given level.

@@ -126,6 +126,8 @@ pub use fab_lr as logistic_regression;
 pub use fab_math as math;
 /// Residue-number-system substrate: bases, polynomials, basis conversion, ModUp/ModDown.
 pub use fab_rns as rns;
+/// Multi-tenant serving front-end with a trace-driven evaluation-key cache.
+pub use fab_serve as serve;
 /// Shared op vocabulary ([`trace::HeOp`], [`trace::OpTrace`]) and trace sinks.
 pub use fab_trace as trace;
 
@@ -144,6 +146,9 @@ pub mod prelude {
         synthetic_mnist_like, EncryptedLogisticRegression, LogisticRegressionTrainer,
     };
     pub use fab_math::Complex64;
+    pub use fab_serve::{
+        EvalKeyCache, FabServer, Program, Request, ServeOp, ServerConfig, TenantId,
+    };
     pub use fab_trace::{
         CountingSink, HeOp, NoopSink, OpCounts, OpTrace, RecordingSink, TraceSink,
     };

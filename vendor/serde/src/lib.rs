@@ -1,0 +1,628 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The container has no registry access, so serialization runs against this minimal
+//! re-implementation: [`Serialize`] lowers a value into the self-describing [`Value`] tree and
+//! [`Deserialize`] rebuilds it, while [`json`] renders/parses that tree as ordinary JSON text.
+//! The derive macros are re-exported from the sibling `serde_derive` stub, so downstream code
+//! keeps the familiar `#[derive(serde::Serialize, serde::Deserialize)]` surface (gated behind
+//! each crate's `serde` feature) without any registry dependency.
+//!
+//! Fidelity notes: maps preserve field order, `f64` uses Rust's `{:?}` formatting for exact
+//! round-trips, and the numeric impls accept any numeric [`Value`] variant that fits, so a
+//! `u64` written as `42` reads back into `usize`/`f64` fields the way real `serde_json` allows.
+
+#![forbid(unsafe_code)]
+
+// Lets the derive-generated `::serde::…` paths resolve inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing serialized value (the stub's counterpart of `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative (or explicitly signed) integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Map with insertion-ordered string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in a [`Value::Map`], if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a [`Value::Map`], erroring when absent (used by derived code).
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error carrying an arbitrary message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Lowers `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from `value`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::UInt(n as u64)
+                } else {
+                    Value::Int(n)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match value {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range")))?,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(Error::custom(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+/// JSON rendering and parsing for the [`Value`] tree.
+pub mod json {
+    use super::{Deserialize, Error, Serialize, Value};
+    use std::fmt::Write as _;
+
+    /// Serializes `value` to compact JSON text.
+    pub fn to_string<T: Serialize>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_value());
+        out
+    }
+
+    /// Parses JSON text and rebuilds a `T` from it.
+    pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.parse_value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(Error::custom(format!(
+                "trailing characters at byte {}",
+                parser.pos
+            )));
+        }
+        T::from_value(&value)
+    }
+
+    fn write_value(out: &mut String, value: &Value) {
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` always keeps a `.0`/exponent marker, so floats re-parse as floats.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_string(out, s),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_value(out, item);
+                }
+                out.push(']');
+            }
+            Value::Map(entries) => {
+                out.push('{');
+                for (i, (key, item)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    write_value(out, item);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(b) = self.bytes.get(self.pos) {
+                if b" \t\r\n".contains(b) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, Error> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| Error::custom("unexpected end of input"))
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), Error> {
+            let found = self.peek()?;
+            if found != byte {
+                return Err(Error::custom(format!(
+                    "expected `{}` at byte {}, found `{}`",
+                    byte as char, self.pos, found as char
+                )));
+            }
+            self.pos += 1;
+            Ok(())
+        }
+
+        fn take_literal(&mut self, literal: &str) -> bool {
+            if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+                self.pos += literal.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn parse_value(&mut self) -> Result<Value, Error> {
+            match self.peek()? {
+                b'{' => self.parse_map(),
+                b'[' => self.parse_seq(),
+                b'"' => self.parse_string().map(Value::Str),
+                b't' | b'f' | b'n' => {
+                    if self.take_literal("true") {
+                        Ok(Value::Bool(true))
+                    } else if self.take_literal("false") {
+                        Ok(Value::Bool(false))
+                    } else if self.take_literal("null") {
+                        Ok(Value::Null)
+                    } else {
+                        Err(Error::custom(format!(
+                            "invalid literal at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+                _ => self.parse_number(),
+            }
+        }
+
+        fn parse_map(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut entries = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                let key = self.parse_string()?;
+                self.expect(b':')?;
+                entries.push((key, self.parse_value()?));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected `,` or `}}`, found `{}`",
+                            other as char
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn parse_seq(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(self.parse_value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected `,` or `]`, found `{}`",
+                            other as char
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn parse_string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let b = *self
+                    .bytes
+                    .get(self.pos)
+                    .ok_or_else(|| Error::custom("unterminated string"))?;
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let esc = *self
+                            .bytes
+                            .get(self.pos)
+                            .ok_or_else(|| Error::custom("unterminated escape"))?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                                self.pos += 4;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex)
+                                        .map_err(|_| Error::custom("invalid \\u escape"))?,
+                                    16,
+                                )
+                                .map_err(|_| Error::custom("invalid \\u escape"))?;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error::custom("invalid \\u escape"))?,
+                                );
+                            }
+                            other => {
+                                return Err(Error::custom(format!(
+                                    "unsupported escape `\\{}`",
+                                    other as char
+                                )))
+                            }
+                        }
+                    }
+                    other => {
+                        // Collect the full UTF-8 sequence starting at this byte.
+                        let start = self.pos - 1;
+                        let mut end = self.pos;
+                        while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                            end += 1;
+                        }
+                        if other < 0x80 {
+                            out.push(other as char);
+                        } else {
+                            let chunk = std::str::from_utf8(&self.bytes[start..end])
+                                .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                            out.push_str(chunk);
+                            self.pos = end;
+                        }
+                    }
+                }
+            }
+        }
+
+        fn parse_number(&mut self) -> Result<Value, Error> {
+            self.skip_ws();
+            let start = self.pos;
+            if self.bytes.get(self.pos) == Some(&b'-') {
+                self.pos += 1;
+            }
+            while let Some(b) = self.bytes.get(self.pos) {
+                if b.is_ascii_digit() || b".eE+-".contains(b) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error::custom("invalid number"))?;
+            if text.is_empty() {
+                return Err(Error::custom(format!("expected number at byte {start}")));
+            }
+            if text.contains(['.', 'e', 'E']) {
+                text.parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+            } else if text.starts_with('-') {
+                text.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+            } else {
+                text.parse::<u64>()
+                    .map(Value::UInt)
+                    .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        count: usize,
+        ratio: f64,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mode {
+        Fast,
+        Careful,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        name: String,
+        enabled: bool,
+        mode: Mode,
+        inner: Inner,
+        weights: Vec<f64>,
+        limit: Option<u64>,
+    }
+
+    #[test]
+    fn derived_round_trip_preserves_everything() {
+        let value = Outer {
+            name: "fab \"serve\"\n".to_string(),
+            enabled: true,
+            mode: Mode::Careful,
+            inner: Inner {
+                count: 23,
+                ratio: 0.1 + 0.2,
+            },
+            weights: vec![1.0, -2.5, 3e-9],
+            limit: None,
+        };
+        let text = json::to_string(&value);
+        let back: Outer = json::from_str(&text).expect("round trip parses");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn numbers_cross_variants_like_serde_json() {
+        assert_eq!(json::from_str::<f64>("42").unwrap(), 42.0);
+        assert_eq!(json::from_str::<i64>("42").unwrap(), 42);
+        assert_eq!(json::from_str::<u32>("-1").ok(), None);
+        assert_eq!(json::from_str::<i32>("-7").unwrap(), -7);
+    }
+
+    #[test]
+    fn unknown_enum_variant_is_rejected() {
+        assert!(json::from_str::<Mode>("\"Turbo\"").is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The container has no registry access (and therefore no `syn`/`quote`), so the derives are
+//! implemented over the raw [`proc_macro::TokenStream`]: a small hand-written walker extracts
+//! the item's name plus its named fields (structs) or unit variants (enums), and the
+//! implementations of the stub `serde::Serialize` / `serde::Deserialize` traits are emitted as
+//! source strings. Only the shapes this workspace derives are supported — plain braced structs
+//! with named fields and fieldless enums, no generics — anything else fails the build with an
+//! explicit message rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The subset of item shapes the stub derives understand.
+enum Item {
+    /// A braced struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// A fieldless enum (unit variants only).
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skips one attribute (`#` followed by a bracketed group), if present.
+fn skip_attributes(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    other => panic!("serde stub derive: malformed attribute: {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a `pub` / `pub(...)` visibility prefix, if present.
+fn skip_visibility(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(ident)) = iter.peek() {
+        if ident.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses the derive input into the supported [`Item`] shapes.
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde stub derive: expected item name, found {other:?}"),
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde stub derive on `{name}`: only plain braced items without generics are \
+             supported, found {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_unit_variants(body),
+        },
+        other => panic!("serde stub derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Extracts the field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        let field = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!("serde stub derive: expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after `{field}`, found {other:?}"),
+        }
+        fields.push(field);
+        // Skip the type: everything up to the next top-level comma (tracking angle-bracket
+        // depth so generic arguments do not end the field early).
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts the variant names of a fieldless enum body.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        let variant = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!("serde stub derive: expected variant name, found {other:?}"),
+        };
+        match iter.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            other => panic!(
+                "serde stub derive: only unit variants are supported; `{variant}` is followed \
+                 by {other:?}"
+            ),
+        }
+    }
+    variants
+}
+
+/// Derives the stub `serde::Serialize` (a `to_value` into the `serde::Value` tree).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde stub derive: generated code parses")
+}
+
+/// Derives the stub `serde::Deserialize` (a `from_value` from the `serde::Value` tree).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok(Self {{ {entries} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some(\"{v}\") => \
+                         ::std::result::Result::Ok({name}::{v}),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value.as_str() {{\n\
+                             {arms}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant for {name}: {{value:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde stub derive: generated code parses")
+}
