@@ -1,0 +1,11 @@
+//! Prints the perf-trajectory markdown table aggregated from the committed
+//! `BENCH_pr*.json` files — the same table the README embeds.
+//!
+//! Usage: `cargo run --release -p fab-bench --bin summary [-- REPO_ROOT]`
+
+use std::path::Path;
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    print!("{}", fab_bench::summary::perf_trajectory(Path::new(&root)));
+}

@@ -2,12 +2,14 @@
 //!
 //! Benchmark harness for the FAB reproduction: the [`tables`] module regenerates every table
 //! and figure of the paper's evaluation section from the accelerator model, the software CKKS
-//! implementation and the published baseline constants; the Criterion benches under `benches/`
-//! measure the software kernels that act as the CPU baseline.
+//! implementation and the published baseline constants; the [`summary`] module folds the
+//! committed `BENCH_pr*.json` files into the README's perf-trajectory table; the Criterion
+//! benches under `benches/` measure the software kernels that act as the CPU baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod summary;
 pub mod tables;
 
 pub use tables::{render_all, render_experiment, Experiment};

@@ -1,0 +1,360 @@
+//! Perf-trajectory aggregation over the committed `BENCH_pr*.json` files.
+//!
+//! The bench bins write hand-rolled JSON (the workspace deliberately carries no JSON
+//! dependency), so this module carries the matching reader: a minimal recursive-descent
+//! parser for the JSON subset those bins emit, plus [`perf_trajectory`], which folds
+//! `BENCH_pr3.json .. BENCH_pr7.json` into one markdown table of headline numbers per PR —
+//! the longitudinal view the README embeds. Missing files are tolerated (the row reports
+//! what is absent), so the helper keeps working on partial checkouts and in future PRs.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A parsed JSON value (subset: no lossless distinction between integers and doubles —
+/// everything numeric is an `f64`, which is exact for every count the bench bins emit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escape sequences decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order (the bench files never repeat keys).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup; `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a one-line description with a byte offset on malformed input or trailing
+/// non-whitespace.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", ch as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                expect(bytes, pos, b':')?;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        _ => Err(format!("unexpected byte at {pos}")),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = bytes.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_string())
+            }
+            b'\\' => {
+                let esc = bytes.get(*pos).copied().ok_or("dangling escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' | b'\\' | b'/' => out.push(esc),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        *pos += 4;
+                        let ch = char::from_u32(hex).ok_or("bad \\u code point")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    _ => return Err(format!("unsupported escape at byte {pos}")),
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+/// The first kernel row whose name matches `pred`, preferring single-thread rows (the bins
+/// that sweep threads list `threads: 1` first; the roofline bin omits the field).
+fn find_kernel(doc: &Value, pred: impl Fn(&str) -> bool) -> Option<&Value> {
+    doc.get("kernels")?.as_arr()?.iter().find(|row| {
+        row.get("kernel").and_then(Value::as_str).is_some_and(&pred)
+            && row
+                .get("threads")
+                .and_then(Value::as_f64)
+                .map_or(true, |t| t == 1.0)
+    })
+}
+
+fn kernel_cell(doc: &Value, pred: impl Fn(&str) -> bool) -> String {
+    match find_kernel(doc, pred) {
+        Some(row) => {
+            let ns = row.get("ns_per_op").and_then(Value::as_f64).unwrap_or(0.0);
+            let n = row.get("n").and_then(Value::as_f64).unwrap_or(0.0);
+            let name = row.get("kernel").and_then(Value::as_str).unwrap_or("?");
+            format!("{:.0} µs ({name}, n={n})", ns / 1e3)
+        }
+        None => "—".to_string(),
+    }
+}
+
+/// One-line headline for a PR's bench file.
+fn headline(pr: u32, doc: &Value) -> String {
+    match pr {
+        6 => {
+            // Serving benchmark: report the busiest prefetching configuration.
+            let best = doc.get("configs").and_then(Value::as_arr).and_then(|cfgs| {
+                cfgs.iter()
+                    .filter(|c| c.get("prefetch") == Some(&Value::Bool(true)))
+                    .max_by_key(|c| c.get("tenants").and_then(Value::as_f64).unwrap_or(0.0) as u64)
+            });
+            match best {
+                Some(c) => format!(
+                    "serving: {:.0}% eval-key hit rate, p95 {:.0} µs at {} tenants",
+                    c.get("hit_rate").and_then(Value::as_f64).unwrap_or(0.0) * 100.0,
+                    c.get("p95_us").and_then(Value::as_f64).unwrap_or(0.0),
+                    c.get("tenants").and_then(Value::as_f64).unwrap_or(0.0)
+                ),
+                None => "serving benchmark (no prefetch config found)".to_string(),
+            }
+        }
+        7 => {
+            let stream = doc
+                .get("streaming_baseline")
+                .and_then(|s| s.get("read_gbps"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            let ks = find_kernel(doc, |k| k == "key_switch")
+                .map(|row| {
+                    let bytes = row.get("bytes_read").and_then(Value::as_f64).unwrap_or(0.0)
+                        + row
+                            .get("bytes_written")
+                            .and_then(Value::as_f64)
+                            .unwrap_or(0.0);
+                    let ns = row.get("ns_per_op").and_then(Value::as_f64).unwrap_or(1.0);
+                    bytes / ns
+                })
+                .unwrap_or(0.0);
+            format!(
+                "roofline: DRAM streaming {stream:.1} GB/s, key_switch {ks:.1} GB/s effective (metered bytes)"
+            )
+        }
+        _ => doc.get("baseline").and_then(Value::as_str).map_or_else(
+            || "kernel speedups vs seed reference".to_string(),
+            |s| s.split(';').next().unwrap_or(s).to_string(),
+        ),
+    }
+}
+
+/// Renders the markdown perf-trajectory table from `BENCH_pr3.json .. BENCH_pr7.json`
+/// under `repo_root`. Files that are missing or malformed produce a placeholder row rather
+/// than an error.
+pub fn perf_trajectory(repo_root: &Path) -> String {
+    let mut out = String::from(
+        "| PR | ntt_forward | key_switch | multiply | headline |\n|---|---|---|---|---|\n",
+    );
+    for pr in 3..=7u32 {
+        let path = repo_root.join(format!("BENCH_pr{pr}.json"));
+        let doc = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| parse(&s).ok());
+        match doc {
+            Some(doc) => {
+                let _ = writeln!(
+                    out,
+                    "| pr{pr} | {} | {} | {} | {} |",
+                    kernel_cell(&doc, |k| k == "ntt_forward"),
+                    kernel_cell(&doc, |k| k == "key_switch"),
+                    kernel_cell(&doc, |k| k.starts_with("multiply")),
+                    headline(pr, &doc)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "| pr{pr} | — | — | — | BENCH_pr{pr}.json not found |");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_the_bench_json_subset() {
+        let doc =
+            parse(r#"{"a": 1.5, "b": [true, false, null, "x\n\"y\""], "c": {"n": -3e2}, "d": []}"#)
+                .unwrap();
+        assert_eq!(doc.get("a").unwrap().as_f64(), Some(1.5));
+        let arr = doc.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0], Value::Bool(true));
+        assert_eq!(arr[3].as_str(), Some("x\n\"y\""));
+        assert_eq!(
+            doc.get("c").unwrap().get("n").unwrap().as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(doc.get("d").unwrap().as_arr(), Some(&[][..]));
+        assert!(parse("{\"k\": }").is_err());
+        assert!(parse("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn trajectory_table_covers_every_committed_bench_file() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let table = perf_trajectory(&root);
+        for pr in 3..=7 {
+            let line = table
+                .lines()
+                .find(|l| l.starts_with(&format!("| pr{pr} ")))
+                .unwrap_or_else(|| panic!("no row for pr{pr} in:\n{table}"));
+            assert!(
+                !line.contains("not found"),
+                "BENCH_pr{pr}.json missing from the checkout:\n{line}"
+            );
+        }
+        // The files the parser must understand span three generations of schema.
+        assert!(table.contains("ntt_forward, n=65536"), "{table}");
+        assert!(table.contains("serving:"), "{table}");
+        assert!(table.contains("roofline: DRAM streaming"), "{table}");
+    }
+}

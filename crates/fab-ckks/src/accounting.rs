@@ -35,9 +35,21 @@
 //!
 //! Use [`NttMeter`] to measure a region and surface the observed count as a
 //! [`fab_trace::HeOp::Ntt`] op in a recorded trace.
+//!
+//! ## Bytes-moved formulas
+//!
+//! Beside every transform-count formula sits a `_bytes` twin composing the
+//! [`fab_rns::metering::bytes`] kernel costs into the operation's total DRAM-order traffic
+//! (row-pass granularity over the flat limb-major layout — see that module's convention).
+//! The kernels charge the *same helpers* at their call sites, so `recorded == formula`
+//! bytes tests can only fail on a genuine structural change, exactly like the transform
+//! counts. One deliberate asymmetry: the formulas assume the fold-free KSKIP schedule
+//! (`bytes::fold_count` is 0 at every supported modulus width × digit count), while the
+//! charge sites compute the schedule exactly per modulus.
 
 use fab_rns::metering;
-pub use fab_rns::metering::TransformCounts;
+use fab_rns::metering::bytes;
+pub use fab_rns::metering::{ByteCounts, TransformCounts};
 use fab_trace::{HeOp, TraceSink};
 
 use crate::BsgsPlan;
@@ -202,6 +214,173 @@ pub fn bsgs_stage_eval(
         add(add(add(babies, promote), cache_fill), group_inverses),
         giants,
     )
+}
+
+/// Traffic of the shared digit raise (`raise_digits`): the hoisted conversion products
+/// over the `limbs` source rows, the digit rows' own entry into evaluation form (`limbs`
+/// lazy forwards — or, dual-form, `limbs` batched inverses feeding the coefficient-domain
+/// conversions), and per digit one lazy conversion + lazy forward for each of its
+/// `raised - len_j` extension rows.
+fn raise_bytes(
+    degree: usize,
+    limbs: usize,
+    special: usize,
+    alpha: usize,
+    dual: bool,
+) -> ByteCounts {
+    let beta = limbs.div_ceil(alpha);
+    let raised = limbs + special;
+    let mut cost = bytes::hoisted_products(degree, limbs);
+    cost += if dual {
+        bytes::ntt_inverse(degree).times(limbs as u64)
+    } else {
+        bytes::ntt_forward_lazy(degree).times(limbs as u64)
+    };
+    for j in 0..beta {
+        let len = ((j + 1) * alpha).min(limbs) - j * alpha;
+        cost += (bytes::convert_row_lazy(degree, len) + bytes::ntt_forward_lazy(degree))
+            .times((raised - len) as u64);
+    }
+    cost
+}
+
+/// Traffic of the u128 KSKIP accumulation: one [`bytes::kskip_row`] per raised limb over
+/// the `β` digits (fold-free — see the module docs).
+fn kskip_bytes(
+    degree: usize,
+    limbs: usize,
+    special: usize,
+    alpha: usize,
+    permuted: bool,
+) -> ByteCounts {
+    let beta = limbs.div_ceil(alpha);
+    let raised = (limbs + special) as u64;
+    bytes::kskip_row(degree, beta, 0, permuted).times(raised)
+}
+
+/// Bytes moved by one hybrid key switch of a **coefficient-form** operand: the digit
+/// raise, the KSKIP inner product, both accumulator inverse batches, and both ModDowns.
+pub fn key_switch_bytes(degree: usize, limbs: usize, special: usize, alpha: usize) -> ByteCounts {
+    let raised = (limbs + special) as u64;
+    raise_bytes(degree, limbs, special, alpha, false)
+        + kskip_bytes(degree, limbs, special, alpha, false)
+        + bytes::ntt_inverse(degree).times(2 * raised)
+        + bytes::mod_down(degree, limbs, special).times(2)
+}
+
+/// Bytes moved by one **dual-form** hybrid key switch (evaluation-form operand): the
+/// digits' own rows are reused verbatim (their lazy forwards disappear) and one batched
+/// inverse of the `limbs` rows feeds the conversions instead.
+pub fn key_switch_dual_bytes(
+    degree: usize,
+    limbs: usize,
+    special: usize,
+    alpha: usize,
+) -> ByteCounts {
+    let raised = (limbs + special) as u64;
+    raise_bytes(degree, limbs, special, alpha, true)
+        + kskip_bytes(degree, limbs, special, alpha, false)
+        + bytes::ntt_inverse(degree).times(2 * raised)
+        + bytes::mod_down(degree, limbs, special).times(2)
+}
+
+/// Bytes moved by a ciphertext multiplication (with relinearisation) on coefficient-form
+/// operands through the dual-form pipeline: four operand forwards, the three pointwise
+/// tensor products plus one fused multiply-add, the dual-form key switch of `d2`, and the
+/// evaluation-domain `P·d` absorption of `d0`/`d1` into the accumulators.
+pub fn multiply_bytes(degree: usize, limbs: usize, special: usize, alpha: usize) -> ByteCounts {
+    bytes::ntt_forward(degree).times(4 * limbs as u64)
+        + bytes::pointwise_binary(degree, limbs).times(3)
+        + bytes::fused_multiply_add(degree, limbs)
+        + bytes::absorb(degree, limbs).times(2)
+        + key_switch_dual_bytes(degree, limbs, special, alpha)
+}
+
+/// Bytes moved by a fused multiply+rescale: identical to [`multiply_bytes`] except the
+/// fused ModDown+rescale plan treats the level's top prime as a special limb
+/// (`q_len = limbs-1`, `p_len = special+1`), so the conversion traffic differs while the
+/// transform count does not.
+pub fn multiply_rescale_bytes(
+    degree: usize,
+    limbs: usize,
+    special: usize,
+    alpha: usize,
+) -> ByteCounts {
+    let raised = (limbs + special) as u64;
+    bytes::ntt_forward(degree).times(4 * limbs as u64)
+        + bytes::pointwise_binary(degree, limbs).times(3)
+        + bytes::fused_multiply_add(degree, limbs)
+        + bytes::absorb(degree, limbs).times(2)
+        + raise_bytes(degree, limbs, special, alpha, true)
+        + kskip_bytes(degree, limbs, special, alpha, false)
+        + bytes::ntt_inverse(degree).times(2 * raised)
+        + bytes::mod_down(degree, limbs - 1, special + 1).times(2)
+}
+
+/// Bytes moved by one key-switched rotation (or conjugation): both parts' automorphism
+/// gathers, the key switch of the rotated `c1`, and the `c0 += k0` combine. (The
+/// automorphisms and the add are transform-free but not traffic-free.)
+pub fn rotation_bytes(degree: usize, limbs: usize, special: usize, alpha: usize) -> ByteCounts {
+    bytes::automorphism(degree, limbs).times(2)
+        + key_switch_bytes(degree, limbs, special, alpha)
+        + bytes::pointwise_binary(degree, limbs)
+}
+
+/// Bytes moved by a hoisted rotation batch with `rotations` key-switched steps: the digit
+/// raise paid **once**, then per rotation a permuted KSKIP sweep (the evaluation-domain
+/// gather rides the inner product), both accumulator inverse batches, both ModDowns, the
+/// `c0` automorphism and the `c0 += k0` combine. Free-step-only batches move nothing.
+pub fn hoisted_rotation_batch_bytes(
+    degree: usize,
+    limbs: usize,
+    special: usize,
+    alpha: usize,
+    rotations: usize,
+) -> ByteCounts {
+    if rotations == 0 {
+        return ByteCounts::default();
+    }
+    let raised = (limbs + special) as u64;
+    let per_rotation = kskip_bytes(degree, limbs, special, alpha, true)
+        + bytes::ntt_inverse(degree).times(2 * raised)
+        + bytes::mod_down(degree, limbs, special).times(2)
+        + bytes::automorphism(degree, limbs)
+        + bytes::pointwise_binary(degree, limbs);
+    raise_bytes(degree, limbs, special, alpha, false) + per_rotation.times(rotations as u64)
+}
+
+/// Bytes moved by one **eval-resident** BSGS stage (the shipped `apply_with` path): the
+/// hoisted baby batch, each distinct baby promoted to evaluation form once, the one-time
+/// diagonal cache fill when `warm`, two pointwise products per diagonal against the cached
+/// plaintext rows, the eval-resident partial-sum adds (`diagonals - 1` ciphertext adds),
+/// one inverse pair per giant group, one full rotation per nonzero giant step, and the
+/// trailing rescale of both parts.
+pub fn bsgs_stage_eval_bytes(
+    degree: usize,
+    limbs: usize,
+    special: usize,
+    alpha: usize,
+    plan: &BsgsPlan,
+    diagonals: usize,
+    warm: bool,
+) -> ByteCounts {
+    let baby_count = plan.baby_offsets().len() as u64;
+    let group_count = plan.groups().len() as u64;
+    let babies =
+        hoisted_rotation_batch_bytes(degree, limbs, special, alpha, plan.baby_rotation_count());
+    let promote = bytes::ntt_forward(degree).times(2 * limbs as u64 * baby_count);
+    let cache_fill = if warm {
+        bytes::ntt_forward(degree).times((diagonals * limbs) as u64)
+    } else {
+        ByteCounts::default()
+    };
+    let products = bytes::pointwise_binary(degree, limbs).times(2 * diagonals as u64);
+    let sums = bytes::pointwise_binary(degree, limbs).times(2 * diagonals.saturating_sub(1) as u64);
+    let group_inverses = bytes::ntt_inverse(degree).times(2 * limbs as u64 * group_count);
+    let giants =
+        rotation_bytes(degree, limbs, special, alpha).times(plan.giant_rotation_count() as u64);
+    let rescales = bytes::rescale(degree, limbs).times(2);
+    babies + promote + cache_fill + products + sums + group_inverses + giants + rescales
 }
 
 /// Measures the transforms performed between construction and [`NttMeter::elapsed`] /

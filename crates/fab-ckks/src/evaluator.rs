@@ -1255,6 +1255,7 @@ impl Evaluator {
             }
             let plans = &plans;
             let ranges = &ranges;
+            fab_rns::metering::add_bytes(fab_rns::metering::bytes::hoisted_products(degree, limbs));
             fab_par::par_jobs(jobs, |(j, i, row)| {
                 let converter = plans[j]
                     .converter()
@@ -1323,6 +1324,20 @@ impl Evaluator {
                 }
             }
             fab_rns::metering::add_forward(jobs.len());
+            {
+                use fab_rns::metering::bytes;
+                let mut cost = fab_rns::metering::ByteCounts::default();
+                if !dual {
+                    cost += bytes::ntt_forward_lazy(degree).times(limbs as u64);
+                }
+                for (j, plan) in plans.iter().enumerate() {
+                    let len = ranges[j].1 - ranges[j].0;
+                    cost += (bytes::convert_row_lazy(degree, len)
+                        + bytes::ntt_forward_lazy(degree))
+                    .times(plan.conversion_rows().len() as u64);
+                }
+                fab_rns::metering::add_bytes(cost);
+            }
             fab_par::par_jobs(jobs, |job| match job {
                 RowJob::Lift { src, table, out } => {
                     out.copy_from_slice(src);
@@ -1387,6 +1402,21 @@ impl Evaluator {
         sc.acc_a.clear();
         sc.acc_a.resize(raised_limbs * degree, 0);
         {
+            use fab_rns::metering::bytes;
+            let beta = raised.ranges.len();
+            let mut cost = fab_rns::metering::ByteCounts::default();
+            for r in 0..raised_limbs {
+                let capacity = raised.basis.modulus(r).u128_mac_capacity();
+                cost += bytes::kskip_row(
+                    degree,
+                    beta,
+                    bytes::fold_count(beta, capacity),
+                    perm.is_some(),
+                );
+            }
+            fab_rns::metering::add_bytes(cost);
+        }
+        {
             let jobs: Vec<_> = sc
                 .acc_b
                 .chunks_mut(degree)
@@ -1450,6 +1480,9 @@ impl Evaluator {
             }
         }
         fab_rns::metering::add_inverse(jobs.len());
+        fab_rns::metering::add_bytes(
+            fab_rns::metering::bytes::ntt_inverse(degree).times(jobs.len() as u64),
+        );
         fab_par::par_jobs(jobs, |(table, row)| table.inverse(row));
         acc0.set_representation(Representation::Coefficient);
         acc1.set_representation(Representation::Coefficient);
@@ -1477,6 +1510,7 @@ impl Evaluator {
         debug_assert_eq!(d.representation(), Representation::Evaluation);
         let limbs = d.limb_count();
         let degree = d.degree();
+        fab_rns::metering::add_bytes(fab_rns::metering::bytes::absorb(degree, limbs));
         fab_par::par_chunks_mut(&mut acc.data_mut()[..limbs * degree], degree, |i, row| {
             let qi = basis.modulus(i);
             let (p, p_shoup) = p_mod_q[i];

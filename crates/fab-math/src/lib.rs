@@ -59,7 +59,7 @@ pub use error::MathError;
 pub use fft::SpecialFft;
 pub use modulus::{Modulus, MAX_MODULUS_BITS};
 pub use multiword::{MultiWord54, WORD18_BITS, WORD27_BITS};
-pub use ntt::NttTable;
+pub use ntt::{ntt_block_len, NttTable, DEFAULT_NTT_BLOCK, NTT_BLOCK_LINEAR};
 pub use prime::{generate_ntt_prime, generate_ntt_primes, is_prime};
 pub use reduction::{ShiftAddReducer, DEFAULT_SHIFTS};
 

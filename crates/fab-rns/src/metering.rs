@@ -1,10 +1,13 @@
-//! Thread-local NTT transform counters — the hardware-counter analogue for perf claims.
+//! Thread-local NTT transform **and bytes-moved** counters — the hardware-counter analogue
+//! for perf claims.
 //!
 //! The HPM-validation literature argues that trustworthy performance claims need *verified
 //! operation counts*, not just wall-clock timings. This module keeps a cheap tally of
-//! single-limb forward/inverse NTT transforms so tests can pin `recorded == closed-form
+//! single-limb forward/inverse NTT transforms **and of bytes read/written by the hot
+//! kernels over the flat limb-major layout**, so tests can pin `recorded == closed-form
 //! formula` for every hot operation (and fail loudly if a future change silently adds
-//! transforms).
+//! transforms or traffic). The byte tallies are what the `fab-bench` roofline divides wall
+//! time into, and what calibrates `fab-core`'s memory model against *measured* traffic.
 //!
 //! ## Counting discipline
 //!
@@ -16,18 +19,37 @@
 //!   is exact at **any** `FAB_THREADS` setting;
 //! * kernels that drive [`fab_math::NttTable`] rows directly (the batched key-switch
 //!   pipeline in `fab-ckks`) report their row counts through [`add_forward`] /
-//!   [`add_inverse`] themselves.
+//!   [`add_inverse`] themselves;
+//! * every byte-charged kernel calls [`add_bytes`] with the matching closed-form helper
+//!   from [`bytes`] before its `fab_par` fan-out — charge sites and accounting formulas
+//!   share one definition, so a drift between them is a real structural change, never a
+//!   bookkeeping disagreement.
 //!
 //! Thread-locality makes concurrent tests (cargo's default) independent: each test thread
 //! observes only its own transforms, as long as it keeps `FAB_THREADS = 1` (the default) or
 //! measures deltas around operations whose counting happens on the caller thread (all of the
 //! workspace's instrumented call sites do).
+//!
+//! ## Bytes convention (the [`bytes`] module)
+//!
+//! Traffic is counted at **row-pass granularity** over the flat limb-major layout: each
+//! sequential pass of a kernel over an `n`-coefficient row charges `8n` read and/or written
+//! per `u64` word touched (`16n` per `u128` accumulator word). Index/permutation tables of
+//! length `n` (automorphism maps, the KSKIP evaluation-domain gather) count as reads;
+//! precomputed *constant* tables (twiddles, Shoup companions, conversion weights — the
+//! software analogue of FAB's on-chip ROMs) are excluded, as are pure `memcpy`s and
+//! zero-fills (allocation traffic, not kernel traffic). The algorithmic count is
+//! deliberately cache-oblivious: the cache-blocked NTT charges exactly the same bytes as the
+//! linear traversal, which is what lets the roofline surface locality wins as measured GB/s
+//! rising *above* the streaming baseline.
 
 use std::cell::Cell;
 
 thread_local! {
     static FORWARD: Cell<u64> = const { Cell::new(0) };
     static INVERSE: Cell<u64> = const { Cell::new(0) };
+    static BYTES_READ: Cell<u64> = const { Cell::new(0) };
+    static BYTES_WRITTEN: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A snapshot of the transform counters (monotonic within a thread).
@@ -55,11 +77,78 @@ impl TransformCounts {
     }
 }
 
+/// A snapshot of the bytes-moved counters (monotonic within a thread), or a closed-form
+/// bytes cost produced by the [`bytes`] helpers — the two are deliberately the same type so
+/// `recorded == formula` assertions read naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ByteCounts {
+    /// Bytes read by instrumented kernels.
+    pub read: u64,
+    /// Bytes written by instrumented kernels.
+    pub written: u64,
+}
+
+impl ByteCounts {
+    /// Bytes moved since an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &ByteCounts) -> ByteCounts {
+        ByteCounts {
+            read: self.read - earlier.read,
+            written: self.written - earlier.written,
+        }
+    }
+
+    /// Total traffic (read + written).
+    pub fn total(&self) -> u64 {
+        self.read + self.written
+    }
+
+    /// This cost repeated `k` times (for per-row / per-limb formulas).
+    #[must_use]
+    pub fn times(self, k: u64) -> ByteCounts {
+        ByteCounts {
+            read: self.read * k,
+            written: self.written * k,
+        }
+    }
+}
+
+impl std::ops::Add for ByteCounts {
+    type Output = ByteCounts;
+    fn add(self, rhs: ByteCounts) -> ByteCounts {
+        ByteCounts {
+            read: self.read + rhs.read,
+            written: self.written + rhs.written,
+        }
+    }
+}
+
+impl std::ops::AddAssign for ByteCounts {
+    fn add_assign(&mut self, rhs: ByteCounts) {
+        self.read += rhs.read;
+        self.written += rhs.written;
+    }
+}
+
+impl std::iter::Sum for ByteCounts {
+    fn sum<I: Iterator<Item = ByteCounts>>(iter: I) -> ByteCounts {
+        iter.fold(ByteCounts::default(), |a, b| a + b)
+    }
+}
+
 /// The current thread's transform tally.
 pub fn counts() -> TransformCounts {
     TransformCounts {
         forward: FORWARD.with(Cell::get),
         inverse: INVERSE.with(Cell::get),
+    }
+}
+
+/// The current thread's bytes-moved tally.
+pub fn byte_counts() -> ByteCounts {
+    ByteCounts {
+        read: BYTES_READ.with(Cell::get),
+        written: BYTES_WRITTEN.with(Cell::get),
     }
 }
 
@@ -71,6 +160,157 @@ pub fn add_forward(n: usize) {
 /// Records `n` single-limb inverse transforms (for kernels driving NTT rows directly).
 pub fn add_inverse(n: usize) {
     INVERSE.with(|c| c.set(c.get() + n as u64));
+}
+
+/// Records a bytes-moved charge (kernels call this with the matching [`bytes`] helper on
+/// the calling thread, before any `fab_par` fan-out).
+pub fn add_bytes(cost: ByteCounts) {
+    BYTES_READ.with(|c| c.set(c.get() + cost.read));
+    BYTES_WRITTEN.with(|c| c.set(c.get() + cost.written));
+}
+
+/// Closed-form bytes-moved costs of the hot kernels, at row-pass granularity over the flat
+/// limb-major layout (see the module docs for the exact convention). These helpers are the
+/// **single source of truth**: the kernels charge them at their call sites and
+/// `fab_ckks::accounting` composes them into per-operation formulas, so `recorded ==
+/// formula` tests can only fail on a genuine structural change.
+pub mod bytes {
+    use super::ByteCounts;
+
+    /// Bytes per `u64` word.
+    const W64: u64 = 8;
+    /// Bytes per `u128` accumulator word.
+    const W128: u64 = 16;
+
+    fn bc(read: u64, written: u64) -> ByteCounts {
+        ByteCounts { read, written }
+    }
+
+    /// One full read+write sweep over an `n`-coefficient `u64` row (one NTT butterfly
+    /// stage, or one canonicalisation pass).
+    pub fn ntt_pass(n: usize) -> ByteCounts {
+        bc(W64 * n as u64, W64 * n as u64)
+    }
+
+    /// A canonical forward NTT of one row: `log2 n` butterfly stages plus the final
+    /// `[0, q)` correction pass.
+    pub fn ntt_forward(n: usize) -> ByteCounts {
+        ntt_pass(n).times(n.trailing_zeros() as u64 + 1)
+    }
+
+    /// A lazy forward NTT of one row (`log2 n` butterfly stages, output left in `[0, 4q)`).
+    pub fn ntt_forward_lazy(n: usize) -> ByteCounts {
+        ntt_pass(n).times(n.trailing_zeros() as u64)
+    }
+
+    /// An inverse NTT of one row: `log2 n` butterfly stages (the last fused with the
+    /// `N^{-1}` scaling) plus the final `[0, q)` correction pass.
+    pub fn ntt_inverse(n: usize) -> ByteCounts {
+        ntt_pass(n).times(n.trailing_zeros() as u64 + 1)
+    }
+
+    /// `rows` pointwise binary passes (`dst[i] = f(dst[i], src[i])` — add/sub/mul
+    /// in-place kernels): two `u64` rows read, one written, per row pair.
+    pub fn pointwise_binary(n: usize, rows: usize) -> ByteCounts {
+        bc(2 * W64 * n as u64, W64 * n as u64).times(rows as u64)
+    }
+
+    /// `rows` pointwise unary passes (`dst[i] = f(src[i])` — negate, per-limb scalar
+    /// multiply): one row read, one written.
+    pub fn pointwise_unary(n: usize, rows: usize) -> ByteCounts {
+        bc(W64 * n as u64, W64 * n as u64).times(rows as u64)
+    }
+
+    /// `rows` fused multiply-add passes (`dst[i] += a[i]·b[i]`): three rows read, one
+    /// written.
+    pub fn fused_multiply_add(n: usize, rows: usize) -> ByteCounts {
+        bc(3 * W64 * n as u64, W64 * n as u64).times(rows as u64)
+    }
+
+    /// `rows` automorphism gathers (`dst[i] = ±src[map[i]]`): the source row and the
+    /// `n`-entry index map read, one row written.
+    pub fn automorphism(n: usize, rows: usize) -> ByteCounts {
+        bc(2 * W64 * n as u64, W64 * n as u64).times(rows as u64)
+    }
+
+    /// `k` hoisted basis-conversion product rows (`y_i = x_i · \hat{q}_i^{-1} mod q_i`):
+    /// one read + one written row each.
+    pub fn hoisted_products(n: usize, k: usize) -> ByteCounts {
+        pointwise_unary(n, k)
+    }
+
+    /// One **lazy** conversion output row accumulated from `k` hoisted source rows: the
+    /// first source writes the output without reading it back, the remaining `k-1` sources
+    /// read-modify-write it.
+    pub fn convert_row_lazy(n: usize, k: usize) -> ByteCounts {
+        bc(
+            (2 * k as u64 - 1) * W64 * n as u64,
+            k as u64 * W64 * n as u64,
+        )
+    }
+
+    /// One **canonical** conversion output row: the lazy accumulation plus a `[0, 2q)`
+    /// correction pass.
+    pub fn convert_row(n: usize, k: usize) -> ByteCounts {
+        convert_row_lazy(n, k) + ntt_pass(n)
+    }
+
+    /// A full ModUp plan application: hoisted products over the `digit_len` source rows,
+    /// then one canonical conversion row per extension target (`out_limbs - digit_len` of
+    /// them; the digit's own rows are pure copies, uncharged).
+    pub fn mod_up(n: usize, digit_len: usize, out_limbs: usize) -> ByteCounts {
+        hoisted_products(n, digit_len)
+            + convert_row(n, digit_len).times((out_limbs - digit_len) as u64)
+    }
+
+    /// A full ModDown plan application: hoisted products over the `p_len` special rows,
+    /// then per output `q`-row one canonical conversion plus the `(x - conv)·P^{-1}`
+    /// combine (which reads the input's matching `q`-row and the converted row, writing
+    /// the output row).
+    pub fn mod_down(n: usize, q_len: usize, p_len: usize) -> ByteCounts {
+        hoisted_products(n, p_len)
+            + (convert_row(n, p_len) + pointwise_binary(n, 1)).times(q_len as u64)
+    }
+
+    /// A rescale by the top prime: `limbs - 1` output rows, each reading the last limb's
+    /// row (reduced mod `q_i`) and the matching row, writing one row.
+    pub fn rescale(n: usize, limbs: usize) -> ByteCounts {
+        pointwise_binary(n, limbs - 1)
+    }
+
+    /// One raised row of the u128 KSKIP inner product over `digits` digits: per digit the
+    /// operand row, both key rows (3 `u64` reads, plus the `n`-entry permutation gather
+    /// when `permuted`) and a read-modify-write of both `u128` accumulator rows; `folds`
+    /// overflow-guard foldings (read+write both accumulator rows); and the final lazy
+    /// reduction of both accumulator rows into the two `u64` output rows.
+    pub fn kskip_row(n: usize, digits: usize, folds: u64, permuted: bool) -> ByteCounts {
+        let n = n as u64;
+        let per_digit = bc(
+            (3 + u64::from(permuted)) * W64 * n + 2 * W128 * n,
+            2 * W128 * n,
+        );
+        let fold = bc(2 * W128 * n, 2 * W128 * n);
+        let reduce_out = bc(2 * W128 * n, 2 * W64 * n);
+        per_digit.times(digits as u64) + fold.times(folds) + reduce_out
+    }
+
+    /// The evaluation-domain `acc += P·d` absorption over `limbs` rows: accumulator row
+    /// and operand row read, accumulator row written.
+    pub fn absorb(n: usize, limbs: usize) -> ByteCounts {
+        pointwise_binary(n, limbs)
+    }
+
+    /// Number of overflow-guard foldings the KSKIP accumulation performs for `digits`
+    /// digits at a `capacity`-term u128 MAC budget (0 at every supported modulus width ×
+    /// digit count in this workspace — the capacity at ≤ 54-bit moduli exceeds any
+    /// realistic β — but the charge sites compute it exactly).
+    pub fn fold_count(digits: usize, capacity: usize) -> u64 {
+        if digits <= capacity {
+            0
+        } else {
+            1 + ((digits - capacity - 1) / (capacity - 1)) as u64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -99,9 +339,77 @@ mod tests {
         let start = counts();
         std::thread::spawn(|| {
             add_forward(1000);
+            add_bytes(ByteCounts {
+                read: 512,
+                written: 256,
+            });
         })
         .join()
         .unwrap();
         assert_eq!(counts().since(&start).forward, 0);
+        assert_eq!(byte_counts().since(&byte_counts()).total(), 0);
+    }
+
+    #[test]
+    fn byte_counters_accumulate_and_diff() {
+        let start = byte_counts();
+        add_bytes(bytes::ntt_pass(1024));
+        add_bytes(bytes::pointwise_binary(1024, 3));
+        let delta = byte_counts().since(&start);
+        assert_eq!(delta.read, 8 * 1024 + 3 * 16 * 1024);
+        assert_eq!(delta.written, 8 * 1024 + 3 * 8 * 1024);
+        assert_eq!(delta.total(), delta.read + delta.written);
+    }
+
+    #[test]
+    fn transform_bytes_formulas_count_passes() {
+        // log2(4096) = 12 stages; canonical paths pay one extra correction pass.
+        assert_eq!(
+            bytes::ntt_forward_lazy(4096),
+            bytes::ntt_pass(4096).times(12)
+        );
+        assert_eq!(bytes::ntt_forward(4096), bytes::ntt_pass(4096).times(13));
+        assert_eq!(bytes::ntt_inverse(4096), bytes::ntt_pass(4096).times(13));
+    }
+
+    #[test]
+    fn conversion_formulas_compose() {
+        let n = 64;
+        // ModUp over a 2-limb digit to 5 output limbs: 2 hoisted rows + 3 conversion rows.
+        assert_eq!(
+            bytes::mod_up(n, 2, 5),
+            bytes::hoisted_products(n, 2) + bytes::convert_row(n, 2).times(3)
+        );
+        // The canonical conversion row is the lazy one plus a correction pass.
+        assert_eq!(
+            bytes::convert_row(n, 3),
+            bytes::convert_row_lazy(n, 3) + bytes::ntt_pass(n)
+        );
+    }
+
+    #[test]
+    fn fold_count_matches_the_fold_schedule() {
+        // Simulate kskip::accumulate_digits' guard: fold when terms+1 > capacity.
+        fn simulate(digits: usize, capacity: usize) -> u64 {
+            let mut folds = 0;
+            let mut terms = 0usize;
+            for _ in 0..digits {
+                if terms + 1 > capacity {
+                    folds += 1;
+                    terms = 1;
+                }
+                terms += 1;
+            }
+            folds
+        }
+        for capacity in 2..8 {
+            for digits in 0..40 {
+                assert_eq!(
+                    bytes::fold_count(digits, capacity),
+                    simulate(digits, capacity),
+                    "digits={digits} capacity={capacity}"
+                );
+            }
+        }
     }
 }

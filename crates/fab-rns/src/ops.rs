@@ -182,6 +182,15 @@ impl ModUpPlan {
         // Every output row is either copied from the digit or fully written by the
         // conversion accumulate, so the zeroing reset is skipped.
         out.reshape_unspecified(degree, self.output_limbs(), Representation::Coefficient);
+        // Bytes charged on the calling thread (copied digit rows are free; the conversion
+        // rows and the hoisted products are the traffic).
+        if self.converter.is_some() {
+            crate::metering::add_bytes(crate::metering::bytes::mod_up(
+                degree,
+                self.digit_len,
+                self.output_limbs(),
+            ));
+        }
         if let Some(converter) = &self.converter {
             converter.hoisted_products_into(digit.data(), degree, &mut scratch.hoisted);
         }
@@ -286,6 +295,9 @@ impl ModDownPlan {
             });
         }
         let degree = self.degree;
+        crate::metering::add_bytes(crate::metering::bytes::mod_down(
+            degree, self.q_len, self.p_len,
+        ));
         // Hoist the P-part products once, shared across every Q limb.
         let p_part = &poly.data()[self.q_len * degree..];
         self.converter
@@ -415,6 +427,7 @@ pub fn rescale(poly: &RnsPolynomial, q_basis: &RnsBasis) -> Result<RnsPolynomial
     }
 
     let mut out = RnsPolynomial::zero(degree, l - 1, Representation::Coefficient);
+    crate::metering::add_bytes(crate::metering::bytes::rescale(degree, l));
     fab_par::par_chunks_mut(out.data_mut(), degree, |i, row| {
         let qi = q_basis.modulus(i);
         let q_last_inv = inv[i];

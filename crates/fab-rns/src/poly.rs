@@ -373,6 +373,9 @@ impl RnsPolynomial {
         // Counted on the calling thread (before the fan-out) so the tally is exact at any
         // FAB_THREADS setting; see `crate::metering`.
         crate::metering::add_forward(self.limb_count);
+        crate::metering::add_bytes(
+            crate::metering::bytes::ntt_forward(self.degree).times(self.limb_count as u64),
+        );
         fab_par::par_chunks_mut(&mut self.data, self.degree, |i, limb| {
             basis.table(i).forward(limb);
         });
@@ -391,6 +394,9 @@ impl RnsPolynomial {
         }
         assert!(basis.len() >= self.limb_count);
         crate::metering::add_inverse(self.limb_count);
+        crate::metering::add_bytes(
+            crate::metering::bytes::ntt_inverse(self.degree).times(self.limb_count as u64),
+        );
         fab_par::par_chunks_mut(&mut self.data, self.degree, |i, limb| {
             basis.table(i).inverse(limb);
         });
@@ -416,6 +422,10 @@ impl RnsPolynomial {
     pub fn add_assign(&mut self, other: &Self, basis: &RnsBasis) -> Result<()> {
         self.check_compatible(other)?;
         let degree = self.degree;
+        crate::metering::add_bytes(crate::metering::bytes::pointwise_binary(
+            degree,
+            self.limb_count,
+        ));
         fab_par::par_chunks_mut(&mut self.data, degree, |i, row| {
             let m = basis.modulus(i);
             for (x, &y) in row.iter_mut().zip(other.limb(i)) {
@@ -444,6 +454,10 @@ impl RnsPolynomial {
     pub fn sub_assign(&mut self, other: &Self, basis: &RnsBasis) -> Result<()> {
         self.check_compatible(other)?;
         let degree = self.degree;
+        crate::metering::add_bytes(crate::metering::bytes::pointwise_binary(
+            degree,
+            self.limb_count,
+        ));
         fab_par::par_chunks_mut(&mut self.data, degree, |i, row| {
             let m = basis.modulus(i);
             for (x, &y) in row.iter_mut().zip(other.limb(i)) {
@@ -457,6 +471,10 @@ impl RnsPolynomial {
     pub fn neg(&self, basis: &RnsBasis) -> Self {
         let mut out = self.clone();
         let degree = out.degree;
+        crate::metering::add_bytes(crate::metering::bytes::pointwise_unary(
+            degree,
+            out.limb_count,
+        ));
         fab_par::par_chunks_mut(&mut out.data, degree, |i, row| {
             let m = basis.modulus(i);
             for x in row.iter_mut() {
@@ -494,6 +512,10 @@ impl RnsPolynomial {
         }
         self.check_compatible(other)?;
         let degree = self.degree;
+        crate::metering::add_bytes(crate::metering::bytes::pointwise_binary(
+            degree,
+            self.limb_count,
+        ));
         fab_par::par_chunks_mut(&mut self.data, degree, |i, row| {
             let m = basis.modulus(i);
             for (x, &y) in row.iter_mut().zip(other.limb(i)) {
@@ -574,6 +596,10 @@ impl RnsPolynomial {
     /// Shared fused-accumulate loop: `map == None` means identity limb selection.
     fn add_mul_inner(&mut self, a: &Self, b: &Self, map: Option<&[usize]>, basis: &RnsBasis) {
         let degree = self.degree;
+        crate::metering::add_bytes(crate::metering::bytes::fused_multiply_add(
+            degree,
+            self.limb_count,
+        ));
         fab_par::par_chunks_mut(&mut self.data, degree, |i, row| {
             let m = basis.modulus(i);
             let b_row = b.limb(map.map_or(i, |map| map[i]));
@@ -592,6 +618,10 @@ impl RnsPolynomial {
         assert_eq!(scalars.len(), self.limb_count);
         let mut out = self.clone();
         let degree = out.degree;
+        crate::metering::add_bytes(crate::metering::bytes::pointwise_unary(
+            degree,
+            out.limb_count,
+        ));
         fab_par::par_chunks_mut(&mut out.data, degree, |i, row| {
             let m = basis.modulus(i);
             let s = m.reduce(scalars[i]);
@@ -657,6 +687,10 @@ impl RnsPolynomial {
         // The permutation writes every output index, so the zeroing reset is skipped.
         out.reshape_unspecified(self.degree, self.limb_count, Representation::Coefficient);
         let degree = self.degree;
+        crate::metering::add_bytes(crate::metering::bytes::automorphism(
+            degree,
+            self.limb_count,
+        ));
         fab_par::par_chunks_mut(&mut out.data, degree, |i, row| {
             map.apply_into(self.limb(i), basis.modulus(i), row);
         });

@@ -80,9 +80,12 @@
 //!   closed-form minimums and tests pin the [`rns::metering`] tallies to them. The PR 3
 //!   eager algorithm survives as `Evaluator::key_switch_reference`, the timed baseline.
 //!
-//! The measured trajectory lives in `BENCH_pr4.json` at the repo root (regenerate with
-//! `cargo run --release -p fab-bench --bin kernels`; PR 3's record remains as
-//! `BENCH_pr3.json`).
+//! The measured trajectory lives in the `BENCH_pr*.json` records at the repo root
+//! (regenerate the kernel record with `cargo run --release -p fab-bench --bin kernels` and
+//! the bytes-metered roofline with `--bin roofline`; `--bin summary` folds every record
+//! into one table). Since PR 7 the same `rns::metering` counters also meter **bytes
+//! moved** per kernel, pinned to closed-form `*_bytes` formulas in [`ckks::accounting`]
+//! and calibrated against the accelerator memory model.
 //!
 //! ```
 //! use fab::prelude::*;
