@@ -18,6 +18,14 @@
 //! Latency percentiles recorded on a single-core container carry scheduler noise; the shared
 //! [`fab_bench::warn_untrusted_scaling`] helper flags the whole file once at the top level.
 //!
+//! After the sweep, a **chaos gate** replays the largest tenant mix under a seeded
+//! [`fab_serve::FaultPlan`] (corrupt key blobs, fail-then-recover fetches, slow fetches on a
+//! deterministic clock) plus scheduled mid-stream cache evictions, and asserts the
+//! fault-isolation contract before writing fault-rate/recovery rows to `BENCH_pr8.json`:
+//! every submitted request yields exactly one outcome, healthy tenants' outputs stay bitwise
+//! equal to the fault-free run, corrupt tenants fail with typed permanent errors, and flaky
+//! tenants recover within the stream.
+//!
 //! Usage: `cargo run --release -p fab-bench --bin serving [-- --quick] [--out PATH]`
 
 use std::fmt::Write as _;
@@ -33,7 +41,10 @@ use fab_ckks::{
 use fab_core::{
     CommunicationModel, FabConfig, MultiFpgaSystem, OpCost, OpCostModel, ParallelWorkload,
 };
-use fab_serve::{CacheStats, FabServer, Program, Request, ServerConfig, TenantId};
+use fab_serve::{
+    CacheStats, FabServer, FakeClock, FaultPlan, Program, Request, RequestOutcome, ServeFault,
+    ServedRequest, ServerConfig, TenantId,
+};
 use fab_trace::OpTrace;
 
 /// Rotation working set every tenant holds keys for (plus conjugation and relin).
@@ -119,6 +130,7 @@ fn run_config(
             cache_budget_bytes: budget_bytes,
             prefetch,
             lookahead: 2 + ROTATIONS.len(),
+            ..ServerConfig::default()
         },
     );
     for (t, tenant) in tenants.iter().enumerate() {
@@ -127,7 +139,14 @@ fn run_config(
     for request in request_stream(tenants, rounds, ops_per_request) {
         server.submit(request);
     }
-    let served = server.run().expect("serve request stream");
+    let served: Vec<ServedRequest> = server
+        .run()
+        .into_iter()
+        .map(|outcome| match outcome {
+            RequestOutcome::Completed(served) => served,
+            other => panic!("fault-free sweep must complete every request: {other:?}"),
+        })
+        .collect();
     let histogram = server.histogram();
     ConfigResult {
         tenants: tenants.len(),
@@ -197,6 +216,195 @@ fn price_stream(
         fab2_ms,
         fab2_speedup: system.speedup_over_single(&workload, comm_ms),
     }
+}
+
+/// What kind of fault a chaos-plan spec injects, for per-tenant gate selection.
+fn fault_kind(spec: &fab_serve::FaultSpec) -> &'static str {
+    if spec.corrupt_bit.is_some() {
+        "corrupt"
+    } else if spec.fail_fetches > 0 {
+        "flaky"
+    } else {
+        "slow"
+    }
+}
+
+/// The chaos gate: replays the request stream under a seeded fault plan plus scheduled
+/// cache evictions, asserts the fault-isolation contract, and returns the JSON report.
+fn chaos_gate(
+    ctx: &Arc<CkksContext>,
+    tenants: &[TenantMaterial],
+    rounds: u64,
+    ops_per_request: usize,
+    per_set_bytes: usize,
+    mode: &str,
+) -> String {
+    let seed = 0xC4A0_5008u64;
+    let fault_rate = 0.5;
+    let config = ServerConfig {
+        cache_budget_bytes: tenants.len() * per_set_bytes / 2,
+        prefetch: true,
+        lookahead: 2 + ROTATIONS.len(),
+        ..ServerConfig::default()
+    };
+    let register = |server: &mut FabServer| {
+        for (t, tenant) in tenants.iter().enumerate() {
+            server.register_tenant(TenantId(t as u32), &tenant.rlk, &tenant.keys);
+        }
+    };
+
+    // Fault-free reference under the same deterministic clock.
+    let mut reference = FabServer::new(Evaluator::new(ctx.clone()), config);
+    reference.use_fake_clock(Arc::new(FakeClock::with_step(1)));
+    register(&mut reference);
+    for request in request_stream(tenants, rounds, ops_per_request) {
+        reference.submit(request);
+    }
+    let reference_outputs: Vec<Ciphertext> = reference
+        .run()
+        .into_iter()
+        .map(|outcome| match outcome {
+            RequestOutcome::Completed(served) => served.output,
+            other => panic!("fault-free reference must complete every request: {other:?}"),
+        })
+        .collect();
+
+    // Chaos run: seeded per-tenant faults plus mid-stream LRU evictions.
+    let tenant_ids: Vec<TenantId> = (0..tenants.len()).map(|t| TenantId(t as u32)).collect();
+    let plan = FaultPlan::random(seed, &tenant_ids, fault_rate);
+    let kinds: std::collections::BTreeMap<TenantId, &'static str> = plan
+        .specs
+        .iter()
+        .map(|(tenant, spec)| (*tenant, fault_kind(spec)))
+        .collect();
+    let mut server = FabServer::new(Evaluator::new(ctx.clone()), config);
+    server.use_fake_clock(Arc::new(FakeClock::with_step(1)));
+    register(&mut server);
+    plan.apply(&mut server);
+    server.cache_mut().schedule_chaos_evictions(&[5, 11, 23]);
+    for request in request_stream(tenants, rounds, ops_per_request) {
+        server.submit(request);
+    }
+    let outcomes = server.run();
+
+    // Gate 1: one outcome per submitted request, batch never aborted.
+    assert_eq!(
+        outcomes.len(),
+        reference_outputs.len(),
+        "chaos run must yield one outcome per submitted request"
+    );
+    let mut last_flaky_outcome: std::collections::BTreeMap<TenantId, bool> =
+        std::collections::BTreeMap::new();
+    for (outcome, reference) in outcomes.iter().zip(&reference_outputs) {
+        let tenant = outcome.tenant();
+        match kinds.get(&tenant).copied() {
+            // Gate 2: tenants the plan left healthy (or merely slowed, with no deadline
+            // configured) complete with outputs bitwise equal to the fault-free run, even
+            // with chaos evictions landing mid-stream.
+            None | Some("slow") => {
+                let served = outcome
+                    .completed()
+                    .expect("healthy/slow tenants complete under chaos");
+                assert_eq!(
+                    served.output.c0(),
+                    reference.c0(),
+                    "chaos changed a healthy tenant's output"
+                );
+                assert_eq!(served.output.c1(), reference.c1());
+            }
+            // Gate 3: corrupt blobs surface as typed permanent errors on every request.
+            Some("corrupt") => {
+                let error = outcome.error().expect("corrupt tenant requests fail");
+                assert!(
+                    matches!(error.fault, ServeFault::CorruptKey { .. }),
+                    "expected CorruptKey, got {:?}",
+                    error.fault
+                );
+                assert!(!error.is_transient());
+            }
+            // Gate 4 (checked after the loop): flaky tenants' failures are transient
+            // KeyFetch errors and their final request completes bitwise-identically.
+            Some(kind) => {
+                debug_assert_eq!(kind, "flaky");
+                match outcome {
+                    RequestOutcome::Completed(served) => {
+                        assert_eq!(served.output.c0(), reference.c0());
+                        assert_eq!(served.output.c1(), reference.c1());
+                        last_flaky_outcome.insert(tenant, true);
+                    }
+                    RequestOutcome::Failed(error) => {
+                        assert!(
+                            matches!(error.fault, ServeFault::KeyFetch { .. }),
+                            "expected transient KeyFetch, got {:?}",
+                            error.fault
+                        );
+                        assert!(error.is_transient());
+                        last_flaky_outcome.insert(tenant, false);
+                    }
+                    RequestOutcome::Shed { .. } => panic!("unbounded queue never sheds"),
+                }
+            }
+        }
+    }
+    let flaky_tenants = kinds.values().filter(|k| **k == "flaky").count();
+    let recovered = last_flaky_outcome.values().filter(|ok| **ok).count();
+    assert_eq!(
+        recovered, flaky_tenants,
+        "every fail-then-recover tenant must complete its final request"
+    );
+
+    let counters = server.counters();
+    let stats = server.cache_stats();
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"source\": \"fab-bench serving bin chaos gate (PR 8)\","
+    );
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"fault_rate\": {fault_rate},");
+    let _ = writeln!(
+        out,
+        "  \"tenants\": {}, \"requests\": {},",
+        tenants.len(),
+        outcomes.len()
+    );
+    out.push_str("  \"faulted\": [");
+    for (i, (tenant, kind)) in kinds.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"tenant\": {}, \"kind\": \"{kind}\"}}",
+            if i == 0 { "" } else { ", " },
+            tenant.0
+        );
+    }
+    out.push_str("],\n");
+    let _ = writeln!(
+        out,
+        "  \"outcomes\": {{\"completed\": {}, \"failed\": {}, \"shed\": {}, \"prefetch_failures\": {}}},",
+        counters.completed, counters.failed, counters.shed, counters.prefetch_failures
+    );
+    let _ = writeln!(
+        out,
+        "  \"recovery\": {{\"flaky_tenants\": {flaky_tenants}, \"recovered\": {recovered}}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{\"transient_retries\": {}, \"backoff_units\": {}, \"corrupt_fetches\": {}, \"rollbacks\": {}, \"chaos_evictions\": {}, \"quarantined\": {}}},",
+        stats.transient_retries,
+        stats.backoff_units,
+        stats.corrupt_fetches,
+        stats.rollbacks,
+        stats.chaos_evictions,
+        server.cache().quarantined_count()
+    );
+    let _ = writeln!(
+        out,
+        "  \"gates\": {{\"per_request_outcomes\": true, \"healthy_outputs_bitwise_equal\": true, \"corrupt_requests_typed\": true, \"flaky_tenants_recovered\": true}}"
+    );
+    out.push_str("}\n");
+    out
 }
 
 fn assert_bitwise_equal_outputs(reference: &[Ciphertext], other: &ConfigResult) {
@@ -391,6 +599,22 @@ fn main() {
 
     let pricing = price_stream(&ctx, &all_tenants[..max_tenants], rounds, ops_per_request);
 
+    // The chaos gate replays the largest tenant mix under a seeded fault plan and asserts
+    // the fault-isolation contract; its rows go to a separate PR 8 report.
+    let chaos_json = chaos_gate(
+        &ctx,
+        &all_tenants[..max_tenants],
+        rounds,
+        ops_per_request,
+        per_set_bytes,
+        if quick { "quick" } else { "full" },
+    );
+    let chaos_path = if quick {
+        "target/BENCH_chaos_quick.json"
+    } else {
+        "BENCH_pr8.json"
+    };
+
     let json = render_json(
         if quick { "quick" } else { "full" },
         cores,
@@ -408,4 +632,11 @@ fn main() {
     }
     std::fs::write(&out_path, &json).expect("write bench JSON");
     eprintln!("wrote {out_path}");
+    if let Some(parent) = std::path::Path::new(chaos_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create chaos output directory");
+        }
+    }
+    std::fs::write(chaos_path, &chaos_json).expect("write chaos JSON");
+    eprintln!("wrote {chaos_path}");
 }

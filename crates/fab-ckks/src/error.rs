@@ -43,6 +43,19 @@ pub enum CkksError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A serialized key blob failed validation (bad magic, unsupported version, truncated or
+    /// oversized payload, or a checksum mismatch from flipped bits). Permanent: refetching
+    /// the same bytes will fail the same way.
+    CorruptKey {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A structurally valid key does not match the context it is being used with (wrong ring
+    /// degree, digit count, limb count, or decomposition width).
+    KeyMismatch {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CkksError {
@@ -65,6 +78,8 @@ impl fmt::Display for CkksError {
             }
             CkksError::MissingKey { description } => write!(f, "missing key: {description}"),
             CkksError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            CkksError::CorruptKey { reason } => write!(f, "corrupt key blob: {reason}"),
+            CkksError::KeyMismatch { reason } => write!(f, "key mismatch: {reason}"),
         }
     }
 }
@@ -123,6 +138,12 @@ mod tests {
             },
             CkksError::InvalidInput {
                 reason: "too many slots".into(),
+            },
+            CkksError::CorruptKey {
+                reason: "checksum mismatch".into(),
+            },
+            CkksError::KeyMismatch {
+                reason: "key degree 16 but context degree 32".into(),
             },
         ];
         for e in errors {

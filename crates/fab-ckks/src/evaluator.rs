@@ -167,8 +167,58 @@ impl Evaluator {
     }
 
     /// Locks the shared scratch arena (never held across a second lock).
+    ///
+    /// A poisoned lock is recovered rather than propagated: the arena only holds recycled
+    /// buffer pools, and every lease is re-zeroed on checkout, so state abandoned by a
+    /// panicked thread cannot leak into results — and one panicked request must not take
+    /// down every later request sharing the evaluator.
     fn scratch(&self) -> std::sync::MutexGuard<'_, Scratch> {
-        self.scratch.lock().expect("evaluator scratch poisoned")
+        self.scratch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Rejects a provider-supplied switching key whose geometry does not match this context
+    /// and `level` *before* any indexed access can panic: digit count (`β = ⌈(level+1)/α⌉`),
+    /// ring degree, and raised limb count are all checked. Corrupt blobs are caught earlier
+    /// by the serialization checksum; this guards the structurally-valid-but-mismatched case
+    /// (a key generated under different parameters reaching the wrong evaluator).
+    fn validate_switching_key(&self, key: &SwitchingKey, level: usize) -> Result<()> {
+        if key.digit_count() == 0 || key.alpha() == 0 {
+            return Err(CkksError::KeyMismatch {
+                reason: "switching key has no digits".into(),
+            });
+        }
+        let beta = (level + 1).div_ceil(key.alpha());
+        if key.digit_count() < beta {
+            return Err(CkksError::KeyMismatch {
+                reason: format!(
+                    "key has {} digits of alpha {} but level {level} needs {beta}",
+                    key.digit_count(),
+                    key.alpha()
+                ),
+            });
+        }
+        let (b0, _) = key.component(0);
+        if b0.degree() != self.ctx.degree() {
+            return Err(CkksError::KeyMismatch {
+                reason: format!(
+                    "key degree {} but context degree {}",
+                    b0.degree(),
+                    self.ctx.degree()
+                ),
+            });
+        }
+        let raised = self.ctx.params().total_raised_limbs();
+        if b0.limb_count() != raised {
+            return Err(CkksError::KeyMismatch {
+                reason: format!(
+                    "key carries {} limbs but the raised basis has {raised}",
+                    b0.limb_count()
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Replaces the trace sink, keeping context and encoder (builder-style).
@@ -1119,6 +1169,7 @@ impl Evaluator {
         key: &SwitchingKey,
         level: usize,
     ) -> Result<(RnsPolynomial, RnsPolynomial)> {
+        self.validate_switching_key(key, level)?;
         let mut scratch = self.scratch();
         let sc = &mut *scratch;
         let raised = self.ctx.raised_basis_at_level(level)?;
@@ -1389,6 +1440,7 @@ impl Evaluator {
         level: usize,
         perm: Option<&fab_math::EvalAutomorphismMap>,
     ) -> Result<(RnsPolynomial, RnsPolynomial)> {
+        self.validate_switching_key(key, level)?;
         let limbs = level + 1;
         let degree = raised.d_eval.degree();
         let raised_limbs = raised.basis.len();

@@ -17,8 +17,28 @@ use rand::Rng;
 use crate::sampling;
 use crate::{CkksContext, CkksError, CkksParams, Result};
 
-/// Bytes of the fixed `to_bytes` header: degree, limb count, `α`, `dnum` as `u64` LE words.
-const KEY_HEADER_BYTES: usize = 32;
+/// Bytes of the fixed `to_bytes` header: magic+version, checksum, degree, limb count, `α`,
+/// `dnum` as `u64` LE words.
+const KEY_HEADER_BYTES: usize = 48;
+
+/// Format tag in the top 48 bits of header word 0 (ASCII `FABKEY` is close enough; the exact
+/// value only has to be improbable in noise). The low 16 bits carry the format version.
+const KEY_MAGIC: u64 = 0x4641_424B_4559_0000;
+
+/// Current switching-key serialization version (low 16 bits of header word 0).
+const KEY_FORMAT_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit over `bytes` — the content checksum stored in header word 1 and verified by
+/// [`SwitchingKey::from_bytes`] so bit flips anywhere in the geometry or payload are caught
+/// before a garbage key is built.
+fn key_checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
 
 /// The secret key: a ternary polynomial `s`, stored both as signed coefficients and in
 /// evaluation form over the full raised basis `Q ∪ P`.
@@ -142,14 +162,18 @@ impl SwitchingKey {
         KEY_HEADER_BYTES + 2 * self.components.len() * b.limb_count() * b.degree() * 8
     }
 
-    /// Serializes the key: a 4-word header (degree, limb count, `α`, `dnum`, each `u64` LE)
-    /// followed by each digit's `b_j` then `a_j` flat limb-major `u64` LE words. Keys are
-    /// always held in evaluation form, so no representation tag is needed.
+    /// Serializes the key: a 6-word header (`magic|version`, checksum, degree, limb count,
+    /// `α`, `dnum`, each `u64` LE) followed by each digit's `b_j` then `a_j` flat limb-major
+    /// `u64` LE words. The checksum is FNV-1a over everything after the checksum word, so the
+    /// geometry words are covered too. Keys are always held in evaluation form, so no
+    /// representation tag is needed.
     pub fn to_bytes(&self) -> Vec<u8> {
         let (b0, _) = &self.components[0];
         debug_assert_eq!(b0.representation(), Representation::Evaluation);
         let mut out = Vec::with_capacity(self.serialized_bytes());
         for header in [
+            KEY_MAGIC | KEY_FORMAT_VERSION,
+            0, // checksum placeholder, patched below
             b0.degree() as u64,
             b0.limb_count() as u64,
             self.alpha as u64,
@@ -164,6 +188,8 @@ impl SwitchingKey {
                 }
             }
         }
+        let checksum = key_checksum(&out[16..]);
+        out[8..16].copy_from_slice(&checksum.to_le_bytes());
         out
     }
 
@@ -171,36 +197,76 @@ impl SwitchingKey {
     ///
     /// # Errors
     ///
-    /// Returns [`CkksError::InvalidInput`] when the header is malformed or the payload length
-    /// does not match the header's geometry.
+    /// Returns [`CkksError::CorruptKey`] when the blob is truncated or oversized, the magic
+    /// or version word is wrong, the header geometry is malformed, or the content checksum
+    /// does not match (bit flips anywhere in the blob).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let word = |i: usize| -> u64 {
             u64::from_le_bytes(bytes[8 * i..8 * (i + 1)].try_into().expect("8 bytes"))
         };
         if bytes.len() < KEY_HEADER_BYTES {
-            return Err(CkksError::InvalidInput {
-                reason: format!("switching key blob of {} bytes has no header", bytes.len()),
+            return Err(CkksError::CorruptKey {
+                reason: format!(
+                    "switching key blob of {} bytes is shorter than the {KEY_HEADER_BYTES}-byte header",
+                    bytes.len()
+                ),
             });
         }
-        let degree = word(0) as usize;
-        let limb_count = word(1) as usize;
-        let alpha = word(2) as usize;
-        let dnum = word(3) as usize;
+        let tag = word(0);
+        if tag & !0xFFFF != KEY_MAGIC {
+            return Err(CkksError::CorruptKey {
+                reason: format!("bad magic word {tag:#018x}"),
+            });
+        }
+        let version = tag & 0xFFFF;
+        if version != KEY_FORMAT_VERSION {
+            return Err(CkksError::CorruptKey {
+                reason: format!(
+                    "unsupported key format version {version} (expected {KEY_FORMAT_VERSION})"
+                ),
+            });
+        }
+        let stored_checksum = word(1);
+        let degree = word(2) as usize;
+        let limb_count = word(3) as usize;
+        let alpha = word(4) as usize;
+        let dnum = word(5) as usize;
         if degree == 0 || limb_count == 0 || alpha == 0 || dnum == 0 {
-            return Err(CkksError::InvalidInput {
+            return Err(CkksError::CorruptKey {
                 reason: format!(
                     "switching key header has zero geometry: \
                      degree {degree}, limbs {limb_count}, alpha {alpha}, dnum {dnum}"
                 ),
             });
         }
-        let poly_words = degree * limb_count;
-        let expected = KEY_HEADER_BYTES + 2 * dnum * poly_words * 8;
+        let overflow = || CkksError::CorruptKey {
+            reason: "switching key header geometry overflows".into(),
+        };
+        let poly_words = degree.checked_mul(limb_count).ok_or_else(overflow)?;
+        let expected = KEY_HEADER_BYTES
+            + 2usize
+                .checked_mul(dnum)
+                .and_then(|n| n.checked_mul(poly_words))
+                .and_then(|n| n.checked_mul(8))
+                .ok_or_else(overflow)?;
         if bytes.len() != expected {
-            return Err(CkksError::InvalidInput {
+            let kind = if bytes.len() < expected {
+                "truncated"
+            } else {
+                "oversized"
+            };
+            return Err(CkksError::CorruptKey {
                 reason: format!(
-                    "switching key blob is {} bytes, header implies {expected}",
+                    "{kind} switching key blob: {} bytes, header implies {expected}",
                     bytes.len()
+                ),
+            });
+        }
+        let computed = key_checksum(&bytes[16..]);
+        if computed != stored_checksum {
+            return Err(CkksError::CorruptKey {
+                reason: format!(
+                    "checksum mismatch: stored {stored_checksum:#018x}, computed {computed:#018x}"
                 ),
             });
         }
@@ -217,9 +283,10 @@ impl SwitchingKey {
 }
 
 /// Exact serialized size ([`SwitchingKey::to_bytes`]) of one switching key under `params`:
-/// `32 + 2 · dnum · (L + 1 + k) · N · 8` bytes, with `dnum = ⌈(L+1)/α⌉` digits of `(b_j, a_j)`
-/// pairs over the raised basis of `L + 1 + k` limbs. This closed form is what serving-side
-/// cache budgets are derived from; `tests` pin it against actual serialized lengths.
+/// `48 + 2 · dnum · (L + 1 + k) · N · 8` bytes, with `dnum = ⌈(L+1)/α⌉` digits of `(b_j, a_j)`
+/// pairs over the raised basis of `L + 1 + k` limbs (the 48-byte header carries magic+version,
+/// checksum and geometry). This closed form is what serving-side cache budgets are derived
+/// from; `tests` pin it against actual serialized lengths.
 pub fn switching_key_serialized_bytes(params: &CkksParams) -> usize {
     let dnum = params.total_q_limbs().div_ceil(params.alpha());
     KEY_HEADER_BYTES + 2 * dnum * params.total_raised_limbs() * params.degree() * 8
@@ -651,11 +718,33 @@ mod tests {
     fn corrupt_key_blobs_are_rejected() {
         let (_, kg, mut rng) = setup();
         let blob = kg.relinearization_key(&mut rng).key.to_bytes();
-        assert!(SwitchingKey::from_bytes(&blob[..16]).is_err());
-        assert!(SwitchingKey::from_bytes(&blob[..blob.len() - 8]).is_err());
+        let corrupt = |bytes: &[u8]| match SwitchingKey::from_bytes(bytes) {
+            Err(CkksError::CorruptKey { .. }) => (),
+            other => panic!("expected CorruptKey, got {other:?}"),
+        };
+        // Truncated header, truncated payload, oversized payload.
+        corrupt(&blob[..16]);
+        corrupt(&blob[..blob.len() - 8]);
+        let mut oversized = blob.clone();
+        oversized.extend_from_slice(&[0u8; 8]);
+        corrupt(&oversized);
+        // Zeroed magic word.
         let mut zeroed = blob.clone();
         zeroed[0..8].copy_from_slice(&0u64.to_le_bytes());
-        assert!(SwitchingKey::from_bytes(&zeroed).is_err());
+        corrupt(&zeroed);
+        // Unsupported version.
+        let mut versioned = blob.clone();
+        versioned[0] = versioned[0].wrapping_add(1);
+        corrupt(&versioned);
+        // A single flipped bit in the payload trips the checksum.
+        let mut flipped = blob.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        corrupt(&flipped);
+        // A flipped geometry bit is caught (by the checksum or the length check).
+        let mut geometry = blob;
+        geometry[17] ^= 0x01;
+        corrupt(&geometry);
     }
 
     #[test]

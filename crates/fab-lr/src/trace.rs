@@ -212,7 +212,12 @@ fn sparse_bootstrap_trace(params: &CkksParams, slots: usize) -> OpTrace {
     // The trace depends on every parameter (levels, fft_iter, moduli, secret sparsity), so
     // key on the full parameter set, not just its size.
     let key = format!("{params:?}|{slots}");
-    let mut guard = CACHE.lock().expect("sparse bootstrap trace cache poisoned");
+    // Recover a poisoned lock: the cache only memoises pure plan outputs, so a panicked
+    // thread mid-insert leaves at worst a missing entry, and one panicked test thread must
+    // not cascade failures across the rest of the suite.
+    let mut guard = CACHE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     let cache = guard.get_or_insert_with(HashMap::new);
     cache
         .entry(key)

@@ -22,6 +22,15 @@
 //! and borrows-friendly; the kernels this crate serves (degree-2¹⁶ NTTs, multi-limb basis
 //! conversions) run for long enough that spawn overhead is noise.
 //!
+//! ## Panic isolation
+//!
+//! A panicking job must not strand the pool. Every worker wraps each job in
+//! [`std::panic::catch_unwind`]: the first panic payload is stashed, the remaining workers
+//! stop pulling new jobs, every thread joins normally, and the payload is re-raised on the
+//! *caller* via [`std::panic::resume_unwind`]. The caller observes exactly the panic the job
+//! raised — but only after the pool has quiesced, so no worker is left holding a job queue
+//! lock (no poisoned shared state) and no thread outlives the call.
+//!
 //! ```
 //! let mut data = vec![0u64; 4 * 8];
 //! fab_par::par_chunks_mut(&mut data, 8, |limb_idx, limb| {
@@ -35,8 +44,38 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// The first panic payload raised by any worker job, re-raised on the caller after join.
+type PanicSlot = Mutex<Option<Box<dyn std::any::Any + Send>>>;
+
+/// Runs one job under `catch_unwind`, stashing the first panic payload and raising the
+/// stop flag so sibling workers drain no further jobs.
+///
+/// `AssertUnwindSafe` is sound here: on a panic the pool stops handing out jobs, joins, and
+/// re-raises the payload on the caller, so any state the closure left half-written is never
+/// observed by code that believes the call succeeded.
+fn run_caught<F: FnOnce()>(job: F, slot: &PanicSlot, stop: &AtomicBool) {
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+        stop.store(true, Ordering::Relaxed);
+        let mut guard = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if guard.is_none() {
+            *guard = Some(payload);
+        }
+    }
+}
+
+/// Re-raises a stashed worker panic on the calling thread (all workers have joined).
+fn rethrow(slot: PanicSlot) {
+    let payload = slot
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
 
 /// Unresolved sentinel for the global thread-count cell.
 const UNSET: usize = 0;
@@ -86,12 +125,17 @@ where
         return;
     }
     let next = AtomicUsize::new(0);
+    let panic_slot: PanicSlot = Mutex::new(None);
+    let stop = AtomicBool::new(false);
     let run = |next: &AtomicUsize| loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= n {
             break;
         }
-        f(i);
+        run_caught(|| f(i), &panic_slot, &stop);
     };
     std::thread::scope(|scope| {
         for _ in 1..workers {
@@ -99,6 +143,7 @@ where
         }
         run(&next);
     });
+    rethrow(panic_slot);
 }
 
 /// Runs `f(chunk_index, chunk)` over consecutive `chunk_len`-sized chunks of `data` in
@@ -147,13 +192,21 @@ where
         return;
     }
     let queue = Mutex::new(jobs);
+    let panic_slot: PanicSlot = Mutex::new(None);
+    let stop = AtomicBool::new(false);
     let run = |queue: &Mutex<Vec<T>>| loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        // `pop` cannot unwind for the job types used here, and jobs themselves run under
+        // `catch_unwind`, so the queue lock is never poisoned in practice; recover anyway
+        // rather than cascade a panic across workers.
         let job = queue
             .lock()
-            .expect("worker panicked holding job queue")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .pop();
         match job {
-            Some(job) => f(job),
+            Some(job) => run_caught(|| f(job), &panic_slot, &stop),
             None => break,
         }
     };
@@ -163,6 +216,7 @@ where
         }
         run(&queue);
     });
+    rethrow(panic_slot);
 }
 
 #[cfg(test)]
@@ -251,6 +305,64 @@ mod tests {
         with_threads(4, || {
             par_limbs(0, |_| panic!("no indices expected"));
             par_jobs(Vec::<u64>::new(), |_| panic!("no jobs expected"));
+        });
+    }
+
+    /// Extracts the `&str`/`String` message from a caught panic payload.
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic payload is a message")
+    }
+
+    #[test]
+    fn panicking_job_resurfaces_on_the_caller_after_all_workers_join() {
+        for workers in [1usize, 4] {
+            with_threads(workers, || {
+                let ran = AtomicU64::new(0);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    par_jobs((0u64..64).collect(), |v| {
+                        if v == 13 {
+                            panic!("injected fault in job 13");
+                        }
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }));
+                let payload = result.expect_err("the job panic must reach the caller");
+                assert!(panic_message(payload).contains("injected fault in job 13"));
+                // At most the non-panicking jobs ran; nothing ran twice.
+                assert!(ran.load(Ordering::Relaxed) <= 63, "at {workers} workers");
+
+                // The pool is immediately reusable: no orphaned threads, no poisoned state.
+                let total = AtomicU64::new(0);
+                par_jobs((1u64..=100).collect(), |v| {
+                    total.fetch_add(v, Ordering::Relaxed);
+                });
+                assert_eq!(total.load(Ordering::Relaxed), 5050);
+            });
+        }
+    }
+
+    #[test]
+    fn panicking_index_resurfaces_from_par_limbs() {
+        with_threads(4, || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                par_limbs(97, |i| {
+                    if i == 42 {
+                        panic!("limb 42 exploded");
+                    }
+                });
+            }));
+            let payload = result.expect_err("the index panic must reach the caller");
+            assert!(panic_message(payload).contains("limb 42 exploded"));
+            // Subsequent calls behave normally.
+            let counts: Vec<AtomicU64> = (0..17).map(|_| AtomicU64::new(0)).collect();
+            par_limbs(counts.len(), |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
         });
     }
 }

@@ -1,12 +1,13 @@
 //! The byte-budgeted evaluation-key cache and its [`KeyProvider`] adapter.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use fab_ckks::{CkksError, KeyProvider, RelinearizationKey, Result, SwitchingKey};
 
-use crate::tenant::{TenantId, TenantKeyStore};
+use crate::error::ServeFault;
+use crate::tenant::{FetchError, KeySource, TenantId};
 
 /// Names one evaluation key of a tenant's set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -28,6 +29,14 @@ pub enum KeyMaterial {
 }
 
 impl KeyMaterial {
+    /// Wraps a deserialized switching key as the material `key` refers to.
+    pub fn from_switching(key: KeyRef, switching: SwitchingKey) -> Self {
+        match key {
+            KeyRef::Relin => KeyMaterial::Relin(Arc::new(RelinearizationKey { key: switching })),
+            KeyRef::Galois(_) => KeyMaterial::Galois(Arc::new(switching)),
+        }
+    }
+
     /// The relinearisation key, if that is what this material holds.
     pub fn relin(&self) -> Option<Arc<RelinearizationKey>> {
         match self {
@@ -64,6 +73,19 @@ pub struct CacheStats {
     /// Total bytes deserialized from tenant stores (demand misses, prefetches and uncached
     /// fetches alike) — the software analogue of HBM key-read traffic.
     pub bytes_fetched: u64,
+    /// Transient fetch failures that were retried (one per failed attempt that had budget
+    /// left to retry).
+    pub transient_retries: u64,
+    /// Deterministic backoff charged between retry attempts, in abstract units (attempt `k`
+    /// charges `2^k`); a real deployment would sleep these, tests only count them.
+    pub backoff_units: u64,
+    /// Fetches whose bytes failed validation — each one quarantines its `(tenant, key)`.
+    pub corrupt_fetches: u64,
+    /// Entries removed by [`EvalKeyCache::rollback_request`] when a request failed after
+    /// admitting them.
+    pub rollbacks: u64,
+    /// Entries force-evicted by an injected chaos-eviction schedule (fault harness only).
+    pub chaos_evictions: u64,
 }
 
 impl CacheStats {
@@ -80,6 +102,21 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+/// Bounded, deterministic retry policy for demand fetches: up to `max_attempts` tries, with
+/// exponential backoff *counted* (never slept) between them — attempt `k` (0-based) charges
+/// `2^k` units to [`CacheStats::backoff_units`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total fetch attempts per demand access (≥ 1; 1 means no retries).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3 }
     }
 }
 
@@ -100,6 +137,11 @@ struct CacheEntry {
 ///   first, and among equal recency the smaller entry (cheapest to refetch) is evicted.
 /// * Iteration order is a [`BTreeMap`], so eviction decisions — and therefore every counter —
 ///   are deterministic and test-assertable.
+/// * **Fault handling**: transient fetch failures are retried under a bounded [`RetryPolicy`]
+///   with counted (not slept) backoff; corrupt blobs quarantine their `(tenant, key)` so the
+///   failure is attributed, while a later fetch that succeeds (a healed source) lifts the
+///   quarantine. Admissions are logged per request so a failing request's admissions can be
+///   rolled back ([`Self::rollback_request`]).
 #[derive(Debug)]
 pub struct EvalKeyCache {
     budget_bytes: usize,
@@ -107,23 +149,43 @@ pub struct EvalKeyCache {
     clock: u64,
     entries: BTreeMap<(TenantId, KeyRef), CacheEntry>,
     stats: CacheStats,
+    retry: RetryPolicy,
+    quarantine: BTreeSet<(TenantId, KeyRef)>,
+    admissions: Vec<(TenantId, KeyRef)>,
+    chaos_evictions: BTreeSet<u64>,
 }
 
 impl EvalKeyCache {
-    /// An empty cache with the given byte budget.
+    /// An empty cache with the given byte budget and the default retry policy.
     pub fn new(budget_bytes: usize) -> Self {
+        Self::with_retry(budget_bytes, RetryPolicy::default())
+    }
+
+    /// An empty cache with an explicit retry policy.
+    pub fn with_retry(budget_bytes: usize, retry: RetryPolicy) -> Self {
         Self {
             budget_bytes,
             resident_bytes: 0,
             clock: 0,
             entries: BTreeMap::new(),
             stats: CacheStats::default(),
+            retry: RetryPolicy {
+                max_attempts: retry.max_attempts.max(1),
+            },
+            quarantine: BTreeSet::new(),
+            admissions: Vec::new(),
+            chaos_evictions: BTreeSet::new(),
         }
     }
 
     /// The configured byte budget.
     pub fn budget_bytes(&self) -> usize {
         self.budget_bytes
+    }
+
+    /// The configured retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Bytes currently resident.
@@ -146,23 +208,65 @@ impl EvalKeyCache {
         self.entries.contains_key(&(tenant, key))
     }
 
+    /// Whether a key is quarantined (its last fetch returned corrupt bytes).
+    pub fn is_quarantined(&self, tenant: TenantId, key: KeyRef) -> bool {
+        self.quarantine.contains(&(tenant, key))
+    }
+
+    /// Number of `(tenant, key)` pairs currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantine.len()
+    }
+
     /// The accumulated counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
 
-    /// Demand access: returns the key, from cache when resident, otherwise deserialized from
-    /// `store` (and admitted if it fits the budget).
+    /// Starts a request-scoped admission transaction: admissions (demand misses and
+    /// prefetches) from here on are logged so [`Self::rollback_request`] can undo them if
+    /// the request fails. Calling it again (the next request) commits implicitly.
+    pub fn begin_request(&mut self) {
+        self.admissions.clear();
+    }
+
+    /// Rolls back every admission since [`Self::begin_request`]: entries this request
+    /// brought in are removed (if still resident), so a failed request leaves no residue
+    /// that could change a later request's hit pattern relative to the fault-free run.
+    /// Counted in [`CacheStats::rollbacks`].
+    pub fn rollback_request(&mut self) {
+        let admitted = std::mem::take(&mut self.admissions);
+        for id in admitted {
+            if let Some(entry) = self.entries.remove(&id) {
+                self.resident_bytes -= entry.bytes;
+                self.stats.rollbacks += 1;
+            }
+        }
+    }
+
+    /// Fault harness only: schedules forced evictions — after the `n`-th demand access
+    /// (1-based, matching [`CacheStats::demand_accesses`]) the LRU entry is evicted, for
+    /// each `n` in `at_demand_accesses`. Deterministic by construction.
+    pub fn schedule_chaos_evictions(&mut self, at_demand_accesses: &[u64]) {
+        self.chaos_evictions
+            .extend(at_demand_accesses.iter().copied());
+    }
+
+    /// Demand access: returns the key, from cache when resident, otherwise fetched from
+    /// `source` under the retry policy (and admitted if it fits the budget).
     ///
     /// # Errors
     ///
-    /// Propagates store errors (absent key, corrupt bytes).
+    /// [`ServeFault::MissingKey`] when the source holds no such key,
+    /// [`ServeFault::KeyFetch`] when every attempt failed transiently, and
+    /// [`ServeFault::CorruptKey`] when the bytes failed validation (the `(tenant, key)` is
+    /// quarantined until a fetch succeeds again).
     pub fn get(
         &mut self,
         tenant: TenantId,
         key: KeyRef,
-        store: &TenantKeyStore,
-    ) -> Result<KeyMaterial> {
+        source: &dyn KeySource,
+    ) -> std::result::Result<KeyMaterial, ServeFault> {
         self.clock += 1;
         let clock = self.clock;
         if let Some(entry) = self.entries.get_mut(&(tenant, key)) {
@@ -172,18 +276,21 @@ impl EvalKeyCache {
                 entry.prefetched = false;
                 self.stats.prefetch_hits += 1;
             }
-            return Ok(entry.material.clone());
+            let material = entry.material.clone();
+            self.apply_chaos_eviction();
+            return Ok(material);
         }
-        let bytes = store.key_size(key)?;
-        let material = store.fetch(key)?;
+        let (bytes, material) = self.fetch_with_retry(tenant, key, source)?;
         self.stats.bytes_fetched += bytes as u64;
         if bytes > self.budget_bytes {
             self.stats.uncached_fetches += 1;
+            self.apply_chaos_eviction();
             return Ok(material);
         }
         self.stats.misses += 1;
         self.evict_for(bytes);
         self.resident_bytes += bytes;
+        self.admissions.push((tenant, key));
         self.entries.insert(
             (tenant, key),
             CacheEntry {
@@ -193,35 +300,47 @@ impl EvalKeyCache {
                 prefetched: false,
             },
         );
+        self.apply_chaos_eviction();
         Ok(material)
     }
 
     /// Prefetch: warms a key into the cache ahead of its use. Returns whether the key is now
     /// resident — `false` when it exceeds the whole budget (prefetch never bypasses
-    /// admission) — without fetching anything in that case.
+    /// admission) — without fetching anything in that case. Prefetch is opportunistic, so it
+    /// makes a single attempt: retries are reserved for demand accesses.
     ///
     /// # Errors
     ///
-    /// Propagates store errors (absent key, corrupt bytes).
+    /// Same fault types as [`Self::get`], with `attempts: 1` for transient failures.
     pub fn prefetch(
         &mut self,
         tenant: TenantId,
         key: KeyRef,
-        store: &TenantKeyStore,
-    ) -> Result<bool> {
+        source: &dyn KeySource,
+    ) -> std::result::Result<bool, ServeFault> {
         if self.entries.contains_key(&(tenant, key)) {
             return Ok(true);
         }
-        let bytes = store.key_size(key)?;
+        let bytes = match source.key_size(key) {
+            Ok(bytes) => bytes,
+            Err(e) => return Err(self.classify_fetch_error(tenant, key, 1, e)),
+        };
         if bytes > self.budget_bytes {
             return Ok(false);
         }
-        let material = store.fetch(key)?;
+        let material = match source.fetch(key) {
+            Ok(material) => {
+                self.quarantine.remove(&(tenant, key));
+                material
+            }
+            Err(e) => return Err(self.classify_fetch_error(tenant, key, 1, e)),
+        };
         self.clock += 1;
         self.stats.prefetches += 1;
         self.stats.bytes_fetched += bytes as u64;
         self.evict_for(bytes);
         self.resident_bytes += bytes;
+        self.admissions.push((tenant, key));
         self.entries.insert(
             (tenant, key),
             CacheEntry {
@@ -234,10 +353,103 @@ impl EvalKeyCache {
         Ok(true)
     }
 
-    /// Drops every entry (counters are kept).
+    /// Drops every entry (counters and quarantine are kept).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.admissions.clear();
         self.resident_bytes = 0;
+    }
+
+    /// The bounded-retry fetch loop behind a demand miss: transient failures retry with
+    /// counted exponential backoff; corrupt bytes quarantine the pair and also retry (the
+    /// registry may have healed — e.g. a fail-then-recover injected source), and a success
+    /// lifts the quarantine. Missing keys never retry.
+    fn fetch_with_retry(
+        &mut self,
+        tenant: TenantId,
+        key: KeyRef,
+        source: &dyn KeySource,
+    ) -> std::result::Result<(usize, KeyMaterial), ServeFault> {
+        // A quarantined pair gets a single probe per access: it is known-bad, so the retry
+        // budget is not spent re-validating the same corrupt bytes, but one attempt keeps
+        // recovery possible once the underlying source heals.
+        let max_attempts = if self.quarantine.contains(&(tenant, key)) {
+            1
+        } else {
+            self.retry.max_attempts
+        };
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let result = source
+                .key_size(key)
+                .and_then(|bytes| source.fetch(key).map(|material| (bytes, material)));
+            match result {
+                Ok(ok) => {
+                    self.quarantine.remove(&(tenant, key));
+                    return Ok(ok);
+                }
+                Err(e) => {
+                    if matches!(&e, FetchError::Permanent(CkksError::CorruptKey { .. })) {
+                        self.stats.corrupt_fetches += 1;
+                        self.quarantine.insert((tenant, key));
+                    }
+                    let retryable =
+                        !matches!(&e, FetchError::Permanent(CkksError::MissingKey { .. }));
+                    if !retryable || attempts >= max_attempts {
+                        return Err(self.classify_fetch_error(tenant, key, attempts, e));
+                    }
+                    if matches!(&e, FetchError::Transient(_)) {
+                        self.stats.transient_retries += 1;
+                    }
+                    self.stats.backoff_units += 1 << (attempts - 1);
+                }
+            }
+        }
+    }
+
+    /// Maps a source-level [`FetchError`] to the attributable [`ServeFault`].
+    fn classify_fetch_error(
+        &mut self,
+        tenant: TenantId,
+        key: KeyRef,
+        attempts: u32,
+        error: FetchError,
+    ) -> ServeFault {
+        match error {
+            FetchError::Transient(reason) => ServeFault::KeyFetch {
+                key,
+                attempts,
+                reason,
+            },
+            FetchError::Permanent(source @ CkksError::CorruptKey { .. }) => {
+                self.quarantine.insert((tenant, key));
+                ServeFault::CorruptKey {
+                    key,
+                    attempts,
+                    source,
+                }
+            }
+            FetchError::Permanent(source) => ServeFault::MissingKey { key, source },
+        }
+    }
+
+    /// If the chaos schedule names the current demand-access count, force-evict the LRU
+    /// entry (the harness's mid-request eviction injection).
+    fn apply_chaos_eviction(&mut self) {
+        if !self.chaos_evictions.remove(&self.stats.demand_accesses()) {
+            return;
+        }
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, entry)| (entry.last_use, entry.bytes))
+            .map(|(&id, _)| id);
+        if let Some(id) = victim {
+            let entry = self.entries.remove(&id).expect("victim is resident");
+            self.resident_bytes -= entry.bytes;
+            self.stats.chaos_evictions += 1;
+        }
     }
 
     /// Evicts least-recently-used entries (equal recency: smaller entry first) until `needed`
@@ -260,29 +472,49 @@ impl EvalKeyCache {
 /// [`KeyProvider`] over an [`EvalKeyCache`] for one tenant: every key an op asks for is
 /// resolved through the cache at the moment of use — hit, prefetch hit, cold miss, or
 /// uncached oversized fetch, all transparently to the executing program.
+///
+/// The [`KeyProvider`] trait speaks [`CkksError`], so on a cache fault the provider lowers
+/// the error onto that channel and keeps the rich [`ServeFault`] aside; the server reclaims
+/// it via [`Self::take_fault`] to attribute the failure precisely.
 #[derive(Debug)]
 pub struct CachedKeyProvider<'a> {
     cache: RefCell<&'a mut EvalKeyCache>,
-    store: &'a TenantKeyStore,
+    source: &'a dyn KeySource,
     tenant: TenantId,
+    last_fault: RefCell<Option<ServeFault>>,
 }
 
 impl<'a> CachedKeyProvider<'a> {
-    /// Binds a provider to one tenant's store and the shared cache.
-    pub fn new(cache: &'a mut EvalKeyCache, store: &'a TenantKeyStore, tenant: TenantId) -> Self {
+    /// Binds a provider to one tenant's key source and the shared cache.
+    pub fn new(cache: &'a mut EvalKeyCache, source: &'a dyn KeySource, tenant: TenantId) -> Self {
         Self {
             cache: RefCell::new(cache),
-            store,
+            source,
             tenant,
+            last_fault: RefCell::new(None),
+        }
+    }
+
+    /// The most recent cache fault this provider hit, if any (cleared on take).
+    pub fn take_fault(&self) -> Option<ServeFault> {
+        self.last_fault.borrow_mut().take()
+    }
+
+    fn get_material(&self, key: KeyRef) -> Result<KeyMaterial> {
+        match self.cache.borrow_mut().get(self.tenant, key, self.source) {
+            Ok(material) => Ok(material),
+            Err(fault) => {
+                let lowered = fault.to_ckks();
+                *self.last_fault.borrow_mut() = Some(fault);
+                Err(lowered)
+            }
         }
     }
 }
 
 impl KeyProvider for CachedKeyProvider<'_> {
     fn relinearization_key(&self) -> Result<Arc<RelinearizationKey>> {
-        self.cache
-            .borrow_mut()
-            .get(self.tenant, KeyRef::Relin, self.store)?
+        self.get_material(KeyRef::Relin)?
             .relin()
             .ok_or_else(|| CkksError::InvalidInput {
                 reason: "relin slot held galois material".into(),
@@ -290,9 +522,7 @@ impl KeyProvider for CachedKeyProvider<'_> {
     }
 
     fn galois_key(&self, element: u64) -> Result<Arc<SwitchingKey>> {
-        self.cache
-            .borrow_mut()
-            .get(self.tenant, KeyRef::Galois(element), self.store)?
+        self.get_material(KeyRef::Galois(element))?
             .galois()
             .ok_or_else(|| CkksError::InvalidInput {
                 reason: format!("galois slot {element} held relin material"),

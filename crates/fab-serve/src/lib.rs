@@ -41,20 +41,42 @@
 //! distinct keys, and loads them with prefetch-tagged cache entries; a later demand access
 //! that finds a prefetched entry counts as a `prefetch_hit`. Prefetch never bypasses the
 //! byte budget — an oversized key is simply not warmed and is served uncached at use time.
+//!
+//! # Failure domains
+//!
+//! Each request is its own failure domain. [`FabServer::run`] returns one
+//! [`RequestOutcome`] per submitted request — completed, failed with an attributed
+//! [`ServeError`], or shed by the bounded queue — and never aborts a batch over one
+//! tenant's fault. A failing request rolls back its cache admissions (so its residue cannot
+//! perturb a later request's hit pattern) and charges a `serve_failed` phase mark so
+//! recorded traces still balance. Key blobs carry a magic/version word and a content
+//! checksum ([`fab_ckks::SwitchingKey::to_bytes`]); a corrupt blob is rejected with a typed
+//! error, quarantined in the cache, and re-probed once per access with bounded, *counted*
+//! backoff — no wall-clock sleeps anywhere in the retry path. Deadlines and backpressure
+//! degrade before they fail: over the pressure threshold the server first skips prefetch,
+//! and only a full queue sheds (reject-newest, as a typed [`RequestOutcome::Shed`]).
+//! The [`fault`] module injects all of these failure modes deterministically from a seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
+mod error;
+pub mod fault;
 mod histogram;
 mod prefetch;
 mod request;
 mod server;
 mod tenant;
 
-pub use cache::{CacheStats, CachedKeyProvider, EvalKeyCache, KeyMaterial, KeyRef};
+pub use cache::{CacheStats, CachedKeyProvider, EvalKeyCache, KeyMaterial, KeyRef, RetryPolicy};
+pub use error::{FaultClass, RequestId, ServeError, ServeFault};
+pub use fault::{FakeClock, FaultPlan, FaultSpec, FaultyKeySource, TenantFault};
 pub use histogram::LatencyHistogram;
 pub use prefetch::Prefetcher;
 pub use request::{Program, Request, ServeOp};
-pub use server::{FabServer, RequestReport, ServedRequest, ServerConfig};
-pub use tenant::{TenantId, TenantKeyStore, TenantRegistry};
+pub use server::{
+    FabServer, RequestOutcome, RequestReport, ServeClock, ServeCounters, ServedRequest,
+    ServerConfig,
+};
+pub use tenant::{FetchError, KeySource, TenantId, TenantKeyStore, TenantRegistry};

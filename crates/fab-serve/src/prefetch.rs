@@ -1,9 +1,8 @@
 //! Trace-driven key prefetch — the software analogue of FAB's key-prefetch-overlap.
 
-use fab_ckks::Result;
-
 use crate::cache::{EvalKeyCache, KeyRef};
-use crate::tenant::{TenantId, TenantKeyStore};
+use crate::error::ServeFault;
+use crate::tenant::{KeySource, TenantId};
 
 /// Warms the evaluation-key cache from a request's planned key-switch DAG before execution
 /// starts, so demand accesses find their keys resident (counted as `prefetch_hits`).
@@ -30,14 +29,17 @@ impl Prefetcher {
     ///
     /// # Errors
     ///
-    /// Propagates store errors (absent key, corrupt bytes).
+    /// Propagates the first fetch fault (absent key, corrupt bytes, transient failure).
+    /// Prefetch is opportunistic: the server treats a warm failure as degradation (it
+    /// executes without the warm set), not as a request failure — the demand path will
+    /// surface the fault with retries if it persists.
     pub fn warm(
         &self,
         cache: &mut EvalKeyCache,
         tenant: TenantId,
-        store: &TenantKeyStore,
+        source: &dyn KeySource,
         upcoming: &[KeyRef],
-    ) -> Result<usize> {
+    ) -> std::result::Result<usize, ServeFault> {
         let mut distinct: Vec<KeyRef> = Vec::new();
         for &key in upcoming {
             if distinct.len() >= self.lookahead {
@@ -49,7 +51,7 @@ impl Prefetcher {
         }
         let mut resident = 0;
         for key in distinct {
-            if cache.prefetch(tenant, key, store)? {
+            if cache.prefetch(tenant, key, source)? {
                 resident += 1;
             }
         }

@@ -1,16 +1,20 @@
-//! The serving front-end: FIFO queue, prefetch, execution, phase labels and latency.
+//! The serving front-end: FIFO queue, prefetch, execution, phase labels, latency — and
+//! per-request failure domains: one tenant's fault never aborts the batch.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
-use fab_ckks::{Ciphertext, Evaluator, GaloisKeys, RelinearizationKey, Result};
+use fab_ckks::{Ciphertext, Evaluator, GaloisKeys, RelinearizationKey};
 use fab_trace::phase;
 
-use crate::cache::{CacheStats, CachedKeyProvider, EvalKeyCache};
+use crate::cache::{CacheStats, CachedKeyProvider, EvalKeyCache, RetryPolicy};
+use crate::error::{RequestId, ServeError, ServeFault};
+use crate::fault::{FakeClock, FaultSpec, FaultyKeySource, TenantFault};
 use crate::histogram::LatencyHistogram;
 use crate::prefetch::Prefetcher;
 use crate::request::Request;
-use crate::tenant::{TenantId, TenantKeyStore, TenantRegistry};
+use crate::tenant::{KeySource, TenantId, TenantKeyStore, TenantRegistry};
 
 /// Serving configuration.
 #[derive(Debug, Clone, Copy)]
@@ -21,11 +25,61 @@ pub struct ServerConfig {
     pub prefetch: bool,
     /// Maximum distinct keys the prefetcher warms per request.
     pub lookahead: usize,
+    /// Per-request deadline in microseconds, measured from submission. Checked at pickup and
+    /// again after prefetch — a request past its deadline fails with
+    /// [`ServeFault::DeadlineExceeded`] *before* execution starts (completed work is never
+    /// discarded). `None` disables deadlines.
+    pub deadline_us: Option<u64>,
+    /// Maximum queued requests. Submitting beyond this sheds the *newest* request (the one
+    /// being submitted) with a typed [`RequestOutcome::Shed`]. `None` means unbounded.
+    pub queue_capacity: Option<usize>,
+    /// Queue depth above which the server degrades by skipping prefetch (cheaper requests
+    /// drain the backlog faster) — degradation comes before shedding. `None` never skips.
+    pub pressure_threshold: Option<usize>,
+    /// Fetch attempts per demand key access (≥ 1), with counted deterministic backoff
+    /// between attempts (see [`RetryPolicy`]).
+    pub max_fetch_attempts: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            cache_budget_bytes: 0,
+            prefetch: false,
+            lookahead: 0,
+            deadline_us: None,
+            queue_capacity: None,
+            pressure_threshold: None,
+            max_fetch_attempts: RetryPolicy::default().max_attempts,
+        }
+    }
+}
+
+/// The microsecond clock the server stamps queue/prefetch/execute intervals with. The
+/// default is monotonic wall time; the fault harness substitutes a deterministic
+/// [`crate::fault::FakeClock`] so deadline behaviour is reproducible in tests.
+pub trait ServeClock: std::fmt::Debug + Send + Sync {
+    /// Microseconds since an arbitrary fixed origin (monotonic, non-decreasing).
+    fn now_us(&self) -> u64;
+}
+
+/// Wall-clock [`ServeClock`] anchored at construction.
+#[derive(Debug)]
+struct MonotonicClock {
+    origin: Instant,
+}
+
+impl ServeClock for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
 }
 
 /// Per-request timing and counter deltas.
 #[derive(Debug, Clone, Copy)]
 pub struct RequestReport {
+    /// The request served.
+    pub request: RequestId,
     /// The tenant served.
     pub tenant: TenantId,
     /// Microseconds spent queued before the server picked the request up.
@@ -51,13 +105,105 @@ pub struct ServedRequest {
     pub report: RequestReport,
 }
 
+/// What became of one submitted request. [`FabServer::run`] yields exactly one outcome per
+/// submitted request — it never aborts a batch over one failure.
+#[derive(Debug, Clone)]
+pub enum RequestOutcome {
+    /// Served to completion.
+    Completed(ServedRequest),
+    /// Failed with an attributed, classified error; the request's cache admissions were
+    /// rolled back and a `serve_failed` phase mark was charged to the trace.
+    Failed(ServeError),
+    /// Rejected at submission by the bounded queue (reject-newest shed policy).
+    Shed {
+        /// The shed request.
+        request: RequestId,
+        /// The tenant that submitted it.
+        tenant: TenantId,
+        /// Queue depth at the moment of shedding.
+        queue_depth: usize,
+    },
+}
+
+impl RequestOutcome {
+    /// The request this outcome belongs to.
+    pub fn request(&self) -> RequestId {
+        match self {
+            RequestOutcome::Completed(served) => served.report.request,
+            RequestOutcome::Failed(error) => error.request,
+            RequestOutcome::Shed { request, .. } => *request,
+        }
+    }
+
+    /// The tenant this outcome belongs to.
+    pub fn tenant(&self) -> TenantId {
+        match self {
+            RequestOutcome::Completed(served) => served.report.tenant,
+            RequestOutcome::Failed(error) => error.tenant,
+            RequestOutcome::Shed { tenant, .. } => *tenant,
+        }
+    }
+
+    /// The served request, when completed.
+    pub fn completed(&self) -> Option<&ServedRequest> {
+        match self {
+            RequestOutcome::Completed(served) => Some(served),
+            _ => None,
+        }
+    }
+
+    /// The error, when failed.
+    pub fn error(&self) -> Option<&ServeError> {
+        match self {
+            RequestOutcome::Failed(error) => Some(error),
+            _ => None,
+        }
+    }
+
+    /// Whether the request was shed at submission.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, RequestOutcome::Shed { .. })
+    }
+}
+
+/// Running totals over every outcome the server has produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests that failed with a [`ServeError`].
+    pub failed: u64,
+    /// Requests shed at submission by the bounded queue.
+    pub shed: u64,
+    /// Requests whose prefetch pass failed and was skipped (degradation, not failure).
+    pub prefetch_failures: u64,
+    /// Requests that skipped prefetch because the queue was over the pressure threshold.
+    pub pressure_skips: u64,
+}
+
+/// One queued request with its identity and submission timestamp.
+#[derive(Debug)]
+struct QueuedRequest {
+    id: RequestId,
+    request: Request,
+    submitted_us: u64,
+}
+
 /// The multi-tenant serving front-end.
 ///
 /// Requests are drained FIFO; each one is (optionally) prefetched and then executed through
 /// the [`CachedKeyProvider`] seam against the shared [`EvalKeyCache`]. When the evaluator
 /// carries a recording sink, every request contributes `serve_queue` / `serve_prefetch` /
-/// `serve_execute` phase marks to the recorded trace, so per-phase op accounting works the
-/// same way it does for bootstrap stages.
+/// `serve_execute` phase marks to the recorded trace (plus `serve_failed` when it fails), so
+/// per-phase op accounting works the same way it does for bootstrap stages.
+///
+/// # Failure domains
+///
+/// Each request is its own failure domain: [`FabServer::run`] returns one
+/// [`RequestOutcome`] per submitted request and never aborts the batch. A failing request's
+/// cache admissions are rolled back so its residue cannot change a later request's hit
+/// pattern, and its error carries tenant/request attribution plus a transient/permanent
+/// classification ([`ServeError`]).
 #[derive(Debug)]
 pub struct FabServer {
     evaluator: Evaluator,
@@ -65,7 +211,14 @@ pub struct FabServer {
     cache: EvalKeyCache,
     prefetcher: Option<Prefetcher>,
     histogram: LatencyHistogram,
-    queue: VecDeque<(Request, Instant)>,
+    queue: VecDeque<QueuedRequest>,
+    config: ServerConfig,
+    clock: Arc<dyn ServeClock>,
+    next_id: u64,
+    shed_outcomes: Vec<RequestOutcome>,
+    counters: ServeCounters,
+    faults: BTreeMap<TenantId, TenantFault>,
+    fault_clock: Option<Arc<FakeClock>>,
 }
 
 impl FabServer {
@@ -74,11 +227,39 @@ impl FabServer {
         Self {
             evaluator,
             registry: TenantRegistry::new(),
-            cache: EvalKeyCache::new(config.cache_budget_bytes),
+            cache: EvalKeyCache::with_retry(
+                config.cache_budget_bytes,
+                RetryPolicy {
+                    max_attempts: config.max_fetch_attempts.max(1),
+                },
+            ),
             prefetcher: config.prefetch.then(|| Prefetcher::new(config.lookahead)),
             histogram: LatencyHistogram::new(),
             queue: VecDeque::new(),
+            config,
+            clock: Arc::new(MonotonicClock {
+                origin: Instant::now(),
+            }),
+            next_id: 0,
+            shed_outcomes: Vec::new(),
+            counters: ServeCounters::default(),
+            faults: BTreeMap::new(),
+            fault_clock: None,
         }
+    }
+
+    /// Substitutes the clock (the fault harness installs a deterministic
+    /// [`crate::fault::FakeClock`] here so deadline pressure is reproducible).
+    pub fn set_clock(&mut self, clock: Arc<dyn ServeClock>) {
+        self.clock = clock;
+    }
+
+    /// Installs a deterministic [`FakeClock`] as both the serving clock and the sink for
+    /// injected fetch latency — with this in place, deadline outcomes are exact functions
+    /// of the fault schedule.
+    pub fn use_fake_clock(&mut self, clock: Arc<FakeClock>) {
+        self.fault_clock = Some(clock.clone());
+        self.clock = clock;
     }
 
     /// Registers a tenant by serializing their key material into the registry.
@@ -92,6 +273,18 @@ impl FabServer {
             .register(tenant, TenantKeyStore::new(rlk, galois));
     }
 
+    /// Injects a fault behaviour on one tenant's key fetch path (see [`crate::fault`]).
+    /// Replaces any previous spec for the tenant; fault state (e.g. remaining failures)
+    /// persists across requests until replaced or cleared.
+    pub fn inject_fault(&mut self, tenant: TenantId, spec: FaultSpec) {
+        self.faults.insert(tenant, TenantFault::new(spec));
+    }
+
+    /// Removes every injected fault.
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
     /// The tenant registry.
     pub fn registry(&self) -> &TenantRegistry {
         &self.registry
@@ -102,12 +295,23 @@ impl FabServer {
         &self.cache
     }
 
+    /// Mutable access to the shared key cache (the fault harness schedules chaos evictions
+    /// through this).
+    pub fn cache_mut(&mut self) -> &mut EvalKeyCache {
+        &mut self.cache
+    }
+
     /// The cache counters (shorthand for `cache().stats()`).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
-    /// End-to-end latency histogram over every served request.
+    /// Outcome totals (completed / failed / shed / degradations).
+    pub fn counters(&self) -> ServeCounters {
+        self.counters
+    }
+
+    /// End-to-end latency histogram over every *completed* request.
     pub fn histogram(&self) -> &LatencyHistogram {
         &self.histogram
     }
@@ -117,9 +321,31 @@ impl FabServer {
         &self.evaluator
     }
 
-    /// Enqueues a request (FIFO).
-    pub fn submit(&mut self, request: Request) {
-        self.queue.push_back((request, Instant::now()));
+    /// Enqueues a request (FIFO) and returns its identity.
+    ///
+    /// When the bounded queue is full the request is shed instead (reject-newest): its
+    /// [`RequestOutcome::Shed`] is held and returned by the next [`Self::run`], so every
+    /// submitted request still yields exactly one outcome.
+    pub fn submit(&mut self, request: Request) -> RequestId {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        if let Some(capacity) = self.config.queue_capacity {
+            if self.queue.len() >= capacity {
+                self.counters.shed += 1;
+                self.shed_outcomes.push(RequestOutcome::Shed {
+                    request: id,
+                    tenant: request.tenant,
+                    queue_depth: self.queue.len(),
+                });
+                return id;
+            }
+        }
+        self.queue.push_back(QueuedRequest {
+            id,
+            request,
+            submitted_us: self.clock.now_us(),
+        });
+        id
     }
 
     /// Requests currently queued.
@@ -127,62 +353,146 @@ impl FabServer {
         self.queue.len()
     }
 
-    /// Drains the queue FIFO, serving every request.
-    ///
-    /// # Errors
-    ///
-    /// Stops at the first failing request (unknown tenant, missing/corrupt key, evaluator
-    /// error), leaving later requests queued.
-    pub fn run(&mut self) -> Result<Vec<ServedRequest>> {
-        let mut served = Vec::with_capacity(self.queue.len());
-        while let Some((request, enqueued)) = self.queue.pop_front() {
-            served.push(self.serve(request, enqueued)?);
+    /// Drains the queue FIFO, producing one [`RequestOutcome`] per submitted request —
+    /// completed, failed (with an attributed [`ServeError`]) or shed — in submission order.
+    /// A failing request rolls back its cache admissions and charges a `serve_failed` phase
+    /// mark; the batch always runs to the end.
+    pub fn run(&mut self) -> Vec<RequestOutcome> {
+        let mut outcomes: Vec<RequestOutcome> = std::mem::take(&mut self.shed_outcomes);
+        while let Some(queued) = self.queue.pop_front() {
+            outcomes.push(self.serve(queued));
         }
-        Ok(served)
+        outcomes.sort_by_key(RequestOutcome::request);
+        outcomes
     }
 
-    fn serve(&mut self, request: Request, enqueued: Instant) -> Result<ServedRequest> {
-        let sink = self.evaluator.sink();
-        if sink.is_enabled() {
-            sink.begin_phase(phase::SERVE_QUEUE);
+    /// Serves one request inside its own failure domain.
+    fn serve(&mut self, queued: QueuedRequest) -> RequestOutcome {
+        let sink_enabled = self.evaluator.sink().is_enabled();
+        if sink_enabled {
+            self.evaluator.sink().begin_phase(phase::SERVE_QUEUE);
         }
-        let queue_us = enqueued.elapsed().as_micros() as u64;
-        let store = self.registry.store(request.tenant)?;
+        let queue_us = self.clock.now_us().saturating_sub(queued.submitted_us);
+        let id = queued.id;
+        let tenant = queued.request.tenant;
+        self.cache.begin_request();
+        match self.serve_inner(&queued, queue_us) {
+            Ok(served) => {
+                self.counters.completed += 1;
+                self.histogram.record(served.report.total_us);
+                RequestOutcome::Completed(served)
+            }
+            Err(fault) => {
+                self.cache.rollback_request();
+                if sink_enabled {
+                    self.evaluator.sink().begin_phase(phase::SERVE_FAILED);
+                }
+                self.counters.failed += 1;
+                RequestOutcome::Failed(ServeError {
+                    request: id,
+                    tenant,
+                    fault,
+                })
+            }
+        }
+    }
+
+    /// The fallible middle of [`Self::serve`]: everything that can fail funnels through the
+    /// returned [`ServeFault`] so `serve` has a single rollback/attribution point.
+    fn serve_inner(
+        &mut self,
+        queued: &QueuedRequest,
+        queue_us: u64,
+    ) -> std::result::Result<ServedRequest, ServeFault> {
+        let deadline = self.config.deadline_us;
+        if let Some(deadline_us) = deadline {
+            if queue_us > deadline_us {
+                return Err(ServeFault::DeadlineExceeded {
+                    deadline_us,
+                    elapsed_us: queue_us,
+                });
+            }
+        }
+        let tenant = queued.request.tenant;
+        let store = self
+            .registry
+            .store(tenant)
+            .map_err(|_| ServeFault::UnknownTenant)?;
+        // The fault seam: a tenant with an injected fault spec fetches through a wrapping
+        // source; everyone else fetches straight from their store.
+        let faulty;
+        let source: &dyn KeySource = match self.faults.get(&tenant) {
+            Some(state) => {
+                faulty = FaultyKeySource::new(store, state, self.fault_clock.as_deref());
+                &faulty
+            }
+            None => store,
+        };
         let accesses_before = self.cache.stats().demand_accesses();
 
-        if sink.is_enabled() {
-            sink.begin_phase(phase::SERVE_PREFETCH);
+        let sink_enabled = self.evaluator.sink().is_enabled();
+        if sink_enabled {
+            self.evaluator.sink().begin_phase(phase::SERVE_PREFETCH);
         }
-        let prefetch_start = Instant::now();
-        if let Some(prefetcher) = &self.prefetcher {
-            let upcoming = request
+        let prefetch_start = self.clock.now_us();
+        let under_pressure = self
+            .config
+            .pressure_threshold
+            .is_some_and(|threshold| self.queue.len() > threshold);
+        if under_pressure {
+            self.counters.pressure_skips += 1;
+        } else if let Some(prefetcher) = &self.prefetcher {
+            let upcoming = queued
+                .request
                 .program
-                .key_refs(self.evaluator.context(), request.input.level());
-            prefetcher.warm(&mut self.cache, request.tenant, store, &upcoming)?;
+                .key_refs(self.evaluator.context(), queued.request.input.level());
+            // Prefetch is opportunistic: a warm failure degrades to demand fetching (which
+            // retries); it does not fail the request.
+            if prefetcher
+                .warm(&mut self.cache, tenant, source, &upcoming)
+                .is_err()
+            {
+                self.counters.prefetch_failures += 1;
+            }
         }
-        let prefetch_us = prefetch_start.elapsed().as_micros() as u64;
+        let prefetch_us = self.clock.now_us().saturating_sub(prefetch_start);
+        if let Some(deadline_us) = deadline {
+            let elapsed_us = queue_us + prefetch_us;
+            if elapsed_us > deadline_us {
+                return Err(ServeFault::DeadlineExceeded {
+                    deadline_us,
+                    elapsed_us,
+                });
+            }
+        }
 
-        if sink.is_enabled() {
-            sink.begin_phase(phase::SERVE_EXECUTE);
+        if sink_enabled {
+            self.evaluator.sink().begin_phase(phase::SERVE_EXECUTE);
         }
-        let execute_start = Instant::now();
-        let provider = CachedKeyProvider::new(&mut self.cache, store, request.tenant);
-        let output = request
+        let execute_start = self.clock.now_us();
+        let provider = CachedKeyProvider::new(&mut self.cache, source, tenant);
+        let output = queued
+            .request
             .program
-            .execute(&self.evaluator, &provider, &request.input)?;
-        let execute_us = execute_start.elapsed().as_micros() as u64;
+            .execute(&self.evaluator, &provider, &queued.request.input)
+            .map_err(|e| {
+                provider
+                    .take_fault()
+                    .unwrap_or(ServeFault::Evaluation { source: e })
+            })?;
+        let execute_us = self.clock.now_us().saturating_sub(execute_start);
 
         let total_us = queue_us + prefetch_us + execute_us;
-        self.histogram.record(total_us);
         Ok(ServedRequest {
             output,
             report: RequestReport {
-                tenant: request.tenant,
+                request: queued.id,
+                tenant,
                 queue_us,
                 prefetch_us,
                 execute_us,
                 total_us,
-                ops: request.program.len(),
+                ops: queued.request.program.len(),
                 key_accesses: self.cache.stats().demand_accesses() - accesses_before,
             },
         })

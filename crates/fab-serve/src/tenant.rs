@@ -8,6 +8,51 @@ use fab_ckks::{CkksError, GaloisKeys, RelinearizationKey, Result, SwitchingKey};
 
 use crate::cache::{KeyMaterial, KeyRef};
 
+/// One fetch attempt's failure against a [`KeySource`], classified for the cache's bounded
+/// retry loop: transient failures are retried with counted backoff, permanent ones are not
+/// (corrupt bytes are additionally quarantined).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchError {
+    /// The attempt failed for a reason that may not recur (flaky transport, injected fault).
+    Transient(String),
+    /// The attempt failed in a way retrying the same source cannot fix (missing key,
+    /// corrupt blob).
+    Permanent(CkksError),
+}
+
+/// Where serialized key bytes come from — the seam the fault-injection harness wraps.
+///
+/// [`TenantKeyStore`] is the production implementation (in-memory serialized blobs, the HBM
+/// stand-in); [`crate::fault::FaultyKeySource`] wraps one to inject corrupt bytes,
+/// fail-N-times fetches and fetch latency without the cache or server knowing.
+pub trait KeySource: fmt::Debug {
+    /// Serialized size of one key in bytes (metadata only; never faulted).
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::Permanent`] when the source holds no such key.
+    fn key_size(&self, key: KeyRef) -> std::result::Result<usize, FetchError>;
+
+    /// Deserializes one key (a cold fetch). Each call is one *attempt*; the cache retries
+    /// transient failures up to its configured bound.
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::Transient`] for failures worth retrying, [`FetchError::Permanent`] for
+    /// missing keys and blobs rejected by [`SwitchingKey::from_bytes`].
+    fn fetch(&self, key: KeyRef) -> std::result::Result<KeyMaterial, FetchError>;
+}
+
+impl KeySource for TenantKeyStore {
+    fn key_size(&self, key: KeyRef) -> std::result::Result<usize, FetchError> {
+        TenantKeyStore::key_size(self, key).map_err(FetchError::Permanent)
+    }
+
+    fn fetch(&self, key: KeyRef) -> std::result::Result<KeyMaterial, FetchError> {
+        TenantKeyStore::fetch(self, key).map_err(FetchError::Permanent)
+    }
+}
+
 /// A tenant identity (dense small integers; the registry orders tenants by it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TenantId(pub u32);
@@ -92,7 +137,7 @@ impl TenantKeyStore {
     /// # Errors
     ///
     /// Returns [`CkksError::MissingKey`] for an absent key and
-    /// [`CkksError::InvalidInput`] for corrupt bytes.
+    /// [`CkksError::CorruptKey`] for bytes rejected by validation.
     pub fn fetch(&self, key: KeyRef) -> Result<KeyMaterial> {
         let switching = SwitchingKey::from_bytes(self.key_bytes(key)?)?;
         Ok(match key {

@@ -10,7 +10,9 @@ use fab_ckks::{
     key_set_bytes, Ciphertext, CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator,
     GaloisKeys, KeyGenerator, RelinearizationKey, SecretKey,
 };
-use fab_serve::{FabServer, Program, Request, ServerConfig, TenantId};
+use fab_serve::{
+    FabServer, Program, Request, RequestOutcome, ServeFault, ServedRequest, ServerConfig, TenantId,
+};
 use fab_trace::{phase, RecordingSink};
 
 const ROTATIONS: [usize; 2] = [1, 3];
@@ -78,7 +80,14 @@ fn run_mix(ctx: &Arc<CkksContext>, config: ServerConfig) -> (Vec<Ciphertext>, Fa
         }
     }
     assert_eq!(server.queue_len(), 9);
-    let served = server.run().expect("serve mix");
+    let served: Vec<ServedRequest> = server
+        .run()
+        .into_iter()
+        .map(|outcome| match outcome {
+            RequestOutcome::Completed(served) => served,
+            other => panic!("fault-free mix must complete every request: {other:?}"),
+        })
+        .collect();
     assert_eq!(server.queue_len(), 0);
     assert_eq!(served.len(), 9);
     // FIFO: request i belongs to tenant i % 3.
@@ -105,6 +114,7 @@ fn serving_is_bitwise_identical_across_cache_configs_and_prefetch_lifts_hit_rate
             cache_budget_bytes: 3 * per_set,
             prefetch: true,
             lookahead: 8,
+            ..ServerConfig::default()
         },
     );
     let (outputs_cold, server_cold) = run_mix(
@@ -113,6 +123,7 @@ fn serving_is_bitwise_identical_across_cache_configs_and_prefetch_lifts_hit_rate
             cache_budget_bytes: 0,
             prefetch: false,
             lookahead: 0,
+            ..ServerConfig::default()
         },
     );
     for (w, c) in outputs_warm.iter().zip(&outputs_cold) {
@@ -156,6 +167,7 @@ fn served_requests_mark_serving_phases_in_the_recorded_trace() {
             cache_budget_bytes: key_set_bytes(ctx.params(), ROTATIONS.len() + 1),
             prefetch: true,
             lookahead: 8,
+            ..ServerConfig::default()
         },
     );
     server.register_tenant(TenantId(0), &tenant.rlk, &tenant.keys);
@@ -164,7 +176,8 @@ fn served_requests_mark_serving_phases_in_the_recorded_trace() {
         program: Program::random(3, 4, &ROTATIONS),
         input: tenant.input.clone(),
     });
-    server.run().expect("serve");
+    let outcomes = server.run();
+    assert!(outcomes[0].completed().is_some(), "request completes");
 
     let trace = sink.take();
     let labels = trace.phase_labels();
@@ -186,7 +199,7 @@ fn served_requests_mark_serving_phases_in_the_recorded_trace() {
 }
 
 #[test]
-fn unknown_tenants_are_rejected_and_later_requests_stay_queued() {
+fn an_unknown_tenant_fails_in_its_own_domain_and_the_batch_continues() {
     let ctx = CkksContext::new_arc(make_params()).expect("context");
     let tenant = make_tenant(&ctx, 9);
     let mut server = FabServer::new(
@@ -195,21 +208,35 @@ fn unknown_tenants_are_rejected_and_later_requests_stay_queued() {
             cache_budget_bytes: 1 << 20,
             prefetch: false,
             lookahead: 0,
+            ..ServerConfig::default()
         },
     );
     server.register_tenant(TenantId(0), &tenant.rlk, &tenant.keys);
-    server.submit(Request {
+    let bad = server.submit(Request {
         tenant: TenantId(42),
         program: Program::new(vec![]),
         input: tenant.input.clone(),
     });
-    server.submit(Request {
+    let good = server.submit(Request {
         tenant: TenantId(0),
         program: Program::new(vec![]),
         input: tenant.input,
     });
-    assert!(server.run().is_err());
-    assert_eq!(server.queue_len(), 1, "the valid request stays queued");
-    let served = server.run().expect("second drain");
-    assert_eq!(served.len(), 1);
+    let outcomes = server.run();
+    assert_eq!(server.queue_len(), 0, "one drain settles the whole batch");
+    assert_eq!(outcomes.len(), 2);
+    // The unknown tenant fails inside its own domain, fully attributed...
+    let error = outcomes[0].error().expect("unknown tenant fails");
+    assert_eq!(error.request, bad);
+    assert_eq!(error.tenant, TenantId(42));
+    assert!(matches!(error.fault, ServeFault::UnknownTenant));
+    assert!(!error.is_transient());
+    // ...and the valid request in the same batch is served to completion.
+    let served = outcomes[1].completed().expect("valid request completes");
+    assert_eq!(served.report.request, good);
+    assert_eq!(served.report.tenant, TenantId(0));
+    let counters = server.counters();
+    assert_eq!(counters.completed, 1);
+    assert_eq!(counters.failed, 1);
+    assert_eq!(counters.shed, 0);
 }

@@ -66,6 +66,9 @@ pub mod phase {
     pub const SERVE_PREFETCH: &str = "serve_prefetch";
     /// Serving: executing the request's homomorphic program.
     pub const SERVE_EXECUTE: &str = "serve_execute";
+    /// Serving: a request failed; ops recorded after this mark belong to no successful
+    /// request, so traces still balance when a batch contains failures.
+    pub const SERVE_FAILED: &str = "serve_failed";
 }
 
 /// One homomorphic operation at a given level.
