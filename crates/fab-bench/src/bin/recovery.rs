@@ -1,0 +1,380 @@
+//! Crash-recovery benchmark: sweeps every deterministic [`fab_serve::CrashPoint`] of a
+//! journaled serving run, gates the recovery contract, and writes recovery-latency rows to
+//! a machine-readable `BENCH_pr9.json`.
+//!
+//! For each kill site the bin replays the full crash cycle — journaled run armed with the
+//! crash point, process death, a fresh process recovering from the journal bytes alone —
+//! and asserts, before any number is reported:
+//!
+//! * recovered outcomes (settled + replayed) are **bitwise identical** to a prefix of the
+//!   uninterrupted run (write-ahead discipline: a crash before an admission append
+//!   legitimately loses the unacknowledged tail, never the acknowledged middle);
+//! * **zero duplicate executions**: requests with a durable `Completed` record are settled
+//!   from the journal, never re-run;
+//! * a simulated kill never tears the journal (`torn_bytes == 0`) and never produces
+//!   duplicate `Started` records.
+//!
+//! Latency rows aggregate `FabServer::recover` wall time per kill-site class
+//! (before-append / after-append / mid-execute), plus the cost of validating a training
+//! checkpoint ([`fab_lr::TrainingCheckpoint::load`]) and the torn-`.tmp` shadow gate from
+//! the resumable-training harness. Wall-clock numbers on a shared runner carry scheduler
+//! noise; [`fab_bench::warn_untrusted_scaling`] flags the file once at the top level.
+//!
+//! Usage: `cargo run --release -p fab-bench --bin recovery [-- --quick] [--out PATH]`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use fab_ckks::{
+    key_set_bytes, Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, Evaluator, GaloisKeys,
+    KeyGenerator, RelinearizationKey, SecretKey,
+};
+use fab_lr::TrainingCheckpoint;
+use fab_serve::{
+    CrashPoint, FabServer, FakeClock, Program, Request, RequestOutcome, ServeFault, ServeOp,
+    ServerConfig, TenantId,
+};
+
+const ROTATIONS: [usize; 2] = [1, 3];
+
+struct Tenant {
+    rlk: RelinearizationKey,
+    keys: GaloisKeys,
+    input: Ciphertext,
+}
+
+struct Fixture {
+    ctx: Arc<CkksContext>,
+    tenants: Vec<Tenant>,
+    config: ServerConfig,
+    rounds: u64,
+    program_len: usize,
+}
+
+fn make_fixture(quick: bool) -> Fixture {
+    let (log_n, max_level, tenant_count, rounds, program_len) = if quick {
+        (5, 2, 2, 2, 2)
+    } else {
+        (8, 3, 3, 3, 4)
+    };
+    let params = CkksParams::builder()
+        .log_n(log_n)
+        .scale_bits(40)
+        .first_prime_bits(50)
+        .max_level(max_level)
+        .dnum(1)
+        .secret_hamming_weight(Some(16))
+        .build()
+        .expect("valid parameters");
+    let ctx = CkksContext::new_arc(params).expect("context");
+    let tenants: Vec<Tenant> = (0..tenant_count)
+        .map(|t| {
+            let mut rng = ChaCha20Rng::seed_from_u64(0x9EC0 + t as u64);
+            let sk = SecretKey::generate(&ctx, &mut rng);
+            let keygen = KeyGenerator::new(ctx.clone(), sk);
+            let pk = keygen.public_key(&mut rng);
+            let rlk = keygen.relinearization_key(&mut rng);
+            let keys = keygen
+                .galois_keys(&ROTATIONS, true, &mut rng)
+                .expect("galois keys");
+            let encoder = Encoder::new(ctx.clone());
+            let encryptor = Encryptor::new(ctx.clone(), pk);
+            let scale = ctx.params().default_scale();
+            let values: Vec<f64> = (0..ctx.slot_count())
+                .map(|i| ((i + t) as f64 * 0.17).cos())
+                .collect();
+            let pt = encoder
+                .encode_real(&values, scale, ctx.params().max_level)
+                .expect("encode");
+            let input = encryptor.encrypt(&pt, &mut rng).expect("encrypt");
+            Tenant { rlk, keys, input }
+        })
+        .collect();
+    let config = ServerConfig {
+        cache_budget_bytes: tenant_count * key_set_bytes(ctx.params(), ROTATIONS.len() + 1),
+        prefetch: true,
+        lookahead: 8,
+        ..ServerConfig::default()
+    };
+    Fixture {
+        ctx,
+        tenants,
+        config,
+        rounds,
+        program_len,
+    }
+}
+
+fn make_server(fixture: &Fixture) -> FabServer {
+    let mut server = FabServer::new(Evaluator::new(fixture.ctx.clone()), fixture.config);
+    server.use_fake_clock(Arc::new(FakeClock::with_step(1)));
+    for (t, tenant) in fixture.tenants.iter().enumerate() {
+        server.register_tenant(TenantId(t as u32), &tenant.rlk, &tenant.keys);
+    }
+    server
+}
+
+fn submit_stream(server: &mut FabServer, fixture: &Fixture) {
+    for round in 0..fixture.rounds {
+        for (t, tenant) in fixture.tenants.iter().enumerate() {
+            let mut ops = vec![ServeOp::Rotate(1)];
+            ops.extend(
+                Program::random(51 + round, fixture.program_len, &ROTATIONS)
+                    .ops()
+                    .iter()
+                    .copied(),
+            );
+            server.submit(Request {
+                tenant: TenantId(t as u32),
+                program: Program::new(ops),
+                input: tenant.input.clone(),
+            });
+        }
+    }
+}
+
+/// Outcome equivalence across the crash boundary (mirrors the crash-recovery test gate):
+/// identity and ciphertext bits must match; settled failures replay as
+/// [`ServeFault::Replayed`] with the original class and rendered description.
+fn assert_equivalent(label: &str, got: &RequestOutcome, want: &RequestOutcome) {
+    assert_eq!(got.request(), want.request(), "id diverged: {label}");
+    assert_eq!(got.tenant(), want.tenant(), "tenant diverged: {label}");
+    match (got, want) {
+        (RequestOutcome::Completed(g), RequestOutcome::Completed(w)) => {
+            assert_eq!(g.output.c0(), w.output.c0(), "c0 diverged: {label}");
+            assert_eq!(g.output.c1(), w.output.c1(), "c1 diverged: {label}");
+        }
+        (RequestOutcome::Failed(g), RequestOutcome::Failed(w)) => match &g.fault {
+            ServeFault::Replayed { class, description } => {
+                assert_eq!(*class, w.fault.class(), "class diverged: {label}");
+                assert_eq!(*description, w.fault.to_string(), "{label}");
+            }
+            fault => assert_eq!(fault, &w.fault, "fault diverged: {label}"),
+        },
+        (g, w) => panic!("outcome shape diverged: {label}: {g:?} vs {w:?}"),
+    }
+}
+
+fn class_of(point: CrashPoint) -> &'static str {
+    match point {
+        CrashPoint::BeforeAppend(_) => "before_append",
+        CrashPoint::AfterAppend(_) => "after_append",
+        CrashPoint::MidExecute(_) => "mid_execute",
+        CrashPoint::MidCheckpoint { .. } => "mid_checkpoint",
+    }
+}
+
+#[derive(Default)]
+struct ClassRow {
+    points: usize,
+    recover_us: Vec<u64>,
+    settled: u64,
+    readmitted: u64,
+    replayed_executions: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            if quick {
+                "target/BENCH_recovery_quick.json".to_string()
+            } else {
+                "BENCH_pr9.json".to_string()
+            }
+        });
+    let cores = fab_bench::available_cores();
+    let untrusted_scaling = fab_bench::warn_untrusted_scaling("Recovery latencies");
+    let fixture = make_fixture(quick);
+
+    // Uninterrupted journaled reference run.
+    let mut reference_server = make_server(&fixture);
+    reference_server.attach_fresh_journal();
+    submit_stream(&mut reference_server, &fixture);
+    let reference = reference_server.run();
+    let appends = reference_server
+        .journal()
+        .expect("journal attached")
+        .record_count()
+        - 1;
+    let executes = reference_server.executions();
+    let journal_bytes = reference_server
+        .journal()
+        .expect("journal attached")
+        .byte_len();
+    assert!(
+        reference.iter().all(|o| o.completed().is_some()),
+        "the latency fixture is fault-free; every request completes"
+    );
+
+    // The sweep: every journal append boundary (both sides) and every execution window.
+    let sweep = CrashPoint::sweep(appends, executes);
+    assert_eq!(sweep.len() as u64, 2 * appends + executes);
+    let mut rows: std::collections::BTreeMap<&'static str, ClassRow> =
+        std::collections::BTreeMap::new();
+    for &point in &sweep {
+        let label = format!("{point:?}");
+
+        let mut crashed = make_server(&fixture);
+        crashed.attach_fresh_journal();
+        crashed.set_crash_point(point);
+        submit_stream(&mut crashed, &fixture);
+        let _lost = crashed.run();
+        assert!(crashed.has_crashed(), "{label} never fired");
+        let disk = crashed.journal_bytes().expect("journal attached").to_vec();
+
+        let mut recovered = make_server(&fixture);
+        let start = Instant::now();
+        let report = recovered
+            .recover(&disk)
+            .unwrap_or_else(|e| panic!("{label}: clean kill must recover: {e}"));
+        let recover_us = start.elapsed().as_micros() as u64;
+
+        assert_eq!(report.torn_bytes, 0, "{label}: simulated kills never tear");
+        assert_eq!(report.duplicate_starts, 0, "{label}: duplicate Started");
+        let settled_completed = report
+            .settled
+            .iter()
+            .filter(|o| o.completed().is_some())
+            .count() as u64;
+        let settled = report.settled.len() as u64;
+        let readmitted = report.readmitted.len() as u64;
+        let mut outcomes = report.settled;
+        outcomes.extend(recovered.run());
+        outcomes.sort_by_key(RequestOutcome::request);
+        assert!(
+            outcomes.len() <= reference.len(),
+            "{label}: fabricated work"
+        );
+        for (got, want) in outcomes.iter().zip(&reference) {
+            assert_equivalent(&label, got, want);
+        }
+        let completed_total = outcomes.iter().filter(|o| o.completed().is_some()).count() as u64;
+        assert_eq!(
+            recovered.executions(),
+            completed_total - settled_completed,
+            "{label}: a journaled completion was re-executed"
+        );
+
+        let row = rows.entry(class_of(point)).or_default();
+        row.points += 1;
+        row.recover_us.push(recover_us);
+        row.settled += settled;
+        row.readmitted += readmitted;
+        row.replayed_executions += recovered.executions();
+    }
+
+    // Training-checkpoint rows: validation latency of a durable checkpoint, plus the
+    // torn-`.tmp` shadow gate (a partial checkpoint write must never displace a valid one).
+    let dir = std::env::temp_dir().join("fab-bench-recovery");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let ckpt_path = dir.join("weights.ckpt");
+    let checkpoint = TrainingCheckpoint {
+        iteration: 7,
+        weights: fixture.tenants[0].input.clone(),
+    };
+    checkpoint
+        .save_atomic(&ckpt_path, &fixture.ctx)
+        .expect("checkpoint write");
+    let blob = checkpoint.to_bytes(&fixture.ctx);
+    for torn in [0, blob.len() / 2, blob.len() - 1] {
+        std::fs::write(ckpt_path.with_extension("tmp"), &blob[..torn]).expect("torn tmp");
+        let survived = TrainingCheckpoint::load(&ckpt_path, &fixture.ctx)
+            .expect("a torn .tmp must never shadow the valid checkpoint");
+        assert_eq!(survived.iteration, 7);
+    }
+    let mut load_us = Vec::new();
+    for _ in 0..10 {
+        let start = Instant::now();
+        let loaded = TrainingCheckpoint::load(&ckpt_path, &fixture.ctx).expect("valid checkpoint");
+        load_us.push(start.elapsed().as_micros() as u64);
+        assert_eq!(loaded.iteration, 7);
+    }
+    load_us.sort_unstable();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"source\": \"fab-bench recovery bin (PR 9)\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"cores_available\": {cores},");
+    let _ = writeln!(out, "  \"untrusted_scaling\": {untrusted_scaling},");
+    let _ = writeln!(
+        out,
+        "  \"params\": {{\"log_n\": {}, \"max_level\": {}, \"dnum\": {}}},",
+        fixture.ctx.params().degree().trailing_zeros(),
+        fixture.ctx.params().max_level,
+        fixture.ctx.params().dnum
+    );
+    let _ = writeln!(
+        out,
+        "  \"fixture\": {{\"tenants\": {}, \"requests\": {}, \"journal_appends\": {appends}, \"journal_bytes\": {journal_bytes}, \"crash_points\": {}}},",
+        fixture.tenants.len(),
+        reference.len(),
+        sweep.len()
+    );
+    let _ = writeln!(
+        out,
+        "  \"gates\": {{\"bitwise_identical_prefix\": true, \"zero_duplicate_executions\": true, \"zero_torn_bytes\": true, \"zero_duplicate_starts\": true, \"torn_checkpoint_never_shadows\": true}},"
+    );
+    out.push_str("  \"recovery_latency\": [\n");
+    let row_count = rows.len();
+    for (i, (class, row)) in rows.iter_mut().enumerate() {
+        row.recover_us.sort_unstable();
+        let mean = row.recover_us.iter().sum::<u64>() as f64 / row.recover_us.len() as f64;
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"class\": \"{class}\", \"points\": {}, \"recover_us\": {{\"min\": {}, \"p50\": {}, \"p95\": {}, \"max\": {}, \"mean\": {:.1}}}",
+            row.points,
+            row.recover_us[0],
+            percentile(&row.recover_us, 0.50),
+            percentile(&row.recover_us, 0.95),
+            row.recover_us[row.recover_us.len() - 1],
+            mean
+        );
+        let _ = write!(
+            out,
+            ", \"settled\": {}, \"readmitted\": {}, \"replayed_executions\": {}",
+            row.settled, row.readmitted, row.replayed_executions
+        );
+        out.push_str(if i + 1 == row_count { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"checkpoint\": {{\"blob_bytes\": {}, \"load_us\": {{\"min\": {}, \"p50\": {}, \"max\": {}}}}}",
+        blob.len(),
+        load_us[0],
+        percentile(&load_us, 0.50),
+        load_us[load_us.len() - 1]
+    );
+    out.push_str("}\n");
+
+    print!("{out}");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &out).expect("write bench JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -1,6 +1,118 @@
-//! Plaintext and ciphertext containers.
+//! Plaintext and ciphertext containers, with validated `FABCTX`/`FABPTX` snapshots.
+//!
+//! Snapshots exist for durability, not transport: the serving layer's request journal and
+//! fab-lr's training checkpoints persist ciphertexts across a process crash and must reject
+//! anything a torn write or bit rot could have left behind. Both snapshot kinds ride the
+//! shared [`wire`] codec (magic/version word, FNV-1a checksum, checked-math geometry) and
+//! embed the opening context's [`wire::param_fingerprint`], so a blob written under one
+//! parameter set fails typed ([`CkksError::CorruptSnapshot`]) under another instead of
+//! decoding into garbage polynomials.
 
-use fab_rns::RnsPolynomial;
+use fab_rns::{Representation, RnsPolynomial};
+
+use crate::wire::{self, BlobReader, BlobSpec, BlobWriter};
+use crate::{CkksContext, CkksError, CkksParams, Result};
+
+/// Ciphertext snapshot identity: ASCII `FABCTX` in the top 48 bits, version 1.
+const CT_SPEC: BlobSpec = BlobSpec {
+    magic: 0x4641_4243_5458_0000,
+    version: 1,
+    kind: "ciphertext snapshot",
+};
+
+/// Plaintext snapshot identity: ASCII `FABPTX` in the top 48 bits, version 1.
+const PT_SPEC: BlobSpec = BlobSpec {
+    magic: 0x4641_4250_5458_0000,
+    version: 1,
+    kind: "plaintext snapshot",
+};
+
+/// Geometry words after the generic header: fingerprint, degree, limb count, level, scale
+/// bits, domain tags.
+const SNAPSHOT_GEOMETRY_WORDS: usize = 6;
+
+fn corrupt(e: wire::WireError) -> CkksError {
+    CkksError::CorruptSnapshot { reason: e.reason }
+}
+
+/// Exact size of [`Ciphertext::to_bytes`]'s output for a ciphertext at `level` under
+/// `params`: the 16-byte wire header, six geometry words, then `2 · (level+1) · N` payload
+/// words. Journal and checkpoint size budgeting is derived from this closed form.
+pub fn ciphertext_snapshot_bytes(params: &CkksParams, level: usize) -> usize {
+    wire::HEADER_BYTES + SNAPSHOT_GEOMETRY_WORDS * 8 + 2 * (level + 1) * params.degree() * 8
+}
+
+/// Shared validation for both snapshot kinds: reads the six geometry words, checks them
+/// against the opening context, and returns `(limb_count, degree, scale, level, domains)`.
+fn read_snapshot_geometry(
+    reader: &mut BlobReader<'_>,
+    ctx: &CkksContext,
+    components: usize,
+) -> Result<(usize, usize, f64, usize, u64)> {
+    let fingerprint = reader.read_word().map_err(corrupt)?;
+    let expected_fp = wire::param_fingerprint(ctx.params());
+    if fingerprint != expected_fp {
+        return Err(CkksError::CorruptSnapshot {
+            reason: format!(
+                "parameter fingerprint {fingerprint:#018x} does not match the \
+                 opening context's {expected_fp:#018x}"
+            ),
+        });
+    }
+    let degree = reader.read_word().map_err(corrupt)? as usize;
+    let limb_count = reader.read_word().map_err(corrupt)? as usize;
+    let level = reader.read_word().map_err(corrupt)? as usize;
+    let scale = reader.read_f64().map_err(corrupt)?;
+    let domains = reader.read_word().map_err(corrupt)?;
+    if degree != ctx.degree() {
+        return Err(CkksError::CorruptSnapshot {
+            reason: format!("degree {degree} but context degree {}", ctx.degree()),
+        });
+    }
+    if level > ctx.params().max_level {
+        return Err(CkksError::CorruptSnapshot {
+            reason: format!("level {level} exceeds max level {}", ctx.params().max_level),
+        });
+    }
+    if limb_count != level + 1 {
+        return Err(CkksError::CorruptSnapshot {
+            reason: format!("limb count {limb_count} inconsistent with level {level}"),
+        });
+    }
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(CkksError::CorruptSnapshot {
+            reason: format!("scale {scale:e} is not a finite positive value"),
+        });
+    }
+    if domains >> components != 0 {
+        return Err(CkksError::CorruptSnapshot {
+            reason: format!("domain tag word {domains:#x} has unknown bits set"),
+        });
+    }
+    let poly_words =
+        wire::checked_product(&[degree, limb_count]).ok_or_else(|| CkksError::CorruptSnapshot {
+            reason: "snapshot header geometry overflows".into(),
+        })?;
+    reader
+        .expect_payload_words(components * poly_words)
+        .map_err(corrupt)?;
+    Ok((limb_count, degree, scale, level, domains))
+}
+
+fn domain_bit(poly: &RnsPolynomial) -> u64 {
+    match poly.representation() {
+        Representation::Coefficient => 0,
+        Representation::Evaluation => 1,
+    }
+}
+
+fn domain_for(bit: u64) -> Representation {
+    if bit == 0 {
+        Representation::Coefficient
+    } else {
+        Representation::Evaluation
+    }
+}
 
 /// An encoded (but not encrypted) CKKS message: a scaled integer polynomial over `Q_level`.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +148,41 @@ impl Plaintext {
     /// Number of limbs (`level + 1`).
     pub fn limb_count(&self) -> usize {
         self.poly.limb_count()
+    }
+
+    /// Serializes a versioned `FABPTX` snapshot of this plaintext: the shared wire header,
+    /// the geometry words (parameter fingerprint, degree, limb count, level, scale bits,
+    /// domain tag), then the polynomial's flat limb-major `u64` LE words.
+    pub fn to_bytes(&self, ctx: &CkksContext) -> Vec<u8> {
+        let mut out = BlobWriter::new(
+            PT_SPEC,
+            wire::HEADER_BYTES + SNAPSHOT_GEOMETRY_WORDS * 8 + self.poly.data().len() * 8,
+        );
+        out.push_word(wire::param_fingerprint(ctx.params()));
+        out.push_word(self.poly.degree() as u64);
+        out.push_word(self.poly.limb_count() as u64);
+        out.push_word(self.level as u64);
+        out.push_f64(self.scale);
+        out.push_word(domain_bit(&self.poly));
+        out.push_words(self.poly.data());
+        out.finish()
+    }
+
+    /// Rebuilds a plaintext serialized by [`Self::to_bytes`] under the same context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::CorruptSnapshot`] when the blob fails wire validation (magic,
+    /// version, checksum, truncation) or its geometry is inconsistent with `ctx` (parameter
+    /// fingerprint, degree, level/limb mismatch, non-finite scale, unknown domain tag).
+    pub fn from_bytes(bytes: &[u8], ctx: &CkksContext) -> Result<Self> {
+        let mut reader = BlobReader::open(PT_SPEC, bytes).map_err(corrupt)?;
+        let (limb_count, degree, scale, level, domains) =
+            read_snapshot_geometry(&mut reader, ctx, 1)?;
+        let data = reader.read_words(degree * limb_count).map_err(corrupt)?;
+        reader.finish().map_err(corrupt)?;
+        let poly = RnsPolynomial::from_flat(degree, data, domain_for(domains & 1));
+        Ok(Self { poly, scale, level })
     }
 }
 
@@ -99,6 +246,47 @@ impl Ciphertext {
     /// Size of this ciphertext in bytes when packed at the limb bit-width `log q`.
     pub fn packed_bytes(&self, limb_bits: u32) -> usize {
         2 * self.limb_count() * self.degree() * limb_bits as usize / 8
+    }
+
+    /// Serializes a versioned `FABCTX` snapshot of this ciphertext: the shared wire header,
+    /// the geometry words (parameter fingerprint, degree, limb count, level, scale bits,
+    /// domain tags for `c_0`/`c_1`), then `c_0`'s and `c_1`'s flat limb-major `u64` LE
+    /// words. [`ciphertext_snapshot_bytes`] gives the exact output size.
+    pub fn to_bytes(&self, ctx: &CkksContext) -> Vec<u8> {
+        debug_assert_eq!(self.c0.limb_count(), self.c1.limb_count());
+        let mut out = BlobWriter::new(CT_SPEC, ciphertext_snapshot_bytes(ctx.params(), self.level));
+        out.push_word(wire::param_fingerprint(ctx.params()));
+        out.push_word(self.c0.degree() as u64);
+        out.push_word(self.c0.limb_count() as u64);
+        out.push_word(self.level as u64);
+        out.push_f64(self.scale);
+        out.push_word(domain_bit(&self.c0) | (domain_bit(&self.c1) << 1));
+        out.push_words(self.c0.data());
+        out.push_words(self.c1.data());
+        out.finish()
+    }
+
+    /// Rebuilds a ciphertext serialized by [`Self::to_bytes`] under the same context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::CorruptSnapshot`] when the blob fails wire validation (magic,
+    /// version, checksum, truncation) or its geometry is inconsistent with `ctx` (parameter
+    /// fingerprint, degree, level/limb mismatch, non-finite scale, unknown domain tags).
+    pub fn from_bytes(bytes: &[u8], ctx: &CkksContext) -> Result<Self> {
+        let mut reader = BlobReader::open(CT_SPEC, bytes).map_err(corrupt)?;
+        let (limb_count, degree, scale, level, domains) =
+            read_snapshot_geometry(&mut reader, ctx, 2)?;
+        let poly_words = degree * limb_count;
+        let c0 = reader.read_words(poly_words).map_err(corrupt)?;
+        let c1 = reader.read_words(poly_words).map_err(corrupt)?;
+        reader.finish().map_err(corrupt)?;
+        Ok(Self {
+            c0: RnsPolynomial::from_flat(degree, c0, domain_for(domains & 1)),
+            c1: RnsPolynomial::from_flat(degree, c1, domain_for((domains >> 1) & 1)),
+            scale,
+            level,
+        })
     }
 }
 

@@ -56,6 +56,13 @@ pub enum CkksError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A serialized ciphertext/plaintext snapshot failed validation (bad magic, unsupported
+    /// version, checksum mismatch, malformed geometry, or a parameter fingerprint that does
+    /// not match the opening context). Permanent: reloading the same bytes fails identically.
+    CorruptSnapshot {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CkksError {
@@ -80,6 +87,7 @@ impl fmt::Display for CkksError {
             CkksError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
             CkksError::CorruptKey { reason } => write!(f, "corrupt key blob: {reason}"),
             CkksError::KeyMismatch { reason } => write!(f, "key mismatch: {reason}"),
+            CkksError::CorruptSnapshot { reason } => write!(f, "corrupt snapshot: {reason}"),
         }
     }
 }
@@ -144,6 +152,9 @@ mod tests {
             },
             CkksError::KeyMismatch {
                 reason: "key degree 16 but context degree 32".into(),
+            },
+            CkksError::CorruptSnapshot {
+                reason: "parameter fingerprint mismatch".into(),
             },
         ];
         for e in errors {

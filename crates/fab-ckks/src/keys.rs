@@ -15,29 +15,25 @@ use fab_rns::{Representation, RnsPolynomial};
 use rand::Rng;
 
 use crate::sampling;
+use crate::wire::{self, BlobReader, BlobSpec, BlobWriter};
 use crate::{CkksContext, CkksError, CkksParams, Result};
 
-/// Bytes of the fixed `to_bytes` header: magic+version, checksum, degree, limb count, `α`,
-/// `dnum` as `u64` LE words.
-const KEY_HEADER_BYTES: usize = 48;
+/// Bytes of the fixed `to_bytes` header: the shared [`wire`] magic+checksum words plus
+/// degree, limb count, `α` and `dnum` as `u64` LE words.
+const KEY_HEADER_BYTES: usize = wire::HEADER_BYTES + 4 * 8;
 
-/// Format tag in the top 48 bits of header word 0 (ASCII `FABKEY` is close enough; the exact
-/// value only has to be improbable in noise). The low 16 bits carry the format version.
-const KEY_MAGIC: u64 = 0x4641_424B_4559_0000;
+/// The switching-key blob identity on the shared [`wire`] codec. The magic (ASCII `FABKEY`
+/// in the top 48 bits — the exact value only has to be improbable in noise) and version-1
+/// layout predate the codec; the refactor onto [`BlobWriter`]/[`BlobReader`] is
+/// byte-identical, so version stays 1.
+const KEY_SPEC: BlobSpec = BlobSpec {
+    magic: 0x4641_424B_4559_0000,
+    version: 1,
+    kind: "switching key",
+};
 
-/// Current switching-key serialization version (low 16 bits of header word 0).
-const KEY_FORMAT_VERSION: u64 = 1;
-
-/// FNV-1a 64-bit over `bytes` — the content checksum stored in header word 1 and verified by
-/// [`SwitchingKey::from_bytes`] so bit flips anywhere in the geometry or payload are caught
-/// before a garbage key is built.
-fn key_checksum(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
+fn corrupt_key(e: wire::WireError) -> CkksError {
+    CkksError::CorruptKey { reason: e.reason }
 }
 
 /// The secret key: a ternary polynomial `s`, stored both as signed coefficients and in
@@ -170,27 +166,17 @@ impl SwitchingKey {
     pub fn to_bytes(&self) -> Vec<u8> {
         let (b0, _) = &self.components[0];
         debug_assert_eq!(b0.representation(), Representation::Evaluation);
-        let mut out = Vec::with_capacity(self.serialized_bytes());
-        for header in [
-            KEY_MAGIC | KEY_FORMAT_VERSION,
-            0, // checksum placeholder, patched below
-            b0.degree() as u64,
-            b0.limb_count() as u64,
-            self.alpha as u64,
-            self.components.len() as u64,
-        ] {
-            out.extend_from_slice(&header.to_le_bytes());
-        }
+        let mut out = BlobWriter::new(KEY_SPEC, self.serialized_bytes());
+        out.push_word(b0.degree() as u64);
+        out.push_word(b0.limb_count() as u64);
+        out.push_word(self.alpha as u64);
+        out.push_word(self.components.len() as u64);
         for (b, a) in &self.components {
             for poly in [b, a] {
-                for &word in poly.data() {
-                    out.extend_from_slice(&word.to_le_bytes());
-                }
+                out.push_words(poly.data());
             }
         }
-        let checksum = key_checksum(&out[16..]);
-        out[8..16].copy_from_slice(&checksum.to_le_bytes());
-        out
+        out.finish()
     }
 
     /// Rebuilds a key serialized by [`Self::to_bytes`].
@@ -201,36 +187,11 @@ impl SwitchingKey {
     /// or version word is wrong, the header geometry is malformed, or the content checksum
     /// does not match (bit flips anywhere in the blob).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        let word = |i: usize| -> u64 {
-            u64::from_le_bytes(bytes[8 * i..8 * (i + 1)].try_into().expect("8 bytes"))
-        };
-        if bytes.len() < KEY_HEADER_BYTES {
-            return Err(CkksError::CorruptKey {
-                reason: format!(
-                    "switching key blob of {} bytes is shorter than the {KEY_HEADER_BYTES}-byte header",
-                    bytes.len()
-                ),
-            });
-        }
-        let tag = word(0);
-        if tag & !0xFFFF != KEY_MAGIC {
-            return Err(CkksError::CorruptKey {
-                reason: format!("bad magic word {tag:#018x}"),
-            });
-        }
-        let version = tag & 0xFFFF;
-        if version != KEY_FORMAT_VERSION {
-            return Err(CkksError::CorruptKey {
-                reason: format!(
-                    "unsupported key format version {version} (expected {KEY_FORMAT_VERSION})"
-                ),
-            });
-        }
-        let stored_checksum = word(1);
-        let degree = word(2) as usize;
-        let limb_count = word(3) as usize;
-        let alpha = word(4) as usize;
-        let dnum = word(5) as usize;
+        let mut reader = BlobReader::open(KEY_SPEC, bytes).map_err(corrupt_key)?;
+        let degree = reader.read_word().map_err(corrupt_key)? as usize;
+        let limb_count = reader.read_word().map_err(corrupt_key)? as usize;
+        let alpha = reader.read_word().map_err(corrupt_key)? as usize;
+        let dnum = reader.read_word().map_err(corrupt_key)? as usize;
         if degree == 0 || limb_count == 0 || alpha == 0 || dnum == 0 {
             return Err(CkksError::CorruptKey {
                 reason: format!(
@@ -242,42 +203,21 @@ impl SwitchingKey {
         let overflow = || CkksError::CorruptKey {
             reason: "switching key header geometry overflows".into(),
         };
-        let poly_words = degree.checked_mul(limb_count).ok_or_else(overflow)?;
-        let expected = KEY_HEADER_BYTES
-            + 2usize
-                .checked_mul(dnum)
-                .and_then(|n| n.checked_mul(poly_words))
-                .and_then(|n| n.checked_mul(8))
-                .ok_or_else(overflow)?;
-        if bytes.len() != expected {
-            let kind = if bytes.len() < expected {
-                "truncated"
-            } else {
-                "oversized"
-            };
-            return Err(CkksError::CorruptKey {
-                reason: format!(
-                    "{kind} switching key blob: {} bytes, header implies {expected}",
-                    bytes.len()
-                ),
-            });
+        let poly_words = wire::checked_product(&[degree, limb_count]).ok_or_else(overflow)?;
+        let payload_words = wire::checked_product(&[2, dnum, poly_words]).ok_or_else(overflow)?;
+        reader
+            .expect_payload_words(payload_words)
+            .map_err(corrupt_key)?;
+        let mut components = Vec::with_capacity(dnum);
+        for _ in 0..dnum {
+            let b = reader.read_words(poly_words).map_err(corrupt_key)?;
+            let a = reader.read_words(poly_words).map_err(corrupt_key)?;
+            components.push((
+                RnsPolynomial::from_flat(degree, b, Representation::Evaluation),
+                RnsPolynomial::from_flat(degree, a, Representation::Evaluation),
+            ));
         }
-        let computed = key_checksum(&bytes[16..]);
-        if computed != stored_checksum {
-            return Err(CkksError::CorruptKey {
-                reason: format!(
-                    "checksum mismatch: stored {stored_checksum:#018x}, computed {computed:#018x}"
-                ),
-            });
-        }
-        let mut words = bytes[KEY_HEADER_BYTES..]
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")));
-        let mut read_poly = || {
-            let data: Vec<u64> = words.by_ref().take(poly_words).collect();
-            RnsPolynomial::from_flat(degree, data, Representation::Evaluation)
-        };
-        let components = (0..dnum).map(|_| (read_poly(), read_poly())).collect();
+        reader.finish().map_err(corrupt_key)?;
         Ok(Self { components, alpha })
     }
 }

@@ -93,11 +93,12 @@ mod keys;
 pub mod linear_transform;
 mod params;
 pub mod sampling;
+pub mod wire;
 
 pub use backend::{EvalBackend, ExecBackend, PlanBackend, PlanCiphertext};
 pub use bootstrap::{BootstrapParams, Bootstrapper};
 pub use chebyshev::ChebyshevSeries;
-pub use ciphertext::{Ciphertext, Plaintext};
+pub use ciphertext::{ciphertext_snapshot_bytes, Ciphertext, Plaintext};
 pub use context::CkksContext;
 pub use encoding::Encoder;
 pub use encryption::{Decryptor, Encryptor};

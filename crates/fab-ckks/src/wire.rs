@@ -1,0 +1,452 @@
+//! The shared validated-blob codec behind every serialized artifact in the workspace.
+//!
+//! PR 8 introduced a defensive wire format for evaluation keys: a fixed header carrying a
+//! magic/version word and an FNV-1a content checksum, followed by geometry words validated
+//! with checked arithmetic before any allocation. Ciphertext snapshots and the serving
+//! layer's request journal need exactly the same discipline, so the header logic lives here
+//! once and every blob kind ([`SwitchingKey`](crate::SwitchingKey) blobs, `FABCTX`/`FABPTX`
+//! snapshots, `FABJNL` journal records) is a [`BlobSpec`] over the same audited code path.
+//!
+//! Layout shared by every blob:
+//!
+//! ```text
+//! word 0   magic (top 48 bits) | format version (low 16 bits)
+//! word 1   FNV-1a 64 checksum over every byte after this word
+//! word 2…  kind-specific geometry words, then the payload
+//! ```
+//!
+//! All words are `u64` little-endian. The checksum covers the geometry words, so a bit flip
+//! anywhere outside the magic word itself is detected before geometry is trusted; geometry
+//! that passes the checksum is *still* validated by the caller (zero dimensions, checked-math
+//! size recomputation) because a checksum authenticates accidental corruption, not intent.
+//!
+//! [`BlobWriter`]/[`BlobReader`] fail with [`WireError`]; callers map that onto their own
+//! typed rejection ([`CkksError::CorruptKey`](crate::CkksError::CorruptKey),
+//! [`CkksError::CorruptSnapshot`](crate::CkksError::CorruptSnapshot), fab-serve's
+//! `CorruptJournal`) so the failure domain stays visible in the type.
+
+use std::fmt;
+
+use crate::CkksParams;
+
+/// Bytes of the generic blob header: the magic/version word plus the checksum word.
+pub const HEADER_BYTES: usize = 16;
+
+/// Identity of one blob kind: its magic constant (top 48 bits set, low 16 zero), the current
+/// format version (carried in the low 16 bits of word 0), and a human-readable kind name used
+/// in error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlobSpec {
+    /// Format tag occupying the top 48 bits of header word 0 (low 16 bits must be zero).
+    pub magic: u64,
+    /// Format version carried in the low 16 bits of header word 0.
+    pub version: u64,
+    /// Kind name for error messages ("switching key", "ciphertext snapshot", …).
+    pub kind: &'static str,
+}
+
+/// A blob-level validation failure, before the caller maps it onto its typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a 64-bit over `bytes` — the content checksum stored in header word 1. Deliberately a
+/// non-cryptographic integrity check: the threat model is bit rot and torn writes, not an
+/// adversary, and FNV keeps deserialization dependency-free and branch-predictable.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A 64-bit fingerprint of every parameter that affects ciphertext geometry or semantics.
+/// Snapshots and journal records embed it so a blob written under one parameter set is
+/// rejected (typed, not garbage) when opened under another.
+pub fn param_fingerprint(params: &CkksParams) -> u64 {
+    let mut bytes = Vec::with_capacity(9 * 8);
+    for word in [
+        params.log_n as u64,
+        params.scale_bits as u64,
+        params.first_prime_bits as u64,
+        params.max_level as u64,
+        params.dnum as u64,
+        params.fft_iter as u64,
+        params.error_std.to_bits(),
+        // Distinguish None from Some(0) without a separate tag word.
+        params.secret_hamming_weight.map_or(0, |h| h as u64 + 1),
+        params.security_bits as u64,
+    ] {
+        bytes.extend_from_slice(&word.to_le_bytes());
+    }
+    checksum(&bytes)
+}
+
+/// Checked product of geometry factors; `None` on overflow. Callers treat `None` as
+/// corruption — a header whose implied size overflows `usize` cannot describe a real blob.
+pub fn checked_product(factors: &[usize]) -> Option<usize> {
+    factors
+        .iter()
+        .try_fold(1usize, |acc, &f| acc.checked_mul(f))
+}
+
+/// Serializes one blob: writes the header, accumulates geometry words and payload, and
+/// patches the checksum on [`BlobWriter::finish`].
+#[derive(Debug)]
+pub struct BlobWriter {
+    bytes: Vec<u8>,
+}
+
+impl BlobWriter {
+    /// Starts a blob of the given kind. `capacity` is a byte-size hint for the allocation.
+    pub fn new(spec: BlobSpec, capacity: usize) -> Self {
+        debug_assert_eq!(spec.magic & 0xFFFF, 0, "magic must leave the version bits");
+        debug_assert!(spec.version <= 0xFFFF, "version must fit in 16 bits");
+        let mut bytes = Vec::with_capacity(capacity.max(HEADER_BYTES));
+        bytes.extend_from_slice(&(spec.magic | spec.version).to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // checksum placeholder
+        Self { bytes }
+    }
+
+    /// Appends one `u64` LE word (geometry or payload).
+    pub fn push_word(&mut self, word: u64) {
+        self.bytes.extend_from_slice(&word.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its LE bit pattern (bit-exact round trip, no float parsing).
+    pub fn push_f64(&mut self, value: f64) {
+        self.push_word(value.to_bits());
+    }
+
+    /// Appends a slice of `u64` LE words.
+    pub fn push_words(&mut self, words: &[u64]) {
+        for &word in words {
+            self.bytes.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    /// Appends raw bytes verbatim (no length prefix).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    /// Appends a nested blob: a `u64` LE byte-length word followed by the bytes.
+    pub fn push_blob(&mut self, blob: &[u8]) {
+        self.push_word(blob.len() as u64);
+        self.push_bytes(blob);
+    }
+
+    /// Bytes written so far (header included).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing beyond the header has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.len() == HEADER_BYTES
+    }
+
+    /// Patches the checksum over everything after the checksum word and returns the blob.
+    pub fn finish(mut self) -> Vec<u8> {
+        let sum = checksum(&self.bytes[HEADER_BYTES..]);
+        self.bytes[8..16].copy_from_slice(&sum.to_le_bytes());
+        self.bytes
+    }
+}
+
+/// Validates and sequentially decodes one blob written by [`BlobWriter`].
+#[derive(Debug)]
+pub struct BlobReader<'a> {
+    spec: BlobSpec,
+    bytes: &'a [u8],
+    cursor: usize,
+}
+
+impl<'a> BlobReader<'a> {
+    /// Opens a blob: checks the header length, magic, version and content checksum before
+    /// any field is readable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the blob is shorter than the header, the magic or version
+    /// word is wrong, or the checksum does not match (bit flips anywhere past word 0).
+    pub fn open(spec: BlobSpec, bytes: &'a [u8]) -> Result<Self, WireError> {
+        let kind = spec.kind;
+        if bytes.len() < HEADER_BYTES {
+            return Err(WireError {
+                reason: format!(
+                    "{kind} blob of {} bytes is shorter than the {HEADER_BYTES}-byte header",
+                    bytes.len()
+                ),
+            });
+        }
+        let tag = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        if tag & !0xFFFF != spec.magic {
+            return Err(WireError {
+                reason: format!("bad magic word {tag:#018x} for {kind} blob"),
+            });
+        }
+        let version = tag & 0xFFFF;
+        if version != spec.version {
+            return Err(WireError {
+                reason: format!(
+                    "unsupported {kind} format version {version} (expected {})",
+                    spec.version
+                ),
+            });
+        }
+        let stored = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let computed = checksum(&bytes[HEADER_BYTES..]);
+        if computed != stored {
+            return Err(WireError {
+                reason: format!(
+                    "{kind} checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                ),
+            });
+        }
+        Ok(Self {
+            spec,
+            bytes,
+            cursor: HEADER_BYTES,
+        })
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.cursor
+    }
+
+    /// Reads one `u64` LE word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when fewer than 8 bytes remain.
+    pub fn read_word(&mut self) -> Result<u64, WireError> {
+        let bytes = self.read_bytes(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Reads one `f64` stored as its LE bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when fewer than 8 bytes remain.
+    pub fn read_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.read_word()?))
+    }
+
+    /// Reads `count` `u64` LE words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when fewer than `count * 8` bytes remain.
+    pub fn read_words(&mut self, count: usize) -> Result<Vec<u64>, WireError> {
+        let byte_len = count.checked_mul(8).ok_or_else(|| self.truncated(count))?;
+        let bytes = self.read_bytes(byte_len)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Reads `count` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when fewer than `count` bytes remain.
+    pub fn read_bytes(&mut self, count: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < count {
+            return Err(WireError {
+                reason: format!(
+                    "truncated {} blob: wanted {count} more bytes, {} remain",
+                    self.spec.kind,
+                    self.remaining()
+                ),
+            });
+        }
+        let slice = &self.bytes[self.cursor..self.cursor + count];
+        self.cursor += count;
+        Ok(slice)
+    }
+
+    /// Reads a nested blob written by [`BlobWriter::push_blob`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the length word is missing or overruns the blob.
+    pub fn read_blob(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.read_word()?;
+        let len = usize::try_from(len).map_err(|_| WireError {
+            reason: format!(
+                "nested blob length {len} in {} blob overflows usize",
+                self.spec.kind
+            ),
+        })?;
+        self.read_bytes(len)
+    }
+
+    /// Asserts the remaining payload is exactly `words` `u64` words — the checked-math size
+    /// validation every geometry header must pass before its payload is trusted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when `words * 8` overflows or the remaining length differs
+    /// ("truncated"/"oversized", matching the key codec's historical wording).
+    pub fn expect_payload_words(&self, words: usize) -> Result<(), WireError> {
+        let expected = words.checked_mul(8).ok_or_else(|| WireError {
+            reason: format!("{} header geometry overflows", self.spec.kind),
+        })?;
+        if self.remaining() != expected {
+            let kind = if self.remaining() < expected {
+                "truncated"
+            } else {
+                "oversized"
+            };
+            return Err(WireError {
+                reason: format!(
+                    "{kind} {} blob: {} payload bytes, header implies {expected}",
+                    self.spec.kind,
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Asserts every byte has been consumed (no trailing garbage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when unconsumed bytes remain.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError {
+                reason: format!(
+                    "oversized {} blob: {} trailing bytes",
+                    self.spec.kind,
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn truncated(&self, words: usize) -> WireError {
+        WireError {
+            reason: format!(
+                "truncated {} blob: wanted {words} more words",
+                self.spec.kind
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: BlobSpec = BlobSpec {
+        magic: 0x5445_5354_4242_0000,
+        version: 3,
+        kind: "test",
+    };
+
+    fn sample() -> Vec<u8> {
+        let mut w = BlobWriter::new(SPEC, 64);
+        assert!(w.is_empty());
+        w.push_word(7);
+        w.push_f64(2.5);
+        w.push_words(&[1, 2, 3]);
+        w.push_blob(&[0xAA, 0xBB]);
+        assert!(!w.is_empty());
+        w.finish()
+    }
+
+    #[test]
+    fn round_trips_every_field_kind() {
+        let blob = sample();
+        let mut r = BlobReader::open(SPEC, &blob).unwrap();
+        assert_eq!(r.read_word().unwrap(), 7);
+        assert_eq!(r.read_f64().unwrap(), 2.5);
+        assert_eq!(r.read_words(3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.read_blob().unwrap(), &[0xAA, 0xBB]);
+        assert_eq!(r.remaining(), 0);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn header_validation_rejects_each_failure_mode() {
+        let blob = sample();
+        // Shorter than the header.
+        assert!(BlobReader::open(SPEC, &blob[..8]).is_err());
+        // Wrong magic.
+        let mut bad = blob.clone();
+        bad[7] ^= 0x01;
+        assert!(BlobReader::open(SPEC, &bad).is_err());
+        // Wrong version.
+        let mut bad = blob.clone();
+        bad[0] = bad[0].wrapping_add(1);
+        assert!(BlobReader::open(SPEC, &bad).is_err());
+        // Any payload bit flip trips the checksum.
+        for i in HEADER_BYTES..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x80;
+            assert!(BlobReader::open(SPEC, &bad).is_err(), "byte {i}");
+        }
+        // A checksum-word flip mismatches too.
+        let mut bad = blob.clone();
+        bad[12] ^= 0x10;
+        assert!(BlobReader::open(SPEC, &bad).is_err());
+    }
+
+    #[test]
+    fn payload_size_and_trailing_bytes_are_enforced() {
+        let mut w = BlobWriter::new(SPEC, 0);
+        w.push_words(&[1, 2]);
+        let blob = w.finish();
+        let r = BlobReader::open(SPEC, &blob).unwrap();
+        r.expect_payload_words(2).unwrap();
+        assert!(r.expect_payload_words(3).is_err());
+        assert!(r.expect_payload_words(1).is_err());
+        assert!(r.expect_payload_words(usize::MAX).is_err(), "overflow");
+        assert!(r.finish().is_err(), "unconsumed bytes");
+
+        let mut r = BlobReader::open(SPEC, &blob).unwrap();
+        assert!(r.read_words(3).is_err(), "reads past the end fail typed");
+        assert!(r.read_bytes(17).is_err());
+        let mut r = BlobReader::open(SPEC, &blob).unwrap();
+        let _ = r.read_word();
+        assert!(r.read_blob().is_err(), "length word overruns the payload");
+    }
+
+    #[test]
+    fn checked_product_flags_overflow() {
+        assert_eq!(checked_product(&[3, 4, 5]), Some(60));
+        assert_eq!(checked_product(&[]), Some(1));
+        assert_eq!(checked_product(&[usize::MAX, 2]), None);
+    }
+
+    #[test]
+    fn param_fingerprint_distinguishes_parameter_sets() {
+        let a = CkksParams::testing();
+        let mut b = a.clone();
+        b.max_level += 1;
+        let mut c = a.clone();
+        c.secret_hamming_weight = c.secret_hamming_weight.map(|h| h + 2);
+        assert_eq!(param_fingerprint(&a), param_fingerprint(&a));
+        assert_ne!(param_fingerprint(&a), param_fingerprint(&b));
+        assert_ne!(param_fingerprint(&a), param_fingerprint(&c));
+    }
+}

@@ -1,0 +1,215 @@
+//! Durable training checkpoints: the encrypted weight state of a training run, serialized
+//! through the shared `fab_ckks::wire` codec and written atomically so a crash can never
+//! leave a half-written checkpoint where a valid one used to be.
+//!
+//! The blob is `FABLRC` (version 1): one word for the iteration boundary the checkpoint
+//! represents, then the weight ciphertext as a length-prefixed validated snapshot
+//! ([`fab_ckks::Ciphertext::to_bytes`]). The embedded snapshot carries the parameter
+//! fingerprint, so a checkpoint from a different parameter set is rejected typed, not
+//! resumed into garbage.
+//!
+//! # Atomicity
+//!
+//! [`TrainingCheckpoint::save_atomic`] writes a temporary sibling (`<path>.tmp`) and then
+//! renames it over `path`. A crash before the rename leaves the previous checkpoint intact
+//! and at worst a torn `.tmp` that the loader never reads; a crash after the rename leaves
+//! the new checkpoint complete. There is no interleaving that loses both — the property the
+//! crash harness in `tests/checkpoint_resume.rs` sweeps byte by byte.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use fab_ckks::wire::{self, BlobReader, BlobSpec, BlobWriter};
+use fab_ckks::{Ciphertext, CkksContext, CkksError};
+
+/// `FABLRC` in the magic word's top 48 bits; version 1 in the low 16.
+const CHECKPOINT_SPEC: BlobSpec = BlobSpec {
+    magic: 0x4641_424C_5243_0000,
+    version: 1,
+    kind: "training checkpoint",
+};
+
+fn corrupt(e: wire::WireError) -> CkksError {
+    CkksError::CorruptSnapshot { reason: e.reason }
+}
+
+/// The resumable state of an encrypted training run at an iteration boundary: `iteration`
+/// mini-batch iterations are complete and `weights` is the post-update (pre-refresh) weight
+/// ciphertext. Everything else a resumed run needs — keys, batch order, learning rate — is
+/// reproduced deterministically from the trainer's seed and the dataset.
+#[derive(Debug, Clone)]
+pub struct TrainingCheckpoint {
+    /// Completed iterations (the next iteration to run is this one, 0-based).
+    pub iteration: usize,
+    /// The encrypted weight vector as of that boundary, before any inter-iteration refresh.
+    pub weights: Ciphertext,
+}
+
+impl TrainingCheckpoint {
+    /// Serializes the checkpoint as a validated `FABLRC` blob.
+    pub fn to_bytes(&self, ctx: &CkksContext) -> Vec<u8> {
+        let snapshot = self.weights.to_bytes(ctx);
+        let mut writer = BlobWriter::new(CHECKPOINT_SPEC, 2 * 8 + snapshot.len());
+        writer.push_word(self.iteration as u64);
+        writer.push_blob(&snapshot);
+        writer.finish()
+    }
+
+    /// Deserializes and validates a checkpoint blob.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::CorruptSnapshot`] on any validation failure: bad magic/version,
+    /// checksum mismatch, truncation, or an embedded weight snapshot that fails its own
+    /// validation (including a parameter-fingerprint mismatch against `ctx`).
+    pub fn from_bytes(bytes: &[u8], ctx: &CkksContext) -> Result<Self, CkksError> {
+        let mut reader = BlobReader::open(CHECKPOINT_SPEC, bytes).map_err(corrupt)?;
+        let iteration = reader.read_word().map_err(corrupt)?;
+        let iteration = usize::try_from(iteration).map_err(|_| CkksError::CorruptSnapshot {
+            reason: format!("iteration count {iteration} overflows this platform"),
+        })?;
+        let snapshot = reader.read_blob().map_err(corrupt)?;
+        let weights = Ciphertext::from_bytes(snapshot, ctx)?;
+        reader.finish().map_err(corrupt)?;
+        Ok(Self { iteration, weights })
+    }
+
+    /// Writes the checkpoint to `path` atomically: serialize, write `<path>.tmp`, rename.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; on error `path` still holds its previous contents.
+    pub fn save_atomic(&self, path: &Path, ctx: &CkksContext) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_bytes(ctx))?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads and validates a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::InvalidInput`] when the file cannot be read (missing, permissions);
+    /// [`CkksError::CorruptSnapshot`] when its bytes fail validation.
+    pub fn load(path: &Path, ctx: &Arc<CkksContext>) -> Result<Self, CkksError> {
+        let bytes = std::fs::read(path).map_err(|e| CkksError::InvalidInput {
+            reason: format!("checkpoint {} unreadable: {e}", path.display()),
+        })?;
+        Self::from_bytes(&bytes, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fab_ckks::{CkksParams, Encoder, Encryptor, KeyGenerator, SecretKey};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn fixture() -> (Arc<CkksContext>, TrainingCheckpoint) {
+        let params = CkksParams::builder()
+            .log_n(5)
+            .scale_bits(40)
+            .first_prime_bits(50)
+            .max_level(2)
+            .dnum(1)
+            .secret_hamming_weight(Some(16))
+            .build()
+            .unwrap();
+        let ctx = CkksContext::new_arc(params).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(0x10AD);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = KeyGenerator::new(ctx.clone(), sk).public_key(&mut rng);
+        let values: Vec<f64> = (0..ctx.slot_count())
+            .map(|i| (i as f64 * 0.3).cos())
+            .collect();
+        let pt = Encoder::new(ctx.clone())
+            .encode_real(
+                &values,
+                ctx.params().default_scale(),
+                ctx.params().max_level,
+            )
+            .unwrap();
+        let weights = Encryptor::new(ctx.clone(), pk)
+            .encrypt(&pt, &mut rng)
+            .unwrap();
+        (
+            ctx,
+            TrainingCheckpoint {
+                iteration: 7,
+                weights,
+            },
+        )
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let (ctx, checkpoint) = fixture();
+        let bytes = checkpoint.to_bytes(&ctx);
+        let restored = TrainingCheckpoint::from_bytes(&bytes, &ctx).unwrap();
+        assert_eq!(restored.iteration, 7);
+        assert_eq!(restored.weights.c0(), checkpoint.weights.c0());
+        assert_eq!(restored.weights.c1(), checkpoint.weights.c1());
+        assert_eq!(bytes, restored.to_bytes(&ctx), "re-serialization is stable");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected_typed() {
+        let (ctx, checkpoint) = fixture();
+        let bytes = checkpoint.to_bytes(&ctx);
+        // Exhaustive over the header and checkpoint geometry; sampled over the big payload.
+        let positions = (0..32).chain((32..bytes.len()).step_by(97));
+        for byte in positions {
+            for bit in [0, 7] {
+                let mut mutated = bytes.clone();
+                mutated[byte] ^= 1 << bit;
+                match TrainingCheckpoint::from_bytes(&mutated, &ctx) {
+                    Err(CkksError::CorruptSnapshot { .. }) => {}
+                    other => panic!("flip at byte {byte} bit {bit}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_growth_are_rejected_typed() {
+        let (ctx, checkpoint) = fixture();
+        let bytes = checkpoint.to_bytes(&ctx);
+        for cut in [0, 1, 15, 16, 24, bytes.len() - 1] {
+            assert!(matches!(
+                TrainingCheckpoint::from_bytes(&bytes[..cut], &ctx),
+                Err(CkksError::CorruptSnapshot { .. })
+            ));
+        }
+        let mut grown = bytes.clone();
+        grown.push(0);
+        assert!(matches!(
+            TrainingCheckpoint::from_bytes(&grown, &ctx),
+            Err(CkksError::CorruptSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn a_missing_file_is_invalid_input_not_corruption() {
+        let (ctx, _) = fixture();
+        let err = TrainingCheckpoint::load(Path::new("/nonexistent/fab-lr-ckpt"), &ctx)
+            .expect_err("missing file");
+        assert!(matches!(err, CkksError::InvalidInput { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn save_atomic_replaces_and_load_round_trips() {
+        let (ctx, checkpoint) = fixture();
+        let dir = std::env::temp_dir().join("fab-lr-checkpoint-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.ckpt");
+        checkpoint.save_atomic(&path, &ctx).unwrap();
+        let mut second = checkpoint.clone();
+        second.iteration = 8;
+        second.save_atomic(&path, &ctx).unwrap();
+        let restored = TrainingCheckpoint::load(&path, &ctx).unwrap();
+        assert_eq!(restored.iteration, 8);
+        assert!(!path.with_extension("tmp").exists(), "tmp renamed away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

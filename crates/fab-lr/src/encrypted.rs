@@ -7,6 +7,7 @@
 //! scaled down so an iteration runs in seconds in software; the full-size workload is costed by
 //! the accelerator model in [`crate::helr_iteration_workload`].
 
+use std::path::Path;
 use std::sync::Arc;
 
 use fab_ckks::backend::{EvalBackend, ExecBackend, PlanBackend, PlanCiphertext};
@@ -20,7 +21,19 @@ use fab_trace::{noop_sink, phase, OpTrace, TraceSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 
+use crate::checkpoint::TrainingCheckpoint;
 use crate::{polynomial_sigmoid, Dataset};
+
+/// Periodic checkpointing policy for a training run: every `every_iterations` completed
+/// iterations (and always at the final boundary) the weight state is written atomically to
+/// `path` via [`TrainingCheckpoint::save_atomic`].
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy<'a> {
+    /// Checkpoint cadence in iterations (≥ 1; 1 checkpoints every boundary).
+    pub every_iterations: usize,
+    /// Destination file; its `.tmp` sibling is used as the atomic-write staging area.
+    pub path: &'a Path,
+}
 
 /// Report of one encrypted training run.
 #[derive(Debug, Clone)]
@@ -185,7 +198,15 @@ impl EncryptedLogisticRegression {
         batch_size: usize,
         learning_rate: f64,
     ) -> Result<EncryptedTrainingReport, CkksError> {
-        self.train_inner(data, iterations, batch_size, learning_rate, false)
+        self.train_inner(
+            data,
+            iterations,
+            batch_size,
+            learning_rate,
+            false,
+            None,
+            None,
+        )
     }
 
     /// Trains like [`Self::train`] but refreshes the weight ciphertext with a real sparse-slot
@@ -209,9 +230,97 @@ impl EncryptedLogisticRegression {
                 reason: "trainer was built without a bootstrapper (use with_bootstrapping)".into(),
             });
         }
-        self.train_inner(data, iterations, batch_size, learning_rate, true)
+        self.train_inner(
+            data,
+            iterations,
+            batch_size,
+            learning_rate,
+            true,
+            None,
+            None,
+        )
     }
 
+    /// [`Self::train_with_refresh`] with periodic durable checkpoints: after every
+    /// `policy.every_iterations` completed iterations (and at the final boundary) the
+    /// post-update weight ciphertext is written atomically to `policy.path`, so a killed
+    /// process loses at most `every_iterations − 1` iterations of work.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::train_with_refresh`]; checkpoint I/O failures surface as
+    /// [`CkksError::InvalidInput`] (training state is unaffected — the previous checkpoint,
+    /// if any, is still intact).
+    pub fn train_with_refresh_checkpointed(
+        &mut self,
+        data: &Dataset,
+        iterations: usize,
+        batch_size: usize,
+        learning_rate: f64,
+        policy: CheckpointPolicy<'_>,
+    ) -> Result<EncryptedTrainingReport, CkksError> {
+        if self.bootstrapper.is_none() {
+            return Err(CkksError::InvalidInput {
+                reason: "trainer was built without a bootstrapper (use with_bootstrapping)".into(),
+            });
+        }
+        self.train_inner(
+            data,
+            iterations,
+            batch_size,
+            learning_rate,
+            true,
+            None,
+            Some(policy),
+        )
+    }
+
+    /// Resumes an interrupted [`Self::train_with_refresh_checkpointed`] run from the
+    /// checkpoint at `path` and trains through iteration `iterations`, continuing to
+    /// checkpoint under `policy`. A trainer built with the same seed, context and features
+    /// reproduces the interrupted run's key material exactly, so the resumed run's final
+    /// weights decrypt **bitwise identical** to an uninterrupted run — the property
+    /// `tests/checkpoint_resume.rs` pins at every kill boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::InvalidInput`] when the checkpoint is unreadable or claims more
+    /// iterations than `iterations`; [`CkksError::CorruptSnapshot`] when its bytes fail
+    /// validation; otherwise as [`Self::train_with_refresh`].
+    pub fn resume_with_refresh_checkpointed(
+        &mut self,
+        data: &Dataset,
+        iterations: usize,
+        batch_size: usize,
+        learning_rate: f64,
+        policy: CheckpointPolicy<'_>,
+    ) -> Result<EncryptedTrainingReport, CkksError> {
+        if self.bootstrapper.is_none() {
+            return Err(CkksError::InvalidInput {
+                reason: "trainer was built without a bootstrapper (use with_bootstrapping)".into(),
+            });
+        }
+        let checkpoint = TrainingCheckpoint::load(policy.path, &self.ctx)?;
+        if checkpoint.iteration > iterations {
+            return Err(CkksError::InvalidInput {
+                reason: format!(
+                    "checkpoint is at iteration {} but only {} were requested",
+                    checkpoint.iteration, iterations
+                ),
+            });
+        }
+        self.train_inner(
+            data,
+            iterations,
+            batch_size,
+            learning_rate,
+            true,
+            Some(checkpoint),
+            Some(policy),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn train_inner(
         &mut self,
         data: &Dataset,
@@ -219,6 +328,8 @@ impl EncryptedLogisticRegression {
         batch_size: usize,
         learning_rate: f64,
         refresh: bool,
+        resume_from: Option<TrainingCheckpoint>,
+        checkpoint: Option<CheckpointPolicy<'_>>,
     ) -> Result<EncryptedTrainingReport, CkksError> {
         let scale = self.ctx.params().default_scale();
         let top_level = self.ctx.params().max_level;
@@ -232,21 +343,53 @@ impl EncryptedLogisticRegression {
             });
         }
 
-        // Encrypted weight vector, initialised to zero.
-        let zero = vec![0.0f64; self.features];
-        let mut ct_weights = self.encryptor.encrypt(
-            &self.encoder.encode_real(&zero, scale, top_level)?,
-            &mut self.rng,
-        )?;
+        // Checkpoints hold the post-update, *pre-refresh* weights of their boundary, so a
+        // resumed run first replays the refresh the straight-through run would have done
+        // there (when more iterations follow) — the bitwise-equality invariant depends on
+        // both runs refreshing the identical ciphertext.
+        let (start_iter, mut ct_weights) = match resume_from {
+            Some(cp) => {
+                let mut weights = cp.weights;
+                if refresh && cp.iteration > 0 && cp.iteration < iterations {
+                    weights = self.refresh_weights(&weights)?;
+                }
+                (cp.iteration, weights)
+            }
+            None => {
+                // Encrypted weight vector, initialised to zero.
+                let zero = vec![0.0f64; self.features];
+                let fresh = self.encryptor.encrypt(
+                    &self.encoder.encode_real(&zero, scale, top_level)?,
+                    &mut self.rng,
+                )?;
+                (0, fresh)
+            }
+        };
 
         let batches: Vec<(Vec<Vec<f64>>, Vec<f64>)> = data
             .batches(batch_size)
             .map(|(rows, labels)| (rows.iter().map(|r| r.to_vec()).collect(), labels))
             .collect();
         let backend = ExecBackend::new(&self.evaluator, Some(&self.rlk), Some(&self.gks));
-        for iter in 0..iterations {
+        for iter in start_iter..iterations {
             let (rows, labels) = &batches[iter % batches.len()];
             ct_weights = train_iteration_with(&backend, &ct_weights, rows, labels, learning_rate)?;
+            if let Some(policy) = &checkpoint {
+                let done = iter + 1;
+                if done % policy.every_iterations.max(1) == 0 || done == iterations {
+                    TrainingCheckpoint {
+                        iteration: done,
+                        weights: ct_weights.clone(),
+                    }
+                    .save_atomic(policy.path, &self.ctx)
+                    .map_err(|e| CkksError::InvalidInput {
+                        reason: format!(
+                            "checkpoint write to {} failed: {e}",
+                            policy.path.display()
+                        ),
+                    })?;
+                }
+            }
             if refresh && iter + 1 < iterations {
                 ct_weights = self.refresh_weights(&ct_weights)?;
             }

@@ -16,14 +16,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod data;
 mod encrypted;
 mod plaintext;
 mod trace;
 
+pub use checkpoint::TrainingCheckpoint;
 pub use data::{synthetic_mnist_like, Dataset};
 pub use encrypted::{
-    planned_iteration_trace, EncryptedLogisticRegression, EncryptedTrainingReport,
+    planned_iteration_trace, CheckpointPolicy, EncryptedLogisticRegression, EncryptedTrainingReport,
 };
 pub use plaintext::{polynomial_sigmoid, LogisticRegressionTrainer, TrainingConfig};
 pub use trace::{helr_iteration_workload, lr_training_time_s, HelrWorkloadBreakdown};

@@ -1,0 +1,228 @@
+//! The resumable-training gate: kill an encrypted training run at **every** iteration
+//! boundary, resume a fresh same-seed trainer from the durable checkpoint, and the resumed
+//! run's decrypted weights are **bitwise identical** to the uninterrupted run's — plus the
+//! atomic-write sweep proving a crash mid-checkpoint can never shadow a valid checkpoint
+//! with a torn one.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use fab_ckks::{CkksContext, CkksError, CkksParams, Encoder, Encryptor, KeyGenerator, SecretKey};
+use fab_lr::{
+    synthetic_mnist_like, CheckpointPolicy, EncryptedLogisticRegression, TrainingCheckpoint,
+};
+use fab_serve::CrashPoint;
+use fab_trace::noop_sink;
+
+const FEATURES: usize = 4;
+const SPARSE_SLOTS: usize = 8;
+const BATCH: usize = 4;
+const ITERATIONS: usize = 3;
+const SEED: u64 = 11;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fab-lr-{name}"));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn make_trainer() -> EncryptedLogisticRegression {
+    let ctx = CkksContext::new_arc(CkksParams::bootstrap_testing()).expect("context");
+    EncryptedLogisticRegression::with_bootstrapping(ctx, FEATURES, SPARSE_SLOTS, SEED, noop_sink())
+        .expect("trainer")
+}
+
+fn bits(weights: &[f64]) -> Vec<u64> {
+    weights.iter().map(|w| w.to_bits()).collect()
+}
+
+#[test]
+fn killing_training_at_every_iteration_boundary_resumes_bitwise_identical() {
+    let dir = scratch_dir("checkpoint-resume");
+    let data = synthetic_mnist_like(16, FEATURES, 7);
+
+    // The uninterrupted (but checkpointing) reference run. The trainer is reused below for
+    // the zero-iteration resume — safe, because the resume path never touches the trainer's
+    // rng (the only draw is the initial zero-weight encryption, which resume skips).
+    let ref_path = dir.join("ref.ckpt");
+    let mut ref_trainer = make_trainer();
+    let reference = ref_trainer
+        .train_with_refresh_checkpointed(
+            &data,
+            ITERATIONS,
+            BATCH,
+            1.0,
+            CheckpointPolicy {
+                every_iterations: 1,
+                path: &ref_path,
+            },
+        )
+        .expect("reference run");
+    assert_eq!(reference.iterations, ITERATIONS);
+
+    // Boundary k = ITERATIONS: the run finished and then "crashed" — resuming from its
+    // final checkpoint runs zero iterations and decrypts the identical model.
+    let resumed = ref_trainer
+        .resume_with_refresh_checkpointed(
+            &data,
+            ITERATIONS,
+            BATCH,
+            1.0,
+            CheckpointPolicy {
+                every_iterations: 1,
+                path: &ref_path,
+            },
+        )
+        .expect("resume at the final boundary");
+    assert_eq!(
+        bits(&resumed.weights),
+        bits(&reference.weights),
+        "final-boundary resume diverged"
+    );
+
+    // Boundaries k = 1 .. ITERATIONS-1: a process killed right after checkpointing
+    // iteration k (its in-memory state is lost, whether or not it got through the refresh)
+    // is modelled by a run asked for only k iterations with a checkpoint at every boundary.
+    // Each kill needs a fresh trainer (a fresh run draws the rng for its initial
+    // encryption). k = 1 also resumes on a *fresh* same-seed trainer, proving the
+    // cross-process case: keys regenerate deterministically from the seed alone.
+    for k in 1..ITERATIONS {
+        let path = dir.join(format!("kill-at-{k}.ckpt"));
+        let policy = CheckpointPolicy {
+            every_iterations: 1,
+            path: &path,
+        };
+        let mut killed = make_trainer();
+        killed
+            .train_with_refresh_checkpointed(&data, k, BATCH, 1.0, policy.clone())
+            .unwrap_or_else(|e| panic!("killed run to boundary {k}: {e}"));
+        let on_disk = TrainingCheckpoint::load(&path, killed.context()).expect("valid");
+        assert_eq!(on_disk.iteration, k);
+
+        let mut resumer = if k == 1 { make_trainer() } else { killed };
+        let resumed = resumer
+            .resume_with_refresh_checkpointed(&data, ITERATIONS, BATCH, 1.0, policy.clone())
+            .unwrap_or_else(|e| panic!("resume from boundary {k}: {e}"));
+        assert_eq!(
+            bits(&resumed.weights),
+            bits(&reference.weights),
+            "resume from boundary {k} diverged from the uninterrupted run"
+        );
+        assert_eq!(resumed.iterations, ITERATIONS);
+        // The resumed run kept checkpointing: the file now sits at the final boundary.
+        let final_ckpt = TrainingCheckpoint::load(&path, resumer.context()).expect("valid");
+        assert_eq!(final_ckpt.iteration, ITERATIONS);
+
+        // Asking a resumed run for fewer iterations than the checkpoint holds is a typed
+        // refusal, not silent rewinding.
+        let err = resumer
+            .resume_with_refresh_checkpointed(&data, k.saturating_sub(1), BATCH, 1.0, policy)
+            .expect_err("cannot rewind a checkpoint");
+        assert!(matches!(err, CkksError::InvalidInput { .. }), "{err:?}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Cheap serialization-level fixture (no trainer, no bootstrap): a small context and an
+/// encrypted weight vector to wrap in checkpoints.
+fn small_checkpoint(iteration: usize) -> (Arc<CkksContext>, TrainingCheckpoint) {
+    let params = CkksParams::builder()
+        .log_n(5)
+        .scale_bits(40)
+        .first_prime_bits(50)
+        .max_level(2)
+        .dnum(1)
+        .secret_hamming_weight(Some(16))
+        .build()
+        .expect("params");
+    let ctx = CkksContext::new_arc(params).expect("context");
+    let mut rng = ChaCha20Rng::seed_from_u64(0xC4A5);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let pk = KeyGenerator::new(ctx.clone(), sk).public_key(&mut rng);
+    let values: Vec<f64> = (0..ctx.slot_count())
+        .map(|i| (i as f64 * 0.19).sin())
+        .collect();
+    let pt = Encoder::new(ctx.clone())
+        .encode_real(
+            &values,
+            ctx.params().default_scale(),
+            ctx.params().max_level,
+        )
+        .expect("encode");
+    let weights = Encryptor::new(ctx.clone(), pk)
+        .encrypt(&pt, &mut rng)
+        .expect("encrypt");
+    (ctx, TrainingCheckpoint { iteration, weights })
+}
+
+#[test]
+fn a_crash_at_any_point_of_a_checkpoint_write_never_loses_the_previous_checkpoint() {
+    let dir = scratch_dir("checkpoint-atomicity");
+    let path = dir.join("weights.ckpt");
+    let (ctx, previous) = small_checkpoint(5);
+    previous
+        .save_atomic(&path, &ctx)
+        .expect("previous checkpoint");
+
+    let (_, next) = small_checkpoint(6);
+    let next_blob = next.to_bytes(&ctx);
+    // Sweep the mid-checkpoint kill window: the process dies with `bytes_written` bytes of
+    // the temp file flushed, before the rename. The sweep reuses the fab-serve crash-point
+    // vocabulary so the serving and training harnesses name kill sites the same way.
+    let sweep: Vec<CrashPoint> = (0..=next_blob.len() as u64)
+        .step_by(7)
+        .chain([next_blob.len() as u64 - 1, next_blob.len() as u64])
+        .map(|bytes_written| CrashPoint::MidCheckpoint { bytes_written })
+        .collect();
+    for point in sweep {
+        let CrashPoint::MidCheckpoint { bytes_written } = point else {
+            unreachable!("the sweep only holds checkpoint kill sites");
+        };
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &next_blob[..bytes_written as usize]).expect("torn tmp");
+        // The checkpoint path still loads the *previous*, complete checkpoint.
+        let loaded = TrainingCheckpoint::load(&path, &ctx).expect("previous survives");
+        assert_eq!(
+            loaded.iteration, 5,
+            "{point:?} shadowed the valid checkpoint"
+        );
+        // And the torn temp itself never validates (except the complete write, which the
+        // crash interrupted before rename — it still never shadowed `path`).
+        let torn = TrainingCheckpoint::load(&tmp, &ctx);
+        if (bytes_written as usize) < next_blob.len() {
+            assert!(
+                matches!(torn, Err(CkksError::CorruptSnapshot { .. })),
+                "{point:?}: torn tmp must be rejected typed, got {torn:?}"
+            );
+        }
+    }
+
+    // The crash-free write completes the rename and replaces the checkpoint.
+    next.save_atomic(&path, &ctx).expect("complete write");
+    let loaded = TrainingCheckpoint::load(&path, &ctx).expect("replaced");
+    assert_eq!(loaded.iteration, 6);
+    assert!(!path.with_extension("tmp").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_checkpoint_from_different_parameters_is_rejected_by_fingerprint() {
+    let (ctx_a, checkpoint) = small_checkpoint(3);
+    let bytes = checkpoint.to_bytes(&ctx_a);
+    let other = CkksParams::builder()
+        .log_n(5)
+        .scale_bits(39)
+        .first_prime_bits(50)
+        .max_level(2)
+        .dnum(1)
+        .secret_hamming_weight(Some(16))
+        .build()
+        .expect("params");
+    let ctx_b = CkksContext::new_arc(other).expect("context");
+    let err = TrainingCheckpoint::from_bytes(&bytes, &ctx_b).expect_err("fingerprint mismatch");
+    assert!(matches!(err, CkksError::CorruptSnapshot { .. }), "{err:?}");
+}

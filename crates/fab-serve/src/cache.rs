@@ -120,6 +120,15 @@ impl Default for RetryPolicy {
     }
 }
 
+/// One admission logged during the current request, tagged with the phase that made it so
+/// [`EvalKeyCache::rollback_request`] can treat prefetch and demand admissions differently.
+#[derive(Debug, Clone, Copy)]
+struct Admission {
+    tenant: TenantId,
+    key: KeyRef,
+    prefetched: bool,
+}
+
 #[derive(Debug)]
 struct CacheEntry {
     material: KeyMaterial,
@@ -151,7 +160,7 @@ pub struct EvalKeyCache {
     stats: CacheStats,
     retry: RetryPolicy,
     quarantine: BTreeSet<(TenantId, KeyRef)>,
-    admissions: Vec<(TenantId, KeyRef)>,
+    admissions: Vec<Admission>,
     chaos_evictions: BTreeSet<u64>,
 }
 
@@ -230,14 +239,24 @@ impl EvalKeyCache {
         self.admissions.clear();
     }
 
-    /// Rolls back every admission since [`Self::begin_request`]: entries this request
-    /// brought in are removed (if still resident), so a failed request leaves no residue
-    /// that could change a later request's hit pattern relative to the fault-free run.
-    /// Counted in [`CacheStats::rollbacks`].
+    /// Rolls back the **demand-phase** admissions since [`Self::begin_request`]: entries a
+    /// failing request pulled in at use time are removed (if still resident), so its residue
+    /// cannot change a later request's hit pattern relative to the fault-free run.
+    ///
+    /// **Prefetch-phase admissions are deliberately kept.** A fault-free run of the same
+    /// request would have performed the identical prefetch walk before execution, so those
+    /// entries are exactly what the cache would hold had the request succeeded — evicting
+    /// them would *diverge* from the fault-free hit pattern (and throw away validated key
+    /// material a retry or a co-tenant request is likely to touch next). Only the demand
+    /// misses of the failed execution, which a fault-free trace may never replicate, are
+    /// undone. Counted in [`CacheStats::rollbacks`] (demand-phase removals only).
     pub fn rollback_request(&mut self) {
         let admitted = std::mem::take(&mut self.admissions);
-        for id in admitted {
-            if let Some(entry) = self.entries.remove(&id) {
+        for admission in admitted {
+            if admission.prefetched {
+                continue;
+            }
+            if let Some(entry) = self.entries.remove(&(admission.tenant, admission.key)) {
                 self.resident_bytes -= entry.bytes;
                 self.stats.rollbacks += 1;
             }
@@ -290,7 +309,11 @@ impl EvalKeyCache {
         self.stats.misses += 1;
         self.evict_for(bytes);
         self.resident_bytes += bytes;
-        self.admissions.push((tenant, key));
+        self.admissions.push(Admission {
+            tenant,
+            key,
+            prefetched: false,
+        });
         self.entries.insert(
             (tenant, key),
             CacheEntry {
@@ -340,7 +363,11 @@ impl EvalKeyCache {
         self.stats.bytes_fetched += bytes as u64;
         self.evict_for(bytes);
         self.resident_bytes += bytes;
-        self.admissions.push((tenant, key));
+        self.admissions.push(Admission {
+            tenant,
+            key,
+            prefetched: true,
+        });
         self.entries.insert(
             (tenant, key),
             CacheEntry {

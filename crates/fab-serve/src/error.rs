@@ -83,6 +83,15 @@ pub enum ServeFault {
         /// Elapsed microseconds since submission when the deadline check fired.
         elapsed_us: u64,
     },
+    /// A failure settled from a recovered request journal: the crashed process journaled the
+    /// fault's classification and rendered description, which is all that survives a crash
+    /// (the structured payload is not re-fabricated).
+    Replayed {
+        /// The original fault's transient/permanent classification.
+        class: FaultClass,
+        /// The original fault's rendered description.
+        description: String,
+    },
 }
 
 impl ServeFault {
@@ -96,6 +105,7 @@ impl ServeFault {
             | ServeFault::MissingKey { .. }
             | ServeFault::CorruptKey { .. }
             | ServeFault::Evaluation { .. } => FaultClass::Permanent,
+            ServeFault::Replayed { class, .. } => *class,
         }
     }
 
@@ -127,6 +137,9 @@ impl ServeFault {
                 elapsed_us,
             } => CkksError::InvalidInput {
                 reason: format!("deadline {deadline_us}us exceeded at {elapsed_us}us"),
+            },
+            ServeFault::Replayed { description, .. } => CkksError::InvalidInput {
+                reason: format!("replayed from journal: {description}"),
             },
         }
     }
@@ -163,6 +176,9 @@ impl fmt::Display for ServeFault {
                 f,
                 "deadline {deadline_us}us exceeded ({elapsed_us}us elapsed)"
             ),
+            ServeFault::Replayed { description, .. } => {
+                write!(f, "replayed from journal: {description}")
+            }
         }
     }
 }
@@ -233,6 +249,10 @@ mod tests {
                 deadline_us: 10,
                 elapsed_us: 25,
             },
+            ServeFault::Replayed {
+                class: FaultClass::Transient,
+                description: "fetch of Relin failed".into(),
+            },
         ];
         let permanent = [
             ServeFault::UnknownTenant,
@@ -253,6 +273,10 @@ mod tests {
                 source: CkksError::LevelExhausted {
                     operation: "multiply",
                 },
+            },
+            ServeFault::Replayed {
+                class: FaultClass::Permanent,
+                description: "corrupt key".into(),
             },
         ];
         for fault in transient {

@@ -1,0 +1,549 @@
+//! The write-ahead request journal: durable admit/start/complete/fail transitions.
+//!
+//! A process crash must not lose the serving queue. The journal is an append-only sequence
+//! of length-prefixed records, each an independently validated blob on the shared
+//! [`fab_ckks::wire`] codec (magic/version word, FNV-1a checksum), so every record a crash
+//! could leave behind is either provably intact or typed-rejected — never trusted half-read:
+//!
+//! ```text
+//! [u64 LE record length][FABJNL record blob] [u64 LE record length][FABJNL record blob] …
+//!
+//! record blob:  magic|version · checksum · kind word · kind-specific fields
+//! ```
+//!
+//! The first record is always [`JournalRecord::Header`], carrying the writing context's
+//! parameter fingerprint; a journal opened under different parameters fails typed instead of
+//! decoding garbage ciphertexts. [`JournalRecord::Admitted`] embeds the request's full
+//! program and input ciphertext (as a validated `FABCTX` snapshot), which is what makes
+//! replay possible; [`JournalRecord::Completed`] embeds the output, which is what makes
+//! *not* replaying possible.
+//!
+//! [`RequestJournal::open`] distinguishes the two corruption regimes a crash model cares
+//! about:
+//!
+//! * **Torn tail** — the write was cut mid-record (short length prefix, or a declared length
+//!   overrunning the buffer). Every complete record before the tear is recovered; the torn
+//!   bytes are dropped and reported. This is the only damage an append-only writer's crash
+//!   can cause, so truncation at *any* byte offset recovers a clean prefix.
+//! * **Mid-stream corruption** — a complete record fails its checksum, carries an unknown
+//!   kind, or embeds an invalid snapshot. That is not a crash artifact but bit rot (or a
+//!   bug), and it surfaces as a typed [`CorruptJournal`] with the failing byte offset —
+//!   never a panic, never a fabricated record.
+
+use std::fmt;
+use std::sync::Arc;
+
+use fab_ckks::wire::{self, BlobReader, BlobSpec, BlobWriter};
+use fab_ckks::{Ciphertext, CkksContext};
+
+use crate::error::{FaultClass, RequestId};
+use crate::request::{Program, ServeOp};
+use crate::tenant::TenantId;
+
+/// Journal-record blob identity: ASCII `FABJNL` in the top 48 bits, version 1.
+const JOURNAL_SPEC: BlobSpec = BlobSpec {
+    magic: 0x4641_424A_4E4C_0000,
+    version: 1,
+    kind: "journal record",
+};
+
+/// A structurally complete record failed validation — bit rot or a writer bug, not a torn
+/// tail (tears are truncated silently and reported as [`RecoveredJournal::torn_bytes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptJournal {
+    /// Byte offset of the record that failed.
+    pub offset: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for CorruptJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "corrupt journal at byte {}: {}",
+            self.offset, self.reason
+        )
+    }
+}
+
+impl std::error::Error for CorruptJournal {}
+
+/// One durable state transition. The lifecycle of a request in the journal is
+/// `Admitted → Started → (Completed | Failed)`, or `Shed` at submission; a request whose
+/// last record is `Admitted`/`Started` was in flight when the process died.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// First record of every journal: the writing context's parameter fingerprint.
+    Header {
+        /// [`wire::param_fingerprint`] of the writing context.
+        fingerprint: u64,
+    },
+    /// A request entered the queue. Embeds everything replay needs.
+    Admitted {
+        /// The admitted request.
+        request: RequestId,
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// Submission timestamp (the writing process's serve clock).
+        submitted_us: u64,
+        /// The program to execute.
+        program: Program,
+        /// The encrypted input.
+        input: Ciphertext,
+    },
+    /// A request was rejected at submission by the bounded queue.
+    Shed {
+        /// The shed request.
+        request: RequestId,
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// Queue depth at the moment of shedding.
+        queue_depth: u64,
+    },
+    /// The server picked the request up for execution.
+    Started {
+        /// The request being executed.
+        request: RequestId,
+    },
+    /// The request completed; embeds the output so recovery never re-executes it.
+    Completed {
+        /// The completed request.
+        request: RequestId,
+        /// The served tenant.
+        tenant: TenantId,
+        /// Microseconds queued, warming the cache, executing, and end-to-end.
+        timings_us: [u64; 4],
+        /// Ops in the program.
+        ops: u64,
+        /// Demand key accesses during execution.
+        key_accesses: u64,
+        /// The program's output ciphertext.
+        output: Ciphertext,
+    },
+    /// The request failed with a classified, attributed error.
+    Failed {
+        /// The failed request.
+        request: RequestId,
+        /// The tenant whose request failed.
+        tenant: TenantId,
+        /// Transient/permanent classification of the fault.
+        class: FaultClass,
+        /// The rendered fault description.
+        description: String,
+    },
+}
+
+/// Record kind words (first field word of every record blob).
+mod kind {
+    pub const HEADER: u64 = 0;
+    pub const ADMITTED: u64 = 1;
+    pub const SHED: u64 = 2;
+    pub const STARTED: u64 = 3;
+    pub const COMPLETED: u64 = 4;
+    pub const FAILED: u64 = 5;
+}
+
+/// Op encoding tags inside `Admitted` records.
+mod op_tag {
+    pub const SQUARE: u64 = 0;
+    pub const ROTATE: u64 = 1;
+    pub const CONJUGATE: u64 = 2;
+    pub const ADD_SELF: u64 = 3;
+}
+
+fn encode_program(out: &mut BlobWriter, program: &Program) {
+    out.push_word(program.len() as u64);
+    for op in program.ops() {
+        let (tag, operand) = match *op {
+            ServeOp::Square => (op_tag::SQUARE, 0),
+            ServeOp::Rotate(steps) => (op_tag::ROTATE, steps as u64),
+            ServeOp::Conjugate => (op_tag::CONJUGATE, 0),
+            ServeOp::AddSelf => (op_tag::ADD_SELF, 0),
+        };
+        out.push_word(tag);
+        out.push_word(operand);
+    }
+}
+
+fn decode_program(reader: &mut BlobReader<'_>) -> Result<Program, wire::WireError> {
+    let len = reader.read_word()? as usize;
+    // Each op is two words; reject a length the remaining payload cannot hold before
+    // allocating (checked math — a rotten length word must not drive a huge reservation).
+    let needed = wire::checked_product(&[len, 16]).ok_or_else(|| wire::WireError {
+        reason: format!("program length {len} overflows"),
+    })?;
+    if reader.remaining() < needed {
+        return Err(wire::WireError {
+            reason: format!(
+                "program of {len} ops needs {needed} bytes, {} remain",
+                reader.remaining()
+            ),
+        });
+    }
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let tag = reader.read_word()?;
+        let operand = reader.read_word()?;
+        ops.push(match tag {
+            op_tag::SQUARE => ServeOp::Square,
+            op_tag::ROTATE => ServeOp::Rotate(operand as usize),
+            op_tag::CONJUGATE => ServeOp::Conjugate,
+            op_tag::ADD_SELF => ServeOp::AddSelf,
+            other => {
+                return Err(wire::WireError {
+                    reason: format!("unknown program op tag {other}"),
+                })
+            }
+        });
+    }
+    Ok(Program::new(ops))
+}
+
+fn encode_class(class: FaultClass) -> u64 {
+    match class {
+        FaultClass::Transient => 0,
+        FaultClass::Permanent => 1,
+    }
+}
+
+fn decode_class(word: u64) -> Result<FaultClass, wire::WireError> {
+    match word {
+        0 => Ok(FaultClass::Transient),
+        1 => Ok(FaultClass::Permanent),
+        other => Err(wire::WireError {
+            reason: format!("unknown fault class {other}"),
+        }),
+    }
+}
+
+impl JournalRecord {
+    fn encode(&self, ctx: &CkksContext) -> Vec<u8> {
+        let mut out = BlobWriter::new(JOURNAL_SPEC, 64);
+        match self {
+            JournalRecord::Header { fingerprint } => {
+                out.push_word(kind::HEADER);
+                out.push_word(*fingerprint);
+            }
+            JournalRecord::Admitted {
+                request,
+                tenant,
+                submitted_us,
+                program,
+                input,
+            } => {
+                out.push_word(kind::ADMITTED);
+                out.push_word(request.0);
+                out.push_word(tenant.0 as u64);
+                out.push_word(*submitted_us);
+                encode_program(&mut out, program);
+                out.push_blob(&input.to_bytes(ctx));
+            }
+            JournalRecord::Shed {
+                request,
+                tenant,
+                queue_depth,
+            } => {
+                out.push_word(kind::SHED);
+                out.push_word(request.0);
+                out.push_word(tenant.0 as u64);
+                out.push_word(*queue_depth);
+            }
+            JournalRecord::Started { request } => {
+                out.push_word(kind::STARTED);
+                out.push_word(request.0);
+            }
+            JournalRecord::Completed {
+                request,
+                tenant,
+                timings_us,
+                ops,
+                key_accesses,
+                output,
+            } => {
+                out.push_word(kind::COMPLETED);
+                out.push_word(request.0);
+                out.push_word(tenant.0 as u64);
+                out.push_words(timings_us);
+                out.push_word(*ops);
+                out.push_word(*key_accesses);
+                out.push_blob(&output.to_bytes(ctx));
+            }
+            JournalRecord::Failed {
+                request,
+                tenant,
+                class,
+                description,
+            } => {
+                out.push_word(kind::FAILED);
+                out.push_word(request.0);
+                out.push_word(tenant.0 as u64);
+                out.push_word(encode_class(*class));
+                out.push_blob(description.as_bytes());
+            }
+        }
+        out.finish()
+    }
+
+    fn decode(bytes: &[u8], ctx: &CkksContext) -> Result<Self, wire::WireError> {
+        let mut reader = BlobReader::open(JOURNAL_SPEC, bytes)?;
+        let record = match reader.read_word()? {
+            kind::HEADER => JournalRecord::Header {
+                fingerprint: reader.read_word()?,
+            },
+            kind::ADMITTED => {
+                let request = RequestId(reader.read_word()?);
+                let tenant = decode_tenant(reader.read_word()?)?;
+                let submitted_us = reader.read_word()?;
+                let program = decode_program(&mut reader)?;
+                let input =
+                    Ciphertext::from_bytes(reader.read_blob()?, ctx).map_err(snapshot_err)?;
+                JournalRecord::Admitted {
+                    request,
+                    tenant,
+                    submitted_us,
+                    program,
+                    input,
+                }
+            }
+            kind::SHED => JournalRecord::Shed {
+                request: RequestId(reader.read_word()?),
+                tenant: decode_tenant(reader.read_word()?)?,
+                queue_depth: reader.read_word()?,
+            },
+            kind::STARTED => JournalRecord::Started {
+                request: RequestId(reader.read_word()?),
+            },
+            kind::COMPLETED => {
+                let request = RequestId(reader.read_word()?);
+                let tenant = decode_tenant(reader.read_word()?)?;
+                let timings: Vec<u64> = reader.read_words(4)?;
+                let ops = reader.read_word()?;
+                let key_accesses = reader.read_word()?;
+                let output =
+                    Ciphertext::from_bytes(reader.read_blob()?, ctx).map_err(snapshot_err)?;
+                JournalRecord::Completed {
+                    request,
+                    tenant,
+                    timings_us: timings.try_into().expect("4 words"),
+                    ops,
+                    key_accesses,
+                    output,
+                }
+            }
+            kind::FAILED => {
+                let request = RequestId(reader.read_word()?);
+                let tenant = decode_tenant(reader.read_word()?)?;
+                let class = decode_class(reader.read_word()?)?;
+                let description = String::from_utf8_lossy(reader.read_blob()?).into_owned();
+                JournalRecord::Failed {
+                    request,
+                    tenant,
+                    class,
+                    description,
+                }
+            }
+            other => {
+                return Err(wire::WireError {
+                    reason: format!("unknown record kind {other}"),
+                })
+            }
+        };
+        reader.finish()?;
+        Ok(record)
+    }
+
+    /// The request this record concerns, when it concerns one.
+    pub fn request(&self) -> Option<RequestId> {
+        match self {
+            JournalRecord::Header { .. } => None,
+            JournalRecord::Admitted { request, .. }
+            | JournalRecord::Shed { request, .. }
+            | JournalRecord::Started { request, .. }
+            | JournalRecord::Completed { request, .. }
+            | JournalRecord::Failed { request, .. } => Some(*request),
+        }
+    }
+}
+
+fn decode_tenant(word: u64) -> Result<TenantId, wire::WireError> {
+    u32::try_from(word)
+        .map(TenantId)
+        .map_err(|_| wire::WireError {
+            reason: format!("tenant id {word} overflows u32"),
+        })
+}
+
+fn snapshot_err(e: fab_ckks::CkksError) -> wire::WireError {
+    wire::WireError {
+        reason: format!("embedded snapshot rejected: {e}"),
+    }
+}
+
+/// The write-ahead journal: an in-memory byte log (the stand-in for an `O_APPEND` file —
+/// tests and the crash harness snapshot [`RequestJournal::bytes`] as "what was on disk")
+/// plus the context every embedded ciphertext serializes under.
+#[derive(Debug, Clone)]
+pub struct RequestJournal {
+    ctx: Arc<CkksContext>,
+    bytes: Vec<u8>,
+    records: u64,
+}
+
+impl RequestJournal {
+    /// A fresh journal for a context; writes the [`JournalRecord::Header`] record.
+    pub fn new(ctx: Arc<CkksContext>) -> Self {
+        let mut journal = Self {
+            ctx,
+            bytes: Vec::new(),
+            records: 0,
+        };
+        journal.append(&JournalRecord::Header {
+            fingerprint: wire::param_fingerprint(journal.ctx.params()),
+        });
+        journal
+    }
+
+    /// Appends one record: its `u64` LE byte length, then its validated blob.
+    pub fn append(&mut self, record: &JournalRecord) {
+        let blob = record.encode(&self.ctx);
+        self.bytes
+            .extend_from_slice(&(blob.len() as u64).to_le_bytes());
+        self.bytes.extend_from_slice(&blob);
+        self.records += 1;
+    }
+
+    /// The full journal bytes (what a crash leaves on disk).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Bytes written so far.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Records written so far (header included).
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Opens journal bytes written by a (possibly crashed) process: truncates a torn tail,
+    /// decodes and validates every complete record, and returns the journal ready for
+    /// further appends plus the decoded records (header excluded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorruptJournal`] when a *complete* record fails validation — checksum or
+    /// magic mismatch, unknown kind, an embedded snapshot rejection, or a first record that
+    /// is not a matching [`JournalRecord::Header`]. Pure tail truncation is never an error.
+    pub fn open(bytes: &[u8], ctx: Arc<CkksContext>) -> Result<RecoveredJournal, CorruptJournal> {
+        let mut offset = 0usize;
+        let mut records = Vec::new();
+        let mut clean_len = 0usize;
+        loop {
+            let remaining = bytes.len() - offset;
+            if remaining < 8 {
+                break; // torn (or exact) tail: a length prefix is incomplete
+            }
+            let len = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
+            let Ok(len) = usize::try_from(len) else {
+                break; // a length that overflows usize can only be a tear into garbage
+            };
+            if len > remaining - 8 {
+                break; // torn tail: the record body was cut
+            }
+            if len < wire::HEADER_BYTES {
+                // A complete length prefix describing an impossible record is not a tear —
+                // an append-only writer never produces one — so it is corruption.
+                return Err(CorruptJournal {
+                    offset,
+                    reason: format!("record length {len} is shorter than a blob header"),
+                });
+            }
+            let blob = &bytes[offset + 8..offset + 8 + len];
+            let record = JournalRecord::decode(blob, &ctx).map_err(|e| CorruptJournal {
+                offset,
+                reason: e.reason,
+            })?;
+            if records.is_empty() && clean_len == 0 {
+                let JournalRecord::Header { fingerprint } = record else {
+                    return Err(CorruptJournal {
+                        offset,
+                        reason: "first record is not a journal header".into(),
+                    });
+                };
+                let expected = wire::param_fingerprint(ctx.params());
+                if fingerprint != expected {
+                    return Err(CorruptJournal {
+                        offset,
+                        reason: format!(
+                            "journal fingerprint {fingerprint:#018x} does not match the \
+                             opening context's {expected:#018x}"
+                        ),
+                    });
+                }
+            } else {
+                records.push(record);
+            }
+            offset += 8 + len;
+            clean_len = offset;
+        }
+        let torn_bytes = bytes.len() - clean_len;
+        let journal = if clean_len == 0 {
+            // Even the header record was torn: recover as a fresh, empty journal.
+            RequestJournal::new(ctx)
+        } else {
+            RequestJournal {
+                ctx,
+                bytes: bytes[..clean_len].to_vec(),
+                records: records.len() as u64 + 1,
+            }
+        };
+        Ok(RecoveredJournal {
+            journal,
+            records,
+            torn_bytes,
+        })
+    }
+
+    /// Writes the journal to `path` atomically (write a temporary sibling, then rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &self.bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads journal bytes from `path` and opens them via [`Self::open`].
+    ///
+    /// # Errors
+    ///
+    /// Maps filesystem errors onto [`CorruptJournal`] at offset 0; validation errors as in
+    /// [`Self::open`].
+    pub fn load(
+        path: &std::path::Path,
+        ctx: Arc<CkksContext>,
+    ) -> Result<RecoveredJournal, CorruptJournal> {
+        let bytes = std::fs::read(path).map_err(|e| CorruptJournal {
+            offset: 0,
+            reason: format!("journal unreadable: {e}"),
+        })?;
+        Self::open(&bytes, ctx)
+    }
+}
+
+/// The result of opening journal bytes: the clean-prefix journal (ready to append), its
+/// decoded records, and how many torn tail bytes were dropped.
+#[derive(Debug)]
+pub struct RecoveredJournal {
+    /// The journal truncated to its clean prefix, open for further appends.
+    pub journal: RequestJournal,
+    /// Every decoded record after the header, in write order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes dropped from the torn tail (0 for a cleanly closed journal).
+    pub torn_bytes: usize,
+}

@@ -64,6 +64,7 @@ mod cache;
 mod error;
 pub mod fault;
 mod histogram;
+pub mod journal;
 mod prefetch;
 mod request;
 mod server;
@@ -71,12 +72,13 @@ mod tenant;
 
 pub use cache::{CacheStats, CachedKeyProvider, EvalKeyCache, KeyMaterial, KeyRef, RetryPolicy};
 pub use error::{FaultClass, RequestId, ServeError, ServeFault};
-pub use fault::{FakeClock, FaultPlan, FaultSpec, FaultyKeySource, TenantFault};
+pub use fault::{CrashPoint, FakeClock, FaultPlan, FaultSpec, FaultyKeySource, TenantFault};
 pub use histogram::LatencyHistogram;
+pub use journal::{CorruptJournal, JournalRecord, RecoveredJournal, RequestJournal};
 pub use prefetch::Prefetcher;
 pub use request::{Program, Request, ServeOp};
 pub use server::{
-    FabServer, RequestOutcome, RequestReport, ServeClock, ServeCounters, ServedRequest,
-    ServerConfig,
+    FabServer, RecoveryReport, RequestOutcome, RequestReport, ServeClock, ServeCounters,
+    ServedRequest, ServerConfig,
 };
 pub use tenant::{FetchError, KeySource, TenantId, TenantKeyStore, TenantRegistry};

@@ -10,10 +10,11 @@ use fab_trace::phase;
 
 use crate::cache::{CacheStats, CachedKeyProvider, EvalKeyCache, RetryPolicy};
 use crate::error::{RequestId, ServeError, ServeFault};
-use crate::fault::{FakeClock, FaultSpec, FaultyKeySource, TenantFault};
+use crate::fault::{CrashPoint, FakeClock, FaultSpec, FaultyKeySource, TenantFault};
 use crate::histogram::LatencyHistogram;
+use crate::journal::{CorruptJournal, JournalRecord, RequestJournal};
 use crate::prefetch::Prefetcher;
-use crate::request::Request;
+use crate::request::{Program, Request};
 use crate::tenant::{KeySource, TenantId, TenantKeyStore, TenantRegistry};
 
 /// Serving configuration.
@@ -181,6 +182,25 @@ pub struct ServeCounters {
     pub pressure_skips: u64,
 }
 
+/// What [`FabServer::recover`] rebuilt from a crashed process's journal bytes.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Outcomes settled directly from the journal without re-execution: completed requests
+    /// (output restored from their `Completed` record), failed requests (as
+    /// [`ServeFault::Replayed`]), shed requests — plus in-flight requests settled as
+    /// [`ServeFault::DeadlineExceeded`] because their deadline passed during the outage.
+    /// Sorted by request id.
+    pub settled: Vec<RequestOutcome>,
+    /// In-flight or never-started requests re-admitted to the queue with their original
+    /// identities, in submission order.
+    pub readmitted: Vec<RequestId>,
+    /// Torn tail bytes dropped when opening the journal.
+    pub torn_bytes: usize,
+    /// `Started` records beyond the first per request (each one is an execution attempt a
+    /// previous process abandoned mid-flight).
+    pub duplicate_starts: u64,
+}
+
 /// One queued request with its identity and submission timestamp.
 #[derive(Debug)]
 struct QueuedRequest {
@@ -219,6 +239,11 @@ pub struct FabServer {
     counters: ServeCounters,
     faults: BTreeMap<TenantId, TenantFault>,
     fault_clock: Option<Arc<FakeClock>>,
+    journal: Option<RequestJournal>,
+    crash_point: Option<CrashPoint>,
+    crashed: bool,
+    appends_seen: u64,
+    executes_seen: u64,
 }
 
 impl FabServer {
@@ -245,6 +270,11 @@ impl FabServer {
             counters: ServeCounters::default(),
             faults: BTreeMap::new(),
             fault_clock: None,
+            journal: None,
+            crash_point: None,
+            crashed: false,
+            appends_seen: 0,
+            executes_seen: 0,
         }
     }
 
@@ -260,6 +290,230 @@ impl FabServer {
     pub fn use_fake_clock(&mut self, clock: Arc<FakeClock>) {
         self.fault_clock = Some(clock.clone());
         self.clock = clock;
+    }
+
+    /// Attaches a write-ahead [`RequestJournal`]: from here on every admit/shed/start/
+    /// complete/fail transition is journaled *before* its in-memory effect, so
+    /// [`Self::recover`] can rebuild the queue of a crashed process from
+    /// [`Self::journal_bytes`] alone.
+    pub fn attach_journal(&mut self, journal: RequestJournal) {
+        self.journal = Some(journal);
+    }
+
+    /// Creates and attaches a fresh journal for this server's context.
+    pub fn attach_fresh_journal(&mut self) {
+        self.journal = Some(RequestJournal::new(self.evaluator.context().clone()));
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&RequestJournal> {
+        self.journal.as_ref()
+    }
+
+    /// The attached journal's bytes — the crash harness snapshots this as "what was on
+    /// disk" at the moment of death.
+    pub fn journal_bytes(&self) -> Option<&[u8]> {
+        self.journal.as_ref().map(RequestJournal::bytes)
+    }
+
+    /// Arms one deterministic [`CrashPoint`]. When it fires the server "dies": the crashed
+    /// flag latches, and every subsequent submit, journal append and queue drain is refused
+    /// — the journal bytes freeze exactly as a killed process would leave them.
+    pub fn set_crash_point(&mut self, point: CrashPoint) {
+        self.crash_point = Some(point);
+    }
+
+    /// Whether an armed [`CrashPoint`] has fired.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Successful program executions this server has performed — the crash-recovery suite
+    /// asserts the recovered server executes exactly the non-settled requests, proving
+    /// journaled completions are never run twice.
+    pub fn executions(&self) -> u64 {
+        self.executes_seen
+    }
+
+    /// Journals one record under the armed crash point: dies before the append, appends,
+    /// then dies after it. No-op without a journal (crash points need one) or once crashed.
+    fn journal_append(&mut self, record: JournalRecord) {
+        if self.journal.is_none() || self.crashed {
+            return;
+        }
+        let n = self.appends_seen;
+        self.appends_seen += 1;
+        if self.crash_point == Some(CrashPoint::BeforeAppend(n)) {
+            self.crashed = true;
+            return;
+        }
+        self.journal
+            .as_mut()
+            .expect("journal checked above")
+            .append(&record);
+        if self.crash_point == Some(CrashPoint::AfterAppend(n)) {
+            self.crashed = true;
+        }
+    }
+
+    /// Rebuilds serving state from a crashed process's journal bytes.
+    ///
+    /// Semantics, per request, from its last journaled transition:
+    ///
+    /// * `Completed` / `Failed` / `Shed` — **settled**: the outcome is reconstructed from
+    ///   the journal (output ciphertext restored bitwise; failures as
+    ///   [`ServeFault::Replayed`]) and the request is *never re-executed*.
+    /// * `Admitted` / `Started` — in flight: re-admitted to the queue with its original id,
+    ///   program, input and submission timestamp, unless its deadline already passed (by
+    ///   this server's clock), in which case it is settled as
+    ///   [`ServeFault::DeadlineExceeded`] and that settlement is journaled, so a second
+    ///   recovery of this journal agrees.
+    ///
+    /// The recovered journal (torn tail truncated) becomes this server's journal and
+    /// subsequent transitions append to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorruptJournal`] when a complete journal record fails validation — see
+    /// [`RequestJournal::open`]. Pure tail truncation is recovered, not an error.
+    pub fn recover(&mut self, bytes: &[u8]) -> std::result::Result<RecoveryReport, CorruptJournal> {
+        let recovered = RequestJournal::open(bytes, self.evaluator.context().clone())?;
+        struct Pending {
+            tenant: TenantId,
+            submitted_us: u64,
+            program: Program,
+            input: fab_ckks::Ciphertext,
+        }
+        let mut pending: BTreeMap<u64, Pending> = BTreeMap::new();
+        let mut settled: Vec<RequestOutcome> = Vec::new();
+        let mut started: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut duplicate_starts = 0u64;
+        let mut max_id: Option<u64> = None;
+        for record in recovered.records {
+            if let Some(request) = record.request() {
+                max_id = Some(max_id.map_or(request.0, |m| m.max(request.0)));
+            }
+            match record {
+                JournalRecord::Header { .. } => {}
+                JournalRecord::Admitted {
+                    request,
+                    tenant,
+                    submitted_us,
+                    program,
+                    input,
+                } => {
+                    pending.insert(
+                        request.0,
+                        Pending {
+                            tenant,
+                            submitted_us,
+                            program,
+                            input,
+                        },
+                    );
+                }
+                JournalRecord::Shed {
+                    request,
+                    tenant,
+                    queue_depth,
+                } => {
+                    settled.push(RequestOutcome::Shed {
+                        request,
+                        tenant,
+                        queue_depth: queue_depth as usize,
+                    });
+                }
+                JournalRecord::Started { request } => {
+                    if !started.insert(request.0) {
+                        duplicate_starts += 1;
+                    }
+                }
+                JournalRecord::Completed {
+                    request,
+                    tenant,
+                    timings_us,
+                    ops,
+                    key_accesses,
+                    output,
+                } => {
+                    pending.remove(&request.0);
+                    settled.push(RequestOutcome::Completed(ServedRequest {
+                        output,
+                        report: RequestReport {
+                            request,
+                            tenant,
+                            queue_us: timings_us[0],
+                            prefetch_us: timings_us[1],
+                            execute_us: timings_us[2],
+                            total_us: timings_us[3],
+                            ops: ops as usize,
+                            key_accesses,
+                        },
+                    }));
+                }
+                JournalRecord::Failed {
+                    request,
+                    tenant,
+                    class,
+                    description,
+                } => {
+                    pending.remove(&request.0);
+                    settled.push(RequestOutcome::Failed(ServeError {
+                        request,
+                        tenant,
+                        fault: ServeFault::Replayed { class, description },
+                    }));
+                }
+            }
+        }
+        self.journal = Some(recovered.journal);
+        if let Some(max) = max_id {
+            self.next_id = self.next_id.max(max + 1);
+        }
+        let now_us = self.clock.now_us();
+        let mut readmitted = Vec::new();
+        for (id, p) in pending {
+            let request = RequestId(id);
+            let elapsed_us = now_us.saturating_sub(p.submitted_us);
+            if let Some(deadline_us) = self.config.deadline_us {
+                if elapsed_us > deadline_us {
+                    let fault = ServeFault::DeadlineExceeded {
+                        deadline_us,
+                        elapsed_us,
+                    };
+                    self.journal_append(JournalRecord::Failed {
+                        request,
+                        tenant: p.tenant,
+                        class: fault.class(),
+                        description: fault.to_string(),
+                    });
+                    self.counters.failed += 1;
+                    settled.push(RequestOutcome::Failed(ServeError {
+                        request,
+                        tenant: p.tenant,
+                        fault,
+                    }));
+                    continue;
+                }
+            }
+            readmitted.push(request);
+            self.queue.push_back(QueuedRequest {
+                id: request,
+                request: Request {
+                    tenant: p.tenant,
+                    program: p.program,
+                    input: p.input,
+                },
+                submitted_us: p.submitted_us,
+            });
+        }
+        settled.sort_by_key(RequestOutcome::request);
+        Ok(RecoveryReport {
+            settled,
+            readmitted,
+            torn_bytes: recovered.torn_bytes,
+            duplicate_starts,
+        })
     }
 
     /// Registers a tenant by serializing their key material into the registry.
@@ -329,21 +583,46 @@ impl FabServer {
     pub fn submit(&mut self, request: Request) -> RequestId {
         let id = RequestId(self.next_id);
         self.next_id += 1;
+        if self.crashed {
+            return id; // the process is dead; the submission is lost
+        }
         if let Some(capacity) = self.config.queue_capacity {
             if self.queue.len() >= capacity {
+                let queue_depth = self.queue.len();
+                self.journal_append(JournalRecord::Shed {
+                    request: id,
+                    tenant: request.tenant,
+                    queue_depth: queue_depth as u64,
+                });
+                if self.crashed {
+                    return id;
+                }
                 self.counters.shed += 1;
                 self.shed_outcomes.push(RequestOutcome::Shed {
                     request: id,
                     tenant: request.tenant,
-                    queue_depth: self.queue.len(),
+                    queue_depth,
                 });
                 return id;
             }
         }
+        let submitted_us = self.clock.now_us();
+        // Write-ahead discipline: the admission is durable before the queue entry exists,
+        // so a crash can lose an unacknowledged request but never acknowledge then forget.
+        self.journal_append(JournalRecord::Admitted {
+            request: id,
+            tenant: request.tenant,
+            submitted_us,
+            program: request.program.clone(),
+            input: request.input.clone(),
+        });
+        if self.crashed {
+            return id;
+        }
         self.queue.push_back(QueuedRequest {
             id,
             request,
-            submitted_us: self.clock.now_us(),
+            submitted_us,
         });
         id
     }
@@ -359,15 +638,22 @@ impl FabServer {
     /// mark; the batch always runs to the end.
     pub fn run(&mut self) -> Vec<RequestOutcome> {
         let mut outcomes: Vec<RequestOutcome> = std::mem::take(&mut self.shed_outcomes);
-        while let Some(queued) = self.queue.pop_front() {
-            outcomes.push(self.serve(queued));
+        while !self.crashed {
+            let Some(queued) = self.queue.pop_front() else {
+                break;
+            };
+            if let Some(outcome) = self.serve(queued) {
+                outcomes.push(outcome);
+            }
         }
         outcomes.sort_by_key(RequestOutcome::request);
         outcomes
     }
 
-    /// Serves one request inside its own failure domain.
-    fn serve(&mut self, queued: QueuedRequest) -> RequestOutcome {
+    /// Serves one request inside its own failure domain. Returns `None` when an armed
+    /// [`CrashPoint`] killed the process mid-request — the outcome is lost with it, and
+    /// only the journal knows how far the request got.
+    fn serve(&mut self, queued: QueuedRequest) -> Option<RequestOutcome> {
         let sink_enabled = self.evaluator.sink().is_enabled();
         if sink_enabled {
             self.evaluator.sink().begin_phase(phase::SERVE_QUEUE);
@@ -375,24 +661,56 @@ impl FabServer {
         let queue_us = self.clock.now_us().saturating_sub(queued.submitted_us);
         let id = queued.id;
         let tenant = queued.request.tenant;
+        self.journal_append(JournalRecord::Started { request: id });
+        if self.crashed {
+            return None;
+        }
         self.cache.begin_request();
         match self.serve_inner(&queued, queue_us) {
             Ok(served) => {
+                if self.crashed {
+                    return None; // MidExecute: work done, receipt lost
+                }
+                self.journal_append(JournalRecord::Completed {
+                    request: id,
+                    tenant,
+                    timings_us: [
+                        served.report.queue_us,
+                        served.report.prefetch_us,
+                        served.report.execute_us,
+                        served.report.total_us,
+                    ],
+                    ops: served.report.ops as u64,
+                    key_accesses: served.report.key_accesses,
+                    output: served.output.clone(),
+                });
+                if self.crashed {
+                    return None;
+                }
                 self.counters.completed += 1;
                 self.histogram.record(served.report.total_us);
-                RequestOutcome::Completed(served)
+                Some(RequestOutcome::Completed(served))
             }
             Err(fault) => {
                 self.cache.rollback_request();
                 if sink_enabled {
                     self.evaluator.sink().begin_phase(phase::SERVE_FAILED);
                 }
+                self.journal_append(JournalRecord::Failed {
+                    request: id,
+                    tenant,
+                    class: fault.class(),
+                    description: fault.to_string(),
+                });
+                if self.crashed {
+                    return None;
+                }
                 self.counters.failed += 1;
-                RequestOutcome::Failed(ServeError {
+                Some(RequestOutcome::Failed(ServeError {
                     request: id,
                     tenant,
                     fault,
-                })
+                }))
             }
         }
     }
@@ -481,6 +799,12 @@ impl FabServer {
                     .unwrap_or(ServeFault::Evaluation { source: e })
             })?;
         let execute_us = self.clock.now_us().saturating_sub(execute_start);
+        let executed = self.executes_seen;
+        self.executes_seen += 1;
+        if self.crash_point == Some(CrashPoint::MidExecute(executed)) {
+            // Die in the window between finishing the work and journaling its receipt.
+            self.crashed = true;
+        }
 
         let total_us = queue_us + prefetch_us + execute_us;
         Ok(ServedRequest {

@@ -568,3 +568,111 @@ fn identical_seeds_replay_identical_outcomes() {
         }
     }
 }
+
+#[test]
+fn rollback_of_a_failed_request_keeps_its_prefetch_admissions_resident() {
+    let ctx = make_ctx();
+    let tenants: Vec<Tenant> = (0..1).map(|t| make_tenant(&ctx, 80 + t)).collect();
+    let config = ServerConfig {
+        cache_budget_bytes: 2 * key_set_bytes(ctx.params(), ROTATIONS.len() + 1),
+        prefetch: true,
+        lookahead: 8,
+        ..ServerConfig::default()
+    };
+    let mut server = make_server(&ctx, &tenants, config);
+
+    // The tenant holds no key for step 9, so the request fails at execution — *after* the
+    // prefetch pass already admitted the (valid) key for step 1 and then degraded on the
+    // missing one.
+    let failing = Program::new(vec![ServeOp::Rotate(1), ServeOp::Rotate(9)]);
+    let key_1 = failing.key_refs(&ctx, ctx.params().max_level)[0];
+    server.submit(Request {
+        tenant: TenantId(0),
+        program: failing,
+        input: tenants[0].input.clone(),
+    });
+    let outcomes = server.run();
+    let error = outcomes[0].error().expect("missing key fails the request");
+    assert!(
+        matches!(error.fault, ServeFault::MissingKey { .. }),
+        "{:?}",
+        error.fault
+    );
+    assert_eq!(server.counters().prefetch_failures, 1);
+    // The rollback audit's contract: prefetch-phase admissions survive the rollback. A
+    // fault-free run of this request would have performed the identical prefetch walk, so
+    // the admitted key is exactly what the cache would hold anyway — evicting it would
+    // diverge from the fault-free hit pattern. Only demand-phase residue is undone.
+    assert!(
+        server.cache().contains(TenantId(0), key_1),
+        "rollback evicted a prefetch-phase admission"
+    );
+    assert_eq!(server.cache_stats().rollbacks, 0);
+
+    // A follow-up request over the surviving working set runs entirely from cache.
+    let bytes_before = server.cache_stats().bytes_fetched;
+    server.submit(Request {
+        tenant: TenantId(0),
+        program: Program::new(vec![ServeOp::Rotate(1)]),
+        input: tenants[0].input.clone(),
+    });
+    let outcomes = server.run();
+    assert!(outcomes[0].completed().is_some(), "{:?}", outcomes[0]);
+    assert_eq!(
+        server.cache_stats().bytes_fetched,
+        bytes_before,
+        "the surviving prefetch admission must serve the follow-up without refetching"
+    );
+}
+
+#[test]
+fn rollback_of_a_failed_request_undoes_its_demand_admissions() {
+    let ctx = make_ctx();
+    let tenants: Vec<Tenant> = (0..1).map(|t| make_tenant(&ctx, 90 + t)).collect();
+    let config = ServerConfig {
+        cache_budget_bytes: 2 * key_set_bytes(ctx.params(), ROTATIONS.len() + 1),
+        prefetch: true,
+        lookahead: 8,
+        ..ServerConfig::default()
+    };
+    let mut server = make_server(&ctx, &tenants, config);
+
+    // One injected failure: the (single-attempt) prefetch pass burns it and degrades, so
+    // the key for step 1 arrives through the *demand* path's retry instead — a demand-phase
+    // admission in a request that then fails on the missing step-9 key.
+    server.inject_fault(TenantId(0), FaultSpec::fail_then_recover(1));
+    let failing = Program::new(vec![ServeOp::Rotate(1), ServeOp::Rotate(9)]);
+    let key_1 = failing.key_refs(&ctx, ctx.params().max_level)[0];
+    server.submit(Request {
+        tenant: TenantId(0),
+        program: failing,
+        input: tenants[0].input.clone(),
+    });
+    let outcomes = server.run();
+    let error = outcomes[0].error().expect("missing key fails the request");
+    assert!(
+        matches!(error.fault, ServeFault::MissingKey { .. }),
+        "{:?}",
+        error.fault
+    );
+    assert_eq!(server.counters().prefetch_failures, 1);
+    // Demand misses of a failed execution are residue a fault-free trace may never
+    // replicate: the rollback undoes them.
+    assert!(
+        !server.cache().contains(TenantId(0), key_1),
+        "rollback kept a demand-phase admission of a failed request"
+    );
+    assert_eq!(server.cache_stats().rollbacks, 1);
+
+    // The injector has recovered: the next request re-warms the key through prefetch and
+    // completes, with no further rollbacks.
+    server.submit(Request {
+        tenant: TenantId(0),
+        program: Program::new(vec![ServeOp::Rotate(1)]),
+        input: tenants[0].input.clone(),
+    });
+    let outcomes = server.run();
+    assert!(outcomes[0].completed().is_some(), "{:?}", outcomes[0]);
+    assert!(server.cache().contains(TenantId(0), key_1));
+    assert_eq!(server.cache_stats().rollbacks, 1);
+}

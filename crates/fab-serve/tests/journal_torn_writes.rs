@@ -1,0 +1,312 @@
+//! The torn-write gate: truncating a journal at **every** byte offset recovers a clean
+//! prefix (an append-only writer can only tear the tail), while corruption *inside* a
+//! complete record is a typed [`CorruptJournal`] — never a panic, never a fabricated record.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use fab_ckks::{CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator, SecretKey};
+use fab_serve::{
+    CorruptJournal, FabServer, FakeClock, FaultSpec, JournalRecord, Program, Request,
+    RequestJournal, ServeOp, ServerConfig, TenantId,
+};
+
+const ROTATIONS: [usize; 2] = [1, 3];
+
+fn make_ctx_with_scale(scale_bits: u32) -> Arc<CkksContext> {
+    let params = CkksParams::builder()
+        .log_n(5)
+        .scale_bits(scale_bits)
+        .first_prime_bits(50)
+        .max_level(2)
+        .dnum(1)
+        .secret_hamming_weight(Some(16))
+        .build()
+        .expect("valid small parameters");
+    CkksContext::new_arc(params).expect("context")
+}
+
+/// A journal exercising every record kind: `Header`, two `Admitted`, two `Shed` (bounded
+/// queue, reject-newest), one `Started`+`Failed` (tenant 0's blobs corrupt) and one
+/// `Started`+`Completed` (tenant 1 healthy). Built once; every test slices it read-only.
+fn fixture() -> &'static (Arc<CkksContext>, Vec<u8>) {
+    static FIXTURE: OnceLock<(Arc<CkksContext>, Vec<u8>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ctx = make_ctx_with_scale(40);
+        let mut server = FabServer::new(
+            Evaluator::new(ctx.clone()),
+            ServerConfig {
+                cache_budget_bytes: 1 << 20,
+                prefetch: true,
+                lookahead: 8,
+                queue_capacity: Some(2),
+                ..ServerConfig::default()
+            },
+        );
+        server.use_fake_clock(Arc::new(FakeClock::with_step(1)));
+        let mut inputs = Vec::new();
+        for t in 0..2u32 {
+            let mut rng = ChaCha20Rng::seed_from_u64(900 + t as u64);
+            let sk = SecretKey::generate(&ctx, &mut rng);
+            let keygen = KeyGenerator::new(ctx.clone(), sk);
+            let pk = keygen.public_key(&mut rng);
+            let rlk = keygen.relinearization_key(&mut rng);
+            let keys = keygen
+                .galois_keys(&ROTATIONS, true, &mut rng)
+                .expect("galois keys");
+            server.register_tenant(TenantId(t), &rlk, &keys);
+            let encoder = Encoder::new(ctx.clone());
+            let values: Vec<f64> = (0..ctx.slot_count())
+                .map(|i| (i as f64 * 0.11).sin())
+                .collect();
+            let pt = encoder
+                .encode_real(
+                    &values,
+                    ctx.params().default_scale(),
+                    ctx.params().max_level,
+                )
+                .expect("encode");
+            inputs.push(
+                Encryptor::new(ctx.clone(), pk)
+                    .encrypt(&pt, &mut rng)
+                    .expect("encrypt"),
+            );
+        }
+        server.attach_fresh_journal();
+        server.inject_fault(TenantId(0), FaultSpec::corrupt(999));
+        for round in 0..2u64 {
+            for t in 0..2u32 {
+                let mut ops = vec![ServeOp::Rotate(1)];
+                ops.extend(Program::random(round, 2, &ROTATIONS).ops().iter().copied());
+                server.submit(Request {
+                    tenant: TenantId(t),
+                    program: Program::new(ops),
+                    input: inputs[t as usize].clone(),
+                });
+            }
+        }
+        let _ = server.run();
+        let bytes = server.journal_bytes().expect("journal attached").to_vec();
+        (ctx, bytes)
+    })
+}
+
+/// Cumulative end offset of every complete record (header included), by walking the
+/// length-prefix framing independently of the decoder.
+fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut boundaries = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() - offset >= 8 {
+        let len = u64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap()) as usize;
+        if len > bytes.len() - offset - 8 {
+            break;
+        }
+        offset += 8 + len;
+        boundaries.push(offset);
+    }
+    boundaries
+}
+
+fn full_records(ctx: &Arc<CkksContext>, bytes: &[u8]) -> Vec<JournalRecord> {
+    RequestJournal::open(bytes, ctx.clone())
+        .expect("untouched journal is clean")
+        .records
+}
+
+#[test]
+fn the_fixture_journal_exercises_every_record_kind() {
+    let (ctx, bytes) = fixture();
+    let records = full_records(ctx, bytes);
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, JournalRecord::Admitted { .. })));
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, JournalRecord::Shed { .. })));
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, JournalRecord::Started { .. })));
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, JournalRecord::Completed { .. })));
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, JournalRecord::Failed { .. })));
+}
+
+#[test]
+fn truncation_at_every_byte_offset_recovers_a_clean_prefix() {
+    let (ctx, bytes) = fixture();
+    let boundaries = record_boundaries(bytes);
+    let records = full_records(ctx, bytes);
+    assert_eq!(boundaries.len(), records.len() + 1, "header plus records");
+    for cut in 0..=bytes.len() {
+        let recovered = RequestJournal::open(&bytes[..cut], ctx.clone())
+            .unwrap_or_else(|e| panic!("truncation at {cut} must recover, got: {e}"));
+        let complete = boundaries.iter().filter(|&&b| b <= cut).count();
+        if complete == 0 {
+            // Even the header was torn: a fresh journal, everything counted as torn.
+            assert_eq!(recovered.torn_bytes, cut);
+            assert!(recovered.records.is_empty());
+            assert_eq!(recovered.journal.record_count(), 1, "fresh header only");
+        } else {
+            let clean_len = boundaries[complete - 1];
+            assert_eq!(recovered.torn_bytes, cut - clean_len, "cut at {cut}");
+            // Exactly the complete records survive — never a fabricated one.
+            assert_eq!(recovered.records.len(), complete - 1, "cut at {cut}");
+            assert_eq!(
+                &recovered.records[..],
+                &records[..complete - 1],
+                "cut at {cut}"
+            );
+            // The reopened journal is byte-for-byte the clean prefix.
+            assert_eq!(
+                recovered.journal.bytes(),
+                &bytes[..clean_len],
+                "cut at {cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_recovered_journal_accepts_appends_and_reopens_cleanly() {
+    let (ctx, bytes) = fixture();
+    // Tear mid-way through the last record, recover, then keep journaling.
+    let cut = bytes.len() - 3;
+    let recovered = RequestJournal::open(&bytes[..cut], ctx.clone()).expect("torn tail recovers");
+    let mut journal = recovered.journal;
+    let before = journal.record_count();
+    journal.append(&JournalRecord::Started {
+        request: fab_serve::RequestId(99),
+    });
+    let reopened = RequestJournal::open(journal.bytes(), ctx.clone()).expect("clean");
+    assert_eq!(reopened.torn_bytes, 0);
+    assert_eq!(reopened.journal.record_count(), before + 1);
+    assert_eq!(
+        reopened.records.last(),
+        Some(&JournalRecord::Started {
+            request: fab_serve::RequestId(99)
+        })
+    );
+}
+
+#[test]
+fn corruption_inside_a_complete_record_is_typed_with_the_record_offset() {
+    let (ctx, bytes) = fixture();
+    let boundaries = record_boundaries(bytes);
+    let mut start = 0usize;
+    for &end in &boundaries {
+        // Flip the last payload bit of the record: framing is intact, so this is not a
+        // tear — the checksum must catch it and attribute the record's start offset.
+        let mut mutated = bytes.clone();
+        mutated[end - 1] ^= 0x80;
+        let err = RequestJournal::open(&mutated, ctx.clone())
+            .expect_err("payload corruption must be typed");
+        assert_eq!(err.offset, start);
+        assert!(!err.reason.is_empty());
+        assert!(
+            err.to_string()
+                .starts_with(&format!("corrupt journal at byte {start}")),
+            "{err}"
+        );
+        start = end;
+    }
+}
+
+#[test]
+fn a_journal_from_different_parameters_is_rejected_by_fingerprint() {
+    let (_, bytes) = fixture();
+    let other = make_ctx_with_scale(39);
+    let err = RequestJournal::open(bytes, other).expect_err("fingerprint mismatch");
+    assert_eq!(err.offset, 0);
+    assert!(err.reason.contains("fingerprint"), "{err}");
+}
+
+#[test]
+fn trailing_garbage_claiming_more_bytes_than_exist_is_a_torn_tail() {
+    let (ctx, bytes) = fixture();
+    let mut grown = bytes.clone();
+    grown.extend_from_slice(&u64::MAX.to_le_bytes());
+    grown.extend_from_slice(&[0xAB; 21]);
+    let recovered = RequestJournal::open(&grown, ctx.clone()).expect("tail is torn, not corrupt");
+    assert_eq!(recovered.torn_bytes, 8 + 21);
+    assert_eq!(recovered.journal.bytes(), bytes.as_slice());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+    // Any single bit flip anywhere in the journal either recovers a clean prefix of the
+    // *original* bytes (the flip landed in what becomes the torn tail — e.g. a length
+    // prefix inflated past the remaining bytes) or reports a typed `CorruptJournal`.
+    // It never panics and never yields a record the original journal did not contain.
+    #[test]
+    fn prop_single_bit_flips_never_panic_and_never_fabricate(bit_seed in any::<u64>()) {
+        let (ctx, bytes) = fixture();
+        let records = full_records(ctx, bytes);
+        let pos = (bit_seed % (bytes.len() as u64 * 8)) as usize;
+        let mut mutated = bytes.clone();
+        mutated[pos / 8] ^= 1 << (pos % 8);
+        match RequestJournal::open(&mutated, ctx.clone()) {
+            Ok(recovered) => {
+                // The kept bytes are a prefix of the *original*: a flip inside anything
+                // recovery kept would have failed its checksum, so a surviving flip can
+                // only be in the torn tail — or the header itself tore, in which case the
+                // fresh journal's header encodes byte-identically to the original's.
+                let clean = recovered.journal.byte_len();
+                prop_assert!(
+                    recovered.journal.bytes() == &bytes[..clean],
+                    "flip at bit {pos}: recovered bytes are not a prefix of the original"
+                );
+                prop_assert!(recovered.records.len() <= records.len());
+                prop_assert_eq!(
+                    &recovered.records[..],
+                    &records[..recovered.records.len()],
+                    "flip at bit {} fabricated or altered a record", pos
+                );
+            }
+            Err(CorruptJournal { offset, reason }) => {
+                prop_assert!(offset <= pos / 8, "attributed offset {offset} past the flip");
+                prop_assert!(!reason.is_empty());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Random truncation combined with a bit flip in the surviving prefix: still either a
+    // clean recovery or a typed error — the two failure modes compose without panics.
+    #[test]
+    fn prop_truncate_then_flip_composes(cut_seed in any::<u64>(), bit_seed in any::<u64>()) {
+        let (ctx, bytes) = fixture();
+        let cut = (cut_seed % (bytes.len() as u64 + 1)) as usize;
+        let mut mutated = bytes[..cut].to_vec();
+        if !mutated.is_empty() {
+            let pos = (bit_seed % (mutated.len() as u64 * 8)) as usize;
+            mutated[pos / 8] ^= 1 << (pos % 8);
+        }
+        match RequestJournal::open(&mutated, ctx.clone()) {
+            Ok(recovered) => {
+                // Same prefix property as the single-flip case: whatever recovery kept is
+                // byte-for-byte a prefix of the original journal, and the decoded records
+                // are a prefix of the original's — never fabricated, never altered.
+                let clean = recovered.journal.byte_len();
+                prop_assert!(recovered.torn_bytes <= mutated.len());
+                prop_assert!(
+                    recovered.journal.bytes() == &bytes[..clean],
+                    "recovered bytes are not a prefix of the original"
+                );
+                let records = full_records(ctx, bytes);
+                prop_assert_eq!(&recovered.records[..], &records[..recovered.records.len()]);
+            }
+            Err(CorruptJournal { offset, reason }) => {
+                prop_assert!(offset < mutated.len());
+                prop_assert!(!reason.is_empty());
+            }
+        }
+    }
+}
