@@ -1,0 +1,460 @@
+//! Durability benchmark: prices the fsync discipline of the segmented journal and gates
+//! the simulated-disk crash contract, writing machine-readable rows to `BENCH_pr10.json`.
+//!
+//! Three gates run before any number is reported:
+//!
+//! * **SimDisk crash sweep** — the journaled serving run is killed at *every* disk-syscall
+//!   boundary; for multiple seeded power-loss surfaces (torn, dropped, reordered unsynced
+//!   writes), [`FabServer::recover_from_store`] must replay a bitwise-identical prefix of
+//!   the uninterrupted run with zero duplicate executions.
+//! * **Compaction equivalence** — a checkpoint-truncated journal recovers to exactly the
+//!   same state as the uncompacted one.
+//! * **No acknowledged-loss under `SyncPolicy::Always`** — every surface recovers every
+//!   acknowledged outcome.
+//!
+//! The rows then price what the discipline costs on the real filesystem:
+//!
+//! * `sync_policy_cost` — wall time and fsync counts of the same journaled workload on a
+//!   [`fab_store::FileBackend`] under `Always` / `EveryN` / `IntervalUs`, with the fsync
+//!   count cross-checked against a deterministic [`SimDisk`] twin of the run.
+//! * `recovery_latency` — [`DurableJournal::recover`] wall time against the uncompacted
+//!   segment chain and against the compacted base it leaves behind (recovery re-compacts,
+//!   so the second recovery *is* the post-compaction cost), with bytes on disk for both.
+//!
+//! Wall-clock numbers on a shared runner carry scheduler noise;
+//! [`fab_bench::warn_untrusted_scaling`] flags the file once at the top level.
+//!
+//! Usage: `cargo run --release -p fab-bench --bin durability [-- --quick] [--out PATH]`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use fab_ckks::{
+    key_set_bytes, Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, Evaluator, GaloisKeys,
+    KeyGenerator, RelinearizationKey, SecretKey,
+};
+use fab_serve::{
+    DurableJournal, FabServer, FakeClock, Program, Request, RequestOutcome, ServeFault, ServeOp,
+    ServerConfig, TenantId,
+};
+use fab_store::{FileBackend, SharedDisk, StorageBackend, SyncPolicy};
+
+const ROTATIONS: [usize; 2] = [1, 3];
+const ROTATE_AFTER: u64 = 6;
+
+struct Tenant {
+    rlk: RelinearizationKey,
+    keys: GaloisKeys,
+    input: Ciphertext,
+}
+
+struct Fixture {
+    ctx: Arc<CkksContext>,
+    tenants: Vec<Tenant>,
+    config: ServerConfig,
+    rounds: u64,
+    program_len: usize,
+}
+
+fn make_fixture(quick: bool) -> Fixture {
+    let (log_n, max_level, tenant_count, rounds, program_len) = if quick {
+        (5, 2, 2, 2, 2)
+    } else {
+        (8, 3, 3, 3, 4)
+    };
+    let params = CkksParams::builder()
+        .log_n(log_n)
+        .scale_bits(40)
+        .first_prime_bits(50)
+        .max_level(max_level)
+        .dnum(1)
+        .secret_hamming_weight(Some(16))
+        .build()
+        .expect("valid parameters");
+    let ctx = CkksContext::new_arc(params).expect("context");
+    let tenants: Vec<Tenant> = (0..tenant_count)
+        .map(|t| {
+            let mut rng = ChaCha20Rng::seed_from_u64(0xD0_0B + t as u64);
+            let sk = SecretKey::generate(&ctx, &mut rng);
+            let keygen = KeyGenerator::new(ctx.clone(), sk);
+            let pk = keygen.public_key(&mut rng);
+            let rlk = keygen.relinearization_key(&mut rng);
+            let keys = keygen
+                .galois_keys(&ROTATIONS, true, &mut rng)
+                .expect("galois keys");
+            let encoder = Encoder::new(ctx.clone());
+            let encryptor = Encryptor::new(ctx.clone(), pk);
+            let scale = ctx.params().default_scale();
+            let values: Vec<f64> = (0..ctx.slot_count())
+                .map(|i| ((i + t) as f64 * 0.19).sin())
+                .collect();
+            let pt = encoder
+                .encode_real(&values, scale, ctx.params().max_level)
+                .expect("encode");
+            let input = encryptor.encrypt(&pt, &mut rng).expect("encrypt");
+            Tenant { rlk, keys, input }
+        })
+        .collect();
+    let config = ServerConfig {
+        cache_budget_bytes: tenant_count * key_set_bytes(ctx.params(), ROTATIONS.len() + 1),
+        prefetch: true,
+        lookahead: 8,
+        ..ServerConfig::default()
+    };
+    Fixture {
+        ctx,
+        tenants,
+        config,
+        rounds,
+        program_len,
+    }
+}
+
+fn make_server(fixture: &Fixture) -> FabServer {
+    let mut server = FabServer::new(Evaluator::new(fixture.ctx.clone()), fixture.config);
+    server.use_fake_clock(Arc::new(FakeClock::with_step(1)));
+    for (t, tenant) in fixture.tenants.iter().enumerate() {
+        server.register_tenant(TenantId(t as u32), &tenant.rlk, &tenant.keys);
+    }
+    server
+}
+
+fn submit_stream(server: &mut FabServer, fixture: &Fixture) {
+    for round in 0..fixture.rounds {
+        for (t, tenant) in fixture.tenants.iter().enumerate() {
+            let mut ops = vec![ServeOp::Rotate(1)];
+            ops.extend(
+                Program::random(73 + round, fixture.program_len, &ROTATIONS)
+                    .ops()
+                    .iter()
+                    .copied(),
+            );
+            server.submit(Request {
+                tenant: TenantId(t as u32),
+                program: Program::new(ops),
+                input: tenant.input.clone(),
+            });
+        }
+    }
+}
+
+fn assert_equivalent(label: &str, got: &RequestOutcome, want: &RequestOutcome) {
+    assert_eq!(got.request(), want.request(), "id diverged: {label}");
+    assert_eq!(got.tenant(), want.tenant(), "tenant diverged: {label}");
+    match (got, want) {
+        (RequestOutcome::Completed(g), RequestOutcome::Completed(w)) => {
+            assert_eq!(g.output.c0(), w.output.c0(), "c0 diverged: {label}");
+            assert_eq!(g.output.c1(), w.output.c1(), "c1 diverged: {label}");
+        }
+        (RequestOutcome::Failed(g), RequestOutcome::Failed(w)) => match &g.fault {
+            ServeFault::Replayed { class, description } => {
+                assert_eq!(*class, w.fault.class(), "class diverged: {label}");
+                assert_eq!(*description, w.fault.to_string(), "{label}");
+            }
+            fault => assert_eq!(fault, &w.fault, "fault diverged: {label}"),
+        },
+        (g, w) => panic!("outcome shape diverged: {label}: {g:?} vs {w:?}"),
+    }
+}
+
+/// Journaled workload on `disk`; `None` when the armed crash killed journal creation.
+fn run_on_disk(fixture: &Fixture, disk: &SharedDisk, policy: SyncPolicy) -> Option<FabServer> {
+    let mut server = make_server(fixture);
+    let journal = DurableJournal::create(
+        Box::new(disk.clone()),
+        fixture.ctx.clone(),
+        policy,
+        ROTATE_AFTER,
+    )
+    .ok()?;
+    server.attach_durable_journal(journal);
+    submit_stream(&mut server, fixture);
+    let _outcomes = server.run();
+    Some(server)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            if quick {
+                "target/BENCH_durability_quick.json".to_string()
+            } else {
+                "BENCH_pr10.json".to_string()
+            }
+        });
+    let cores = fab_bench::available_cores();
+    let untrusted_scaling = fab_bench::warn_untrusted_scaling("Durability latencies");
+    let fixture = make_fixture(quick);
+    let policy = SyncPolicy::Always;
+
+    // ---- Reference run + gate 1: the SimDisk crash sweep. -------------------------------
+    let ref_disk = SharedDisk::new();
+    let mut ref_server = run_on_disk(&fixture, &ref_disk, policy).expect("unarmed disk");
+    drop(ref_server.take_durable_journal());
+    let reference = {
+        let mut replay = make_server(&fixture);
+        let report = replay
+            .recover_from_store(Box::new(ref_disk.snapshot()), policy, ROTATE_AFTER)
+            .expect("healthy disk recovers");
+        assert_eq!(report.torn_bytes, 0, "clean shutdown tears nothing");
+        assert!(report.readmitted.is_empty(), "everything settled");
+        report.settled
+    };
+    assert!(
+        reference.iter().all(|o| o.completed().is_some()),
+        "the durability fixture is fault-free; every request completes"
+    );
+    let total_ops = ref_disk.op_count();
+    let segments = ref_disk.snapshot().list("seg-").len();
+
+    let mut recover_sweep_us: Vec<u64> = Vec::new();
+    let seeds: &[u64] = if quick { &[3] } else { &[3, 11] };
+    for at in 0..total_ops {
+        let disk = SharedDisk::new();
+        disk.arm_crash(at);
+        if let Some(server) = run_on_disk(&fixture, &disk, policy) {
+            assert!(server.has_crashed(), "armed op {at} never fired");
+        }
+        for &seed in seeds {
+            let label = format!("crash at op {at} of {total_ops}, seed {seed}");
+            let (surface, _) = disk.crash_surface(seed);
+            let mut recovered = make_server(&fixture);
+            let start = Instant::now();
+            let report = recovered
+                .recover_from_store(Box::new(surface), policy, ROTATE_AFTER)
+                .unwrap_or_else(|e| panic!("{label}: crash damage is never corruption: {e}"));
+            recover_sweep_us.push(start.elapsed().as_micros() as u64);
+            let settled_completed = report
+                .settled
+                .iter()
+                .filter(|o| o.completed().is_some())
+                .count() as u64;
+            let mut outcomes = report.settled;
+            outcomes.extend(recovered.run());
+            outcomes.sort_by_key(RequestOutcome::request);
+            assert!(
+                outcomes.len() <= reference.len(),
+                "{label}: fabricated work"
+            );
+            for (got, want) in outcomes.iter().zip(&reference) {
+                assert_eq!(got.request(), want.request(), "{label}: not a prefix");
+                assert_equivalent(&label, got, want);
+            }
+            let completed_total =
+                outcomes.iter().filter(|o| o.completed().is_some()).count() as u64;
+            assert_eq!(
+                recovered.executions(),
+                completed_total - settled_completed,
+                "{label}: a journaled completion was re-executed"
+            );
+        }
+    }
+    recover_sweep_us.sort_unstable();
+
+    // ---- Gate 2: compaction equivalence. ------------------------------------------------
+    {
+        let disk = SharedDisk::new();
+        let mut server = run_on_disk(&fixture, &disk, policy).expect("unarmed disk");
+        let uncompacted = disk.snapshot();
+        server.compact_journal().expect("live compaction");
+        let compacted = disk.snapshot();
+        let mut a = make_server(&fixture);
+        let ra = a
+            .recover_from_store(Box::new(uncompacted), policy, ROTATE_AFTER)
+            .expect("uncompacted recovers");
+        let mut b = make_server(&fixture);
+        let rb = b
+            .recover_from_store(Box::new(compacted), policy, ROTATE_AFTER)
+            .expect("compacted recovers");
+        assert_eq!(ra.settled.len(), rb.settled.len(), "compaction lost state");
+        for (got, want) in rb.settled.iter().zip(&ra.settled) {
+            assert_equivalent("compacted vs uncompacted", got, want);
+        }
+        assert_eq!(ra.readmitted, rb.readmitted);
+    }
+
+    // ---- Sync-policy cost on the real filesystem. ---------------------------------------
+    let policies = [
+        SyncPolicy::Always,
+        SyncPolicy::EveryN(4),
+        SyncPolicy::EveryN(16),
+        SyncPolicy::IntervalUs(50),
+    ];
+    struct PolicyRow {
+        label: String,
+        wall_us: u64,
+        syncs: u64,
+        dir_syncs: u64,
+        appends: u64,
+        bytes: u64,
+        segments: usize,
+    }
+    let scratch = std::env::temp_dir().join(format!("fab-bench-durability-{}", std::process::id()));
+    let mut policy_rows: Vec<PolicyRow> = Vec::new();
+    for policy in policies {
+        // Deterministic twin on the simulated disk: fsync counts are a property of the
+        // op sequence, not of the backend, so the twin prices them exactly.
+        let twin = SharedDisk::new();
+        let mut twin_server = run_on_disk(&fixture, &twin, policy).expect("unarmed disk");
+        let twin_stats = twin.stats();
+        let bytes = twin_server
+            .durable_journal_mut()
+            .expect("attached")
+            .bytes_on_disk()
+            .expect("readable");
+        let twin_segments = twin.snapshot().list("seg-").len();
+
+        let dir = scratch.join(policy.label());
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let backend = FileBackend::open(&dir).expect("file backend");
+        let mut server = make_server(&fixture);
+        let start = Instant::now();
+        let journal =
+            DurableJournal::create(Box::new(backend), fixture.ctx.clone(), policy, ROTATE_AFTER)
+                .expect("file-backed journal");
+        server.attach_durable_journal(journal);
+        submit_stream(&mut server, &fixture);
+        let outcomes = server.run();
+        let wall_us = start.elapsed().as_micros() as u64;
+        assert_eq!(outcomes.len(), reference.len());
+
+        policy_rows.push(PolicyRow {
+            label: policy.label(),
+            wall_us,
+            syncs: twin_stats.syncs,
+            dir_syncs: twin_stats.dir_syncs,
+            appends: twin_stats.appends,
+            bytes,
+            segments: twin_segments,
+        });
+    }
+
+    // ---- Recovery latency: uncompacted segment chain vs compacted base. -----------------
+    // Recovery rewrites the store compacted, so recovering the same directory twice prices
+    // both shapes of the journal on the real filesystem.
+    let recover_dir = scratch.join("recover");
+    std::fs::create_dir_all(&recover_dir).expect("scratch dir");
+    {
+        let backend = FileBackend::open(&recover_dir).expect("file backend");
+        let mut server = make_server(&fixture);
+        let journal =
+            DurableJournal::create(Box::new(backend), fixture.ctx.clone(), policy, ROTATE_AFTER)
+                .expect("file-backed journal");
+        server.attach_durable_journal(journal);
+        submit_stream(&mut server, &fixture);
+        let _ = server.run();
+    }
+    let dir_shape = |dir: &std::path::Path| -> (u64, usize) {
+        let entries: Vec<_> = std::fs::read_dir(dir)
+            .expect("readable dir")
+            .filter_map(|e| e.ok())
+            .collect();
+        let bytes = entries
+            .iter()
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum();
+        (bytes, entries.len())
+    };
+    let (bytes_uncompacted, files_uncompacted) = dir_shape(&recover_dir);
+    let recover = |label: &str| -> u64 {
+        let backend = FileBackend::open(&recover_dir).expect("file backend");
+        let mut server = make_server(&fixture);
+        let start = Instant::now();
+        let report = server
+            .recover_from_store(Box::new(backend), policy, ROTATE_AFTER)
+            .unwrap_or_else(|e| panic!("{label}: healthy directory recovers: {e}"));
+        let us = start.elapsed().as_micros() as u64;
+        assert_eq!(report.settled.len(), reference.len(), "{label}: lost state");
+        drop(server.take_durable_journal());
+        us
+    };
+    let recover_uncompacted_us = recover("uncompacted");
+    let (bytes_compacted, files_compacted) = dir_shape(&recover_dir);
+    let recover_compacted_us = recover("compacted");
+    assert!(
+        bytes_compacted < bytes_uncompacted,
+        "compaction reclaims settled inputs: {bytes_compacted} vs {bytes_uncompacted}"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // ---- Report. ------------------------------------------------------------------------
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"source\": \"fab-bench durability bin (PR 10)\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"cores_available\": {cores},");
+    let _ = writeln!(out, "  \"untrusted_scaling\": {untrusted_scaling},");
+    let _ = writeln!(
+        out,
+        "  \"params\": {{\"log_n\": {}, \"max_level\": {}, \"dnum\": {}}},",
+        fixture.ctx.params().degree().trailing_zeros(),
+        fixture.ctx.params().max_level,
+        fixture.ctx.params().dnum
+    );
+    let _ = writeln!(
+        out,
+        "  \"fixture\": {{\"tenants\": {}, \"requests\": {}, \"disk_ops\": {total_ops}, \"segments\": {segments}, \"rotate_after_records\": {ROTATE_AFTER}, \"surface_seeds\": {}}},",
+        fixture.tenants.len(),
+        reference.len(),
+        seeds.len()
+    );
+    let _ = writeln!(
+        out,
+        "  \"gates\": {{\"bitwise_identical_prefix\": true, \"zero_duplicate_executions\": true, \"crash_damage_never_corruption\": true, \"compacted_equals_uncompacted\": true}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"simdisk_sweep\": {{\"kill_sites\": {total_ops}, \"recoveries\": {}, \"recover_us\": {{\"min\": {}, \"p50\": {}, \"p95\": {}, \"max\": {}}}}},",
+        recover_sweep_us.len(),
+        recover_sweep_us[0],
+        percentile(&recover_sweep_us, 0.50),
+        percentile(&recover_sweep_us, 0.95),
+        recover_sweep_us[recover_sweep_us.len() - 1]
+    );
+    out.push_str("  \"sync_policy_cost\": [\n");
+    let row_count = policy_rows.len();
+    for (i, row) in policy_rows.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"policy\": \"{}\", \"wall_us\": {}, \"fsyncs\": {}, \"dir_fsyncs\": {}, \"appends\": {}, \"journal_bytes\": {}, \"segments\": {}",
+            row.label, row.wall_us, row.syncs, row.dir_syncs, row.appends, row.bytes, row.segments
+        );
+        out.push_str(if i + 1 == row_count { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"recovery_latency\": {{\"uncompacted\": {{\"bytes\": {bytes_uncompacted}, \"files\": {files_uncompacted}, \"recover_us\": {recover_uncompacted_us}}}, \"compacted\": {{\"bytes\": {bytes_compacted}, \"files\": {files_compacted}, \"recover_us\": {recover_compacted_us}}}}}"
+    );
+    out.push_str("}\n");
+
+    print!("{out}");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &out).expect("write bench JSON");
+    eprintln!("wrote {out_path}");
+}

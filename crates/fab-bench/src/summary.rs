@@ -3,7 +3,7 @@
 //! The bench bins write hand-rolled JSON (the workspace deliberately carries no JSON
 //! dependency), so this module carries the matching reader: a minimal recursive-descent
 //! parser for the JSON subset those bins emit, plus [`perf_trajectory`], which folds
-//! `BENCH_pr3.json .. BENCH_pr7.json` into one markdown table of headline numbers per PR —
+//! `BENCH_pr3.json .. BENCH_pr10.json` into one markdown table of headline numbers per PR —
 //! the longitudinal view the README embeds. Missing files are tolerated (the row reports
 //! what is absent), so the helper keeps working on partial checkouts and in future PRs.
 
@@ -278,6 +278,63 @@ fn headline(pr: u32, doc: &Value) -> String {
                 "roofline: DRAM streaming {stream:.1} GB/s, key_switch {ks:.1} GB/s effective (metered bytes)"
             )
         }
+        8 => {
+            let outcomes = doc.get("outcomes");
+            let get = |k: &str| {
+                outcomes
+                    .and_then(|o| o.get(k))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0)
+            };
+            format!(
+                "chaos: {:.0} completed / {:.0} failed typed / {:.0} shed, flaky tenants recovered",
+                get("completed"),
+                get("failed"),
+                get("shed")
+            )
+        }
+        9 => {
+            // Worst p95 recovery latency across the kill-site classes.
+            let p95 = doc
+                .get("recovery_latency")
+                .and_then(Value::as_arr)
+                .map(|rows| {
+                    rows.iter()
+                        .filter_map(|r| r.get("recover_us")?.get("p95")?.as_f64())
+                        .fold(0.0f64, f64::max)
+                })
+                .unwrap_or(0.0);
+            let points = doc
+                .get("fixture")
+                .and_then(|f| f.get("crash_points"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            format!("crash sweep: {points:.0} kill sites, recover p95 {p95:.0} µs, zero duplicate executions")
+        }
+        10 => {
+            let sites = doc
+                .get("simdisk_sweep")
+                .and_then(|s| s.get("kill_sites"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            let ratio = |key: &str| {
+                doc.get("recovery_latency")
+                    .and_then(|r| r.get(key))
+                    .and_then(|u| u.get("bytes"))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0)
+            };
+            let before = ratio("uncompacted");
+            let after = ratio("compacted");
+            let pct = if before > 0.0 {
+                100.0 * (1.0 - after / before)
+            } else {
+                0.0
+            };
+            format!(
+                "durability: {sites:.0} disk-syscall kill sites survive power loss, compaction reclaims {pct:.0}% of the journal"
+            )
+        }
         _ => doc.get("baseline").and_then(Value::as_str).map_or_else(
             || "kernel speedups vs seed reference".to_string(),
             |s| s.split(';').next().unwrap_or(s).to_string(),
@@ -285,14 +342,14 @@ fn headline(pr: u32, doc: &Value) -> String {
     }
 }
 
-/// Renders the markdown perf-trajectory table from `BENCH_pr3.json .. BENCH_pr7.json`
+/// Renders the markdown perf-trajectory table from `BENCH_pr3.json .. BENCH_pr10.json`
 /// under `repo_root`. Files that are missing or malformed produce a placeholder row rather
 /// than an error.
 pub fn perf_trajectory(repo_root: &Path) -> String {
     let mut out = String::from(
         "| PR | ntt_forward | key_switch | multiply | headline |\n|---|---|---|---|---|\n",
     );
-    for pr in 3..=7u32 {
+    for pr in 3..=10u32 {
         let path = repo_root.join(format!("BENCH_pr{pr}.json"));
         let doc = std::fs::read_to_string(&path)
             .ok()
@@ -342,7 +399,7 @@ mod tests {
     fn trajectory_table_covers_every_committed_bench_file() {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let table = perf_trajectory(&root);
-        for pr in 3..=7 {
+        for pr in 3..=10 {
             let line = table
                 .lines()
                 .find(|l| l.starts_with(&format!("| pr{pr} ")))
@@ -352,9 +409,12 @@ mod tests {
                 "BENCH_pr{pr}.json missing from the checkout:\n{line}"
             );
         }
-        // The files the parser must understand span three generations of schema.
+        // The files the parser must understand span several generations of schema.
         assert!(table.contains("ntt_forward, n=65536"), "{table}");
         assert!(table.contains("serving:"), "{table}");
         assert!(table.contains("roofline: DRAM streaming"), "{table}");
+        assert!(table.contains("chaos:"), "{table}");
+        assert!(table.contains("crash sweep:"), "{table}");
+        assert!(table.contains("durability:"), "{table}");
     }
 }

@@ -63,6 +63,16 @@ pub enum CkksError {
         /// Human-readable reason.
         reason: String,
     },
+    /// An I/O operation (reading or writing a checkpoint or journal file) failed at the
+    /// storage layer. Environmental, not a format fault: retrying may succeed, and the
+    /// bytes on disk — if any — are not implicated the way they are for
+    /// [`CkksError::CorruptSnapshot`].
+    Io {
+        /// The operation that failed (e.g. `"read"`, `"sync"`, `"rename"`).
+        operation: &'static str,
+        /// The underlying error, rendered.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CkksError {
@@ -88,6 +98,9 @@ impl fmt::Display for CkksError {
             CkksError::CorruptKey { reason } => write!(f, "corrupt key blob: {reason}"),
             CkksError::KeyMismatch { reason } => write!(f, "key mismatch: {reason}"),
             CkksError::CorruptSnapshot { reason } => write!(f, "corrupt snapshot: {reason}"),
+            CkksError::Io { operation, reason } => {
+                write!(f, "storage {operation} failed: {reason}")
+            }
         }
     }
 }
@@ -155,6 +168,10 @@ mod tests {
             },
             CkksError::CorruptSnapshot {
                 reason: "parameter fingerprint mismatch".into(),
+            },
+            CkksError::Io {
+                operation: "read",
+                reason: "permission denied".into(),
             },
         ];
         for e in errors {

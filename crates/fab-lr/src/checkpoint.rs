@@ -8,19 +8,29 @@
 //! fingerprint, so a checkpoint from a different parameter set is rejected typed, not
 //! resumed into garbage.
 //!
-//! # Atomicity
+//! # Atomicity and durability
 //!
-//! [`TrainingCheckpoint::save_atomic`] writes a temporary sibling (`<path>.tmp`) and then
-//! renames it over `path`. A crash before the rename leaves the previous checkpoint intact
-//! and at worst a torn `.tmp` that the loader never reads; a crash after the rename leaves
-//! the new checkpoint complete. There is no interleaving that loses both — the property the
-//! crash harness in `tests/checkpoint_resume.rs` sweeps byte by byte.
+//! [`TrainingCheckpoint::save_atomic`] writes a temporary sibling (`<path>.tmp`), **fsyncs
+//! it**, renames it over `path`, and **fsyncs the parent directory**. The rename alone
+//! gives process-crash atomicity; the two fsyncs are what make it survive power loss —
+//! without the file sync, the rename can reach disk before the data and a power loss
+//! surfaces the new name pointing at torn or zero bytes, and without the directory sync
+//! the rename itself can evaporate. A crash before the rename leaves the previous
+//! checkpoint intact and at worst a torn `.tmp` that the loader never reads; a crash after
+//! leaves the new checkpoint complete. There is no interleaving that loses both — swept
+//! byte-by-byte in `tests/checkpoint_resume.rs` and syscall-by-syscall against the
+//! simulated-disk crash surface in `tests/checkpoint_durability.rs`.
+//!
+//! [`TrainingCheckpoint::save_to`] / [`TrainingCheckpoint::load_from`] run the same
+//! discipline through a [`fab_store::StorageBackend`], which is how the `SimDisk` sweeps
+//! cover checkpoints with the exact code path production uses.
 
 use std::path::Path;
 use std::sync::Arc;
 
 use fab_ckks::wire::{self, BlobReader, BlobSpec, BlobWriter};
 use fab_ckks::{Ciphertext, CkksContext, CkksError};
+use fab_store::{write_atomic, StorageBackend, StorageError};
 
 /// `FABLRC` in the magic word's top 48 bits; version 1 in the low 16.
 const CHECKPOINT_SPEC: BlobSpec = BlobSpec {
@@ -74,28 +84,81 @@ impl TrainingCheckpoint {
         Ok(Self { iteration, weights })
     }
 
-    /// Writes the checkpoint to `path` atomically: serialize, write `<path>.tmp`, rename.
+    /// Writes the checkpoint to `path` atomically *and durably*: serialize, write
+    /// `<path>.tmp`, fsync the temp file, rename it over `path`, fsync the parent
+    /// directory. Either step of fsync omitted would leave a power-loss window — see the
+    /// module docs.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors; on error `path` still holds its previous contents.
     pub fn save_atomic(&self, path: &Path, ctx: &CkksContext) -> std::io::Result<()> {
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_bytes(ctx))?;
-        std::fs::rename(&tmp, path)
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut file, &self.to_bytes(ctx))?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Directory fsync: without it the rename itself may not survive a power loss.
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        std::fs::File::open(dir.unwrap_or_else(|| Path::new(".")))?.sync_all()
     }
 
     /// Reads and validates a checkpoint from `path`.
     ///
     /// # Errors
     ///
-    /// [`CkksError::InvalidInput`] when the file cannot be read (missing, permissions);
+    /// [`CkksError::Io`] when the file cannot be read (missing, permissions);
     /// [`CkksError::CorruptSnapshot`] when its bytes fail validation.
     pub fn load(path: &Path, ctx: &Arc<CkksContext>) -> Result<Self, CkksError> {
-        let bytes = std::fs::read(path).map_err(|e| CkksError::InvalidInput {
+        let bytes = std::fs::read(path).map_err(|e| CkksError::Io {
+            operation: "read",
             reason: format!("checkpoint {} unreadable: {e}", path.display()),
         })?;
         Self::from_bytes(&bytes, ctx)
+    }
+
+    /// Writes the checkpoint durably through a storage backend (same atomic-rename +
+    /// double-fsync discipline as [`Self::save_atomic`], but over the [`StorageBackend`]
+    /// seam so the simulated-disk crash sweep can exercise it).
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::Io`] on any storage failure (including a simulated crash).
+    pub fn save_to(
+        &self,
+        backend: &mut dyn StorageBackend,
+        name: &str,
+        ctx: &CkksContext,
+    ) -> Result<(), CkksError> {
+        write_atomic(backend, name, &self.to_bytes(ctx)).map_err(storage_io)
+    }
+
+    /// Reads and validates a checkpoint through a storage backend.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::Io`] when the backend cannot produce the bytes (missing file, storage
+    /// fault, simulated crash); [`CkksError::CorruptSnapshot`] when they fail validation.
+    pub fn load_from(
+        backend: &mut dyn StorageBackend,
+        name: &str,
+        ctx: &Arc<CkksContext>,
+    ) -> Result<Self, CkksError> {
+        let bytes = backend.read(name).map_err(storage_io)?;
+        Self::from_bytes(&bytes, ctx)
+    }
+}
+
+fn storage_io(e: StorageError) -> CkksError {
+    let operation = match &e {
+        StorageError::Io { op, .. } | StorageError::Crashed { op, .. } => op,
+        StorageError::NotFound { .. } => "read",
+    };
+    CkksError::Io {
+        operation,
+        reason: e.to_string(),
     }
 }
 
@@ -190,11 +253,27 @@ mod tests {
     }
 
     #[test]
-    fn a_missing_file_is_invalid_input_not_corruption() {
+    fn a_missing_file_is_a_typed_io_error_not_corruption() {
         let (ctx, _) = fixture();
         let err = TrainingCheckpoint::load(Path::new("/nonexistent/fab-lr-ckpt"), &ctx)
             .expect_err("missing file");
-        assert!(matches!(err, CkksError::InvalidInput { .. }), "{err:?}");
+        assert!(matches!(err, CkksError::Io { .. }), "{err:?}");
+
+        let mut disk = fab_store::SimDisk::new();
+        let err = TrainingCheckpoint::load_from(&mut disk, "absent.ckpt", &ctx)
+            .expect_err("missing backend file");
+        assert!(matches!(err, CkksError::Io { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn backend_save_and_load_round_trip() {
+        let (ctx, checkpoint) = fixture();
+        let mut disk = fab_store::SimDisk::new();
+        checkpoint.save_to(&mut disk, "weights.ckpt", &ctx).unwrap();
+        let restored = TrainingCheckpoint::load_from(&mut disk, "weights.ckpt", &ctx).unwrap();
+        assert_eq!(restored.iteration, checkpoint.iteration);
+        assert_eq!(restored.weights.c0(), checkpoint.weights.c0());
+        assert!(!disk.exists("weights.ckpt.tmp"), "tmp renamed away");
     }
 
     #[test]

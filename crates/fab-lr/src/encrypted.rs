@@ -249,7 +249,7 @@ impl EncryptedLogisticRegression {
     /// # Errors
     ///
     /// As [`Self::train_with_refresh`]; checkpoint I/O failures surface as
-    /// [`CkksError::InvalidInput`] (training state is unaffected — the previous checkpoint,
+    /// [`CkksError::Io`] (training state is unaffected — the previous checkpoint,
     /// if any, is still intact).
     pub fn train_with_refresh_checkpointed(
         &mut self,
@@ -284,9 +284,9 @@ impl EncryptedLogisticRegression {
     ///
     /// # Errors
     ///
-    /// [`CkksError::InvalidInput`] when the checkpoint is unreadable or claims more
-    /// iterations than `iterations`; [`CkksError::CorruptSnapshot`] when its bytes fail
-    /// validation; otherwise as [`Self::train_with_refresh`].
+    /// [`CkksError::Io`] when the checkpoint is unreadable; [`CkksError::InvalidInput`]
+    /// when it claims more iterations than `iterations`; [`CkksError::CorruptSnapshot`]
+    /// when its bytes fail validation; otherwise as [`Self::train_with_refresh`].
     pub fn resume_with_refresh_checkpointed(
         &mut self,
         data: &Dataset,
@@ -382,7 +382,8 @@ impl EncryptedLogisticRegression {
                         weights: ct_weights.clone(),
                     }
                     .save_atomic(policy.path, &self.ctx)
-                    .map_err(|e| CkksError::InvalidInput {
+                    .map_err(|e| CkksError::Io {
+                        operation: "checkpoint write",
                         reason: format!(
                             "checkpoint write to {} failed: {e}",
                             policy.path.display()

@@ -35,6 +35,7 @@ use std::sync::Arc;
 
 use fab_ckks::wire::{self, BlobReader, BlobSpec, BlobWriter};
 use fab_ckks::{Ciphertext, CkksContext};
+use fab_store::{FileBackend, StorageBackend};
 
 use crate::error::{FaultClass, RequestId};
 use crate::request::{Program, ServeOp};
@@ -132,6 +133,15 @@ pub enum JournalRecord {
         /// The rendered fault description.
         description: String,
     },
+    /// Trailing marker of a compacted segment (see `crate::store`): written *last*, after
+    /// every retained record is synced, so its presence proves the compaction completed.
+    /// A compacted segment without this marker at its end is an interrupted compaction and
+    /// is ignored while the segments it was folding still exist.
+    Checkpoint {
+        /// Records retained in the compacted segment (header and this marker excluded) —
+        /// an integrity cross-check against the actual record count.
+        retained: u64,
+    },
 }
 
 /// Record kind words (first field word of every record blob).
@@ -142,6 +152,7 @@ mod kind {
     pub const STARTED: u64 = 3;
     pub const COMPLETED: u64 = 4;
     pub const FAILED: u64 = 5;
+    pub const CHECKPOINT: u64 = 6;
 }
 
 /// Op encoding tags inside `Admitted` records.
@@ -281,6 +292,10 @@ impl JournalRecord {
                 out.push_word(encode_class(*class));
                 out.push_blob(description.as_bytes());
             }
+            JournalRecord::Checkpoint { retained } => {
+                out.push_word(kind::CHECKPOINT);
+                out.push_word(*retained);
+            }
         }
         out.finish()
     }
@@ -343,6 +358,9 @@ impl JournalRecord {
                     description,
                 }
             }
+            kind::CHECKPOINT => JournalRecord::Checkpoint {
+                retained: reader.read_word()?,
+            },
             other => {
                 return Err(wire::WireError {
                     reason: format!("unknown record kind {other}"),
@@ -353,10 +371,20 @@ impl JournalRecord {
         Ok(record)
     }
 
+    /// Length-prefixed wire framing of this record — the unit the durable store appends
+    /// (identical to what [`RequestJournal::append`] writes into its byte log).
+    pub(crate) fn to_framed_bytes(&self, ctx: &CkksContext) -> Vec<u8> {
+        let blob = self.encode(ctx);
+        let mut out = Vec::with_capacity(8 + blob.len());
+        out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+        out.extend_from_slice(&blob);
+        out
+    }
+
     /// The request this record concerns, when it concerns one.
     pub fn request(&self) -> Option<RequestId> {
         match self {
-            JournalRecord::Header { .. } => None,
+            JournalRecord::Header { .. } | JournalRecord::Checkpoint { .. } => None,
             JournalRecord::Admitted { request, .. }
             | JournalRecord::Shed { request, .. }
             | JournalRecord::Started { request, .. }
@@ -438,6 +466,35 @@ impl RequestJournal {
     /// magic mismatch, unknown kind, an embedded snapshot rejection, or a first record that
     /// is not a matching [`JournalRecord::Header`]. Pure tail truncation is never an error.
     pub fn open(bytes: &[u8], ctx: Arc<CkksContext>) -> Result<RecoveredJournal, CorruptJournal> {
+        Self::open_mode(bytes, ctx, false)
+    }
+
+    /// Opens journal bytes whose unsynced tail may have been damaged by a *power loss*, not
+    /// just truncated: torn mid-sector writes and reordered write-back can leave an invalid
+    /// record (even a zero-filled hole) in front of bytes that did reach the disk. The
+    /// first invalid record therefore ends the log — everything from it on is dropped and
+    /// counted in [`RecoveredJournal::torn_bytes`] — because under an fsync-disciplined
+    /// writer such damage can only live in the unsynced crash tail.
+    ///
+    /// Use [`Self::open`] for sealed segments (fully fsynced before the next segment was
+    /// created): there, any invalid record is bit rot and must surface typed.
+    ///
+    /// # Errors
+    ///
+    /// Only a *valid* header whose parameter fingerprint does not match `ctx` — that is a
+    /// configuration error, not crash damage, in both modes.
+    pub fn open_lenient(
+        bytes: &[u8],
+        ctx: Arc<CkksContext>,
+    ) -> Result<RecoveredJournal, CorruptJournal> {
+        Self::open_mode(bytes, ctx, true)
+    }
+
+    fn open_mode(
+        bytes: &[u8],
+        ctx: Arc<CkksContext>,
+        lenient: bool,
+    ) -> Result<RecoveredJournal, CorruptJournal> {
         let mut offset = 0usize;
         let mut records = Vec::new();
         let mut clean_len = 0usize;
@@ -455,19 +512,34 @@ impl RequestJournal {
             }
             if len < wire::HEADER_BYTES {
                 // A complete length prefix describing an impossible record is not a tear —
-                // an append-only writer never produces one — so it is corruption.
+                // an append-only writer never produces one — so on a synced prefix it is
+                // corruption. In the unsynced crash tail it can be a reordering hole.
+                if lenient {
+                    break;
+                }
                 return Err(CorruptJournal {
                     offset,
                     reason: format!("record length {len} is shorter than a blob header"),
                 });
             }
             let blob = &bytes[offset + 8..offset + 8 + len];
-            let record = JournalRecord::decode(blob, &ctx).map_err(|e| CorruptJournal {
-                offset,
-                reason: e.reason,
-            })?;
+            let record = match JournalRecord::decode(blob, &ctx) {
+                Ok(record) => record,
+                Err(e) => {
+                    if lenient {
+                        break;
+                    }
+                    return Err(CorruptJournal {
+                        offset,
+                        reason: e.reason,
+                    });
+                }
+            };
             if records.is_empty() && clean_len == 0 {
                 let JournalRecord::Header { fingerprint } = record else {
+                    if lenient {
+                        break;
+                    }
                     return Err(CorruptJournal {
                         offset,
                         reason: "first record is not a journal header".into(),
@@ -507,18 +579,23 @@ impl RequestJournal {
         })
     }
 
-    /// Writes the journal to `path` atomically (write a temporary sibling, then rename).
+    /// Writes the journal to `path` atomically *and durably*, routed through
+    /// [`fab_store::FileBackend`]: temporary sibling, fsync, rename, parent-directory
+    /// fsync. There is deliberately no way to write journal bytes to disk without the full
+    /// fsync discipline — for incremental appends with a [`fab_store::SyncPolicy`], use
+    /// [`crate::store::DurableJournal`] instead of whole-file snapshots.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &self.bytes)?;
-        std::fs::rename(&tmp, path)
+        let (dir, name) = split_path(path)?;
+        let mut backend = FileBackend::open(dir).map_err(storage_io)?;
+        fab_store::write_atomic(&mut backend, name, &self.bytes).map_err(storage_io)
     }
 
-    /// Reads journal bytes from `path` and opens them via [`Self::open`].
+    /// Reads journal bytes from `path` through [`fab_store::FileBackend`] and opens them
+    /// via [`Self::open`].
     ///
     /// # Errors
     ///
@@ -528,12 +605,40 @@ impl RequestJournal {
         path: &std::path::Path,
         ctx: Arc<CkksContext>,
     ) -> Result<RecoveredJournal, CorruptJournal> {
-        let bytes = std::fs::read(path).map_err(|e| CorruptJournal {
+        let unreadable = |e: &dyn fmt::Display| CorruptJournal {
             offset: 0,
             reason: format!("journal unreadable: {e}"),
-        })?;
+        };
+        let (dir, name) = split_path(path).map_err(|e| unreadable(&e))?;
+        let mut backend = FileBackend::open(dir).map_err(|e| unreadable(&e))?;
+        let bytes = backend.read(name).map_err(|e| unreadable(&e))?;
         Self::open(&bytes, ctx)
     }
+}
+
+/// Splits a journal path into its parent directory (the backend root, whose fsync makes
+/// the rename durable) and flat file name.
+fn split_path(path: &std::path::Path) -> std::io::Result<(&std::path::Path, &str)> {
+    let bad = |what: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("journal path {} has no {what}", path.display()),
+        )
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| bad("UTF-8 file name"))?;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    Ok((dir.unwrap_or_else(|| std::path::Path::new(".")), name))
+}
+
+fn storage_io(e: fab_store::StorageError) -> std::io::Error {
+    let kind = match e {
+        fab_store::StorageError::NotFound { .. } => std::io::ErrorKind::NotFound,
+        _ => std::io::ErrorKind::Other,
+    };
+    std::io::Error::new(kind, e.to_string())
 }
 
 /// The result of opening journal bytes: the clean-prefix journal (ready to append), its

@@ -68,6 +68,7 @@ pub mod journal;
 mod prefetch;
 mod request;
 mod server;
+pub mod store;
 mod tenant;
 
 pub use cache::{CacheStats, CachedKeyProvider, EvalKeyCache, KeyMaterial, KeyRef, RetryPolicy};
@@ -81,4 +82,5 @@ pub use server::{
     FabServer, RecoveryReport, RequestOutcome, RequestReport, ServeClock, ServeCounters,
     ServedRequest, ServerConfig,
 };
+pub use store::{DurableJournal, RecoveredStore, StoreError};
 pub use tenant::{FetchError, KeySource, TenantId, TenantKeyStore, TenantRegistry};

@@ -15,6 +15,7 @@ use crate::histogram::LatencyHistogram;
 use crate::journal::{CorruptJournal, JournalRecord, RequestJournal};
 use crate::prefetch::Prefetcher;
 use crate::request::{Program, Request};
+use crate::store::{DurableJournal, StoreError};
 use crate::tenant::{KeySource, TenantId, TenantKeyStore, TenantRegistry};
 
 /// Serving configuration.
@@ -240,6 +241,7 @@ pub struct FabServer {
     faults: BTreeMap<TenantId, TenantFault>,
     fault_clock: Option<Arc<FakeClock>>,
     journal: Option<RequestJournal>,
+    durable: Option<DurableJournal>,
     crash_point: Option<CrashPoint>,
     crashed: bool,
     appends_seen: u64,
@@ -271,6 +273,7 @@ impl FabServer {
             faults: BTreeMap::new(),
             fault_clock: None,
             journal: None,
+            durable: None,
             crash_point: None,
             crashed: false,
             appends_seen: 0,
@@ -316,6 +319,68 @@ impl FabServer {
         self.journal.as_ref().map(RequestJournal::bytes)
     }
 
+    /// Attaches a [`DurableJournal`]: every transition is appended to it (under its sync
+    /// policy) *before* its in-memory effect, in addition to any in-memory journal. A
+    /// durable append failure — including a simulated-disk crash — latches the crashed
+    /// flag: a server whose journal device died must stop acknowledging work.
+    pub fn attach_durable_journal(&mut self, journal: DurableJournal) {
+        self.durable = Some(journal);
+    }
+
+    /// The attached durable journal, if any.
+    pub fn durable_journal(&self) -> Option<&DurableJournal> {
+        self.durable.as_ref()
+    }
+
+    /// Mutable access to the attached durable journal (benchmarks read sizes and syscall
+    /// counters through this).
+    pub fn durable_journal_mut(&mut self) -> Option<&mut DurableJournal> {
+        self.durable.as_mut()
+    }
+
+    /// Detaches and returns the durable journal (e.g. to reclaim its backend).
+    pub fn take_durable_journal(&mut self) -> Option<DurableJournal> {
+        self.durable.take()
+    }
+
+    /// Group-commits the durable journal: fsyncs its active segment now. Called
+    /// automatically at the end of [`Self::run`]; exposed for explicit barriers. A sync
+    /// failure latches the crashed flag. No-op without a durable journal or once crashed.
+    pub fn sync_journal(&mut self) {
+        if self.crashed {
+            return;
+        }
+        let now_us = self.clock.now_us();
+        if let Some(durable) = self.durable.as_mut() {
+            if durable.sync_now(now_us).is_err() {
+                self.crashed = true;
+            }
+        }
+    }
+
+    /// Compacts the durable journal (see [`DurableJournal::compact`]): settled requests
+    /// fold to their outcome records and old segments are truncated away.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the journal's [`StoreError`]; a storage failure latches the crashed
+    /// flag first. `Ok` and a no-op without a durable journal or once crashed.
+    pub fn compact_journal(&mut self) -> std::result::Result<(), StoreError> {
+        if self.crashed {
+            return Ok(());
+        }
+        let now_us = self.clock.now_us();
+        if let Some(durable) = self.durable.as_mut() {
+            if let Err(e) = durable.compact(now_us) {
+                if matches!(&e, StoreError::Storage(_)) {
+                    self.crashed = true;
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
     /// Arms one deterministic [`CrashPoint`]. When it fires the server "dies": the crashed
     /// flag latches, and every subsequent submit, journal append and queue drain is refused
     /// — the journal bytes freeze exactly as a killed process would leave them.
@@ -335,10 +400,12 @@ impl FabServer {
         self.executes_seen
     }
 
-    /// Journals one record under the armed crash point: dies before the append, appends,
-    /// then dies after it. No-op without a journal (crash points need one) or once crashed.
+    /// Journals one record under the armed crash point: dies before the append, appends
+    /// (to the in-memory journal and/or the durable one), then dies after it. A durable
+    /// append failure — the disk itself dying — also latches the crashed flag. No-op
+    /// without any journal (crash points need one) or once crashed.
     fn journal_append(&mut self, record: JournalRecord) {
-        if self.journal.is_none() || self.crashed {
+        if (self.journal.is_none() && self.durable.is_none()) || self.crashed {
             return;
         }
         let n = self.appends_seen;
@@ -347,10 +414,18 @@ impl FabServer {
             self.crashed = true;
             return;
         }
-        self.journal
-            .as_mut()
-            .expect("journal checked above")
-            .append(&record);
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append(&record);
+        }
+        if self.durable.is_some() {
+            let now_us = self.clock.now_us();
+            if let Some(durable) = self.durable.as_mut() {
+                if durable.append(&record, now_us).is_err() {
+                    self.crashed = true;
+                    return;
+                }
+            }
+        }
         if self.crash_point == Some(CrashPoint::AfterAppend(n)) {
             self.crashed = true;
         }
@@ -378,6 +453,43 @@ impl FabServer {
     /// [`RequestJournal::open`]. Pure tail truncation is recovered, not an error.
     pub fn recover(&mut self, bytes: &[u8]) -> std::result::Result<RecoveryReport, CorruptJournal> {
         let recovered = RequestJournal::open(bytes, self.evaluator.context().clone())?;
+        self.journal = Some(recovered.journal);
+        Ok(self.fold_recovered(recovered.records, recovered.torn_bytes))
+    }
+
+    /// Rebuilds serving state from a durable-journal backend a crash (real power loss or
+    /// a simulated-disk schedule) left behind. Same per-request semantics as
+    /// [`Self::recover`]; the storage side — segment selection, lenient handling of the
+    /// active segment's damaged tail, checkpoint-base folding, stale-file cleanup — is
+    /// [`DurableJournal::recover`]'s. The recovered journal (already re-compacted onto a
+    /// fresh base) is attached as this server's durable journal.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when fully durable bytes fail validation (bit rot);
+    /// [`StoreError::Storage`] when the backend fails. Legal crash damage is never an
+    /// error.
+    pub fn recover_from_store(
+        &mut self,
+        backend: Box<dyn fab_store::StorageBackend + Send>,
+        policy: fab_store::SyncPolicy,
+        rotate_after_records: u64,
+    ) -> std::result::Result<RecoveryReport, StoreError> {
+        let recovered = DurableJournal::recover(
+            backend,
+            self.evaluator.context().clone(),
+            policy,
+            rotate_after_records,
+        )?;
+        self.durable = Some(recovered.journal);
+        Ok(self.fold_recovered(recovered.records, recovered.discarded_bytes))
+    }
+
+    /// The recovery fold shared by [`Self::recover`] and [`Self::recover_from_store`]:
+    /// settles finished requests from their journaled outcomes, re-admits (or
+    /// deadline-settles) in-flight ones, and resumes request-id allocation past the
+    /// highest id seen.
+    fn fold_recovered(&mut self, records: Vec<JournalRecord>, torn_bytes: usize) -> RecoveryReport {
         struct Pending {
             tenant: TenantId,
             submitted_us: u64,
@@ -389,12 +501,12 @@ impl FabServer {
         let mut started: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         let mut duplicate_starts = 0u64;
         let mut max_id: Option<u64> = None;
-        for record in recovered.records {
+        for record in records {
             if let Some(request) = record.request() {
                 max_id = Some(max_id.map_or(request.0, |m| m.max(request.0)));
             }
             match record {
-                JournalRecord::Header { .. } => {}
+                JournalRecord::Header { .. } | JournalRecord::Checkpoint { .. } => {}
                 JournalRecord::Admitted {
                     request,
                     tenant,
@@ -466,7 +578,6 @@ impl FabServer {
                 }
             }
         }
-        self.journal = Some(recovered.journal);
         if let Some(max) = max_id {
             self.next_id = self.next_id.max(max + 1);
         }
@@ -508,12 +619,12 @@ impl FabServer {
             });
         }
         settled.sort_by_key(RequestOutcome::request);
-        Ok(RecoveryReport {
+        RecoveryReport {
             settled,
             readmitted,
-            torn_bytes: recovered.torn_bytes,
+            torn_bytes,
             duplicate_starts,
-        })
+        }
     }
 
     /// Registers a tenant by serializing their key material into the registry.
@@ -646,6 +757,9 @@ impl FabServer {
                 outcomes.push(outcome);
             }
         }
+        // End-of-run group commit: whatever the sync policy deferred becomes durable
+        // before the batch's outcomes are handed back.
+        self.sync_journal();
         outcomes.sort_by_key(RequestOutcome::request);
         outcomes
     }

@@ -1,0 +1,471 @@
+//! The simulated-disk crash-consistency gate: for **every** disk-syscall boundary a
+//! journaled run crosses, and for multiple seeded draws of the post-crash surface (torn
+//! unsynced writes, reordered write-back, dropped directory ops), recovering from what
+//! survived replays bitwise identically to an uninterrupted run with zero duplicate
+//! executions — and a compacted journal recovers to exactly the same state as the
+//! uncompacted one, including when the crash lands *inside* the compaction itself.
+//!
+//! This extends `tests/crash_recovery.rs` (process-level kill sites on an in-memory
+//! journal) down through the storage layer: the journal now lives on a [`SimDisk`] behind
+//! the [`fab_store::StorageBackend`] seam, written under a real [`SyncPolicy`].
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use fab_ckks::{
+    key_set_bytes, Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, Evaluator, GaloisKeys,
+    KeyGenerator, RelinearizationKey, SecretKey,
+};
+use fab_serve::{
+    DurableJournal, FabServer, FakeClock, Program, Request, RequestOutcome, ServeFault, ServeOp,
+    ServerConfig, StoreError, TenantId,
+};
+use fab_store::{SharedDisk, SimDisk, StorageBackend, SyncPolicy};
+
+const ROTATIONS: [usize; 2] = [1, 3];
+const TENANTS: usize = 2;
+/// Small on purpose: a 4-request workload crosses several segment boundaries.
+const ROTATE_AFTER: u64 = 4;
+
+struct Tenant {
+    rlk: RelinearizationKey,
+    keys: GaloisKeys,
+    input: Ciphertext,
+}
+
+fn make_ctx() -> Arc<CkksContext> {
+    let params = CkksParams::builder()
+        .log_n(5)
+        .scale_bits(40)
+        .first_prime_bits(50)
+        .max_level(2)
+        .dnum(1)
+        .secret_hamming_weight(Some(16))
+        .build()
+        .expect("valid small parameters");
+    CkksContext::new_arc(params).expect("context")
+}
+
+fn make_tenant(ctx: &Arc<CkksContext>, seed: u64) -> Tenant {
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    let sk = SecretKey::generate(ctx, &mut rng);
+    let keygen = KeyGenerator::new(ctx.clone(), sk);
+    let pk = keygen.public_key(&mut rng);
+    let rlk = keygen.relinearization_key(&mut rng);
+    let keys = keygen
+        .galois_keys(&ROTATIONS, true, &mut rng)
+        .expect("galois keys");
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone(), pk);
+    let scale = ctx.params().default_scale();
+    let values: Vec<f64> = (0..ctx.slot_count())
+        .map(|i| ((i as f64 + seed as f64) * 0.13).sin())
+        .collect();
+    let pt = encoder
+        .encode_real(&values, scale, ctx.params().max_level)
+        .expect("encode");
+    let input = encryptor.encrypt(&pt, &mut rng).expect("encrypt");
+    Tenant { rlk, keys, input }
+}
+
+fn make_config(ctx: &Arc<CkksContext>) -> ServerConfig {
+    ServerConfig {
+        cache_budget_bytes: TENANTS * key_set_bytes(ctx.params(), ROTATIONS.len() + 1),
+        prefetch: true,
+        lookahead: 8,
+        ..ServerConfig::default()
+    }
+}
+
+fn make_server(ctx: &Arc<CkksContext>, tenants: &[Tenant], config: ServerConfig) -> FabServer {
+    let mut server = FabServer::new(Evaluator::new(ctx.clone()), config);
+    server.use_fake_clock(Arc::new(FakeClock::with_step(1)));
+    for (t, tenant) in tenants.iter().enumerate() {
+        server.register_tenant(TenantId(t as u32), &tenant.rlk, &tenant.keys);
+    }
+    server
+}
+
+fn keyed_program(seed: u64, len: usize) -> Program {
+    let mut ops = vec![ServeOp::Rotate(1)];
+    ops.extend(Program::random(seed, len, &ROTATIONS).ops().iter().copied());
+    Program::new(ops)
+}
+
+fn submit_stream(server: &mut FabServer, tenants: &[Tenant], rounds: u64, prog_seed: u64) {
+    for round in 0..rounds {
+        for (t, tenant) in tenants.iter().enumerate() {
+            server.submit(Request {
+                tenant: TenantId(t as u32),
+                program: keyed_program(prog_seed + round, 2),
+                input: tenant.input.clone(),
+            });
+        }
+    }
+}
+
+/// Outcome equivalence across the crash boundary (timings excluded; settled failures are
+/// the journaled replay of the original fault).
+fn assert_equivalent(label: &str, got: &RequestOutcome, want: &RequestOutcome) {
+    assert_eq!(got.request(), want.request(), "id diverged: {label}");
+    assert_eq!(got.tenant(), want.tenant(), "tenant diverged: {label}");
+    match (got, want) {
+        (RequestOutcome::Completed(g), RequestOutcome::Completed(w)) => {
+            assert_eq!(g.output.c0(), w.output.c0(), "c0 diverged: {label}");
+            assert_eq!(g.output.c1(), w.output.c1(), "c1 diverged: {label}");
+        }
+        (RequestOutcome::Failed(g), RequestOutcome::Failed(w)) => match &g.fault {
+            ServeFault::Replayed { class, description } => {
+                assert_eq!(*class, w.fault.class(), "class diverged: {label}");
+                assert_eq!(*description, w.fault.to_string(), "description: {label}");
+            }
+            fault => assert_eq!(fault, &w.fault, "fault diverged: {label}"),
+        },
+        (
+            RequestOutcome::Shed { queue_depth: g, .. },
+            RequestOutcome::Shed { queue_depth: w, .. },
+        ) => assert_eq!(g, w, "shed depth diverged: {label}"),
+        (g, w) => panic!("outcome shape diverged: {label}: {g:?} vs {w:?}"),
+    }
+}
+
+/// Runs the reference workload against a durable journal on `disk`. Returns the server
+/// post-run (the journal stays attached). `None` if the disk crashed during journal
+/// creation — possible only when a crash is armed.
+fn run_workload(
+    ctx: &Arc<CkksContext>,
+    tenants: &[Tenant],
+    config: ServerConfig,
+    disk: &SharedDisk,
+    policy: SyncPolicy,
+) -> Option<FabServer> {
+    let mut server = make_server(ctx, tenants, config);
+    let journal =
+        DurableJournal::create(Box::new(disk.clone()), ctx.clone(), policy, ROTATE_AFTER).ok()?;
+    server.attach_durable_journal(journal);
+    submit_stream(&mut server, tenants, 2, 17);
+    let _outcomes = server.run();
+    Some(server)
+}
+
+/// Recovers a crash surface and replays: asserts the combined outcomes are a
+/// bitwise-identical prefix of the reference and that no journaled completion was
+/// re-executed. Returns the recovered server for further inspection.
+fn check_surface(
+    ctx: &Arc<CkksContext>,
+    tenants: &[Tenant],
+    config: ServerConfig,
+    reference: &[RequestOutcome],
+    policy: SyncPolicy,
+    surface: SimDisk,
+    label: &str,
+) -> FabServer {
+    let mut recovered = make_server(ctx, tenants, config);
+    let report = recovered
+        .recover_from_store(Box::new(surface), policy, ROTATE_AFTER)
+        .unwrap_or_else(|e| panic!("{label}: legal crash damage must never be corruption: {e}"));
+    let settled_completed = report
+        .settled
+        .iter()
+        .filter(|o| o.completed().is_some())
+        .count() as u64;
+    let mut outcomes = report.settled;
+    outcomes.extend(recovered.run());
+    outcomes.sort_by_key(RequestOutcome::request);
+
+    assert!(
+        outcomes.len() <= reference.len(),
+        "{label}: recovery fabricated requests"
+    );
+    for (i, (got, want)) in outcomes.iter().zip(reference).enumerate() {
+        assert_eq!(
+            got.request(),
+            want.request(),
+            "{label}: surviving requests must be a prefix (position {i})"
+        );
+        assert_equivalent(label, got, want);
+    }
+    let completed_total = outcomes.iter().filter(|o| o.completed().is_some()).count() as u64;
+    assert_eq!(
+        recovered.executions(),
+        completed_total - settled_completed,
+        "{label}: a journaled completion was re-executed"
+    );
+    recovered
+}
+
+#[test]
+fn every_simdisk_crash_schedule_recovers_bitwise_identically_with_zero_duplicate_executions() {
+    let ctx = make_ctx();
+    let tenants: Vec<Tenant> = (0..TENANTS)
+        .map(|t| make_tenant(&ctx, 900 + t as u64))
+        .collect();
+    let config = make_config(&ctx);
+
+    for policy in [SyncPolicy::Always, SyncPolicy::EveryN(4)] {
+        // Uninterrupted reference: outcomes, plus the syscall count that bounds the sweep.
+        let ref_disk = SharedDisk::new();
+        let mut ref_server = run_workload(&ctx, &tenants, config, &ref_disk, policy)
+            .expect("unarmed disk cannot crash");
+        drop(ref_server.take_durable_journal());
+        let reference = {
+            // Reconstruct the reference outcomes by recovering the healthy disk — this
+            // also proves a *clean* shutdown recovers losslessly under every policy.
+            let mut replay = make_server(&ctx, &tenants, config);
+            let report = replay
+                .recover_from_store(Box::new(ref_disk.snapshot()), policy, ROTATE_AFTER)
+                .expect("healthy disk recovers");
+            assert_eq!(report.torn_bytes, 0, "clean shutdown discards nothing");
+            assert!(report.readmitted.is_empty(), "everything settled");
+            assert_eq!(
+                replay.executions(),
+                0,
+                "nothing re-executes after clean run"
+            );
+            report.settled
+        };
+        assert_eq!(reference.len(), 2 * TENANTS);
+        assert!(reference.iter().all(|o| o.completed().is_some()));
+
+        let total_ops = ref_disk.op_count();
+        assert!(
+            total_ops > 20,
+            "the workload must cross many syscall boundaries, got {total_ops}"
+        );
+        let multi_segment = ref_disk.snapshot().list("seg-").len() > 1;
+        assert!(multi_segment, "the workload must rotate segments");
+
+        for at in 0..total_ops {
+            let disk = SharedDisk::new();
+            disk.arm_crash(at);
+            if let Some(server) = run_workload(&ctx, &tenants, config, &disk, policy) {
+                assert!(
+                    server.has_crashed(),
+                    "policy {policy:?}: armed op {at} of {total_ops} never fired"
+                );
+            }
+            assert!(disk.has_crashed());
+            for seed in [3u64, 11] {
+                let (surface, _) = disk.crash_surface(seed);
+                let label = format!("policy {policy:?}, crash at op {at}, seed {seed}");
+                check_surface(&ctx, &tenants, config, &reference, policy, surface, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn compacted_journal_recovers_to_the_same_state_as_the_uncompacted_one() {
+    let ctx = make_ctx();
+    let tenants: Vec<Tenant> = (0..TENANTS)
+        .map(|t| make_tenant(&ctx, 1000 + t as u64))
+        .collect();
+    let config = make_config(&ctx);
+    let policy = SyncPolicy::Always;
+
+    let disk = SharedDisk::new();
+    let mut server = run_workload(&ctx, &tenants, config, &disk, policy).expect("healthy");
+    // Leave two requests in flight (admitted, never started) so compaction must retain
+    // their Admitted records, not just settled outcomes.
+    submit_stream(&mut server, &tenants, 1, 99);
+    server.sync_journal();
+
+    let uncompacted = disk.snapshot();
+    let bytes_before = server
+        .durable_journal_mut()
+        .expect("attached")
+        .bytes_on_disk()
+        .expect("readable");
+
+    server.compact_journal().expect("live compaction succeeds");
+    let compacted = disk.snapshot();
+    let bytes_after = server
+        .durable_journal_mut()
+        .expect("attached")
+        .bytes_on_disk()
+        .expect("readable");
+    // The two in-flight requests keep their Admitted records (embedded input
+    // ciphertexts), so the floor is well above zero — but the four settled requests'
+    // inputs must be gone.
+    assert!(
+        bytes_after * 4 < bytes_before * 3,
+        "compaction must reclaim the settled requests' embedded ciphertexts: \
+         {bytes_after} vs {bytes_before}"
+    );
+
+    let mut a = make_server(&ctx, &tenants, config);
+    let ra = a
+        .recover_from_store(Box::new(uncompacted), policy, ROTATE_AFTER)
+        .expect("uncompacted recovers");
+    let mut b = make_server(&ctx, &tenants, config);
+    let rb = b
+        .recover_from_store(Box::new(compacted), policy, ROTATE_AFTER)
+        .expect("compacted recovers");
+
+    assert_eq!(ra.settled.len(), rb.settled.len(), "settled sets diverged");
+    for (got, want) in rb.settled.iter().zip(&ra.settled) {
+        assert_equivalent("compacted vs uncompacted", got, want);
+    }
+    assert_eq!(ra.readmitted, rb.readmitted, "readmitted sets diverged");
+
+    // Both replays of the in-flight requests produce bitwise-identical outcomes.
+    let out_a = a.run();
+    let out_b = b.run();
+    assert_eq!(out_a.len(), 2, "two in-flight requests replay");
+    for (got, want) in out_b.iter().zip(&out_a) {
+        assert_equivalent("replay after compaction", got, want);
+    }
+}
+
+#[test]
+fn every_crash_during_compaction_preserves_the_journal_state() {
+    let ctx = make_ctx();
+    let tenants: Vec<Tenant> = (0..TENANTS)
+        .map(|t| make_tenant(&ctx, 1100 + t as u64))
+        .collect();
+    let config = make_config(&ctx);
+    let policy = SyncPolicy::Always;
+
+    // Reference: workload + clean compaction; remember the op window compaction spans.
+    let ref_disk = SharedDisk::new();
+    let mut ref_server = run_workload(&ctx, &tenants, config, &ref_disk, policy).expect("healthy");
+    submit_stream(&mut ref_server, &tenants, 1, 99);
+    ref_server.sync_journal();
+    let ops_before_compaction = ref_disk.op_count();
+    ref_server.compact_journal().expect("clean compaction");
+    let ops_after_compaction = ref_disk.op_count();
+    assert!(ops_after_compaction > ops_before_compaction + 10);
+    let reference = {
+        let mut replay = make_server(&ctx, &tenants, config);
+        let report = replay
+            .recover_from_store(Box::new(ref_disk.snapshot()), policy, ROTATE_AFTER)
+            .expect("healthy disk recovers");
+        let mut outcomes = report.settled;
+        outcomes.extend(replay.run());
+        outcomes.sort_by_key(RequestOutcome::request);
+        outcomes
+    };
+    assert_eq!(reference.len(), 3 * TENANTS);
+
+    for at in ops_before_compaction..ops_after_compaction {
+        let disk = SharedDisk::new();
+        let mut server = run_workload(&ctx, &tenants, config, &disk, policy).expect("healthy");
+        submit_stream(&mut server, &tenants, 1, 99);
+        server.sync_journal();
+        disk.arm_crash(at);
+        let result = server.compact_journal();
+        assert!(result.is_err(), "armed op {at} must kill the compaction");
+        assert!(matches!(result, Err(StoreError::Storage(e)) if e.is_crash()));
+        for seed in [5u64, 23] {
+            let (surface, _) = disk.crash_surface(seed);
+            let label = format!("compaction crash at op {at}, seed {seed}");
+            // Everything was fsynced before compaction began, so recovery must produce
+            // the FULL reference state — a crashed compaction may cost space, never data.
+            let mut recovered = make_server(&ctx, &tenants, config);
+            let report = recovered
+                .recover_from_store(Box::new(surface), policy, ROTATE_AFTER)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            let mut outcomes = report.settled;
+            outcomes.extend(recovered.run());
+            outcomes.sort_by_key(RequestOutcome::request);
+            assert_eq!(outcomes.len(), reference.len(), "{label}: lost state");
+            for (got, want) in outcomes.iter().zip(&reference) {
+                assert_equivalent(&label, got, want);
+            }
+        }
+    }
+}
+
+/// Rebuilds a healthy, fully-synced [`SimDisk`] holding exactly `files`.
+fn disk_from_files(files: &[(String, Vec<u8>)]) -> SimDisk {
+    let mut disk = SimDisk::new();
+    for (name, bytes) in files {
+        disk.create(name).unwrap();
+        disk.append(name, bytes).unwrap();
+        disk.flush(name).unwrap();
+        disk.sync(name).unwrap();
+    }
+    disk.sync_dir().unwrap();
+    disk
+}
+
+// Satellite gate: arbitrary truncation plus a single-bit flip at a random offset —
+// landing in a sealed segment, the active segment, or the compacted base, across
+// segment boundaries — yields clean-prefix recovery or a typed corruption error.
+// Never a panic, never a fabricated outcome. Keygen dominates each case; a handful
+// of cases still lands damage in every file of the layout across runs.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn prop_truncation_and_bit_flips_across_segments_recover_or_fail_typed(
+        cut_sel in any::<u64>(),
+        flip_sel in any::<u64>(),
+        damage_last_only in any::<bool>(),
+    ) {
+        let ctx = make_ctx();
+        let tenants: Vec<Tenant> = (0..TENANTS)
+            .map(|t| make_tenant(&ctx, 1200 + t as u64))
+            .collect();
+        let config = make_config(&ctx);
+        let policy = SyncPolicy::Always;
+
+        let disk = SharedDisk::new();
+        let mut server = run_workload(&ctx, &tenants, config, &disk, policy).expect("healthy");
+        server.sync_journal();
+        let reference_ids: Vec<u64> = (0..2 * TENANTS as u64).collect();
+
+        // Snapshot the journal files, then damage them.
+        let mut snapshot = disk.snapshot();
+        let mut names = snapshot.list("cpt-");
+        names.extend(snapshot.list("seg-"));
+        names.sort();
+        let mut files: Vec<(String, Vec<u8>)> = names
+            .iter()
+            .map(|n| (n.clone(), snapshot.read(n).unwrap()))
+            .collect();
+        prop_assert!(files.len() > 2, "need multiple segments");
+
+        let pick = |sel: u64, files: &[(String, Vec<u8>)]| -> usize {
+            if damage_last_only { files.len() - 1 } else { (sel % files.len() as u64) as usize }
+        };
+        let cut_file = pick(cut_sel, &files);
+        if !files[cut_file].1.is_empty() {
+            let cut = (cut_sel >> 8) as usize % files[cut_file].1.len();
+            files[cut_file].1.truncate(cut);
+        }
+        let flip_file = pick(flip_sel, &files);
+        if !files[flip_file].1.is_empty() {
+            let at = (flip_sel >> 8) as usize % files[flip_file].1.len();
+            files[flip_file].1[at] ^= 1 << ((flip_sel >> 3) % 8);
+        }
+
+        let damaged = disk_from_files(&files);
+        let mut recovered = make_server(&ctx, &tenants, config);
+        match recovered.recover_from_store(Box::new(damaged), policy, ROTATE_AFTER) {
+            Ok(report) => {
+                // Clean-prefix recovery: every surviving request id is a prefix of the
+                // submission order, and nothing is fabricated.
+                let mut ids: Vec<u64> = report
+                    .settled
+                    .iter()
+                    .map(|o| o.request().0)
+                    .chain(report.readmitted.iter().map(|r| r.0))
+                    .collect();
+                ids.sort_unstable();
+                prop_assert!(ids.len() <= reference_ids.len());
+                prop_assert_eq!(&ids[..], &reference_ids[..ids.len()], "not a prefix");
+            }
+            Err(StoreError::Corrupt(e)) => {
+                // Typed rejection with a located offset — the acceptable outcome for
+                // damage inside fully durable bytes.
+                prop_assert!(!e.reason.is_empty());
+            }
+            Err(StoreError::Storage(e)) => {
+                panic!("storage error on healthy disk: {e}");
+            }
+        }
+    }
+}
